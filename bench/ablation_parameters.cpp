@@ -1,0 +1,77 @@
+// Ablation A1: parameter sensitivity of AMF (not a paper figure; DESIGN.md
+// extension). Sweeps one hyperparameter at a time around the Table-I
+// operating point (d=10, eta=0.8, lambda=0.001, beta=0.3, alpha=-0.007)
+// and reports MRE/NPRE on RT at density 10%.
+#include <iostream>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/amf_predictor.h"
+#include "eval/protocol.h"
+#include "exp/approaches.h"
+#include "exp/scale.h"
+
+namespace {
+
+using namespace amf;
+
+eval::Metrics RunWith(const linalg::Matrix& slice, const core::AmfConfig& c,
+                      std::size_t rounds, std::uint64_t seed) {
+  eval::ProtocolConfig cfg;
+  cfg.density = 0.10;
+  cfg.rounds = rounds;
+  cfg.seed = seed;
+  return eval::RunProtocol(slice, cfg,
+                           [&c](std::uint64_t s) {
+                             core::AmfConfig cc = c;
+                             cc.seed = s;
+                             return std::make_unique<core::AmfPredictor>(cc);
+                           })
+      .average;
+}
+
+}  // namespace
+
+int main() {
+  exp::ExperimentScale scale = exp::ScaleFromEnv();
+  const auto dataset = exp::MakeDataset(scale);
+  const linalg::Matrix slice =
+      dataset->DenseSlice(data::QoSAttribute::kResponseTime, 0);
+  const core::AmfConfig base =
+      exp::AmfConfigFor(data::QoSAttribute::kResponseTime, scale.seed);
+  std::cout << "=== Ablation A1: AMF parameter sensitivity (RT, density "
+               "10%, "
+            << exp::Describe(scale) << ") ===\n\n";
+
+  auto sweep = [&](const std::string& param,
+                   const std::vector<double>& values, auto apply) {
+    common::TablePrinter table({param, "MRE", "NPRE", "MAE"});
+    for (double v : values) {
+      core::AmfConfig c = base;
+      apply(c, v);
+      const eval::Metrics m = RunWith(slice, c, scale.rounds, scale.seed);
+      table.AddRow(common::FormatFixed(v, 4), {m.mre, m.npre, m.mae});
+    }
+    std::cout << table.ToString() << "\n";
+  };
+
+  sweep("rank d", {2, 5, 10, 20, 40},
+        [](core::AmfConfig& c, double v) {
+          c.rank = static_cast<std::size_t>(v);
+        });
+  sweep("eta (learn rate)", {0.1, 0.4, 0.8, 1.2, 2.0},
+        [](core::AmfConfig& c, double v) { c.learn_rate = v; });
+  sweep("lambda (regularization)", {0.0, 0.0001, 0.001, 0.01, 0.1},
+        [](core::AmfConfig& c, double v) {
+          c.lambda_user = v;
+          c.lambda_service = v;
+        });
+  sweep("beta (error EMA rate)", {0.05, 0.1, 0.3, 0.6, 1.0},
+        [](core::AmfConfig& c, double v) { c.beta = v; });
+  sweep("alpha (Box-Cox)", {-0.5, -0.05, -0.007, 0.0, 0.5, 1.0},
+        [](core::AmfConfig& c, double v) { c.transform.alpha = v; });
+
+  std::cout << "operating point (paper): d=10 eta=0.8 lambda=0.001 "
+               "beta=0.3 alpha=-0.007\n";
+  return 0;
+}

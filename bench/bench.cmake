@@ -1,0 +1,35 @@
+# Bench binaries. Included (not add_subdirectory'd) from the top-level
+# CMakeLists so that ${CMAKE_BINARY_DIR}/bench contains ONLY executables.
+set(AMF_BENCH_DIR ${CMAKE_CURRENT_LIST_DIR})
+
+function(amf_add_bench name)
+  add_executable(${name} ${AMF_BENCH_DIR}/${name}.cpp)
+  target_link_libraries(${name} PRIVATE amf)
+  set_target_properties(${name} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+endfunction()
+
+amf_add_bench(fig02_observations)
+amf_add_bench(fig06_data_statistics)
+amf_add_bench(fig07_08_distributions)
+amf_add_bench(fig09_singular_values)
+amf_add_bench(table1_accuracy)
+amf_add_bench(fig10_error_distribution)
+amf_add_bench(fig11_transformation)
+amf_add_bench(fig12_density)
+amf_add_bench(fig13_efficiency)
+amf_add_bench(fig14_scalability)
+amf_add_bench(ablation_parameters)
+amf_add_bench(ablation_weights)
+amf_add_bench(adaptation_quality)
+amf_add_bench(forecast_quality)
+amf_add_bench(selection_quality)
+amf_add_bench(baselines_extended)
+amf_add_bench(supplementary_all_slices)
+amf_add_bench(coldstart_curve)
+
+# Micro benchmarks use google-benchmark.
+add_executable(micro_kernels ${AMF_BENCH_DIR}/micro_kernels.cpp)
+target_link_libraries(micro_kernels PRIVATE amf benchmark::benchmark)
+set_target_properties(micro_kernels PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -1,0 +1,116 @@
+// Ablation A3: micro benchmarks (google-benchmark) for the hot paths —
+// one online SGD update, one prediction, the data transformation, the
+// sample-store operations, and dense-slice generation.
+#include <benchmark/benchmark.h>
+
+#include "core/amf_model.h"
+#include "core/sample_store.h"
+#include "data/synthetic.h"
+#include "transform/qos_transform.h"
+
+namespace {
+
+using namespace amf;
+
+void BM_OnlineUpdate(benchmark::State& state) {
+  core::AmfConfig cfg = core::MakeResponseTimeConfig(1);
+  cfg.rank = static_cast<std::size_t>(state.range(0));
+  core::AmfModel model(cfg);
+  model.EnsureUser(141);
+  model.EnsureService(4499);
+  common::Rng rng(2);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const auto u = static_cast<data::UserId>(i % 142);
+    const auto s = static_cast<data::ServiceId>((i * 31) % 4500);
+    benchmark::DoNotOptimize(
+        model.OnlineUpdate(u, s, 0.5 + 0.001 * static_cast<double>(i % 97)));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OnlineUpdate)->Arg(10)->Arg(32)->Arg(128);
+
+void BM_PredictRaw(benchmark::State& state) {
+  core::AmfModel model(core::MakeResponseTimeConfig(1));
+  model.EnsureUser(141);
+  model.EnsureService(4499);
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const auto u = static_cast<data::UserId>(i % 142);
+    const auto s = static_cast<data::ServiceId>((i * 17) % 4500);
+    benchmark::DoNotOptimize(model.PredictRaw(u, s));
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PredictRaw);
+
+void BM_TransformForward(benchmark::State& state) {
+  transform::QoSTransformConfig cfg;
+  cfg.alpha = -0.007;
+  const transform::QoSTransform t(cfg);
+  double v = 0.01;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.Forward(v));
+    v = v < 19.0 ? v + 0.07 : 0.01;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TransformForward);
+
+void BM_TransformRoundTrip(benchmark::State& state) {
+  transform::QoSTransformConfig cfg;
+  cfg.alpha = -0.05;
+  cfg.r_max = 7000.0;
+  const transform::QoSTransform t(cfg);
+  double v = 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.Inverse(t.Forward(v)));
+    v = v < 6900.0 ? v * 1.01 : 0.5;
+  }
+}
+BENCHMARK(BM_TransformRoundTrip);
+
+void BM_SampleStoreUpsertPick(benchmark::State& state) {
+  core::SampleStore store;
+  common::Rng rng(3);
+  for (int i = 0; i < 60000; ++i) {
+    store.Upsert({0, static_cast<data::UserId>(rng.Index(142)),
+                  static_cast<data::ServiceId>(rng.Index(4500)), 1.0, 0.0});
+  }
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    if ((i & 7) == 0) {
+      store.Upsert({0, static_cast<data::UserId>(i % 142),
+                    static_cast<data::ServiceId>((i * 13) % 4500), 2.0,
+                    0.0});
+    } else {
+      benchmark::DoNotOptimize(store.PickRandom(rng));
+    }
+    ++i;
+  }
+}
+BENCHMARK(BM_SampleStoreUpsertPick);
+
+void BM_DenseSliceGeneration(benchmark::State& state) {
+  data::SyntheticConfig cfg;
+  cfg.users = 142;
+  cfg.services = static_cast<std::size_t>(state.range(0));
+  cfg.slices = 4;
+  const data::SyntheticQoSDataset dataset(cfg);
+  data::SliceId t = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dataset.DenseSlice(data::QoSAttribute::kResponseTime, t));
+    t = (t + 1) % 4;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          142 * state.range(0));
+}
+BENCHMARK(BM_DenseSliceGeneration)->Arg(500)->Arg(4500)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

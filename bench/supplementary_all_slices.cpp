@@ -1,0 +1,78 @@
+// Supplementary-report regenerator: accuracy over ALL time slices.
+//
+// Table I reports slice 1 only; the paper's supplementary report carries
+// the full per-slice results. This bench runs AMF *online* across every
+// slice (warm model, expiring samples — the deployment mode) and scores
+// each slice's held-out entries, demonstrating that the slice-1 accuracy
+// is representative and that the online model tracks the moving QoS.
+#include <iostream>
+
+#include "common/statistics.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/amf_model.h"
+#include "core/online_trainer.h"
+#include "data/masking.h"
+#include "exp/approaches.h"
+#include "exp/scale.h"
+
+int main() {
+  using namespace amf;
+  exp::ExperimentScale base = exp::PaperScale();
+  base.services = 2000;  // 64 slices x full width is the paper's testbed
+  const exp::ExperimentScale scale = exp::ApplyEnvOverrides(base);
+  const double density = 0.10;
+  const auto dataset = exp::MakeDataset(scale);
+  std::cout << "=== Supplementary: AMF online accuracy over all "
+            << scale.slices << " slices (density 10%, "
+            << exp::Describe(scale) << ") ===\n\n";
+
+  const data::QoSAttribute attr = data::QoSAttribute::kResponseTime;
+  core::AmfModel model(exp::AmfConfigFor(attr, scale.seed));
+  model.EnsureUser(static_cast<data::UserId>(scale.users - 1));
+  model.EnsureService(static_cast<data::ServiceId>(scale.services - 1));
+  core::TrainerConfig tcfg;
+  tcfg.expiry_seconds = 900.0;
+  tcfg.seed = scale.seed;
+  core::OnlineTrainer trainer(model, tcfg);
+
+  common::TablePrinter table({"slice", "MAE", "MRE", "NPRE", "epochs"});
+  common::RunningStats mre_stats, npre_stats;
+  for (data::SliceId t = 0; t < scale.slices; ++t) {
+    const linalg::Matrix slice = dataset->DenseSlice(attr, t);
+    common::Rng rng(common::DeriveSeed(scale.seed, t));
+    const data::TrainTestSplit split =
+        data::SplitSlice(slice, density, rng, t);
+
+    const double now = static_cast<double>(t) * 900.0;
+    trainer.AdvanceTime(now);
+    for (data::QoSSample s : split.train.ToSamples(t)) {
+      s.timestamp = now;
+      trainer.Observe(s);
+    }
+    const std::size_t epochs = trainer.RunUntilConverged();
+
+    std::vector<double> pred, truth;
+    pred.reserve(split.test.size());
+    truth.reserve(split.test.size());
+    for (const auto& s : split.test) {
+      pred.push_back(model.PredictRaw(s.user, s.service));
+      truth.push_back(s.value);
+    }
+    const eval::Metrics m = eval::ComputeMetrics(pred, truth);
+    mre_stats.Add(m.mre);
+    npre_stats.Add(m.npre);
+    table.AddRow({std::to_string(t), common::FormatFixed(m.mae, 3),
+                  common::FormatFixed(m.mre, 3),
+                  common::FormatFixed(m.npre, 3), std::to_string(epochs)});
+  }
+  table.Print(std::cout);
+  std::cout << "MRE over slices: mean "
+            << common::FormatFixed(mre_stats.mean(), 3) << " (min "
+            << common::FormatFixed(mre_stats.min(), 3) << ", max "
+            << common::FormatFixed(mre_stats.max(), 3) << "); NPRE mean "
+            << common::FormatFixed(npre_stats.mean(), 3) << "\n";
+  std::cout << "expected: after the cold first slices, per-slice MRE "
+               "stays in a stable band (no drift blow-up).\n";
+  return 0;
+}

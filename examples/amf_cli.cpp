@@ -1,0 +1,258 @@
+// amf_cli: command-line front end to the library.
+//
+//   amf_cli generate --out data.triplets [--users N --services M
+//           --slices T --seed S --attr rt|tp]
+//       Writes a synthetic QoS dataset as "user service slice value"
+//       triplet lines (same layout WS-DREAM dumps use).
+//
+//   amf_cli train --data data.triplets --model model.amf
+//           [--users N --services M --slices T --slice K --density D
+//            --attr rt|tp --seed S]
+//       Trains AMF on the observed entries of one slice (optionally
+//       sub-sampled to a density) and saves the model.
+//
+//   amf_cli predict --model model.amf --user U --service S
+//       Prints the predicted QoS value for one pair.
+//
+//   amf_cli evaluate --data data.triplets --model model.amf
+//            [--users N --services M --slices T --slice K --attr rt|tp]
+//       Scores the model on all entries of a slice (MAE/MRE/NPRE).
+//
+//   amf_cli summarize --data data.triplets
+//            [--users N --services M --slices T --attr rt|tp]
+//       Prints the Fig.-6-style statistics table for a triplet file.
+//
+//   amf_cli recommend --model model.amf --user U [--top 10]
+//       Ranks all services for a user by predicted QoS (ascending) and
+//       prints the top-k candidates with uncertainty.
+//
+// Exit code 0 on success, 1 on usage errors, 2 on runtime failure.
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "core/amf_predictor.h"
+#include "core/model_io.h"
+#include "data/csv_io.h"
+#include "data/masking.h"
+#include "data/summary.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+
+namespace {
+
+using namespace amf;
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i + 1 < argc; i += 2) {
+      std::string key = argv[i];
+      AMF_CHECK_MSG(common::StartsWith(key, "--"),
+                    "expected --flag value, got " << key);
+      values_[key.substr(2)] = argv[i + 1];
+    }
+  }
+
+  std::string Get(const std::string& key, const std::string& def) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
+
+  std::int64_t GetInt(const std::string& key, std::int64_t def) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return def;
+    const auto v = common::ParseInt(it->second);
+    AMF_CHECK_MSG(v, "--" << key << " expects an integer");
+    return *v;
+  }
+
+  double GetDouble(const std::string& key, double def) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return def;
+    const auto v = common::ParseDouble(it->second);
+    AMF_CHECK_MSG(v, "--" << key << " expects a number");
+    return *v;
+  }
+
+  std::string Require(const std::string& key) const {
+    const auto it = values_.find(key);
+    AMF_CHECK_MSG(it != values_.end(), "missing required --" << key);
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+data::QoSAttribute ParseAttr(const std::string& s) {
+  const std::string lower = common::ToLower(s);
+  if (lower == "rt") return data::QoSAttribute::kResponseTime;
+  if (lower == "tp") return data::QoSAttribute::kThroughput;
+  AMF_CHECK_MSG(false, "--attr must be rt or tp, got " << s);
+  return data::QoSAttribute::kResponseTime;
+}
+
+data::InMemoryDataset LoadDataset(const Args& args,
+                                  data::QoSAttribute attr) {
+  data::InMemoryDataset dataset(
+      static_cast<std::size_t>(args.GetInt("users", 142)),
+      static_cast<std::size_t>(args.GetInt("services", 4500)),
+      static_cast<std::size_t>(args.GetInt("slices", 64)));
+  data::ReadTripletsFile(args.Require("data"), dataset, attr);
+  return dataset;
+}
+
+int CmdGenerate(const Args& args) {
+  data::SyntheticConfig cfg;
+  cfg.users = static_cast<std::size_t>(args.GetInt("users", 142));
+  cfg.services = static_cast<std::size_t>(args.GetInt("services", 4500));
+  cfg.slices = static_cast<std::size_t>(args.GetInt("slices", 64));
+  cfg.seed = static_cast<std::uint64_t>(args.GetInt("seed", 2014));
+  const data::SyntheticQoSDataset dataset(cfg);
+  const std::string out = args.Require("out");
+  data::WriteTripletsFile(out, dataset, ParseAttr(args.Get("attr", "rt")));
+  std::cout << "wrote " << cfg.users << "x" << cfg.services << "x"
+            << cfg.slices << " triplets to " << out << "\n";
+  return 0;
+}
+
+int CmdTrain(const Args& args) {
+  const data::QoSAttribute attr = ParseAttr(args.Get("attr", "rt"));
+  const data::InMemoryDataset dataset = LoadDataset(args, attr);
+  const auto slice_id =
+      static_cast<data::SliceId>(args.GetInt("slice", 0));
+  const linalg::Matrix slice = dataset.DenseSlice(attr, slice_id);
+
+  const double density = args.GetDouble("density", 1.0);
+  common::Rng rng(static_cast<std::uint64_t>(args.GetInt("seed", 1)));
+  const data::SparseMatrix train =
+      data::SampleDensity(slice, density, rng);
+  AMF_CHECK_MSG(train.nnz() > 0, "no observed entries in slice");
+
+  core::AmfConfig cfg =
+      attr == data::QoSAttribute::kResponseTime
+          ? core::MakeResponseTimeConfig(
+                static_cast<std::uint64_t>(args.GetInt("seed", 1)))
+          : core::MakeThroughputConfig(
+                static_cast<std::uint64_t>(args.GetInt("seed", 1)));
+  core::AmfPredictor amf(cfg);
+  amf.Fit(train);
+  core::SaveModelFile(args.Require("model"), amf.model());
+  std::cout << "trained on " << train.nnz() << " observations (slice "
+            << slice_id << ", density "
+            << common::FormatFixed(100 * density, 0) << "%), "
+            << amf.epochs_run() << " epochs; model saved to "
+            << args.Require("model") << "\n";
+  return 0;
+}
+
+int CmdPredict(const Args& args) {
+  const core::AmfModel model = core::LoadModelFile(args.Require("model"));
+  const auto u = static_cast<data::UserId>(args.GetInt("user", 0));
+  const auto s = static_cast<data::ServiceId>(args.GetInt("service", 0));
+  AMF_CHECK_MSG(model.HasUser(u) && model.HasService(s),
+                "pair (" << u << "," << s << ") outside the trained model");
+  std::cout << common::FormatFixed(model.PredictRaw(u, s), 6) << "\n";
+  return 0;
+}
+
+int CmdEvaluate(const Args& args) {
+  const data::QoSAttribute attr = ParseAttr(args.Get("attr", "rt"));
+  const data::InMemoryDataset dataset = LoadDataset(args, attr);
+  const core::AmfModel model = core::LoadModelFile(args.Require("model"));
+  const auto slice_id =
+      static_cast<data::SliceId>(args.GetInt("slice", 0));
+
+  std::vector<double> pred, truth;
+  for (data::UserId u = 0; u < dataset.num_users(); ++u) {
+    if (!model.HasUser(u)) continue;
+    for (data::ServiceId s = 0; s < dataset.num_services(); ++s) {
+      if (!model.HasService(s)) continue;
+      if (!dataset.Has(attr, u, s, slice_id)) continue;
+      pred.push_back(model.PredictRaw(u, s));
+      truth.push_back(dataset.Value(attr, u, s, slice_id));
+    }
+  }
+  AMF_CHECK_MSG(!pred.empty(), "nothing to evaluate");
+  const eval::Metrics m = eval::ComputeMetrics(pred, truth);
+  std::cout << "entries=" << m.count
+            << " MAE=" << common::FormatFixed(m.mae, 4)
+            << " MRE=" << common::FormatFixed(m.mre, 4)
+            << " NPRE=" << common::FormatFixed(m.npre, 4)
+            << " RMSE=" << common::FormatFixed(m.rmse, 4) << "\n";
+  return 0;
+}
+
+int CmdSummarize(const Args& args) {
+  // Load both attributes if present; missing entries are simply skipped.
+  data::InMemoryDataset dataset(
+      static_cast<std::size_t>(args.GetInt("users", 142)),
+      static_cast<std::size_t>(args.GetInt("services", 4500)),
+      static_cast<std::size_t>(args.GetInt("slices", 64)));
+  data::ReadTripletsFile(args.Require("data"), dataset,
+                         ParseAttr(args.Get("attr", "rt")));
+  const data::DatasetSummary summary = data::Summarize(dataset);
+  std::cout << data::SummaryTable(summary);
+  return 0;
+}
+
+int CmdRecommend(const Args& args) {
+  const core::AmfModel model = core::LoadModelFile(args.Require("model"));
+  const auto u = static_cast<data::UserId>(args.GetInt("user", 0));
+  AMF_CHECK_MSG(model.HasUser(u), "user " << u << " not in the model");
+  const auto top =
+      static_cast<std::size_t>(args.GetInt("top", 10));
+
+  std::vector<std::pair<double, data::ServiceId>> ranked;
+  ranked.reserve(model.num_services());
+  for (data::ServiceId s = 0; s < model.num_services(); ++s) {
+    ranked.emplace_back(model.PredictRaw(u, s), s);
+  }
+  std::sort(ranked.begin(), ranked.end());
+  const std::size_t n = std::min(top, ranked.size());
+  std::cout << "top " << n << " candidate services for user " << u
+            << " (ascending predicted QoS):\n";
+  for (std::size_t i = 0; i < n; ++i) {
+    std::cout << "  service " << ranked[i].second << "  predicted "
+              << common::FormatFixed(ranked[i].first, 4)
+              << "  uncertainty "
+              << common::FormatFixed(
+                     model.PredictionUncertainty(u, ranked[i].second), 3)
+              << "\n";
+  }
+  return 0;
+}
+
+int Usage() {
+  std::cerr << "usage: amf_cli "
+               "<generate|train|predict|evaluate|summarize|recommend> "
+               "[--flag value ...]\n(see the header of amf_cli.cpp)\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string cmd = argv[1];
+  try {
+    Args args(argc, argv);
+    if (cmd == "generate") return CmdGenerate(args);
+    if (cmd == "train") return CmdTrain(args);
+    if (cmd == "predict") return CmdPredict(args);
+    if (cmd == "evaluate") return CmdEvaluate(args);
+    if (cmd == "summarize") return CmdSummarize(args);
+    if (cmd == "recommend") return CmdRecommend(args);
+    return Usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

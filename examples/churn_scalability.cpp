@@ -1,0 +1,94 @@
+// Churn demo (the Fig. 14 scenario as an example).
+//
+//   build/examples/churn_scalability
+//
+// Trains AMF on 80% of users/services; after convergence the remaining 20%
+// join. Thanks to adaptive weights, the newcomers' error drops quickly
+// while the existing entities stay stable — no whole-model retraining.
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "common/statistics.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "core/amf_model.h"
+#include "core/online_trainer.h"
+#include "data/masking.h"
+#include "data/synthetic.h"
+
+int main() {
+  using namespace amf;
+
+  data::SyntheticConfig dataset_config;
+  dataset_config.users = 100;
+  dataset_config.services = 500;
+  dataset_config.slices = 2;
+  dataset_config.seed = 31;
+  const data::SyntheticQoSDataset dataset(dataset_config);
+
+  const std::size_t existing_users = 80;     // 80%
+  const std::size_t existing_services = 400;
+
+  const linalg::Matrix slice =
+      dataset.DenseSlice(data::QoSAttribute::kResponseTime, 0);
+  common::Rng rng(5);
+  const data::TrainTestSplit split = data::SplitSlice(slice, 0.15, rng);
+
+  core::AmfModel model(core::MakeResponseTimeConfig(1));
+  core::TrainerConfig trainer_config;
+  trainer_config.expiry_seconds = 0;  // no expiry in this demo
+  core::OnlineTrainer trainer(model, trainer_config);
+
+  auto is_existing = [&](const data::QoSSample& s) {
+    return s.user < existing_users && s.service < existing_services;
+  };
+
+  // Phase 1: only the existing 80% x 80% block is known.
+  for (const data::QoSSample& s : split.train.ToSamples()) {
+    if (is_existing(s)) trainer.Observe(s);
+  }
+  const std::size_t warmup_epochs = trainer.RunUntilConverged();
+
+  auto mre_of = [&](bool existing) {
+    std::vector<double> rel;
+    for (const data::QoSSample& s : split.test) {
+      if (is_existing(s) != existing) continue;
+      if (!model.HasUser(s.user) || !model.HasService(s.service)) continue;
+      if (s.value <= 0.0) continue;
+      rel.push_back(std::abs(model.PredictRaw(s.user, s.service) - s.value) /
+                    s.value);
+    }
+    return rel.empty() ? std::nan("") : common::Median(rel);
+  };
+
+  std::cout << "phase 1: trained existing 80% to convergence in "
+            << warmup_epochs << " epochs; existing MRE = "
+            << common::FormatFixed(mre_of(true), 3) << "\n\n";
+
+  // Phase 2: the remaining 20% join. Register them first (random factors)
+  // to expose the initial error a newcomer starts from.
+  model.EnsureUser(static_cast<data::UserId>(dataset.num_users() - 1));
+  model.EnsureService(
+      static_cast<data::ServiceId>(dataset.num_services() - 1));
+  common::TablePrinter table({"replay epoch", "existing MRE", "new MRE"});
+  table.AddRow({"join (random init)", common::FormatFixed(mre_of(true), 3),
+                common::FormatFixed(mre_of(false), 3)});
+
+  for (const data::QoSSample& s : split.train.ToSamples()) {
+    if (!is_existing(s)) trainer.Observe(s);
+  }
+  trainer.ProcessIncoming();
+  table.AddRow({"first updates", common::FormatFixed(mre_of(true), 3),
+                common::FormatFixed(mre_of(false), 3)});
+  for (int epoch = 1; epoch <= 10; ++epoch) {
+    trainer.ReplayEpoch();
+    table.AddRow({std::to_string(epoch),
+                  common::FormatFixed(mre_of(true), 3),
+                  common::FormatFixed(mre_of(false), 3)});
+  }
+  table.Print(std::cout);
+  std::cout << "new-entity MRE should fall toward the existing level while "
+               "existing MRE stays stable.\n";
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Quickstart: train AMF on one sparse QoS slice and predict the missing
+// entries of candidate services.
+//
+//   build/examples/quickstart
+//
+// Walks through the whole public API surface once: generate a dataset,
+// sample an observed subset, fit AMF, score it against PMF, and keep the
+// model updating online as new observations arrive.
+#include <iostream>
+
+#include "cf/pmf.h"
+#include "core/amf_predictor.h"
+#include "common/string_util.h"
+#include "data/masking.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+
+int main() {
+  using namespace amf;
+
+  // 1) A small synthetic QoS dataset (stand-in for real measurements).
+  data::SyntheticConfig dataset_config;
+  dataset_config.users = 80;
+  dataset_config.services = 400;
+  dataset_config.slices = 4;
+  dataset_config.seed = 7;
+  const data::SyntheticQoSDataset dataset(dataset_config);
+  std::cout << "dataset: " << dataset.num_users() << " users x "
+            << dataset.num_services() << " services x "
+            << dataset.num_slices() << " slices\n";
+
+  // 2) Observe 20% of slice 0; the remaining 80% is what we must predict.
+  const linalg::Matrix slice =
+      dataset.DenseSlice(data::QoSAttribute::kResponseTime, 0);
+  common::Rng mask_rng(123);
+  const data::TrainTestSplit split = data::SplitSlice(slice, 0.2, mask_rng);
+  std::cout << "observed " << split.train.nnz() << " entries, predicting "
+            << split.test.size() << "\n";
+
+  // 3) Fit AMF (paper Table-I response-time configuration).
+  core::AmfPredictor amf(core::MakeResponseTimeConfig(/*seed=*/1));
+  amf.Fit(split.train);
+  const eval::Metrics amf_metrics =
+      eval::EvaluatePredictor(amf, split.test);
+
+  // 4) Compare with the offline PMF baseline.
+  cf::Pmf pmf;
+  pmf.Fit(split.train);
+  const eval::Metrics pmf_metrics =
+      eval::EvaluatePredictor(pmf, split.test);
+
+  auto report = [](const std::string& name, const eval::Metrics& m) {
+    std::cout << name << ":  MAE=" << common::FormatFixed(m.mae, 3)
+              << "  MRE=" << common::FormatFixed(m.mre, 3)
+              << "  NPRE=" << common::FormatFixed(m.npre, 3) << "\n";
+  };
+  report("AMF", amf_metrics);
+  report("PMF", pmf_metrics);
+
+  // 5) Predict one candidate service the user never invoked.
+  const data::UserId user = 3;
+  const data::ServiceId candidate = 42;
+  std::cout << "predicted RT of candidate service " << candidate
+            << " for user " << user << ": "
+            << common::FormatFixed(amf.Predict(user, candidate), 3)
+            << "s (truth " << common::FormatFixed(slice(user, candidate), 3)
+            << "s)\n";
+
+  // 6) Online: a new observation arrives, the model updates in O(d).
+  amf.model().OnlineUpdate(user, candidate, slice(user, candidate));
+  std::cout << "after one online update: "
+            << common::FormatFixed(amf.Predict(user, candidate), 3)
+            << "s\n";
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Runtime service adaptation end to end (Figs. 1 & 3).
+//
+//   build/examples/runtime_adaptation
+//
+// A fleet of service-based applications runs a 3-task workflow whose tasks
+// each have functionally equivalent candidate services. Mid-run, the bound
+// services of one task suffer an outage and other bindings degrade with
+// the environment's QoS drift. Four adaptation policies are compared:
+//   none          never adapt
+//   random        switch to a random candidate on SLA violation
+//   amf-predicted switch to the candidate AMF predicts to be fastest
+//   oracle        switch to the truly fastest candidate (upper bound)
+#include <iostream>
+
+#include "adapt/simulation.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "data/synthetic.h"
+
+namespace {
+
+using namespace amf;
+
+/// Builds the 3-task workflow over fixed candidate pools. Initial bindings
+/// are spread across candidates per app (different applications use
+/// different providers), which is exactly what gives the collaborative
+/// predictor its training data on every candidate.
+adapt::Workflow MakeWorkflow(std::size_t app_index) {
+  std::vector<adapt::AbstractTask> tasks;
+  tasks.push_back({"auth", {0, 1, 2, 3, 4}});
+  tasks.push_back({"inventory", {5, 6, 7, 8, 9, 10}});
+  tasks.push_back({"payment", {11, 12, 13, 14}});
+  adapt::Workflow wf(std::move(tasks));
+  for (std::size_t i = 0; i < wf.num_tasks(); ++i) {
+    const auto& cands = wf.task(i).candidates;
+    wf.Rebind(i, cands[(app_index + i) % cands.size()]);
+  }
+  return wf;
+}
+
+struct PolicyRun {
+  std::string name;
+  adapt::AppStats stats;
+};
+
+}  // namespace
+
+int main() {
+  data::SyntheticConfig dataset_config;
+  dataset_config.users = 40;
+  dataset_config.services = 15;  // the candidate pool of the workflow
+  dataset_config.slices = 48;
+  dataset_config.seed = 21;
+  const data::SyntheticQoSDataset dataset(dataset_config);
+
+  const double kSla = 2.0;         // seconds
+  const double kTick = 900.0;      // one slice per tick
+  const std::size_t kTicks = 48;
+  const std::size_t kApps = 30;
+
+  std::vector<PolicyRun> runs;
+  for (const char* policy_cstr :
+       {"none", "random", "amf-predicted", "oracle"}) {
+    const std::string policy_name = policy_cstr;
+    adapt::Environment env(dataset, kTick, /*timeout=*/20.0);
+    // Outage: the initially-bound service of task "auth" goes down for
+    // slices 10-20 (the Fig. 1 "invocation to B1 fails" scenario).
+    env.AddOutage({0, 10 * kTick, 20 * kTick});
+
+    adapt::QoSPredictionService service;
+    for (std::size_t u = 0; u < kApps; ++u) {
+      service.RegisterUser("app-" + std::to_string(u));
+    }
+    for (std::size_t s = 0; s < dataset.num_services(); ++s) {
+      service.RegisterService("svc-" + std::to_string(s));
+    }
+
+    adapt::NoAdaptationPolicy none;
+    adapt::RandomPolicy random(77);
+    adapt::PredictedBestPolicy predicted(service);
+    adapt::OraclePolicy oracle(env);
+    adapt::AdaptationPolicy* policy = nullptr;
+    if (policy_name == "none") policy = &none;
+    if (policy_name == "random") policy = &random;
+    if (policy_name == "amf-predicted") policy = &predicted;
+    if (policy_name == "oracle") policy = &oracle;
+
+    adapt::SimulationConfig sim_config;
+    sim_config.ticks = kTicks;
+    sim_config.tick_seconds = kTick;
+    adapt::AdaptationSimulation sim(env, &service, sim_config);
+    for (std::size_t u = 0; u < kApps; ++u) {
+      sim.AddApplication(static_cast<data::UserId>(u), MakeWorkflow(u),
+                         *policy, kSla);
+    }
+    sim.Run();
+    runs.push_back({policy_name, sim.TotalStats()});
+  }
+
+  common::TablePrinter table({"policy", "invocations", "violations",
+                              "violation rate", "mean RT (s)",
+                              "adaptations"});
+  for (const PolicyRun& run : runs) {
+    table.AddRow({run.name, std::to_string(run.stats.invocations),
+                  std::to_string(run.stats.violations),
+                  common::FormatFixed(run.stats.ViolationRate(), 3),
+                  common::FormatFixed(run.stats.MeanRt(), 3),
+                  std::to_string(run.stats.adaptations)});
+  }
+  table.Print(std::cout);
+  std::cout << "expected: oracle best; amf-predicted close behind, with "
+               "notably fewer adaptations than random; none worst.\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "adapt/concurrent_service.h"
+
+#include <mutex>
+
+namespace amf::adapt {
+
+ConcurrentPredictionService::ConcurrentPredictionService(
+    const PredictionServiceConfig& config)
+    : service_(config) {}
+
+data::UserId ConcurrentPredictionService::RegisterUser(
+    const std::string& name) {
+  std::unique_lock lock(mu_);
+  return service_.RegisterUser(name);
+}
+
+data::ServiceId ConcurrentPredictionService::RegisterService(
+    const std::string& name) {
+  std::unique_lock lock(mu_);
+  return service_.RegisterService(name);
+}
+
+void ConcurrentPredictionService::ReportObservation(
+    const data::QoSSample& sample) {
+  std::unique_lock lock(mu_);
+  service_.ReportObservation(sample);
+}
+
+void ConcurrentPredictionService::Tick(double now_seconds) {
+  std::unique_lock lock(mu_);
+  service_.Tick(now_seconds);
+}
+
+void ConcurrentPredictionService::TrainToConvergence(double now_seconds) {
+  std::unique_lock lock(mu_);
+  service_.TrainToConvergence(now_seconds);
+}
+
+std::optional<double> ConcurrentPredictionService::PredictQoS(
+    data::UserId u, data::ServiceId s) const {
+  std::shared_lock lock(mu_);
+  return service_.PredictQoS(u, s);
+}
+
+std::size_t ConcurrentPredictionService::observations() const {
+  std::shared_lock lock(mu_);
+  return service_.observations();
+}
+
+}  // namespace amf::adapt

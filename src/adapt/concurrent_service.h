@@ -1,0 +1,48 @@
+// Thread-safe facade over QoSPredictionService.
+//
+// The Fig.-3 deployment serves many BPEL engines at once: observation
+// uploads and prediction queries arrive concurrently while a background
+// loop keeps training. This wrapper provides that concurrency contract
+// with a readers-writer lock: predictions (read-only on the model) run
+// concurrently; observation reports, ticks, and registration serialize as
+// writers. Per-sample updates are microseconds, so a single writer lock
+// is the right simplicity/throughput tradeoff at the paper's scale.
+#pragma once
+
+#include <optional>
+#include <shared_mutex>
+#include <string>
+
+#include "adapt/prediction_service.h"
+
+namespace amf::adapt {
+
+class ConcurrentPredictionService {
+ public:
+  explicit ConcurrentPredictionService(
+      const PredictionServiceConfig& config = {
+          core::MakeResponseTimeConfig(), core::TrainerConfig{}, 1});
+
+  data::UserId RegisterUser(const std::string& name);
+  data::ServiceId RegisterService(const std::string& name);
+
+  /// Thread-safe observation upload.
+  void ReportObservation(const data::QoSSample& sample);
+
+  /// Thread-safe train step (call from a background loop).
+  void Tick(double now_seconds);
+
+  /// Thread-safe blocking train-to-convergence.
+  void TrainToConvergence(double now_seconds);
+
+  /// Concurrent with other predictions; serialized against writers.
+  std::optional<double> PredictQoS(data::UserId u, data::ServiceId s) const;
+
+  std::size_t observations() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  QoSPredictionService service_;
+};
+
+}  // namespace amf::adapt

@@ -1,0 +1,57 @@
+#include "adapt/environment.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace amf::adapt {
+
+Environment::Environment(const data::QoSDataset& dataset,
+                         double slice_interval_seconds, double timeout)
+    : dataset_(&dataset),
+      slice_interval_(slice_interval_seconds),
+      timeout_(timeout) {
+  AMF_CHECK_MSG(slice_interval_ > 0.0, "slice interval must be positive");
+  AMF_CHECK_MSG(timeout_ > 0.0, "timeout must be positive");
+}
+
+void Environment::AddOutage(const Outage& outage) {
+  AMF_CHECK_MSG(outage.from_seconds < outage.to_seconds,
+                "outage window must be non-empty");
+  AMF_CHECK_MSG(outage.service < dataset_->num_services(),
+                "outage for unknown service");
+  outages_.push_back(outage);
+}
+
+data::SliceId Environment::SliceAt(double now_seconds) const {
+  if (now_seconds <= 0.0) return 0;
+  const auto slice = static_cast<std::size_t>(now_seconds / slice_interval_);
+  return static_cast<data::SliceId>(
+      std::min(slice, dataset_->num_slices() - 1));
+}
+
+bool Environment::IsDown(data::ServiceId s, double now_seconds) const {
+  for (const Outage& o : outages_) {
+    if (o.service == s && now_seconds >= o.from_seconds &&
+        now_seconds < o.to_seconds) {
+      return true;
+    }
+  }
+  return false;
+}
+
+double Environment::TrueResponseTime(data::UserId u, data::ServiceId s,
+                                     double now_seconds) const {
+  return dataset_->Value(data::QoSAttribute::kResponseTime, u, s,
+                         SliceAt(now_seconds));
+}
+
+InvocationResult Environment::Invoke(data::UserId u, data::ServiceId s,
+                                     double now_seconds) const {
+  if (IsDown(s, now_seconds)) {
+    return InvocationResult{timeout_, true};
+  }
+  return InvocationResult{TrueResponseTime(u, s, now_seconds), false};
+}
+
+}  // namespace amf::adapt

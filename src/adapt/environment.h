@@ -1,0 +1,63 @@
+// Ground-truth invocation environment.
+//
+// Substitutes the paper's real testbed (PlanetLab nodes invoking public Web
+// services): an invocation of service s by user u at simulated time T
+// returns the dataset's QoS value for the enclosing time slice. Supports
+// failure injection (a downed service times out at Rmax), which is what
+// triggers the Fig. 1 "invocation to B1 fails" adaptation scenario.
+#pragma once
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "data/qos_types.h"
+
+namespace amf::adapt {
+
+struct Outage {
+  data::ServiceId service;
+  double from_seconds;
+  double to_seconds;  // exclusive
+};
+
+struct InvocationResult {
+  double response_time;  ///< observed RT (== timeout value when failed)
+  bool failed;           ///< true if the service was down
+};
+
+class Environment {
+ public:
+  /// `dataset` must outlive the environment. `slice_interval` maps wall
+  /// time to dataset slices; times beyond the horizon clamp to the last
+  /// slice. `timeout` is the RT reported for failed invocations.
+  Environment(const data::QoSDataset& dataset,
+              double slice_interval_seconds = 900.0, double timeout = 20.0);
+
+  /// Marks a service as down during [from, to).
+  void AddOutage(const Outage& outage);
+
+  /// Performs one invocation at simulated time `now_seconds`.
+  InvocationResult Invoke(data::UserId u, data::ServiceId s,
+                          double now_seconds) const;
+
+  /// True ground-truth RT regardless of outages (for oracle policies).
+  double TrueResponseTime(data::UserId u, data::ServiceId s,
+                          double now_seconds) const;
+
+  bool IsDown(data::ServiceId s, double now_seconds) const;
+
+  const data::QoSDataset& dataset() const { return *dataset_; }
+  double timeout() const { return timeout_; }
+  double slice_interval_seconds() const { return slice_interval_; }
+
+  /// Slice enclosing `now_seconds` (clamped to the dataset horizon).
+  data::SliceId SliceAt(double now_seconds) const;
+
+ private:
+  const data::QoSDataset* dataset_;
+  double slice_interval_;
+  double timeout_;
+  std::vector<Outage> outages_;
+};
+
+}  // namespace amf::adapt

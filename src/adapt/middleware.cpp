@@ -1,0 +1,58 @@
+#include "adapt/middleware.h"
+
+#include "common/check.h"
+
+namespace amf::adapt {
+
+ExecutionMiddleware::ExecutionMiddleware(data::UserId user,
+                                         Workflow workflow,
+                                         const Environment& env,
+                                         QoSPredictionService* service,
+                                         AdaptationPolicy& policy,
+                                         double sla_threshold)
+    : user_(user),
+      workflow_(std::move(workflow)),
+      env_(&env),
+      service_(service),
+      policy_(&policy),
+      sla_threshold_(sla_threshold) {
+  AMF_CHECK_MSG(sla_threshold_ > 0.0, "SLA threshold must be positive");
+}
+
+void ExecutionMiddleware::Step(double now_seconds) {
+  for (std::size_t i = 0; i < workflow_.num_tasks(); ++i) {
+    const data::ServiceId bound = workflow_.binding(i);
+    const InvocationResult result = env_->Invoke(user_, bound, now_seconds);
+
+    ++stats_.invocations;
+    stats_.total_rt += result.response_time;
+    if (result.failed) ++stats_.failures;
+    const bool violated =
+        result.failed || result.response_time > sla_threshold_;
+    if (violated) ++stats_.violations;
+
+    // QoS manager: upload the observation (working services only — this is
+    // exactly the data the collaborative predictor learns from).
+    if (service_ != nullptr) {
+      service_->ReportObservation(data::QoSSample{
+          env_->SliceAt(now_seconds), user_, bound, result.response_time,
+          now_seconds});
+    }
+
+    TaskContext ctx;
+    ctx.task = &workflow_.task(i);
+    ctx.user = user_;
+    ctx.current_binding = bound;
+    ctx.observed_rt = result.response_time;
+    ctx.failed = result.failed;
+    ctx.sla_threshold = sla_threshold_;
+    ctx.now_seconds = now_seconds;
+    if (const auto next = policy_->SelectBinding(ctx)) {
+      const std::size_t before = workflow_.adaptations();
+      workflow_.Rebind(i, *next);
+      if (workflow_.adaptations() > before) ++stats_.adaptations;
+    }
+  }
+}
+
+}  // namespace amf::adapt

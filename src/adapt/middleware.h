@@ -1,0 +1,60 @@
+// ExecutionMiddleware: the client-side box of Fig. 3 — the enriched BPEL
+// engine of one service-based application (one user). Per step it invokes
+// the bound service of every task, reports observations through the QoS
+// manager to the prediction service, accounts SLA compliance, and lets the
+// adaptation policy rebind tasks.
+#pragma once
+
+#include <memory>
+
+#include "adapt/environment.h"
+#include "adapt/policy.h"
+#include "adapt/prediction_service.h"
+#include "adapt/workflow.h"
+
+namespace amf::adapt {
+
+struct AppStats {
+  std::size_t invocations = 0;
+  std::size_t failures = 0;       ///< invocations of downed services
+  std::size_t violations = 0;     ///< failures + RT over SLA
+  std::size_t adaptations = 0;    ///< bindings actually changed
+  double total_rt = 0.0;          ///< sum of observed RTs
+
+  double MeanRt() const {
+    return invocations ? total_rt / static_cast<double>(invocations) : 0.0;
+  }
+  double ViolationRate() const {
+    return invocations
+               ? static_cast<double>(violations) /
+                     static_cast<double>(invocations)
+               : 0.0;
+  }
+};
+
+class ExecutionMiddleware {
+ public:
+  /// `env` and `policy` must outlive the middleware; `service` may be null
+  /// for policies that do not report/consume predictions.
+  ExecutionMiddleware(data::UserId user, Workflow workflow,
+                      const Environment& env, QoSPredictionService* service,
+                      AdaptationPolicy& policy, double sla_threshold);
+
+  /// Executes the workflow once at simulated time `now_seconds`.
+  void Step(double now_seconds);
+
+  const Workflow& workflow() const { return workflow_; }
+  const AppStats& stats() const { return stats_; }
+  data::UserId user() const { return user_; }
+
+ private:
+  data::UserId user_;
+  Workflow workflow_;
+  const Environment* env_;
+  QoSPredictionService* service_;
+  AdaptationPolicy* policy_;
+  double sla_threshold_;
+  AppStats stats_;
+};
+
+}  // namespace amf::adapt

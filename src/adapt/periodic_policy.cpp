@@ -1,0 +1,33 @@
+#include "adapt/periodic_policy.h"
+
+#include "common/check.h"
+
+namespace amf::adapt {
+
+PeriodicReselectionPolicy::PeriodicReselectionPolicy(AdaptationPolicy& inner,
+                                                     std::size_t period)
+    : inner_(&inner), period_(period) {
+  AMF_CHECK_MSG(period_ > 0, "period must be positive");
+}
+
+std::string PeriodicReselectionPolicy::name() const {
+  return "periodic(" + std::to_string(period_) + ")+" + inner_->name();
+}
+
+std::optional<data::ServiceId> PeriodicReselectionPolicy::SelectBinding(
+    const TaskContext& ctx) {
+  AMF_CHECK(ctx.task != nullptr);
+  std::size_t& count = invocations_[Key(ctx.user, ctx.task)];
+  ++count;
+  if (count % period_ == 0) {
+    // Force a reselection pass: present the inner policy with a context
+    // that reads as violated (observed over threshold).
+    TaskContext forced = ctx;
+    forced.observed_rt =
+        std::max(ctx.observed_rt, ctx.sla_threshold * (1.0 + 1e-9));
+    return inner_->SelectBinding(forced);
+  }
+  return inner_->SelectBinding(ctx);
+}
+
+}  // namespace amf::adapt

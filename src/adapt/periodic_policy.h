@@ -1,0 +1,37 @@
+// Periodic reselection: re-evaluate a task's binding every N invocations
+// regardless of SLA state. The simplest "plug-in adaptation policy" of
+// Fig. 3 besides threshold triggering — it exploits QoS improvements
+// elsewhere (a better candidate appearing) that violation-triggered
+// policies never notice, at the cost of more rebinding churn.
+#pragma once
+
+#include <unordered_map>
+
+#include "adapt/policy.h"
+
+namespace amf::adapt {
+
+class PeriodicReselectionPolicy : public AdaptationPolicy {
+ public:
+  /// Every `period` invocations of a (user, task-binding) the `inner`
+  /// policy is consulted as if the SLA had been violated; in between,
+  /// normal (violation-triggered) behaviour applies. `inner` must outlive
+  /// the policy.
+  PeriodicReselectionPolicy(AdaptationPolicy& inner, std::size_t period);
+
+  std::string name() const override;
+  std::optional<data::ServiceId> SelectBinding(
+      const TaskContext& ctx) override;
+
+ private:
+  static std::uint64_t Key(data::UserId u, const AbstractTask* task) {
+    return (static_cast<std::uint64_t>(u) << 32) ^
+           reinterpret_cast<std::uintptr_t>(task);
+  }
+
+  AdaptationPolicy* inner_;
+  std::size_t period_;
+  std::unordered_map<std::uint64_t, std::size_t> invocations_;
+};
+
+}  // namespace amf::adapt

@@ -1,0 +1,90 @@
+#include "adapt/policy.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace amf::adapt {
+
+namespace {
+
+bool Violated(const TaskContext& ctx) {
+  return ctx.failed || ctx.observed_rt > ctx.sla_threshold;
+}
+
+}  // namespace
+
+std::optional<data::ServiceId> RandomPolicy::SelectBinding(
+    const TaskContext& ctx) {
+  AMF_CHECK(ctx.task != nullptr);
+  if (!Violated(ctx)) return std::nullopt;
+  const auto& cands = ctx.task->candidates;
+  if (cands.size() < 2) return std::nullopt;
+  // Pick a random candidate different from the current binding.
+  for (;;) {
+    const data::ServiceId pick = cands[rng_.Index(cands.size())];
+    if (pick != ctx.current_binding) return pick;
+  }
+}
+
+bool PredictedBestPolicy::IsTrained(data::ServiceId s) const {
+  if (!service_->model().HasService(s)) return false;
+  // A service whose running error still sits at its initial value has
+  // never been touched by an online update -- its factors are random.
+  return service_->model().ServiceError(s) <
+         service_->model().config().initial_error;
+}
+
+std::optional<data::ServiceId> PredictedBestPolicy::SelectBinding(
+    const TaskContext& ctx) {
+  AMF_CHECK(ctx.task != nullptr);
+  if (!Violated(ctx)) return std::nullopt;
+  auto pick_best = [&](bool require_trained) {
+    double best_score = std::numeric_limits<double>::infinity();
+    std::optional<data::ServiceId> best;
+    for (data::ServiceId cand : ctx.task->candidates) {
+      if (require_trained && !IsTrained(cand)) continue;
+      const auto pred =
+          service_->PredictQoSWithUncertainty(ctx.user, cand);
+      if (!pred) continue;
+      const double score =
+          pred->value * (1.0 + risk_aversion_ * pred->uncertainty);
+      if (score < best_score) {
+        best_score = score;
+        best = cand;
+      }
+    }
+    return best;
+  };
+  std::optional<data::ServiceId> best = pick_best(skip_untrained_);
+  // If every alternative is untrained, or the best trained candidate is
+  // the (violating) current binding, widen to untrained candidates --
+  // exploring an unknown service beats staying on a known-violating one.
+  if (!best || *best == ctx.current_binding) {
+    const std::optional<data::ServiceId> widened = pick_best(false);
+    if (widened && *widened != ctx.current_binding) best = widened;
+  }
+  if (best && *best != ctx.current_binding) return best;
+  return std::nullopt;
+}
+
+std::optional<data::ServiceId> OraclePolicy::SelectBinding(
+    const TaskContext& ctx) {
+  AMF_CHECK(ctx.task != nullptr);
+  if (!Violated(ctx)) return std::nullopt;
+  double best_rt = std::numeric_limits<double>::infinity();
+  std::optional<data::ServiceId> best;
+  for (data::ServiceId cand : ctx.task->candidates) {
+    if (env_->IsDown(cand, ctx.now_seconds)) continue;
+    const double rt =
+        env_->TrueResponseTime(ctx.user, cand, ctx.now_seconds);
+    if (rt < best_rt) {
+      best_rt = rt;
+      best = cand;
+    }
+  }
+  if (best && *best != ctx.current_binding) return best;
+  return std::nullopt;
+}
+
+}  // namespace amf::adapt

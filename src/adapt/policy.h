@@ -1,0 +1,111 @@
+// Adaptation policies (Fig. 3 "adaptation policies" plug-ins).
+//
+// A policy decides, after each invocation of a task's bound service,
+// whether to rebind the task and to which candidate. The paper's central
+// argument is that this decision needs QoS predictions for *candidate*
+// services (never invoked by this user); PredictedBestPolicy consumes the
+// QoSPredictionService exactly that way. Oracle/Random/None bracket it
+// from above and below in the adaptation-quality bench (A4).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "adapt/environment.h"
+#include "adapt/prediction_service.h"
+#include "adapt/workflow.h"
+#include "common/rng.h"
+
+namespace amf::adapt {
+
+/// Everything a policy may look at when making a rebinding decision.
+struct TaskContext {
+  const AbstractTask* task = nullptr;
+  data::UserId user = 0;
+  data::ServiceId current_binding = 0;
+  /// Result of the invocation that just happened.
+  double observed_rt = 0.0;
+  bool failed = false;
+  /// SLA response-time threshold for this task.
+  double sla_threshold = 0.0;
+  /// Simulated time of the invocation.
+  double now_seconds = 0.0;
+};
+
+class AdaptationPolicy {
+ public:
+  virtual ~AdaptationPolicy() = default;
+  virtual std::string name() const = 0;
+  /// Returns the service to rebind to, or nullopt to keep the binding.
+  virtual std::optional<data::ServiceId> SelectBinding(
+      const TaskContext& ctx) = 0;
+};
+
+/// Never adapts (the no-op lower bound).
+class NoAdaptationPolicy : public AdaptationPolicy {
+ public:
+  std::string name() const override { return "none"; }
+  std::optional<data::ServiceId> SelectBinding(const TaskContext&) override {
+    return std::nullopt;
+  }
+};
+
+/// On SLA violation/failure, switches to a uniformly random other
+/// candidate (adaptation without QoS knowledge).
+class RandomPolicy : public AdaptationPolicy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed = 17) : rng_(seed) {}
+  std::string name() const override { return "random"; }
+  std::optional<data::ServiceId> SelectBinding(
+      const TaskContext& ctx) override;
+
+ private:
+  common::Rng rng_;
+};
+
+/// On SLA violation/failure, switches to the candidate with the smallest
+/// *predicted* response time (the paper's intended use of AMF).
+///
+/// Candidates the model has never been updated on (their running error is
+/// still at its initial value) carry purely random predictions; by default
+/// they are skipped unless no trained candidate exists.
+class PredictedBestPolicy : public AdaptationPolicy {
+ public:
+  /// `service` must outlive the policy. `risk_aversion` (kappa >= 0)
+  /// penalizes uncertain candidates: for smaller-is-better response time a
+  /// candidate is scored as value * (1 + kappa * uncertainty), so between
+  /// two similar predictions the better-understood service wins.
+  explicit PredictedBestPolicy(const QoSPredictionService& service,
+                               bool skip_untrained = true,
+                               double risk_aversion = 0.0)
+      : service_(&service),
+        skip_untrained_(skip_untrained),
+        risk_aversion_(risk_aversion) {}
+  std::string name() const override { return "amf-predicted"; }
+  std::optional<data::ServiceId> SelectBinding(
+      const TaskContext& ctx) override;
+
+ private:
+  bool IsTrained(data::ServiceId s) const;
+
+  const QoSPredictionService* service_;
+  bool skip_untrained_;
+  double risk_aversion_;
+};
+
+/// On SLA violation/failure, switches to the candidate with the smallest
+/// *true* response time (upper bound; uses ground truth no real system has).
+class OraclePolicy : public AdaptationPolicy {
+ public:
+  /// `env` must outlive the policy.
+  explicit OraclePolicy(const Environment& env) : env_(&env) {}
+  std::string name() const override { return "oracle"; }
+  std::optional<data::ServiceId> SelectBinding(
+      const TaskContext& ctx) override;
+
+ private:
+  const Environment* env_;
+};
+
+}  // namespace amf::adapt

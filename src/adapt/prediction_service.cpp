@@ -1,0 +1,66 @@
+#include "adapt/prediction_service.h"
+
+namespace amf::adapt {
+
+QoSPredictionService::QoSPredictionService(
+    const PredictionServiceConfig& config)
+    : config_(config),
+      model_(config.model),
+      trainer_(model_, config.trainer),
+      collector_(trainer_) {}
+
+data::UserId QoSPredictionService::RegisterUser(const std::string& name) {
+  const data::UserId id = users_.Join(name);
+  model_.EnsureUser(id);
+  return id;
+}
+
+data::ServiceId QoSPredictionService::RegisterService(
+    const std::string& name) {
+  const data::ServiceId id = services_.Join(name);
+  model_.EnsureService(id);
+  return id;
+}
+
+bool QoSPredictionService::UnregisterUser(const std::string& name) {
+  return users_.Leave(name);
+}
+
+bool QoSPredictionService::UnregisterService(const std::string& name) {
+  return services_.Leave(name);
+}
+
+void QoSPredictionService::ReportObservation(const data::QoSSample& sample) {
+  collector_.Collect(sample);
+}
+
+void QoSPredictionService::Tick(double now_seconds) {
+  if (now_seconds > trainer_.now()) trainer_.AdvanceTime(now_seconds);
+  collector_.Flush();
+  trainer_.ProcessIncoming();
+  for (std::size_t i = 0; i < config_.replay_epochs_per_tick; ++i) {
+    trainer_.ReplayEpoch();
+  }
+}
+
+void QoSPredictionService::TrainToConvergence(double now_seconds) {
+  if (now_seconds > trainer_.now()) trainer_.AdvanceTime(now_seconds);
+  collector_.Flush();
+  trainer_.RunUntilConverged();
+}
+
+std::optional<double> QoSPredictionService::PredictQoS(
+    data::UserId u, data::ServiceId s) const {
+  if (!model_.HasUser(u) || !model_.HasService(s)) return std::nullopt;
+  return model_.PredictRaw(u, s);
+}
+
+std::optional<QoSPredictionService::Prediction>
+QoSPredictionService::PredictQoSWithUncertainty(data::UserId u,
+                                                data::ServiceId s) const {
+  if (!model_.HasUser(u) || !model_.HasService(s)) return std::nullopt;
+  return Prediction{model_.PredictRaw(u, s),
+                    model_.PredictionUncertainty(u, s)};
+}
+
+}  // namespace amf::adapt

@@ -1,0 +1,84 @@
+// QoSPredictionService: the service-side module of Fig. 3.
+//
+// Wires together the three pipeline stages the paper describes:
+//   1. input handling  -- stream::Collector buffers observations
+//   2. online updating -- core::OnlineTrainer / AmfModel
+//   3. QoS prediction  -- PredictQoS() through a stable interface
+// plus user/service managers for churn. Single-attribute (the adaptation
+// scenario monitors response time); instantiate twice for RT + TP.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "adapt/registry.h"
+#include "core/amf_predictor.h"
+#include "stream/collector.h"
+
+namespace amf::adapt {
+
+struct PredictionServiceConfig {
+  core::AmfConfig model;
+  core::TrainerConfig trainer;
+  /// Replay epochs run per Tick() after draining new samples; keeps the
+  /// per-tick cost bounded (a real deployment trains continuously in the
+  /// background; the simulation quantizes that into ticks).
+  std::size_t replay_epochs_per_tick = 1;
+};
+
+class QoSPredictionService {
+ public:
+  explicit QoSPredictionService(const PredictionServiceConfig& config = {
+                                    core::MakeResponseTimeConfig(),
+                                    core::TrainerConfig{},
+                                    1});
+
+  // --- User / service managers -------------------------------------------
+  data::UserId RegisterUser(const std::string& name);
+  data::ServiceId RegisterService(const std::string& name);
+  bool UnregisterUser(const std::string& name);
+  bool UnregisterService(const std::string& name);
+  const UserRegistry& users() const { return users_; }
+  const ServiceRegistry& services() const { return services_; }
+
+  // --- Input handling ------------------------------------------------------
+  /// Reports one observed QoS sample (ids must come from the registries).
+  void ReportObservation(const data::QoSSample& sample);
+
+  // --- Online updating -----------------------------------------------------
+  /// Advances the service clock, drains buffered observations into the
+  /// trainer, applies them, and runs a bounded amount of replay.
+  void Tick(double now_seconds);
+
+  /// Runs replay to convergence (used at cold start).
+  void TrainToConvergence(double now_seconds);
+
+  // --- QoS prediction ------------------------------------------------------
+  /// Predicted QoS for (user, service); nullopt if either id is unknown
+  /// to the model (never observed and never registered via Ensure*).
+  std::optional<double> PredictQoS(data::UserId u, data::ServiceId s) const;
+
+  /// A prediction together with its relative-error-scale uncertainty
+  /// (see core::AmfModel::PredictionUncertainty).
+  struct Prediction {
+    double value = 0.0;
+    double uncertainty = 0.0;
+  };
+  std::optional<Prediction> PredictQoSWithUncertainty(
+      data::UserId u, data::ServiceId s) const;
+
+  const core::AmfModel& model() const { return model_; }
+  core::OnlineTrainer& trainer() { return trainer_; }
+  std::size_t observations() const { return collector_.total_collected(); }
+
+ private:
+  PredictionServiceConfig config_;
+  core::AmfModel model_;
+  core::OnlineTrainer trainer_;
+  stream::Collector collector_;
+  UserRegistry users_;
+  ServiceRegistry services_;
+};
+
+}  // namespace amf::adapt

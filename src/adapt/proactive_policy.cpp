@@ -1,0 +1,41 @@
+#include "adapt/proactive_policy.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace amf::adapt {
+
+ProactivePolicy::ProactivePolicy(AdaptationPolicy& inner,
+                                 const forecast::Forecaster& forecaster_proto)
+    : inner_(&inner), proto_(&forecaster_proto) {}
+
+std::string ProactivePolicy::name() const {
+  return "proactive[" + proto_->name() + "]+" + inner_->name();
+}
+
+std::optional<data::ServiceId> ProactivePolicy::SelectBinding(
+    const TaskContext& ctx) {
+  AMF_CHECK(ctx.task != nullptr);
+  auto& forecaster = forecasters_[Key(ctx.user, ctx.current_binding)];
+  if (!forecaster) forecaster = proto_->Clone();
+  forecaster->Observe(ctx.observed_rt);
+  const double predicted_next = forecaster->Forecast();
+
+  // The inner policy triggers on Violated(ctx); present it with the worse
+  // of (observed, forecast) so a predicted violation also triggers.
+  TaskContext proactive_ctx = ctx;
+  proactive_ctx.observed_rt = std::max(ctx.observed_rt, predicted_next);
+  return inner_->SelectBinding(proactive_ctx);
+}
+
+std::optional<double> ProactivePolicy::ForecastFor(
+    data::UserId u, data::ServiceId s) const {
+  const auto it = forecasters_.find(Key(u, s));
+  if (it == forecasters_.end() || it->second->count() == 0) {
+    return std::nullopt;
+  }
+  return it->second->Forecast();
+}
+
+}  // namespace amf::adapt

@@ -1,0 +1,48 @@
+// Proactive adaptation: trigger on the *forecast* QoS of the working
+// service, not only on the value just observed.
+//
+// Combines the two prediction problems the paper separates: a per
+// (user, service) time-series forecaster (src/forecast) decides WHEN to
+// adapt — catching degradation trends before they violate the SLA — and
+// an inner policy (typically PredictedBestPolicy over AMF) decides WHERE
+// to rebind.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "adapt/policy.h"
+#include "forecast/forecaster.h"
+
+namespace amf::adapt {
+
+class ProactivePolicy : public AdaptationPolicy {
+ public:
+  /// `inner` must outlive the policy; `forecaster_proto` is cloned per
+  /// (user, working-service) series.
+  ProactivePolicy(AdaptationPolicy& inner,
+                  const forecast::Forecaster& forecaster_proto);
+
+  std::string name() const override;
+
+  /// Feeds the observation into the pair's forecaster, then evaluates the
+  /// inner policy against max(observed, forecast): an invocation that is
+  /// currently fine but forecast to violate still triggers reselection.
+  std::optional<data::ServiceId> SelectBinding(
+      const TaskContext& ctx) override;
+
+  /// Current one-step forecast for a (user, service) pair, if any history.
+  std::optional<double> ForecastFor(data::UserId u, data::ServiceId s) const;
+
+ private:
+  static std::uint64_t Key(data::UserId u, data::ServiceId s) {
+    return (static_cast<std::uint64_t>(u) << 32) | s;
+  }
+
+  AdaptationPolicy* inner_;
+  const forecast::Forecaster* proto_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<forecast::Forecaster>>
+      forecasters_;
+};
+
+}  // namespace amf::adapt

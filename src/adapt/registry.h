@@ -1,0 +1,74 @@
+// User / service managers (Fig. 3): track the entities known to the QoS
+// prediction service and their join/leave lifecycle under churn.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "data/qos_types.h"
+
+namespace amf::adapt {
+
+/// Generic id registry: external string name <-> dense numeric id, with an
+/// active flag ("leave" deactivates but never reuses ids, so a returning
+/// entity keeps its learned latent factors).
+template <typename IdType>
+class Registry {
+ public:
+  /// Registers (or re-activates) a name; returns its id.
+  IdType Join(const std::string& name) {
+    auto [it, inserted] = ids_.try_emplace(
+        name, static_cast<IdType>(names_.size()));
+    if (inserted) {
+      names_.push_back(name);
+      active_.push_back(true);
+    } else {
+      active_[it->second] = true;
+    }
+    return it->second;
+  }
+
+  /// Deactivates a name; returns false if unknown.
+  bool Leave(const std::string& name) {
+    const auto it = ids_.find(name);
+    if (it == ids_.end()) return false;
+    active_[it->second] = false;
+    return true;
+  }
+
+  std::optional<IdType> Lookup(const std::string& name) const {
+    const auto it = ids_.find(name);
+    if (it == ids_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool IsActive(IdType id) const {
+    return id < active_.size() && active_[id];
+  }
+
+  const std::string& Name(IdType id) const { return names_.at(id); }
+
+  /// Total ids ever issued (dense; inactive ids included).
+  std::size_t size() const { return names_.size(); }
+
+  /// Currently active ids.
+  std::vector<IdType> ActiveIds() const {
+    std::vector<IdType> out;
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      if (active_[i]) out.push_back(static_cast<IdType>(i));
+    }
+    return out;
+  }
+
+ private:
+  std::unordered_map<std::string, IdType> ids_;
+  std::vector<std::string> names_;
+  std::vector<bool> active_;
+};
+
+using UserRegistry = Registry<data::UserId>;
+using ServiceRegistry = Registry<data::ServiceId>;
+
+}  // namespace amf::adapt

@@ -1,0 +1,50 @@
+#include "adapt/simulation.h"
+
+#include "common/check.h"
+
+namespace amf::adapt {
+
+AdaptationSimulation::AdaptationSimulation(const Environment& env,
+                                           QoSPredictionService* service,
+                                           const SimulationConfig& config)
+    : env_(&env), service_(service), config_(config) {
+  AMF_CHECK_MSG(config_.ticks > 0, "simulation needs at least one tick");
+  AMF_CHECK_MSG(config_.tick_seconds > 0.0, "tick must be positive");
+}
+
+void AdaptationSimulation::AddApplication(data::UserId user,
+                                          Workflow workflow,
+                                          AdaptationPolicy& policy,
+                                          double sla_threshold) {
+  apps_.emplace_back(user, std::move(workflow), *env_, service_, policy,
+                     sla_threshold);
+}
+
+void AdaptationSimulation::StepOnce() {
+  const double now = clock_.Now();
+  for (ExecutionMiddleware& app : apps_) app.Step(now);
+  if (service_ != nullptr && config_.tick_prediction_service) {
+    service_->Tick(now);
+  }
+  clock_.Advance(config_.tick_seconds);
+  ++ticks_run_;
+}
+
+void AdaptationSimulation::Run() {
+  while (ticks_run_ < config_.ticks) StepOnce();
+}
+
+AppStats AdaptationSimulation::TotalStats() const {
+  AppStats total;
+  for (const ExecutionMiddleware& app : apps_) {
+    const AppStats& s = app.stats();
+    total.invocations += s.invocations;
+    total.failures += s.failures;
+    total.violations += s.violations;
+    total.adaptations += s.adaptations;
+    total.total_rt += s.total_rt;
+  }
+  return total;
+}
+
+}  // namespace amf::adapt

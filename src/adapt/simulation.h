@@ -1,0 +1,59 @@
+// End-to-end adaptation simulation harness: many user applications running
+// workflows against a shared environment and (optionally) a shared QoS
+// prediction service, stepped on a common clock. Used by the
+// adaptation_quality bench (A4) and the runtime_adaptation example.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "adapt/middleware.h"
+#include "stream/sim_clock.h"
+
+namespace amf::adapt {
+
+struct SimulationConfig {
+  std::size_t ticks = 64;
+  double tick_seconds = 900.0;
+  /// Prediction-service ticks happen after every app step when present.
+  bool tick_prediction_service = true;
+};
+
+class AdaptationSimulation {
+ public:
+  /// `env`, `service` must outlive the simulation. `service` may be null.
+  AdaptationSimulation(const Environment& env,
+                       QoSPredictionService* service,
+                       const SimulationConfig& config);
+
+  /// Adds one application (middleware takes ownership of the workflow).
+  /// `policy` must outlive the simulation.
+  void AddApplication(data::UserId user, Workflow workflow,
+                      AdaptationPolicy& policy, double sla_threshold);
+
+  /// Runs all remaining ticks.
+  void Run();
+
+  /// Runs a single tick (all apps step once, then the service ticks).
+  void StepOnce();
+
+  double Now() const { return clock_.Now(); }
+  std::size_t ticks_run() const { return ticks_run_; }
+
+  const std::vector<ExecutionMiddleware>& applications() const {
+    return apps_;
+  }
+
+  /// Sum of all applications' stats.
+  AppStats TotalStats() const;
+
+ private:
+  const Environment* env_;
+  QoSPredictionService* service_;
+  SimulationConfig config_;
+  stream::SimClock clock_;
+  std::vector<ExecutionMiddleware> apps_;
+  std::size_t ticks_run_ = 0;
+};
+
+}  // namespace amf::adapt

@@ -1,0 +1,42 @@
+#include "adapt/workflow.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace amf::adapt {
+
+Workflow::Workflow(std::vector<AbstractTask> tasks)
+    : tasks_(std::move(tasks)) {
+  AMF_CHECK_MSG(!tasks_.empty(), "workflow needs at least one task");
+  bindings_.reserve(tasks_.size());
+  for (const AbstractTask& t : tasks_) {
+    AMF_CHECK_MSG(!t.candidates.empty(),
+                  "task '" << t.name << "' has no candidate services");
+    bindings_.push_back(t.candidates.front());
+  }
+}
+
+const AbstractTask& Workflow::task(std::size_t i) const {
+  AMF_CHECK(i < tasks_.size());
+  return tasks_[i];
+}
+
+data::ServiceId Workflow::binding(std::size_t i) const {
+  AMF_CHECK(i < bindings_.size());
+  return bindings_[i];
+}
+
+void Workflow::Rebind(std::size_t i, data::ServiceId s) {
+  AMF_CHECK(i < bindings_.size());
+  const auto& cands = tasks_[i].candidates;
+  AMF_CHECK_MSG(std::find(cands.begin(), cands.end(), s) != cands.end(),
+                "service " << s << " is not a candidate of task '"
+                           << tasks_[i].name << "'");
+  if (bindings_[i] != s) {
+    bindings_[i] = s;
+    ++adaptations_;
+  }
+}
+
+}  // namespace amf::adapt

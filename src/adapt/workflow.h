@@ -1,0 +1,43 @@
+// Service-composition workflow (Fig. 1): an ordered set of abstract tasks,
+// each implemented by one bound component service chosen from a set of
+// functionally-equivalent candidates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/qos_types.h"
+
+namespace amf::adapt {
+
+struct AbstractTask {
+  std::string name;
+  /// Functionally equivalent candidate services for this task.
+  std::vector<data::ServiceId> candidates;
+};
+
+class Workflow {
+ public:
+  /// Each task must have at least one candidate; the initial binding is
+  /// the first candidate.
+  explicit Workflow(std::vector<AbstractTask> tasks);
+
+  std::size_t num_tasks() const { return tasks_.size(); }
+  const AbstractTask& task(std::size_t i) const;
+
+  /// Currently bound service of task i.
+  data::ServiceId binding(std::size_t i) const;
+
+  /// Rebinds task i to `s`; `s` must be one of its candidates.
+  void Rebind(std::size_t i, data::ServiceId s);
+
+  /// Number of Rebind calls that changed the binding.
+  std::size_t adaptations() const { return adaptations_; }
+
+ private:
+  std::vector<AbstractTask> tasks_;
+  std::vector<data::ServiceId> bindings_;
+  std::size_t adaptations_ = 0;
+};
+
+}  // namespace amf::adapt

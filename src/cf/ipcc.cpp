@@ -1,0 +1,55 @@
+#include "cf/ipcc.h"
+
+#include "common/check.h"
+
+namespace amf::cf {
+
+Ipcc::Ipcc(const NeighborhoodConfig& config) : config_(config) {}
+
+void Ipcc::Fit(const data::SparseMatrix& train) {
+  train_ = train;
+  SimilarityOptions opts;
+  opts.significance_gamma = config_.significance_gamma;
+  opts.min_overlap = config_.min_overlap;
+  service_sim_ = ServiceSimilarities(train_, opts);
+  means_ = MeansCache(train_);
+}
+
+std::optional<ConfidentPrediction> Ipcc::PredictWithConfidence(
+    data::UserId u, data::ServiceId s) const {
+  AMF_CHECK_MSG(train_.rows() > 0, "Predict before Fit");
+  AMF_CHECK(u < train_.rows() && s < train_.cols());
+  const auto service_mean = means_.ServiceMean(s);
+  if (!service_mean) return std::nullopt;
+
+  // Candidate neighbors: services that user u observed.
+  std::vector<std::uint32_t> candidates;
+  for (const data::SparseEntry& e : train_.Row(u)) {
+    candidates.push_back(e.index);
+  }
+  const std::vector<Neighbor> neighbors =
+      TopKPositiveNeighbors(service_sim_, s, candidates, config_.top_k);
+  if (neighbors.empty()) return std::nullopt;
+
+  double sim_sum = 0.0;
+  for (const Neighbor& n : neighbors) sim_sum += n.similarity;
+  double deviation = 0.0;
+  double confidence = 0.0;
+  for (const Neighbor& n : neighbors) {
+    const auto value = train_.Get(u, n.index);
+    AMF_DCHECK(value.has_value());
+    const auto nb_mean = means_.ServiceMean(n.index);
+    AMF_DCHECK(nb_mean.has_value());
+    deviation += n.similarity * (*value - *nb_mean);
+    confidence += (n.similarity / sim_sum) * n.similarity;
+  }
+  return ConfidentPrediction{*service_mean + deviation / sim_sum,
+                             confidence};
+}
+
+double Ipcc::Predict(data::UserId u, data::ServiceId s) const {
+  if (const auto p = PredictWithConfidence(u, s)) return p->value;
+  return means_.Fallback(u, s);
+}
+
+}  // namespace amf::cf

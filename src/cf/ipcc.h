@@ -1,0 +1,35 @@
+// IPCC: item (service)-based collaborative filtering (paper §V-C baseline).
+//
+// Mirror image of UPCC: prediction for (u, s) is the service's mean plus
+// the similarity-weighted deviation of the top-k most similar services
+// that u has observed.
+#pragma once
+
+#include "cf/neighborhood.h"
+#include "cf/similarity.h"
+#include "eval/predictor.h"
+
+namespace amf::cf {
+
+class Ipcc : public eval::Predictor {
+ public:
+  explicit Ipcc(const NeighborhoodConfig& config = {});
+
+  std::string name() const override { return "IPCC"; }
+  void Fit(const data::SparseMatrix& train) override;
+  double Predict(data::UserId u, data::ServiceId s) const override;
+
+  /// Prediction plus UIPCC confidence; nullopt when no usable neighborhood.
+  std::optional<ConfidentPrediction> PredictWithConfidence(
+      data::UserId u, data::ServiceId s) const;
+
+  const MeansCache& means() const { return means_; }
+
+ private:
+  NeighborhoodConfig config_;
+  data::SparseMatrix train_;
+  SimilarityMatrix service_sim_;
+  MeansCache means_;
+};
+
+}  // namespace amf::cf

@@ -1,0 +1,41 @@
+#include "cf/neighborhood.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace amf::cf {
+
+MeansCache::MeansCache(const data::SparseMatrix& m) {
+  constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+  user_means_.assign(m.rows(), kNaN);
+  for (std::size_t u = 0; u < m.rows(); ++u) {
+    if (const auto mean = m.RowMean(u)) user_means_[u] = *mean;
+  }
+  service_means_.assign(m.cols(), kNaN);
+  for (std::size_t s = 0; s < m.cols(); ++s) {
+    if (const auto mean = m.ColMean(s)) service_means_[s] = *mean;
+  }
+  global_ = m.GlobalMean();
+}
+
+std::optional<double> MeansCache::UserMean(std::size_t u) const {
+  AMF_CHECK(u < user_means_.size());
+  if (std::isnan(user_means_[u])) return std::nullopt;
+  return user_means_[u];
+}
+
+std::optional<double> MeansCache::ServiceMean(std::size_t s) const {
+  AMF_CHECK(s < service_means_.size());
+  if (std::isnan(service_means_[s])) return std::nullopt;
+  return service_means_[s];
+}
+
+double MeansCache::Fallback(std::size_t u, std::size_t s) const {
+  if (const auto um = UserMean(u)) return *um;
+  if (const auto sm = ServiceMean(s)) return *sm;
+  return global_;
+}
+
+}  // namespace amf::cf

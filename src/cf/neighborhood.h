@@ -1,0 +1,46 @@
+// Shared state of the neighborhood CF baselines (UPCC / IPCC / UIPCC):
+// the fitted training slice plus cached user, service, and global means.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "data/sparse_matrix.h"
+
+namespace amf::cf {
+
+struct NeighborhoodConfig {
+  /// Neighborhood size (top-k positively correlated entities).
+  std::size_t top_k = 10;
+  /// Significance-weighting threshold for PCC (see SimilarityOptions).
+  std::size_t significance_gamma = 8;
+  std::size_t min_overlap = 2;
+};
+
+/// Means cache over a fitted sparse slice.
+class MeansCache {
+ public:
+  MeansCache() = default;
+  explicit MeansCache(const data::SparseMatrix& m);
+
+  std::optional<double> UserMean(std::size_t u) const;
+  std::optional<double> ServiceMean(std::size_t s) const;
+  double GlobalMean() const { return global_; }
+
+  /// Best-effort scalar fallback: user mean, else service mean, else global.
+  double Fallback(std::size_t u, std::size_t s) const;
+
+ private:
+  std::vector<double> user_means_;      // NaN = user has no observations
+  std::vector<double> service_means_;   // NaN = service has no observations
+  double global_ = 0.0;
+};
+
+/// A prediction together with the confidence weight UIPCC combines on
+/// (WSRec's "con" value: sum over neighbors of (sim / sum sims) * sim).
+struct ConfidentPrediction {
+  double value = 0.0;
+  double confidence = 0.0;
+};
+
+}  // namespace amf::cf

@@ -1,0 +1,143 @@
+#include "cf/nimf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "linalg/vector_ops.h"
+
+namespace amf::cf {
+
+Nimf::Nimf(const NimfConfig& config) : config_(config) {
+  AMF_CHECK_MSG(config_.rank > 0, "rank must be positive");
+  AMF_CHECK_MSG(config_.alpha >= 0.0 && config_.alpha <= 1.0,
+                "alpha must be in [0, 1]");
+  AMF_CHECK_MSG(config_.learn_rate > 0.0, "learn_rate must be positive");
+}
+
+void Nimf::Fit(const data::SparseMatrix& train) {
+  AMF_CHECK_MSG(train.nnz() > 0, "NIMF requires a non-empty training set");
+  common::Rng rng(config_.seed);
+
+  // Neighborhoods from user-user PCC on the raw slice.
+  SimilarityOptions sim_opts;
+  sim_opts.significance_gamma = config_.significance_gamma;
+  const SimilarityMatrix sim = UserSimilarities(train, sim_opts);
+  std::vector<std::uint32_t> all_users(train.rows());
+  for (std::size_t u = 0; u < train.rows(); ++u) {
+    all_users[u] = static_cast<std::uint32_t>(u);
+  }
+  neighbors_.assign(train.rows(), {});
+  for (std::size_t u = 0; u < train.rows(); ++u) {
+    std::vector<Neighbor> top =
+        TopKPositiveNeighbors(sim, u, all_users, config_.top_k);
+    double sum = 0.0;
+    for (const Neighbor& n : top) sum += n.similarity;
+    if (sum > 0.0) {
+      for (Neighbor& n : top) n.similarity /= sum;
+    }
+    neighbors_[u] = std::move(top);
+  }
+
+  // Normalization bounds and mean-matched initialization (as in PMF).
+  std::vector<data::QoSSample> samples = train.ToSamples();
+  norm_lo_ = samples.front().value;
+  norm_hi_ = samples.front().value;
+  double value_sum = 0.0;
+  for (const auto& s : samples) {
+    norm_lo_ = std::min(norm_lo_, s.value);
+    norm_hi_ = std::max(norm_hi_, s.value);
+    value_sum += s.value;
+  }
+  if (norm_hi_ <= norm_lo_) norm_hi_ = norm_lo_ + 1.0;
+  const double inv_span = 1.0 / (norm_hi_ - norm_lo_);
+  const double mean_r =
+      (value_sum / static_cast<double>(samples.size()) - norm_lo_) *
+      inv_span;
+  const double init_scale =
+      2.0 * std::sqrt(std::max(mean_r, 1e-6) /
+                      static_cast<double>(config_.rank));
+  user_factors_.Resize(train.rows(), config_.rank);
+  for (double& v : user_factors_.data()) v = rng.Uniform() * init_scale;
+  service_factors_.Resize(train.cols(), config_.rank);
+  for (double& v : service_factors_.data()) v = rng.Uniform() * init_scale;
+
+  const double a = config_.alpha;
+  const double lr = config_.learn_rate;
+  std::vector<double> blended(config_.rank);
+
+  double prev_rmse = std::numeric_limits<double>::infinity();
+  std::size_t stall = 0;
+  epochs_run_ = 0;
+  for (std::size_t epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    rng.Shuffle(samples);
+    double sq_err = 0.0;
+    for (const data::QoSSample& sample : samples) {
+      const double r = (sample.value - norm_lo_) * inv_span;
+      auto ui = user_factors_.row(sample.user);
+      auto sj = service_factors_.row(sample.service);
+      const auto& nbrs = neighbors_[sample.user];
+
+      // Blended latent user vector: a * Ui + (1-a) * sum w_ik Uk.
+      for (std::size_t k = 0; k < config_.rank; ++k) {
+        blended[k] = a * ui[k];
+      }
+      for (const Neighbor& n : nbrs) {
+        const auto uk = user_factors_.row(n.index);
+        for (std::size_t k = 0; k < config_.rank; ++k) {
+          blended[k] += (1.0 - a) * n.similarity * uk[k];
+        }
+      }
+      const double err = linalg::Dot(blended, sj) - r;
+      sq_err += err * err;
+
+      // Gradients w.r.t. the old values; Sj uses the old blended vector.
+      const double coef = lr * err;
+      for (std::size_t k = 0; k < config_.rank; ++k) {
+        const double sk = sj[k];
+        ui[k] -= coef * a * sk + lr * config_.lambda * ui[k];
+        sj[k] -= coef * blended[k] + lr * config_.lambda * sk;
+      }
+      for (const Neighbor& n : nbrs) {
+        auto uk = user_factors_.row(n.index);
+        const double w = (1.0 - a) * n.similarity;
+        for (std::size_t k = 0; k < config_.rank; ++k) {
+          // sj was just updated; the deviation is second-order in lr and
+          // standard for SGD with shared parameters.
+          uk[k] -= coef * w * sj[k];
+        }
+      }
+    }
+    ++epochs_run_;
+    const double rmse =
+        std::sqrt(sq_err / static_cast<double>(samples.size()));
+    const double improvement =
+        prev_rmse > 0.0 ? (prev_rmse - rmse) / prev_rmse : 0.0;
+    if (improvement < config_.convergence_tol) {
+      if (++stall >= config_.patience) break;
+    } else {
+      stall = 0;
+    }
+    prev_rmse = rmse;
+  }
+}
+
+double Nimf::PredictNormalized(data::UserId u, data::ServiceId s) const {
+  const auto sj = service_factors_.row(s);
+  double pred = config_.alpha * linalg::Dot(user_factors_.row(u), sj);
+  for (const Neighbor& n : neighbors_[u]) {
+    pred += (1.0 - config_.alpha) * n.similarity *
+            linalg::Dot(user_factors_.row(n.index), sj);
+  }
+  return pred;
+}
+
+double Nimf::Predict(data::UserId u, data::ServiceId s) const {
+  AMF_CHECK_MSG(!user_factors_.empty(), "Predict before Fit");
+  AMF_CHECK(u < user_factors_.rows() && s < service_factors_.rows());
+  const double r = std::clamp(PredictNormalized(u, s), 0.0, 1.0);
+  return norm_lo_ + r * (norm_hi_ - norm_lo_);
+}
+
+}  // namespace amf::cf

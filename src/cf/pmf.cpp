@@ -1,0 +1,91 @@
+#include "cf/pmf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "linalg/vector_ops.h"
+
+namespace amf::cf {
+
+Pmf::Pmf(const PmfConfig& config) : config_(config) {
+  AMF_CHECK_MSG(config_.rank > 0, "rank must be positive");
+  AMF_CHECK_MSG(config_.learn_rate > 0.0, "learn_rate must be positive");
+}
+
+void Pmf::Fit(const data::SparseMatrix& train) {
+  AMF_CHECK_MSG(train.nnz() > 0, "PMF requires a non-empty training set");
+  common::Rng rng(config_.seed);
+
+  // Min-max normalization bounds from the observed data.
+  std::vector<data::QoSSample> samples = train.ToSamples();
+  norm_lo_ = samples.front().value;
+  norm_hi_ = samples.front().value;
+  double value_sum = 0.0;
+  for (const auto& s : samples) {
+    norm_lo_ = std::min(norm_lo_, s.value);
+    norm_hi_ = std::max(norm_hi_, s.value);
+    value_sum += s.value;
+  }
+  if (norm_hi_ <= norm_lo_) norm_hi_ = norm_lo_ + 1.0;  // constant data
+  const double inv_span = 1.0 / (norm_hi_ - norm_lo_);
+  const double mean_r =
+      (value_sum / static_cast<double>(samples.size()) - norm_lo_) *
+      inv_span;
+
+  // Initialize so that the expected inner product matches the mean of the
+  // normalized data: entries Uniform(0, a) with d (a/2)^2 = mean_r.
+  const double init_scale =
+      2.0 * std::sqrt(std::max(mean_r, 1e-6) /
+                      static_cast<double>(config_.rank));
+  user_factors_.Resize(train.rows(), config_.rank);
+  for (double& v : user_factors_.data()) v = rng.Uniform() * init_scale;
+  service_factors_.Resize(train.cols(), config_.rank);
+  for (double& v : service_factors_.data()) v = rng.Uniform() * init_scale;
+
+  double prev_rmse = std::numeric_limits<double>::infinity();
+  std::size_t stall = 0;
+  epochs_run_ = 0;
+  for (std::size_t epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    rng.Shuffle(samples);
+    double sq_err = 0.0;
+    for (const data::QoSSample& sample : samples) {
+      const double r = (sample.value - norm_lo_) * inv_span;
+      auto ui = user_factors_.row(sample.user);
+      auto sj = service_factors_.row(sample.service);
+      const double err = linalg::Dot(ui, sj) - r;
+      sq_err += err * err;
+      const double coef = config_.learn_rate * err;
+      // Simultaneous update: compute both deltas from the old vectors.
+      for (std::size_t k = 0; k < config_.rank; ++k) {
+        const double uk = ui[k];
+        const double sk = sj[k];
+        ui[k] -= coef * sk + config_.learn_rate * config_.lambda * uk;
+        sj[k] -= coef * uk + config_.learn_rate * config_.lambda * sk;
+      }
+    }
+    ++epochs_run_;
+    const double rmse =
+        std::sqrt(sq_err / static_cast<double>(samples.size()));
+    final_train_rmse_ = rmse;
+    const double improvement =
+        prev_rmse > 0.0 ? (prev_rmse - rmse) / prev_rmse : 0.0;
+    if (improvement < config_.convergence_tol) {
+      if (++stall >= config_.patience) break;
+    } else {
+      stall = 0;
+    }
+    prev_rmse = rmse;
+  }
+}
+
+double Pmf::Predict(data::UserId u, data::ServiceId s) const {
+  AMF_CHECK_MSG(!user_factors_.empty(), "Predict before Fit");
+  AMF_CHECK(u < user_factors_.rows() && s < service_factors_.rows());
+  // Linear reconstruction, clamped into the observed value range.
+  const double r = std::clamp(
+      linalg::Dot(user_factors_.row(u), service_factors_.row(s)), 0.0, 1.0);
+  return norm_lo_ + r * (norm_hi_ - norm_lo_);
+}
+
+}  // namespace amf::cf

@@ -1,0 +1,140 @@
+#include "cf/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+
+namespace amf::cf {
+
+std::optional<double> PearsonCorrelation(const std::vector<double>& x,
+                                         const std::vector<double>& y) {
+  AMF_CHECK(x.size() == y.size());
+  const std::size_t n = x.size();
+  if (n < 2) return std::nullopt;
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    syy += y[i] * y[i];
+    sxy += x[i] * y[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double cov = dn * sxy - sx * sy;
+  const double vx = dn * sxx - sx * sx;
+  const double vy = dn * syy - sy * sy;
+  if (vx <= 0.0 || vy <= 0.0) return std::nullopt;
+  return cov / std::sqrt(vx * vy);
+}
+
+SimilarityMatrix::SimilarityMatrix(std::size_t n)
+    : n_(n), data_(n * n, 0.0f) {}
+
+float SimilarityMatrix::At(std::size_t i, std::size_t j) const {
+  AMF_DCHECK(i < n_ && j < n_);
+  return data_[i * n_ + j];
+}
+
+void SimilarityMatrix::Set(std::size_t i, std::size_t j, float v) {
+  AMF_DCHECK(i < n_ && j < n_);
+  data_[i * n_ + j] = v;
+  data_[j * n_ + i] = v;
+}
+
+namespace {
+
+/// PCC over the sorted-index intersection of two sparse vectors.
+/// Returns 0 when the overlap is too small or degenerate.
+float IntersectionPcc(std::span<const data::SparseEntry> a,
+                      std::span<const data::SparseEntry> b,
+                      const SimilarityOptions& opts) {
+  std::size_t i = 0, j = 0, n = 0;
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].index < b[j].index) {
+      ++i;
+    } else if (a[i].index > b[j].index) {
+      ++j;
+    } else {
+      const double x = a[i].value;
+      const double y = b[j].value;
+      sx += x;
+      sy += y;
+      sxx += x * x;
+      syy += y * y;
+      sxy += x * y;
+      ++n;
+      ++i;
+      ++j;
+    }
+  }
+  if (n < std::max<std::size_t>(2, opts.min_overlap)) return 0.0f;
+  const double dn = static_cast<double>(n);
+  const double cov = dn * sxy - sx * sy;
+  const double vx = dn * sxx - sx * sx;
+  const double vy = dn * syy - sy * sy;
+  if (vx <= 0.0 || vy <= 0.0) return 0.0f;
+  double corr = cov / std::sqrt(vx * vy);
+  if (opts.significance_gamma > 0) {
+    corr *= std::min(1.0, dn / static_cast<double>(opts.significance_gamma));
+  }
+  return static_cast<float>(std::clamp(corr, -1.0, 1.0));
+}
+
+/// All-pairs similarity between sparse vectors fetched via `get(i)`.
+template <typename GetVec>
+SimilarityMatrix AllPairs(std::size_t n, const GetVec& get,
+                          const SimilarityOptions& opts) {
+  SimilarityMatrix sim(n);
+  auto compute_row = [&](std::size_t i) {
+    const auto vi = get(i);
+    if (vi.empty()) return;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const float s = IntersectionPcc(vi, get(j), opts);
+      if (s != 0.0f) sim.Set(i, j, s);
+    }
+  };
+  if (opts.parallel && n >= 64) {
+    common::ThreadPool::Global().ParallelFor(0, n, compute_row);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) compute_row(i);
+  }
+  return sim;
+}
+
+}  // namespace
+
+SimilarityMatrix UserSimilarities(const data::SparseMatrix& m,
+                                  const SimilarityOptions& opts) {
+  return AllPairs(
+      m.rows(), [&](std::size_t i) { return m.Row(i); }, opts);
+}
+
+SimilarityMatrix ServiceSimilarities(const data::SparseMatrix& m,
+                                     const SimilarityOptions& opts) {
+  return AllPairs(
+      m.cols(), [&](std::size_t i) { return m.Col(i); }, opts);
+}
+
+std::vector<Neighbor> TopKPositiveNeighbors(
+    const SimilarityMatrix& sim, std::size_t target,
+    const std::vector<std::uint32_t>& candidates, std::size_t k) {
+  std::vector<Neighbor> all;
+  all.reserve(candidates.size());
+  for (std::uint32_t c : candidates) {
+    if (c == target) continue;
+    const float s = sim.At(target, c);
+    if (s > 0.0f) all.push_back(Neighbor{c, static_cast<double>(s)});
+  }
+  const std::size_t keep = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + keep, all.end(),
+                    [](const Neighbor& a, const Neighbor& b) {
+                      return a.similarity > b.similarity;
+                    });
+  all.resize(keep);
+  return all;
+}
+
+}  // namespace amf::cf

@@ -1,0 +1,39 @@
+#include "cf/uipcc.h"
+
+#include "common/check.h"
+
+namespace amf::cf {
+
+Uipcc::Uipcc(const UipccConfig& config)
+    : config_(config),
+      upcc_(config.neighborhood),
+      ipcc_(config.neighborhood) {
+  AMF_CHECK_MSG(config_.lambda >= 0.0 && config_.lambda <= 1.0,
+                "lambda must be in [0, 1]");
+}
+
+void Uipcc::Fit(const data::SparseMatrix& train) {
+  upcc_.Fit(train);
+  ipcc_.Fit(train);
+  means_ = MeansCache(train);
+}
+
+double Uipcc::Predict(data::UserId u, data::ServiceId s) const {
+  const auto up = upcc_.PredictWithConfidence(u, s);
+  const auto ip = ipcc_.PredictWithConfidence(u, s);
+  if (up && ip) {
+    const double wu_raw = up->confidence * config_.lambda;
+    const double wi_raw = ip->confidence * (1.0 - config_.lambda);
+    const double denom = wu_raw + wi_raw;
+    if (denom <= 0.0) {
+      return 0.5 * (up->value + ip->value);
+    }
+    const double wu = wu_raw / denom;
+    return wu * up->value + (1.0 - wu) * ip->value;
+  }
+  if (up) return up->value;
+  if (ip) return ip->value;
+  return means_.Fallback(u, s);
+}
+
+}  // namespace amf::cf

@@ -1,0 +1,39 @@
+// UIPCC: the WSRec hybrid of UPCC and IPCC (paper §V-C baseline).
+//
+// Both component predictions carry a confidence weight; they are combined
+// with a mixing parameter lambda:
+//
+//   w_u = (con_u * lambda) / (con_u * lambda + con_i * (1 - lambda))
+//   R^  = w_u * R^_UPCC + (1 - w_u) * R^_IPCC
+//
+// falling back to whichever side is available, then to scalar means.
+#pragma once
+
+#include "cf/ipcc.h"
+#include "cf/upcc.h"
+#include "eval/predictor.h"
+
+namespace amf::cf {
+
+struct UipccConfig {
+  NeighborhoodConfig neighborhood;
+  /// Mixing parameter between the user- and item-based predictions.
+  double lambda = 0.5;
+};
+
+class Uipcc : public eval::Predictor {
+ public:
+  explicit Uipcc(const UipccConfig& config = {});
+
+  std::string name() const override { return "UIPCC"; }
+  void Fit(const data::SparseMatrix& train) override;
+  double Predict(data::UserId u, data::ServiceId s) const override;
+
+ private:
+  UipccConfig config_;
+  Upcc upcc_;
+  Ipcc ipcc_;
+  MeansCache means_;
+};
+
+}  // namespace amf::cf

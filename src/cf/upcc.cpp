@@ -1,0 +1,56 @@
+#include "cf/upcc.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace amf::cf {
+
+Upcc::Upcc(const NeighborhoodConfig& config) : config_(config) {}
+
+void Upcc::Fit(const data::SparseMatrix& train) {
+  train_ = train;
+  SimilarityOptions opts;
+  opts.significance_gamma = config_.significance_gamma;
+  opts.min_overlap = config_.min_overlap;
+  user_sim_ = UserSimilarities(train_, opts);
+  means_ = MeansCache(train_);
+}
+
+std::optional<ConfidentPrediction> Upcc::PredictWithConfidence(
+    data::UserId u, data::ServiceId s) const {
+  AMF_CHECK_MSG(train_.rows() > 0, "Predict before Fit");
+  AMF_CHECK(u < train_.rows() && s < train_.cols());
+  const auto user_mean = means_.UserMean(u);
+  if (!user_mean) return std::nullopt;
+
+  // Candidate neighbors: users that observed service s.
+  std::vector<std::uint32_t> candidates;
+  for (const data::SparseEntry& e : train_.Col(s)) {
+    candidates.push_back(e.index);
+  }
+  const std::vector<Neighbor> neighbors =
+      TopKPositiveNeighbors(user_sim_, u, candidates, config_.top_k);
+  if (neighbors.empty()) return std::nullopt;
+
+  double sim_sum = 0.0;
+  for (const Neighbor& n : neighbors) sim_sum += n.similarity;
+  double deviation = 0.0;
+  double confidence = 0.0;
+  for (const Neighbor& n : neighbors) {
+    const auto value = train_.Get(n.index, s);
+    AMF_DCHECK(value.has_value());
+    const auto nb_mean = means_.UserMean(n.index);
+    AMF_DCHECK(nb_mean.has_value());
+    deviation += n.similarity * (*value - *nb_mean);
+    confidence += (n.similarity / sim_sum) * n.similarity;
+  }
+  return ConfidentPrediction{*user_mean + deviation / sim_sum, confidence};
+}
+
+double Upcc::Predict(data::UserId u, data::ServiceId s) const {
+  if (const auto p = PredictWithConfidence(u, s)) return p->value;
+  return means_.Fallback(u, s);
+}
+
+}  // namespace amf::cf

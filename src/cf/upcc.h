@@ -1,0 +1,37 @@
+// UPCC: user-based collaborative filtering (paper §V-C baseline).
+//
+// Prediction for (u, s) is the user's mean plus the similarity-weighted
+// deviation of the top-k most similar users that observed s:
+//
+//   R^(u,s) = mean(u) + sum_v sim(u,v) (R(v,s) - mean(v)) / sum_v |sim(u,v)|
+#pragma once
+
+#include "cf/neighborhood.h"
+#include "cf/similarity.h"
+#include "eval/predictor.h"
+
+namespace amf::cf {
+
+class Upcc : public eval::Predictor {
+ public:
+  explicit Upcc(const NeighborhoodConfig& config = {});
+
+  std::string name() const override { return "UPCC"; }
+  void Fit(const data::SparseMatrix& train) override;
+  double Predict(data::UserId u, data::ServiceId s) const override;
+
+  /// Prediction plus UIPCC confidence; nullopt when no usable neighborhood
+  /// exists (caller falls back).
+  std::optional<ConfidentPrediction> PredictWithConfidence(
+      data::UserId u, data::ServiceId s) const;
+
+  const MeansCache& means() const { return means_; }
+
+ private:
+  NeighborhoodConfig config_;
+  data::SparseMatrix train_;
+  SimilarityMatrix user_sim_;
+  MeansCache means_;
+};
+
+}  // namespace amf::cf

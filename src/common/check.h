@@ -1,0 +1,57 @@
+// Lightweight precondition / invariant checking.
+//
+// AMF_CHECK(cond)        -- always-on check; throws amf::common::CheckError.
+// AMF_CHECK_MSG(cond, m) -- always-on check with an extra message.
+// AMF_DCHECK(cond)       -- debug-only check (compiled out in NDEBUG builds).
+//
+// We throw instead of aborting so that library users (and tests) can treat
+// contract violations as recoverable programming errors at the API boundary.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace amf::common {
+
+/// Exception thrown when an AMF_CHECK fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream oss;
+  oss << "CHECK failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) oss << " -- " << msg;
+  throw CheckError(oss.str());
+}
+}  // namespace detail
+
+}  // namespace amf::common
+
+#define AMF_CHECK(cond)                                                   \
+  do {                                                                    \
+    if (!(cond))                                                          \
+      ::amf::common::detail::CheckFailed(#cond, __FILE__, __LINE__, "");  \
+  } while (0)
+
+#define AMF_CHECK_MSG(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream amf_check_oss_;                                  \
+      amf_check_oss_ << msg;                                              \
+      ::amf::common::detail::CheckFailed(#cond, __FILE__, __LINE__,       \
+                                         amf_check_oss_.str());           \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define AMF_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define AMF_DCHECK(cond) AMF_CHECK(cond)
+#endif

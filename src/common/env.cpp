@@ -1,0 +1,35 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace amf::common {
+
+std::string EnvString(const std::string& name, const std::string& def) {
+  const char* v = std::getenv(name.c_str());
+  return v ? std::string(v) : def;
+}
+
+std::int64_t EnvInt(const std::string& name, std::int64_t def) {
+  const char* v = std::getenv(name.c_str());
+  if (!v) return def;
+  const auto parsed = ParseInt(v);
+  return parsed ? *parsed : def;
+}
+
+double EnvDouble(const std::string& name, double def) {
+  const char* v = std::getenv(name.c_str());
+  if (!v) return def;
+  const auto parsed = ParseDouble(v);
+  return parsed ? *parsed : def;
+}
+
+bool EnvFlag(const std::string& name, bool def) {
+  const char* v = std::getenv(name.c_str());
+  if (!v) return def;
+  const std::string s = ToLower(Trim(v));
+  return s == "1" || s == "true" || s == "yes" || s == "on";
+}
+
+}  // namespace amf::common

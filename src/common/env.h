@@ -1,0 +1,22 @@
+// Environment-variable helpers used by benches and examples to override
+// experiment scale (AMF_USERS, AMF_SERVICES, AMF_ROUNDS, ...).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace amf::common {
+
+/// Returns $name, or `def` if unset.
+std::string EnvString(const std::string& name, const std::string& def);
+
+/// Returns $name parsed as int64, or `def` if unset/unparseable.
+std::int64_t EnvInt(const std::string& name, std::int64_t def);
+
+/// Returns $name parsed as double, or `def` if unset/unparseable.
+double EnvDouble(const std::string& name, double def);
+
+/// Returns true if $name is set to a truthy value ("1", "true", "yes", "on").
+bool EnvFlag(const std::string& name, bool def = false);
+
+}  // namespace amf::common

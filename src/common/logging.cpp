@@ -1,0 +1,72 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+
+#include "common/string_util.h"
+
+namespace amf::common {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+std::once_flag g_env_init;
+
+void InitFromEnv() {
+  if (const char* env = std::getenv("AMF_LOG")) {
+    g_level.store(ParseLogLevel(env));
+  }
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kWarning:
+      return "WARN ";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kDebug:
+      return "DEBUG";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+
+LogLevel GetLogLevel() {
+  std::call_once(g_env_init, InitFromEnv);
+  return g_level.load();
+}
+
+LogLevel ParseLogLevel(const std::string& s) {
+  const std::string lower = ToLower(s);
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "debug") return LogLevel::kDebug;
+  return LogLevel::kWarning;
+}
+
+namespace detail {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level_) << "] " << base << ":" << line << " ";
+}
+
+LogMessage::~LogMessage() {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::cerr << stream_.str() << "\n";
+}
+
+}  // namespace detail
+}  // namespace amf::common

@@ -1,0 +1,58 @@
+// Minimal leveled logger for library diagnostics.
+//
+// Usage:
+//   AMF_LOG(Info) << "trained " << n << " samples";
+//
+// The global level defaults to Warning so that library code is silent in
+// tests and benches unless explicitly enabled (SetLogLevel or the AMF_LOG
+// environment variable: error|warning|info|debug).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace amf::common {
+
+enum class LogLevel { kError = 0, kWarning = 1, kInfo = 2, kDebug = 3 };
+
+/// Sets the global log level.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current global log level (initialized from $AMF_LOG once).
+LogLevel GetLogLevel();
+
+/// Parses "error" / "warning" / "info" / "debug" (case-insensitive).
+/// Returns kWarning for unrecognized input.
+LogLevel ParseLogLevel(const std::string& s);
+
+namespace detail {
+
+/// Accumulates one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace amf::common
+
+#define AMF_LOG(severity)                                                  \
+  if (::amf::common::LogLevel::k##severity >                               \
+      ::amf::common::GetLogLevel()) {                                      \
+  } else                                                                   \
+    ::amf::common::detail::LogMessage(                                     \
+        ::amf::common::LogLevel::k##severity, __FILE__, __LINE__)

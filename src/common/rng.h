@@ -1,0 +1,72 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in this library takes an explicit 64-bit seed so
+// that experiments are reproducible. `Rng` wraps std::mt19937_64 seeded
+// through splitmix64 (which decorrelates nearby seeds), and provides the
+// distributions the library needs.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace amf::common {
+
+/// splitmix64 step: maps a 64-bit state to a well-mixed 64-bit output.
+/// Used to derive independent sub-seeds from a master seed.
+std::uint64_t SplitMix64(std::uint64_t& state);
+
+/// Derives a decorrelated child seed from (seed, stream_id). Deterministic.
+std::uint64_t DeriveSeed(std::uint64_t seed, std::uint64_t stream_id);
+
+/// Seeded pseudo-random generator with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0);
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::size_t Index(std::size_t n);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t Int(std::int64_t lo, std::int64_t hi);
+  /// Standard normal draw.
+  double Normal();
+  /// Normal draw with the given mean / stddev.
+  double Normal(double mean, double stddev);
+  /// Log-normal draw: exp(Normal(mu, sigma)).
+  double LogNormal(double mu, double sigma);
+  /// Bernoulli draw with probability p of true.
+  bool Bernoulli(double p);
+  /// Exponential draw with the given rate.
+  double Exponential(double rate);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = Index(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Returns a random permutation of {0, ..., n-1}.
+  std::vector<std::size_t> Permutation(std::size_t n);
+
+  /// Samples k distinct indices from {0, ..., n-1} (k <= n), in random order.
+  std::vector<std::size_t> SampleWithoutReplacement(std::size_t n,
+                                                    std::size_t k);
+
+  /// Forks an independent child generator; deterministic in (this seed, id).
+  Rng Fork(std::uint64_t stream_id) const;
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::uint64_t seed_;
+  std::mt19937_64 engine_;
+};
+
+}  // namespace amf::common

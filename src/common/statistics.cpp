@@ -1,0 +1,128 @@
+#include "common/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace amf::common {
+
+void RunningStats::Add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double n1 = static_cast<double>(count_);
+  const double n2 = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = n1 + n2;
+  mean_ += delta * n2 / n;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = Mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v.size() - 1));
+}
+
+double Median(std::vector<double> v) { return Percentile(std::move(v), 50.0); }
+
+double Percentile(std::vector<double> v, double p) {
+  AMF_CHECK_MSG(!v.empty(), "Percentile of empty sample");
+  AMF_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile out of range");
+  std::sort(v.begin(), v.end());
+  if (v.size() == 1) return v[0];
+  const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  const std::size_t lo_idx = static_cast<std::size_t>(rank);
+  const std::size_t hi_idx = std::min(lo_idx + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo_idx);
+  return v[lo_idx] * (1.0 - frac) + v[hi_idx] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bin_width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  AMF_CHECK_MSG(hi > lo, "Histogram requires hi > lo");
+  AMF_CHECK_MSG(bins > 0, "Histogram requires at least one bin");
+}
+
+void Histogram::Add(double x) {
+  std::size_t bin;
+  if (x < lo_) {
+    bin = 0;
+  } else if (x >= hi_) {
+    bin = counts_.size() - 1;
+  } else {
+    bin = static_cast<std::size_t>((x - lo_) / bin_width_);
+    bin = std::min(bin, counts_.size() - 1);
+  }
+  ++counts_[bin];
+  ++total_;
+}
+
+void Histogram::AddAll(const std::vector<double>& xs) {
+  for (double x : xs) Add(x);
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  AMF_CHECK(bin < counts_.size());
+  return counts_[bin];
+}
+
+double Histogram::density(std::size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(bin)) / static_cast<double>(total_);
+}
+
+double Histogram::bin_center(std::size_t bin) const {
+  AMF_CHECK(bin < counts_.size());
+  return lo_ + (static_cast<double>(bin) + 0.5) * bin_width_;
+}
+
+std::string Histogram::ToAscii(std::size_t width) const {
+  std::size_t max_count = 1;
+  for (std::size_t c : counts_) max_count = std::max(max_count, c);
+  std::ostringstream oss;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::size_t bar =
+        counts_[b] * width / max_count;
+    oss << FormatFixed(bin_center(b), 3) << " | ";
+    for (std::size_t i = 0; i < bar; ++i) oss << '#';
+    oss << "  (" << FormatFixed(density(b), 4) << ")\n";
+  }
+  return oss.str();
+}
+
+}  // namespace amf::common

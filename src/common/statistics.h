@@ -1,0 +1,83 @@
+// Descriptive statistics and histograms.
+//
+// Used by: dataset summaries (Fig. 6), value-distribution plots (Figs. 7/8),
+// error-distribution plots (Fig. 10), and the evaluation metrics (MRE/NPRE
+// are order statistics of the relative-error sample).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace amf::common {
+
+/// Streaming accumulator for count/mean/variance/min/max (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+  /// Merges another accumulator into this one.
+  void Merge(const RunningStats& other);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when count < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Arithmetic mean; 0 for an empty vector.
+double Mean(const std::vector<double>& v);
+
+/// Sample standard deviation (n-1); 0 when size < 2.
+double StdDev(const std::vector<double>& v);
+
+/// Median (average of the two middle order statistics for even sizes).
+/// Requires non-empty input.
+double Median(std::vector<double> v);
+
+/// p-th percentile, p in [0, 100], using linear interpolation between
+/// closest ranks. Requires non-empty input.
+double Percentile(std::vector<double> v, double p);
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into the
+/// first/last bin. Densities sum to 1 over all bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void Add(double x);
+  void AddAll(const std::vector<double>& xs);
+
+  std::size_t bins() const { return counts_.size(); }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t total() const { return total_; }
+  std::size_t count(std::size_t bin) const;
+  /// Fraction of samples in `bin` (0 when empty).
+  double density(std::size_t bin) const;
+  /// Center of `bin`.
+  double bin_center(std::size_t bin) const;
+
+  /// Renders a fixed-width ASCII bar chart (for bench output).
+  std::string ToAscii(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double bin_width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace amf::common

@@ -1,0 +1,36 @@
+// Small string helpers shared by IO, logging, and the bench harness.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace amf::common {
+
+/// Lower-cases ASCII characters.
+std::string ToLower(std::string_view s);
+
+/// Strips leading/trailing whitespace.
+std::string Trim(std::string_view s);
+
+/// Splits on a delimiter character. Empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins strings with a separator.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// Returns true if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Parses a double; returns nullopt on any trailing garbage or failure.
+std::optional<double> ParseDouble(std::string_view s);
+
+/// Parses a signed 64-bit integer; nullopt on failure.
+std::optional<std::int64_t> ParseInt(std::string_view s);
+
+/// Formats a double with fixed precision (used by table printers).
+std::string FormatFixed(double v, int precision);
+
+}  // namespace amf::common

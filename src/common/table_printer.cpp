@@ -1,0 +1,114 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace amf::common {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  AMF_CHECK_MSG(!headers_.empty(), "table needs at least one column");
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  AMF_CHECK_MSG(cells.size() == headers_.size(),
+                "row width " << cells.size() << " != header width "
+                             << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddRow(const std::string& label,
+                          const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size() + 1);
+  cells.push_back(label);
+  for (double v : values) cells.push_back(FormatFixed(v, precision));
+  AddRow(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream oss;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) oss << "  ";
+      oss << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) {
+        oss << ' ';
+      }
+    }
+    oss << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w;
+  total += 2 * (widths.size() - 1);
+  for (std::size_t i = 0; i < total; ++i) oss << '-';
+  oss << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return oss.str();
+}
+
+std::string TablePrinter::ToCsv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+      if (c == '"') out += '"';
+      out += c;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream oss;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) oss << ',';
+      oss << escape(row[c]);
+    }
+    oss << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return oss.str();
+}
+
+std::string TablePrinter::ToMarkdown() const {
+  std::ostringstream oss;
+  auto escape = [](const std::string& cell) {
+    std::string out;
+    for (char c : cell) {
+      if (c == '|') out += "\\|";
+      else out += c;
+    }
+    return out;
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    oss << "|";
+    for (const std::string& cell : row) oss << ' ' << escape(cell) << " |";
+    oss << '\n';
+  };
+  emit(headers_);
+  oss << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) oss << "---|";
+  oss << '\n';
+  for (const auto& row : rows_) emit(row);
+  return oss.str();
+}
+
+void TablePrinter::Print(std::ostream& os) const { os << ToString() << "\n"; }
+
+}  // namespace amf::common

@@ -1,0 +1,46 @@
+// Aligned plain-text table output.
+//
+// Every bench binary reports its figure/table as an aligned text table so
+// that `for b in build/bench/*; do $b; done` produces readable output and
+// the rows can be diffed against EXPERIMENTS.md.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace amf::common {
+
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` decimals.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int precision = 3);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders the table with a header separator.
+  std::string ToString() const;
+
+  /// RFC-4180-ish CSV (cells containing comma/quote/newline are quoted);
+  /// for piping bench output into plotting scripts.
+  std::string ToCsv() const;
+
+  /// GitHub-flavored Markdown table; for pasting into EXPERIMENTS.md.
+  std::string ToMarkdown() const;
+
+  /// Prints to the stream (adds a trailing newline).
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace amf::common

@@ -1,0 +1,53 @@
+// Fixed-size thread pool with a parallel-for helper.
+//
+// The IPCC baseline computes a services x services Pearson-correlation
+// matrix (4,500^2 / 2 pairs at paper scale); ParallelFor spreads the row
+// loop across hardware threads. The pool is also used by the experiment
+// harness to run independent (density, round) cells concurrently.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace amf::common {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `threads` workers (0 = hardware concurrency).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; the returned future reports completion/exceptions.
+  std::future<void> Submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [begin, end) across the pool, blocking until all
+  /// iterations complete. Work is chunked to limit scheduling overhead.
+  /// Exceptions from iterations are rethrown (the first one encountered).
+  void ParallelFor(std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t)>& fn);
+
+  /// Shared process-wide pool (created on first use).
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace amf::common

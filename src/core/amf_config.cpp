@@ -1,0 +1,19 @@
+#include "core/amf_config.h"
+
+namespace amf::core {
+
+AmfConfig MakeResponseTimeConfig(std::uint64_t seed) {
+  AmfConfig c;
+  c.seed = seed;
+  return c;
+}
+
+AmfConfig MakeThroughputConfig(std::uint64_t seed) {
+  AmfConfig c;
+  c.seed = seed;
+  c.transform.alpha = -0.05;
+  c.transform.r_max = 7000.0;
+  return c;
+}
+
+}  // namespace amf::core

@@ -1,0 +1,55 @@
+// Configuration of the adaptive matrix factorization model.
+//
+// Defaults reproduce the paper's Table-I setup: d = 10, lambda = 0.001,
+// beta = 0.3, eta = 0.8, alpha = -0.007 (RT; use MakeThroughputConfig for
+// the TP setting alpha = -0.05, Rmax = 7000).
+#pragma once
+
+#include <cstdint>
+
+#include "transform/qos_transform.h"
+
+namespace amf::core {
+
+struct AmfConfig {
+  /// Latent dimensionality d (paper: 10).
+  std::size_t rank = 10;
+  /// SGD learning rate eta (paper: 0.8).
+  double learn_rate = 0.8;
+  /// Regularization for user factors, lambda_u (paper: 0.001).
+  double lambda_user = 0.001;
+  /// Regularization for service factors, lambda_s (paper: 0.001).
+  double lambda_service = 0.001;
+  /// EMA rate beta of the per-entity error averages (paper: 0.3).
+  double beta = 0.3;
+  /// Data transformation (Box-Cox alpha, value range). Paper RT defaults.
+  transform::QoSTransformConfig transform{.alpha = -0.007,
+                                          .r_max = 20.0,
+                                          .r_min = 0.0,
+                                          .value_floor = 1e-3};
+  /// Latent factors are initialized Uniform[0, init_scale). Positive
+  /// uniform init keeps initial inner products near sigmoid mid-range.
+  double init_scale = 0.6;
+  /// Clip on |(g - r) g' / r^2| (the shared gradient coefficient of
+  /// Eqs. 16-17). The relative-error loss divides by r^2, which explodes
+  /// when the data transformation leaves normalized values near 0 (e.g.
+  /// alpha = 1 on skewed data); unclipped, overprediction gradients are
+  /// huge while underprediction gradients vanish in the sigmoid tail, and
+  /// the model spirals into g ~ 0 saturation. Rarely binds (and measurably
+  /// changes nothing) with a well-tuned alpha. <= 0 disables.
+  double gradient_clip = 0.25;
+  /// Initial per-entity average error for new users/services (paper: 1).
+  double initial_error = 1.0;
+  /// Technique 3 switch: false fixes w_u = w_s = 1/2 (ablation A2).
+  bool adaptive_weights = true;
+  std::uint64_t seed = 1;
+};
+
+/// Paper Table-I configuration for response time (this is the default).
+AmfConfig MakeResponseTimeConfig(std::uint64_t seed = 1);
+
+/// Paper Table-I configuration for throughput
+/// (alpha = -0.05, Rmax = 7000 kbps).
+AmfConfig MakeThroughputConfig(std::uint64_t seed = 1);
+
+}  // namespace amf::core

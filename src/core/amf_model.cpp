@@ -1,0 +1,212 @@
+#include "core/amf_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "linalg/vector_ops.h"
+
+namespace amf::core {
+
+namespace {
+
+AmfConfig Validate(AmfConfig c) {
+  AMF_CHECK_MSG(c.rank > 0, "rank must be positive");
+  AMF_CHECK_MSG(c.learn_rate > 0.0, "learn_rate must be positive");
+  AMF_CHECK_MSG(c.lambda_user >= 0.0 && c.lambda_service >= 0.0,
+                "regularization must be non-negative");
+  AMF_CHECK_MSG(c.beta > 0.0 && c.beta <= 1.0, "beta must be in (0, 1]");
+  AMF_CHECK_MSG(c.initial_error > 0.0, "initial_error must be positive");
+  return c;
+}
+
+}  // namespace
+
+AmfModel::AmfModel(const AmfConfig& config)
+    : config_(Validate(config)),
+      transform_(config_.transform),
+      rng_(config_.seed) {}
+
+AmfModel::AmfModel(const AmfModel& other)
+    : config_(other.config_),
+      transform_(other.transform_),
+      rng_(other.rng_),
+      user_factors_(other.user_factors_),
+      service_factors_(other.service_factors_),
+      user_error_(other.user_error_),
+      service_error_(other.service_error_),
+      updates_(other.updates()) {}
+
+AmfModel& AmfModel::operator=(const AmfModel& other) {
+  if (this == &other) return *this;
+  config_ = other.config_;
+  transform_ = other.transform_;
+  rng_ = other.rng_;
+  user_factors_ = other.user_factors_;
+  service_factors_ = other.service_factors_;
+  user_error_ = other.user_error_;
+  service_error_ = other.service_error_;
+  updates_.store(other.updates(), std::memory_order_relaxed);
+  return *this;
+}
+
+AmfModel::AmfModel(AmfModel&& other) noexcept
+    : config_(std::move(other.config_)),
+      transform_(std::move(other.transform_)),
+      rng_(std::move(other.rng_)),
+      user_factors_(std::move(other.user_factors_)),
+      service_factors_(std::move(other.service_factors_)),
+      user_error_(std::move(other.user_error_)),
+      service_error_(std::move(other.service_error_)),
+      updates_(other.updates()) {}
+
+AmfModel& AmfModel::operator=(AmfModel&& other) noexcept {
+  if (this == &other) return *this;
+  config_ = std::move(other.config_);
+  transform_ = std::move(other.transform_);
+  rng_ = std::move(other.rng_);
+  user_factors_ = std::move(other.user_factors_);
+  service_factors_ = std::move(other.service_factors_);
+  user_error_ = std::move(other.user_error_);
+  service_error_ = std::move(other.service_error_);
+  updates_.store(other.updates(), std::memory_order_relaxed);
+  return *this;
+}
+
+void AmfModel::EnsureUser(data::UserId u) {
+  while (user_error_.size() <= u) {
+    for (std::size_t k = 0; k < config_.rank; ++k) {
+      user_factors_.push_back(rng_.Uniform() * config_.init_scale);
+    }
+    user_error_.push_back(config_.initial_error);
+  }
+}
+
+void AmfModel::EnsureService(data::ServiceId s) {
+  while (service_error_.size() <= s) {
+    for (std::size_t k = 0; k < config_.rank; ++k) {
+      service_factors_.push_back(rng_.Uniform() * config_.init_scale);
+    }
+    service_error_.push_back(config_.initial_error);
+  }
+}
+
+double AmfModel::OnlineUpdate(data::UserId u, data::ServiceId s,
+                              double raw_value) {
+  EnsureUser(u);
+  EnsureService(s);
+  updates_.fetch_add(1, std::memory_order_relaxed);
+
+  const std::size_t d = config_.rank;
+  const std::span<double> ui(&user_factors_[u * d], d);
+  const std::span<double> sj(&service_factors_[s * d], d);
+
+  // Data transformation (Eqs. 3-4); r is floored away from 0.
+  const double r = transform_.Forward(raw_value);
+  const double x = linalg::Dot(ui, sj);
+  const double g = transform::Sigmoid(x);
+  const double gp = g * (1.0 - g);
+
+  // Relative error of this sample (Eq. 15).
+  const double e_us = std::abs(r - g) / r;
+
+  // Adaptive weights (Eq. 12) from the *current* entity errors.
+  double wu = 0.5;
+  double ws = 0.5;
+  if (config_.adaptive_weights) {
+    const double eu = user_error_[u];
+    const double es = service_error_[s];
+    const double sum = eu + es;
+    if (sum > 0.0) {
+      wu = eu / sum;
+      ws = es / sum;
+    }
+  }
+
+  // EMA updates of the entity errors (Eqs. 13-14).
+  user_error_[u] += config_.beta * wu * (e_us - user_error_[u]);
+  service_error_[s] += config_.beta * ws * (e_us - service_error_[s]);
+
+  // Weighted SGD step (Eqs. 16-17), simultaneous in U_u and S_s.
+  double common_coef = (g - r) * gp / (r * r);
+  if (config_.gradient_clip > 0.0) {
+    common_coef = std::clamp(common_coef, -config_.gradient_clip,
+                             config_.gradient_clip);
+  }
+  const double eta = config_.learn_rate;
+  const double cu = eta * wu;
+  const double cs = eta * ws;
+  for (std::size_t k = 0; k < d; ++k) {
+    const double uk = ui[k];
+    const double sk = sj[k];
+    ui[k] = uk - cu * (common_coef * sk + config_.lambda_user * uk);
+    sj[k] = sk - cs * (common_coef * uk + config_.lambda_service * sk);
+  }
+  return e_us;
+}
+
+double AmfModel::PredictRaw(data::UserId u, data::ServiceId s) const {
+  return transform_.Inverse(PredictNormalized(u, s));
+}
+
+double AmfModel::PredictNormalized(data::UserId u, data::ServiceId s) const {
+  AMF_CHECK_MSG(HasUser(u) && HasService(s),
+                "prediction for unregistered entity (" << u << "," << s
+                                                       << ")");
+  const std::size_t d = config_.rank;
+  const std::span<const double> ui(&user_factors_[u * d], d);
+  const std::span<const double> sj(&service_factors_[s * d], d);
+  return transform::Sigmoid(linalg::Dot(ui, sj));
+}
+
+double AmfModel::UserError(data::UserId u) const {
+  AMF_CHECK(HasUser(u));
+  return user_error_[u];
+}
+
+double AmfModel::ServiceError(data::ServiceId s) const {
+  AMF_CHECK(HasService(s));
+  return service_error_[s];
+}
+
+double AmfModel::PredictionUncertainty(data::UserId u,
+                                       data::ServiceId s) const {
+  return 0.5 * (UserError(u) + ServiceError(s));
+}
+
+std::span<const double> AmfModel::UserFactors(data::UserId u) const {
+  AMF_CHECK(HasUser(u));
+  return std::span<const double>(&user_factors_[u * config_.rank],
+                                 config_.rank);
+}
+
+std::span<const double> AmfModel::ServiceFactors(data::ServiceId s) const {
+  AMF_CHECK(HasService(s));
+  return std::span<const double>(&service_factors_[s * config_.rank],
+                                 config_.rank);
+}
+
+std::span<double> AmfModel::MutableUserFactors(data::UserId u) {
+  AMF_CHECK(HasUser(u));
+  return std::span<double>(&user_factors_[u * config_.rank], config_.rank);
+}
+
+std::span<double> AmfModel::MutableServiceFactors(data::ServiceId s) {
+  AMF_CHECK(HasService(s));
+  return std::span<double>(&service_factors_[s * config_.rank],
+                           config_.rank);
+}
+
+void AmfModel::SetUserError(data::UserId u, double e) {
+  AMF_CHECK(HasUser(u));
+  AMF_CHECK_MSG(e >= 0.0, "entity error must be non-negative");
+  user_error_[u] = e;
+}
+
+void AmfModel::SetServiceError(data::ServiceId s, double e) {
+  AMF_CHECK(HasService(s));
+  AMF_CHECK_MSG(e >= 0.0, "entity error must be non-negative");
+  service_error_[s] = e;
+}
+
+}  // namespace amf::core

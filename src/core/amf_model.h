@@ -1,0 +1,112 @@
+// AmfModel: the adaptive matrix factorization model state and its
+// per-sample online update (paper §IV-C, Eqs. 12-17).
+//
+// The model holds one latent vector and one running average error per user
+// and per service. Entities are registered dynamically (Algorithm 1 lines
+// 5-7): the model grows as new users/services appear, with freshly
+// randomized factors and initial error 1 — no retraining of anyone else.
+//
+// One OnlineUpdate(u, s, raw_value) performs:
+//   r     = normalize(boxcox(raw))                        (Eqs. 3-4)
+//   g     = sigmoid(U_u . S_s)
+//   e_us  = |r - g| / r                                   (Eq. 15)
+//   w_u   = e_u / (e_u + e_s), w_s = e_s / (e_u + e_s)    (Eq. 12)
+//   e_u  += beta w_u (e_us - e_u)  [EMA]                  (Eq. 13)
+//   e_s  += beta w_s (e_us - e_s)                         (Eq. 14)
+//   U_u  -= eta w_u ((g - r) g' S_s / r^2 + lambda_u U_u) (Eq. 16)
+//   S_s  -= eta w_s ((g - r) g' U_u / r^2 + lambda_s S_s) (Eq. 17)
+// with the two factor updates computed simultaneously from the old values.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/amf_config.h"
+#include "data/qos_types.h"
+
+namespace amf::core {
+
+class AmfModel {
+ public:
+  explicit AmfModel(const AmfConfig& config);
+
+  // Copyable/movable despite the atomic update counter (snapshot copy).
+  AmfModel(const AmfModel& other);
+  AmfModel& operator=(const AmfModel& other);
+  AmfModel(AmfModel&& other) noexcept;
+  AmfModel& operator=(AmfModel&& other) noexcept;
+
+  const AmfConfig& config() const { return config_; }
+  const transform::QoSTransform& transform() const { return transform_; }
+
+  std::size_t num_users() const { return user_error_.size(); }
+  std::size_t num_services() const { return service_error_.size(); }
+
+  /// Registers users/services up to and including the given id (no-op for
+  /// already-known entities). New factors are randomized, errors set to
+  /// config.initial_error.
+  void EnsureUser(data::UserId u);
+  void EnsureService(data::ServiceId s);
+
+  bool HasUser(data::UserId u) const { return u < num_users(); }
+  bool HasService(data::ServiceId s) const { return s < num_services(); }
+
+  /// One SGD step on an observed sample. Registers unknown entities.
+  /// Returns the pre-update relative error e_us (Eq. 15) — the trainer's
+  /// convergence signal.
+  ///
+  /// Thread-compatibility: concurrent OnlineUpdate calls are safe only if
+  /// (a) both entities are already registered (Ensure* grows storage and
+  /// must not race) and (b) callers serialize access per user and per
+  /// service (see core::ParallelReplayTrainer's striped locks).
+  double OnlineUpdate(data::UserId u, data::ServiceId s, double raw_value);
+
+  /// Predicted raw QoS value (inverse-transformed sigmoid inner product).
+  /// Both entities must be registered.
+  double PredictRaw(data::UserId u, data::ServiceId s) const;
+
+  /// Predicted normalized value g in (0, 1).
+  double PredictNormalized(data::UserId u, data::ServiceId s) const;
+
+  /// Running average error of one entity (Eq. 13/14 state).
+  double UserError(data::UserId u) const;
+  double ServiceError(data::ServiceId s) const;
+
+  /// Relative-error-scale uncertainty of a prediction: the mean of the two
+  /// entities' running errors. ~1 for never-trained entities (their error
+  /// is still at initial_error), small once both sides converged. Used by
+  /// risk-aware candidate selection.
+  double PredictionUncertainty(data::UserId u, data::ServiceId s) const;
+
+  /// Latent vectors (rank-length spans); for serialization and tests.
+  std::span<const double> UserFactors(data::UserId u) const;
+  std::span<const double> ServiceFactors(data::ServiceId s) const;
+  std::span<double> MutableUserFactors(data::UserId u);
+  std::span<double> MutableServiceFactors(data::ServiceId s);
+
+  /// Directly sets entity error state (used by serialization).
+  void SetUserError(data::UserId u, double e);
+  void SetServiceError(data::ServiceId s, double e);
+
+  /// Total online updates performed so far.
+  std::uint64_t updates() const {
+    return updates_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  AmfConfig config_;
+  transform::QoSTransform transform_;
+  common::Rng rng_;
+  // Flat [entity * rank + k] latent factor storage; grows with churn.
+  std::vector<double> user_factors_;
+  std::vector<double> service_factors_;
+  std::vector<double> user_error_;
+  std::vector<double> service_error_;
+  // Atomic so concurrent striped-lock updates may share the counter.
+  std::atomic<std::uint64_t> updates_{0};
+};
+
+}  // namespace amf::core

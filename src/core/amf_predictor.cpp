@@ -1,0 +1,45 @@
+#include "core/amf_predictor.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace amf::core {
+
+AmfPredictor::AmfPredictor(const AmfConfig& config,
+                           const TrainerConfig& trainer_config)
+    : model_(std::make_unique<AmfModel>(config)),
+      trainer_(std::make_unique<OnlineTrainer>(*model_, trainer_config)) {}
+
+std::string AmfPredictor::name() const {
+  if (!model_->config().adaptive_weights) return "AMF(fixed-w)";
+  if (model_->config().transform.alpha == 1.0) return "AMF(a=1)";
+  return "AMF";
+}
+
+void AmfPredictor::Fit(const data::SparseMatrix& train) {
+  AMF_CHECK_MSG(train.nnz() > 0, "AMF requires a non-empty training set");
+  // Register the full slice shape so Predict() covers held-out entities
+  // even if they have no training observations (cold entities keep their
+  // random factors -- exactly the paper's new-user situation).
+  if (train.rows() > 0) {
+    model_->EnsureUser(static_cast<data::UserId>(train.rows() - 1));
+  }
+  if (train.cols() > 0) {
+    model_->EnsureService(static_cast<data::ServiceId>(train.cols() - 1));
+  }
+
+  std::vector<data::QoSSample> samples = train.ToSamples();
+  common::Rng shuffle_rng(model_->config().seed ^ 0x5DEECE66DULL);
+  shuffle_rng.Shuffle(samples);
+  for (data::QoSSample& s : samples) {
+    s.timestamp = trainer_->now();  // all fresh: nothing expires during Fit
+    trainer_->Observe(s);
+  }
+  epochs_run_ = trainer_->RunUntilConverged();
+}
+
+double AmfPredictor::Predict(data::UserId u, data::ServiceId s) const {
+  return model_->PredictRaw(u, s);
+}
+
+}  // namespace amf::core

@@ -1,0 +1,47 @@
+// Adapter exposing AMF through the batch eval::Predictor interface.
+//
+// Fit() is AMF's cold start: every observed entry of the slice is fed to
+// the online trainer as a randomized stream (the paper: "the preserved
+// data entries are randomized as a QoS data stream for training"), and the
+// trainer replays until convergence. After Fit, Predict reads the model.
+// The underlying model/trainer stay accessible for warm-started,
+// incremental use (the efficiency and scalability experiments).
+#pragma once
+
+#include <memory>
+
+#include "core/amf_model.h"
+#include "core/online_trainer.h"
+#include "eval/predictor.h"
+
+namespace amf::core {
+
+class AmfPredictor : public eval::Predictor {
+ public:
+  explicit AmfPredictor(const AmfConfig& config = MakeResponseTimeConfig(),
+                        const TrainerConfig& trainer_config = {});
+
+  std::string name() const override;
+
+  /// Cold start: stream all observed entries (shuffled), replay to
+  /// convergence. Entities are registered up to the slice's shape so that
+  /// Predict works for every (u, s) in it.
+  void Fit(const data::SparseMatrix& train) override;
+
+  double Predict(data::UserId u, data::ServiceId s) const override;
+
+  AmfModel& model() { return *model_; }
+  const AmfModel& model() const { return *model_; }
+  OnlineTrainer& trainer() { return *trainer_; }
+  const OnlineTrainer& trainer() const { return *trainer_; }
+
+  /// Epochs spent by the last Fit (efficiency analysis).
+  std::size_t epochs_run() const { return epochs_run_; }
+
+ private:
+  std::unique_ptr<AmfModel> model_;
+  std::unique_ptr<OnlineTrainer> trainer_;
+  std::size_t epochs_run_ = 0;
+};
+
+}  // namespace amf::core

@@ -1,0 +1,163 @@
+#include "core/model_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace amf::core {
+
+namespace {
+
+constexpr const char* kMagic = "AMF_MODEL";
+constexpr int kVersion = 1;
+
+void ExpectToken(std::istream& is, const std::string& expected) {
+  std::string tok;
+  is >> tok;
+  AMF_CHECK_MSG(is.good() && tok == expected,
+                "model file: expected '" << expected << "', got '" << tok
+                                         << "'");
+}
+
+template <typename T>
+T ReadValue(std::istream& is, const std::string& label) {
+  ExpectToken(is, label);
+  T v{};
+  is >> v;
+  AMF_CHECK_MSG(!is.fail(), "model file: bad value for " << label);
+  return v;
+}
+
+}  // namespace
+
+void SaveModel(std::ostream& os, const AmfModel& model) {
+  const AmfConfig& c = model.config();
+  os << kMagic << " " << kVersion << "\n";
+  os << std::setprecision(17);
+  os << "rank " << c.rank << "\n";
+  os << "learn_rate " << c.learn_rate << "\n";
+  os << "lambda_user " << c.lambda_user << "\n";
+  os << "lambda_service " << c.lambda_service << "\n";
+  os << "beta " << c.beta << "\n";
+  os << "alpha " << c.transform.alpha << "\n";
+  os << "r_max " << c.transform.r_max << "\n";
+  os << "r_min " << c.transform.r_min << "\n";
+  os << "value_floor " << c.transform.value_floor << "\n";
+  os << "init_scale " << c.init_scale << "\n";
+  os << "initial_error " << c.initial_error << "\n";
+  os << "adaptive_weights " << (c.adaptive_weights ? 1 : 0) << "\n";
+  os << "seed " << c.seed << "\n";
+  os << "users " << model.num_users() << "\n";
+  os << "services " << model.num_services() << "\n";
+  for (std::size_t u = 0; u < model.num_users(); ++u) {
+    os << "u " << model.UserError(static_cast<data::UserId>(u));
+    for (double v : model.UserFactors(static_cast<data::UserId>(u))) {
+      os << " " << v;
+    }
+    os << "\n";
+  }
+  for (std::size_t s = 0; s < model.num_services(); ++s) {
+    os << "s " << model.ServiceError(static_cast<data::ServiceId>(s));
+    for (double v : model.ServiceFactors(static_cast<data::ServiceId>(s))) {
+      os << " " << v;
+    }
+    os << "\n";
+  }
+}
+
+AmfModel LoadModel(std::istream& is) {
+  ExpectToken(is, kMagic);
+  int version = 0;
+  is >> version;
+  AMF_CHECK_MSG(version == kVersion,
+                "model file: unsupported version " << version);
+
+  AmfConfig c;
+  c.rank = ReadValue<std::size_t>(is, "rank");
+  c.learn_rate = ReadValue<double>(is, "learn_rate");
+  c.lambda_user = ReadValue<double>(is, "lambda_user");
+  c.lambda_service = ReadValue<double>(is, "lambda_service");
+  c.beta = ReadValue<double>(is, "beta");
+  c.transform.alpha = ReadValue<double>(is, "alpha");
+  c.transform.r_max = ReadValue<double>(is, "r_max");
+  c.transform.r_min = ReadValue<double>(is, "r_min");
+  c.transform.value_floor = ReadValue<double>(is, "value_floor");
+  c.init_scale = ReadValue<double>(is, "init_scale");
+  c.initial_error = ReadValue<double>(is, "initial_error");
+  c.adaptive_weights = ReadValue<int>(is, "adaptive_weights") != 0;
+  c.seed = ReadValue<std::uint64_t>(is, "seed");
+  const auto users = ReadValue<std::size_t>(is, "users");
+  const auto services = ReadValue<std::size_t>(is, "services");
+
+  AmfModel model(c);
+  if (users > 0) model.EnsureUser(static_cast<data::UserId>(users - 1));
+  if (services > 0) {
+    model.EnsureService(static_cast<data::ServiceId>(services - 1));
+  }
+  for (std::size_t u = 0; u < users; ++u) {
+    ExpectToken(is, "u");
+    double err = 0.0;
+    is >> err;
+    model.SetUserError(static_cast<data::UserId>(u), err);
+    for (double& v : model.MutableUserFactors(static_cast<data::UserId>(u))) {
+      is >> v;
+    }
+    AMF_CHECK_MSG(!is.fail(), "model file: truncated user block " << u);
+  }
+  for (std::size_t s = 0; s < services; ++s) {
+    ExpectToken(is, "s");
+    double err = 0.0;
+    is >> err;
+    model.SetServiceError(static_cast<data::ServiceId>(s), err);
+    for (double& v :
+         model.MutableServiceFactors(static_cast<data::ServiceId>(s))) {
+      is >> v;
+    }
+    AMF_CHECK_MSG(!is.fail(), "model file: truncated service block " << s);
+  }
+  return model;
+}
+
+void SaveSampleStore(std::ostream& os, const SampleStore& store) {
+  os << "AMF_SAMPLES " << kVersion << " " << store.size() << "\n";
+  os << std::setprecision(17);
+  for (const data::QoSSample& s : store.samples()) {
+    os << s.slice << " " << s.user << " " << s.service << " " << s.value
+       << " " << s.timestamp << "\n";
+  }
+}
+
+void LoadSampleStore(std::istream& is, SampleStore& store) {
+  ExpectToken(is, "AMF_SAMPLES");
+  int version = 0;
+  std::size_t count = 0;
+  is >> version >> count;
+  AMF_CHECK_MSG(!is.fail() && version == kVersion,
+                "sample store file: bad header");
+  for (std::size_t i = 0; i < count; ++i) {
+    data::QoSSample s;
+    is >> s.slice >> s.user >> s.service >> s.value >> s.timestamp;
+    AMF_CHECK_MSG(!is.fail(), "sample store file: truncated at record "
+                                  << i << " of " << count);
+    store.Upsert(s);
+  }
+}
+
+void SaveModelFile(const std::string& path, const AmfModel& model) {
+  std::ofstream os(path);
+  AMF_CHECK_MSG(os.good(), "cannot open for writing: " << path);
+  SaveModel(os, model);
+  AMF_CHECK_MSG(os.good(), "write failed: " << path);
+}
+
+AmfModel LoadModelFile(const std::string& path) {
+  std::ifstream is(path);
+  AMF_CHECK_MSG(is.good(), "cannot open for reading: " << path);
+  return LoadModel(is);
+}
+
+}  // namespace amf::core

@@ -1,0 +1,34 @@
+// Model serialization: save/restore a trained AmfModel as a versioned,
+// self-describing text format. Lets the QoS prediction service persist its
+// state across restarts and ship models between processes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/amf_model.h"
+#include "core/sample_store.h"
+
+namespace amf::core {
+
+/// Writes the full model state (config, factors, entity errors).
+void SaveModel(std::ostream& os, const AmfModel& model);
+
+/// Reads a model previously written by SaveModel. Throws common::CheckError
+/// on format/version mismatch or corrupted payloads.
+AmfModel LoadModel(std::istream& is);
+
+/// File-path conveniences (throw on IO failure).
+void SaveModelFile(const std::string& path, const AmfModel& model);
+AmfModel LoadModelFile(const std::string& path);
+
+/// Persists the trainer's sample store ("existing data samples" of
+/// Algorithm 1) so an online service can resume mid-stream after a
+/// restart: one "slice user service value timestamp" record per sample.
+void SaveSampleStore(std::ostream& os, const SampleStore& store);
+
+/// Restores records written by SaveSampleStore into `store` (upserting).
+/// Throws common::CheckError on malformed input.
+void LoadSampleStore(std::istream& is, SampleStore& store);
+
+}  // namespace amf::core

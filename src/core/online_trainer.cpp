@@ -1,0 +1,96 @@
+#include "core/online_trainer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace amf::core {
+
+OnlineTrainer::OnlineTrainer(AmfModel& model, const TrainerConfig& config)
+    : model_(model), config_(config), rng_(config.seed) {
+  AMF_CHECK_MSG(config_.convergence_tol > 0.0,
+                "convergence_tol must be positive");
+  AMF_CHECK_MSG(config_.max_epochs > 0, "max_epochs must be positive");
+}
+
+void OnlineTrainer::Observe(const data::QoSSample& sample) {
+  incoming_.push_back(sample);
+}
+
+void OnlineTrainer::AdvanceTime(double now) {
+  AMF_CHECK_MSG(now >= now_, "time must be monotonic");
+  now_ = now;
+}
+
+std::size_t OnlineTrainer::ProcessIncoming() {
+  std::size_t processed = 0;
+  while (!incoming_.empty()) {
+    const data::QoSSample sample = incoming_.front();
+    incoming_.pop_front();
+    // Algorithm 1 lines 4-9: I_ij <- 1, register new entities (done inside
+    // OnlineUpdate), refresh (t_ij, R_ij), update online.
+    store_.Upsert(sample);
+    model_.OnlineUpdate(sample.user, sample.service, sample.value);
+    now_ = std::max(now_, sample.timestamp);
+    ++processed;
+  }
+  if (processed > 0) converged_ = false;
+  return processed;
+}
+
+std::optional<double> OnlineTrainer::ReplayOne() {
+  if (store_.empty()) return std::nullopt;
+  const data::QoSSample sample = store_.PickRandom(rng_);
+  if (config_.expiry_seconds > 0.0 &&
+      now_ - sample.timestamp >= config_.expiry_seconds) {
+    // Algorithm 1 line 15: the sample is obsolete, set I_ij <- 0.
+    store_.Remove(sample.user, sample.service);
+    return std::nullopt;
+  }
+  return model_.OnlineUpdate(sample.user, sample.service, sample.value);
+}
+
+std::optional<double> OnlineTrainer::ReplayEpoch() {
+  const std::size_t iters = store_.size();
+  if (iters == 0) return std::nullopt;
+  double err_sum = 0.0;
+  std::size_t applied = 0;
+  for (std::size_t i = 0; i < iters; ++i) {
+    if (const auto e = ReplayOne()) {
+      err_sum += *e;
+      ++applied;
+    }
+    if (store_.empty()) break;
+  }
+  if (applied == 0) return std::nullopt;
+  return err_sum / static_cast<double>(applied);
+}
+
+std::size_t OnlineTrainer::RunUntilConverged() {
+  ProcessIncoming();
+  converged_ = false;
+  double prev = std::numeric_limits<double>::infinity();
+  std::size_t stall = 0;
+  std::size_t epochs = 0;
+  while (epochs < config_.max_epochs) {
+    const std::optional<double> mean_err = ReplayEpoch();
+    if (!mean_err) break;  // store empty (all expired)
+    ++epochs;
+    last_epoch_error_ = *mean_err;
+    if (std::isfinite(prev) && prev > 0.0) {
+      const double improvement = (prev - *mean_err) / prev;
+      if (improvement < config_.convergence_tol) {
+        if (++stall >= config_.convergence_patience) {
+          converged_ = true;
+          break;
+        }
+      } else {
+        stall = 0;
+      }
+    }
+    prev = *mean_err;
+  }
+  return epochs;
+}
+
+}  // namespace amf::core

@@ -1,0 +1,91 @@
+// OnlineTrainer: Algorithm 1 of the paper.
+//
+//   repeat forever:
+//     if a new sample arrived:     register entities, store it, update
+//     else:                        replay a random stored sample,
+//                                  discarding it if expired
+//     if converged: wait for new data
+//
+// This class is the deterministic, externally-clocked version of that loop:
+// the caller pushes observations (Observe), advances simulated time
+// (AdvanceTime), and asks for work to happen (ProcessIncoming / Replay /
+// RunUntilConverged). Convergence is tracked as the relative improvement of
+// the mean training error across replay epochs.
+#pragma once
+
+#include <deque>
+
+#include "common/rng.h"
+#include "core/amf_model.h"
+#include "core/sample_store.h"
+
+namespace amf::core {
+
+struct TrainerConfig {
+  /// Samples older than this (seconds) are expired on replay, matching the
+  /// paper's 15-minute window. <= 0 disables expiration.
+  double expiry_seconds = 900.0;
+  /// Convergence: stop when the relative improvement of the mean epoch
+  /// error is below this ...
+  double convergence_tol = 5e-3;
+  /// ... for this many consecutive epochs.
+  std::size_t convergence_patience = 2;
+  /// Hard cap on replay epochs per RunUntilConverged call.
+  std::size_t max_epochs = 200;
+  /// Replay order randomization seed.
+  std::uint64_t seed = 7;
+};
+
+class OnlineTrainer {
+ public:
+  /// The trainer updates `model` in place; the model must outlive it.
+  OnlineTrainer(AmfModel& model, const TrainerConfig& config = {});
+
+  const TrainerConfig& config() const { return config_; }
+  const SampleStore& store() const { return store_; }
+  double now() const { return now_; }
+
+  /// Enqueues a newly observed sample (thread-compatible, not thread-safe).
+  void Observe(const data::QoSSample& sample);
+
+  /// Advances the simulated clock (timestamps of later Observe calls are
+  /// expected to be >= now).
+  void AdvanceTime(double now);
+
+  /// Drains the incoming queue: each sample is stored (I_ij <- 1) and
+  /// applied as one online update. Returns the number processed.
+  std::size_t ProcessIncoming();
+
+  /// One Algorithm-1 replay iteration: pick a random stored sample; if it
+  /// is older than the expiry window, drop it (I_ij <- 0) and return
+  /// nullopt, otherwise apply an online update and return its e_us.
+  /// Returns nullopt as well when the store is empty.
+  std::optional<double> ReplayOne();
+
+  /// One epoch = store-size replay iterations. Returns the mean e_us over
+  /// the updates actually applied (nullopt if nothing could be replayed).
+  std::optional<double> ReplayEpoch();
+
+  /// Drains incoming samples, then replays epochs until the convergence
+  /// criterion or the epoch cap is hit. Returns the number of epochs run.
+  std::size_t RunUntilConverged();
+
+  /// True after RunUntilConverged stopped due to the tolerance (as opposed
+  /// to the epoch cap or an empty store).
+  bool converged() const { return converged_; }
+
+  /// Mean training error of the last completed epoch (NaN before any).
+  double last_epoch_error() const { return last_epoch_error_; }
+
+ private:
+  AmfModel& model_;
+  TrainerConfig config_;
+  common::Rng rng_;
+  SampleStore store_;
+  std::deque<data::QoSSample> incoming_;
+  double now_ = 0.0;
+  bool converged_ = false;
+  double last_epoch_error_ = std::numeric_limits<double>::quiet_NaN();
+};
+
+}  // namespace amf::core

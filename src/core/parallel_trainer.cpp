@@ -1,0 +1,76 @@
+#include "core/parallel_trainer.h"
+
+#include <atomic>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+
+namespace amf::core {
+
+ParallelReplayTrainer::ParallelReplayTrainer(
+    AmfModel& model, const ParallelReplayConfig& config)
+    : model_(model),
+      config_(config),
+      rng_(config.seed),
+      user_locks_(std::max<std::size_t>(1, config.stripes)),
+      service_locks_(std::max<std::size_t>(1, config.stripes)),
+      pool_(std::make_unique<common::ThreadPool>(config.threads)) {}
+
+double ParallelReplayTrainer::ReplayEpoch(
+    std::span<const data::QoSSample> samples) {
+  AMF_CHECK_MSG(!samples.empty(), "ReplayEpoch over empty sample set");
+  for (const data::QoSSample& s : samples) {
+    AMF_CHECK_MSG(model_.HasUser(s.user) && model_.HasService(s.service),
+                  "entity (" << s.user << "," << s.service
+                             << ") must be registered before parallel "
+                                "replay");
+  }
+
+  std::vector<std::size_t> order = rng_.Permutation(samples.size());
+
+  std::atomic<double> err_sum{0.0};
+  pool_->ParallelFor(0, order.size(), [&](std::size_t i) {
+    const data::QoSSample& s = samples[order[i]];
+    const std::size_t ulock = s.user % user_locks_.size();
+    const std::size_t slock = s.service % service_locks_.size();
+    double e;
+    {
+      // Fixed user-then-service order keeps the acquisition acyclic.
+      std::scoped_lock lock(user_locks_[ulock], service_locks_[slock]);
+      e = model_.OnlineUpdate(s.user, s.service, s.value);
+    }
+    // fetch_add(double) needs C++20 library support; CAS loop is portable.
+    double cur = err_sum.load(std::memory_order_relaxed);
+    while (!err_sum.compare_exchange_weak(cur, cur + e,
+                                          std::memory_order_relaxed)) {
+    }
+  });
+  last_epoch_error_ =
+      err_sum.load() / static_cast<double>(samples.size());
+  return last_epoch_error_;
+}
+
+std::size_t ParallelReplayTrainer::ReplayUntilConverged(
+    std::span<const data::QoSSample> samples, double tol,
+    std::size_t patience, std::size_t max_epochs) {
+  AMF_CHECK_MSG(tol > 0.0, "tol must be positive");
+  double prev = std::numeric_limits<double>::infinity();
+  std::size_t stall = 0;
+  std::size_t epochs = 0;
+  while (epochs < max_epochs) {
+    const double err = ReplayEpoch(samples);
+    ++epochs;
+    if (std::isfinite(prev) && prev > 0.0) {
+      if ((prev - err) / prev < tol) {
+        if (++stall >= patience) break;
+      } else {
+        stall = 0;
+      }
+    }
+    prev = err;
+  }
+  return epochs;
+}
+
+}  // namespace amf::core

@@ -1,0 +1,68 @@
+#include "core/sample_store.h"
+
+#include "common/check.h"
+
+namespace amf::core {
+
+bool SampleStore::Upsert(const data::QoSSample& sample) {
+  const std::uint64_t key = Key(sample.user, sample.service);
+  auto [it, inserted] = index_.try_emplace(key, samples_.size());
+  if (inserted) {
+    samples_.push_back(sample);
+  } else {
+    samples_[it->second] = sample;
+  }
+  return inserted;
+}
+
+bool SampleStore::Remove(data::UserId u, data::ServiceId s) {
+  const auto it = index_.find(Key(u, s));
+  if (it == index_.end()) return false;
+  const std::size_t pos = it->second;
+  index_.erase(it);
+  const std::size_t last = samples_.size() - 1;
+  if (pos != last) {
+    samples_[pos] = samples_[last];
+    index_[Key(samples_[pos].user, samples_[pos].service)] = pos;
+  }
+  samples_.pop_back();
+  return true;
+}
+
+std::optional<data::QoSSample> SampleStore::Get(data::UserId u,
+                                                data::ServiceId s) const {
+  const auto it = index_.find(Key(u, s));
+  if (it == index_.end()) return std::nullopt;
+  return samples_[it->second];
+}
+
+bool SampleStore::Contains(data::UserId u, data::ServiceId s) const {
+  return index_.contains(Key(u, s));
+}
+
+const data::QoSSample& SampleStore::PickRandom(common::Rng& rng) const {
+  AMF_CHECK_MSG(!samples_.empty(), "PickRandom on empty store");
+  return samples_[rng.Index(samples_.size())];
+}
+
+std::size_t SampleStore::ExpireOlderThan(double cutoff) {
+  std::size_t expired = 0;
+  std::size_t i = 0;
+  while (i < samples_.size()) {
+    if (samples_[i].timestamp < cutoff) {
+      Remove(samples_[i].user, samples_[i].service);
+      ++expired;
+      // The swap-remove moved a new sample into position i; re-examine it.
+    } else {
+      ++i;
+    }
+  }
+  return expired;
+}
+
+void SampleStore::Clear() {
+  samples_.clear();
+  index_.clear();
+}
+
+}  // namespace amf::core

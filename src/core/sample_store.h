@@ -1,0 +1,56 @@
+// The trainer's store of "existing data samples" (Algorithm 1): the most
+// recent observed QoS value per (user, service) pair, with its observation
+// timestamp. Supports O(1) random pick (for replay), O(1) upsert, and
+// O(1) removal (expiration sets I_ij back to 0), via the classic
+// vector + swap-remove + index-map layout.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/qos_types.h"
+
+namespace amf::core {
+
+class SampleStore {
+ public:
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Inserts or refreshes the sample for (user, service). Returns true if
+  /// the pair was new (I_ij flips 0 -> 1).
+  bool Upsert(const data::QoSSample& sample);
+
+  /// Removes the sample for (user, service); true if it existed.
+  bool Remove(data::UserId u, data::ServiceId s);
+
+  /// Current sample for (user, service), if observed.
+  std::optional<data::QoSSample> Get(data::UserId u, data::ServiceId s) const;
+
+  bool Contains(data::UserId u, data::ServiceId s) const;
+
+  /// Uniformly random stored sample. Store must be non-empty.
+  const data::QoSSample& PickRandom(common::Rng& rng) const;
+
+  /// All stored samples (unspecified order).
+  const std::vector<data::QoSSample>& samples() const { return samples_; }
+
+  /// Removes every sample older than `cutoff` (timestamp < cutoff).
+  /// Returns the number expired. O(n).
+  std::size_t ExpireOlderThan(double cutoff);
+
+  void Clear();
+
+ private:
+  static std::uint64_t Key(data::UserId u, data::ServiceId s) {
+    return (static_cast<std::uint64_t>(u) << 32) | s;
+  }
+
+  std::vector<data::QoSSample> samples_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+};
+
+}  // namespace amf::core

@@ -1,0 +1,134 @@
+#include "data/csv_io.h"
+
+#include <cmath>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace amf::data {
+
+namespace {
+
+/// Splits a record on spaces, tabs, or commas; empty fields dropped.
+std::vector<std::string> Fields(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char ch : line) {
+    if (ch == ' ' || ch == '\t' || ch == ',') {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur.push_back(ch);
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+struct Record {
+  std::size_t user;
+  std::size_t service;
+  std::size_t slice;
+  double value;
+};
+
+/// Parses one record; returns false for blank/comment lines.
+bool ParseRecord(const std::string& line, std::size_t line_no, Record& rec) {
+  const std::string trimmed = common::Trim(line);
+  if (trimmed.empty() || trimmed[0] == '#') return false;
+  const std::vector<std::string> f = Fields(trimmed);
+  AMF_CHECK_MSG(f.size() == 4,
+                "line " << line_no << ": expected 4 fields, got " << f.size());
+  const auto u = common::ParseInt(f[0]);
+  const auto s = common::ParseInt(f[1]);
+  const auto t = common::ParseInt(f[2]);
+  const auto v = common::ParseDouble(f[3]);
+  AMF_CHECK_MSG(u && s && t && v, "line " << line_no << ": parse error");
+  AMF_CHECK_MSG(*u >= 0 && *s >= 0 && *t >= 0,
+                "line " << line_no << ": negative index");
+  rec = Record{static_cast<std::size_t>(*u), static_cast<std::size_t>(*s),
+               static_cast<std::size_t>(*t), *v};
+  return true;
+}
+
+}  // namespace
+
+void WriteTriplets(std::ostream& os, const QoSDataset& dataset,
+                   QoSAttribute attr, char sep) {
+  for (std::size_t t = 0; t < dataset.num_slices(); ++t) {
+    const linalg::Matrix slice =
+        dataset.DenseSlice(attr, static_cast<SliceId>(t));
+    for (std::size_t u = 0; u < slice.rows(); ++u) {
+      for (std::size_t s = 0; s < slice.cols(); ++s) {
+        const double v = slice(u, s);
+        if (!std::isfinite(v)) continue;
+        os << u << sep << s << sep << t << sep << v << '\n';
+      }
+    }
+  }
+}
+
+void WriteSliceTriplets(std::ostream& os, const SparseMatrix& slice,
+                        SliceId slice_id, char sep) {
+  for (std::size_t u = 0; u < slice.rows(); ++u) {
+    for (const SparseEntry& e : slice.Row(u)) {
+      os << u << sep << e.index << sep << slice_id << sep << e.value << '\n';
+    }
+  }
+}
+
+void ReadTriplets(std::istream& is, InMemoryDataset& dataset,
+                  QoSAttribute attr) {
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    Record rec;
+    if (!ParseRecord(line, line_no, rec)) continue;
+    AMF_CHECK_MSG(rec.user < dataset.num_users() &&
+                      rec.service < dataset.num_services() &&
+                      rec.slice < dataset.num_slices(),
+                  "line " << line_no << ": index out of dataset bounds");
+    dataset.SetValue(attr, static_cast<UserId>(rec.user),
+                     static_cast<ServiceId>(rec.service),
+                     static_cast<SliceId>(rec.slice), rec.value);
+  }
+}
+
+SparseMatrix ReadSliceTriplets(std::istream& is, std::size_t users,
+                               std::size_t services, SliceId slice_id) {
+  SparseMatrix m(users, services);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    Record rec;
+    if (!ParseRecord(line, line_no, rec)) continue;
+    if (rec.slice != slice_id) continue;
+    AMF_CHECK_MSG(rec.user < users && rec.service < services,
+                  "line " << line_no << ": index out of bounds");
+    m.Set(rec.user, rec.service, rec.value);
+  }
+  return m;
+}
+
+void WriteTripletsFile(const std::string& path, const QoSDataset& dataset,
+                       QoSAttribute attr, char sep) {
+  std::ofstream os(path);
+  AMF_CHECK_MSG(os.good(), "cannot open for writing: " << path);
+  WriteTriplets(os, dataset, attr, sep);
+  AMF_CHECK_MSG(os.good(), "write failed: " << path);
+}
+
+void ReadTripletsFile(const std::string& path, InMemoryDataset& dataset,
+                      QoSAttribute attr) {
+  std::ifstream is(path);
+  AMF_CHECK_MSG(is.good(), "cannot open for reading: " << path);
+  ReadTriplets(is, dataset, attr);
+}
+
+}  // namespace amf::data

@@ -1,0 +1,44 @@
+// Triplet-file IO, compatible with the WS-DREAM text layout
+// (one "user service slice value" record per line).
+//
+// This is the bridge to the real dataset: if a copy of the paper's data is
+// available, load it into an InMemoryDataset with these routines and every
+// experiment runs on it unchanged.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.h"
+#include "data/sparse_matrix.h"
+
+namespace amf::data {
+
+/// Writes every finite entry of one dataset attribute as
+/// "user<sep>service<sep>slice<sep>value" lines.
+void WriteTriplets(std::ostream& os, const QoSDataset& dataset,
+                   QoSAttribute attr, char sep = ' ');
+
+/// Writes one sparse slice as "user<sep>service<sep>slice<sep>value" lines.
+void WriteSliceTriplets(std::ostream& os, const SparseMatrix& slice,
+                        SliceId slice_id, char sep = ' ');
+
+/// Parses triplet lines into `dataset` for `attr`. Blank lines and lines
+/// starting with '#' are skipped. Accepts space-, tab- or comma-separated
+/// fields. Throws common::CheckError on malformed records or out-of-range
+/// indices.
+void ReadTriplets(std::istream& is, InMemoryDataset& dataset,
+                  QoSAttribute attr);
+
+/// Reads triplets of a single slice into a SparseMatrix (records whose
+/// slice differs from `slice_id` are ignored).
+SparseMatrix ReadSliceTriplets(std::istream& is, std::size_t users,
+                               std::size_t services, SliceId slice_id);
+
+/// File-path conveniences (throw on IO failure).
+void WriteTripletsFile(const std::string& path, const QoSDataset& dataset,
+                       QoSAttribute attr, char sep = ' ');
+void ReadTripletsFile(const std::string& path, InMemoryDataset& dataset,
+                      QoSAttribute attr);
+
+}  // namespace amf::data

@@ -1,0 +1,67 @@
+#include "data/dataset.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace amf::data {
+
+linalg::Matrix QoSDataset::DenseSlice(QoSAttribute attr, SliceId t) const {
+  linalg::Matrix m(num_users(), num_services());
+  for (std::size_t u = 0; u < num_users(); ++u) {
+    for (std::size_t s = 0; s < num_services(); ++s) {
+      m(u, s) = Value(attr, static_cast<UserId>(u),
+                      static_cast<ServiceId>(s), t);
+    }
+  }
+  return m;
+}
+
+InMemoryDataset::InMemoryDataset(std::size_t users, std::size_t services,
+                                 std::size_t slices)
+    : users_(users), services_(services), slices_(slices) {
+  slices_by_attr_.resize(2);
+  for (auto& per_attr : slices_by_attr_) {
+    per_attr.assign(slices, linalg::Matrix(
+        users, services, std::numeric_limits<double>::quiet_NaN()));
+  }
+}
+
+const linalg::Matrix& InMemoryDataset::Slice(QoSAttribute attr,
+                                             SliceId t) const {
+  AMF_CHECK_MSG(t < slices_, "slice out of range: " << t);
+  return slices_by_attr_[static_cast<std::size_t>(attr)][t];
+}
+
+double InMemoryDataset::Value(QoSAttribute attr, UserId u, ServiceId s,
+                              SliceId t) const {
+  const double v = Slice(attr, t)(u, s);
+  AMF_CHECK_MSG(std::isfinite(v), "Value() on missing entry ("
+                                      << u << "," << s << "," << t << ")");
+  return v;
+}
+
+linalg::Matrix InMemoryDataset::DenseSlice(QoSAttribute attr,
+                                           SliceId t) const {
+  return Slice(attr, t);
+}
+
+bool InMemoryDataset::Has(QoSAttribute attr, UserId u, ServiceId s,
+                          SliceId t) const {
+  AMF_CHECK(u < users_ && s < services_);
+  return std::isfinite(Slice(attr, t)(u, s));
+}
+
+void InMemoryDataset::SetValue(QoSAttribute attr, UserId u, ServiceId s,
+                               SliceId t, double value) {
+  AMF_CHECK(u < users_ && s < services_ && t < slices_);
+  slices_by_attr_[static_cast<std::size_t>(attr)][t](u, s) = value;
+}
+
+linalg::Matrix& InMemoryDataset::MutableSlice(QoSAttribute attr, SliceId t) {
+  AMF_CHECK(t < slices_);
+  return slices_by_attr_[static_cast<std::size_t>(attr)][t];
+}
+
+}  // namespace amf::data

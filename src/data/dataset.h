@@ -1,0 +1,69 @@
+// QoS dataset abstraction.
+//
+// A dataset is a fully-observed users x services x slices tensor per QoS
+// attribute — the "ground truth" the experiments sample from. The paper
+// uses the WS-DREAM dataset (142 x 4500 x 64); this repo substitutes a
+// calibrated synthetic generator (see synthetic.h and DESIGN.md §2) behind
+// the same interface, and can load real triplet files via csv_io.h.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "data/qos_types.h"
+#include "linalg/matrix.h"
+
+namespace amf::data {
+
+class QoSDataset {
+ public:
+  virtual ~QoSDataset() = default;
+
+  virtual std::size_t num_users() const = 0;
+  virtual std::size_t num_services() const = 0;
+  virtual std::size_t num_slices() const = 0;
+
+  /// Ground-truth QoS value for (attr, user, service, slice).
+  virtual double Value(QoSAttribute attr, UserId u, ServiceId s,
+                       SliceId t) const = 0;
+
+  /// Materializes one slice as a dense users x services matrix.
+  /// The default implementation loops over Value().
+  virtual linalg::Matrix DenseSlice(QoSAttribute attr, SliceId t) const;
+};
+
+/// Dataset held fully in memory (one dense matrix per attribute x slice).
+/// Missing entries are NaN; Value() on a missing entry is a contract error.
+class InMemoryDataset : public QoSDataset {
+ public:
+  InMemoryDataset(std::size_t users, std::size_t services,
+                  std::size_t slices);
+
+  std::size_t num_users() const override { return users_; }
+  std::size_t num_services() const override { return services_; }
+  std::size_t num_slices() const override { return slices_; }
+
+  double Value(QoSAttribute attr, UserId u, ServiceId s,
+               SliceId t) const override;
+  linalg::Matrix DenseSlice(QoSAttribute attr, SliceId t) const override;
+
+  /// Returns true if (attr, u, s, t) holds a finite value.
+  bool Has(QoSAttribute attr, UserId u, ServiceId s, SliceId t) const;
+
+  void SetValue(QoSAttribute attr, UserId u, ServiceId s, SliceId t,
+                double value);
+
+  /// Mutable access to a whole slice.
+  linalg::Matrix& MutableSlice(QoSAttribute attr, SliceId t);
+
+ private:
+  const linalg::Matrix& Slice(QoSAttribute attr, SliceId t) const;
+
+  std::size_t users_;
+  std::size_t services_;
+  std::size_t slices_;
+  // Indexed [attribute][slice].
+  std::vector<std::vector<linalg::Matrix>> slices_by_attr_;
+};
+
+}  // namespace amf::data

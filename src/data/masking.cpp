@@ -1,0 +1,55 @@
+#include "data/masking.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace amf::data {
+
+namespace {
+
+/// Indices of all finite cells, flattened row-major.
+std::vector<std::size_t> FiniteCells(const linalg::Matrix& slice) {
+  std::vector<std::size_t> cells;
+  cells.reserve(slice.size());
+  const auto data = slice.data();
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (std::isfinite(data[i])) cells.push_back(i);
+  }
+  return cells;
+}
+
+}  // namespace
+
+TrainTestSplit SplitSlice(const linalg::Matrix& slice, double density,
+                          common::Rng& rng, SliceId slice_id) {
+  AMF_CHECK_MSG(density > 0.0 && density <= 1.0,
+                "density must be in (0, 1], got " << density);
+  std::vector<std::size_t> cells = FiniteCells(slice);
+  rng.Shuffle(cells);
+  const std::size_t n_train = static_cast<std::size_t>(
+      std::llround(density * static_cast<double>(cells.size())));
+
+  TrainTestSplit split;
+  split.train = SparseMatrix(slice.rows(), slice.cols());
+  split.test.reserve(cells.size() - n_train);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const std::size_t r = cells[i] / slice.cols();
+    const std::size_t c = cells[i] % slice.cols();
+    const double v = slice(r, c);
+    if (i < n_train) {
+      split.train.Set(r, c, v);
+    } else {
+      split.test.push_back(QoSSample{slice_id, static_cast<UserId>(r),
+                                     static_cast<ServiceId>(c), v, 0.0});
+    }
+  }
+  return split;
+}
+
+SparseMatrix SampleDensity(const linalg::Matrix& slice, double density,
+                           common::Rng& rng) {
+  return SplitSlice(slice, density, rng).train;
+}
+
+}  // namespace amf::data

@@ -1,0 +1,36 @@
+// Train/test splitting at a given matrix density (paper §V-C protocol).
+//
+// "To simulate the sparse situation, we randomly remove entries from the
+//  data matrix at each time slice so that each user only keeps a few
+//  available historical values" -- we sample exactly round(density * cells)
+// entries uniformly without replacement as the observed (training) set;
+// the removed entries form the test set.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/qos_types.h"
+#include "data/sparse_matrix.h"
+#include "linalg/matrix.h"
+
+namespace amf::data {
+
+struct TrainTestSplit {
+  /// Observed entries at the requested density.
+  SparseMatrix train;
+  /// Held-out entries (ground truth) used to score predictions.
+  std::vector<QoSSample> test;
+};
+
+/// Splits a fully-observed dense slice into observed/held-out sets.
+/// `density` in (0, 1]; NaN cells (missing ground truth) are excluded from
+/// both sets. Deterministic in `rng`.
+TrainTestSplit SplitSlice(const linalg::Matrix& slice, double density,
+                          common::Rng& rng, SliceId slice_id = 0);
+
+/// Samples an observed SparseMatrix at `density` (no test set materialized).
+SparseMatrix SampleDensity(const linalg::Matrix& slice, double density,
+                           common::Rng& rng);
+
+}  // namespace amf::data

@@ -1,0 +1,15 @@
+#include "data/qos_types.h"
+
+namespace amf::data {
+
+std::string AttributeName(QoSAttribute attr) {
+  switch (attr) {
+    case QoSAttribute::kResponseTime:
+      return "RT";
+    case QoSAttribute::kThroughput:
+      return "TP";
+  }
+  return "??";
+}
+
+}  // namespace amf::data

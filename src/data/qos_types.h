@@ -1,0 +1,42 @@
+// Core identifier and sample types shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace amf::data {
+
+/// Index of a service user (a cloud application / measurement node).
+using UserId = std::uint32_t;
+/// Index of a (candidate or working) service.
+using ServiceId = std::uint32_t;
+/// Index of a time slice (paper: 64 slices at 15-minute intervals).
+using SliceId = std::uint32_t;
+
+/// QoS attributes studied in the paper's evaluation.
+enum class QoSAttribute : std::uint8_t {
+  kResponseTime = 0,  // seconds, paper range 0-20 s
+  kThroughput = 1,    // kbps, paper range 0-7000 kbps
+};
+
+inline constexpr QoSAttribute kAllAttributes[] = {
+    QoSAttribute::kResponseTime, QoSAttribute::kThroughput};
+
+/// Human-readable attribute name ("RT" / "TP").
+std::string AttributeName(QoSAttribute attr);
+
+/// One observed QoS measurement: "user u invoked service s during slice t
+/// (at time `timestamp` seconds) and observed `value`".
+struct QoSSample {
+  SliceId slice = 0;
+  UserId user = 0;
+  ServiceId service = 0;
+  double value = 0.0;
+  /// Observation wall-clock time in seconds (simulated); used for sample
+  /// expiration in Algorithm 1.
+  double timestamp = 0.0;
+
+  bool operator==(const QoSSample&) const = default;
+};
+
+}  // namespace amf::data

@@ -1,0 +1,133 @@
+#include "data/sparse_matrix.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace amf::data {
+
+SparseMatrix::SparseMatrix(std::size_t rows, std::size_t cols)
+    : row_data_(rows), col_data_(cols) {}
+
+double SparseMatrix::Density() const {
+  const std::size_t cells = rows() * cols();
+  if (cells == 0) return 0.0;
+  return static_cast<double>(nnz_) / static_cast<double>(cells);
+}
+
+void SparseMatrix::SetInVec(std::vector<SparseEntry>& vec,
+                            std::uint32_t index, double value,
+                            bool& inserted) {
+  auto it = std::lower_bound(
+      vec.begin(), vec.end(), index,
+      [](const SparseEntry& e, std::uint32_t i) { return e.index < i; });
+  if (it != vec.end() && it->index == index) {
+    it->value = value;
+    inserted = false;
+  } else {
+    vec.insert(it, SparseEntry{index, value});
+    inserted = true;
+  }
+}
+
+bool SparseMatrix::EraseInVec(std::vector<SparseEntry>& vec,
+                              std::uint32_t index) {
+  auto it = std::lower_bound(
+      vec.begin(), vec.end(), index,
+      [](const SparseEntry& e, std::uint32_t i) { return e.index < i; });
+  if (it == vec.end() || it->index != index) return false;
+  vec.erase(it);
+  return true;
+}
+
+const SparseEntry* SparseMatrix::FindInVec(
+    const std::vector<SparseEntry>& vec, std::uint32_t index) {
+  auto it = std::lower_bound(
+      vec.begin(), vec.end(), index,
+      [](const SparseEntry& e, std::uint32_t i) { return e.index < i; });
+  if (it == vec.end() || it->index != index) return nullptr;
+  return &*it;
+}
+
+void SparseMatrix::Set(std::size_t r, std::size_t c, double value) {
+  AMF_CHECK_MSG(r < rows() && c < cols(),
+                "Set out of range: (" << r << "," << c << ")");
+  bool inserted = false;
+  SetInVec(row_data_[r], static_cast<std::uint32_t>(c), value, inserted);
+  bool inserted_col = false;
+  SetInVec(col_data_[c], static_cast<std::uint32_t>(r), value, inserted_col);
+  AMF_DCHECK(inserted == inserted_col);
+  if (inserted) ++nnz_;
+}
+
+bool SparseMatrix::Erase(std::size_t r, std::size_t c) {
+  AMF_CHECK(r < rows() && c < cols());
+  const bool erased = EraseInVec(row_data_[r], static_cast<std::uint32_t>(c));
+  if (erased) {
+    EraseInVec(col_data_[c], static_cast<std::uint32_t>(r));
+    --nnz_;
+  }
+  return erased;
+}
+
+std::optional<double> SparseMatrix::Get(std::size_t r, std::size_t c) const {
+  AMF_CHECK(r < rows() && c < cols());
+  const SparseEntry* e =
+      FindInVec(row_data_[r], static_cast<std::uint32_t>(c));
+  if (!e) return std::nullopt;
+  return e->value;
+}
+
+bool SparseMatrix::Has(std::size_t r, std::size_t c) const {
+  return Get(r, c).has_value();
+}
+
+std::span<const SparseEntry> SparseMatrix::Row(std::size_t r) const {
+  AMF_CHECK(r < rows());
+  return row_data_[r];
+}
+
+std::span<const SparseEntry> SparseMatrix::Col(std::size_t c) const {
+  AMF_CHECK(c < cols());
+  return col_data_[c];
+}
+
+std::optional<double> SparseMatrix::RowMean(std::size_t r) const {
+  const auto row = Row(r);
+  if (row.empty()) return std::nullopt;
+  double s = 0.0;
+  for (const SparseEntry& e : row) s += e.value;
+  return s / static_cast<double>(row.size());
+}
+
+std::optional<double> SparseMatrix::ColMean(std::size_t c) const {
+  const auto col = Col(c);
+  if (col.empty()) return std::nullopt;
+  double s = 0.0;
+  for (const SparseEntry& e : col) s += e.value;
+  return s / static_cast<double>(col.size());
+}
+
+double SparseMatrix::GlobalMean() const {
+  if (nnz_ == 0) return 0.0;
+  double s = 0.0;
+  for (const auto& row : row_data_) {
+    for (const SparseEntry& e : row) s += e.value;
+  }
+  return s / static_cast<double>(nnz_);
+}
+
+std::vector<QoSSample> SparseMatrix::ToSamples(SliceId slice) const {
+  std::vector<QoSSample> samples;
+  samples.reserve(nnz_);
+  for (std::size_t r = 0; r < rows(); ++r) {
+    for (const SparseEntry& e : row_data_[r]) {
+      samples.push_back(QoSSample{slice, static_cast<UserId>(r),
+                                  static_cast<ServiceId>(e.index), e.value,
+                                  0.0});
+    }
+  }
+  return samples;
+}
+
+}  // namespace amf::data

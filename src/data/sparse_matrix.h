@@ -1,0 +1,78 @@
+// Sparse user x service QoS matrix.
+//
+// Stores the observed entries of one time slice. Both row (per-user) and
+// column (per-service) adjacency are maintained because the CF baselines
+// need fast access from both sides (UPCC walks user rows, IPCC service
+// columns). Entries are kept sorted by index for deterministic iteration
+// and O(log k) lookup.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "data/qos_types.h"
+
+namespace amf::data {
+
+/// (index, value) pair inside a sparse row/column.
+struct SparseEntry {
+  std::uint32_t index = 0;  // column for rows, row for columns
+  double value = 0.0;
+
+  bool operator==(const SparseEntry&) const = default;
+};
+
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+  SparseMatrix(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return row_data_.size(); }
+  std::size_t cols() const { return col_data_.size(); }
+  /// Number of stored (observed) entries.
+  std::size_t nnz() const { return nnz_; }
+  /// nnz / (rows * cols); 0 for a degenerate shape.
+  double Density() const;
+
+  /// Inserts or overwrites entry (r, c).
+  void Set(std::size_t r, std::size_t c, double value);
+
+  /// Removes entry (r, c) if present; returns whether it existed.
+  bool Erase(std::size_t r, std::size_t c);
+
+  /// Value at (r, c), or nullopt if not observed.
+  std::optional<double> Get(std::size_t r, std::size_t c) const;
+
+  bool Has(std::size_t r, std::size_t c) const;
+
+  /// Observed entries of row r, sorted by column index.
+  std::span<const SparseEntry> Row(std::size_t r) const;
+
+  /// Observed entries of column c, sorted by row index.
+  std::span<const SparseEntry> Col(std::size_t c) const;
+
+  /// Mean of the observed entries in row r / column c (nullopt if empty).
+  std::optional<double> RowMean(std::size_t r) const;
+  std::optional<double> ColMean(std::size_t c) const;
+
+  /// Mean over all observed entries (0 when empty).
+  double GlobalMean() const;
+
+  /// All observed entries as samples with the given slice id (timestamp 0).
+  std::vector<QoSSample> ToSamples(SliceId slice = 0) const;
+
+ private:
+  static void SetInVec(std::vector<SparseEntry>& vec, std::uint32_t index,
+                       double value, bool& inserted);
+  static bool EraseInVec(std::vector<SparseEntry>& vec, std::uint32_t index);
+  static const SparseEntry* FindInVec(const std::vector<SparseEntry>& vec,
+                                      std::uint32_t index);
+
+  std::vector<std::vector<SparseEntry>> row_data_;
+  std::vector<std::vector<SparseEntry>> col_data_;
+  std::size_t nnz_ = 0;
+};
+
+}  // namespace amf::data

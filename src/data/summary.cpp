@@ -1,0 +1,60 @@
+#include "data/summary.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+namespace amf::data {
+
+DatasetSummary Summarize(const QoSDataset& dataset, std::size_t max_slices) {
+  DatasetSummary out;
+  out.users = dataset.num_users();
+  out.services = dataset.num_services();
+  out.slices = dataset.num_slices();
+  const std::size_t scan =
+      max_slices == 0 ? out.slices : std::min(max_slices, out.slices);
+  out.scanned_slices = scan;
+  for (std::size_t t = 0; t < scan; ++t) {
+    for (QoSAttribute attr : kAllAttributes) {
+      const linalg::Matrix slice =
+          dataset.DenseSlice(attr, static_cast<SliceId>(t));
+      AttributeSummary& dst =
+          attr == QoSAttribute::kResponseTime ? out.rt : out.tp;
+      for (double v : slice.data()) {
+        if (std::isfinite(v)) dst.stats.Add(v);
+      }
+    }
+  }
+  return out;
+}
+
+std::string SummaryTable(const DatasetSummary& summary,
+                         double slice_interval_minutes) {
+  using common::FormatFixed;
+  common::TablePrinter table({"Statistics", "Values"});
+  table.AddRow({"#Users", std::to_string(summary.users)});
+  table.AddRow({"#Services", std::to_string(summary.services)});
+  table.AddRow({"#Time slices", std::to_string(summary.slices)});
+  table.AddRow({"#Time interval",
+                FormatFixed(slice_interval_minutes, 0) + "min"});
+  table.AddRow({"RT range", FormatFixed(summary.rt.stats.min(), 3) + " ~ " +
+                                FormatFixed(summary.rt.stats.max(), 2) +
+                                "s"});
+  table.AddRow({"RT average", FormatFixed(summary.rt.stats.mean(), 2) + "s"});
+  table.AddRow({"TP range", FormatFixed(summary.tp.stats.min(), 3) + " ~ " +
+                                FormatFixed(summary.tp.stats.max(), 1) +
+                                "kbps"});
+  table.AddRow({"TP average",
+                FormatFixed(summary.tp.stats.mean(), 2) + "kbps"});
+  std::ostringstream oss;
+  oss << table.ToString();
+  if (summary.scanned_slices < summary.slices) {
+    oss << "(statistics over the first " << summary.scanned_slices
+        << " of " << summary.slices << " slices)\n";
+  }
+  return oss.str();
+}
+
+}  // namespace amf::data

@@ -1,0 +1,32 @@
+// Dataset summary statistics -- regenerates the Fig. 6 table.
+#pragma once
+
+#include <string>
+
+#include "common/statistics.h"
+#include "data/dataset.h"
+
+namespace amf::data {
+
+struct AttributeSummary {
+  common::RunningStats stats;  ///< over all scanned values
+};
+
+struct DatasetSummary {
+  std::size_t users = 0;
+  std::size_t services = 0;
+  std::size_t slices = 0;
+  std::size_t scanned_slices = 0;
+  AttributeSummary rt;
+  AttributeSummary tp;
+};
+
+/// Scans up to `max_slices` slices (0 = all) and accumulates statistics.
+DatasetSummary Summarize(const QoSDataset& dataset,
+                         std::size_t max_slices = 0);
+
+/// Renders the Fig. 6-style statistics table.
+std::string SummaryTable(const DatasetSummary& summary,
+                         double slice_interval_minutes = 15.0);
+
+}  // namespace amf::data

@@ -1,0 +1,248 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "linalg/vector_ops.h"
+
+namespace amf::data {
+
+namespace {
+
+/// Cheap deterministic hash -> standard normal, for per-observation noise.
+/// Uses three splitmix64 rounds to mix (u, s, t) into two uniforms, then a
+/// Box-Muller cosine branch. Much faster than constructing an engine.
+double HashNormal(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                  std::uint64_t c) {
+  std::uint64_t state =
+      seed ^ (a * 0x9E3779B97F4A7C15ULL) ^ (b * 0xC2B2AE3D27D4EB4FULL) ^
+      (c * 0x165667B19E3779F9ULL);
+  const std::uint64_t u1 = common::SplitMix64(state);
+  const std::uint64_t u2 = common::SplitMix64(state);
+  // (0, 1] for the log argument; [0, 1) for the angle.
+  const double x1 =
+      (static_cast<double>(u1 >> 11) + 1.0) * 0x1.0p-53;
+  const double x2 = static_cast<double>(u2 >> 11) * 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(x1)) *
+         std::cos(2.0 * std::numbers::pi * x2);
+}
+
+}  // namespace
+
+AttributeProfile ResponseTimeProfile() {
+  AttributeProfile p;
+  p.mu = -0.2;  // exp(mu + sigma^2/2) ~ 1.3 s mean, matching Fig. 6
+  p.sd_user_bias = 0.45;
+  p.sd_service_bias = 0.5;
+  p.sd_latent = 0.55;
+  p.sd_region = 0.3;
+  p.sd_temporal = 0.25;
+  p.sd_noise = 0.2;
+  p.v_max = 20.0;
+  p.v_floor = 0.005;
+  return p;
+}
+
+AttributeProfile ThroughputProfile() {
+  AttributeProfile p;
+  p.mu = 1.55;  // exp(mu + sigma^2/2) ~ 11 kbps mean, matching Fig. 6
+  p.sd_user_bias = 0.6;
+  p.sd_service_bias = 0.7;
+  p.sd_latent = 0.7;
+  p.sd_region = 0.35;
+  p.sd_temporal = 0.3;
+  p.sd_noise = 0.25;
+  p.v_max = 7000.0;
+  p.v_floor = 0.01;
+  return p;
+}
+
+SyntheticQoSDataset::SyntheticQoSDataset(const SyntheticConfig& config)
+    : config_(config) {
+  AMF_CHECK_MSG(config_.users > 0 && config_.services > 0 &&
+                    config_.slices > 0,
+                "dataset dimensions must be positive");
+  AMF_CHECK_MSG(config_.latent_rank > 0, "latent_rank must be positive");
+  AMF_CHECK_MSG(config_.regions > 0, "regions must be positive");
+  AMF_CHECK_MSG(config_.temporal_waves > 0, "temporal_waves must be > 0");
+
+  common::Rng master(config_.seed);
+
+  // Shared region assignments (geography is attribute-independent).
+  common::Rng region_rng = master.Fork(1);
+  user_region_.resize(config_.users);
+  for (auto& r : user_region_) r = region_rng.Index(config_.regions);
+  service_region_.resize(config_.services);
+  for (auto& r : service_region_) r = region_rng.Index(config_.regions);
+
+  auto build_model = [&](const AttributeProfile& prof,
+                         std::uint64_t stream) -> AttributeModel {
+    common::Rng rng = master.Fork(stream);
+    AttributeModel m;
+
+    m.user_bias.resize(config_.users);
+    for (auto& b : m.user_bias) b = rng.Normal(0.0, prof.sd_user_bias);
+    m.service_bias.resize(config_.services);
+    for (auto& b : m.service_bias) b = rng.Normal(0.0, prof.sd_service_bias);
+
+    // Latent vectors scaled so the inner product has stddev ~ sd_latent:
+    // sum of d* products of N(0, a) N(0, a) has variance d* a^4... we use
+    // entries N(0, sqrt(sd_latent / sqrt(d*))) so Var(dot) = sd_latent^2.
+    const double d = static_cast<double>(config_.latent_rank);
+    const double entry_sd = std::sqrt(prof.sd_latent / std::sqrt(d));
+    m.user_latent.Resize(config_.users, config_.latent_rank);
+    for (double& x : m.user_latent.data()) x = rng.Normal(0.0, entry_sd);
+    m.service_latent.Resize(config_.services, config_.latent_rank);
+    for (double& x : m.service_latent.data()) x = rng.Normal(0.0, entry_sd);
+
+    m.region_effect.Resize(config_.regions, config_.regions);
+    for (double& x : m.region_effect.data()) {
+      x = rng.Normal(0.0, prof.sd_region);
+    }
+
+    auto fill_temporal = [&](std::size_t entities, std::vector<double>& amp,
+                             std::vector<double>& freq,
+                             std::vector<double>& phase) {
+      const std::size_t k = config_.temporal_waves;
+      amp.resize(entities * k);
+      freq.resize(entities * k);
+      phase.resize(entities * k);
+      for (std::size_t e = 0; e < entities; ++e) {
+        double sum_sq = 0.0;
+        for (std::size_t w = 0; w < k; ++w) {
+          const double a = rng.Uniform(0.5, 1.0);
+          amp[e * k + w] = a;
+          sum_sq += a * a;
+        }
+        // Normalize so the mixture has unit variance: Var(sum a sin) =
+        // sum a^2 / 2.
+        const double scale = 1.0 / std::sqrt(sum_sq / 2.0);
+        for (std::size_t w = 0; w < k; ++w) {
+          amp[e * k + w] *= scale;
+          freq[e * k + w] = rng.Uniform(1.0, 6.0);  // cycles per horizon
+          phase[e * k + w] =
+              rng.Uniform(0.0, 2.0 * std::numbers::pi);
+        }
+      }
+    };
+    fill_temporal(config_.users, m.user_amp, m.user_freq, m.user_phase);
+    fill_temporal(config_.services, m.svc_amp, m.svc_freq, m.svc_phase);
+    return m;
+  };
+
+  rt_model_ = build_model(config_.rt, 100);
+  tp_model_ = build_model(config_.tp, 200);
+  noise_seed_rt_ = common::DeriveSeed(config_.seed, 300);
+  noise_seed_tp_ = common::DeriveSeed(config_.seed, 301);
+}
+
+const SyntheticQoSDataset::AttributeModel& SyntheticQoSDataset::Model(
+    QoSAttribute attr) const {
+  return attr == QoSAttribute::kResponseTime ? rt_model_ : tp_model_;
+}
+
+const AttributeProfile& SyntheticQoSDataset::Profile(
+    QoSAttribute attr) const {
+  return attr == QoSAttribute::kResponseTime ? config_.rt : config_.tp;
+}
+
+double SyntheticQoSDataset::TemporalFactor(const std::vector<double>& amp,
+                                           const std::vector<double>& freq,
+                                           const std::vector<double>& phase,
+                                           std::size_t entity,
+                                           std::size_t waves, double t_frac) {
+  double v = 0.0;
+  const std::size_t base = entity * waves;
+  for (std::size_t w = 0; w < waves; ++w) {
+    v += amp[base + w] *
+         std::sin(2.0 * std::numbers::pi * freq[base + w] * t_frac +
+                  phase[base + w]);
+  }
+  return v;
+}
+
+double SyntheticQoSDataset::LogDomain(QoSAttribute attr, UserId u,
+                                      ServiceId s, SliceId t) const {
+  AMF_CHECK_MSG(u < config_.users && s < config_.services &&
+                    t < config_.slices,
+                "index out of range (" << u << "," << s << "," << t << ")");
+  const AttributeModel& m = Model(attr);
+  const AttributeProfile& prof = Profile(attr);
+  const double t_frac =
+      static_cast<double>(t) / config_.temporal_period_slices;
+  const std::uint64_t noise_seed =
+      attr == QoSAttribute::kResponseTime ? noise_seed_rt_ : noise_seed_tp_;
+
+  double y = prof.mu + m.user_bias[u] + m.service_bias[s];
+  y += linalg::Dot(m.user_latent.row(u), m.service_latent.row(s));
+  y += m.region_effect(user_region_[u], service_region_[s]);
+  y += prof.sd_temporal *
+       (TemporalFactor(m.user_amp, m.user_freq, m.user_phase, u,
+                       config_.temporal_waves, t_frac) +
+        TemporalFactor(m.svc_amp, m.svc_freq, m.svc_phase, s,
+                       config_.temporal_waves, t_frac)) /
+       std::sqrt(2.0);
+  y += prof.sd_noise * HashNormal(noise_seed, u, s, t);
+  return y;
+}
+
+double SyntheticQoSDataset::Value(QoSAttribute attr, UserId u, ServiceId s,
+                                  SliceId t) const {
+  const AttributeProfile& prof = Profile(attr);
+  return std::clamp(std::exp(LogDomain(attr, u, s, t)), prof.v_floor,
+                    prof.v_max);
+}
+
+linalg::Matrix SyntheticQoSDataset::DenseSlice(QoSAttribute attr,
+                                               SliceId t) const {
+  AMF_CHECK(t < config_.slices);
+  const AttributeModel& m = Model(attr);
+  const AttributeProfile& prof = Profile(attr);
+  const double t_frac =
+      static_cast<double>(t) / config_.temporal_period_slices;
+  const std::uint64_t noise_seed =
+      attr == QoSAttribute::kResponseTime ? noise_seed_rt_ : noise_seed_tp_;
+
+  // Precompute per-service temporal factors for this slice.
+  std::vector<double> svc_temporal(config_.services);
+  for (std::size_t s = 0; s < config_.services; ++s) {
+    svc_temporal[s] = TemporalFactor(m.svc_amp, m.svc_freq, m.svc_phase, s,
+                                     config_.temporal_waves, t_frac);
+  }
+
+  linalg::Matrix out(config_.users, config_.services);
+  const double temporal_scale = prof.sd_temporal / std::sqrt(2.0);
+  for (std::size_t u = 0; u < config_.users; ++u) {
+    const double user_part =
+        prof.mu + m.user_bias[u] +
+        temporal_scale * TemporalFactor(m.user_amp, m.user_freq,
+                                        m.user_phase, u,
+                                        config_.temporal_waves, t_frac);
+    const auto u_lat = m.user_latent.row(u);
+    const std::size_t ur = user_region_[u];
+    for (std::size_t s = 0; s < config_.services; ++s) {
+      double y = user_part + m.service_bias[s] +
+                 linalg::Dot(u_lat, m.service_latent.row(s)) +
+                 m.region_effect(ur, service_region_[s]) +
+                 temporal_scale * svc_temporal[s] +
+                 prof.sd_noise * HashNormal(noise_seed, u, s, t);
+      out(u, s) = std::clamp(std::exp(y), prof.v_floor, prof.v_max);
+    }
+  }
+  return out;
+}
+
+std::size_t SyntheticQoSDataset::UserRegion(UserId u) const {
+  AMF_CHECK(u < config_.users);
+  return user_region_[u];
+}
+
+std::size_t SyntheticQoSDataset::ServiceRegion(ServiceId s) const {
+  AMF_CHECK(s < config_.services);
+  return service_region_[s];
+}
+
+}  // namespace amf::data

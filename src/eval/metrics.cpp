@@ -1,0 +1,100 @@
+#include "eval/metrics.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/statistics.h"
+
+namespace amf::eval {
+
+Metrics ComputeMetrics(std::span<const double> predicted,
+                       std::span<const double> actual) {
+  AMF_CHECK_MSG(predicted.size() == actual.size(),
+                "prediction/truth size mismatch");
+  Metrics m;
+  m.count = predicted.size();
+  if (predicted.empty()) return m;
+
+  double abs_sum = 0.0;
+  double sq_sum = 0.0;
+  std::vector<double> rel;
+  rel.reserve(predicted.size());
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double err = predicted[i] - actual[i];
+    abs_sum += std::abs(err);
+    sq_sum += err * err;
+    if (actual[i] > 0.0) rel.push_back(std::abs(err) / actual[i]);
+  }
+  m.mae = abs_sum / static_cast<double>(predicted.size());
+  m.rmse = std::sqrt(sq_sum / static_cast<double>(predicted.size()));
+  if (!rel.empty()) {
+    m.mre = common::Median(rel);
+    m.npre = common::Percentile(std::move(rel), 90.0);
+  }
+  return m;
+}
+
+namespace {
+
+std::pair<std::vector<double>, std::vector<double>> PredictAll(
+    const Predictor& p, std::span<const data::QoSSample> test) {
+  std::vector<double> pred;
+  std::vector<double> truth;
+  pred.reserve(test.size());
+  truth.reserve(test.size());
+  for (const data::QoSSample& s : test) {
+    pred.push_back(p.Predict(s.user, s.service));
+    truth.push_back(s.value);
+  }
+  return {std::move(pred), std::move(truth)};
+}
+
+}  // namespace
+
+Metrics EvaluatePredictor(const Predictor& p,
+                          std::span<const data::QoSSample> test) {
+  const auto [pred, truth] = PredictAll(p, test);
+  return ComputeMetrics(pred, truth);
+}
+
+std::vector<double> SignedErrors(const Predictor& p,
+                                 std::span<const data::QoSSample> test) {
+  std::vector<double> errs;
+  errs.reserve(test.size());
+  for (const data::QoSSample& s : test) {
+    errs.push_back(p.Predict(s.user, s.service) - s.value);
+  }
+  return errs;
+}
+
+std::vector<double> RelativeErrors(const Predictor& p,
+                                   std::span<const data::QoSSample> test) {
+  std::vector<double> errs;
+  errs.reserve(test.size());
+  for (const data::QoSSample& s : test) {
+    if (s.value <= 0.0) continue;
+    errs.push_back(std::abs(p.Predict(s.user, s.service) - s.value) /
+                   s.value);
+  }
+  return errs;
+}
+
+Metrics AverageMetrics(std::span<const Metrics> runs) {
+  Metrics avg;
+  if (runs.empty()) return avg;
+  for (const Metrics& m : runs) {
+    avg.mae += m.mae;
+    avg.mre += m.mre;
+    avg.npre += m.npre;
+    avg.rmse += m.rmse;
+    avg.count += m.count;
+  }
+  const double n = static_cast<double>(runs.size());
+  avg.mae /= n;
+  avg.mre /= n;
+  avg.npre /= n;
+  avg.rmse /= n;
+  return avg;
+}
+
+}  // namespace amf::eval

@@ -1,0 +1,50 @@
+// Accuracy metrics (paper §V-B).
+//
+//   MAE  = mean |pred - actual|
+//   MRE  = median(|pred - actual| / actual)
+//   NPRE = 90th percentile of (|pred - actual| / actual)
+//   RMSE = sqrt(mean (pred-actual)^2)      (extra, not in the paper)
+//
+// The paper argues MAE is the wrong yardstick for QoS (wide value range)
+// and optimizes/reports relative-error metrics; we report all of them.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "data/qos_types.h"
+#include "eval/predictor.h"
+
+namespace amf::eval {
+
+struct Metrics {
+  double mae = 0.0;
+  double mre = 0.0;
+  double npre = 0.0;
+  double rmse = 0.0;
+  std::size_t count = 0;
+};
+
+/// Metrics from parallel prediction/ground-truth vectors.
+/// Entries with non-positive ground truth are excluded from the relative
+/// metrics (they cannot occur with the bundled generator, which floors
+/// values at a positive epsilon, but real data may contain zeros).
+Metrics ComputeMetrics(std::span<const double> predicted,
+                       std::span<const double> actual);
+
+/// Predicts every test sample with `p` and scores it.
+Metrics EvaluatePredictor(const Predictor& p,
+                          std::span<const data::QoSSample> test);
+
+/// Signed errors (pred - actual) for the Fig. 10 error-distribution plot.
+std::vector<double> SignedErrors(const Predictor& p,
+                                 std::span<const data::QoSSample> test);
+
+/// Pairwise relative errors |pred - actual| / actual (positive truth only).
+std::vector<double> RelativeErrors(const Predictor& p,
+                                   std::span<const data::QoSSample> test);
+
+/// Element-wise average of several metric sets (for multi-round protocols).
+Metrics AverageMetrics(std::span<const Metrics> runs);
+
+}  // namespace amf::eval

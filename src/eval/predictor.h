@@ -1,0 +1,32 @@
+// Common interface every QoS-prediction approach implements.
+//
+// The accuracy experiments (Table I, Figs. 10-12) treat each approach as a
+// black box: fit on the observed sparse slice, then predict the held-out
+// (user, service) pairs. The online approaches (AMF) additionally expose
+// incremental updates through their own APIs; Fit() is their cold-start
+// wrapper so that one protocol can score everything.
+#pragma once
+
+#include <string>
+
+#include "data/qos_types.h"
+#include "data/sparse_matrix.h"
+
+namespace amf::eval {
+
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  /// Short display name ("UPCC", "PMF", "AMF", ...).
+  virtual std::string name() const = 0;
+
+  /// Trains on the observed entries of one slice.
+  virtual void Fit(const data::SparseMatrix& train) = 0;
+
+  /// Predicts the QoS value for an unobserved (user, service) pair.
+  /// Must be callable for any indices within the fitted matrix shape.
+  virtual double Predict(data::UserId u, data::ServiceId s) const = 0;
+};
+
+}  // namespace amf::eval

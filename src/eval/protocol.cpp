@@ -1,0 +1,35 @@
+#include "eval/protocol.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/timer.h"
+
+namespace amf::eval {
+
+ProtocolResult RunProtocol(const linalg::Matrix& slice,
+                           const ProtocolConfig& config,
+                           const PredictorFactory& factory) {
+  AMF_CHECK_MSG(config.rounds > 0, "protocol needs at least one round");
+  ProtocolResult result;
+  result.rounds.reserve(config.rounds);
+  common::Rng master(config.seed);
+
+  for (std::size_t round = 0; round < config.rounds; ++round) {
+    common::Rng mask_rng = master.Fork(2 * round);
+    const data::TrainTestSplit split =
+        data::SplitSlice(slice, config.density, mask_rng);
+    std::unique_ptr<Predictor> predictor =
+        factory(common::DeriveSeed(config.seed, 2 * round + 1));
+    AMF_CHECK_MSG(predictor != nullptr, "factory returned null predictor");
+
+    common::Stopwatch watch;
+    predictor->Fit(split.train);
+    result.fit_seconds += watch.ElapsedSeconds();
+
+    result.rounds.push_back(EvaluatePredictor(*predictor, split.test));
+  }
+  result.average = AverageMetrics(result.rounds);
+  return result;
+}
+
+}  // namespace amf::eval

@@ -1,0 +1,41 @@
+// The Table-I evaluation protocol: for a fully-observed slice, sample an
+// observed set at a target density, fit an approach, score on the removed
+// entries, and average over rounds with different random seeds.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "data/masking.h"
+#include "eval/metrics.h"
+#include "eval/predictor.h"
+#include "linalg/matrix.h"
+
+namespace amf::eval {
+
+/// Builds a fresh predictor for one round; `seed` varies per round so that
+/// stochastic approaches (PMF/AMF initialization, AMF replay order) are
+/// averaged over their randomness, exactly like the paper's "20 times with
+/// different random seeds".
+using PredictorFactory =
+    std::function<std::unique_ptr<Predictor>(std::uint64_t seed)>;
+
+struct ProtocolConfig {
+  double density = 0.1;       ///< observed fraction, (0, 1]
+  std::size_t rounds = 1;     ///< independent mask/seed repetitions
+  std::uint64_t seed = 1;     ///< master seed
+};
+
+struct ProtocolResult {
+  Metrics average;               ///< metrics averaged over rounds
+  std::vector<Metrics> rounds;   ///< per-round metrics
+  double fit_seconds = 0.0;      ///< total Fit() wall time over all rounds
+};
+
+/// Runs the protocol on one dense ground-truth slice.
+ProtocolResult RunProtocol(const linalg::Matrix& slice,
+                           const ProtocolConfig& config,
+                           const PredictorFactory& factory);
+
+}  // namespace amf::eval

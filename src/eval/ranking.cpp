@@ -1,0 +1,93 @@
+#include "eval/ranking.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace amf::eval {
+
+std::vector<std::size_t> RankByValue(std::span<const double> values,
+                                     bool smaller_is_better) {
+  std::vector<std::size_t> order(values.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return smaller_is_better ? values[a] < values[b]
+                                              : values[a] > values[b];
+                   });
+  return order;
+}
+
+SelectionMetrics EvaluateSelection(const Predictor& p, data::UserId user,
+                                   std::span<const data::ServiceId> candidates,
+                                   std::span<const double> truth,
+                                   std::size_t k, bool smaller_is_better) {
+  AMF_CHECK_MSG(!candidates.empty(), "need at least one candidate");
+  AMF_CHECK_MSG(candidates.size() == truth.size(),
+                "candidates/truth size mismatch");
+  AMF_CHECK_MSG(k >= 1, "k must be >= 1");
+
+  std::vector<double> predicted(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    predicted[i] = p.Predict(user, candidates[i]);
+  }
+  const std::vector<std::size_t> pred_order =
+      RankByValue(predicted, smaller_is_better);
+  const std::vector<std::size_t> true_order =
+      RankByValue(truth, smaller_is_better);
+
+  SelectionMetrics m;
+  const std::size_t picked = pred_order.front();
+  const std::size_t best = true_order.front();
+  // Ties in truth count as hits (either pick is equally good).
+  m.top1_hit = truth[picked] == truth[best];
+
+  if (truth[best] > 0.0) {
+    m.relative_regret =
+        smaller_is_better
+            ? (truth[picked] - truth[best]) / truth[best]
+            : (truth[best] - truth[picked]) / truth[best];
+    m.relative_regret = std::max(0.0, m.relative_regret);
+  }
+
+  // Graded relevance from the true ranking: best candidate gets n, next
+  // n-1, ... (exponential gains overweight the head too much for n-way
+  // selection; linear-by-rank is standard for this use).
+  const std::size_t n = candidates.size();
+  std::vector<double> relevance(n, 0.0);
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    relevance[true_order[pos]] = static_cast<double>(n - pos);
+  }
+  const std::size_t cutoff = std::min(k, n);
+  auto dcg = [&](const std::vector<std::size_t>& order) {
+    double sum = 0.0;
+    for (std::size_t pos = 0; pos < cutoff; ++pos) {
+      sum += relevance[order[pos]] /
+             std::log2(static_cast<double>(pos) + 2.0);
+    }
+    return sum;
+  };
+  const double ideal = dcg(true_order);
+  m.ndcg_at_k = ideal > 0.0 ? dcg(pred_order) / ideal : 0.0;
+  return m;
+}
+
+SelectionSummary Aggregate(std::span<const SelectionMetrics> results) {
+  SelectionSummary s;
+  s.decisions = results.size();
+  if (results.empty()) return s;
+  for (const SelectionMetrics& m : results) {
+    s.top1_hit_rate += m.top1_hit ? 1.0 : 0.0;
+    s.mean_relative_regret += m.relative_regret;
+    s.mean_ndcg_at_k += m.ndcg_at_k;
+  }
+  const double n = static_cast<double>(results.size());
+  s.top1_hit_rate /= n;
+  s.mean_relative_regret /= n;
+  s.mean_ndcg_at_k /= n;
+  return s;
+}
+
+}  // namespace amf::eval

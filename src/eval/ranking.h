@@ -1,0 +1,54 @@
+// Candidate-ranking evaluation.
+//
+// The end use of QoS prediction in this paper is a *decision*: given a
+// task's functionally equivalent candidates, bind the one with the best
+// QoS. These metrics score that decision directly: did the predictor's
+// top pick coincide with the true best (top-1 hit)? How much worse is the
+// picked candidate than the true best (relative regret)? How well does
+// the whole predicted ranking agree with the true one (NDCG@k)?
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "data/qos_types.h"
+#include "eval/predictor.h"
+
+namespace amf::eval {
+
+/// Indices into `values`, sorted best-first. For QoS attributes like
+/// response time `smaller_is_better` is true; for throughput it is false.
+std::vector<std::size_t> RankByValue(std::span<const double> values,
+                                     bool smaller_is_better);
+
+struct SelectionMetrics {
+  /// Predicted-best candidate is the true best.
+  bool top1_hit = false;
+  /// (true value of predicted-best - true best value) / true best value,
+  /// for smaller-is-better attributes (mirrored otherwise). 0 = optimal.
+  double relative_regret = 0.0;
+  /// Normalized discounted cumulative gain of the predicted ranking at
+  /// cutoff k, in [0, 1]; 1 = perfect order.
+  double ndcg_at_k = 0.0;
+};
+
+/// Scores one selection decision. `truth[i]` is the true QoS of
+/// `candidates[i]`; predictions come from `p.Predict(user, candidates[i])`.
+/// Requires at least one candidate and, for regret, positive truths.
+SelectionMetrics EvaluateSelection(const Predictor& p, data::UserId user,
+                                   std::span<const data::ServiceId> candidates,
+                                   std::span<const double> truth,
+                                   std::size_t k,
+                                   bool smaller_is_better = true);
+
+/// Aggregate of many selection decisions.
+struct SelectionSummary {
+  double top1_hit_rate = 0.0;
+  double mean_relative_regret = 0.0;
+  double mean_ndcg_at_k = 0.0;
+  std::size_t decisions = 0;
+};
+
+SelectionSummary Aggregate(std::span<const SelectionMetrics> results);
+
+}  // namespace amf::eval

@@ -1,0 +1,71 @@
+#include "exp/approaches.h"
+
+#include "cf/ipcc.h"
+#include "cf/nimf.h"
+#include "cf/pmf.h"
+#include "cf/uipcc.h"
+#include "cf/upcc.h"
+#include "common/check.h"
+#include "core/amf_predictor.h"
+
+namespace amf::exp {
+
+std::vector<std::string> StandardApproaches() {
+  return {"UPCC", "IPCC", "UIPCC", "PMF", "AMF"};
+}
+
+core::AmfConfig AmfConfigFor(data::QoSAttribute attr, std::uint64_t seed) {
+  return attr == data::QoSAttribute::kResponseTime
+             ? core::MakeResponseTimeConfig(seed)
+             : core::MakeThroughputConfig(seed);
+}
+
+eval::PredictorFactory MakeFactory(const std::string& name,
+                                   data::QoSAttribute attr) {
+  if (name == "UPCC") {
+    return [](std::uint64_t) { return std::make_unique<cf::Upcc>(); };
+  }
+  if (name == "IPCC") {
+    return [](std::uint64_t) { return std::make_unique<cf::Ipcc>(); };
+  }
+  if (name == "UIPCC") {
+    return [](std::uint64_t) { return std::make_unique<cf::Uipcc>(); };
+  }
+  if (name == "PMF") {
+    return [](std::uint64_t seed) {
+      cf::PmfConfig cfg;
+      cfg.seed = seed;
+      return std::make_unique<cf::Pmf>(cfg);
+    };
+  }
+  if (name == "NIMF") {
+    return [](std::uint64_t seed) {
+      cf::NimfConfig cfg;
+      cfg.seed = seed;
+      return std::make_unique<cf::Nimf>(cfg);
+    };
+  }
+  if (name == "AMF") {
+    return [attr](std::uint64_t seed) {
+      return std::make_unique<core::AmfPredictor>(AmfConfigFor(attr, seed));
+    };
+  }
+  if (name == "AMF(a=1)") {
+    return [attr](std::uint64_t seed) {
+      core::AmfConfig cfg = AmfConfigFor(attr, seed);
+      cfg.transform.alpha = 1.0;  // Box-Cox masked: plain normalization
+      return std::make_unique<core::AmfPredictor>(cfg);
+    };
+  }
+  if (name == "AMF(fixed-w)") {
+    return [attr](std::uint64_t seed) {
+      core::AmfConfig cfg = AmfConfigFor(attr, seed);
+      cfg.adaptive_weights = false;
+      return std::make_unique<core::AmfPredictor>(cfg);
+    };
+  }
+  AMF_CHECK_MSG(false, "unknown approach: " << name);
+  return {};
+}
+
+}  // namespace amf::exp

@@ -1,0 +1,29 @@
+// Approach registry: maps the names used in the paper's tables/figures to
+// predictor factories, wiring the per-attribute AMF configuration
+// (alpha = -0.007 / Rmax = 20 for RT; alpha = -0.05 / Rmax = 7000 for TP).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/amf_config.h"
+#include "data/qos_types.h"
+#include "eval/protocol.h"
+
+namespace amf::exp {
+
+/// The Table-I comparison set, in paper order.
+std::vector<std::string> StandardApproaches();
+
+/// AMF configuration for an attribute (paper Table-I parameters).
+core::AmfConfig AmfConfigFor(data::QoSAttribute attr, std::uint64_t seed);
+
+/// Factory for one named approach:
+///   "UPCC", "IPCC", "UIPCC", "PMF", "NIMF", "AMF",
+///   "AMF(a=1)"     data transformation relaxed to linear normalization,
+///   "AMF(fixed-w)" adaptive weights disabled (w_u = w_s = 1/2).
+/// Throws common::CheckError for unknown names.
+eval::PredictorFactory MakeFactory(const std::string& name,
+                                   data::QoSAttribute attr);
+
+}  // namespace amf::exp

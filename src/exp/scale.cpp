@@ -1,0 +1,76 @@
+#include "exp/scale.h"
+
+#include <sstream>
+
+#include "common/check.h"
+#include "common/env.h"
+#include "common/string_util.h"
+
+namespace amf::exp {
+
+ExperimentScale PaperScale() { return ExperimentScale{}; }
+
+ExperimentScale SmallScale() {
+  ExperimentScale s;
+  s.users = 60;
+  s.services = 500;
+  s.slices = 16;
+  s.rounds = 1;
+  return s;
+}
+
+ExperimentScale ApplyEnvOverrides(ExperimentScale base) {
+  base.users = static_cast<std::size_t>(
+      common::EnvInt("AMF_USERS", static_cast<std::int64_t>(base.users)));
+  base.services = static_cast<std::size_t>(common::EnvInt(
+      "AMF_SERVICES", static_cast<std::int64_t>(base.services)));
+  base.slices = static_cast<std::size_t>(
+      common::EnvInt("AMF_SLICES", static_cast<std::int64_t>(base.slices)));
+  base.rounds = static_cast<std::size_t>(
+      common::EnvInt("AMF_ROUNDS", static_cast<std::int64_t>(base.rounds)));
+  base.seed = static_cast<std::uint64_t>(
+      common::EnvInt("AMF_SEED", static_cast<std::int64_t>(base.seed)));
+  const std::string densities = common::EnvString("AMF_DENSITIES", "");
+  if (!densities.empty()) {
+    std::vector<double> parsed;
+    for (const std::string& part : common::Split(densities, ',')) {
+      const auto d = common::ParseDouble(part);
+      AMF_CHECK_MSG(d && *d > 0.0 && *d <= 1.0,
+                    "bad AMF_DENSITIES entry: " << part);
+      parsed.push_back(*d);
+    }
+    base.densities = std::move(parsed);
+  }
+  AMF_CHECK_MSG(base.users > 0 && base.services > 0 && base.slices > 0 &&
+                    base.rounds > 0,
+                "scale fields must be positive");
+  return base;
+}
+
+ExperimentScale ScaleFromEnv() {
+  const std::string preset =
+      common::ToLower(common::EnvString("AMF_SCALE", "paper"));
+  ExperimentScale base =
+      preset == "small" ? SmallScale() : PaperScale();
+  return ApplyEnvOverrides(base);
+}
+
+std::shared_ptr<data::SyntheticQoSDataset> MakeDataset(
+    const ExperimentScale& scale) {
+  data::SyntheticConfig cfg;
+  cfg.users = scale.users;
+  cfg.services = scale.services;
+  cfg.slices = scale.slices;
+  cfg.seed = scale.seed;
+  return std::make_shared<data::SyntheticQoSDataset>(cfg);
+}
+
+std::string Describe(const ExperimentScale& scale) {
+  std::ostringstream oss;
+  oss << scale.users << " users x " << scale.services << " services x "
+      << scale.slices << " slices, " << scale.rounds << " round(s), seed "
+      << scale.seed;
+  return oss.str();
+}
+
+}  // namespace amf::exp

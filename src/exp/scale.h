@@ -1,0 +1,51 @@
+// Experiment scale control shared by every bench binary.
+//
+// Defaults are the paper's scale (142 users x 4500 services x 64 slices);
+// environment variables override them so the full suite can be dialed up
+// or down without recompiling:
+//
+//   AMF_SCALE=small      preset quick scale (60 x 500 x 16, 1 round)
+//   AMF_USERS, AMF_SERVICES, AMF_SLICES, AMF_ROUNDS, AMF_SEED   integers
+//   AMF_DENSITIES        comma list, e.g. "0.1,0.3,0.5"
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+
+namespace amf::exp {
+
+struct ExperimentScale {
+  std::size_t users = 142;
+  std::size_t services = 4500;
+  std::size_t slices = 64;
+  /// Mask/seed repetitions per protocol cell (paper: 20).
+  std::size_t rounds = 1;
+  std::vector<double> densities = {0.10, 0.20, 0.30, 0.40, 0.50};
+  std::uint64_t seed = 2014;
+};
+
+/// Paper-scale defaults.
+ExperimentScale PaperScale();
+
+/// Fast preset for smoke runs.
+ExperimentScale SmallScale();
+
+/// PaperScale/SmallScale chosen by $AMF_SCALE, then field-wise env
+/// overrides applied.
+ExperimentScale ScaleFromEnv();
+
+/// Like ScaleFromEnv but starting from a custom base (benches with their
+/// own affordable defaults, e.g. fig13).
+ExperimentScale ApplyEnvOverrides(ExperimentScale base);
+
+/// Builds the standard synthetic dataset for a scale.
+std::shared_ptr<data::SyntheticQoSDataset> MakeDataset(
+    const ExperimentScale& scale);
+
+/// One-line description for bench headers.
+std::string Describe(const ExperimentScale& scale);
+
+}  // namespace amf::exp

@@ -1,0 +1,96 @@
+#include "forecast/autoregressive.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace amf::forecast {
+
+std::vector<double> LevinsonDurbin(const std::vector<double>& rho) {
+  AMF_CHECK_MSG(rho.size() >= 2, "need rho[0..p] with p >= 1");
+  AMF_CHECK_MSG(std::abs(rho[0] - 1.0) < 1e-9, "rho[0] must be 1");
+  const std::size_t p = rho.size() - 1;
+  std::vector<double> phi(p, 0.0);
+  std::vector<double> prev(p, 0.0);
+  double error = 1.0;  // normalized innovation variance
+  for (std::size_t k = 1; k <= p; ++k) {
+    double acc = rho[k];
+    for (std::size_t j = 1; j < k; ++j) {
+      acc -= prev[j - 1] * rho[k - j];
+    }
+    if (error <= 1e-12) {
+      // Perfectly predictable (or degenerate) series: stop here; higher
+      // coefficients stay zero.
+      for (std::size_t j = 0; j < k - 1; ++j) phi[j] = prev[j];
+      return phi;
+    }
+    const double reflection = acc / error;
+    phi[k - 1] = reflection;
+    for (std::size_t j = 1; j < k; ++j) {
+      phi[j - 1] = prev[j - 1] - reflection * prev[k - 1 - j];
+    }
+    error *= (1.0 - reflection * reflection);
+    for (std::size_t j = 0; j < k; ++j) prev[j] = phi[j];
+  }
+  return phi;
+}
+
+AutoRegressive::AutoRegressive(std::size_t p, std::size_t window)
+    : p_(p), window_(window) {
+  AMF_CHECK_MSG(p_ >= 1, "AR order must be >= 1");
+  AMF_CHECK_MSG(window_ >= 2 * p_ + 2,
+                "window too small for the requested order");
+}
+
+std::string AutoRegressive::name() const {
+  return "AR(" + std::to_string(p_) + ")";
+}
+
+void AutoRegressive::Observe(double value) {
+  buffer_.push_back(value);
+  if (buffer_.size() > window_) buffer_.pop_front();
+  ++count_;
+}
+
+double AutoRegressive::Forecast() const {
+  AMF_CHECK_MSG(!buffer_.empty(), "Forecast before any observation");
+  const std::size_t n = buffer_.size();
+  // Too little data for a stable fit: fall back to the window mean.
+  double mean = 0.0;
+  for (double v : buffer_) mean += v;
+  mean /= static_cast<double>(n);
+  if (n < 2 * p_ + 2) {
+    last_phi_.assign(p_, 0.0);
+    return mean;
+  }
+
+  // Autocorrelation estimates rho[0..p] on the demeaned window.
+  std::vector<double> x(buffer_.begin(), buffer_.end());
+  for (double& v : x) v -= mean;
+  double c0 = 0.0;
+  for (double v : x) c0 += v * v;
+  if (c0 <= 1e-12) {
+    last_phi_.assign(p_, 0.0);
+    return mean;  // constant series
+  }
+  std::vector<double> rho(p_ + 1, 0.0);
+  rho[0] = 1.0;
+  for (std::size_t k = 1; k <= p_; ++k) {
+    double ck = 0.0;
+    for (std::size_t t = k; t < n; ++t) ck += x[t] * x[t - k];
+    rho[k] = ck / c0;
+  }
+
+  last_phi_ = LevinsonDurbin(rho);
+  double pred = 0.0;
+  for (std::size_t j = 0; j < p_; ++j) {
+    pred += last_phi_[j] * x[n - 1 - j];
+  }
+  return mean + pred;
+}
+
+std::unique_ptr<Forecaster> AutoRegressive::Clone() const {
+  return std::make_unique<AutoRegressive>(p_, window_);
+}
+
+}  // namespace amf::forecast

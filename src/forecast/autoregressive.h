@@ -1,0 +1,46 @@
+// AR(p) forecaster fit online by Yule-Walker / Levinson-Durbin.
+//
+// Maintains a sliding window of the series; on each forecast request the
+// autocorrelation is estimated over the window and the AR coefficients
+// solved by the Levinson-Durbin recursion (O(p^2), p is small). This is
+// the "linear time series modeling" family of the paper's related work
+// [8] (Amin et al. use ARIMA/GARCH; a windowed AR(p) captures the linear
+// part and is the right cost for per-invocation use).
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "forecast/forecaster.h"
+
+namespace amf::forecast {
+
+/// Solves the Yule-Walker equations for AR coefficients given the
+/// autocorrelation sequence rho[0..p] (rho[0] == 1). Returns p
+/// coefficients phi[1..p] (index 0 of the result is phi_1).
+/// Degenerate inputs yield an all-zero solution.
+std::vector<double> LevinsonDurbin(const std::vector<double>& rho);
+
+class AutoRegressive : public Forecaster {
+ public:
+  /// AR order `p`, fit over the most recent `window` observations.
+  explicit AutoRegressive(std::size_t p = 3, std::size_t window = 32);
+
+  std::string name() const override;
+  void Observe(double value) override;
+  double Forecast() const override;
+  std::size_t count() const override { return count_; }
+  std::unique_ptr<Forecaster> Clone() const override;
+
+  /// The AR coefficients of the most recent Forecast() fit (for tests).
+  const std::vector<double>& last_coefficients() const { return last_phi_; }
+
+ private:
+  std::size_t p_;
+  std::size_t window_;
+  std::deque<double> buffer_;
+  std::size_t count_ = 0;
+  mutable std::vector<double> last_phi_;
+};
+
+}  // namespace amf::forecast

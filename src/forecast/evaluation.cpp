@@ -1,0 +1,39 @@
+#include "forecast/evaluation.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/statistics.h"
+
+namespace amf::forecast {
+
+ForecastMetrics EvaluateOneStep(const Forecaster& proto,
+                                std::span<const double> series,
+                                std::size_t warmup) {
+  AMF_CHECK_MSG(warmup >= 1, "warmup must be >= 1");
+  ForecastMetrics m;
+  if (series.size() <= warmup) return m;
+
+  const std::unique_ptr<Forecaster> f = proto.Clone();
+  for (std::size_t i = 0; i < warmup; ++i) f->Observe(series[i]);
+
+  double abs_sum = 0.0, sq_sum = 0.0;
+  std::vector<double> rel;
+  for (std::size_t i = warmup; i < series.size(); ++i) {
+    const double pred = f->Forecast();
+    const double actual = series[i];
+    const double err = pred - actual;
+    abs_sum += std::abs(err);
+    sq_sum += err * err;
+    if (actual > 0.0) rel.push_back(std::abs(err) / actual);
+    f->Observe(actual);
+    ++m.evaluated;
+  }
+  m.mae = abs_sum / static_cast<double>(m.evaluated);
+  m.rmse = std::sqrt(sq_sum / static_cast<double>(m.evaluated));
+  if (!rel.empty()) m.mre = common::Median(rel);
+  return m;
+}
+
+}  // namespace amf::forecast

@@ -1,0 +1,24 @@
+// One-step-ahead forecast evaluation over a series.
+#pragma once
+
+#include <span>
+
+#include "forecast/forecaster.h"
+
+namespace amf::forecast {
+
+struct ForecastMetrics {
+  double mae = 0.0;   ///< mean |forecast - actual|
+  double mre = 0.0;   ///< median relative error (actual > 0 only)
+  double rmse = 0.0;
+  std::size_t evaluated = 0;  ///< forecasts scored (after warmup)
+};
+
+/// Walks the series once: after `warmup` observations, each further value
+/// is first predicted (scored), then observed. `proto` is cloned, not
+/// mutated.
+ForecastMetrics EvaluateOneStep(const Forecaster& proto,
+                                std::span<const double> series,
+                                std::size_t warmup = 3);
+
+}  // namespace amf::forecast

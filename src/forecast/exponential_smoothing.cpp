@@ -1,0 +1,67 @@
+#include "forecast/exponential_smoothing.h"
+
+#include "common/check.h"
+#include "common/string_util.h"
+
+namespace amf::forecast {
+
+SimpleExponentialSmoothing::SimpleExponentialSmoothing(double alpha)
+    : alpha_(alpha) {
+  AMF_CHECK_MSG(alpha_ > 0.0 && alpha_ <= 1.0, "alpha must be in (0, 1]");
+}
+
+std::string SimpleExponentialSmoothing::name() const {
+  return "SES(" + common::FormatFixed(alpha_, 2) + ")";
+}
+
+void SimpleExponentialSmoothing::Observe(double value) {
+  if (count_ == 0) {
+    level_ = value;
+  } else {
+    level_ += alpha_ * (value - level_);
+  }
+  ++count_;
+}
+
+double SimpleExponentialSmoothing::Forecast() const {
+  AMF_CHECK_MSG(count_ > 0, "Forecast before any observation");
+  return level_;
+}
+
+std::unique_ptr<Forecaster> SimpleExponentialSmoothing::Clone() const {
+  return std::make_unique<SimpleExponentialSmoothing>(alpha_);
+}
+
+HoltLinear::HoltLinear(double alpha, double beta)
+    : alpha_(alpha), beta_(beta) {
+  AMF_CHECK_MSG(alpha_ > 0.0 && alpha_ <= 1.0, "alpha must be in (0, 1]");
+  AMF_CHECK_MSG(beta_ > 0.0 && beta_ <= 1.0, "beta must be in (0, 1]");
+}
+
+std::string HoltLinear::name() const {
+  return "Holt(" + common::FormatFixed(alpha_, 2) + "," +
+         common::FormatFixed(beta_, 2) + ")";
+}
+
+void HoltLinear::Observe(double value) {
+  if (count_ == 0) {
+    level_ = value;
+    trend_ = 0.0;
+  } else {
+    const double prev_level = level_;
+    level_ = alpha_ * value + (1.0 - alpha_) * (level_ + trend_);
+    trend_ = beta_ * (level_ - prev_level) + (1.0 - beta_) * trend_;
+  }
+  ++count_;
+}
+
+double HoltLinear::Forecast() const {
+  AMF_CHECK_MSG(count_ > 0, "Forecast before any observation");
+  return level_ + trend_;
+}
+
+std::unique_ptr<Forecaster> HoltLinear::Clone() const {
+  return std::make_unique<HoltLinear>(alpha_, beta_);
+}
+
+}  // namespace amf::forecast

@@ -1,0 +1,49 @@
+// Exponential smoothing forecasters.
+//
+// SimpleExponentialSmoothing: level-only EWMA, the workhorse for noisy
+// stationary-ish QoS series. HoltLinear: adds a trend term, useful when a
+// service is steadily degrading (the situation proactive adaptation cares
+// about most).
+#pragma once
+
+#include "forecast/forecaster.h"
+
+namespace amf::forecast {
+
+class SimpleExponentialSmoothing : public Forecaster {
+ public:
+  /// `alpha` in (0, 1]: weight of the newest observation.
+  explicit SimpleExponentialSmoothing(double alpha = 0.3);
+
+  std::string name() const override;
+  void Observe(double value) override;
+  double Forecast() const override;
+  std::size_t count() const override { return count_; }
+  std::unique_ptr<Forecaster> Clone() const override;
+
+ private:
+  double alpha_;
+  double level_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+class HoltLinear : public Forecaster {
+ public:
+  /// `alpha` smooths the level, `beta` the trend; both in (0, 1].
+  HoltLinear(double alpha = 0.4, double beta = 0.1);
+
+  std::string name() const override;
+  void Observe(double value) override;
+  double Forecast() const override;
+  std::size_t count() const override { return count_; }
+  std::unique_ptr<Forecaster> Clone() const override;
+
+ private:
+  double alpha_;
+  double beta_;
+  double level_ = 0.0;
+  double trend_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace amf::forecast

@@ -1,0 +1,36 @@
+// Time-series forecasting of working-service QoS.
+//
+// The paper's related work ([6] Wang & Pazat, [8] Amin et al.) predicts
+// the QoS of *working* services from their own observation history to
+// decide WHEN to adapt; AMF predicts *candidate* services to decide WHERE
+// to go. This module provides the working-service side so the adaptation
+// framework can be proactive end to end: a Forecaster consumes one
+// service's observation stream and produces one-step-ahead forecasts.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace amf::forecast {
+
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Feeds the next observation of the series.
+  virtual void Observe(double value) = 0;
+
+  /// One-step-ahead forecast given everything observed so far.
+  /// Defined once at least one observation has been made.
+  virtual double Forecast() const = 0;
+
+  /// Number of observations consumed.
+  virtual std::size_t count() const = 0;
+
+  /// Fresh instance with identical configuration (for per-series use).
+  virtual std::unique_ptr<Forecaster> Clone() const = 0;
+};
+
+}  // namespace amf::forecast

@@ -1,0 +1,34 @@
+#include "forecast/moving_average.h"
+
+#include "common/check.h"
+
+namespace amf::forecast {
+
+MovingAverage::MovingAverage(std::size_t window) : window_(window) {
+  AMF_CHECK_MSG(window_ > 0, "window must be positive");
+}
+
+std::string MovingAverage::name() const {
+  return "MA(" + std::to_string(window_) + ")";
+}
+
+void MovingAverage::Observe(double value) {
+  buffer_.push_back(value);
+  buffer_sum_ += value;
+  if (buffer_.size() > window_) {
+    buffer_sum_ -= buffer_.front();
+    buffer_.pop_front();
+  }
+  ++count_;
+}
+
+double MovingAverage::Forecast() const {
+  AMF_CHECK_MSG(!buffer_.empty(), "Forecast before any observation");
+  return buffer_sum_ / static_cast<double>(buffer_.size());
+}
+
+std::unique_ptr<Forecaster> MovingAverage::Clone() const {
+  return std::make_unique<MovingAverage>(window_);
+}
+
+}  // namespace amf::forecast

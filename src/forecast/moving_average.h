@@ -1,0 +1,29 @@
+// Simple moving-average forecaster: the mean of the last `window`
+// observations. The "naive but robust" baseline of the forecasting
+// comparison (window = 1 degenerates to last-value / random-walk).
+#pragma once
+
+#include <deque>
+
+#include "forecast/forecaster.h"
+
+namespace amf::forecast {
+
+class MovingAverage : public Forecaster {
+ public:
+  explicit MovingAverage(std::size_t window = 4);
+
+  std::string name() const override;
+  void Observe(double value) override;
+  double Forecast() const override;
+  std::size_t count() const override { return count_; }
+  std::unique_ptr<Forecaster> Clone() const override;
+
+ private:
+  std::size_t window_;
+  std::deque<double> buffer_;
+  double buffer_sum_ = 0.0;
+  std::size_t count_ = 0;
+};
+
+}  // namespace amf::forecast

@@ -1,0 +1,119 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace amf::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+double& Matrix::operator()(std::size_t r, std::size_t c) {
+  AMF_DCHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::operator()(std::size_t r, std::size_t c) const {
+  AMF_DCHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+std::span<double> Matrix::row(std::size_t r) {
+  AMF_DCHECK(r < rows_);
+  return std::span<double>(data_.data() + r * cols_, cols_);
+}
+
+std::span<const double> Matrix::row(std::size_t r) const {
+  AMF_DCHECK(r < rows_);
+  return std::span<const double>(data_.data() + r * cols_, cols_);
+}
+
+void Matrix::Fill(double v) {
+  for (double& x : data_) x = v;
+}
+
+void Matrix::Resize(std::size_t rows, std::size_t cols, double fill) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, fill);
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      t(c, r) = (*this)(r, c);
+    }
+  }
+  return t;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  AMF_CHECK_MSG(cols_ == other.rows_, "dimension mismatch in Multiply: "
+                                          << cols_ << " vs " << other.rows_);
+  Matrix out(rows_, other.cols_);
+  // i-k-j loop order keeps the inner loop contiguous for both operands.
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      const std::span<const double> brow = other.row(k);
+      const std::span<double> orow = out.row(i);
+      for (std::size_t j = 0; j < other.cols_; ++j) {
+        orow[j] += aik * brow[j];
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Gram() const {
+  Matrix g(cols_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const std::span<const double> a = row(r);
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const double ai = a[i];
+      if (ai == 0.0) continue;
+      double* grow = &g(i, 0);
+      for (std::size_t j = i; j < cols_; ++j) {
+        grow[j] += ai * a[j];
+      }
+    }
+  }
+  // Mirror the upper triangle.
+  for (std::size_t i = 0; i < cols_; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      g(i, j) = g(j, i);
+    }
+  }
+  return g;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double s = 0.0;
+  for (double x : data_) s += x * x;
+  return std::sqrt(s);
+}
+
+std::size_t Matrix::CountFinite() const {
+  std::size_t n = 0;
+  for (double x : data_) {
+    if (std::isfinite(x)) ++n;
+  }
+  return n;
+}
+
+double Matrix::MeanFinite() const {
+  std::size_t n = 0;
+  double s = 0.0;
+  for (double x : data_) {
+    if (std::isfinite(x)) {
+      s += x;
+      ++n;
+    }
+  }
+  return n ? s / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace amf::linalg

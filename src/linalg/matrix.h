@@ -1,0 +1,66 @@
+// Dense row-major matrix of doubles.
+//
+// Deliberately minimal: the library needs storage, element access, row
+// views, fills, and a handful of products (for SVD and the PMF baseline),
+// not a full BLAS. Values may be NaN to denote "missing" in QoS slices.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace amf::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  /// rows x cols matrix, zero-initialized (or `fill`).
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  /// Mutable / immutable view of row r (contiguous).
+  std::span<double> row(std::size_t r);
+  std::span<const double> row(std::size_t r) const;
+
+  /// Raw storage (row-major).
+  std::span<double> data() { return data_; }
+  std::span<const double> data() const { return data_; }
+
+  /// Sets every element to `v`.
+  void Fill(double v);
+
+  /// Resizes, discarding contents; new elements are `fill`.
+  void Resize(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Returns the transpose.
+  Matrix Transposed() const;
+
+  /// Matrix product this * other. Dimensions must agree.
+  Matrix Multiply(const Matrix& other) const;
+
+  /// Gram matrix AᵀA (cols x cols). Used by the SVD of tall matrices.
+  Matrix Gram() const;
+
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Count / mean over non-NaN entries (QoS slices store NaN = missing).
+  std::size_t CountFinite() const;
+  double MeanFinite() const;
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace amf::linalg

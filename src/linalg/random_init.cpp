@@ -1,0 +1,21 @@
+#include "linalg/random_init.h"
+
+namespace amf::linalg {
+
+void FillUniform(std::span<double> v, common::Rng& rng, double scale) {
+  for (double& x : v) x = rng.Uniform() * scale;
+}
+
+void FillGaussian(std::span<double> v, common::Rng& rng, double stddev) {
+  for (double& x : v) x = rng.Normal(0.0, stddev);
+}
+
+void FillUniform(Matrix& m, common::Rng& rng, double scale) {
+  FillUniform(m.data(), rng, scale);
+}
+
+void FillGaussian(Matrix& m, common::Rng& rng, double stddev) {
+  FillGaussian(m.data(), rng, stddev);
+}
+
+}  // namespace amf::linalg

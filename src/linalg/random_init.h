@@ -1,0 +1,27 @@
+// Random initialization of latent-factor matrices.
+//
+// PMF and AMF both start latent vectors from small random values; keeping
+// the initializer here makes the two models share identical initial
+// conditions under the same seed (important for the ablation benches).
+#pragma once
+
+#include <span>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace amf::linalg {
+
+/// Fills `v` with uniform draws in [0, scale).
+void FillUniform(std::span<double> v, common::Rng& rng, double scale = 1.0);
+
+/// Fills `v` with Normal(0, stddev) draws.
+void FillGaussian(std::span<double> v, common::Rng& rng, double stddev = 0.1);
+
+/// Fills a matrix with uniform draws in [0, scale).
+void FillUniform(Matrix& m, common::Rng& rng, double scale = 1.0);
+
+/// Fills a matrix with Normal(0, stddev) draws.
+void FillGaussian(Matrix& m, common::Rng& rng, double stddev = 0.1);
+
+}  // namespace amf::linalg

@@ -1,0 +1,117 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace amf::linalg {
+
+namespace {
+
+/// Sum of squares of strictly off-diagonal elements.
+double OffDiagonalNormSquared(const Matrix& m) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    for (std::size_t j = 0; j < m.cols(); ++j) {
+      if (i != j) s += m(i, j) * m(i, j);
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+std::vector<double> SymmetricEigenvalues(const Matrix& sym,
+                                         const JacobiOptions& opts) {
+  AMF_CHECK_MSG(sym.rows() == sym.cols(), "matrix must be square");
+  const std::size_t n = sym.rows();
+  if (n == 0) return {};
+  // Verify symmetry (contract) up to rounding.
+  const double scale = std::max(1.0, sym.FrobeniusNorm());
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      AMF_CHECK_MSG(std::abs(sym(i, j) - sym(j, i)) <= 1e-8 * scale,
+                    "matrix is not symmetric at (" << i << "," << j << ")");
+    }
+  }
+
+  Matrix a = sym;
+  const double total = a.FrobeniusNorm();
+  const double threshold = opts.tolerance * std::max(total, 1e-300);
+
+  for (std::size_t sweep = 0; sweep < opts.max_sweeps; ++sweep) {
+    if (std::sqrt(OffDiagonalNormSquared(a)) <= threshold) break;
+    // Cyclic-by-row Jacobi sweep.
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) <= 1e-300) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        // Compute the rotation that annihilates a(p, q).
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) +
+                          std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Apply the rotation: A <- JᵀAJ on rows/cols p and q.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+      }
+    }
+  }
+
+  std::vector<double> eigs(n);
+  for (std::size_t i = 0; i < n; ++i) eigs[i] = a(i, i);
+  std::sort(eigs.begin(), eigs.end(), std::greater<>());
+  return eigs;
+}
+
+std::vector<double> SingularValues(const Matrix& a,
+                                   const JacobiOptions& opts) {
+  if (a.rows() == 0 || a.cols() == 0) return {};
+  // Work with the smaller Gram matrix: A Aᵀ (rows x rows) or AᵀA.
+  const bool tall = a.rows() > a.cols();
+  const Matrix gram = tall ? a.Gram() : a.Transposed().Gram();
+  std::vector<double> eigs = SymmetricEigenvalues(gram, opts);
+  std::vector<double> svals(eigs.size());
+  for (std::size_t i = 0; i < eigs.size(); ++i) {
+    // Gram eigenvalues are >= 0 in exact arithmetic; clamp rounding noise.
+    svals[i] = std::sqrt(std::max(0.0, eigs[i]));
+  }
+  return svals;
+}
+
+std::vector<double> NormalizedSingularValues(const Matrix& a,
+                                             const JacobiOptions& opts) {
+  std::vector<double> svals = SingularValues(a, opts);
+  if (svals.empty() || svals.front() <= 0.0) return {};
+  const double top = svals.front();
+  for (double& v : svals) v /= top;
+  return svals;
+}
+
+std::size_t EffectiveRank(const Matrix& a, double threshold,
+                          const JacobiOptions& opts) {
+  const std::vector<double> svals = NormalizedSingularValues(a, opts);
+  std::size_t rank = 0;
+  for (double v : svals) {
+    if (v >= threshold) ++rank;
+  }
+  return rank;
+}
+
+}  // namespace amf::linalg

@@ -1,0 +1,42 @@
+// Singular values via the symmetric Jacobi eigenvalue algorithm.
+//
+// Fig. 9 of the paper plots the sorted, normalized singular values of the
+// user x service QoS matrices to justify the low-rank assumption. For an
+// n x m matrix A we form the Gram matrix of the smaller side (A Aᵀ if
+// n <= m), diagonalize it with cyclic Jacobi rotations (robust, O(k n³)
+// with tiny constants for n = 142), and take square roots.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace amf::linalg {
+
+struct JacobiOptions {
+  /// Convergence threshold on the off-diagonal Frobenius norm, relative to
+  /// the matrix norm.
+  double tolerance = 1e-12;
+  /// Hard cap on full sweeps.
+  std::size_t max_sweeps = 64;
+};
+
+/// Eigenvalues (descending) of a symmetric matrix. The input must be square
+/// and symmetric; asymmetry beyond a small tolerance is a contract error.
+std::vector<double> SymmetricEigenvalues(const Matrix& sym,
+                                         const JacobiOptions& opts = {});
+
+/// All singular values of `a` (descending, length min(rows, cols)).
+std::vector<double> SingularValues(const Matrix& a,
+                                   const JacobiOptions& opts = {});
+
+/// Singular values scaled so the largest equals 1 (as plotted in Fig. 9).
+/// Returns an empty vector for a zero matrix.
+std::vector<double> NormalizedSingularValues(const Matrix& a,
+                                             const JacobiOptions& opts = {});
+
+/// Effective rank: number of normalized singular values >= threshold.
+std::size_t EffectiveRank(const Matrix& a, double threshold = 0.1,
+                          const JacobiOptions& opts = {});
+
+}  // namespace amf::linalg

@@ -1,0 +1,45 @@
+#include "linalg/vector_ops.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace amf::linalg {
+
+double Dot(std::span<const double> a, std::span<const double> b) {
+  AMF_DCHECK(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+void Axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  AMF_DCHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void Scale(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+double Norm2(std::span<const double> x) { return std::sqrt(NormSquared(x)); }
+
+double NormSquared(std::span<const double> x) {
+  double s = 0.0;
+  for (double v : x) s += v * v;
+  return s;
+}
+
+void Subtract(std::span<const double> a, std::span<const double> b,
+              std::span<double> out) {
+  AMF_DCHECK(a.size() == b.size() && a.size() == out.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+}
+
+double NormalizeInPlace(std::span<double> x) {
+  const double n = Norm2(x);
+  if (n > 0.0) Scale(1.0 / n, x);
+  return n;
+}
+
+}  // namespace amf::linalg

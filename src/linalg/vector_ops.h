@@ -1,0 +1,35 @@
+// Vector kernels on std::span<double>.
+//
+// These are the hot inner operations of the SGD updates (dot products and
+// axpy on d-dimensional latent vectors, d = 10 in the paper).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace amf::linalg {
+
+/// Dot product. Spans must be the same length.
+double Dot(std::span<const double> a, std::span<const double> b);
+
+/// y += alpha * x.
+void Axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// x *= alpha.
+void Scale(double alpha, std::span<double> x);
+
+/// Euclidean (L2) norm.
+double Norm2(std::span<const double> x);
+
+/// Squared L2 norm.
+double NormSquared(std::span<const double> x);
+
+/// out = a - b (element-wise); spans must be the same length.
+void Subtract(std::span<const double> a, std::span<const double> b,
+              std::span<double> out);
+
+/// Normalizes x to unit L2 norm; no-op on the zero vector. Returns the
+/// original norm.
+double NormalizeInPlace(std::span<double> x);
+
+}  // namespace amf::linalg

@@ -1,0 +1,24 @@
+#include "stream/collector.h"
+
+namespace amf::stream {
+
+Collector::Collector(core::OnlineTrainer& trainer) : trainer_(&trainer) {}
+
+void Collector::Collect(const data::QoSSample& sample) {
+  buffer_.push_back(sample);
+  ++total_collected_;
+}
+
+void Collector::CollectBatch(const std::vector<data::QoSSample>& samples) {
+  buffer_.insert(buffer_.end(), samples.begin(), samples.end());
+  total_collected_ += samples.size();
+}
+
+std::size_t Collector::Flush() {
+  const std::size_t n = buffer_.size();
+  for (const data::QoSSample& s : buffer_) trainer_->Observe(s);
+  buffer_.clear();
+  return n;
+}
+
+}  // namespace amf::stream

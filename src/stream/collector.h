@@ -1,0 +1,38 @@
+// Input-handling stage of the QoS prediction service (Fig. 3): collects
+// observed QoS data from users, batches it, and feeds the online trainer.
+// Also maintains simple ingestion statistics for monitoring.
+#pragma once
+
+#include <vector>
+
+#include "core/online_trainer.h"
+#include "data/qos_types.h"
+
+namespace amf::stream {
+
+class Collector {
+ public:
+  /// `trainer` must outlive the collector.
+  explicit Collector(core::OnlineTrainer& trainer);
+
+  /// Buffers one observation.
+  void Collect(const data::QoSSample& sample);
+
+  /// Buffers a batch.
+  void CollectBatch(const std::vector<data::QoSSample>& samples);
+
+  std::size_t buffered() const { return buffer_.size(); }
+  std::size_t total_collected() const { return total_collected_; }
+
+  /// Hands all buffered samples to the trainer (Observe) and clears the
+  /// buffer. Returns the number flushed. Does not run training itself —
+  /// call trainer.RunUntilConverged() (or ProcessIncoming) afterwards.
+  std::size_t Flush();
+
+ private:
+  core::OnlineTrainer* trainer_;
+  std::vector<data::QoSSample> buffer_;
+  std::size_t total_collected_ = 0;
+};
+
+}  // namespace amf::stream

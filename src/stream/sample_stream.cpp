@@ -1,0 +1,61 @@
+#include "stream/sample_stream.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace amf::stream {
+
+SampleStream::SampleStream(const data::QoSDataset& dataset,
+                           const StreamConfig& config)
+    : dataset_(&dataset), config_(config) {
+  AMF_CHECK_MSG(config_.density > 0.0 && config_.density <= 1.0,
+                "density must be in (0, 1]");
+  AMF_CHECK_MSG(config_.slice_interval_seconds > 0.0,
+                "slice interval must be positive");
+  if (!config_.resample_pairs_each_slice) {
+    const std::size_t cells =
+        dataset_->num_users() * dataset_->num_services();
+    const std::size_t keep = static_cast<std::size_t>(
+        std::llround(config_.density * static_cast<double>(cells)));
+    common::Rng rng(common::DeriveSeed(config_.seed, 0xFFFF));
+    fixed_pairs_ = rng.SampleWithoutReplacement(cells, keep);
+  }
+}
+
+std::vector<std::size_t> SampleStream::PairsForSlice(data::SliceId t) const {
+  if (!config_.resample_pairs_each_slice) return fixed_pairs_;
+  const std::size_t cells = dataset_->num_users() * dataset_->num_services();
+  const std::size_t keep = static_cast<std::size_t>(
+      std::llround(config_.density * static_cast<double>(cells)));
+  common::Rng rng(common::DeriveSeed(config_.seed, t));
+  return rng.SampleWithoutReplacement(cells, keep);
+}
+
+std::vector<data::QoSSample> SampleStream::Slice(data::SliceId t) const {
+  AMF_CHECK_MSG(t < dataset_->num_slices(), "slice out of range: " << t);
+  std::vector<std::size_t> pairs = PairsForSlice(t);
+  common::Rng rng(common::DeriveSeed(config_.seed, 0x1000000ULL + t));
+  rng.Shuffle(pairs);
+
+  const double slice_start =
+      static_cast<double>(t) * config_.slice_interval_seconds;
+  std::vector<data::QoSSample> samples;
+  samples.reserve(pairs.size());
+  const std::size_t services = dataset_->num_services();
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const auto u = static_cast<data::UserId>(pairs[i] / services);
+    const auto s = static_cast<data::ServiceId>(pairs[i] % services);
+    // Spread arrivals uniformly (in shuffle order) across the interval so
+    // that expiration behaves like a real 15-minute measurement window.
+    const double offset = config_.slice_interval_seconds *
+                          static_cast<double>(i) /
+                          static_cast<double>(pairs.size());
+    samples.push_back(data::QoSSample{
+        t, u, s, dataset_->Value(config_.attribute, u, s, t),
+        slice_start + offset});
+  }
+  return samples;
+}
+
+}  // namespace amf::stream

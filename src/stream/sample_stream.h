@@ -1,0 +1,52 @@
+// Replays a QoS dataset as the timestamped observation stream the QoS
+// prediction service consumes (Fig. 3 "observed QoS data").
+//
+// For each slice, a density-sampled subset of the user x service pairs is
+// "invoked"; their measurements arrive in random order with timestamps
+// spread uniformly across the slice interval. The same (user, service)
+// subset can be resampled independently per slice (fresh invocations) or
+// kept fixed across slices (a stable monitoring deployment).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "data/dataset.h"
+#include "data/qos_types.h"
+
+namespace amf::stream {
+
+struct StreamConfig {
+  data::QoSAttribute attribute = data::QoSAttribute::kResponseTime;
+  /// Fraction of pairs observed per slice, (0, 1].
+  double density = 0.1;
+  /// true: each slice observes an independently re-sampled subset of pairs;
+  /// false: one subset is drawn up front and observed every slice.
+  bool resample_pairs_each_slice = false;
+  /// Seconds covered by one slice (timestamps are spread across it).
+  double slice_interval_seconds = 900.0;
+  std::uint64_t seed = 42;
+};
+
+class SampleStream {
+ public:
+  /// `dataset` must outlive the stream.
+  SampleStream(const data::QoSDataset& dataset, const StreamConfig& config);
+
+  std::size_t num_slices() const { return dataset_->num_slices(); }
+
+  /// All observations of slice t, shuffled, timestamps in
+  /// [t, t+1) * interval. Deterministic in (seed, t).
+  std::vector<data::QoSSample> Slice(data::SliceId t) const;
+
+ private:
+  const data::QoSDataset* dataset_;
+  StreamConfig config_;
+  /// Flattened (user * num_services + service) pair ids of the fixed
+  /// deployment (empty when resampling per slice).
+  std::vector<std::size_t> fixed_pairs_;
+
+  std::vector<std::size_t> PairsForSlice(data::SliceId t) const;
+};
+
+}  // namespace amf::stream

@@ -1,0 +1,30 @@
+// Simulated wall clock shared by the streaming/adaptation components.
+#pragma once
+
+#include "common/check.h"
+
+namespace amf::stream {
+
+class SimClock {
+ public:
+  explicit SimClock(double start = 0.0) : now_(start) {}
+
+  double Now() const { return now_; }
+
+  /// Advances by dt seconds (dt >= 0).
+  void Advance(double dt) {
+    AMF_CHECK_MSG(dt >= 0.0, "clock cannot go backwards");
+    now_ += dt;
+  }
+
+  /// Jumps to an absolute time >= Now().
+  void AdvanceTo(double t) {
+    AMF_CHECK_MSG(t >= now_, "clock cannot go backwards");
+    now_ = t;
+  }
+
+ private:
+  double now_;
+};
+
+}  // namespace amf::stream

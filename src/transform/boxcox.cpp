@@ -1,0 +1,28 @@
+#include "transform/boxcox.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace amf::transform {
+
+double BoxCox(double x, double alpha) {
+  AMF_CHECK_MSG(x > 0.0, "BoxCox requires x > 0, got " << x);
+  if (alpha == 0.0) return std::log(x);
+  return (std::pow(x, alpha) - 1.0) / alpha;
+}
+
+double BoxCoxInverse(double y, double alpha) {
+  if (alpha == 0.0) return std::exp(y);
+  const double base = alpha * y + 1.0;
+  AMF_CHECK_MSG(base > 0.0,
+                "BoxCoxInverse out of range: alpha*y+1 = " << base);
+  return std::pow(base, 1.0 / alpha);
+}
+
+double BoxCoxDerivative(double x, double alpha) {
+  AMF_CHECK_MSG(x > 0.0, "BoxCoxDerivative requires x > 0");
+  return std::pow(x, alpha - 1.0);
+}
+
+}  // namespace amf::transform

@@ -1,0 +1,23 @@
+// Box-Cox power transformation (paper Eq. 3).
+//
+//   boxcox(x) = (x^a - 1) / a   if a != 0
+//             = log(x)          if a == 0
+//
+// Monotonically nondecreasing in x for every a, which is what makes the
+// normalization bounds R~min/R~max simply the transforms of Rmin/Rmax.
+// Only defined for x > 0; the QoSTransform pipeline clamps inputs first.
+#pragma once
+
+namespace amf::transform {
+
+/// Forward Box-Cox transform. Requires x > 0.
+double BoxCox(double x, double alpha);
+
+/// Inverse Box-Cox transform: returns x such that BoxCox(x, alpha) == y.
+/// For alpha != 0 requires (alpha * y + 1) > 0.
+double BoxCoxInverse(double y, double alpha);
+
+/// Derivative d/dx boxcox(x) = x^(a-1). Requires x > 0.
+double BoxCoxDerivative(double x, double alpha);
+
+}  // namespace amf::transform

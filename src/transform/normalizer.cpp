@@ -1,0 +1,20 @@
+#include "transform/normalizer.h"
+
+#include "common/check.h"
+
+namespace amf::transform {
+
+LinearNormalizer::LinearNormalizer(double lo, double hi)
+    : lo_(lo), hi_(hi), inv_span_(1.0 / (hi - lo)) {
+  AMF_CHECK_MSG(hi > lo, "LinearNormalizer requires hi > lo");
+}
+
+double LinearNormalizer::Normalize(double x) const {
+  return (x - lo_) * inv_span_;
+}
+
+double LinearNormalizer::Denormalize(double y) const {
+  return y * (hi_ - lo_) + lo_;
+}
+
+}  // namespace amf::transform

@@ -1,0 +1,26 @@
+// Linear [0,1] normalization between fixed bounds (paper Eq. 4).
+#pragma once
+
+namespace amf::transform {
+
+/// Maps [lo, hi] linearly onto [0, 1]. lo < hi is required.
+class LinearNormalizer {
+ public:
+  LinearNormalizer(double lo, double hi);
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+  /// (x - lo) / (hi - lo). Inputs outside [lo, hi] extrapolate linearly.
+  double Normalize(double x) const;
+
+  /// Inverse map: y * (hi - lo) + lo.
+  double Denormalize(double y) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double inv_span_;
+};
+
+}  // namespace amf::transform

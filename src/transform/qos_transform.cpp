@@ -1,0 +1,67 @@
+#include "transform/qos_transform.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace amf::transform {
+
+double Sigmoid(double x) {
+  // Split on sign to avoid overflow in exp().
+  if (x >= 0.0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+double SigmoidDerivative(double x) {
+  const double g = Sigmoid(x);
+  return g * (1.0 - g);
+}
+
+double Logit(double y, double eps) {
+  const double c = std::clamp(y, eps, 1.0 - eps);
+  return std::log(c / (1.0 - c));
+}
+
+namespace {
+
+QoSTransformConfig Validate(QoSTransformConfig c) {
+  AMF_CHECK_MSG(c.r_max > c.r_min, "QoSTransform requires r_max > r_min");
+  AMF_CHECK_MSG(c.value_floor > 0.0, "value_floor must be positive");
+  AMF_CHECK_MSG(c.value_floor < c.r_max, "value_floor must be < r_max");
+  return c;
+}
+
+}  // namespace
+
+QoSTransform::QoSTransform(const QoSTransformConfig& config)
+    : config_(Validate(config)),
+      boxcox_min_(BoxCox(std::max(config_.r_min, config_.value_floor),
+                         config_.alpha)),
+      boxcox_max_(BoxCox(config_.r_max, config_.alpha)),
+      normalizer_(boxcox_min_, boxcox_max_) {}
+
+double QoSTransform::Forward(double raw) const {
+  const double clamped =
+      std::clamp(raw, std::max(config_.r_min, config_.value_floor),
+                 config_.r_max);
+  const double r = normalizer_.Normalize(BoxCox(clamped, config_.alpha));
+  // Floor r away from 0 so the relative-error loss (r in the denominator)
+  // stays finite; the ceiling keeps Inverse within BoxCox's domain.
+  return std::clamp(r, config_.value_floor, 1.0);
+}
+
+double QoSTransform::Inverse(double normalized) const {
+  const double r = std::clamp(normalized, 0.0, 1.0);
+  return BoxCoxInverse(normalizer_.Denormalize(r), config_.alpha);
+}
+
+double QoSTransform::PredictRaw(double latent_inner_product) const {
+  return Inverse(Sigmoid(latent_inner_product));
+}
+
+}  // namespace amf::transform

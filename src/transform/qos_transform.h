@@ -1,0 +1,65 @@
+// The full AMF data-transformation pipeline (paper §IV-C-1):
+//
+//   raw QoS R  --clamp-->  [value_floor, r_max]
+//              --BoxCox(alpha)-->  R~
+//              --linear [0,1]-->   r
+//
+// plus the exact inverse used for prediction readout, and the sigmoid link
+// g(x) = 1 / (1 + e^-x) that maps latent inner products into [0, 1].
+//
+// The paper states Rmin = 0, but BoxCox with alpha <= 0 is undefined at 0,
+// so any faithful implementation must clamp raw values to a small positive
+// floor first; `value_floor` (default 1e-3) plays that role and also floors
+// the normalized value r away from 0 in the relative-error loss.
+#pragma once
+
+#include "transform/boxcox.h"
+#include "transform/normalizer.h"
+
+namespace amf::transform {
+
+/// Numerically safe sigmoid.
+double Sigmoid(double x);
+
+/// Sigmoid derivative g'(x) = g(x) (1 - g(x)).
+double SigmoidDerivative(double x);
+
+/// Logit (inverse sigmoid); input is clamped into (eps, 1-eps).
+double Logit(double y, double eps = 1e-12);
+
+struct QoSTransformConfig {
+  /// Box-Cox exponent (paper: -0.007 for RT, -0.05 for TP; 1 disables).
+  double alpha = 1.0;
+  /// Maximal raw QoS value (paper: 20 s for RT, 7000 kbps for TP).
+  double r_max = 20.0;
+  /// Minimal raw QoS value (paper: 0; must be < r_max).
+  double r_min = 0.0;
+  /// Positive floor applied before Box-Cox, and to normalized values.
+  double value_floor = 1e-3;
+};
+
+/// Bidirectional raw-QoS <-> normalized-[0,1] mapping.
+class QoSTransform {
+ public:
+  explicit QoSTransform(const QoSTransformConfig& config);
+
+  const QoSTransformConfig& config() const { return config_; }
+
+  /// raw -> normalized r in [0, 1] (floored at `value_floor`).
+  double Forward(double raw) const;
+
+  /// normalized -> raw (exact inverse of Forward up to the clamps).
+  double Inverse(double normalized) const;
+
+  /// Convenience: predicted raw QoS from a latent inner product,
+  /// Inverse(Sigmoid(inner)).
+  double PredictRaw(double latent_inner_product) const;
+
+ private:
+  QoSTransformConfig config_;
+  double boxcox_min_;  // BoxCox(clamped r_min)
+  double boxcox_max_;  // BoxCox(r_max)
+  LinearNormalizer normalizer_;
+};
+
+}  // namespace amf::transform

@@ -1,0 +1,218 @@
+#include "core/amf_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "linalg/vector_ops.h"
+#include "transform/qos_transform.h"
+
+namespace amf::core {
+namespace {
+
+AmfConfig TestConfig() {
+  AmfConfig c = MakeResponseTimeConfig(/*seed=*/3);
+  return c;
+}
+
+TEST(AmfConfigTest, PaperDefaults) {
+  const AmfConfig rt = MakeResponseTimeConfig();
+  EXPECT_EQ(rt.rank, 10u);
+  EXPECT_DOUBLE_EQ(rt.learn_rate, 0.8);
+  EXPECT_DOUBLE_EQ(rt.lambda_user, 0.001);
+  EXPECT_DOUBLE_EQ(rt.beta, 0.3);
+  EXPECT_DOUBLE_EQ(rt.transform.alpha, -0.007);
+  EXPECT_DOUBLE_EQ(rt.transform.r_max, 20.0);
+  const AmfConfig tp = MakeThroughputConfig();
+  EXPECT_DOUBLE_EQ(tp.transform.alpha, -0.05);
+  EXPECT_DOUBLE_EQ(tp.transform.r_max, 7000.0);
+}
+
+TEST(AmfModelTest, InvalidConfigThrows) {
+  AmfConfig c = TestConfig();
+  c.rank = 0;
+  EXPECT_THROW(AmfModel{c}, common::CheckError);
+  c = TestConfig();
+  c.beta = 0.0;
+  EXPECT_THROW(AmfModel{c}, common::CheckError);
+  c = TestConfig();
+  c.learn_rate = -1.0;
+  EXPECT_THROW(AmfModel{c}, common::CheckError);
+}
+
+TEST(AmfModelTest, StartsEmpty) {
+  AmfModel m(TestConfig());
+  EXPECT_EQ(m.num_users(), 0u);
+  EXPECT_EQ(m.num_services(), 0u);
+  EXPECT_FALSE(m.HasUser(0));
+  EXPECT_FALSE(m.HasService(0));
+}
+
+TEST(AmfModelTest, EnsureRegistersUpToId) {
+  AmfModel m(TestConfig());
+  m.EnsureUser(4);
+  EXPECT_EQ(m.num_users(), 5u);
+  EXPECT_TRUE(m.HasUser(4));
+  m.EnsureService(2);
+  EXPECT_EQ(m.num_services(), 3u);
+  // Idempotent.
+  m.EnsureUser(2);
+  EXPECT_EQ(m.num_users(), 5u);
+}
+
+TEST(AmfModelTest, NewEntitiesHaveInitialErrorOne) {
+  AmfModel m(TestConfig());
+  m.EnsureUser(0);
+  m.EnsureService(0);
+  EXPECT_DOUBLE_EQ(m.UserError(0), 1.0);
+  EXPECT_DOUBLE_EQ(m.ServiceError(0), 1.0);
+}
+
+TEST(AmfModelTest, FactorsInitializedWithinScale) {
+  AmfConfig c = TestConfig();
+  c.init_scale = 0.4;
+  AmfModel m(c);
+  m.EnsureUser(9);
+  for (data::UserId u = 0; u < 10; ++u) {
+    for (double v : m.UserFactors(u)) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_LT(v, 0.4);
+    }
+  }
+}
+
+TEST(AmfModelTest, OnlineUpdateRegistersEntities) {
+  AmfModel m(TestConfig());
+  m.OnlineUpdate(3, 7, 1.0);
+  EXPECT_EQ(m.num_users(), 4u);
+  EXPECT_EQ(m.num_services(), 8u);
+  EXPECT_EQ(m.updates(), 1u);
+}
+
+TEST(AmfModelTest, RepeatedUpdatesConvergeToObservedValue) {
+  AmfModel m(TestConfig());
+  const double truth = 2.5;
+  for (int i = 0; i < 400; ++i) m.OnlineUpdate(0, 0, truth);
+  EXPECT_NEAR(m.PredictRaw(0, 0), truth, 0.15 * truth);
+}
+
+TEST(AmfModelTest, UpdateReturnsPreUpdateRelativeError) {
+  AmfModel m(TestConfig());
+  m.EnsureUser(0);
+  m.EnsureService(0);
+  const double r = m.transform().Forward(1.7);
+  const double g = m.PredictNormalized(0, 0);
+  const double expected = std::abs(r - g) / r;
+  EXPECT_NEAR(m.OnlineUpdate(0, 0, 1.7), expected, 1e-12);
+}
+
+TEST(AmfModelTest, EntityErrorsTrackAccuracy) {
+  AmfModel m(TestConfig());
+  for (int i = 0; i < 300; ++i) m.OnlineUpdate(0, 0, 1.2);
+  // After convergence the EMA errors must have fallen far below 1.
+  EXPECT_LT(m.UserError(0), 0.2);
+  EXPECT_LT(m.ServiceError(0), 0.2);
+}
+
+TEST(AmfModelTest, AdaptiveWeightsProtectConvergedService) {
+  // Train (u0, s0) to convergence, then hit s0 with a brand-new user whose
+  // predictions are bad. With adaptive weights the service factor should
+  // move much less than the new user's factor.
+  AmfConfig c = TestConfig();
+  AmfModel m(c);
+  for (int i = 0; i < 500; ++i) m.OnlineUpdate(0, 0, 1.2);
+  std::vector<double> s_before(m.ServiceFactors(0).begin(),
+                               m.ServiceFactors(0).end());
+  m.EnsureUser(1);
+  std::vector<double> u_before(m.UserFactors(1).begin(),
+                               m.UserFactors(1).end());
+  m.OnlineUpdate(1, 0, 3.0);
+  double s_delta = 0.0, u_delta = 0.0;
+  for (std::size_t k = 0; k < c.rank; ++k) {
+    s_delta += std::abs(m.ServiceFactors(0)[k] - s_before[k]);
+    u_delta += std::abs(m.UserFactors(1)[k] - u_before[k]);
+  }
+  EXPECT_LT(s_delta, 0.25 * u_delta);
+}
+
+TEST(AmfModelTest, FixedWeightsAblationUsesHalf) {
+  AmfConfig c = TestConfig();
+  c.adaptive_weights = false;
+  AmfModel m(c);
+  // With w = 1/2 both EMAs move identically from identical initial state.
+  m.OnlineUpdate(0, 0, 1.5);
+  EXPECT_DOUBLE_EQ(m.UserError(0), m.ServiceError(0));
+}
+
+TEST(AmfModelTest, PredictionForUnknownEntityThrows) {
+  AmfModel m(TestConfig());
+  m.EnsureUser(0);
+  EXPECT_THROW(m.PredictRaw(0, 0), common::CheckError);
+  EXPECT_THROW(m.PredictRaw(1, 0), common::CheckError);
+}
+
+TEST(AmfModelTest, PredictionWithinTransformRange) {
+  AmfModel m(TestConfig());
+  m.OnlineUpdate(0, 0, 19.0);
+  const double p = m.PredictRaw(0, 0);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 20.0 + 1e-9);
+  const double g = m.PredictNormalized(0, 0);
+  EXPECT_GT(g, 0.0);
+  EXPECT_LT(g, 1.0);
+}
+
+TEST(AmfModelTest, DeterministicInSeed) {
+  AmfModel a(TestConfig()), b(TestConfig());
+  for (int i = 0; i < 50; ++i) {
+    a.OnlineUpdate(i % 3, i % 5, 0.5 + 0.1 * (i % 7));
+    b.OnlineUpdate(i % 3, i % 5, 0.5 + 0.1 * (i % 7));
+  }
+  EXPECT_DOUBLE_EQ(a.PredictRaw(1, 2), b.PredictRaw(1, 2));
+}
+
+TEST(AmfModelTest, SimultaneousUpdateUsesOldVectors) {
+  // Reproduce the update manually and compare against OnlineUpdate.
+  AmfConfig c = TestConfig();
+  c.adaptive_weights = true;
+  AmfModel m(c);
+  m.EnsureUser(0);
+  m.EnsureService(0);
+  const std::vector<double> u0(m.UserFactors(0).begin(),
+                               m.UserFactors(0).end());
+  const std::vector<double> s0(m.ServiceFactors(0).begin(),
+                               m.ServiceFactors(0).end());
+  const double raw = 1.9;
+  const double r = m.transform().Forward(raw);
+  const double x = linalg::Dot(std::span<const double>(u0),
+                               std::span<const double>(s0));
+  const double g = transform::Sigmoid(x);
+  const double gp = g * (1.0 - g);
+  const double eu = 1.0, es = 1.0;
+  const double wu = eu / (eu + es), ws = es / (eu + es);
+  const double coef = (g - r) * gp / (r * r);
+  std::vector<double> u_expect(u0), s_expect(s0);
+  for (std::size_t k = 0; k < c.rank; ++k) {
+    u_expect[k] -= c.learn_rate * wu * (coef * s0[k] + c.lambda_user * u0[k]);
+    s_expect[k] -=
+        c.learn_rate * ws * (coef * u0[k] + c.lambda_service * s0[k]);
+  }
+  m.OnlineUpdate(0, 0, raw);
+  for (std::size_t k = 0; k < c.rank; ++k) {
+    EXPECT_NEAR(m.UserFactors(0)[k], u_expect[k], 1e-12);
+    EXPECT_NEAR(m.ServiceFactors(0)[k], s_expect[k], 1e-12);
+  }
+}
+
+TEST(AmfModelTest, SetErrorValidation) {
+  AmfModel m(TestConfig());
+  m.EnsureUser(0);
+  m.SetUserError(0, 0.5);
+  EXPECT_DOUBLE_EQ(m.UserError(0), 0.5);
+  EXPECT_THROW(m.SetUserError(0, -1.0), common::CheckError);
+  EXPECT_THROW(m.SetUserError(3, 0.1), common::CheckError);
+}
+
+}  // namespace
+}  // namespace amf::core

@@ -1,0 +1,113 @@
+#include "core/amf_predictor.h"
+
+#include <gtest/gtest.h>
+
+#include "cf/pmf.h"
+#include "common/check.h"
+#include "tests/test_util.h"
+
+namespace amf::core {
+namespace {
+
+TEST(AmfPredictorTest, Names) {
+  EXPECT_EQ(AmfPredictor(MakeResponseTimeConfig()).name(), "AMF");
+  AmfConfig linear = MakeResponseTimeConfig();
+  linear.transform.alpha = 1.0;
+  EXPECT_EQ(AmfPredictor(linear).name(), "AMF(a=1)");
+  AmfConfig fixed = MakeResponseTimeConfig();
+  fixed.adaptive_weights = false;
+  EXPECT_EQ(AmfPredictor(fixed).name(), "AMF(fixed-w)");
+}
+
+TEST(AmfPredictorTest, EmptyTrainingSetThrows) {
+  AmfPredictor amf;
+  data::SparseMatrix empty(2, 2);
+  EXPECT_THROW(amf.Fit(empty), common::CheckError);
+}
+
+TEST(AmfPredictorTest, FitCoversWholeSliceShape) {
+  const linalg::Matrix slice = testutil::SmallRtSlice(20, 50);
+  const data::TrainTestSplit split = testutil::Split(slice, 0.2);
+  AmfPredictor amf(MakeResponseTimeConfig(1));
+  amf.Fit(split.train);
+  EXPECT_EQ(amf.model().num_users(), 20u);
+  EXPECT_EQ(amf.model().num_services(), 50u);
+  // Every held-out pair is predictable (even cold entities).
+  for (const auto& s : split.test) {
+    EXPECT_TRUE(std::isfinite(amf.Predict(s.user, s.service)));
+  }
+  EXPECT_GT(amf.epochs_run(), 0u);
+}
+
+TEST(AmfPredictorTest, BeatsGlobalMeanOnStructuredData) {
+  const linalg::Matrix slice = testutil::SmallRtSlice();
+  const data::TrainTestSplit split = testutil::Split(slice, 0.3);
+  AmfPredictor amf(MakeResponseTimeConfig(1));
+  amf.Fit(split.train);
+  const eval::Metrics m = eval::EvaluatePredictor(amf, split.test);
+  const eval::Metrics baseline = testutil::GlobalMeanMetrics(split);
+  EXPECT_LT(m.mre, baseline.mre);
+  EXPECT_GT(m.count, 0u);
+}
+
+TEST(AmfPredictorTest, BetterMreThanPmf) {
+  // The paper's headline claim (Table I): AMF beats PMF on relative error.
+  const linalg::Matrix slice = testutil::SmallRtSlice(40, 150, 99);
+  const data::TrainTestSplit split = testutil::Split(slice, 0.3);
+  AmfPredictor amf(MakeResponseTimeConfig(1));
+  amf.Fit(split.train);
+  cf::Pmf pmf;
+  pmf.Fit(split.train);
+  const eval::Metrics amf_m = eval::EvaluatePredictor(amf, split.test);
+  const eval::Metrics pmf_m = eval::EvaluatePredictor(pmf, split.test);
+  EXPECT_LT(amf_m.mre, pmf_m.mre);
+  EXPECT_LT(amf_m.npre, pmf_m.npre);
+}
+
+TEST(AmfPredictorTest, DeterministicInSeed) {
+  const linalg::Matrix slice = testutil::SmallRtSlice(15, 30);
+  const data::TrainTestSplit split = testutil::Split(slice, 0.4);
+  AmfPredictor a(MakeResponseTimeConfig(5)), b(MakeResponseTimeConfig(5));
+  a.Fit(split.train);
+  b.Fit(split.train);
+  for (std::size_t i = 0; i < 20 && i < split.test.size(); ++i) {
+    const auto& s = split.test[i];
+    EXPECT_DOUBLE_EQ(a.Predict(s.user, s.service),
+                     b.Predict(s.user, s.service));
+  }
+}
+
+TEST(AmfPredictorTest, PredictionsWithinValueRange) {
+  const linalg::Matrix slice = testutil::SmallRtSlice(15, 30);
+  const data::TrainTestSplit split = testutil::Split(slice, 0.4);
+  AmfPredictor amf(MakeResponseTimeConfig(3));
+  amf.Fit(split.train);
+  for (const auto& s : split.test) {
+    const double p = amf.Predict(s.user, s.service);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 20.0 + 1e-9);
+  }
+}
+
+TEST(AmfPredictorTest, WarmStartContinuesLearning) {
+  // Fit on slice data, then feed one pair's true value online -- the
+  // prediction for that pair must move toward it without a refit.
+  const linalg::Matrix slice = testutil::SmallRtSlice(15, 30);
+  const data::TrainTestSplit split = testutil::Split(slice, 0.3);
+  AmfPredictor amf(MakeResponseTimeConfig(4));
+  amf.Fit(split.train);
+  ASSERT_FALSE(split.test.empty());
+  const auto& target = split.test.front();
+  const double before =
+      std::abs(amf.Predict(target.user, target.service) - target.value);
+  for (int i = 0; i < 50; ++i) {
+    amf.model().OnlineUpdate(target.user, target.service, target.value);
+  }
+  const double after =
+      std::abs(amf.Predict(target.user, target.service) - target.value);
+  EXPECT_LT(after, before + 1e-12);
+  EXPECT_LT(after, 0.25 * target.value + 0.05);
+}
+
+}  // namespace
+}  // namespace amf::core

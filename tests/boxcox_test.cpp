@@ -1,0 +1,87 @@
+#include "transform/boxcox.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace amf::transform {
+namespace {
+
+TEST(BoxCoxTest, AlphaZeroIsLog) {
+  EXPECT_DOUBLE_EQ(BoxCox(1.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(BoxCox(std::exp(1.0), 0.0), 1.0);
+}
+
+TEST(BoxCoxTest, AlphaOneIsShiftedIdentity) {
+  EXPECT_DOUBLE_EQ(BoxCox(5.0, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(BoxCox(1.0, 1.0), 0.0);
+}
+
+TEST(BoxCoxTest, KnownNegativeAlpha) {
+  // (x^a - 1)/a with a = -1: 1 - 1/x.
+  EXPECT_DOUBLE_EQ(BoxCox(2.0, -1.0), 0.5);
+  EXPECT_DOUBLE_EQ(BoxCox(4.0, -1.0), 0.75);
+}
+
+TEST(BoxCoxTest, NonPositiveInputThrows) {
+  EXPECT_THROW(BoxCox(0.0, 0.5), common::CheckError);
+  EXPECT_THROW(BoxCox(-1.0, 1.0), common::CheckError);
+}
+
+// Property: rank-preserving (monotone nondecreasing) for every alpha.
+class BoxCoxMonotoneTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BoxCoxMonotoneTest, MonotoneInX) {
+  const double alpha = GetParam();
+  double prev = BoxCox(1e-4, alpha);
+  for (double x = 1e-3; x < 50.0; x *= 1.7) {
+    const double cur = BoxCox(x, alpha);
+    EXPECT_GT(cur, prev) << "alpha=" << alpha << " x=" << x;
+    prev = cur;
+  }
+}
+
+TEST_P(BoxCoxMonotoneTest, RoundTripsWithInverse) {
+  const double alpha = GetParam();
+  for (double x : {0.001, 0.1, 0.9, 1.0, 2.5, 19.9, 100.0}) {
+    const double y = BoxCox(x, alpha);
+    EXPECT_NEAR(BoxCoxInverse(y, alpha), x, 1e-9 * std::max(1.0, x))
+        << "alpha=" << alpha << " x=" << x;
+  }
+}
+
+TEST_P(BoxCoxMonotoneTest, DerivativeMatchesFiniteDifference) {
+  const double alpha = GetParam();
+  for (double x : {0.5, 1.0, 3.0, 10.0}) {
+    const double h = 1e-6 * x;
+    const double fd = (BoxCox(x + h, alpha) - BoxCox(x - h, alpha)) / (2 * h);
+    EXPECT_NEAR(BoxCoxDerivative(x, alpha), fd, 1e-5 * std::abs(fd) + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaSweep, BoxCoxMonotoneTest,
+    ::testing::Values(-1.0, -0.05, -0.007, 0.0, 0.3, 1.0, 2.0));
+
+TEST(BoxCoxInverseTest, OutOfDomainThrows) {
+  // alpha = 1: inverse needs y + 1 > 0.
+  EXPECT_THROW(BoxCoxInverse(-1.5, 1.0), common::CheckError);
+}
+
+TEST(BoxCoxInverseTest, AlphaZeroIsExp) {
+  EXPECT_DOUBLE_EQ(BoxCoxInverse(0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(BoxCoxInverse(1.0, 0.0), std::exp(1.0));
+}
+
+TEST(BoxCoxTest, SmallNegativeAlphaApproximatesLog) {
+  // As alpha -> 0, boxcox(x, alpha) -> log(x).
+  for (double x : {0.2, 1.0, 5.0, 18.0}) {
+    EXPECT_NEAR(BoxCox(x, -1e-8), std::log(x), 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace amf::transform

@@ -1,0 +1,57 @@
+#include "stream/collector.h"
+
+#include <gtest/gtest.h>
+
+namespace amf::stream {
+namespace {
+
+TEST(CollectorTest, BuffersUntilFlush) {
+  core::AmfModel model(core::MakeResponseTimeConfig(1));
+  core::OnlineTrainer trainer(model);
+  Collector collector(trainer);
+
+  collector.Collect({0, 0, 0, 1.0, 0.0});
+  collector.Collect({0, 0, 1, 2.0, 0.0});
+  EXPECT_EQ(collector.buffered(), 2u);
+  EXPECT_EQ(collector.total_collected(), 2u);
+  EXPECT_EQ(trainer.store().size(), 0u);  // nothing handed over yet
+
+  EXPECT_EQ(collector.Flush(), 2u);
+  EXPECT_EQ(collector.buffered(), 0u);
+  trainer.ProcessIncoming();
+  EXPECT_EQ(trainer.store().size(), 2u);
+}
+
+TEST(CollectorTest, CollectBatch) {
+  core::AmfModel model(core::MakeResponseTimeConfig(1));
+  core::OnlineTrainer trainer(model);
+  Collector collector(trainer);
+  std::vector<data::QoSSample> batch = {
+      {0, 0, 0, 1.0, 0.0}, {0, 1, 0, 2.0, 0.0}, {0, 1, 1, 3.0, 0.0}};
+  collector.CollectBatch(batch);
+  EXPECT_EQ(collector.buffered(), 3u);
+  EXPECT_EQ(collector.Flush(), 3u);
+  trainer.ProcessIncoming();
+  EXPECT_EQ(model.updates(), 3u);
+}
+
+TEST(CollectorTest, TotalCollectedAccumulatesAcrossFlushes) {
+  core::AmfModel model(core::MakeResponseTimeConfig(1));
+  core::OnlineTrainer trainer(model);
+  Collector collector(trainer);
+  collector.Collect({0, 0, 0, 1.0, 0.0});
+  collector.Flush();
+  collector.Collect({0, 0, 1, 1.0, 0.0});
+  collector.Flush();
+  EXPECT_EQ(collector.total_collected(), 2u);
+}
+
+TEST(CollectorTest, FlushOnEmptyIsZero) {
+  core::AmfModel model(core::MakeResponseTimeConfig(1));
+  core::OnlineTrainer trainer(model);
+  Collector collector(trainer);
+  EXPECT_EQ(collector.Flush(), 0u);
+}
+
+}  // namespace
+}  // namespace amf::stream

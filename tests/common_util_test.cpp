@@ -1,0 +1,99 @@
+// Tests for check macros, logging, and the stopwatch.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace amf::common {
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(AMF_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(AMF_CHECK_MSG(true, "never shown"));
+}
+
+TEST(CheckTest, FailingCheckThrowsWithLocation) {
+  try {
+    AMF_CHECK(1 == 2);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("common_util_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, MessageIsIncluded) {
+  try {
+    AMF_CHECK_MSG(false, "value was " << 42);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("value was 42"),
+              std::string::npos);
+  }
+}
+
+TEST(CheckTest, DcheckActiveMatchesBuildMode) {
+#ifdef NDEBUG
+  EXPECT_NO_THROW(AMF_DCHECK(false));
+#else
+  EXPECT_THROW(AMF_DCHECK(false), CheckError);
+#endif
+}
+
+TEST(LoggingTest, ParseLogLevel) {
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("ERROR"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("info"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("warning"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("garbage"), LogLevel::kWarning);
+}
+
+TEST(LoggingTest, SetAndGetLevel) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, SuppressedLevelsDoNotEvaluateStream) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return "payload";
+  };
+  AMF_LOG(Debug) << expensive();
+  EXPECT_EQ(evaluations, 0);
+  AMF_LOG(Error) << expensive();
+  EXPECT_EQ(evaluations, 1);
+  SetLogLevel(original);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = sw.ElapsedSeconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 5.0);
+  EXPECT_NEAR(sw.ElapsedMillis(), sw.ElapsedSeconds() * 1e3,
+              sw.ElapsedMillis() * 0.5);
+}
+
+TEST(StopwatchTest, ResetRestarts) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(15));
+  sw.Reset();
+  EXPECT_LT(sw.ElapsedSeconds(), 0.010);
+}
+
+}  // namespace
+}  // namespace amf::common

@@ -1,0 +1,99 @@
+#include "adapt/concurrent_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+namespace amf::adapt {
+namespace {
+
+TEST(ConcurrentServiceTest, BasicFlowMatchesPlainService) {
+  ConcurrentPredictionService service;
+  const auto u = service.RegisterUser("u");
+  const auto s = service.RegisterService("s");
+  for (int i = 0; i < 100; ++i) {
+    service.ReportObservation({0, u, s, 1.2, 0.0});
+    service.Tick(0.0);
+  }
+  const auto pred = service.PredictQoS(u, s);
+  ASSERT_TRUE(pred.has_value());
+  EXPECT_NEAR(*pred, 1.2, 0.5);
+  EXPECT_EQ(service.observations(), 100u);
+}
+
+TEST(ConcurrentServiceTest, PredictUnknownIsNullopt) {
+  ConcurrentPredictionService service;
+  EXPECT_FALSE(service.PredictQoS(0, 0).has_value());
+}
+
+TEST(ConcurrentServiceTest, ConcurrentReadersAndWriters) {
+  ConcurrentPredictionService service;
+  const std::size_t kUsers = 8, kServices = 16;
+  for (std::size_t u = 0; u < kUsers; ++u) {
+    service.RegisterUser("u" + std::to_string(u));
+  }
+  for (std::size_t s = 0; s < kServices; ++s) {
+    service.RegisterService("s" + std::to_string(s));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> bad_predictions{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&, r] {
+      std::size_t i = static_cast<std::size_t>(r);
+      while (!stop.load()) {
+        const auto pred =
+            service.PredictQoS(static_cast<data::UserId>(i % kUsers),
+                               static_cast<data::ServiceId>(i % kServices));
+        if (!pred || !std::isfinite(*pred)) {
+          bad_predictions.fetch_add(1);
+        }
+        ++i;
+      }
+    });
+  }
+
+  std::thread writer([&] {
+    for (int iter = 0; iter < 200; ++iter) {
+      for (std::size_t u = 0; u < kUsers; ++u) {
+        service.ReportObservation(
+            {0, static_cast<data::UserId>(u),
+             static_cast<data::ServiceId>((u + iter) % kServices),
+             0.5 + 0.01 * (iter % 10), 0.0});
+      }
+      service.Tick(0.0);
+    }
+  });
+  writer.join();
+  stop.store(true);
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(bad_predictions.load(), 0u);
+  EXPECT_EQ(service.observations(), 200u * kUsers);
+}
+
+TEST(ConcurrentServiceTest, TrainToConvergenceUnderReads) {
+  ConcurrentPredictionService service;
+  const auto u = service.RegisterUser("u");
+  const auto s1 = service.RegisterService("s1");
+  const auto s2 = service.RegisterService("s2");
+  for (int i = 0; i < 10; ++i) {
+    service.ReportObservation({0, u, s1, 0.1, 0.0});
+    service.ReportObservation({0, u, s2, 6.0, 0.0});
+  }
+  std::thread reader([&] {
+    for (int i = 0; i < 1000; ++i) {
+      (void)service.PredictQoS(u, s1);
+    }
+  });
+  service.TrainToConvergence(0.0);
+  reader.join();
+  EXPECT_LT(*service.PredictQoS(u, s1), *service.PredictQoS(u, s2));
+}
+
+}  // namespace
+}  // namespace amf::adapt

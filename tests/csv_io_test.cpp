@@ -1,0 +1,100 @@
+#include "data/csv_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace amf::data {
+namespace {
+
+TEST(CsvIoTest, WriteReadRoundTrip) {
+  InMemoryDataset src(3, 4, 2);
+  src.SetValue(QoSAttribute::kResponseTime, 0, 1, 0, 1.5);
+  src.SetValue(QoSAttribute::kResponseTime, 2, 3, 1, 0.25);
+  src.SetValue(QoSAttribute::kResponseTime, 1, 0, 0, 7.0);
+
+  std::stringstream ss;
+  WriteTriplets(ss, src, QoSAttribute::kResponseTime);
+
+  InMemoryDataset dst(3, 4, 2);
+  ReadTriplets(ss, dst, QoSAttribute::kResponseTime);
+  EXPECT_DOUBLE_EQ(dst.Value(QoSAttribute::kResponseTime, 0, 1, 0), 1.5);
+  EXPECT_DOUBLE_EQ(dst.Value(QoSAttribute::kResponseTime, 2, 3, 1), 0.25);
+  EXPECT_DOUBLE_EQ(dst.Value(QoSAttribute::kResponseTime, 1, 0, 0), 7.0);
+  EXPECT_FALSE(dst.Has(QoSAttribute::kResponseTime, 0, 0, 0));
+}
+
+TEST(CsvIoTest, CommentsAndBlankLinesSkipped) {
+  std::stringstream ss("# header\n\n0 0 0 2.5\n  \n# trailing\n");
+  InMemoryDataset d(1, 1, 1);
+  ReadTriplets(ss, d, QoSAttribute::kThroughput);
+  EXPECT_DOUBLE_EQ(d.Value(QoSAttribute::kThroughput, 0, 0, 0), 2.5);
+}
+
+TEST(CsvIoTest, AcceptsCommasAndTabs) {
+  std::stringstream ss("0,1,0,3.5\n1\t0\t0\t4.5\n");
+  InMemoryDataset d(2, 2, 1);
+  ReadTriplets(ss, d, QoSAttribute::kResponseTime);
+  EXPECT_DOUBLE_EQ(d.Value(QoSAttribute::kResponseTime, 0, 1, 0), 3.5);
+  EXPECT_DOUBLE_EQ(d.Value(QoSAttribute::kResponseTime, 1, 0, 0), 4.5);
+}
+
+TEST(CsvIoTest, MalformedLineThrows) {
+  InMemoryDataset d(1, 1, 1);
+  std::stringstream bad_fields("0 0 0\n");
+  EXPECT_THROW(ReadTriplets(bad_fields, d, QoSAttribute::kResponseTime),
+               common::CheckError);
+  std::stringstream bad_value("0 0 0 xyz\n");
+  EXPECT_THROW(ReadTriplets(bad_value, d, QoSAttribute::kResponseTime),
+               common::CheckError);
+}
+
+TEST(CsvIoTest, OutOfBoundsIndexThrows) {
+  InMemoryDataset d(1, 1, 1);
+  std::stringstream ss("5 0 0 1.0\n");
+  EXPECT_THROW(ReadTriplets(ss, d, QoSAttribute::kResponseTime),
+               common::CheckError);
+}
+
+TEST(CsvIoTest, SliceTripletsRoundTrip) {
+  SparseMatrix m(3, 3);
+  m.Set(0, 2, 1.0);
+  m.Set(2, 1, 2.0);
+  std::stringstream ss;
+  WriteSliceTriplets(ss, m, 4);
+  const SparseMatrix back = ReadSliceTriplets(ss, 3, 3, 4);
+  EXPECT_EQ(back.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(*back.Get(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(*back.Get(2, 1), 2.0);
+}
+
+TEST(CsvIoTest, SliceFilterIgnoresOtherSlices) {
+  std::stringstream ss("0 0 1 5.0\n0 1 2 6.0\n");
+  const SparseMatrix m = ReadSliceTriplets(ss, 2, 2, 2);
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(*m.Get(0, 1), 6.0);
+}
+
+TEST(CsvIoTest, FileRoundTrip) {
+  InMemoryDataset src(2, 2, 1);
+  src.SetValue(QoSAttribute::kResponseTime, 1, 1, 0, 9.0);
+  const std::string path =
+      ::testing::TempDir() + "/amf_csv_io_test.triplets";
+  WriteTripletsFile(path, src, QoSAttribute::kResponseTime);
+  InMemoryDataset dst(2, 2, 1);
+  ReadTripletsFile(path, dst, QoSAttribute::kResponseTime);
+  EXPECT_DOUBLE_EQ(dst.Value(QoSAttribute::kResponseTime, 1, 1, 0), 9.0);
+}
+
+TEST(CsvIoTest, MissingFileThrows) {
+  InMemoryDataset d(1, 1, 1);
+  EXPECT_THROW(
+      ReadTripletsFile("/nonexistent/path.triplets", d,
+                       QoSAttribute::kResponseTime),
+      common::CheckError);
+}
+
+}  // namespace
+}  // namespace amf::data

@@ -1,0 +1,78 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace amf::data {
+namespace {
+
+TEST(InMemoryDatasetTest, Dimensions) {
+  InMemoryDataset d(3, 4, 2);
+  EXPECT_EQ(d.num_users(), 3u);
+  EXPECT_EQ(d.num_services(), 4u);
+  EXPECT_EQ(d.num_slices(), 2u);
+}
+
+TEST(InMemoryDatasetTest, SetAndGetValue) {
+  InMemoryDataset d(2, 2, 1);
+  d.SetValue(QoSAttribute::kResponseTime, 0, 1, 0, 3.5);
+  EXPECT_DOUBLE_EQ(d.Value(QoSAttribute::kResponseTime, 0, 1, 0), 3.5);
+  EXPECT_TRUE(d.Has(QoSAttribute::kResponseTime, 0, 1, 0));
+  EXPECT_FALSE(d.Has(QoSAttribute::kResponseTime, 1, 1, 0));
+  EXPECT_FALSE(d.Has(QoSAttribute::kThroughput, 0, 1, 0));
+}
+
+TEST(InMemoryDatasetTest, AttributesAreIndependent) {
+  InMemoryDataset d(1, 1, 1);
+  d.SetValue(QoSAttribute::kResponseTime, 0, 0, 0, 1.0);
+  d.SetValue(QoSAttribute::kThroughput, 0, 0, 0, 100.0);
+  EXPECT_DOUBLE_EQ(d.Value(QoSAttribute::kResponseTime, 0, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(d.Value(QoSAttribute::kThroughput, 0, 0, 0), 100.0);
+}
+
+TEST(InMemoryDatasetTest, MissingValueThrows) {
+  InMemoryDataset d(1, 1, 1);
+  EXPECT_THROW(d.Value(QoSAttribute::kResponseTime, 0, 0, 0),
+               common::CheckError);
+}
+
+TEST(InMemoryDatasetTest, DenseSliceReturnsStorage) {
+  InMemoryDataset d(2, 2, 2);
+  d.SetValue(QoSAttribute::kResponseTime, 1, 0, 1, 4.0);
+  const linalg::Matrix slice = d.DenseSlice(QoSAttribute::kResponseTime, 1);
+  EXPECT_DOUBLE_EQ(slice(1, 0), 4.0);
+  EXPECT_TRUE(std::isnan(slice(0, 0)));
+}
+
+TEST(InMemoryDatasetTest, MutableSlice) {
+  InMemoryDataset d(2, 2, 1);
+  d.MutableSlice(QoSAttribute::kThroughput, 0).Fill(5.0);
+  EXPECT_DOUBLE_EQ(d.Value(QoSAttribute::kThroughput, 1, 1, 0), 5.0);
+}
+
+TEST(InMemoryDatasetTest, SliceOutOfRangeThrows) {
+  InMemoryDataset d(1, 1, 1);
+  EXPECT_THROW(d.DenseSlice(QoSAttribute::kResponseTime, 1),
+               common::CheckError);
+  EXPECT_THROW(d.SetValue(QoSAttribute::kResponseTime, 0, 0, 1, 1.0),
+               common::CheckError);
+}
+
+TEST(AttributeNameTest, Names) {
+  EXPECT_EQ(AttributeName(QoSAttribute::kResponseTime), "RT");
+  EXPECT_EQ(AttributeName(QoSAttribute::kThroughput), "TP");
+}
+
+TEST(QoSSampleTest, Equality) {
+  QoSSample a{1, 2, 3, 4.0, 5.0};
+  QoSSample b = a;
+  EXPECT_EQ(a, b);
+  b.value = 9.0;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace amf::data

@@ -1,0 +1,140 @@
+// Edge-case sweep across modules: degenerate shapes, boundary values, and
+// pathological-but-legal inputs that unit tests of the happy path miss.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "cf/pmf.h"
+#include "cf/uipcc.h"
+#include "common/statistics.h"
+#include "core/amf_predictor.h"
+#include "data/masking.h"
+#include "data/sparse_matrix.h"
+#include "eval/metrics.h"
+#include "linalg/svd.h"
+#include "transform/qos_transform.h"
+
+namespace amf {
+namespace {
+
+TEST(EdgeCasesTest, SparseMatrixZeroByZero) {
+  data::SparseMatrix m(0, 0);
+  EXPECT_EQ(m.nnz(), 0u);
+  EXPECT_DOUBLE_EQ(m.Density(), 0.0);
+  EXPECT_TRUE(m.ToSamples().empty());
+}
+
+TEST(EdgeCasesTest, SingleCellMatrix) {
+  data::SparseMatrix m(1, 1);
+  m.Set(0, 0, 2.5);
+  EXPECT_DOUBLE_EQ(m.Density(), 1.0);
+  EXPECT_DOUBLE_EQ(m.GlobalMean(), 2.5);
+}
+
+TEST(EdgeCasesTest, MaskingAllNaNSlice) {
+  linalg::Matrix slice(3, 3,
+                       std::numeric_limits<double>::quiet_NaN());
+  common::Rng rng(1);
+  const data::TrainTestSplit split = data::SplitSlice(slice, 0.5, rng);
+  EXPECT_EQ(split.train.nnz(), 0u);
+  EXPECT_TRUE(split.test.empty());
+}
+
+TEST(EdgeCasesTest, AmfSingleObservation) {
+  core::AmfPredictor amf(core::MakeResponseTimeConfig(1));
+  data::SparseMatrix train(2, 2);
+  train.Set(0, 0, 1.0);
+  amf.Fit(train);
+  // Every pair in the shape is predictable, even the untouched ones.
+  for (data::UserId u = 0; u < 2; ++u) {
+    for (data::ServiceId s = 0; s < 2; ++s) {
+      EXPECT_TRUE(std::isfinite(amf.Predict(u, s)));
+    }
+  }
+}
+
+TEST(EdgeCasesTest, AmfValuesAtTransformBoundaries) {
+  core::AmfModel model(core::MakeResponseTimeConfig(2));
+  // Rmin, Rmax, and beyond must not produce non-finite state.
+  model.OnlineUpdate(0, 0, 0.0);
+  model.OnlineUpdate(0, 0, 20.0);
+  model.OnlineUpdate(0, 0, 1e9);   // clamped to Rmax
+  model.OnlineUpdate(0, 0, -5.0);  // clamped to floor
+  EXPECT_TRUE(std::isfinite(model.PredictRaw(0, 0)));
+  EXPECT_GE(model.UserError(0), 0.0);
+}
+
+TEST(EdgeCasesTest, PmfSingleUser) {
+  data::SparseMatrix train(1, 5);
+  for (std::size_t s = 0; s < 5; ++s) train.Set(0, s, 1.0 + s);
+  cf::Pmf pmf;
+  pmf.Fit(train);
+  for (data::ServiceId s = 0; s < 5; ++s) {
+    EXPECT_TRUE(std::isfinite(pmf.Predict(0, s)));
+  }
+}
+
+TEST(EdgeCasesTest, UipccFullyDenseTinyMatrix) {
+  data::SparseMatrix train(2, 2);
+  train.Set(0, 0, 1.0);
+  train.Set(0, 1, 2.0);
+  train.Set(1, 0, 2.0);
+  train.Set(1, 1, 4.0);
+  cf::Uipcc uipcc;
+  uipcc.Fit(train);
+  EXPECT_TRUE(std::isfinite(uipcc.Predict(0, 0)));
+  EXPECT_TRUE(std::isfinite(uipcc.Predict(1, 1)));
+}
+
+TEST(EdgeCasesTest, MetricsWithIdenticalConstantValues) {
+  const std::vector<double> v(10, 3.0);
+  const eval::Metrics m = eval::ComputeMetrics(v, v);
+  EXPECT_DOUBLE_EQ(m.mre, 0.0);
+  EXPECT_DOUBLE_EQ(m.npre, 0.0);
+}
+
+TEST(EdgeCasesTest, Svd1x1) {
+  linalg::Matrix m(1, 1);
+  m(0, 0) = -4.0;
+  const auto sv = linalg::SingularValues(m);
+  ASSERT_EQ(sv.size(), 1u);
+  EXPECT_NEAR(sv[0], 4.0, 1e-12);
+}
+
+TEST(EdgeCasesTest, TransformExtremeAlphaStaysMonotone) {
+  transform::QoSTransformConfig cfg;
+  cfg.alpha = -2.0;  // far outside the tuned range, still legal
+  const transform::QoSTransform t(cfg);
+  double prev = t.Forward(0.01);
+  for (double x = 0.02; x <= 20.0; x *= 1.5) {
+    const double cur = t.Forward(x);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST(EdgeCasesTest, HistogramSingleBin) {
+  common::Histogram h(0.0, 1.0, 1);
+  h.Add(0.2);
+  h.Add(0.9);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_DOUBLE_EQ(h.density(0), 1.0);
+}
+
+TEST(EdgeCasesTest, TrainerObserveSameValueManyTimes) {
+  core::AmfModel model(core::MakeResponseTimeConfig(3));
+  core::TrainerConfig cfg;
+  cfg.expiry_seconds = 0.0;
+  core::OnlineTrainer trainer(model, cfg);
+  for (int i = 0; i < 50; ++i) {
+    trainer.Observe({0, 0, 0, 1.0, 0.0});  // 50 refreshes of one pair
+  }
+  trainer.ProcessIncoming();
+  EXPECT_EQ(trainer.store().size(), 1u);
+  trainer.RunUntilConverged();
+  EXPECT_NEAR(model.PredictRaw(0, 0), 1.0, 0.3);
+}
+
+}  // namespace
+}  // namespace amf

@@ -1,0 +1,60 @@
+#include "common/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace amf::common {
+namespace {
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void SetEnv(const char* name, const char* value) {
+    ::setenv(name, value, 1);
+    set_.push_back(name);
+  }
+  void TearDown() override {
+    for (const char* name : set_) ::unsetenv(name);
+  }
+  std::vector<const char*> set_;
+};
+
+TEST_F(EnvTest, StringDefaultAndOverride) {
+  EXPECT_EQ(EnvString("AMF_TEST_STR", "def"), "def");
+  SetEnv("AMF_TEST_STR", "hello");
+  EXPECT_EQ(EnvString("AMF_TEST_STR", "def"), "hello");
+}
+
+TEST_F(EnvTest, IntParsing) {
+  EXPECT_EQ(EnvInt("AMF_TEST_INT", 7), 7);
+  SetEnv("AMF_TEST_INT", "42");
+  EXPECT_EQ(EnvInt("AMF_TEST_INT", 7), 42);
+  SetEnv("AMF_TEST_INT", "not-a-number");
+  EXPECT_EQ(EnvInt("AMF_TEST_INT", 7), 7);
+}
+
+TEST_F(EnvTest, DoubleParsing) {
+  EXPECT_DOUBLE_EQ(EnvDouble("AMF_TEST_DBL", 1.5), 1.5);
+  SetEnv("AMF_TEST_DBL", "0.25");
+  EXPECT_DOUBLE_EQ(EnvDouble("AMF_TEST_DBL", 1.5), 0.25);
+  SetEnv("AMF_TEST_DBL", "zzz");
+  EXPECT_DOUBLE_EQ(EnvDouble("AMF_TEST_DBL", 1.5), 1.5);
+}
+
+TEST_F(EnvTest, FlagParsing) {
+  EXPECT_FALSE(EnvFlag("AMF_TEST_FLAG"));
+  EXPECT_TRUE(EnvFlag("AMF_TEST_FLAG", true));
+  SetEnv("AMF_TEST_FLAG", "1");
+  EXPECT_TRUE(EnvFlag("AMF_TEST_FLAG"));
+  SetEnv("AMF_TEST_FLAG", "TRUE");
+  EXPECT_TRUE(EnvFlag("AMF_TEST_FLAG"));
+  SetEnv("AMF_TEST_FLAG", "yes");
+  EXPECT_TRUE(EnvFlag("AMF_TEST_FLAG"));
+  SetEnv("AMF_TEST_FLAG", "0");
+  EXPECT_FALSE(EnvFlag("AMF_TEST_FLAG"));
+  SetEnv("AMF_TEST_FLAG", "off");
+  EXPECT_FALSE(EnvFlag("AMF_TEST_FLAG", true));
+}
+
+}  // namespace
+}  // namespace amf::common

@@ -1,0 +1,76 @@
+#include "adapt/environment.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "data/synthetic.h"
+
+namespace amf::adapt {
+namespace {
+
+data::SyntheticQoSDataset MakeDataset() {
+  data::SyntheticConfig cfg;
+  cfg.users = 6;
+  cfg.services = 10;
+  cfg.slices = 4;
+  cfg.seed = 2;
+  return data::SyntheticQoSDataset(cfg);
+}
+
+TEST(EnvironmentTest, InvokeReturnsDatasetValue) {
+  const auto dataset = MakeDataset();
+  Environment env(dataset, 900.0);
+  const InvocationResult r = env.Invoke(1, 2, 950.0);  // slice 1
+  EXPECT_FALSE(r.failed);
+  EXPECT_DOUBLE_EQ(
+      r.response_time,
+      dataset.Value(data::QoSAttribute::kResponseTime, 1, 2, 1));
+}
+
+TEST(EnvironmentTest, SliceMapping) {
+  const auto dataset = MakeDataset();
+  Environment env(dataset, 900.0);
+  EXPECT_EQ(env.SliceAt(-5.0), 0u);
+  EXPECT_EQ(env.SliceAt(0.0), 0u);
+  EXPECT_EQ(env.SliceAt(899.9), 0u);
+  EXPECT_EQ(env.SliceAt(900.0), 1u);
+  EXPECT_EQ(env.SliceAt(1e9), 3u);  // clamped to last slice
+}
+
+TEST(EnvironmentTest, OutageProducesTimeout) {
+  const auto dataset = MakeDataset();
+  Environment env(dataset, 900.0, /*timeout=*/20.0);
+  env.AddOutage({3, 100.0, 200.0});
+  EXPECT_TRUE(env.IsDown(3, 150.0));
+  EXPECT_FALSE(env.IsDown(3, 99.0));
+  EXPECT_FALSE(env.IsDown(3, 200.0));  // to is exclusive
+  EXPECT_FALSE(env.IsDown(2, 150.0));
+  const InvocationResult r = env.Invoke(0, 3, 150.0);
+  EXPECT_TRUE(r.failed);
+  EXPECT_DOUBLE_EQ(r.response_time, 20.0);
+}
+
+TEST(EnvironmentTest, TrueResponseTimeIgnoresOutage) {
+  const auto dataset = MakeDataset();
+  Environment env(dataset, 900.0);
+  env.AddOutage({3, 0.0, 1e9});
+  EXPECT_DOUBLE_EQ(
+      env.TrueResponseTime(0, 3, 0.0),
+      dataset.Value(data::QoSAttribute::kResponseTime, 0, 3, 0));
+}
+
+TEST(EnvironmentTest, InvalidOutageThrows) {
+  const auto dataset = MakeDataset();
+  Environment env(dataset, 900.0);
+  EXPECT_THROW(env.AddOutage({0, 100.0, 100.0}), common::CheckError);
+  EXPECT_THROW(env.AddOutage({99, 0.0, 1.0}), common::CheckError);
+}
+
+TEST(EnvironmentTest, InvalidConstructionThrows) {
+  const auto dataset = MakeDataset();
+  EXPECT_THROW(Environment(dataset, 0.0), common::CheckError);
+  EXPECT_THROW(Environment(dataset, 900.0, 0.0), common::CheckError);
+}
+
+}  // namespace
+}  // namespace amf::adapt

@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "forecast/autoregressive.h"
+#include "forecast/evaluation.h"
+#include "forecast/exponential_smoothing.h"
+#include "forecast/moving_average.h"
+
+namespace amf::forecast {
+namespace {
+
+TEST(MovingAverageTest, WindowMean) {
+  MovingAverage ma(3);
+  ma.Observe(1.0);
+  EXPECT_DOUBLE_EQ(ma.Forecast(), 1.0);
+  ma.Observe(2.0);
+  EXPECT_DOUBLE_EQ(ma.Forecast(), 1.5);
+  ma.Observe(3.0);
+  EXPECT_DOUBLE_EQ(ma.Forecast(), 2.0);
+  ma.Observe(10.0);  // 1.0 falls out of the window
+  EXPECT_DOUBLE_EQ(ma.Forecast(), 5.0);
+  EXPECT_EQ(ma.count(), 4u);
+}
+
+TEST(MovingAverageTest, WindowOneIsLastValue) {
+  MovingAverage ma(1);
+  ma.Observe(5.0);
+  ma.Observe(7.0);
+  EXPECT_DOUBLE_EQ(ma.Forecast(), 7.0);
+}
+
+TEST(MovingAverageTest, ForecastBeforeObserveThrows) {
+  MovingAverage ma(2);
+  EXPECT_THROW(ma.Forecast(), common::CheckError);
+}
+
+TEST(MovingAverageTest, InvalidWindowThrows) {
+  EXPECT_THROW(MovingAverage(0), common::CheckError);
+}
+
+TEST(MovingAverageTest, CloneIsFresh) {
+  MovingAverage ma(2);
+  ma.Observe(1.0);
+  auto clone = ma.Clone();
+  EXPECT_EQ(clone->count(), 0u);
+  EXPECT_EQ(clone->name(), ma.name());
+}
+
+TEST(SesTest, FirstObservationSeedsLevel) {
+  SimpleExponentialSmoothing ses(0.5);
+  ses.Observe(4.0);
+  EXPECT_DOUBLE_EQ(ses.Forecast(), 4.0);
+  ses.Observe(8.0);
+  EXPECT_DOUBLE_EQ(ses.Forecast(), 6.0);  // 4 + 0.5*(8-4)
+}
+
+TEST(SesTest, AlphaOneTracksLastValue) {
+  SimpleExponentialSmoothing ses(1.0);
+  ses.Observe(1.0);
+  ses.Observe(9.0);
+  EXPECT_DOUBLE_EQ(ses.Forecast(), 9.0);
+}
+
+TEST(SesTest, ConvergesToConstant) {
+  SimpleExponentialSmoothing ses(0.3);
+  for (int i = 0; i < 100; ++i) ses.Observe(2.5);
+  EXPECT_NEAR(ses.Forecast(), 2.5, 1e-12);
+}
+
+TEST(SesTest, InvalidAlphaThrows) {
+  EXPECT_THROW(SimpleExponentialSmoothing(0.0), common::CheckError);
+  EXPECT_THROW(SimpleExponentialSmoothing(1.5), common::CheckError);
+}
+
+TEST(HoltTest, ExtrapolatesLinearTrend) {
+  HoltLinear holt(0.8, 0.8);
+  for (int i = 0; i < 50; ++i) holt.Observe(1.0 + 0.5 * i);
+  // Next value of the ramp is 1.0 + 0.5 * 50 = 26.
+  EXPECT_NEAR(holt.Forecast(), 26.0, 0.2);
+}
+
+TEST(HoltTest, BeatsSesOnTrendingSeries) {
+  std::vector<double> ramp;
+  for (int i = 0; i < 60; ++i) ramp.push_back(2.0 + 0.3 * i);
+  const ForecastMetrics holt =
+      EvaluateOneStep(HoltLinear(0.5, 0.3), ramp, 5);
+  const ForecastMetrics ses =
+      EvaluateOneStep(SimpleExponentialSmoothing(0.5), ramp, 5);
+  EXPECT_LT(holt.mae, ses.mae);
+}
+
+TEST(LevinsonDurbinTest, KnownAr1) {
+  // AR(1) with phi = 0.6: rho[k] = 0.6^k.
+  const std::vector<double> rho = {1.0, 0.6};
+  const auto phi = LevinsonDurbin(rho);
+  ASSERT_EQ(phi.size(), 1u);
+  EXPECT_NEAR(phi[0], 0.6, 1e-12);
+}
+
+TEST(LevinsonDurbinTest, KnownAr2) {
+  // AR(2) phi = (0.5, 0.3): rho1 = phi1/(1-phi2) = 0.714285...,
+  // rho2 = phi1*rho1 + phi2 = 0.657142...
+  const double rho1 = 0.5 / 0.7;
+  const double rho2 = 0.5 * rho1 + 0.3;
+  const auto phi = LevinsonDurbin({1.0, rho1, rho2});
+  ASSERT_EQ(phi.size(), 2u);
+  EXPECT_NEAR(phi[0], 0.5, 1e-9);
+  EXPECT_NEAR(phi[1], 0.3, 1e-9);
+}
+
+TEST(LevinsonDurbinTest, BadInputThrows) {
+  EXPECT_THROW(LevinsonDurbin({1.0}), common::CheckError);
+  EXPECT_THROW(LevinsonDurbin({0.9, 0.5}), common::CheckError);
+}
+
+TEST(AutoRegressiveTest, RecoversAr1Coefficient) {
+  common::Rng rng(4);
+  AutoRegressive ar(1, 256);
+  double x = 0.0;
+  for (int i = 0; i < 300; ++i) {
+    x = 0.7 * x + rng.Normal(0.0, 0.1);
+    ar.Observe(5.0 + x);
+  }
+  (void)ar.Forecast();
+  ASSERT_EQ(ar.last_coefficients().size(), 1u);
+  EXPECT_NEAR(ar.last_coefficients()[0], 0.7, 0.15);
+}
+
+TEST(AutoRegressiveTest, FallsBackToMeanEarly) {
+  AutoRegressive ar(3, 32);
+  ar.Observe(2.0);
+  ar.Observe(4.0);
+  EXPECT_DOUBLE_EQ(ar.Forecast(), 3.0);
+}
+
+TEST(AutoRegressiveTest, ConstantSeriesForecastsConstant) {
+  AutoRegressive ar(2, 16);
+  for (int i = 0; i < 16; ++i) ar.Observe(1.5);
+  EXPECT_NEAR(ar.Forecast(), 1.5, 1e-9);
+}
+
+TEST(AutoRegressiveTest, BeatsMovingAverageOnSinusoid) {
+  std::vector<double> series;
+  for (int i = 0; i < 200; ++i) {
+    series.push_back(3.0 +
+                     std::sin(2.0 * std::numbers::pi * i / 16.0));
+  }
+  const ForecastMetrics ar = EvaluateOneStep(AutoRegressive(4, 64),
+                                             series, 20);
+  const ForecastMetrics ma = EvaluateOneStep(MovingAverage(4), series, 20);
+  EXPECT_LT(ar.mae, 0.6 * ma.mae);
+}
+
+TEST(AutoRegressiveTest, InvalidConfigThrows) {
+  EXPECT_THROW(AutoRegressive(0, 32), common::CheckError);
+  EXPECT_THROW(AutoRegressive(4, 6), common::CheckError);
+}
+
+TEST(EvaluateOneStepTest, CountsAndPerfectForecast) {
+  // Constant series: every forecaster is exact after warmup.
+  const std::vector<double> series(20, 3.0);
+  const ForecastMetrics m =
+      EvaluateOneStep(SimpleExponentialSmoothing(0.3), series, 4);
+  EXPECT_EQ(m.evaluated, 16u);
+  EXPECT_NEAR(m.mae, 0.0, 1e-12);
+  EXPECT_NEAR(m.mre, 0.0, 1e-12);
+}
+
+TEST(EvaluateOneStepTest, ShortSeriesGivesNothing) {
+  const std::vector<double> series = {1.0, 2.0};
+  const ForecastMetrics m =
+      EvaluateOneStep(MovingAverage(2), series, 3);
+  EXPECT_EQ(m.evaluated, 0u);
+}
+
+}  // namespace
+}  // namespace amf::forecast

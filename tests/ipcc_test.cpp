@@ -1,0 +1,74 @@
+#include "cf/ipcc.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "tests/test_util.h"
+
+namespace amf::cf {
+namespace {
+
+TEST(IpccTest, PredictBeforeFitThrows) {
+  Ipcc ipcc;
+  EXPECT_THROW(ipcc.Predict(0, 0), common::CheckError);
+}
+
+TEST(IpccTest, Name) { EXPECT_EQ(Ipcc().name(), "IPCC"); }
+
+TEST(IpccTest, ExactForPerfectlyCorrelatedServices) {
+  // Service 1 = service 0 + 1 on every co-observing user.
+  data::SparseMatrix m(5, 2);
+  for (std::size_t r = 0; r < 5; ++r) m.Set(r, 1, 2.0 + double(r));
+  for (std::size_t r = 0; r < 4; ++r) m.Set(r, 0, 1.0 + double(r));
+  NeighborhoodConfig cfg;
+  cfg.significance_gamma = 0;
+  Ipcc ipcc(cfg);
+  ipcc.Fit(m);
+  // service 0 mean = 2.5; neighbor (service 1) mean = 4.0, value by user 4
+  // = 6 -> prediction 2.5 + (6-4) = 4.5.
+  EXPECT_NEAR(ipcc.Predict(4, 0), 4.5, 1e-9);
+}
+
+TEST(IpccTest, FallsBackToServiceMeanWithoutNeighbors) {
+  data::SparseMatrix m(3, 3);
+  m.Set(0, 0, 2.0);
+  m.Set(1, 0, 4.0);
+  // User 2 observed nothing -> no candidate neighbor services; fall back
+  // to service 0's mean.
+  Ipcc ipcc;
+  ipcc.Fit(m);
+  EXPECT_DOUBLE_EQ(ipcc.Predict(2, 0), 3.0);
+}
+
+TEST(IpccTest, FallsBackForColdService) {
+  data::SparseMatrix m(2, 3);
+  m.Set(0, 0, 2.0);
+  m.Set(0, 1, 6.0);
+  // Service 2 never observed -> fall back to user 0's mean.
+  Ipcc ipcc;
+  ipcc.Fit(m);
+  EXPECT_DOUBLE_EQ(ipcc.Predict(0, 2), 4.0);
+}
+
+TEST(IpccTest, BeatsGlobalMeanOnStructuredData) {
+  const linalg::Matrix slice = testutil::SmallRtSlice();
+  const data::TrainTestSplit split = testutil::Split(slice, 0.4);
+  Ipcc ipcc;
+  ipcc.Fit(split.train);
+  const eval::Metrics m = eval::EvaluatePredictor(ipcc, split.test);
+  const eval::Metrics baseline = testutil::GlobalMeanMetrics(split);
+  EXPECT_LT(m.mae, baseline.mae);
+}
+
+TEST(IpccTest, PredictionsAreFinite) {
+  const linalg::Matrix slice = testutil::SmallRtSlice(20, 50);
+  const data::TrainTestSplit split = testutil::Split(slice, 0.1);
+  Ipcc ipcc;
+  ipcc.Fit(split.train);
+  for (const auto& s : split.test) {
+    EXPECT_TRUE(std::isfinite(ipcc.Predict(s.user, s.service)));
+  }
+}
+
+}  // namespace
+}  // namespace amf::cf

@@ -1,0 +1,122 @@
+#include "data/masking.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "common/check.h"
+
+namespace amf::data {
+namespace {
+
+linalg::Matrix FullSlice(std::size_t rows, std::size_t cols) {
+  linalg::Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m(r, c) = static_cast<double>(r * cols + c + 1);
+    }
+  }
+  return m;
+}
+
+TEST(MaskingTest, ExactTrainFraction) {
+  const linalg::Matrix slice = FullSlice(10, 20);
+  common::Rng rng(1);
+  const TrainTestSplit split = SplitSlice(slice, 0.3, rng);
+  EXPECT_EQ(split.train.nnz(), 60u);  // 0.3 * 200
+  EXPECT_EQ(split.test.size(), 140u);
+}
+
+TEST(MaskingTest, TrainAndTestPartitionCells) {
+  const linalg::Matrix slice = FullSlice(8, 9);
+  common::Rng rng(2);
+  const TrainTestSplit split = SplitSlice(slice, 0.5, rng);
+  std::set<std::pair<std::size_t, std::size_t>> seen;
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (const SparseEntry& e : split.train.Row(r)) {
+      seen.insert({r, e.index});
+      EXPECT_DOUBLE_EQ(e.value, slice(r, e.index));
+    }
+  }
+  for (const QoSSample& s : split.test) {
+    const auto [it, inserted] = seen.insert({s.user, s.service});
+    EXPECT_TRUE(inserted) << "test overlaps train at (" << s.user << ","
+                          << s.service << ")";
+    EXPECT_DOUBLE_EQ(s.value, slice(s.user, s.service));
+  }
+  EXPECT_EQ(seen.size(), 72u);
+}
+
+TEST(MaskingTest, DensityOneKeepsEverything) {
+  const linalg::Matrix slice = FullSlice(4, 5);
+  common::Rng rng(3);
+  const TrainTestSplit split = SplitSlice(slice, 1.0, rng);
+  EXPECT_EQ(split.train.nnz(), 20u);
+  EXPECT_TRUE(split.test.empty());
+}
+
+TEST(MaskingTest, NaNCellsExcluded) {
+  linalg::Matrix slice = FullSlice(4, 4);
+  slice(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  slice(3, 3) = std::numeric_limits<double>::quiet_NaN();
+  common::Rng rng(4);
+  const TrainTestSplit split = SplitSlice(slice, 0.5, rng);
+  EXPECT_EQ(split.train.nnz() + split.test.size(), 14u);
+  EXPECT_FALSE(split.train.Has(0, 0));
+  for (const QoSSample& s : split.test) {
+    EXPECT_FALSE(s.user == 0 && s.service == 0);
+    EXPECT_FALSE(s.user == 3 && s.service == 3);
+  }
+}
+
+TEST(MaskingTest, DeterministicInRng) {
+  const linalg::Matrix slice = FullSlice(6, 6);
+  common::Rng rng_a(9), rng_b(9);
+  const TrainTestSplit a = SplitSlice(slice, 0.4, rng_a);
+  const TrainTestSplit b = SplitSlice(slice, 0.4, rng_b);
+  EXPECT_EQ(a.test.size(), b.test.size());
+  for (std::size_t i = 0; i < a.test.size(); ++i) {
+    EXPECT_EQ(a.test[i], b.test[i]);
+  }
+}
+
+TEST(MaskingTest, DifferentSeedsDifferentMasks) {
+  const linalg::Matrix slice = FullSlice(10, 10);
+  common::Rng rng_a(1), rng_b(2);
+  const TrainTestSplit a = SplitSlice(slice, 0.5, rng_a);
+  const TrainTestSplit b = SplitSlice(slice, 0.5, rng_b);
+  int same = 0;
+  for (std::size_t r = 0; r < 10; ++r) {
+    for (std::size_t c = 0; c < 10; ++c) {
+      if (a.train.Has(r, c) == b.train.Has(r, c)) ++same;
+    }
+  }
+  EXPECT_LT(same, 85);
+}
+
+TEST(MaskingTest, SliceIdPropagated) {
+  const linalg::Matrix slice = FullSlice(3, 3);
+  common::Rng rng(5);
+  const TrainTestSplit split = SplitSlice(slice, 0.5, rng, 42);
+  for (const QoSSample& s : split.test) EXPECT_EQ(s.slice, 42u);
+}
+
+TEST(MaskingTest, InvalidDensityThrows) {
+  const linalg::Matrix slice = FullSlice(2, 2);
+  common::Rng rng(6);
+  EXPECT_THROW(SplitSlice(slice, 0.0, rng), common::CheckError);
+  EXPECT_THROW(SplitSlice(slice, 1.5, rng), common::CheckError);
+  EXPECT_THROW(SplitSlice(slice, -0.1, rng), common::CheckError);
+}
+
+TEST(MaskingTest, SampleDensityMatchesSplit) {
+  const linalg::Matrix slice = FullSlice(5, 8);
+  common::Rng rng(7);
+  const SparseMatrix train = SampleDensity(slice, 0.25, rng);
+  EXPECT_EQ(train.nnz(), 10u);
+}
+
+}  // namespace
+}  // namespace amf::data

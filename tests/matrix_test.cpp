@@ -1,0 +1,135 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace amf::linalg {
+namespace {
+
+TEST(MatrixTest, ConstructionAndFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_FALSE(m.empty());
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+    }
+  }
+  m.Fill(0.0);
+  EXPECT_DOUBLE_EQ(m(1, 2), 0.0);
+}
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+}
+
+TEST(MatrixTest, ElementAccess) {
+  Matrix m(2, 2);
+  m(0, 1) = 3.0;
+  m(1, 0) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 3.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), -2.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(MatrixTest, RowSpanIsContiguousView) {
+  Matrix m(3, 4);
+  auto row = m.row(1);
+  ASSERT_EQ(row.size(), 4u);
+  row[2] = 9.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 9.0);
+}
+
+TEST(MatrixTest, ResizeDiscardsContents) {
+  Matrix m(2, 2, 5.0);
+  m.Resize(3, 1, -1.0);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 1u);
+  EXPECT_DOUBLE_EQ(m(2, 0), -1.0);
+}
+
+TEST(MatrixTest, Transposed) {
+  Matrix m(2, 3);
+  int v = 0;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = ++v;
+  }
+  const Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(t(c, r), m(r, c));
+    }
+  }
+}
+
+TEST(MatrixTest, MultiplyKnownProduct) {
+  Matrix a(2, 3);
+  Matrix b(3, 2);
+  // a = [1 2 3; 4 5 6], b = [7 8; 9 10; 11 12]
+  double av[] = {1, 2, 3, 4, 5, 6};
+  double bv[] = {7, 8, 9, 10, 11, 12};
+  std::copy(std::begin(av), std::end(av), a.data().begin());
+  std::copy(std::begin(bv), std::end(bv), b.data().begin());
+  const Matrix c = a.Multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(MatrixTest, MultiplyDimensionMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 2);
+  EXPECT_ANY_THROW(a.Multiply(b));
+}
+
+TEST(MatrixTest, GramEqualsTransposeTimesSelf) {
+  Matrix a(3, 2);
+  double av[] = {1, 2, 3, 4, 5, 6};
+  std::copy(std::begin(av), std::end(av), a.data().begin());
+  const Matrix g = a.Gram();
+  const Matrix expected = a.Transposed().Multiply(a);
+  ASSERT_EQ(g.rows(), 2u);
+  ASSERT_EQ(g.cols(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 2; ++j) {
+      EXPECT_NEAR(g(i, j), expected(i, j), 1e-12);
+    }
+  }
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  Matrix m(1, 2);
+  m(0, 0) = 3.0;
+  m(0, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+}
+
+TEST(MatrixTest, FiniteHelpers) {
+  Matrix m(2, 2);
+  m(0, 0) = 1.0;
+  m(0, 1) = std::numeric_limits<double>::quiet_NaN();
+  m(1, 0) = 3.0;
+  m(1, 1) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(m.CountFinite(), 2u);
+  EXPECT_DOUBLE_EQ(m.MeanFinite(), 2.0);
+}
+
+TEST(MatrixTest, Equality) {
+  Matrix a(2, 2, 1.0);
+  Matrix b(2, 2, 1.0);
+  EXPECT_EQ(a, b);
+  b(1, 1) = 2.0;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace amf::linalg

@@ -1,0 +1,114 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace amf::eval {
+namespace {
+
+/// Predictor that always returns a constant.
+class ConstPredictor : public Predictor {
+ public:
+  explicit ConstPredictor(double v) : v_(v) {}
+  std::string name() const override { return "const"; }
+  void Fit(const data::SparseMatrix&) override {}
+  double Predict(data::UserId, data::ServiceId) const override { return v_; }
+
+ private:
+  double v_;
+};
+
+TEST(ComputeMetricsTest, PerfectPredictions) {
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  const Metrics m = ComputeMetrics(v, v);
+  EXPECT_DOUBLE_EQ(m.mae, 0.0);
+  EXPECT_DOUBLE_EQ(m.mre, 0.0);
+  EXPECT_DOUBLE_EQ(m.npre, 0.0);
+  EXPECT_DOUBLE_EQ(m.rmse, 0.0);
+  EXPECT_EQ(m.count, 3u);
+}
+
+TEST(ComputeMetricsTest, KnownValues) {
+  const std::vector<double> pred = {2.0, 2.0, 6.0, 1.0};
+  const std::vector<double> truth = {1.0, 4.0, 4.0, 2.0};
+  // abs errors: 1, 2, 2, 1 -> MAE 1.5
+  // rel errors: 1, 0.5, 0.5, 0.5 -> MRE 0.5
+  const Metrics m = ComputeMetrics(pred, truth);
+  EXPECT_DOUBLE_EQ(m.mae, 1.5);
+  EXPECT_DOUBLE_EQ(m.mre, 0.5);
+  EXPECT_NEAR(m.rmse, std::sqrt((1.0 + 4.0 + 4.0 + 1.0) / 4.0), 1e-12);
+  EXPECT_GT(m.npre, 0.5);  // 90th percentile between 0.5 and 1
+  EXPECT_LE(m.npre, 1.0);
+}
+
+TEST(ComputeMetricsTest, NonPositiveTruthExcludedFromRelative) {
+  const std::vector<double> pred = {1.0, 5.0};
+  const std::vector<double> truth = {0.0, 4.0};
+  const Metrics m = ComputeMetrics(pred, truth);
+  EXPECT_DOUBLE_EQ(m.mae, 1.0);  // (1 + 1) / 2
+  EXPECT_DOUBLE_EQ(m.mre, 0.25);  // only the positive-truth entry
+}
+
+TEST(ComputeMetricsTest, EmptyInput) {
+  const Metrics m = ComputeMetrics({}, {});
+  EXPECT_EQ(m.count, 0u);
+  EXPECT_DOUBLE_EQ(m.mae, 0.0);
+}
+
+TEST(ComputeMetricsTest, SizeMismatchThrows) {
+  const std::vector<double> a = {1.0};
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW(ComputeMetrics(a, b), common::CheckError);
+}
+
+TEST(EvaluatePredictorTest, UsesPredictorOutput) {
+  ConstPredictor p(2.0);
+  const std::vector<data::QoSSample> test = {
+      {0, 0, 0, 1.0, 0.0}, {0, 0, 1, 4.0, 0.0}};
+  const Metrics m = EvaluatePredictor(p, test);
+  EXPECT_DOUBLE_EQ(m.mae, 1.5);  // |2-1|=1, |2-4|=2
+  EXPECT_EQ(m.count, 2u);
+}
+
+TEST(SignedErrorsTest, SignsPreserved) {
+  ConstPredictor p(2.0);
+  const std::vector<data::QoSSample> test = {
+      {0, 0, 0, 1.0, 0.0}, {0, 0, 1, 5.0, 0.0}};
+  const auto errs = SignedErrors(p, test);
+  ASSERT_EQ(errs.size(), 2u);
+  EXPECT_DOUBLE_EQ(errs[0], 1.0);
+  EXPECT_DOUBLE_EQ(errs[1], -3.0);
+}
+
+TEST(RelativeErrorsTest, SkipsNonPositiveTruth) {
+  ConstPredictor p(3.0);
+  const std::vector<data::QoSSample> test = {
+      {0, 0, 0, 0.0, 0.0}, {0, 0, 1, 2.0, 0.0}};
+  const auto errs = RelativeErrors(p, test);
+  ASSERT_EQ(errs.size(), 1u);
+  EXPECT_DOUBLE_EQ(errs[0], 0.5);
+}
+
+TEST(AverageMetricsTest, ElementwiseMean) {
+  Metrics a{1.0, 0.2, 0.4, 2.0, 10};
+  Metrics b{3.0, 0.4, 0.8, 4.0, 20};
+  const std::vector<Metrics> runs = {a, b};
+  const Metrics avg = AverageMetrics(runs);
+  EXPECT_DOUBLE_EQ(avg.mae, 2.0);
+  EXPECT_DOUBLE_EQ(avg.mre, 0.3);
+  EXPECT_DOUBLE_EQ(avg.npre, 0.6);
+  EXPECT_DOUBLE_EQ(avg.rmse, 3.0);
+  EXPECT_EQ(avg.count, 30u);
+}
+
+TEST(AverageMetricsTest, EmptyIsZero) {
+  const Metrics avg = AverageMetrics({});
+  EXPECT_EQ(avg.count, 0u);
+  EXPECT_DOUBLE_EQ(avg.mae, 0.0);
+}
+
+}  // namespace
+}  // namespace amf::eval

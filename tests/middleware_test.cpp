@@ -1,0 +1,106 @@
+#include "adapt/middleware.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "data/synthetic.h"
+
+namespace amf::adapt {
+namespace {
+
+data::SyntheticQoSDataset MakeDataset() {
+  data::SyntheticConfig cfg;
+  cfg.users = 4;
+  cfg.services = 8;
+  cfg.slices = 4;
+  cfg.seed = 6;
+  return data::SyntheticQoSDataset(cfg);
+}
+
+Workflow MakeWorkflow() {
+  return Workflow({{"a", {0, 1, 2}}, {"b", {3, 4, 5}}});
+}
+
+TEST(MiddlewareTest, StepInvokesEveryTask) {
+  const auto dataset = MakeDataset();
+  Environment env(dataset, 900.0);
+  NoAdaptationPolicy policy;
+  ExecutionMiddleware mw(0, MakeWorkflow(), env, nullptr, policy, 2.0);
+  mw.Step(0.0);
+  EXPECT_EQ(mw.stats().invocations, 2u);
+  mw.Step(900.0);
+  EXPECT_EQ(mw.stats().invocations, 4u);
+  EXPECT_GT(mw.stats().total_rt, 0.0);
+}
+
+TEST(MiddlewareTest, ViolationsCounted) {
+  const auto dataset = MakeDataset();
+  Environment env(dataset, 900.0);
+  NoAdaptationPolicy policy;
+  // Absurdly tight SLA: everything violates.
+  ExecutionMiddleware tight(0, MakeWorkflow(), env, nullptr, policy, 1e-6);
+  tight.Step(0.0);
+  EXPECT_EQ(tight.stats().violations, 2u);
+  // Absurdly loose SLA: nothing violates.
+  ExecutionMiddleware loose(0, MakeWorkflow(), env, nullptr, policy, 1e6);
+  loose.Step(0.0);
+  EXPECT_EQ(loose.stats().violations, 0u);
+}
+
+TEST(MiddlewareTest, FailedInvocationCountsAsFailureAndViolation) {
+  const auto dataset = MakeDataset();
+  Environment env(dataset, 900.0);
+  env.AddOutage({0, 0.0, 1e9});
+  NoAdaptationPolicy policy;
+  ExecutionMiddleware mw(0, MakeWorkflow(), env, nullptr, policy, 1e6);
+  mw.Step(0.0);
+  EXPECT_EQ(mw.stats().failures, 1u);
+  EXPECT_EQ(mw.stats().violations, 1u);
+}
+
+TEST(MiddlewareTest, ObservationsReportedToService) {
+  const auto dataset = MakeDataset();
+  Environment env(dataset, 900.0);
+  QoSPredictionService service;
+  NoAdaptationPolicy policy;
+  ExecutionMiddleware mw(0, MakeWorkflow(), env, &service, policy, 2.0);
+  mw.Step(0.0);
+  EXPECT_EQ(service.observations(), 2u);
+}
+
+TEST(MiddlewareTest, PolicyRebindChangesWorkflowAndCounts) {
+  const auto dataset = MakeDataset();
+  Environment env(dataset, 900.0);
+  // Down the initial binding of task "a" so any violation-driven policy
+  // must move off it.
+  env.AddOutage({0, 0.0, 1e9});
+  OraclePolicy policy(env);
+  ExecutionMiddleware mw(0, MakeWorkflow(), env, nullptr, policy, 1e6);
+  mw.Step(0.0);
+  EXPECT_NE(mw.workflow().binding(0), 0u);
+  EXPECT_EQ(mw.stats().adaptations, 1u);
+}
+
+TEST(MiddlewareTest, MeanRtAndViolationRate) {
+  AppStats s;
+  s.invocations = 4;
+  s.total_rt = 8.0;
+  s.violations = 1;
+  EXPECT_DOUBLE_EQ(s.MeanRt(), 2.0);
+  EXPECT_DOUBLE_EQ(s.ViolationRate(), 0.25);
+  const AppStats empty;
+  EXPECT_DOUBLE_EQ(empty.MeanRt(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.ViolationRate(), 0.0);
+}
+
+TEST(MiddlewareTest, InvalidSlaThrows) {
+  const auto dataset = MakeDataset();
+  Environment env(dataset, 900.0);
+  NoAdaptationPolicy policy;
+  EXPECT_THROW(
+      ExecutionMiddleware(0, MakeWorkflow(), env, nullptr, policy, 0.0),
+      common::CheckError);
+}
+
+}  // namespace
+}  // namespace amf::adapt

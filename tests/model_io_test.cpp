@@ -1,0 +1,156 @@
+#include "core/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace amf::core {
+namespace {
+
+AmfModel TrainedModel() {
+  AmfModel m(MakeResponseTimeConfig(/*seed=*/9));
+  for (int i = 0; i < 200; ++i) {
+    m.OnlineUpdate(i % 4, i % 7, 0.5 + 0.2 * (i % 5));
+  }
+  return m;
+}
+
+TEST(ModelIoTest, RoundTripPreservesEverything) {
+  const AmfModel original = TrainedModel();
+  std::stringstream ss;
+  SaveModel(ss, original);
+  const AmfModel loaded = LoadModel(ss);
+
+  EXPECT_EQ(loaded.num_users(), original.num_users());
+  EXPECT_EQ(loaded.num_services(), original.num_services());
+  EXPECT_EQ(loaded.config().rank, original.config().rank);
+  EXPECT_DOUBLE_EQ(loaded.config().learn_rate,
+                   original.config().learn_rate);
+  EXPECT_DOUBLE_EQ(loaded.config().transform.alpha,
+                   original.config().transform.alpha);
+  EXPECT_EQ(loaded.config().adaptive_weights,
+            original.config().adaptive_weights);
+
+  for (data::UserId u = 0; u < original.num_users(); ++u) {
+    EXPECT_DOUBLE_EQ(loaded.UserError(u), original.UserError(u));
+    for (std::size_t k = 0; k < original.config().rank; ++k) {
+      EXPECT_DOUBLE_EQ(loaded.UserFactors(u)[k], original.UserFactors(u)[k]);
+    }
+  }
+  for (data::ServiceId s = 0; s < original.num_services(); ++s) {
+    EXPECT_DOUBLE_EQ(loaded.ServiceError(s), original.ServiceError(s));
+  }
+  // Predictions identical.
+  for (data::UserId u = 0; u < original.num_users(); ++u) {
+    for (data::ServiceId s = 0; s < original.num_services(); ++s) {
+      EXPECT_DOUBLE_EQ(loaded.PredictRaw(u, s), original.PredictRaw(u, s));
+    }
+  }
+}
+
+TEST(ModelIoTest, LoadedModelKeepsLearning) {
+  const AmfModel original = TrainedModel();
+  std::stringstream ss;
+  SaveModel(ss, original);
+  AmfModel loaded = LoadModel(ss);
+  const double err = loaded.OnlineUpdate(0, 0, 1.0);
+  EXPECT_TRUE(std::isfinite(err));
+}
+
+TEST(ModelIoTest, EmptyModelRoundTrips) {
+  const AmfModel empty(MakeThroughputConfig(3));
+  std::stringstream ss;
+  SaveModel(ss, empty);
+  const AmfModel loaded = LoadModel(ss);
+  EXPECT_EQ(loaded.num_users(), 0u);
+  EXPECT_EQ(loaded.num_services(), 0u);
+  EXPECT_DOUBLE_EQ(loaded.config().transform.r_max, 7000.0);
+}
+
+TEST(ModelIoTest, BadMagicThrows) {
+  std::stringstream ss("NOT_A_MODEL 1\n");
+  EXPECT_THROW(LoadModel(ss), common::CheckError);
+}
+
+TEST(ModelIoTest, BadVersionThrows) {
+  std::stringstream ss("AMF_MODEL 99\n");
+  EXPECT_THROW(LoadModel(ss), common::CheckError);
+}
+
+TEST(ModelIoTest, TruncatedPayloadThrows) {
+  const AmfModel original = TrainedModel();
+  std::stringstream ss;
+  SaveModel(ss, original);
+  std::string text = ss.str();
+  text.resize(text.size() / 2);
+  std::stringstream truncated(text);
+  EXPECT_THROW(LoadModel(truncated), common::CheckError);
+}
+
+TEST(SampleStoreIoTest, RoundTrip) {
+  SampleStore store;
+  store.Upsert({1, 2, 3, 4.5, 6.7});
+  store.Upsert({0, 0, 0, 0.25, 100.0});
+  std::stringstream ss;
+  SaveSampleStore(ss, store);
+  SampleStore loaded;
+  LoadSampleStore(ss, loaded);
+  EXPECT_EQ(loaded.size(), 2u);
+  const auto a = loaded.Get(2, 3);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->slice, 1u);
+  EXPECT_DOUBLE_EQ(a->value, 4.5);
+  EXPECT_DOUBLE_EQ(a->timestamp, 6.7);
+  EXPECT_TRUE(loaded.Contains(0, 0));
+}
+
+TEST(SampleStoreIoTest, EmptyStoreRoundTrips) {
+  SampleStore store;
+  std::stringstream ss;
+  SaveSampleStore(ss, store);
+  SampleStore loaded;
+  LoadSampleStore(ss, loaded);
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST(SampleStoreIoTest, LoadUpsertsIntoExisting) {
+  SampleStore store;
+  store.Upsert({0, 1, 1, 1.0, 0.0});
+  std::stringstream ss;
+  SaveSampleStore(ss, store);
+  SampleStore target;
+  target.Upsert({0, 1, 1, 9.0, 5.0});  // will be overwritten
+  target.Upsert({0, 2, 2, 3.0, 0.0});  // kept
+  LoadSampleStore(ss, target);
+  EXPECT_EQ(target.size(), 2u);
+  EXPECT_DOUBLE_EQ(target.Get(1, 1)->value, 1.0);
+}
+
+TEST(SampleStoreIoTest, TruncatedInputThrows) {
+  std::stringstream ss("AMF_SAMPLES 1 3\n0 0 0 1.0 0.0\n");
+  SampleStore store;
+  EXPECT_THROW(LoadSampleStore(ss, store), common::CheckError);
+}
+
+TEST(SampleStoreIoTest, BadHeaderThrows) {
+  std::stringstream ss("NOT_SAMPLES 1 0\n");
+  SampleStore store;
+  EXPECT_THROW(LoadSampleStore(ss, store), common::CheckError);
+}
+
+TEST(ModelIoTest, FileRoundTrip) {
+  const AmfModel original = TrainedModel();
+  const std::string path = ::testing::TempDir() + "/amf_model_io_test.model";
+  SaveModelFile(path, original);
+  const AmfModel loaded = LoadModelFile(path);
+  EXPECT_DOUBLE_EQ(loaded.PredictRaw(1, 1), original.PredictRaw(1, 1));
+}
+
+TEST(ModelIoTest, MissingFileThrows) {
+  EXPECT_THROW(LoadModelFile("/nonexistent/model.txt"), common::CheckError);
+}
+
+}  // namespace
+}  // namespace amf::core

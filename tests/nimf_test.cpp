@@ -1,0 +1,106 @@
+#include "cf/nimf.h"
+
+#include <gtest/gtest.h>
+
+#include "cf/pmf.h"
+#include "common/check.h"
+#include "tests/test_util.h"
+
+namespace amf::cf {
+namespace {
+
+TEST(NimfTest, Name) { EXPECT_EQ(Nimf().name(), "NIMF"); }
+
+TEST(NimfTest, InvalidConfigThrows) {
+  NimfConfig cfg;
+  cfg.rank = 0;
+  EXPECT_THROW(Nimf{cfg}, common::CheckError);
+  NimfConfig cfg2;
+  cfg2.alpha = 1.5;
+  EXPECT_THROW(Nimf{cfg2}, common::CheckError);
+  NimfConfig cfg3;
+  cfg3.learn_rate = 0.0;
+  EXPECT_THROW(Nimf{cfg3}, common::CheckError);
+}
+
+TEST(NimfTest, PredictBeforeFitThrows) {
+  Nimf nimf;
+  EXPECT_THROW(nimf.Predict(0, 0), common::CheckError);
+}
+
+TEST(NimfTest, EmptyTrainingSetThrows) {
+  Nimf nimf;
+  data::SparseMatrix empty(2, 2);
+  EXPECT_THROW(nimf.Fit(empty), common::CheckError);
+}
+
+TEST(NimfTest, BeatsGlobalMeanOnStructuredData) {
+  const linalg::Matrix slice = testutil::SmallRtSlice();
+  const data::TrainTestSplit split = testutil::Split(slice, 0.3);
+  Nimf nimf;
+  nimf.Fit(split.train);
+  const eval::Metrics m = eval::EvaluatePredictor(nimf, split.test);
+  const eval::Metrics baseline = testutil::GlobalMeanMetrics(split);
+  EXPECT_LT(m.mae, baseline.mae);
+}
+
+TEST(NimfTest, ComparableToPmfOnMae) {
+  const linalg::Matrix slice = testutil::SmallRtSlice(40, 120, 55);
+  const data::TrainTestSplit split = testutil::Split(slice, 0.2);
+  Nimf nimf;
+  nimf.Fit(split.train);
+  Pmf pmf;
+  pmf.Fit(split.train);
+  const double nimf_mae = eval::EvaluatePredictor(nimf, split.test).mae;
+  const double pmf_mae = eval::EvaluatePredictor(pmf, split.test).mae;
+  EXPECT_LT(nimf_mae, 1.25 * pmf_mae);  // same family, similar accuracy
+}
+
+TEST(NimfTest, AlphaOneReducesToPlainMf) {
+  // alpha = 1 removes the neighborhood term entirely; predictions should
+  // stay finite and sensible.
+  const linalg::Matrix slice = testutil::SmallRtSlice(20, 50);
+  const data::TrainTestSplit split = testutil::Split(slice, 0.3);
+  NimfConfig cfg;
+  cfg.alpha = 1.0;
+  Nimf nimf(cfg);
+  nimf.Fit(split.train);
+  const eval::Metrics m = eval::EvaluatePredictor(nimf, split.test);
+  const eval::Metrics baseline = testutil::GlobalMeanMetrics(split);
+  EXPECT_LT(m.mae, baseline.mae);
+}
+
+TEST(NimfTest, PredictionsWithinObservedRange) {
+  const linalg::Matrix slice = testutil::SmallRtSlice(20, 50);
+  const data::TrainTestSplit split = testutil::Split(slice, 0.3);
+  Nimf nimf;
+  nimf.Fit(split.train);
+  double lo = 1e300, hi = -1e300;
+  for (const auto& e : split.train.ToSamples()) {
+    lo = std::min(lo, e.value);
+    hi = std::max(hi, e.value);
+  }
+  for (const auto& s : split.test) {
+    const double p = nimf.Predict(s.user, s.service);
+    EXPECT_GE(p, lo - 1e-9);
+    EXPECT_LE(p, hi + 1e-9);
+  }
+}
+
+TEST(NimfTest, DeterministicInSeed) {
+  const linalg::Matrix slice = testutil::SmallRtSlice(15, 30);
+  const data::TrainTestSplit split = testutil::Split(slice, 0.4);
+  NimfConfig cfg;
+  cfg.seed = 7;
+  Nimf a(cfg), b(cfg);
+  a.Fit(split.train);
+  b.Fit(split.train);
+  for (std::size_t i = 0; i < 20 && i < split.test.size(); ++i) {
+    const auto& s = split.test[i];
+    EXPECT_DOUBLE_EQ(a.Predict(s.user, s.service),
+                     b.Predict(s.user, s.service));
+  }
+}
+
+}  // namespace
+}  // namespace amf::cf

@@ -1,0 +1,179 @@
+#include "core/online_trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "tests/test_util.h"
+
+namespace amf::core {
+namespace {
+
+AmfConfig ModelConfig() { return MakeResponseTimeConfig(/*seed=*/2); }
+
+data::QoSSample S(data::UserId u, data::ServiceId s, double v,
+                  double ts = 0.0) {
+  return data::QoSSample{0, u, s, v, ts};
+}
+
+TEST(OnlineTrainerTest, InvalidConfigThrows) {
+  AmfModel m(ModelConfig());
+  TrainerConfig c;
+  c.convergence_tol = 0.0;
+  EXPECT_THROW(OnlineTrainer(m, c), common::CheckError);
+  TrainerConfig c2;
+  c2.max_epochs = 0;
+  EXPECT_THROW(OnlineTrainer(m, c2), common::CheckError);
+}
+
+TEST(OnlineTrainerTest, ProcessIncomingStoresAndUpdates) {
+  AmfModel m(ModelConfig());
+  OnlineTrainer trainer(m);
+  trainer.Observe(S(0, 0, 1.0));
+  trainer.Observe(S(0, 1, 2.0));
+  EXPECT_EQ(trainer.ProcessIncoming(), 2u);
+  EXPECT_EQ(trainer.store().size(), 2u);
+  EXPECT_EQ(m.updates(), 2u);
+  EXPECT_EQ(trainer.ProcessIncoming(), 0u);
+}
+
+TEST(OnlineTrainerTest, TimeMustBeMonotonic) {
+  AmfModel m(ModelConfig());
+  OnlineTrainer trainer(m);
+  trainer.AdvanceTime(100.0);
+  EXPECT_DOUBLE_EQ(trainer.now(), 100.0);
+  EXPECT_THROW(trainer.AdvanceTime(50.0), common::CheckError);
+}
+
+TEST(OnlineTrainerTest, ProcessIncomingAdvancesClockToSampleTime) {
+  AmfModel m(ModelConfig());
+  OnlineTrainer trainer(m);
+  trainer.Observe(S(0, 0, 1.0, 500.0));
+  trainer.ProcessIncoming();
+  EXPECT_DOUBLE_EQ(trainer.now(), 500.0);
+}
+
+TEST(OnlineTrainerTest, ReplayOneUpdatesModel) {
+  AmfModel m(ModelConfig());
+  TrainerConfig cfg;
+  cfg.expiry_seconds = 0.0;  // no expiry
+  OnlineTrainer trainer(m, cfg);
+  trainer.Observe(S(0, 0, 1.0));
+  trainer.ProcessIncoming();
+  const auto err = trainer.ReplayOne();
+  ASSERT_TRUE(err.has_value());
+  EXPECT_GE(*err, 0.0);
+  EXPECT_EQ(m.updates(), 2u);
+}
+
+TEST(OnlineTrainerTest, ReplayOneOnEmptyStoreIsNoop) {
+  AmfModel m(ModelConfig());
+  OnlineTrainer trainer(m);
+  EXPECT_FALSE(trainer.ReplayOne().has_value());
+}
+
+TEST(OnlineTrainerTest, ExpiredSampleIsDroppedNotReplayed) {
+  AmfModel m(ModelConfig());
+  TrainerConfig cfg;
+  cfg.expiry_seconds = 900.0;
+  OnlineTrainer trainer(m, cfg);
+  trainer.Observe(S(0, 0, 1.0, /*ts=*/0.0));
+  trainer.ProcessIncoming();
+  trainer.AdvanceTime(1000.0);  // sample now 1000s old > 900s window
+  const std::uint64_t updates_before = m.updates();
+  EXPECT_FALSE(trainer.ReplayOne().has_value());
+  EXPECT_TRUE(trainer.store().empty());
+  EXPECT_EQ(m.updates(), updates_before);
+}
+
+TEST(OnlineTrainerTest, FreshSampleSurvivesExpiryCheck) {
+  AmfModel m(ModelConfig());
+  TrainerConfig cfg;
+  cfg.expiry_seconds = 900.0;
+  OnlineTrainer trainer(m, cfg);
+  trainer.Observe(S(0, 0, 1.0, /*ts=*/500.0));
+  trainer.ProcessIncoming();
+  trainer.AdvanceTime(1000.0);  // only 500s old
+  EXPECT_TRUE(trainer.ReplayOne().has_value());
+  EXPECT_EQ(trainer.store().size(), 1u);
+}
+
+TEST(OnlineTrainerTest, ZeroExpiryDisablesExpiration) {
+  AmfModel m(ModelConfig());
+  TrainerConfig cfg;
+  cfg.expiry_seconds = 0.0;
+  OnlineTrainer trainer(m, cfg);
+  trainer.Observe(S(0, 0, 1.0, 0.0));
+  trainer.ProcessIncoming();
+  trainer.AdvanceTime(1e9);
+  EXPECT_TRUE(trainer.ReplayOne().has_value());
+}
+
+TEST(OnlineTrainerTest, RunUntilConvergedReducesError) {
+  const linalg::Matrix slice = testutil::SmallRtSlice(20, 60);
+  const data::TrainTestSplit split = testutil::Split(slice, 0.3);
+  AmfModel m(ModelConfig());
+  TrainerConfig cfg;
+  cfg.expiry_seconds = 0.0;
+  OnlineTrainer trainer(m, cfg);
+  for (const auto& s : split.train.ToSamples()) trainer.Observe(s);
+  const std::size_t epochs = trainer.RunUntilConverged();
+  EXPECT_GT(epochs, 0u);
+  EXPECT_TRUE(std::isfinite(trainer.last_epoch_error()));
+  EXPECT_LT(trainer.last_epoch_error(), 0.5);
+}
+
+TEST(OnlineTrainerTest, ConvergedFlagSetOnToleranceStop) {
+  const linalg::Matrix slice = testutil::SmallRtSlice(15, 40);
+  const data::TrainTestSplit split = testutil::Split(slice, 0.3);
+  AmfModel m(ModelConfig());
+  TrainerConfig cfg;
+  cfg.expiry_seconds = 0.0;
+  cfg.max_epochs = 500;
+  OnlineTrainer trainer(m, cfg);
+  for (const auto& s : split.train.ToSamples()) trainer.Observe(s);
+  trainer.RunUntilConverged();
+  EXPECT_TRUE(trainer.converged());
+}
+
+TEST(OnlineTrainerTest, EpochCapRespected) {
+  const linalg::Matrix slice = testutil::SmallRtSlice(15, 40);
+  const data::TrainTestSplit split = testutil::Split(slice, 0.3);
+  AmfModel m(ModelConfig());
+  TrainerConfig cfg;
+  cfg.expiry_seconds = 0.0;
+  cfg.max_epochs = 3;
+  cfg.convergence_tol = 1e-12;  // effectively unreachable
+  OnlineTrainer trainer(m, cfg);
+  for (const auto& s : split.train.ToSamples()) trainer.Observe(s);
+  EXPECT_EQ(trainer.RunUntilConverged(), 3u);
+  EXPECT_FALSE(trainer.converged());
+}
+
+TEST(OnlineTrainerTest, NewObservationsResetConvergence) {
+  AmfModel m(ModelConfig());
+  TrainerConfig cfg;
+  cfg.expiry_seconds = 0.0;
+  OnlineTrainer trainer(m, cfg);
+  trainer.Observe(S(0, 0, 1.0));
+  trainer.RunUntilConverged();
+  EXPECT_TRUE(trainer.converged());
+  trainer.Observe(S(1, 1, 2.0));
+  trainer.ProcessIncoming();
+  EXPECT_FALSE(trainer.converged());
+}
+
+TEST(OnlineTrainerTest, RefreshedSampleValueIsUsed) {
+  AmfModel m(ModelConfig());
+  TrainerConfig cfg;
+  cfg.expiry_seconds = 0.0;
+  OnlineTrainer trainer(m, cfg);
+  trainer.Observe(S(0, 0, 1.0, 0.0));
+  trainer.ProcessIncoming();
+  trainer.Observe(S(0, 0, 5.0, 10.0));  // newer measurement, same pair
+  trainer.ProcessIncoming();
+  EXPECT_EQ(trainer.store().size(), 1u);
+  EXPECT_DOUBLE_EQ(trainer.store().Get(0, 0)->value, 5.0);
+}
+
+}  // namespace
+}  // namespace amf::core

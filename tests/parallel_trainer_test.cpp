@@ -1,0 +1,125 @@
+#include "core/parallel_trainer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/statistics.h"
+#include "core/online_trainer.h"
+#include "tests/test_util.h"
+
+namespace amf::core {
+namespace {
+
+AmfModel RegisteredModel(std::size_t users, std::size_t services,
+                         std::uint64_t seed = 2) {
+  AmfModel m(MakeResponseTimeConfig(seed));
+  m.EnsureUser(static_cast<data::UserId>(users - 1));
+  m.EnsureService(static_cast<data::ServiceId>(services - 1));
+  return m;
+}
+
+TEST(ParallelTrainerTest, UnregisteredEntityThrows) {
+  AmfModel m(MakeResponseTimeConfig(1));
+  ParallelReplayTrainer trainer(m);
+  const std::vector<data::QoSSample> samples = {{0, 5, 5, 1.0, 0.0}};
+  EXPECT_THROW(trainer.ReplayEpoch(samples), common::CheckError);
+}
+
+TEST(ParallelTrainerTest, EmptySampleSetThrows) {
+  AmfModel m = RegisteredModel(2, 2);
+  ParallelReplayTrainer trainer(m);
+  EXPECT_THROW(trainer.ReplayEpoch({}), common::CheckError);
+}
+
+TEST(ParallelTrainerTest, EpochAppliesEverySampleOnce) {
+  AmfModel m = RegisteredModel(4, 8);
+  ParallelReplayTrainer trainer(m);
+  std::vector<data::QoSSample> samples;
+  for (data::UserId u = 0; u < 4; ++u) {
+    for (data::ServiceId s = 0; s < 8; ++s) {
+      samples.push_back({0, u, s, 0.5 + 0.1 * u, 0.0});
+    }
+  }
+  trainer.ReplayEpoch(samples);
+  EXPECT_EQ(m.updates(), samples.size());
+  trainer.ReplayEpoch(samples);
+  EXPECT_EQ(m.updates(), 2 * samples.size());
+}
+
+TEST(ParallelTrainerTest, ConvergesLikeSerialTrainer) {
+  const linalg::Matrix slice = testutil::SmallRtSlice(30, 90, 5);
+  const data::TrainTestSplit split = testutil::Split(slice, 0.3);
+  const std::vector<data::QoSSample> samples = split.train.ToSamples();
+
+  // Parallel (4 threads).
+  AmfModel par_model = RegisteredModel(30, 90, 3);
+  ParallelReplayConfig pcfg;
+  pcfg.threads = 4;
+  pcfg.seed = 11;
+  ParallelReplayTrainer par(par_model, pcfg);
+  par.ReplayUntilConverged(samples);
+
+  // Serial reference.
+  AmfModel ser_model = RegisteredModel(30, 90, 3);
+  TrainerConfig scfg;
+  scfg.expiry_seconds = 0.0;
+  OnlineTrainer ser(ser_model, scfg);
+  for (const auto& s : samples) ser.Observe(s);
+  ser.RunUntilConverged();
+
+  auto mre = [&](const AmfModel& m) {
+    std::vector<double> rel;
+    for (const auto& s : split.test) {
+      rel.push_back(std::abs(m.PredictRaw(s.user, s.service) - s.value) /
+                    s.value);
+    }
+    return common::Median(rel);
+  };
+  const double par_mre = mre(par_model);
+  const double ser_mre = mre(ser_model);
+  EXPECT_TRUE(std::isfinite(par_mre));
+  // Not bitwise equal (different interleavings) but the same quality.
+  EXPECT_LT(par_mre, 1.3 * ser_mre + 0.05);
+  EXPECT_LT(par_mre, 0.6);
+}
+
+TEST(ParallelTrainerTest, ErrorDecreasesOverEpochs) {
+  const linalg::Matrix slice = testutil::SmallRtSlice(20, 60, 7);
+  const data::TrainTestSplit split = testutil::Split(slice, 0.3);
+  const std::vector<data::QoSSample> samples = split.train.ToSamples();
+  AmfModel m = RegisteredModel(20, 60, 4);
+  ParallelReplayConfig cfg;
+  cfg.threads = 2;
+  ParallelReplayTrainer trainer(m, cfg);
+  const double first = trainer.ReplayEpoch(samples);
+  double last = first;
+  for (int e = 0; e < 10; ++e) last = trainer.ReplayEpoch(samples);
+  EXPECT_LT(last, first);
+  EXPECT_DOUBLE_EQ(trainer.last_epoch_error(), last);
+}
+
+TEST(ParallelTrainerTest, ModelStateStaysFinite) {
+  AmfModel m = RegisteredModel(10, 20, 6);
+  ParallelReplayConfig cfg;
+  cfg.threads = 4;
+  cfg.stripes = 4;  // force contention
+  ParallelReplayTrainer trainer(m, cfg);
+  common::Rng rng(9);
+  std::vector<data::QoSSample> samples;
+  for (int i = 0; i < 500; ++i) {
+    samples.push_back({0, static_cast<data::UserId>(rng.Index(10)),
+                       static_cast<data::ServiceId>(rng.Index(20)),
+                       rng.LogNormal(-0.2, 1.0), 0.0});
+  }
+  for (int e = 0; e < 5; ++e) trainer.ReplayEpoch(samples);
+  for (data::UserId u = 0; u < 10; ++u) {
+    for (data::ServiceId s = 0; s < 20; ++s) {
+      ASSERT_TRUE(std::isfinite(m.PredictRaw(u, s)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace amf::core

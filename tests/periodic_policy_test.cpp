@@ -1,0 +1,91 @@
+#include "adapt/periodic_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace amf::adapt {
+namespace {
+
+/// Inner policy that records whether the context it saw read as violated.
+class ProbePolicy : public AdaptationPolicy {
+ public:
+  std::string name() const override { return "probe"; }
+  std::optional<data::ServiceId> SelectBinding(
+      const TaskContext& ctx) override {
+    ++calls;
+    if (ctx.failed || ctx.observed_rt > ctx.sla_threshold) {
+      ++violated_calls;
+      return data::ServiceId{1};
+    }
+    return std::nullopt;
+  }
+  int calls = 0;
+  int violated_calls = 0;
+};
+
+AbstractTask MakeTask() { return AbstractTask{"t", {0, 1}}; }
+
+TaskContext HealthyCtx(const AbstractTask& task) {
+  TaskContext ctx;
+  ctx.task = &task;
+  ctx.user = 0;
+  ctx.current_binding = 0;
+  ctx.observed_rt = 0.5;
+  ctx.sla_threshold = 2.0;
+  return ctx;
+}
+
+TEST(PeriodicPolicyTest, InvalidPeriodThrows) {
+  ProbePolicy inner;
+  EXPECT_THROW(PeriodicReselectionPolicy(inner, 0), common::CheckError);
+}
+
+TEST(PeriodicPolicyTest, NameCombines) {
+  ProbePolicy inner;
+  PeriodicReselectionPolicy policy(inner, 4);
+  EXPECT_EQ(policy.name(), "periodic(4)+probe");
+}
+
+TEST(PeriodicPolicyTest, ForcesReselectionEveryPeriod) {
+  ProbePolicy inner;
+  PeriodicReselectionPolicy policy(inner, 3);
+  const AbstractTask task = MakeTask();
+  int rebinds = 0;
+  for (int i = 0; i < 9; ++i) {
+    if (policy.SelectBinding(HealthyCtx(task))) ++rebinds;
+  }
+  EXPECT_EQ(inner.calls, 9);
+  EXPECT_EQ(inner.violated_calls, 3);  // iterations 3, 6, 9
+  EXPECT_EQ(rebinds, 3);
+}
+
+TEST(PeriodicPolicyTest, RealViolationsPassThroughBetweenPeriods) {
+  ProbePolicy inner;
+  PeriodicReselectionPolicy policy(inner, 100);
+  const AbstractTask task = MakeTask();
+  TaskContext ctx = HealthyCtx(task);
+  ctx.observed_rt = 10.0;
+  EXPECT_TRUE(policy.SelectBinding(ctx).has_value());
+  EXPECT_EQ(inner.violated_calls, 1);
+}
+
+TEST(PeriodicPolicyTest, CountersArePerUserTask) {
+  ProbePolicy inner;
+  PeriodicReselectionPolicy policy(inner, 2);
+  const AbstractTask task_a = MakeTask();
+  const AbstractTask task_b = MakeTask();
+  TaskContext a = HealthyCtx(task_a);
+  TaskContext b = HealthyCtx(task_b);
+  b.user = 1;
+  policy.SelectBinding(a);  // a: count 1
+  policy.SelectBinding(b);  // b: count 1
+  EXPECT_EQ(inner.violated_calls, 0);
+  policy.SelectBinding(a);  // a: count 2 -> forced
+  EXPECT_EQ(inner.violated_calls, 1);
+  policy.SelectBinding(b);  // b: count 2 -> forced
+  EXPECT_EQ(inner.violated_calls, 2);
+}
+
+}  // namespace
+}  // namespace amf::adapt

@@ -1,0 +1,126 @@
+#include "cf/pmf.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "tests/test_util.h"
+
+namespace amf::cf {
+namespace {
+
+TEST(PmfTest, Name) { EXPECT_EQ(Pmf().name(), "PMF"); }
+
+TEST(PmfTest, InvalidConfigThrows) {
+  PmfConfig cfg;
+  cfg.rank = 0;
+  EXPECT_THROW(Pmf{cfg}, common::CheckError);
+  PmfConfig cfg2;
+  cfg2.learn_rate = 0.0;
+  EXPECT_THROW(Pmf{cfg2}, common::CheckError);
+}
+
+TEST(PmfTest, PredictBeforeFitThrows) {
+  Pmf pmf;
+  EXPECT_THROW(pmf.Predict(0, 0), common::CheckError);
+}
+
+TEST(PmfTest, EmptyTrainingSetThrows) {
+  Pmf pmf;
+  data::SparseMatrix empty(3, 3);
+  EXPECT_THROW(pmf.Fit(empty), common::CheckError);
+}
+
+TEST(PmfTest, FitsObservedEntriesClosely) {
+  const linalg::Matrix slice = testutil::SmallRtSlice(25, 60);
+  const data::TrainTestSplit split = testutil::Split(slice, 0.5);
+  Pmf pmf;
+  pmf.Fit(split.train);
+  EXPECT_GT(pmf.epochs_run(), 1u);
+  EXPECT_LT(pmf.final_train_rmse(), 0.2);  // normalized-domain RMSE
+}
+
+TEST(PmfTest, PredictionsWithinNormalizationRange) {
+  const linalg::Matrix slice = testutil::SmallRtSlice(20, 40);
+  const data::TrainTestSplit split = testutil::Split(slice, 0.3);
+  Pmf pmf;
+  pmf.Fit(split.train);
+  double lo = 1e300, hi = -1e300;
+  for (const auto& e : split.train.ToSamples()) {
+    lo = std::min(lo, e.value);
+    hi = std::max(hi, e.value);
+  }
+  for (const auto& s : split.test) {
+    const double p = pmf.Predict(s.user, s.service);
+    EXPECT_GE(p, lo - 1e-9);
+    EXPECT_LE(p, hi + 1e-9);
+  }
+}
+
+TEST(PmfTest, BeatsGlobalMeanOnStructuredData) {
+  const linalg::Matrix slice = testutil::SmallRtSlice();
+  const data::TrainTestSplit split = testutil::Split(slice, 0.3);
+  Pmf pmf;
+  pmf.Fit(split.train);
+  const eval::Metrics m = eval::EvaluatePredictor(pmf, split.test);
+  const eval::Metrics baseline = testutil::GlobalMeanMetrics(split);
+  EXPECT_LT(m.mae, baseline.mae);
+}
+
+TEST(PmfTest, DeterministicInSeed) {
+  const linalg::Matrix slice = testutil::SmallRtSlice(15, 30);
+  const data::TrainTestSplit split = testutil::Split(slice, 0.4);
+  PmfConfig cfg;
+  cfg.seed = 77;
+  Pmf a(cfg), b(cfg);
+  a.Fit(split.train);
+  b.Fit(split.train);
+  for (const auto& s : split.test) {
+    EXPECT_DOUBLE_EQ(a.Predict(s.user, s.service),
+                     b.Predict(s.user, s.service));
+  }
+}
+
+TEST(PmfTest, DifferentSeedsGiveDifferentModels) {
+  const linalg::Matrix slice = testutil::SmallRtSlice(15, 30);
+  const data::TrainTestSplit split = testutil::Split(slice, 0.4);
+  PmfConfig ca;
+  ca.seed = 1;
+  PmfConfig cb;
+  cb.seed = 2;
+  Pmf a(ca), b(cb);
+  a.Fit(split.train);
+  b.Fit(split.train);
+  int diff = 0;
+  for (std::size_t i = 0; i < 20 && i < split.test.size(); ++i) {
+    const auto& s = split.test[i];
+    if (a.Predict(s.user, s.service) != b.Predict(s.user, s.service)) {
+      ++diff;
+    }
+  }
+  EXPECT_GT(diff, 0);
+}
+
+TEST(PmfTest, EarlyStoppingRespectsMaxEpochs) {
+  const linalg::Matrix slice = testutil::SmallRtSlice(15, 30);
+  const data::TrainTestSplit split = testutil::Split(slice, 0.4);
+  PmfConfig cfg;
+  cfg.max_epochs = 5;
+  Pmf pmf(cfg);
+  pmf.Fit(split.train);
+  EXPECT_LE(pmf.epochs_run(), 5u);
+}
+
+TEST(PmfTest, ConstantDataHandled) {
+  data::SparseMatrix m(4, 4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      if ((r + c) % 2 == 0) m.Set(r, c, 3.0);
+    }
+  }
+  Pmf pmf;
+  pmf.Fit(m);
+  EXPECT_TRUE(std::isfinite(pmf.Predict(0, 1)));
+}
+
+}  // namespace
+}  // namespace amf::cf

@@ -1,0 +1,97 @@
+#include "adapt/prediction_service.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace amf::adapt {
+namespace {
+
+TEST(PredictionServiceTest, RegistrationGrowsModel) {
+  QoSPredictionService service;
+  const auto u = service.RegisterUser("app-1");
+  const auto s = service.RegisterService("svc-1");
+  EXPECT_EQ(u, 0u);
+  EXPECT_EQ(s, 0u);
+  EXPECT_TRUE(service.model().HasUser(u));
+  EXPECT_TRUE(service.model().HasService(s));
+  EXPECT_TRUE(service.PredictQoS(u, s).has_value());
+}
+
+TEST(PredictionServiceTest, PredictUnknownReturnsNullopt) {
+  QoSPredictionService service;
+  EXPECT_FALSE(service.PredictQoS(0, 0).has_value());
+  service.RegisterUser("u");
+  EXPECT_FALSE(service.PredictQoS(0, 0).has_value());
+}
+
+TEST(PredictionServiceTest, ObservationsFlowThroughTick) {
+  QoSPredictionService service;
+  const auto u = service.RegisterUser("u");
+  const auto s = service.RegisterService("s");
+  for (int i = 0; i < 200; ++i) {
+    service.ReportObservation({0, u, s, 0.8, 0.0});
+    service.Tick(0.0);
+  }
+  const auto pred = service.PredictQoS(u, s);
+  ASSERT_TRUE(pred.has_value());
+  EXPECT_NEAR(*pred, 0.8, 0.3);
+  EXPECT_EQ(service.observations(), 200u);
+}
+
+TEST(PredictionServiceTest, TrainToConvergence) {
+  QoSPredictionService service;
+  const auto u = service.RegisterUser("u");
+  const auto s1 = service.RegisterService("s1");
+  const auto s2 = service.RegisterService("s2");
+  for (int i = 0; i < 5; ++i) {
+    service.ReportObservation({0, u, s1, 0.2, 0.0});
+    service.ReportObservation({0, u, s2, 5.0, 0.0});
+  }
+  service.TrainToConvergence(0.0);
+  ASSERT_TRUE(service.PredictQoS(u, s1).has_value());
+  EXPECT_LT(*service.PredictQoS(u, s1), *service.PredictQoS(u, s2));
+}
+
+TEST(PredictionServiceTest, UnregisterDeactivatesButKeepsModel) {
+  QoSPredictionService service;
+  const auto u = service.RegisterUser("u");
+  EXPECT_TRUE(service.UnregisterUser("u"));
+  EXPECT_FALSE(service.users().IsActive(u));
+  // Model state is retained for a potential rejoin.
+  EXPECT_TRUE(service.model().HasUser(u));
+  EXPECT_FALSE(service.UnregisterUser("ghost"));
+}
+
+TEST(PredictionServiceTest, UncertaintyFallsWithTraining) {
+  QoSPredictionService service;
+  const auto u = service.RegisterUser("u");
+  const auto s = service.RegisterService("s");
+  const auto before = service.PredictQoSWithUncertainty(u, s);
+  ASSERT_TRUE(before.has_value());
+  EXPECT_DOUBLE_EQ(before->uncertainty, 1.0);  // initial_error on both sides
+  for (int i = 0; i < 200; ++i) {
+    service.ReportObservation({0, u, s, 0.8, 0.0});
+    service.Tick(0.0);
+  }
+  const auto after = service.PredictQoSWithUncertainty(u, s);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_LT(after->uncertainty, 0.3 * before->uncertainty);
+}
+
+TEST(PredictionServiceTest, UncertaintyForUnknownIsNullopt) {
+  QoSPredictionService service;
+  EXPECT_FALSE(service.PredictQoSWithUncertainty(0, 0).has_value());
+}
+
+TEST(PredictionServiceTest, TickAdvancesTrainerClock) {
+  QoSPredictionService service;
+  service.Tick(1000.0);
+  EXPECT_DOUBLE_EQ(service.trainer().now(), 1000.0);
+  // Ticking with an older time must not move the clock backwards.
+  service.Tick(500.0);
+  EXPECT_DOUBLE_EQ(service.trainer().now(), 1000.0);
+}
+
+}  // namespace
+}  // namespace amf::adapt

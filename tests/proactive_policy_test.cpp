@@ -1,0 +1,108 @@
+#include "adapt/proactive_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "forecast/exponential_smoothing.h"
+#include "forecast/moving_average.h"
+
+namespace amf::adapt {
+namespace {
+
+/// Inner policy that records the context it was offered and rebinds to a
+/// fixed target on violation.
+class RecordingPolicy : public AdaptationPolicy {
+ public:
+  std::string name() const override { return "recording"; }
+  std::optional<data::ServiceId> SelectBinding(
+      const TaskContext& ctx) override {
+    last_observed_rt = ctx.observed_rt;
+    ++calls;
+    if (ctx.failed || ctx.observed_rt > ctx.sla_threshold) {
+      return data::ServiceId{99};
+    }
+    return std::nullopt;
+  }
+  double last_observed_rt = 0.0;
+  int calls = 0;
+};
+
+AbstractTask MakeTask() { return AbstractTask{"t", {0, 1, 99}}; }
+
+TaskContext Ctx(const AbstractTask& task, double rt) {
+  TaskContext ctx;
+  ctx.task = &task;
+  ctx.user = 0;
+  ctx.current_binding = 0;
+  ctx.observed_rt = rt;
+  ctx.sla_threshold = 2.0;
+  return ctx;
+}
+
+TEST(ProactivePolicyTest, NameCombinesParts) {
+  RecordingPolicy inner;
+  forecast::MovingAverage ma(2);
+  ProactivePolicy policy(inner, ma);
+  EXPECT_EQ(policy.name(), "proactive[MA(2)]+recording");
+}
+
+TEST(ProactivePolicyTest, PassesThroughWhenHealthy) {
+  RecordingPolicy inner;
+  forecast::SimpleExponentialSmoothing ses(0.5);
+  ProactivePolicy policy(inner, ses);
+  const AbstractTask task = MakeTask();
+  EXPECT_FALSE(policy.SelectBinding(Ctx(task, 1.0)).has_value());
+  EXPECT_EQ(inner.calls, 1);
+}
+
+TEST(ProactivePolicyTest, ForecastTriggersBeforeObservedViolation) {
+  // Ramp up toward the SLA: with a trend-free forecaster (MA over recent
+  // history near the SLA) the max(observed, forecast) crosses only when
+  // observations do; use SES with alpha 1 -> forecast == last value.
+  // To get a *proactive* trigger we feed a spike, then a healthy value:
+  // the forecast (EWMA) is still above SLA even though the observation
+  // is fine.
+  RecordingPolicy inner;
+  forecast::SimpleExponentialSmoothing ses(0.9);
+  ProactivePolicy policy(inner, ses);
+  const AbstractTask task = MakeTask();
+  EXPECT_TRUE(policy.SelectBinding(Ctx(task, 10.0)).has_value());  // spike
+  const auto pick = policy.SelectBinding(Ctx(task, 1.5));  // healthy obs
+  // Forecast = 0.9*1.5 + 0.1*10 = 2.35 > SLA -> still triggers.
+  EXPECT_TRUE(pick.has_value());
+  EXPECT_DOUBLE_EQ(inner.last_observed_rt, 0.9 * 1.5 + 0.1 * 10.0);
+}
+
+TEST(ProactivePolicyTest, SeparateForecastersPerBinding) {
+  RecordingPolicy inner;
+  forecast::MovingAverage ma(4);
+  ProactivePolicy policy(inner, ma);
+  const AbstractTask task = MakeTask();
+
+  TaskContext ctx0 = Ctx(task, 1.0);
+  ctx0.current_binding = 0;
+  policy.SelectBinding(ctx0);
+  TaskContext ctx1 = Ctx(task, 3.0);
+  ctx1.current_binding = 1;
+  policy.SelectBinding(ctx1);
+
+  ASSERT_TRUE(policy.ForecastFor(0, 0).has_value());
+  ASSERT_TRUE(policy.ForecastFor(0, 1).has_value());
+  EXPECT_DOUBLE_EQ(*policy.ForecastFor(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(*policy.ForecastFor(0, 1), 3.0);
+  EXPECT_FALSE(policy.ForecastFor(1, 0).has_value());
+}
+
+TEST(ProactivePolicyTest, ObservedViolationStillTriggers) {
+  RecordingPolicy inner;
+  forecast::MovingAverage ma(8);
+  ProactivePolicy policy(inner, ma);
+  const AbstractTask task = MakeTask();
+  // Long healthy history, then a hard violation: forecast is low but the
+  // observation itself must trigger.
+  for (int i = 0; i < 8; ++i) policy.SelectBinding(Ctx(task, 0.5));
+  const auto pick = policy.SelectBinding(Ctx(task, 9.0));
+  EXPECT_TRUE(pick.has_value());
+}
+
+}  // namespace
+}  // namespace amf::adapt

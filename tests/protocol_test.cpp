@@ -1,0 +1,115 @@
+#include "eval/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace amf::eval {
+namespace {
+
+/// Predicts the mean of the training data (simple but data-dependent, so
+/// the protocol's masking is observable).
+class MeanPredictor : public Predictor {
+ public:
+  std::string name() const override { return "mean"; }
+  void Fit(const data::SparseMatrix& train) override {
+    mean_ = train.GlobalMean();
+    ++fits_;
+  }
+  double Predict(data::UserId, data::ServiceId) const override {
+    return mean_;
+  }
+  static int fits_;
+
+ private:
+  double mean_ = 0.0;
+};
+int MeanPredictor::fits_ = 0;
+
+linalg::Matrix Ramp(std::size_t rows, std::size_t cols) {
+  linalg::Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m(r, c) = 1.0 + static_cast<double>(r + c);
+    }
+  }
+  return m;
+}
+
+TEST(ProtocolTest, RunsRequestedRounds) {
+  MeanPredictor::fits_ = 0;
+  ProtocolConfig cfg;
+  cfg.density = 0.3;
+  cfg.rounds = 4;
+  cfg.seed = 11;
+  const ProtocolResult res = RunProtocol(
+      Ramp(10, 10), cfg,
+      [](std::uint64_t) { return std::make_unique<MeanPredictor>(); });
+  EXPECT_EQ(res.rounds.size(), 4u);
+  EXPECT_EQ(MeanPredictor::fits_, 4);
+  EXPECT_GT(res.average.mae, 0.0);
+  EXPECT_GE(res.fit_seconds, 0.0);
+}
+
+TEST(ProtocolTest, DeterministicInSeed) {
+  ProtocolConfig cfg;
+  cfg.density = 0.4;
+  cfg.rounds = 2;
+  cfg.seed = 5;
+  auto factory = [](std::uint64_t) {
+    return std::make_unique<MeanPredictor>();
+  };
+  const ProtocolResult a = RunProtocol(Ramp(8, 8), cfg, factory);
+  const ProtocolResult b = RunProtocol(Ramp(8, 8), cfg, factory);
+  EXPECT_DOUBLE_EQ(a.average.mae, b.average.mae);
+  EXPECT_DOUBLE_EQ(a.average.mre, b.average.mre);
+}
+
+TEST(ProtocolTest, RoundsVaryMasks) {
+  ProtocolConfig cfg;
+  cfg.density = 0.5;
+  cfg.rounds = 2;
+  cfg.seed = 7;
+  const ProtocolResult res = RunProtocol(
+      Ramp(10, 10), cfg,
+      [](std::uint64_t) { return std::make_unique<MeanPredictor>(); });
+  // Two rounds with different masks almost surely give different MAE.
+  EXPECT_NE(res.rounds[0].mae, res.rounds[1].mae);
+}
+
+TEST(ProtocolTest, FactorySeedsDiffer) {
+  std::vector<std::uint64_t> seeds;
+  ProtocolConfig cfg;
+  cfg.density = 0.5;
+  cfg.rounds = 3;
+  RunProtocol(Ramp(5, 5), cfg, [&](std::uint64_t seed) {
+    seeds.push_back(seed);
+    return std::make_unique<MeanPredictor>();
+  });
+  ASSERT_EQ(seeds.size(), 3u);
+  EXPECT_NE(seeds[0], seeds[1]);
+  EXPECT_NE(seeds[1], seeds[2]);
+}
+
+TEST(ProtocolTest, ZeroRoundsThrows) {
+  ProtocolConfig cfg;
+  cfg.rounds = 0;
+  EXPECT_THROW(
+      RunProtocol(Ramp(3, 3), cfg,
+                  [](std::uint64_t) {
+                    return std::make_unique<MeanPredictor>();
+                  }),
+      common::CheckError);
+}
+
+TEST(ProtocolTest, NullFactoryThrows) {
+  ProtocolConfig cfg;
+  EXPECT_THROW(RunProtocol(Ramp(3, 3), cfg,
+                           [](std::uint64_t) -> std::unique_ptr<Predictor> {
+                             return nullptr;
+                           }),
+               common::CheckError);
+}
+
+}  // namespace
+}  // namespace amf::eval

@@ -1,0 +1,190 @@
+#include "transform/qos_transform.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "transform/normalizer.h"
+
+namespace amf::transform {
+namespace {
+
+TEST(SigmoidTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0.0), 0.5);
+  EXPECT_NEAR(Sigmoid(100.0), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-100.0), 0.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(1.0), 1.0 / (1.0 + std::exp(-1.0)), 1e-15);
+}
+
+TEST(SigmoidTest, NoOverflowAtExtremes) {
+  EXPECT_TRUE(std::isfinite(Sigmoid(1e6)));
+  EXPECT_TRUE(std::isfinite(Sigmoid(-1e6)));
+}
+
+TEST(SigmoidTest, SymmetricAroundZero) {
+  for (double x : {0.3, 1.7, 4.0}) {
+    EXPECT_NEAR(Sigmoid(x) + Sigmoid(-x), 1.0, 1e-14);
+  }
+}
+
+TEST(SigmoidDerivativeTest, MatchesFiniteDifference) {
+  for (double x : {-3.0, -0.5, 0.0, 0.5, 3.0}) {
+    const double h = 1e-6;
+    const double fd = (Sigmoid(x + h) - Sigmoid(x - h)) / (2 * h);
+    EXPECT_NEAR(SigmoidDerivative(x), fd, 1e-8);
+  }
+}
+
+TEST(LogitTest, InvertsSigmoid) {
+  for (double x : {-4.0, -1.0, 0.0, 2.0, 5.0}) {
+    EXPECT_NEAR(Logit(Sigmoid(x)), x, 1e-9);
+  }
+}
+
+TEST(LogitTest, ClampsOutOfRange) {
+  EXPECT_TRUE(std::isfinite(Logit(0.0)));
+  EXPECT_TRUE(std::isfinite(Logit(1.0)));
+  EXPECT_LT(Logit(0.0), 0.0);
+  EXPECT_GT(Logit(1.0), 0.0);
+}
+
+TEST(LinearNormalizerTest, MapsBoundsToUnitInterval) {
+  LinearNormalizer n(-2.0, 6.0);
+  EXPECT_DOUBLE_EQ(n.Normalize(-2.0), 0.0);
+  EXPECT_DOUBLE_EQ(n.Normalize(6.0), 1.0);
+  EXPECT_DOUBLE_EQ(n.Normalize(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(n.Denormalize(0.25), 0.0);
+}
+
+TEST(LinearNormalizerTest, RoundTrips) {
+  LinearNormalizer n(0.5, 20.0);
+  for (double x : {0.5, 1.0, 7.3, 20.0}) {
+    EXPECT_NEAR(n.Denormalize(n.Normalize(x)), x, 1e-12);
+  }
+}
+
+TEST(LinearNormalizerTest, DegenerateBoundsThrow) {
+  EXPECT_THROW(LinearNormalizer(1.0, 1.0), common::CheckError);
+  EXPECT_THROW(LinearNormalizer(2.0, 1.0), common::CheckError);
+}
+
+class QoSTransformParamTest
+    : public ::testing::TestWithParam<double> {};  // alpha sweep
+
+TEST_P(QoSTransformParamTest, ForwardStaysInUnitInterval) {
+  QoSTransformConfig cfg;
+  cfg.alpha = GetParam();
+  cfg.r_max = 20.0;
+  QoSTransform t(cfg);
+  for (double raw : {0.0, 1e-4, 0.01, 0.5, 1.33, 10.0, 20.0, 100.0}) {
+    const double r = t.Forward(raw);
+    EXPECT_GE(r, 0.0);
+    EXPECT_LE(r, 1.0);
+  }
+}
+
+TEST_P(QoSTransformParamTest, ForwardIsMonotone) {
+  QoSTransformConfig cfg;
+  cfg.alpha = GetParam();
+  QoSTransform t(cfg);
+  double prev = t.Forward(0.01);
+  for (double raw = 0.02; raw < 20.0; raw *= 1.4) {
+    const double cur = t.Forward(raw);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+TEST_P(QoSTransformParamTest, RoundTripInsideClampRange) {
+  QoSTransformConfig cfg;
+  cfg.alpha = GetParam();
+  QoSTransform t(cfg);
+  // Raw values chosen so the normalized value stays above the r-floor for
+  // every alpha in the sweep (below it, Forward intentionally clamps).
+  for (double raw : {0.05, 0.2, 1.33, 5.0, 19.0}) {
+    EXPECT_NEAR(t.Inverse(t.Forward(raw)), raw, 1e-6 * std::max(1.0, raw))
+        << "alpha=" << GetParam() << " raw=" << raw;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AlphaSweep, QoSTransformParamTest,
+                         ::testing::Values(-0.05, -0.007, 0.0, 0.5, 1.0));
+
+TEST(QoSTransformTest, ClampsBelowFloorAndAboveMax) {
+  QoSTransform t(QoSTransformConfig{});
+  EXPECT_DOUBLE_EQ(t.Forward(-5.0), t.Forward(0.0));
+  EXPECT_DOUBLE_EQ(t.Forward(25.0), t.Forward(20.0));
+  EXPECT_NEAR(t.Forward(20.0), 1.0, 1e-12);
+}
+
+TEST(QoSTransformTest, FloorKeepsRelativeLossFinite) {
+  QoSTransform t(QoSTransformConfig{});
+  const double r = t.Forward(0.0);  // raw at Rmin
+  EXPECT_GT(r, 0.0);                // never exactly 0 -> 1/r finite
+}
+
+TEST(QoSTransformTest, PredictRawIsInverseOfSigmoid) {
+  QoSTransform t(QoSTransformConfig{});
+  for (double inner : {-3.0, 0.0, 2.0}) {
+    EXPECT_NEAR(t.PredictRaw(inner), t.Inverse(Sigmoid(inner)), 1e-12);
+  }
+}
+
+TEST(QoSTransformTest, PredictRawWithinValueRange) {
+  QoSTransformConfig cfg;
+  cfg.alpha = -0.05;
+  cfg.r_max = 7000.0;
+  QoSTransform t(cfg);
+  for (double inner : {-50.0, -1.0, 0.0, 1.0, 50.0}) {
+    const double v = t.PredictRaw(inner);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 7000.0 + 1e-9);
+  }
+}
+
+TEST(QoSTransformTest, ThroughputConfigTransformsLargeValues) {
+  QoSTransformConfig cfg;
+  cfg.alpha = -0.05;
+  cfg.r_max = 7000.0;
+  cfg.value_floor = 0.01;
+  QoSTransform t(cfg);
+  const double r_small = t.Forward(1.0);
+  const double r_big = t.Forward(5000.0);
+  EXPECT_LT(r_small, r_big);
+  EXPECT_NEAR(t.Inverse(r_big), 5000.0, 1.0);
+}
+
+TEST(QoSTransformTest, InvalidConfigThrows) {
+  QoSTransformConfig bad;
+  bad.r_max = 0.0;
+  EXPECT_THROW(QoSTransform{bad}, common::CheckError);
+  QoSTransformConfig bad2;
+  bad2.value_floor = 0.0;
+  EXPECT_THROW(QoSTransform{bad2}, common::CheckError);
+}
+
+TEST(QoSTransformTest, BoxCoxReducesSkew) {
+  // Log-normal-ish sample: after the RT transform (alpha near 0) the
+  // spread between median and mean should shrink dramatically relative to
+  // the raw data (this is the point of Fig. 8).
+  QoSTransformConfig cfg;
+  cfg.alpha = -0.007;
+  QoSTransform t(cfg);
+  std::vector<double> raw = {0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 3.2, 6.4, 12.8};
+  double raw_mean = 0, tr_mean = 0;
+  for (double x : raw) {
+    raw_mean += x;
+    tr_mean += t.Forward(x);
+  }
+  raw_mean /= raw.size();
+  tr_mean /= raw.size();
+  const double raw_median = 0.8;
+  const double tr_median = t.Forward(0.8);
+  // Raw mean is far above the median; transformed mean is close to it.
+  EXPECT_GT(raw_mean / raw_median, 3.0);
+  EXPECT_NEAR(tr_mean, tr_median, 0.05);
+}
+
+}  // namespace
+}  // namespace amf::transform

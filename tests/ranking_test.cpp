@@ -1,0 +1,130 @@
+#include "eval/ranking.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/check.h"
+
+namespace amf::eval {
+namespace {
+
+/// Predictor returning preset values per (user, service).
+class TablePredictor : public Predictor {
+ public:
+  std::string name() const override { return "table"; }
+  void Fit(const data::SparseMatrix&) override {}
+  double Predict(data::UserId u, data::ServiceId s) const override {
+    const auto it = table_.find({u, s});
+    return it == table_.end() ? 0.0 : it->second;
+  }
+  void Set(data::UserId u, data::ServiceId s, double v) {
+    table_[{u, s}] = v;
+  }
+
+ private:
+  std::map<std::pair<data::UserId, data::ServiceId>, double> table_;
+};
+
+TEST(RankByValueTest, AscendingAndDescending) {
+  const std::vector<double> v = {3.0, 1.0, 2.0};
+  EXPECT_EQ(RankByValue(v, true), (std::vector<std::size_t>{1, 2, 0}));
+  EXPECT_EQ(RankByValue(v, false), (std::vector<std::size_t>{0, 2, 1}));
+}
+
+TEST(RankByValueTest, StableOnTies) {
+  const std::vector<double> v = {2.0, 1.0, 1.0};
+  EXPECT_EQ(RankByValue(v, true), (std::vector<std::size_t>{1, 2, 0}));
+}
+
+TEST(EvaluateSelectionTest, PerfectPredictorIsPerfect) {
+  TablePredictor p;
+  const std::vector<data::ServiceId> cands = {10, 11, 12};
+  const std::vector<double> truth = {0.5, 0.2, 0.9};
+  for (std::size_t i = 0; i < cands.size(); ++i) {
+    p.Set(0, cands[i], truth[i]);
+  }
+  const SelectionMetrics m = EvaluateSelection(p, 0, cands, truth, 3);
+  EXPECT_TRUE(m.top1_hit);
+  EXPECT_DOUBLE_EQ(m.relative_regret, 0.0);
+  EXPECT_DOUBLE_EQ(m.ndcg_at_k, 1.0);
+}
+
+TEST(EvaluateSelectionTest, WrongPickHasRegret) {
+  TablePredictor p;
+  const std::vector<data::ServiceId> cands = {1, 2};
+  const std::vector<double> truth = {1.0, 2.0};  // true best: service 1
+  p.Set(0, 1, 5.0);  // predicted slow
+  p.Set(0, 2, 0.1);  // predicted fast -> picked
+  const SelectionMetrics m = EvaluateSelection(p, 0, cands, truth, 2);
+  EXPECT_FALSE(m.top1_hit);
+  EXPECT_DOUBLE_EQ(m.relative_regret, 1.0);  // (2 - 1) / 1
+  EXPECT_LT(m.ndcg_at_k, 1.0);
+}
+
+TEST(EvaluateSelectionTest, LargerIsBetterAttribute) {
+  // Throughput: bigger is better.
+  TablePredictor p;
+  const std::vector<data::ServiceId> cands = {1, 2};
+  const std::vector<double> truth = {100.0, 10.0};
+  p.Set(0, 1, 90.0);
+  p.Set(0, 2, 20.0);
+  const SelectionMetrics m =
+      EvaluateSelection(p, 0, cands, truth, 2, /*smaller_is_better=*/false);
+  EXPECT_TRUE(m.top1_hit);
+  EXPECT_DOUBLE_EQ(m.relative_regret, 0.0);
+}
+
+TEST(EvaluateSelectionTest, TiedTruthCountsAsHit) {
+  TablePredictor p;
+  const std::vector<data::ServiceId> cands = {1, 2};
+  const std::vector<double> truth = {1.0, 1.0};
+  p.Set(0, 1, 0.9);
+  p.Set(0, 2, 0.8);  // picks 2, equally good
+  const SelectionMetrics m = EvaluateSelection(p, 0, cands, truth, 2);
+  EXPECT_TRUE(m.top1_hit);
+  EXPECT_DOUBLE_EQ(m.relative_regret, 0.0);
+}
+
+TEST(EvaluateSelectionTest, SingleCandidateTrivial) {
+  TablePredictor p;
+  p.Set(0, 7, 3.0);
+  const std::vector<data::ServiceId> cands = {7};
+  const std::vector<double> truth = {1.0};
+  const SelectionMetrics m = EvaluateSelection(p, 0, cands, truth, 1);
+  EXPECT_TRUE(m.top1_hit);
+  EXPECT_DOUBLE_EQ(m.ndcg_at_k, 1.0);
+}
+
+TEST(EvaluateSelectionTest, InvalidInputsThrow) {
+  TablePredictor p;
+  const std::vector<data::ServiceId> cands = {1};
+  const std::vector<double> truth = {1.0, 2.0};
+  EXPECT_THROW(EvaluateSelection(p, 0, cands, truth, 1),
+               common::CheckError);
+  EXPECT_THROW(EvaluateSelection(p, 0, {}, {}, 1), common::CheckError);
+  const std::vector<double> ok = {1.0};
+  EXPECT_THROW(EvaluateSelection(p, 0, cands, ok, 0), common::CheckError);
+}
+
+TEST(AggregateTest, Averages) {
+  std::vector<SelectionMetrics> results(4);
+  results[0] = {true, 0.0, 1.0};
+  results[1] = {false, 0.4, 0.5};
+  results[2] = {true, 0.0, 1.0};
+  results[3] = {false, 0.4, 0.5};
+  const SelectionSummary s = Aggregate(results);
+  EXPECT_DOUBLE_EQ(s.top1_hit_rate, 0.5);
+  EXPECT_DOUBLE_EQ(s.mean_relative_regret, 0.2);
+  EXPECT_DOUBLE_EQ(s.mean_ndcg_at_k, 0.75);
+  EXPECT_EQ(s.decisions, 4u);
+}
+
+TEST(AggregateTest, EmptyIsZero) {
+  const SelectionSummary s = Aggregate({});
+  EXPECT_EQ(s.decisions, 0u);
+  EXPECT_DOUBLE_EQ(s.top1_hit_rate, 0.0);
+}
+
+}  // namespace
+}  // namespace amf::eval

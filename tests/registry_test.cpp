@@ -1,0 +1,68 @@
+#include "adapt/registry.h"
+
+#include <gtest/gtest.h>
+
+namespace amf::adapt {
+namespace {
+
+TEST(RegistryTest, JoinAssignsDenseIds) {
+  UserRegistry reg;
+  EXPECT_EQ(reg.Join("a"), 0u);
+  EXPECT_EQ(reg.Join("b"), 1u);
+  EXPECT_EQ(reg.Join("c"), 2u);
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(RegistryTest, RejoinKeepsId) {
+  UserRegistry reg;
+  const auto id = reg.Join("a");
+  reg.Join("b");
+  EXPECT_EQ(reg.Join("a"), id);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(RegistryTest, LookupAndName) {
+  ServiceRegistry reg;
+  const auto id = reg.Join("weather");
+  EXPECT_EQ(*reg.Lookup("weather"), id);
+  EXPECT_FALSE(reg.Lookup("unknown").has_value());
+  EXPECT_EQ(reg.Name(id), "weather");
+}
+
+TEST(RegistryTest, LeaveDeactivatesWithoutReuse) {
+  UserRegistry reg;
+  const auto a = reg.Join("a");
+  EXPECT_TRUE(reg.IsActive(a));
+  EXPECT_TRUE(reg.Leave("a"));
+  EXPECT_FALSE(reg.IsActive(a));
+  // New entity gets a fresh id; "a" keeps its old one on rejoin.
+  const auto b = reg.Join("b");
+  EXPECT_NE(b, a);
+  EXPECT_EQ(reg.Join("a"), a);
+  EXPECT_TRUE(reg.IsActive(a));
+}
+
+TEST(RegistryTest, LeaveUnknownReturnsFalse) {
+  UserRegistry reg;
+  EXPECT_FALSE(reg.Leave("ghost"));
+}
+
+TEST(RegistryTest, ActiveIds) {
+  UserRegistry reg;
+  reg.Join("a");
+  reg.Join("b");
+  reg.Join("c");
+  reg.Leave("b");
+  const auto active = reg.ActiveIds();
+  ASSERT_EQ(active.size(), 2u);
+  EXPECT_EQ(active[0], 0u);
+  EXPECT_EQ(active[1], 2u);
+}
+
+TEST(RegistryTest, IsActiveOutOfRangeIsFalse) {
+  UserRegistry reg;
+  EXPECT_FALSE(reg.IsActive(0));
+}
+
+}  // namespace
+}  // namespace amf::adapt

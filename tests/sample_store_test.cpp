@@ -1,0 +1,108 @@
+#include "core/sample_store.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.h"
+
+namespace amf::core {
+namespace {
+
+data::QoSSample S(data::UserId u, data::ServiceId s, double v, double ts) {
+  return data::QoSSample{0, u, s, v, ts};
+}
+
+TEST(SampleStoreTest, StartsEmpty) {
+  SampleStore store;
+  EXPECT_TRUE(store.empty());
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_FALSE(store.Get(0, 0).has_value());
+}
+
+TEST(SampleStoreTest, UpsertInsertsAndRefreshes) {
+  SampleStore store;
+  EXPECT_TRUE(store.Upsert(S(1, 2, 3.0, 10.0)));
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_FALSE(store.Upsert(S(1, 2, 4.0, 20.0)));  // same pair -> refresh
+  EXPECT_EQ(store.size(), 1u);
+  const auto got = store.Get(1, 2);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_DOUBLE_EQ(got->value, 4.0);
+  EXPECT_DOUBLE_EQ(got->timestamp, 20.0);
+}
+
+TEST(SampleStoreTest, RemoveSwapKeepsIndexConsistent) {
+  SampleStore store;
+  store.Upsert(S(0, 0, 1.0, 0));
+  store.Upsert(S(0, 1, 2.0, 0));
+  store.Upsert(S(1, 0, 3.0, 0));
+  EXPECT_TRUE(store.Remove(0, 0));
+  EXPECT_FALSE(store.Remove(0, 0));
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.Contains(0, 1));
+  EXPECT_TRUE(store.Contains(1, 0));
+  EXPECT_DOUBLE_EQ(store.Get(1, 0)->value, 3.0);
+}
+
+TEST(SampleStoreTest, UserServiceKeysDoNotCollide) {
+  SampleStore store;
+  store.Upsert(S(1, 2, 10.0, 0));
+  store.Upsert(S(2, 1, 20.0, 0));
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_DOUBLE_EQ(store.Get(1, 2)->value, 10.0);
+  EXPECT_DOUBLE_EQ(store.Get(2, 1)->value, 20.0);
+}
+
+TEST(SampleStoreTest, PickRandomCoversStore) {
+  SampleStore store;
+  for (data::UserId u = 0; u < 10; ++u) store.Upsert(S(u, 0, u, 0));
+  common::Rng rng(5);
+  std::set<data::UserId> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(store.PickRandom(rng).user);
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(SampleStoreTest, PickRandomEmptyThrows) {
+  SampleStore store;
+  common::Rng rng(1);
+  EXPECT_THROW(store.PickRandom(rng), common::CheckError);
+}
+
+TEST(SampleStoreTest, ExpireOlderThan) {
+  SampleStore store;
+  store.Upsert(S(0, 0, 1.0, 100.0));
+  store.Upsert(S(0, 1, 2.0, 200.0));
+  store.Upsert(S(0, 2, 3.0, 300.0));
+  store.Upsert(S(1, 0, 4.0, 50.0));
+  EXPECT_EQ(store.ExpireOlderThan(200.0), 2u);  // ts 100 and 50
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_TRUE(store.Contains(0, 1));
+  EXPECT_TRUE(store.Contains(0, 2));
+  EXPECT_EQ(store.ExpireOlderThan(200.0), 0u);
+}
+
+TEST(SampleStoreTest, ExpireEverything) {
+  SampleStore store;
+  for (data::UserId u = 0; u < 5; ++u) store.Upsert(S(u, u, 1.0, 1.0));
+  EXPECT_EQ(store.ExpireOlderThan(10.0), 5u);
+  EXPECT_TRUE(store.empty());
+}
+
+TEST(SampleStoreTest, Clear) {
+  SampleStore store;
+  store.Upsert(S(0, 0, 1.0, 0));
+  store.Clear();
+  EXPECT_TRUE(store.empty());
+  EXPECT_FALSE(store.Contains(0, 0));
+}
+
+TEST(SampleStoreTest, SamplesViewMatchesSize) {
+  SampleStore store;
+  store.Upsert(S(0, 0, 1.0, 0));
+  store.Upsert(S(0, 1, 2.0, 0));
+  EXPECT_EQ(store.samples().size(), store.size());
+}
+
+}  // namespace
+}  // namespace amf::core

@@ -1,0 +1,121 @@
+#include "stream/sample_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.h"
+#include "data/synthetic.h"
+
+namespace amf::stream {
+namespace {
+
+data::SyntheticQoSDataset MakeDataset() {
+  data::SyntheticConfig cfg;
+  cfg.users = 10;
+  cfg.services = 20;
+  cfg.slices = 4;
+  cfg.seed = 3;
+  return data::SyntheticQoSDataset(cfg);
+}
+
+TEST(SampleStreamTest, SliceSizeMatchesDensity) {
+  const auto dataset = MakeDataset();
+  StreamConfig cfg;
+  cfg.density = 0.25;
+  const SampleStream stream(dataset, cfg);
+  EXPECT_EQ(stream.Slice(0).size(), 50u);  // 0.25 * 200
+}
+
+TEST(SampleStreamTest, ValuesMatchDataset) {
+  const auto dataset = MakeDataset();
+  StreamConfig cfg;
+  cfg.density = 0.5;
+  const SampleStream stream(dataset, cfg);
+  for (const data::QoSSample& s : stream.Slice(2)) {
+    EXPECT_EQ(s.slice, 2u);
+    EXPECT_DOUBLE_EQ(
+        s.value, dataset.Value(cfg.attribute, s.user, s.service, 2));
+  }
+}
+
+TEST(SampleStreamTest, TimestampsWithinSliceWindow) {
+  const auto dataset = MakeDataset();
+  StreamConfig cfg;
+  cfg.density = 0.3;
+  cfg.slice_interval_seconds = 900.0;
+  const SampleStream stream(dataset, cfg);
+  for (const data::QoSSample& s : stream.Slice(1)) {
+    EXPECT_GE(s.timestamp, 900.0);
+    EXPECT_LT(s.timestamp, 1800.0);
+  }
+}
+
+TEST(SampleStreamTest, PairsAreDistinctWithinSlice) {
+  const auto dataset = MakeDataset();
+  StreamConfig cfg;
+  cfg.density = 0.4;
+  const SampleStream stream(dataset, cfg);
+  std::set<std::pair<data::UserId, data::ServiceId>> seen;
+  for (const data::QoSSample& s : stream.Slice(0)) {
+    EXPECT_TRUE(seen.insert({s.user, s.service}).second);
+  }
+}
+
+TEST(SampleStreamTest, FixedDeploymentObservesSamePairsEverySlice) {
+  const auto dataset = MakeDataset();
+  StreamConfig cfg;
+  cfg.density = 0.2;
+  cfg.resample_pairs_each_slice = false;
+  const SampleStream stream(dataset, cfg);
+  auto pairs_of = [&](data::SliceId t) {
+    std::set<std::pair<data::UserId, data::ServiceId>> out;
+    for (const auto& s : stream.Slice(t)) out.insert({s.user, s.service});
+    return out;
+  };
+  EXPECT_EQ(pairs_of(0), pairs_of(3));
+}
+
+TEST(SampleStreamTest, ResampledDeploymentVariesPairs) {
+  const auto dataset = MakeDataset();
+  StreamConfig cfg;
+  cfg.density = 0.2;
+  cfg.resample_pairs_each_slice = true;
+  const SampleStream stream(dataset, cfg);
+  std::set<std::pair<data::UserId, data::ServiceId>> p0, p1;
+  for (const auto& s : stream.Slice(0)) p0.insert({s.user, s.service});
+  for (const auto& s : stream.Slice(1)) p1.insert({s.user, s.service});
+  EXPECT_NE(p0, p1);
+}
+
+TEST(SampleStreamTest, DeterministicInSeed) {
+  const auto dataset = MakeDataset();
+  StreamConfig cfg;
+  cfg.density = 0.3;
+  cfg.seed = 8;
+  const SampleStream a(dataset, cfg);
+  const SampleStream b(dataset, cfg);
+  const auto sa = a.Slice(1);
+  const auto sb = b.Slice(1);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i) EXPECT_EQ(sa[i], sb[i]);
+}
+
+TEST(SampleStreamTest, InvalidConfigThrows) {
+  const auto dataset = MakeDataset();
+  StreamConfig bad;
+  bad.density = 0.0;
+  EXPECT_THROW(SampleStream(dataset, bad), common::CheckError);
+  StreamConfig bad2;
+  bad2.slice_interval_seconds = 0.0;
+  EXPECT_THROW(SampleStream(dataset, bad2), common::CheckError);
+}
+
+TEST(SampleStreamTest, SliceOutOfRangeThrows) {
+  const auto dataset = MakeDataset();
+  const SampleStream stream(dataset, StreamConfig{});
+  EXPECT_THROW(stream.Slice(4), common::CheckError);
+}
+
+}  // namespace
+}  // namespace amf::stream

@@ -1,0 +1,90 @@
+#include "exp/scale.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace amf::exp {
+namespace {
+
+class ScaleTest : public ::testing::Test {
+ protected:
+  void SetEnv(const char* name, const char* value) {
+    ::setenv(name, value, 1);
+    set_.push_back(name);
+  }
+  void TearDown() override {
+    for (const char* name : set_) ::unsetenv(name);
+  }
+  std::vector<const char*> set_;
+};
+
+TEST_F(ScaleTest, PaperScaleMatchesDataset) {
+  const ExperimentScale s = PaperScale();
+  EXPECT_EQ(s.users, 142u);
+  EXPECT_EQ(s.services, 4500u);
+  EXPECT_EQ(s.slices, 64u);
+  EXPECT_EQ(s.densities.size(), 5u);
+}
+
+TEST_F(ScaleTest, SmallScaleIsSmaller) {
+  const ExperimentScale s = SmallScale();
+  EXPECT_LT(s.users, PaperScale().users);
+  EXPECT_LT(s.services, PaperScale().services);
+}
+
+TEST_F(ScaleTest, EnvPresetSelection) {
+  SetEnv("AMF_SCALE", "small");
+  const ExperimentScale s = ScaleFromEnv();
+  EXPECT_EQ(s.users, SmallScale().users);
+}
+
+TEST_F(ScaleTest, FieldOverrides) {
+  SetEnv("AMF_USERS", "33");
+  SetEnv("AMF_SERVICES", "44");
+  SetEnv("AMF_SLICES", "5");
+  SetEnv("AMF_ROUNDS", "6");
+  SetEnv("AMF_SEED", "777");
+  const ExperimentScale s = ScaleFromEnv();
+  EXPECT_EQ(s.users, 33u);
+  EXPECT_EQ(s.services, 44u);
+  EXPECT_EQ(s.slices, 5u);
+  EXPECT_EQ(s.rounds, 6u);
+  EXPECT_EQ(s.seed, 777u);
+}
+
+TEST_F(ScaleTest, DensitiesOverride) {
+  SetEnv("AMF_DENSITIES", "0.1,0.25");
+  const ExperimentScale s = ScaleFromEnv();
+  ASSERT_EQ(s.densities.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.densities[0], 0.1);
+  EXPECT_DOUBLE_EQ(s.densities[1], 0.25);
+}
+
+TEST_F(ScaleTest, BadDensitiesThrow) {
+  SetEnv("AMF_DENSITIES", "0.1,zzz");
+  EXPECT_THROW(ScaleFromEnv(), common::CheckError);
+}
+
+TEST_F(ScaleTest, MakeDatasetHonorsScale) {
+  ExperimentScale s = SmallScale();
+  s.users = 12;
+  s.services = 34;
+  s.slices = 3;
+  const auto dataset = MakeDataset(s);
+  EXPECT_EQ(dataset->num_users(), 12u);
+  EXPECT_EQ(dataset->num_services(), 34u);
+  EXPECT_EQ(dataset->num_slices(), 3u);
+}
+
+TEST_F(ScaleTest, DescribeMentionsDimensions) {
+  ExperimentScale s = SmallScale();
+  const std::string d = Describe(s);
+  EXPECT_NE(d.find("60"), std::string::npos);
+  EXPECT_NE(d.find("500"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace amf::exp

@@ -1,0 +1,154 @@
+#include "cf/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace amf::cf {
+namespace {
+
+TEST(PearsonCorrelationTest, PerfectPositive) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {2, 4, 6, 8};
+  EXPECT_NEAR(*PearsonCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(PearsonCorrelationTest, PerfectNegative) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> y = {3, 2, 1};
+  EXPECT_NEAR(*PearsonCorrelation(x, y), -1.0, 1e-12);
+}
+
+TEST(PearsonCorrelationTest, DegenerateCases) {
+  EXPECT_FALSE(PearsonCorrelation({1.0}, {2.0}).has_value());
+  EXPECT_FALSE(PearsonCorrelation({1.0, 1.0}, {2.0, 3.0}).has_value());
+  EXPECT_FALSE(PearsonCorrelation({}, {}).has_value());
+}
+
+TEST(SimilarityMatrixTest, SymmetricStorage) {
+  SimilarityMatrix sim(3);
+  sim.Set(0, 2, 0.5f);
+  EXPECT_FLOAT_EQ(sim.At(0, 2), 0.5f);
+  EXPECT_FLOAT_EQ(sim.At(2, 0), 0.5f);
+  EXPECT_FLOAT_EQ(sim.At(1, 2), 0.0f);
+  EXPECT_EQ(sim.size(), 3u);
+}
+
+data::SparseMatrix CorrelatedUsers() {
+  // Users 0 and 1 perfectly correlated; user 2 anti-correlated with both.
+  data::SparseMatrix m(3, 4);
+  const double u0[] = {1, 2, 3, 4};
+  const double u1[] = {2, 4, 6, 8};
+  const double u2[] = {4, 3, 2, 1};
+  for (std::size_t c = 0; c < 4; ++c) {
+    m.Set(0, c, u0[c]);
+    m.Set(1, c, u1[c]);
+    m.Set(2, c, u2[c]);
+  }
+  return m;
+}
+
+TEST(UserSimilaritiesTest, RecoversCorrelationStructure) {
+  SimilarityOptions opts;
+  opts.significance_gamma = 0;  // pure PCC
+  opts.parallel = false;
+  const SimilarityMatrix sim = UserSimilarities(CorrelatedUsers(), opts);
+  EXPECT_NEAR(sim.At(0, 1), 1.0, 1e-6);
+  EXPECT_NEAR(sim.At(0, 2), -1.0, 1e-6);
+  EXPECT_NEAR(sim.At(1, 2), -1.0, 1e-6);
+}
+
+TEST(UserSimilaritiesTest, SignificanceWeightingDampsSmallOverlap) {
+  SimilarityOptions weighted;
+  weighted.significance_gamma = 8;  // overlap 4 -> scale 0.5
+  weighted.parallel = false;
+  const SimilarityMatrix sim = UserSimilarities(CorrelatedUsers(), weighted);
+  EXPECT_NEAR(sim.At(0, 1), 0.5, 1e-6);
+}
+
+TEST(UserSimilaritiesTest, MinOverlapEnforced) {
+  data::SparseMatrix m(2, 5);
+  // Only 2 co-observed items.
+  m.Set(0, 0, 1.0);
+  m.Set(0, 1, 2.0);
+  m.Set(1, 0, 1.0);
+  m.Set(1, 1, 2.0);
+  SimilarityOptions opts;
+  opts.min_overlap = 3;
+  opts.parallel = false;
+  const SimilarityMatrix sim = UserSimilarities(m, opts);
+  EXPECT_FLOAT_EQ(sim.At(0, 1), 0.0f);
+}
+
+TEST(ServiceSimilaritiesTest, MirrorsUserComputation) {
+  // Transpose of the user fixture: services are correlated the same way.
+  data::SparseMatrix m(4, 3);
+  const double u0[] = {1, 2, 3, 4};
+  const double u1[] = {2, 4, 6, 8};
+  const double u2[] = {4, 3, 2, 1};
+  for (std::size_t r = 0; r < 4; ++r) {
+    m.Set(r, 0, u0[r]);
+    m.Set(r, 1, u1[r]);
+    m.Set(r, 2, u2[r]);
+  }
+  SimilarityOptions opts;
+  opts.significance_gamma = 0;
+  opts.parallel = false;
+  const SimilarityMatrix sim = ServiceSimilarities(m, opts);
+  EXPECT_NEAR(sim.At(0, 1), 1.0, 1e-6);
+  EXPECT_NEAR(sim.At(0, 2), -1.0, 1e-6);
+}
+
+TEST(SimilaritiesTest, ParallelMatchesSerial) {
+  common::Rng rng(3);
+  data::SparseMatrix m(80, 40);
+  for (std::size_t r = 0; r < 80; ++r) {
+    for (std::size_t c = 0; c < 40; ++c) {
+      if (rng.Bernoulli(0.4)) m.Set(r, c, rng.Uniform(0.1, 5.0));
+    }
+  }
+  SimilarityOptions serial;
+  serial.parallel = false;
+  SimilarityOptions parallel;
+  parallel.parallel = true;
+  const SimilarityMatrix a = UserSimilarities(m, serial);
+  const SimilarityMatrix b = UserSimilarities(m, parallel);
+  for (std::size_t i = 0; i < 80; ++i) {
+    for (std::size_t j = 0; j < 80; ++j) {
+      EXPECT_FLOAT_EQ(a.At(i, j), b.At(i, j));
+    }
+  }
+}
+
+TEST(TopKPositiveNeighborsTest, FiltersAndSorts) {
+  SimilarityMatrix sim(5);
+  sim.Set(0, 1, 0.9f);
+  sim.Set(0, 2, -0.5f);  // negative: excluded
+  sim.Set(0, 3, 0.3f);
+  sim.Set(0, 4, 0.7f);
+  const std::vector<std::uint32_t> candidates = {1, 2, 3, 4};
+  const auto top2 = TopKPositiveNeighbors(sim, 0, candidates, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0].index, 1u);
+  EXPECT_EQ(top2[1].index, 4u);
+  EXPECT_GT(top2[0].similarity, top2[1].similarity);
+}
+
+TEST(TopKPositiveNeighborsTest, ExcludesSelfAndHandlesShortLists) {
+  SimilarityMatrix sim(3);
+  sim.Set(0, 1, 0.4f);
+  const std::vector<std::uint32_t> candidates = {0, 1, 2};
+  const auto top = TopKPositiveNeighbors(sim, 0, candidates, 10);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].index, 1u);
+}
+
+TEST(TopKPositiveNeighborsTest, EmptyCandidates) {
+  SimilarityMatrix sim(2);
+  EXPECT_TRUE(TopKPositiveNeighbors(sim, 0, {}, 5).empty());
+}
+
+}  // namespace
+}  // namespace amf::cf

@@ -1,0 +1,149 @@
+#include "data/sparse_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace amf::data {
+namespace {
+
+TEST(SparseMatrixTest, EmptyMatrix) {
+  SparseMatrix m(3, 4);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.nnz(), 0u);
+  EXPECT_DOUBLE_EQ(m.Density(), 0.0);
+  EXPECT_FALSE(m.Get(0, 0).has_value());
+  EXPECT_FALSE(m.Has(2, 3));
+}
+
+TEST(SparseMatrixTest, SetAndGet) {
+  SparseMatrix m(2, 3);
+  m.Set(0, 1, 1.5);
+  m.Set(1, 2, -2.0);
+  EXPECT_EQ(m.nnz(), 2u);
+  EXPECT_DOUBLE_EQ(*m.Get(0, 1), 1.5);
+  EXPECT_DOUBLE_EQ(*m.Get(1, 2), -2.0);
+  EXPECT_FALSE(m.Get(0, 0).has_value());
+}
+
+TEST(SparseMatrixTest, OverwriteKeepsNnz) {
+  SparseMatrix m(2, 2);
+  m.Set(0, 0, 1.0);
+  m.Set(0, 0, 2.0);
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(*m.Get(0, 0), 2.0);
+}
+
+TEST(SparseMatrixTest, EraseUpdatesBothViews) {
+  SparseMatrix m(2, 2);
+  m.Set(0, 0, 1.0);
+  m.Set(0, 1, 2.0);
+  EXPECT_TRUE(m.Erase(0, 0));
+  EXPECT_FALSE(m.Erase(0, 0));
+  EXPECT_EQ(m.nnz(), 1u);
+  EXPECT_FALSE(m.Has(0, 0));
+  EXPECT_TRUE(m.Row(0).size() == 1 && m.Row(0)[0].index == 1);
+  EXPECT_TRUE(m.Col(0).empty());
+  EXPECT_EQ(m.Col(1).size(), 1u);
+}
+
+TEST(SparseMatrixTest, RowsAndColsSorted) {
+  SparseMatrix m(3, 5);
+  m.Set(1, 4, 4.0);
+  m.Set(1, 0, 0.0);
+  m.Set(1, 2, 2.0);
+  m.Set(0, 2, 9.0);
+  m.Set(2, 2, 7.0);
+  const auto row = m.Row(1);
+  ASSERT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0].index, 0u);
+  EXPECT_EQ(row[1].index, 2u);
+  EXPECT_EQ(row[2].index, 4u);
+  const auto col = m.Col(2);
+  ASSERT_EQ(col.size(), 3u);
+  EXPECT_EQ(col[0].index, 0u);
+  EXPECT_EQ(col[1].index, 1u);
+  EXPECT_EQ(col[2].index, 2u);
+  EXPECT_DOUBLE_EQ(col[2].value, 7.0);
+}
+
+TEST(SparseMatrixTest, Means) {
+  SparseMatrix m(2, 3);
+  m.Set(0, 0, 1.0);
+  m.Set(0, 1, 3.0);
+  m.Set(1, 1, 5.0);
+  EXPECT_DOUBLE_EQ(*m.RowMean(0), 2.0);
+  EXPECT_DOUBLE_EQ(*m.RowMean(1), 5.0);
+  EXPECT_FALSE(m.ColMean(2).has_value());
+  EXPECT_DOUBLE_EQ(*m.ColMean(1), 4.0);
+  EXPECT_DOUBLE_EQ(m.GlobalMean(), 3.0);
+}
+
+TEST(SparseMatrixTest, GlobalMeanEmptyIsZero) {
+  SparseMatrix m(2, 2);
+  EXPECT_DOUBLE_EQ(m.GlobalMean(), 0.0);
+}
+
+TEST(SparseMatrixTest, Density) {
+  SparseMatrix m(2, 5);
+  m.Set(0, 0, 1.0);
+  m.Set(1, 4, 1.0);
+  EXPECT_DOUBLE_EQ(m.Density(), 0.2);
+}
+
+TEST(SparseMatrixTest, ToSamples) {
+  SparseMatrix m(2, 3);
+  m.Set(1, 2, 9.0);
+  m.Set(0, 1, 4.0);
+  const auto samples = m.ToSamples(7);
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].slice, 7u);
+  EXPECT_EQ(samples[0].user, 0u);
+  EXPECT_EQ(samples[0].service, 1u);
+  EXPECT_DOUBLE_EQ(samples[0].value, 4.0);
+  EXPECT_EQ(samples[1].user, 1u);
+}
+
+TEST(SparseMatrixTest, OutOfRangeThrows) {
+  SparseMatrix m(2, 2);
+  EXPECT_THROW(m.Set(2, 0, 1.0), common::CheckError);
+  EXPECT_THROW(m.Get(0, 2), common::CheckError);
+  EXPECT_THROW(m.Row(5), common::CheckError);
+  EXPECT_THROW(m.Col(5), common::CheckError);
+}
+
+TEST(SparseMatrixTest, RandomizedConsistency) {
+  common::Rng rng(77);
+  SparseMatrix m(20, 30);
+  std::vector<std::vector<double>> ref(20, std::vector<double>(30, -1.0));
+  for (int i = 0; i < 500; ++i) {
+    const std::size_t r = rng.Index(20);
+    const std::size_t c = rng.Index(30);
+    if (rng.Bernoulli(0.2) && ref[r][c] >= 0.0) {
+      m.Erase(r, c);
+      ref[r][c] = -1.0;
+    } else {
+      const double v = rng.Uniform();
+      m.Set(r, c, v);
+      ref[r][c] = v;
+    }
+  }
+  std::size_t expected_nnz = 0;
+  for (std::size_t r = 0; r < 20; ++r) {
+    for (std::size_t c = 0; c < 30; ++c) {
+      if (ref[r][c] >= 0.0) {
+        ++expected_nnz;
+        ASSERT_TRUE(m.Has(r, c));
+        EXPECT_DOUBLE_EQ(*m.Get(r, c), ref[r][c]);
+      } else {
+        EXPECT_FALSE(m.Has(r, c));
+      }
+    }
+  }
+  EXPECT_EQ(m.nnz(), expected_nnz);
+}
+
+}  // namespace
+}  // namespace amf::data

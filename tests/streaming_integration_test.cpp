@@ -1,0 +1,115 @@
+// Long-run streaming properties: the trainer's sample store must stay
+// bounded under continuous observation streams (expiration works), and
+// the model must keep tracking the drifting ground truth.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/statistics.h"
+#include "core/online_trainer.h"
+#include "data/synthetic.h"
+#include "stream/sample_stream.h"
+
+namespace amf {
+namespace {
+
+data::SyntheticQoSDataset MakeDataset(std::size_t slices) {
+  data::SyntheticConfig cfg;
+  cfg.users = 30;
+  cfg.services = 100;
+  cfg.slices = slices;
+  cfg.seed = 77;
+  return data::SyntheticQoSDataset(cfg);
+}
+
+TEST(StreamingIntegrationTest, StoreStaysBoundedWithResampledPairs) {
+  const auto dataset = MakeDataset(10);
+  stream::StreamConfig scfg;
+  scfg.density = 0.1;
+  scfg.resample_pairs_each_slice = true;  // new pairs every slice
+  scfg.seed = 3;
+  const stream::SampleStream stream(dataset, scfg);
+
+  core::AmfModel model(core::MakeResponseTimeConfig(1));
+  core::TrainerConfig tcfg;
+  tcfg.expiry_seconds = 900.0;
+  core::OnlineTrainer trainer(model, tcfg);
+
+  const std::size_t per_slice = stream.Slice(0).size();
+  for (data::SliceId t = 0; t < 10; ++t) {
+    trainer.AdvanceTime(dataset.SliceTimestamp(t));
+    for (const auto& s : stream.Slice(t)) trainer.Observe(s);
+    trainer.RunUntilConverged();
+    // Replay purges expired samples; with a 1-slice window the store can
+    // never hold much more than ~2 slices of distinct pairs.
+    EXPECT_LE(trainer.store().size(), 5 * per_slice / 2)
+        << "slice " << t;
+  }
+}
+
+TEST(StreamingIntegrationTest, OldSamplesEventuallyPurged) {
+  const auto dataset = MakeDataset(6);
+  stream::StreamConfig scfg;
+  scfg.density = 0.1;
+  scfg.resample_pairs_each_slice = true;
+  scfg.seed = 9;
+  const stream::SampleStream stream(dataset, scfg);
+
+  core::AmfModel model(core::MakeResponseTimeConfig(1));
+  core::TrainerConfig tcfg;
+  tcfg.expiry_seconds = 900.0;
+  core::OnlineTrainer trainer(model, tcfg);
+
+  for (data::SliceId t = 0; t < 6; ++t) {
+    trainer.AdvanceTime(dataset.SliceTimestamp(t));
+    for (const auto& s : stream.Slice(t)) trainer.Observe(s);
+    trainer.RunUntilConverged();
+  }
+  // After finishing slice 5 (time >= 4500s), every stored sample must be
+  // younger than the expiry window relative to now, up to the samples
+  // random replay has not touched yet; none may be older than 3 windows.
+  const double now = trainer.now();
+  for (const auto& s : trainer.store().samples()) {
+    EXPECT_LT(now - s.timestamp, 3 * 900.0);
+  }
+}
+
+TEST(StreamingIntegrationTest, ModelTracksDriftAcrossSlices) {
+  const auto dataset = MakeDataset(8);
+  stream::StreamConfig scfg;
+  scfg.density = 0.2;
+  scfg.resample_pairs_each_slice = true;
+  scfg.seed = 4;
+  const stream::SampleStream stream(dataset, scfg);
+
+  core::AmfModel model(core::MakeResponseTimeConfig(1));
+  model.EnsureUser(29);
+  model.EnsureService(99);
+  core::TrainerConfig tcfg;
+  tcfg.expiry_seconds = 900.0;
+  core::OnlineTrainer trainer(model, tcfg);
+
+  std::vector<double> slice_mre;
+  for (data::SliceId t = 0; t < 8; ++t) {
+    trainer.AdvanceTime(dataset.SliceTimestamp(t));
+    for (const auto& s : stream.Slice(t)) trainer.Observe(s);
+    trainer.RunUntilConverged();
+    std::vector<double> rel;
+    common::Rng rng(100 + t);
+    for (int i = 0; i < 1500; ++i) {
+      const auto u = static_cast<data::UserId>(rng.Index(30));
+      const auto sv = static_cast<data::ServiceId>(rng.Index(100));
+      const double truth =
+          dataset.Value(data::QoSAttribute::kResponseTime, u, sv, t);
+      rel.push_back(std::abs(model.PredictRaw(u, sv) - truth) / truth);
+    }
+    slice_mre.push_back(common::Median(rel));
+  }
+  // Later slices must be at least as good as the cold first slice, and
+  // the final accuracy must be solid.
+  EXPECT_LT(slice_mre.back(), slice_mre.front());
+  EXPECT_LT(slice_mre.back(), 0.45);
+}
+
+}  // namespace
+}  // namespace amf

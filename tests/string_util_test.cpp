@@ -1,0 +1,72 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace amf::common {
+namespace {
+
+TEST(ToLowerTest, MixedCase) {
+  EXPECT_EQ(ToLower("AbC-123"), "abc-123");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(TrimTest, Whitespace) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("\t x\n"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("nospace"), "nospace");
+}
+
+TEST(SplitTest, BasicAndEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(JoinTest, RoundTripWithSplit) {
+  const std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ","), "x,y,z");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ", "), "solo");
+}
+
+TEST(StartsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("abcdef", "abc"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+  EXPECT_FALSE(StartsWith("xbc", "abc"));
+}
+
+TEST(ParseDoubleTest, ValidInputs) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.5"), 3.5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("  -2e3 "), -2000.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("0"), 0.0);
+}
+
+TEST(ParseDoubleTest, InvalidInputs) {
+  EXPECT_FALSE(ParseDouble("").has_value());
+  EXPECT_FALSE(ParseDouble("abc").has_value());
+  EXPECT_FALSE(ParseDouble("1.5x").has_value());
+}
+
+TEST(ParseIntTest, ValidInputs) {
+  EXPECT_EQ(*ParseInt("42"), 42);
+  EXPECT_EQ(*ParseInt(" -7 "), -7);
+}
+
+TEST(ParseIntTest, InvalidInputs) {
+  EXPECT_FALSE(ParseInt("").has_value());
+  EXPECT_FALSE(ParseInt("12.5").has_value());
+  EXPECT_FALSE(ParseInt("x").has_value());
+}
+
+TEST(FormatFixedTest, Precision) {
+  EXPECT_EQ(FormatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatFixed(1.0, 3), "1.000");
+  EXPECT_EQ(FormatFixed(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace amf::common

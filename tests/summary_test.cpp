@@ -1,0 +1,66 @@
+#include "data/summary.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace amf::data {
+namespace {
+
+TEST(SummaryTest, CountsAndRanges) {
+  InMemoryDataset d(2, 2, 2);
+  d.SetValue(QoSAttribute::kResponseTime, 0, 0, 0, 1.0);
+  d.SetValue(QoSAttribute::kResponseTime, 1, 1, 0, 3.0);
+  d.SetValue(QoSAttribute::kThroughput, 0, 1, 1, 50.0);
+  const DatasetSummary s = Summarize(d);
+  EXPECT_EQ(s.users, 2u);
+  EXPECT_EQ(s.services, 2u);
+  EXPECT_EQ(s.slices, 2u);
+  EXPECT_EQ(s.rt.stats.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.rt.stats.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.rt.stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.rt.stats.max(), 3.0);
+  EXPECT_EQ(s.tp.stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.tp.stats.mean(), 50.0);
+}
+
+TEST(SummaryTest, MaxSlicesLimitsScan) {
+  InMemoryDataset d(1, 1, 3);
+  d.SetValue(QoSAttribute::kResponseTime, 0, 0, 0, 1.0);
+  d.SetValue(QoSAttribute::kResponseTime, 0, 0, 2, 9.0);
+  const DatasetSummary s = Summarize(d, 1);
+  EXPECT_EQ(s.scanned_slices, 1u);
+  EXPECT_EQ(s.rt.stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.rt.stats.max(), 1.0);
+}
+
+TEST(SummaryTest, TableContainsFig6Rows) {
+  SyntheticConfig cfg;
+  cfg.users = 20;
+  cfg.services = 40;
+  cfg.slices = 2;
+  const SyntheticQoSDataset d(cfg);
+  const DatasetSummary s = Summarize(d);
+  const std::string table = SummaryTable(s);
+  EXPECT_NE(table.find("#Users"), std::string::npos);
+  EXPECT_NE(table.find("#Services"), std::string::npos);
+  EXPECT_NE(table.find("#Time slices"), std::string::npos);
+  EXPECT_NE(table.find("RT range"), std::string::npos);
+  EXPECT_NE(table.find("TP average"), std::string::npos);
+  EXPECT_NE(table.find("20"), std::string::npos);
+  EXPECT_NE(table.find("40"), std::string::npos);
+}
+
+TEST(SummaryTest, PartialScanNoted) {
+  SyntheticConfig cfg;
+  cfg.users = 5;
+  cfg.services = 5;
+  cfg.slices = 4;
+  const SyntheticQoSDataset d(cfg);
+  const DatasetSummary s = Summarize(d, 2);
+  const std::string table = SummaryTable(s);
+  EXPECT_NE(table.find("first 2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace amf::data

@@ -1,0 +1,156 @@
+#include "linalg/svd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "linalg/random_init.h"
+
+namespace amf::linalg {
+namespace {
+
+TEST(SymmetricEigenvaluesTest, DiagonalMatrix) {
+  Matrix m(3, 3);
+  m(0, 0) = 3.0;
+  m(1, 1) = 1.0;
+  m(2, 2) = 2.0;
+  const auto eigs = SymmetricEigenvalues(m);
+  ASSERT_EQ(eigs.size(), 3u);
+  EXPECT_NEAR(eigs[0], 3.0, 1e-10);
+  EXPECT_NEAR(eigs[1], 2.0, 1e-10);
+  EXPECT_NEAR(eigs[2], 1.0, 1e-10);
+}
+
+TEST(SymmetricEigenvaluesTest, Known2x2) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  Matrix m(2, 2);
+  m(0, 0) = 2;
+  m(0, 1) = 1;
+  m(1, 0) = 1;
+  m(1, 1) = 2;
+  const auto eigs = SymmetricEigenvalues(m);
+  EXPECT_NEAR(eigs[0], 3.0, 1e-10);
+  EXPECT_NEAR(eigs[1], 1.0, 1e-10);
+}
+
+TEST(SymmetricEigenvaluesTest, TraceAndNormPreserved) {
+  common::Rng rng(1);
+  const std::size_t n = 12;
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng.Normal();
+      m(i, j) = v;
+      m(j, i) = v;
+    }
+  }
+  const auto eigs = SymmetricEigenvalues(m);
+  double trace = 0.0, eig_sum = 0.0, eig_sq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) trace += m(i, i);
+  for (double e : eigs) {
+    eig_sum += e;
+    eig_sq += e * e;
+  }
+  EXPECT_NEAR(eig_sum, trace, 1e-8);
+  EXPECT_NEAR(std::sqrt(eig_sq), m.FrobeniusNorm(), 1e-8);
+}
+
+TEST(SymmetricEigenvaluesTest, AsymmetricInputThrows) {
+  Matrix m(2, 2);
+  m(0, 1) = 1.0;
+  m(1, 0) = 2.0;
+  EXPECT_THROW(SymmetricEigenvalues(m), common::CheckError);
+}
+
+TEST(SymmetricEigenvaluesTest, NonSquareThrows) {
+  Matrix m(2, 3);
+  EXPECT_THROW(SymmetricEigenvalues(m), common::CheckError);
+}
+
+TEST(SingularValuesTest, DiagonalRectangular) {
+  Matrix m(2, 4);
+  m(0, 0) = 5.0;
+  m(1, 1) = 3.0;
+  const auto sv = SingularValues(m);
+  ASSERT_EQ(sv.size(), 2u);
+  EXPECT_NEAR(sv[0], 5.0, 1e-10);
+  EXPECT_NEAR(sv[1], 3.0, 1e-10);
+}
+
+TEST(SingularValuesTest, MatchesFrobeniusNorm) {
+  common::Rng rng(3);
+  Matrix m(10, 25);
+  FillGaussian(m, rng, 1.0);
+  const auto sv = SingularValues(m);
+  ASSERT_EQ(sv.size(), 10u);
+  double sq = 0.0;
+  for (double s : sv) sq += s * s;
+  EXPECT_NEAR(std::sqrt(sq), m.FrobeniusNorm(), 1e-8);
+  // Descending order.
+  for (std::size_t i = 1; i < sv.size(); ++i) {
+    EXPECT_GE(sv[i - 1], sv[i] - 1e-12);
+  }
+}
+
+TEST(SingularValuesTest, TallAndWideAgree) {
+  common::Rng rng(4);
+  Matrix m(6, 15);
+  FillGaussian(m, rng, 1.0);
+  const auto sv_wide = SingularValues(m);
+  const auto sv_tall = SingularValues(m.Transposed());
+  ASSERT_EQ(sv_wide.size(), sv_tall.size());
+  for (std::size_t i = 0; i < sv_wide.size(); ++i) {
+    EXPECT_NEAR(sv_wide[i], sv_tall[i], 1e-8);
+  }
+}
+
+TEST(SingularValuesTest, ExactLowRankMatrix) {
+  // rank-2 matrix: outer products.
+  common::Rng rng(5);
+  Matrix u(8, 2), v(2, 12);
+  FillGaussian(u, rng, 1.0);
+  FillGaussian(v, rng, 1.0);
+  const Matrix m = u.Multiply(v);
+  const auto sv = SingularValues(m);
+  ASSERT_EQ(sv.size(), 8u);
+  EXPECT_GT(sv[1], 1e-6);
+  for (std::size_t i = 2; i < sv.size(); ++i) {
+    EXPECT_NEAR(sv[i], 0.0, 1e-7 * sv[0]);
+  }
+}
+
+TEST(NormalizedSingularValuesTest, TopIsOne) {
+  common::Rng rng(6);
+  Matrix m(5, 9);
+  FillGaussian(m, rng, 2.0);
+  const auto sv = NormalizedSingularValues(m);
+  ASSERT_FALSE(sv.empty());
+  EXPECT_DOUBLE_EQ(sv[0], 1.0);
+  for (double s : sv) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0 + 1e-12);
+  }
+}
+
+TEST(NormalizedSingularValuesTest, ZeroMatrixEmpty) {
+  Matrix m(3, 3);
+  EXPECT_TRUE(NormalizedSingularValues(m).empty());
+}
+
+TEST(EffectiveRankTest, LowRankDetected) {
+  common::Rng rng(7);
+  Matrix u(10, 3), v(3, 20);
+  FillGaussian(u, rng, 1.0);
+  FillGaussian(v, rng, 1.0);
+  const Matrix m = u.Multiply(v);
+  EXPECT_EQ(EffectiveRank(m, 1e-6), 3u);
+}
+
+TEST(SingularValuesTest, EmptyMatrix) {
+  EXPECT_TRUE(SingularValues(Matrix()).empty());
+}
+
+}  // namespace
+}  // namespace amf::linalg

@@ -1,0 +1,200 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/statistics.h"
+#include "linalg/svd.h"
+#include "transform/boxcox.h"
+
+namespace amf::data {
+namespace {
+
+SyntheticConfig SmallConfig(std::uint64_t seed = 1) {
+  SyntheticConfig c;
+  c.users = 40;
+  c.services = 120;
+  c.slices = 8;
+  c.seed = seed;
+  return c;
+}
+
+TEST(SyntheticDatasetTest, Dimensions) {
+  const SyntheticQoSDataset d(SmallConfig());
+  EXPECT_EQ(d.num_users(), 40u);
+  EXPECT_EQ(d.num_services(), 120u);
+  EXPECT_EQ(d.num_slices(), 8u);
+}
+
+TEST(SyntheticDatasetTest, DeterministicInSeed) {
+  const SyntheticQoSDataset a(SmallConfig(5));
+  const SyntheticQoSDataset b(SmallConfig(5));
+  const SyntheticQoSDataset c(SmallConfig(6));
+  int diff = 0;
+  for (UserId u = 0; u < 10; ++u) {
+    for (ServiceId s = 0; s < 10; ++s) {
+      EXPECT_DOUBLE_EQ(a.Value(QoSAttribute::kResponseTime, u, s, 3),
+                       b.Value(QoSAttribute::kResponseTime, u, s, 3));
+      if (a.Value(QoSAttribute::kResponseTime, u, s, 3) !=
+          c.Value(QoSAttribute::kResponseTime, u, s, 3)) {
+        ++diff;
+      }
+    }
+  }
+  EXPECT_GT(diff, 90);
+}
+
+TEST(SyntheticDatasetTest, ValuesWithinConfiguredRanges) {
+  const SyntheticQoSDataset d(SmallConfig());
+  for (UserId u = 0; u < 40; u += 3) {
+    for (ServiceId s = 0; s < 120; s += 7) {
+      for (SliceId t = 0; t < 8; t += 2) {
+        const double rt = d.Value(QoSAttribute::kResponseTime, u, s, t);
+        EXPECT_GE(rt, d.config().rt.v_floor);
+        EXPECT_LE(rt, d.config().rt.v_max);
+        const double tp = d.Value(QoSAttribute::kThroughput, u, s, t);
+        EXPECT_GE(tp, d.config().tp.v_floor);
+        EXPECT_LE(tp, d.config().tp.v_max);
+      }
+    }
+  }
+}
+
+TEST(SyntheticDatasetTest, DenseSliceMatchesValue) {
+  const SyntheticQoSDataset d(SmallConfig());
+  const linalg::Matrix slice = d.DenseSlice(QoSAttribute::kThroughput, 2);
+  for (UserId u = 0; u < 40; u += 5) {
+    for (ServiceId s = 0; s < 120; s += 11) {
+      EXPECT_NEAR(slice(u, s), d.Value(QoSAttribute::kThroughput, u, s, 2),
+                  1e-12);
+    }
+  }
+}
+
+TEST(SyntheticDatasetTest, MarginalsAreRightSkewed) {
+  // Fig. 7 property: mean well above median for both attributes.
+  const SyntheticQoSDataset d(SmallConfig(3));
+  const linalg::Matrix rt = d.DenseSlice(QoSAttribute::kResponseTime, 0);
+  std::vector<double> values(rt.data().begin(), rt.data().end());
+  const double mean = common::Mean(values);
+  const double median = common::Median(values);
+  EXPECT_GT(mean, 1.15 * median);
+}
+
+TEST(SyntheticDatasetTest, PaperScaleStatisticsMatchFig6) {
+  // Calibration check at the paper's user/service ratio (scaled down but
+  // same distributional parameters): RT mean ~ 1.33s, TP mean ~ 11 kbps.
+  SyntheticConfig cfg;
+  cfg.users = 60;
+  cfg.services = 800;
+  cfg.slices = 2;
+  cfg.seed = 9;
+  const SyntheticQoSDataset d(cfg);
+  common::RunningStats rt_stats, tp_stats;
+  const linalg::Matrix rt_slice =
+      d.DenseSlice(QoSAttribute::kResponseTime, 0);
+  for (double v : rt_slice.data()) rt_stats.Add(v);
+  const linalg::Matrix tp_slice = d.DenseSlice(QoSAttribute::kThroughput, 0);
+  for (double v : tp_slice.data()) tp_stats.Add(v);
+  EXPECT_GT(rt_stats.mean(), 0.8);
+  EXPECT_LT(rt_stats.mean(), 2.2);
+  EXPECT_GT(tp_stats.mean(), 6.0);
+  EXPECT_LT(tp_stats.mean(), 25.0);
+  EXPECT_LE(rt_stats.max(), 20.0);
+  EXPECT_LE(tp_stats.max(), 7000.0);
+}
+
+TEST(SyntheticDatasetTest, LogDomainIsApproximatelyLowRank) {
+  // Fig. 9 property: normalized singular values of the (log-transformed)
+  // slice decay fast; most of the spectrum is near zero.
+  SyntheticConfig cfg = SmallConfig(11);
+  cfg.users = 48;
+  cfg.services = 160;
+  const SyntheticQoSDataset d(cfg);
+  linalg::Matrix slice = d.DenseSlice(QoSAttribute::kResponseTime, 0);
+  for (double& v : slice.data()) v = std::log(v);
+  const auto sv = linalg::NormalizedSingularValues(slice);
+  ASSERT_EQ(sv.size(), 48u);
+  // Count singular values above 10% of the top one: should be a small
+  // fraction of the full dimension (low effective rank).
+  std::size_t big = 0;
+  for (double s : sv) {
+    if (s >= 0.1) ++big;
+  }
+  EXPECT_LE(big, 15u);
+  EXPECT_GE(big, 2u);
+  // Tail is tiny.
+  EXPECT_LT(sv[30], 0.08);
+}
+
+TEST(SyntheticDatasetTest, TemporalFluctuationAroundPairMean) {
+  // Fig. 2(a) property: a pair's RT varies over time but around a stable
+  // level -- the per-pair stddev over slices is well below the global
+  // cross-pair spread.
+  SyntheticConfig cfg = SmallConfig(13);
+  cfg.slices = 16;
+  const SyntheticQoSDataset d(cfg);
+  common::RunningStats within;
+  std::vector<double> pair_means;
+  for (UserId u = 0; u < 10; ++u) {
+    for (ServiceId s = 0; s < 10; ++s) {
+      common::RunningStats series;
+      for (SliceId t = 0; t < 16; ++t) {
+        series.Add(std::log(d.Value(QoSAttribute::kResponseTime, u, s, t)));
+      }
+      within.Add(series.stddev());
+      pair_means.push_back(series.mean());
+    }
+  }
+  const double between = common::StdDev(pair_means);
+  EXPECT_LT(within.mean(), 0.7 * between);
+  EXPECT_GT(within.mean(), 0.0);
+}
+
+TEST(SyntheticDatasetTest, UserSpecificQoS) {
+  // Fig. 2(b) property: different users see substantially different RT on
+  // the same service.
+  const SyntheticQoSDataset d(SmallConfig(17));
+  std::vector<double> rts;
+  for (UserId u = 0; u < 40; ++u) {
+    rts.push_back(std::log(d.Value(QoSAttribute::kResponseTime, u, 5, 0)));
+  }
+  EXPECT_GT(common::StdDev(rts), 0.4);
+}
+
+TEST(SyntheticDatasetTest, RegionsAssigned) {
+  const SyntheticQoSDataset d(SmallConfig());
+  for (UserId u = 0; u < 40; ++u) {
+    EXPECT_LT(d.UserRegion(u), d.config().regions);
+  }
+  for (ServiceId s = 0; s < 120; ++s) {
+    EXPECT_LT(d.ServiceRegion(s), d.config().regions);
+  }
+}
+
+TEST(SyntheticDatasetTest, OutOfRangeThrows) {
+  const SyntheticQoSDataset d(SmallConfig());
+  EXPECT_THROW(d.Value(QoSAttribute::kResponseTime, 40, 0, 0),
+               common::CheckError);
+  EXPECT_THROW(d.Value(QoSAttribute::kResponseTime, 0, 120, 0),
+               common::CheckError);
+  EXPECT_THROW(d.Value(QoSAttribute::kResponseTime, 0, 0, 8),
+               common::CheckError);
+}
+
+TEST(SyntheticDatasetTest, InvalidConfigThrows) {
+  SyntheticConfig cfg = SmallConfig();
+  cfg.users = 0;
+  EXPECT_THROW(SyntheticQoSDataset{cfg}, common::CheckError);
+}
+
+TEST(SyntheticDatasetTest, SliceTimestamp) {
+  const SyntheticQoSDataset d(SmallConfig());
+  EXPECT_DOUBLE_EQ(d.SliceTimestamp(0), 0.0);
+  EXPECT_DOUBLE_EQ(d.SliceTimestamp(4), 4 * 900.0);
+}
+
+}  // namespace
+}  // namespace amf::data

@@ -1,0 +1,99 @@
+#include "common/table_printer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace amf::common {
+namespace {
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"beta", "2"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("beta"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(TablePrinterTest, ColumnsAligned) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"longvalue", "x"});
+  t.AddRow({"s", "y"});
+  const std::string s = t.ToString();
+  // All lines (header, separator, rows) end at consistent widths; check
+  // that the second column of both rows starts at the same offset.
+  std::istringstream iss(s);
+  std::string header, sep, row1, row2;
+  std::getline(iss, header);
+  std::getline(iss, sep);
+  std::getline(iss, row1);
+  std::getline(iss, row2);
+  EXPECT_EQ(row1.find(" x"), row2.find(" y"));
+}
+
+TEST(TablePrinterTest, DoubleRowFormatting) {
+  TablePrinter t({"label", "m1", "m2"});
+  t.AddRow("row", {1.23456, 7.0}, 2);
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("1.23"), std::string::npos);
+  EXPECT_NE(s.find("7.00"), std::string::npos);
+}
+
+TEST(TablePrinterTest, WrongWidthThrows) {
+  TablePrinter t({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), CheckError);
+  EXPECT_THROW(t.AddRow({"1", "2", "3"}), CheckError);
+}
+
+TEST(TablePrinterTest, EmptyHeadersThrow) {
+  EXPECT_THROW(TablePrinter({}), CheckError);
+}
+
+TEST(TablePrinterTest, RowsCount) {
+  TablePrinter t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.AddRow({"1"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(TablePrinterTest, CsvBasic) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.ToCsv(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterTest, CsvQuotesSpecialCharacters) {
+  TablePrinter t({"name"});
+  t.AddRow({"has,comma"});
+  t.AddRow({"has\"quote"});
+  EXPECT_EQ(t.ToCsv(), "name\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST(TablePrinterTest, MarkdownShape) {
+  TablePrinter t({"x", "y"});
+  t.AddRow({"1", "2"});
+  const std::string md = t.ToMarkdown();
+  EXPECT_EQ(md, "| x | y |\n|---|---|\n| 1 | 2 |\n");
+}
+
+TEST(TablePrinterTest, MarkdownEscapesPipes) {
+  TablePrinter t({"c"});
+  t.AddRow({"a|b"});
+  EXPECT_NE(t.ToMarkdown().find("a\\|b"), std::string::npos);
+}
+
+TEST(TablePrinterTest, PrintWritesToStream) {
+  TablePrinter t({"h"});
+  t.AddRow({"v"});
+  std::ostringstream oss;
+  t.Print(oss);
+  EXPECT_FALSE(oss.str().empty());
+}
+
+}  // namespace
+}  // namespace amf::common

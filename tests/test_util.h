@@ -1,0 +1,45 @@
+// Shared fixtures for predictor tests: a small, fully observed, smoothly
+// structured QoS slice where collaborative filtering is clearly better
+// than scalar baselines.
+#pragma once
+
+#include "common/rng.h"
+#include "data/masking.h"
+#include "data/synthetic.h"
+#include "eval/metrics.h"
+#include "linalg/matrix.h"
+
+namespace amf::testutil {
+
+/// Small synthetic RT slice (fully observed ground truth).
+inline linalg::Matrix SmallRtSlice(std::size_t users = 40,
+                                   std::size_t services = 120,
+                                   std::uint64_t seed = 2014) {
+  data::SyntheticConfig cfg;
+  cfg.users = users;
+  cfg.services = services;
+  cfg.slices = 1;
+  cfg.seed = seed;
+  const data::SyntheticQoSDataset dataset(cfg);
+  return dataset.DenseSlice(data::QoSAttribute::kResponseTime, 0);
+}
+
+/// Deterministic split of a slice at the given density.
+inline data::TrainTestSplit Split(const linalg::Matrix& slice,
+                                  double density, std::uint64_t seed = 1) {
+  common::Rng rng(seed);
+  return data::SplitSlice(slice, density, rng);
+}
+
+/// Metrics of the trivial global-mean predictor on a split (the bar any
+/// real CF approach must clear).
+inline eval::Metrics GlobalMeanMetrics(const data::TrainTestSplit& split) {
+  const double mean = split.train.GlobalMean();
+  std::vector<double> pred(split.test.size(), mean);
+  std::vector<double> truth;
+  truth.reserve(split.test.size());
+  for (const auto& s : split.test) truth.push_back(s.value);
+  return eval::ComputeMetrics(pred, truth);
+}
+
+}  // namespace amf::testutil

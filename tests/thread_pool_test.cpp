@@ -1,0 +1,81 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace amf::common {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&] { ++counter; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto fut = pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(0, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForEmptyRange) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(5, 5, [&](std::size_t) { ++calls; });
+  pool.ParallelFor(7, 3, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, ParallelForSumMatchesSerial) {
+  ThreadPool pool(8);
+  std::vector<double> values(5000);
+  std::iota(values.begin(), values.end(), 1.0);
+  std::vector<double> out(values.size());
+  pool.ParallelFor(0, values.size(),
+                   [&](std::size_t i) { out[i] = values[i] * 2.0; });
+  double sum = 0;
+  for (double v : out) sum += v;
+  EXPECT_DOUBLE_EQ(sum, 5000.0 * 5001.0);
+}
+
+TEST(ThreadPoolTest, ParallelForRethrowsWorkerException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(0, 100,
+                                [](std::size_t i) {
+                                  if (i == 37) {
+                                    throw std::runtime_error("fail");
+                                  }
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, SizeReflectsWorkerCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsUsable) {
+  std::atomic<int> counter{0};
+  ThreadPool::Global().ParallelFor(0, 10,
+                                   [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 10);
+}
+
+}  // namespace
+}  // namespace amf::common

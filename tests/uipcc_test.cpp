@@ -1,0 +1,128 @@
+#include "cf/uipcc.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "tests/test_util.h"
+
+namespace amf::cf {
+namespace {
+
+TEST(UipccTest, Name) { EXPECT_EQ(Uipcc().name(), "UIPCC"); }
+
+TEST(UipccTest, InvalidLambdaThrows) {
+  UipccConfig cfg;
+  cfg.lambda = 1.5;
+  EXPECT_THROW(Uipcc{cfg}, common::CheckError);
+  cfg.lambda = -0.1;
+  EXPECT_THROW(Uipcc{cfg}, common::CheckError);
+}
+
+TEST(UipccTest, LambdaOneEqualsUpccWhenBothAvailable) {
+  const linalg::Matrix slice = testutil::SmallRtSlice(30, 60);
+  const data::TrainTestSplit split = testutil::Split(slice, 0.5);
+  UipccConfig cfg;
+  cfg.lambda = 1.0;
+  Uipcc hybrid(cfg);
+  hybrid.Fit(split.train);
+  Upcc upcc(cfg.neighborhood);
+  upcc.Fit(split.train);
+  Ipcc ipcc(cfg.neighborhood);
+  ipcc.Fit(split.train);
+  int compared = 0;
+  for (std::size_t i = 0; i < split.test.size() && compared < 30; ++i) {
+    const auto& s = split.test[i];
+    // Only where both component predictions exist does lambda=1 force the
+    // UPCC branch.
+    if (upcc.PredictWithConfidence(s.user, s.service) &&
+        ipcc.PredictWithConfidence(s.user, s.service)) {
+      EXPECT_NEAR(hybrid.Predict(s.user, s.service),
+                  upcc.Predict(s.user, s.service), 1e-9);
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 0);
+}
+
+TEST(UipccTest, LambdaZeroEqualsIpccWhenBothAvailable) {
+  const linalg::Matrix slice = testutil::SmallRtSlice(30, 60);
+  const data::TrainTestSplit split = testutil::Split(slice, 0.5);
+  UipccConfig cfg;
+  cfg.lambda = 0.0;
+  Uipcc hybrid(cfg);
+  hybrid.Fit(split.train);
+  Upcc upcc(cfg.neighborhood);
+  upcc.Fit(split.train);
+  Ipcc ipcc(cfg.neighborhood);
+  ipcc.Fit(split.train);
+  int compared = 0;
+  for (std::size_t i = 0; i < split.test.size() && compared < 30; ++i) {
+    const auto& s = split.test[i];
+    if (upcc.PredictWithConfidence(s.user, s.service) &&
+        ipcc.PredictWithConfidence(s.user, s.service)) {
+      EXPECT_NEAR(hybrid.Predict(s.user, s.service),
+                  ipcc.Predict(s.user, s.service), 1e-9);
+      ++compared;
+    }
+  }
+  EXPECT_GT(compared, 0);
+}
+
+TEST(UipccTest, PredictionBetweenComponents) {
+  const linalg::Matrix slice = testutil::SmallRtSlice(30, 60);
+  const data::TrainTestSplit split = testutil::Split(slice, 0.5);
+  Uipcc hybrid;  // lambda = 0.5
+  hybrid.Fit(split.train);
+  Upcc upcc;
+  upcc.Fit(split.train);
+  Ipcc ipcc;
+  ipcc.Fit(split.train);
+  for (std::size_t i = 0; i < 50 && i < split.test.size(); ++i) {
+    const auto& s = split.test[i];
+    const auto up = upcc.PredictWithConfidence(s.user, s.service);
+    const auto ip = ipcc.PredictWithConfidence(s.user, s.service);
+    if (!up || !ip) continue;
+    const double h = hybrid.Predict(s.user, s.service);
+    const double lo = std::min(up->value, ip->value);
+    const double hi = std::max(up->value, ip->value);
+    EXPECT_GE(h, lo - 1e-9);
+    EXPECT_LE(h, hi + 1e-9);
+  }
+}
+
+TEST(UipccTest, FallsBackToAvailableComponent) {
+  // Only user-side neighborhoods exist: two correlated users, the target
+  // service observed by the neighbor, but user 0 observes only ONE other
+  // service so no service-service similarity is computable.
+  data::SparseMatrix m(2, 3);
+  m.Set(0, 0, 1.0);
+  m.Set(0, 1, 2.0);
+  m.Set(1, 0, 2.0);
+  m.Set(1, 1, 3.0);
+  m.Set(1, 2, 5.0);
+  Uipcc hybrid;
+  hybrid.Fit(m);
+  EXPECT_TRUE(std::isfinite(hybrid.Predict(0, 2)));
+}
+
+TEST(UipccTest, ScalarFallbackForEmptyNeighborhoods) {
+  data::SparseMatrix m(2, 2);
+  m.Set(0, 0, 4.0);
+  Uipcc hybrid;
+  hybrid.Fit(m);
+  // User 1 x service 1: nothing to go on -> global mean.
+  EXPECT_DOUBLE_EQ(hybrid.Predict(1, 1), 4.0);
+}
+
+TEST(UipccTest, BeatsGlobalMeanOnStructuredData) {
+  const linalg::Matrix slice = testutil::SmallRtSlice();
+  const data::TrainTestSplit split = testutil::Split(slice, 0.4);
+  Uipcc hybrid;
+  hybrid.Fit(split.train);
+  const eval::Metrics m = eval::EvaluatePredictor(hybrid, split.test);
+  const eval::Metrics baseline = testutil::GlobalMeanMetrics(split);
+  EXPECT_LT(m.mae, baseline.mae);
+}
+
+}  // namespace
+}  // namespace amf::cf

@@ -1,0 +1,96 @@
+#include "cf/upcc.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "tests/test_util.h"
+
+namespace amf::cf {
+namespace {
+
+TEST(UpccTest, PredictBeforeFitThrows) {
+  Upcc upcc;
+  EXPECT_THROW(upcc.Predict(0, 0), common::CheckError);
+}
+
+TEST(UpccTest, Name) { EXPECT_EQ(Upcc().name(), "UPCC"); }
+
+TEST(UpccTest, ExactForPerfectlyCorrelatedUsers) {
+  // User 1 = user 0 + 1 on every co-observed service; with PCC = 1 the
+  // deviation-from-mean formula reconstructs user 0's held-out value
+  // exactly.
+  data::SparseMatrix m(2, 5);
+  for (std::size_t c = 0; c < 5; ++c) m.Set(1, c, 2.0 + double(c));
+  for (std::size_t c = 0; c < 4; ++c) m.Set(0, c, 1.0 + double(c));
+  NeighborhoodConfig cfg;
+  cfg.significance_gamma = 0;
+  Upcc upcc(cfg);
+  upcc.Fit(m);
+  // user 0 mean over observed = 2.5; neighbor (user 1) mean = 4.0,
+  // value at service 4 = 6 -> prediction = 2.5 + 1*(6-4)/1 = 4.5.
+  // Ground truth by the pattern would be 5; but the mean-offset estimate
+  // is the defined UPCC output:
+  EXPECT_NEAR(upcc.Predict(0, 4), 4.5, 1e-9);
+}
+
+TEST(UpccTest, FallsBackToUserMeanWithoutNeighbors) {
+  data::SparseMatrix m(3, 3);
+  m.Set(0, 0, 2.0);
+  m.Set(0, 1, 4.0);
+  // Service 2 observed by nobody else; user 0 has no correlated peers.
+  Upcc upcc;
+  upcc.Fit(m);
+  EXPECT_DOUBLE_EQ(upcc.Predict(0, 2), 3.0);
+}
+
+TEST(UpccTest, FallsBackToServiceMeanForColdUser) {
+  data::SparseMatrix m(3, 2);
+  m.Set(0, 0, 2.0);
+  m.Set(1, 0, 4.0);
+  // User 2 never observed anything -> fall back to service mean.
+  Upcc upcc;
+  upcc.Fit(m);
+  EXPECT_DOUBLE_EQ(upcc.Predict(2, 0), 3.0);
+}
+
+TEST(UpccTest, ConfidenceInUnitRange) {
+  const linalg::Matrix slice = testutil::SmallRtSlice();
+  const data::TrainTestSplit split = testutil::Split(slice, 0.4);
+  Upcc upcc;
+  upcc.Fit(split.train);
+  int with_conf = 0;
+  for (std::size_t i = 0; i < 50 && i < split.test.size(); ++i) {
+    const auto p = upcc.PredictWithConfidence(split.test[i].user,
+                                              split.test[i].service);
+    if (p) {
+      ++with_conf;
+      EXPECT_GT(p->confidence, 0.0);
+      EXPECT_LE(p->confidence, 1.0 + 1e-9);
+    }
+  }
+  EXPECT_GT(with_conf, 0);
+}
+
+TEST(UpccTest, BeatsGlobalMeanOnStructuredData) {
+  const linalg::Matrix slice = testutil::SmallRtSlice();
+  const data::TrainTestSplit split = testutil::Split(slice, 0.4);
+  Upcc upcc;
+  upcc.Fit(split.train);
+  const eval::Metrics m = eval::EvaluatePredictor(upcc, split.test);
+  const eval::Metrics baseline = testutil::GlobalMeanMetrics(split);
+  EXPECT_LT(m.mae, baseline.mae);
+  EXPECT_GT(m.mae, 0.0);
+}
+
+TEST(UpccTest, PredictionsAreFinite) {
+  const linalg::Matrix slice = testutil::SmallRtSlice(20, 50);
+  const data::TrainTestSplit split = testutil::Split(slice, 0.1);
+  Upcc upcc;
+  upcc.Fit(split.train);
+  for (const auto& s : split.test) {
+    EXPECT_TRUE(std::isfinite(upcc.Predict(s.user, s.service)));
+  }
+}
+
+}  // namespace
+}  // namespace amf::cf

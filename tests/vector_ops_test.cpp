@@ -1,0 +1,66 @@
+#include "linalg/vector_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace amf::linalg {
+namespace {
+
+TEST(VectorOpsTest, Dot) {
+  const std::vector<double> a = {1, 2, 3};
+  const std::vector<double> b = {4, -5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 4 - 10 + 18);
+  EXPECT_DOUBLE_EQ(Dot(std::span<const double>{}, {}), 0.0);
+}
+
+TEST(VectorOpsTest, Axpy) {
+  const std::vector<double> x = {1, 2};
+  std::vector<double> y = {10, 20};
+  Axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(y[0], 12.0);
+  EXPECT_DOUBLE_EQ(y[1], 24.0);
+}
+
+TEST(VectorOpsTest, Scale) {
+  std::vector<double> x = {1, -2, 3};
+  Scale(-2.0, x);
+  EXPECT_DOUBLE_EQ(x[0], -2.0);
+  EXPECT_DOUBLE_EQ(x[1], 4.0);
+  EXPECT_DOUBLE_EQ(x[2], -6.0);
+}
+
+TEST(VectorOpsTest, Norms) {
+  const std::vector<double> x = {3, 4};
+  EXPECT_DOUBLE_EQ(Norm2(x), 5.0);
+  EXPECT_DOUBLE_EQ(NormSquared(x), 25.0);
+}
+
+TEST(VectorOpsTest, Subtract) {
+  const std::vector<double> a = {5, 7};
+  const std::vector<double> b = {2, 10};
+  std::vector<double> out(2);
+  Subtract(a, b, out);
+  EXPECT_DOUBLE_EQ(out[0], 3.0);
+  EXPECT_DOUBLE_EQ(out[1], -3.0);
+}
+
+TEST(VectorOpsTest, NormalizeInPlace) {
+  std::vector<double> x = {3, 4};
+  const double n = NormalizeInPlace(x);
+  EXPECT_DOUBLE_EQ(n, 5.0);
+  EXPECT_DOUBLE_EQ(x[0], 0.6);
+  EXPECT_DOUBLE_EQ(x[1], 0.8);
+  EXPECT_NEAR(Norm2(x), 1.0, 1e-15);
+}
+
+TEST(VectorOpsTest, NormalizeZeroVectorIsNoOp) {
+  std::vector<double> x = {0, 0, 0};
+  const double n = NormalizeInPlace(x);
+  EXPECT_DOUBLE_EQ(n, 0.0);
+  for (double v : x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+}  // namespace
+}  // namespace amf::linalg

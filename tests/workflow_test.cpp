@@ -1,0 +1,63 @@
+#include "adapt/workflow.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace amf::adapt {
+namespace {
+
+Workflow MakeWorkflow() {
+  return Workflow({{"a", {0, 1, 2}}, {"b", {3, 4}}});
+}
+
+TEST(WorkflowTest, InitialBindingIsFirstCandidate) {
+  const Workflow wf = MakeWorkflow();
+  EXPECT_EQ(wf.num_tasks(), 2u);
+  EXPECT_EQ(wf.binding(0), 0u);
+  EXPECT_EQ(wf.binding(1), 3u);
+  EXPECT_EQ(wf.adaptations(), 0u);
+}
+
+TEST(WorkflowTest, RebindToCandidate) {
+  Workflow wf = MakeWorkflow();
+  wf.Rebind(0, 2);
+  EXPECT_EQ(wf.binding(0), 2u);
+  EXPECT_EQ(wf.adaptations(), 1u);
+}
+
+TEST(WorkflowTest, RebindToSameIsNotAnAdaptation) {
+  Workflow wf = MakeWorkflow();
+  wf.Rebind(0, 0);
+  EXPECT_EQ(wf.adaptations(), 0u);
+}
+
+TEST(WorkflowTest, RebindToNonCandidateThrows) {
+  Workflow wf = MakeWorkflow();
+  EXPECT_THROW(wf.Rebind(0, 4), common::CheckError);
+  EXPECT_THROW(wf.Rebind(1, 0), common::CheckError);
+}
+
+TEST(WorkflowTest, TaskAccess) {
+  const Workflow wf = MakeWorkflow();
+  EXPECT_EQ(wf.task(0).name, "a");
+  EXPECT_EQ(wf.task(1).candidates.size(), 2u);
+  EXPECT_THROW(wf.task(2), common::CheckError);
+}
+
+TEST(WorkflowTest, EmptyWorkflowThrows) {
+  EXPECT_THROW(Workflow(std::vector<AbstractTask>{}), common::CheckError);
+}
+
+TEST(WorkflowTest, TaskWithoutCandidatesThrows) {
+  EXPECT_THROW(Workflow(std::vector<AbstractTask>{{"empty", {}}}),
+               common::CheckError);
+}
+
+TEST(WorkflowTest, OutOfRangeBindingThrows) {
+  const Workflow wf = MakeWorkflow();
+  EXPECT_THROW(wf.binding(5), common::CheckError);
+}
+
+}  // namespace
+}  // namespace amf::adapt
