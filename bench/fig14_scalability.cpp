@@ -45,15 +45,20 @@ int main() {
   core::OnlineTrainer trainer(model, cfg);
 
   auto mre_of = [&](bool existing) {
-    std::vector<double> rel;
+    std::vector<data::QoSSample> kept;
     for (const auto& s : split.test) {
       if (is_existing(s.user, s.service) != existing) continue;
       if (!model.HasUser(s.user) || !model.HasService(s.service)) continue;
       if (s.value <= 0.0) continue;
-      rel.push_back(std::abs(model.PredictRaw(s.user, s.service) - s.value) /
-                    s.value);
+      kept.push_back(s);
     }
-    return rel.empty() ? std::nan("") : common::Median(rel);
+    if (kept.empty()) return std::nan("");
+    const std::vector<double> pred = core::PredictSamplesRaw(model, kept);
+    std::vector<double> rel(kept.size());
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      rel[i] = std::abs(pred[i] - kept[i].value) / kept[i].value;
+    }
+    return common::Median(rel);
   };
 
   // Phase 1: existing 80% block only.

@@ -3,9 +3,12 @@
 // sample-store operations, and dense-slice generation.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "core/amf_model.h"
 #include "core/sample_store.h"
 #include "data/synthetic.h"
+#include "linalg/matrix.h"
 #include "transform/qos_transform.h"
 
 namespace {
@@ -45,6 +48,63 @@ void BM_PredictRaw(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
 }
 BENCHMARK(BM_PredictRaw);
+
+// Batched row scoring (GemvRowMajor + SigmoidRow) vs. the equivalent
+// per-service PredictNormalized loop. The ratio of these two benchmarks
+// is the headline speedup of the batched prediction path.
+void BM_PredictRow(benchmark::State& state) {
+  core::AmfConfig cfg = core::MakeResponseTimeConfig(1);
+  cfg.rank = static_cast<std::size_t>(state.range(0));
+  core::AmfModel model(cfg);
+  model.EnsureUser(141);
+  model.EnsureService(4499);
+  std::vector<double> out(model.num_services());
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    model.PredictRowRaw(static_cast<data::UserId>(i % 142), out);
+    benchmark::DoNotOptimize(out.data());
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(out.size()));
+}
+BENCHMARK(BM_PredictRow)->Arg(10)->Arg(32);
+
+// The same work expressed as scalar Predict calls — the pre-batching
+// baseline BM_PredictRow is measured against.
+void BM_PredictRowScalarLoop(benchmark::State& state) {
+  core::AmfConfig cfg = core::MakeResponseTimeConfig(1);
+  cfg.rank = static_cast<std::size_t>(state.range(0));
+  core::AmfModel model(cfg);
+  model.EnsureUser(141);
+  model.EnsureService(4499);
+  std::vector<double> out(model.num_services());
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    const auto u = static_cast<data::UserId>(i % 142);
+    for (data::ServiceId s = 0; s < 4500; ++s) out[s] = model.PredictRaw(u, s);
+    benchmark::DoNotOptimize(out.data());
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(out.size()));
+}
+BENCHMARK(BM_PredictRowScalarLoop)->Arg(10)->Arg(32);
+
+void BM_PredictMatrix(benchmark::State& state) {
+  core::AmfModel model(core::MakeResponseTimeConfig(1));
+  model.EnsureUser(141);
+  model.EnsureService(4499);
+  linalg::Matrix out;
+  for (auto _ : state) {
+    model.PredictMatrixRaw(&out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          142 * 4500);
+  state.SetLabel("142x4500");
+}
+BENCHMARK(BM_PredictMatrix)->Unit(benchmark::kMillisecond);
 
 void BM_TransformForward(benchmark::State& state) {
   transform::QoSTransformConfig cfg;

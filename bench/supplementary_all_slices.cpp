@@ -52,13 +52,11 @@ int main() {
     }
     const std::size_t epochs = trainer.RunUntilConverged();
 
-    std::vector<double> pred, truth;
-    pred.reserve(split.test.size());
+    const std::vector<double> pred =
+        core::PredictSamplesRaw(model, split.test);
+    std::vector<double> truth;
     truth.reserve(split.test.size());
-    for (const auto& s : split.test) {
-      pred.push_back(model.PredictRaw(s.user, s.service));
-      truth.push_back(s.value);
-    }
+    for (const auto& s : split.test) truth.push_back(s.value);
     const eval::Metrics m = eval::ComputeMetrics(pred, truth);
     mre_stats.Add(m.mre);
     npre_stats.Add(m.npre);

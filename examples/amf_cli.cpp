@@ -44,6 +44,7 @@
 #include "data/summary.h"
 #include "data/synthetic.h"
 #include "eval/metrics.h"
+#include "eval/ranking.h"
 
 namespace {
 
@@ -170,17 +171,26 @@ int CmdEvaluate(const Args& args) {
   const auto slice_id =
       static_cast<data::SliceId>(args.GetInt("slice", 0));
 
-  std::vector<double> pred, truth;
+  // Gather the scoreable entries, then predict them in one batched pass
+  // (one gather-GEMV row segment per user instead of a Predict call per
+  // entry).
+  std::vector<data::QoSSample> samples;
+  std::vector<double> truth;
   for (data::UserId u = 0; u < dataset.num_users(); ++u) {
     if (!model.HasUser(u)) continue;
     for (data::ServiceId s = 0; s < dataset.num_services(); ++s) {
       if (!model.HasService(s)) continue;
       if (!dataset.Has(attr, u, s, slice_id)) continue;
-      pred.push_back(model.PredictRaw(u, s));
-      truth.push_back(dataset.Value(attr, u, s, slice_id));
+      samples.push_back(data::QoSSample{.slice = slice_id,
+                                        .user = u,
+                                        .service = s,
+                                        .value =
+                                            dataset.Value(attr, u, s, slice_id)});
+      truth.push_back(samples.back().value);
     }
   }
-  AMF_CHECK_MSG(!pred.empty(), "nothing to evaluate");
+  AMF_CHECK_MSG(!samples.empty(), "nothing to evaluate");
+  const std::vector<double> pred = core::PredictSamplesRaw(model, samples);
   const eval::Metrics m = eval::ComputeMetrics(pred, truth);
   std::cout << "entries=" << m.count
             << " MAE=" << common::FormatFixed(m.mae, 4)
@@ -210,21 +220,19 @@ int CmdRecommend(const Args& args) {
   const auto top =
       static_cast<std::size_t>(args.GetInt("top", 10));
 
-  std::vector<std::pair<double, data::ServiceId>> ranked;
-  ranked.reserve(model.num_services());
-  for (data::ServiceId s = 0; s < model.num_services(); ++s) {
-    ranked.emplace_back(model.PredictRaw(u, s), s);
-  }
-  std::sort(ranked.begin(), ranked.end());
-  const std::size_t n = std::min(top, ranked.size());
-  std::cout << "top " << n << " candidate services for user " << u
+  // One batched pass over the whole catalog, then a partial sort for the
+  // requested prefix — no per-service Predict calls, no full sort.
+  std::vector<double> scores(model.num_services());
+  model.PredictRowRaw(u, scores);
+  const std::vector<std::size_t> best =
+      eval::TopKByValue(scores, top, /*smaller_is_better=*/true);
+  std::cout << "top " << best.size() << " candidate services for user " << u
             << " (ascending predicted QoS):\n";
-  for (std::size_t i = 0; i < n; ++i) {
-    std::cout << "  service " << ranked[i].second << "  predicted "
-              << common::FormatFixed(ranked[i].first, 4)
-              << "  uncertainty "
-              << common::FormatFixed(
-                     model.PredictionUncertainty(u, ranked[i].second), 3)
+  for (const std::size_t i : best) {
+    const auto s = static_cast<data::ServiceId>(i);
+    std::cout << "  service " << s << "  predicted "
+              << common::FormatFixed(scores[i], 4) << "  uncertainty "
+              << common::FormatFixed(model.PredictionUncertainty(u, s), 3)
               << "\n";
   }
   return 0;

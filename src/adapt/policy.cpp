@@ -1,6 +1,7 @@
 #include "adapt/policy.h"
 
 #include <limits>
+#include <vector>
 
 #include "common/check.h"
 
@@ -39,19 +40,22 @@ std::optional<data::ServiceId> PredictedBestPolicy::SelectBinding(
     const TaskContext& ctx) {
   AMF_CHECK(ctx.task != nullptr);
   if (!Violated(ctx)) return std::nullopt;
+  // Score the whole candidate set in one batched pass; unknown candidates
+  // come back NaN and drop out of the comparisons below.
+  const auto& cands = ctx.task->candidates;
+  std::vector<double> values(cands.size());
+  std::vector<double> uncertainties(cands.size());
+  service_->PredictQoSRow(ctx.user, cands, values, uncertainties);
   auto pick_best = [&](bool require_trained) {
     double best_score = std::numeric_limits<double>::infinity();
     std::optional<data::ServiceId> best;
-    for (data::ServiceId cand : ctx.task->candidates) {
-      if (require_trained && !IsTrained(cand)) continue;
-      const auto pred =
-          service_->PredictQoSWithUncertainty(ctx.user, cand);
-      if (!pred) continue;
+    for (std::size_t i = 0; i < cands.size(); ++i) {
+      if (require_trained && !IsTrained(cands[i])) continue;
       const double score =
-          pred->value * (1.0 + risk_aversion_ * pred->uncertainty);
+          values[i] * (1.0 + risk_aversion_ * uncertainties[i]);
       if (score < best_score) {
         best_score = score;
-        best = cand;
+        best = cands[i];
       }
     }
     return best;

@@ -1,5 +1,11 @@
 #include "adapt/prediction_service.h"
 
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+
 namespace amf::adapt {
 
 QoSPredictionService::QoSPredictionService(
@@ -61,6 +67,44 @@ QoSPredictionService::PredictQoSWithUncertainty(data::UserId u,
   if (!model_.HasUser(u) || !model_.HasService(s)) return std::nullopt;
   return Prediction{model_.PredictRaw(u, s),
                     model_.PredictionUncertainty(u, s)};
+}
+
+bool QoSPredictionService::PredictQoSRow(
+    data::UserId u, std::span<const data::ServiceId> candidates,
+    std::span<double> values, std::span<double> uncertainties) const {
+  AMF_CHECK_MSG(values.size() == candidates.size(),
+                "candidates/values size mismatch");
+  AMF_CHECK_MSG(
+      uncertainties.empty() || uncertainties.size() == candidates.size(),
+      "candidates/uncertainties size mismatch");
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  std::fill(values.begin(), values.end(), nan);
+  std::fill(uncertainties.begin(), uncertainties.end(), nan);
+  if (!model_.HasUser(u)) return false;
+
+  // Gather the registered candidates and score them in one batched pass.
+  std::vector<data::ServiceId> known;
+  std::vector<std::size_t> pos;
+  known.reserve(candidates.size());
+  pos.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (model_.HasService(candidates[i])) {
+      known.push_back(candidates[i]);
+      pos.push_back(i);
+    }
+  }
+  if (known.empty()) return true;
+  std::vector<double> scores(known.size());
+  model_.PredictManyRaw(u, known, scores);
+  const double user_error = model_.UserError(u);
+  for (std::size_t j = 0; j < known.size(); ++j) {
+    values[pos[j]] = scores[j];
+    if (!uncertainties.empty()) {
+      uncertainties[pos[j]] =
+          0.5 * (user_error + model_.ServiceError(known[j]));
+    }
+  }
+  return true;
 }
 
 }  // namespace amf::adapt

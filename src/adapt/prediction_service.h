@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 
 #include "adapt/registry.h"
@@ -67,6 +68,17 @@ class QoSPredictionService {
   };
   std::optional<Prediction> PredictQoSWithUncertainty(
       data::UserId u, data::ServiceId s) const;
+
+  /// Batched candidate scoring for one user: fills values[i] (and, when
+  /// `uncertainties` is non-empty, uncertainties[i]) for candidates[i].
+  /// Registered candidates go through the model's single-pass gather
+  /// kernel; unknown ones get NaN in both outputs. Returns false (outputs
+  /// all NaN) if the user is unknown. Span sizes must match candidates
+  /// (uncertainties may also be empty to skip them).
+  bool PredictQoSRow(data::UserId u,
+                     std::span<const data::ServiceId> candidates,
+                     std::span<double> values,
+                     std::span<double> uncertainties) const;
 
   const core::AmfModel& model() const { return model_; }
   core::OnlineTrainer& trainer() { return trainer_; }

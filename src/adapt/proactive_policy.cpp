@@ -1,6 +1,7 @@
 #include "adapt/proactive_policy.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/check.h"
 
@@ -36,6 +37,17 @@ std::optional<double> ProactivePolicy::ForecastFor(
     return std::nullopt;
   }
   return it->second->Forecast();
+}
+
+void ProactivePolicy::ForecastRow(data::UserId u,
+                                  std::span<const data::ServiceId> candidates,
+                                  std::span<double> out) const {
+  AMF_CHECK_MSG(candidates.size() == out.size(),
+                "candidates/out size mismatch");
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const std::optional<double> f = ForecastFor(u, candidates[i]);
+    out[i] = f ? *f : std::numeric_limits<double>::quiet_NaN();
+  }
 }
 
 }  // namespace amf::adapt

@@ -34,6 +34,14 @@ class ProactivePolicy : public AdaptationPolicy {
   /// Current one-step forecast for a (user, service) pair, if any history.
   std::optional<double> ForecastFor(data::UserId u, data::ServiceId s) const;
 
+  /// Batch variant over a candidate set: out[i] = forecast for
+  /// (u, candidates[i]), NaN where the pair has no history. Sizes must
+  /// match. Companion to QoSPredictionService::PredictQoSRow for ranking
+  /// candidates by forecast QoS in one pass.
+  void ForecastRow(data::UserId u,
+                   std::span<const data::ServiceId> candidates,
+                   std::span<double> out) const;
+
  private:
   static std::uint64_t Key(data::UserId u, data::ServiceId s) {
     return (static_cast<std::uint64_t>(u) << 32) | s;

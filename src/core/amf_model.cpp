@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <unordered_map>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
+#include "linalg/kernels.h"
+#include "linalg/matrix.h"
 #include "linalg/vector_ops.h"
 
 namespace amf::core {
@@ -73,21 +77,32 @@ AmfModel& AmfModel::operator=(AmfModel&& other) noexcept {
   return *this;
 }
 
-void AmfModel::EnsureUser(data::UserId u) {
-  while (user_error_.size() <= u) {
-    for (std::size_t k = 0; k < config_.rank; ++k) {
-      user_factors_.push_back(rng_.Uniform() * config_.init_scale);
-    }
-    user_error_.push_back(config_.initial_error);
+void AmfModel::Grow(std::vector<double>& factors,
+                    std::vector<double>& errors, std::size_t need) {
+  const std::size_t d = config_.rank;
+  if (errors.capacity() < need) {
+    const std::size_t cap = std::max(need, 2 * errors.capacity());
+    errors.reserve(cap);
+    factors.reserve(cap * d);
+  }
+  const std::size_t old = errors.size();
+  errors.resize(need, config_.initial_error);
+  factors.resize(need * d);
+  // Same rng_ draw order as per-entity registration: rank draws each.
+  for (std::size_t i = old * d; i < need * d; ++i) {
+    factors[i] = rng_.Uniform() * config_.init_scale;
   }
 }
 
+void AmfModel::EnsureUser(data::UserId u) {
+  const std::size_t need = static_cast<std::size_t>(u) + 1;
+  if (user_error_.size() < need) Grow(user_factors_, user_error_, need);
+}
+
 void AmfModel::EnsureService(data::ServiceId s) {
-  while (service_error_.size() <= s) {
-    for (std::size_t k = 0; k < config_.rank; ++k) {
-      service_factors_.push_back(rng_.Uniform() * config_.init_scale);
-    }
-    service_error_.push_back(config_.initial_error);
+  const std::size_t need = static_cast<std::size_t>(s) + 1;
+  if (service_error_.size() < need) {
+    Grow(service_factors_, service_error_, need);
   }
 }
 
@@ -136,12 +151,8 @@ double AmfModel::OnlineUpdate(data::UserId u, data::ServiceId s,
   const double eta = config_.learn_rate;
   const double cu = eta * wu;
   const double cs = eta * ws;
-  for (std::size_t k = 0; k < d; ++k) {
-    const double uk = ui[k];
-    const double sk = sj[k];
-    ui[k] = uk - cu * (common_coef * sk + config_.lambda_user * uk);
-    sj[k] = sk - cs * (common_coef * uk + config_.lambda_service * sk);
-  }
+  linalg::SgdPairStep(ui, sj, common_coef, cu, cs, config_.lambda_user,
+                      config_.lambda_service);
   return e_us;
 }
 
@@ -157,6 +168,73 @@ double AmfModel::PredictNormalized(data::UserId u, data::ServiceId s) const {
   const std::span<const double> ui(&user_factors_[u * d], d);
   const std::span<const double> sj(&service_factors_[s * d], d);
   return transform::Sigmoid(linalg::Dot(ui, sj));
+}
+
+void AmfModel::PredictRowNormalized(data::UserId u,
+                                    std::span<double> out) const {
+  AMF_CHECK_MSG(HasUser(u), "row prediction for unregistered user " << u);
+  AMF_CHECK_MSG(out.size() <= num_services(),
+                "row of " << out.size() << " exceeds " << num_services()
+                          << " registered services");
+  const std::size_t d = config_.rank;
+  const std::span<const double> x(&user_factors_[u * d], d);
+  linalg::GemvRowMajor(
+      x, std::span<const double>(service_factors_.data(), out.size() * d),
+      out);
+  transform::SigmoidRow(out, out);
+}
+
+void AmfModel::PredictRowRaw(data::UserId u, std::span<double> out) const {
+  PredictRowNormalized(u, out);
+  transform_.InverseRow(out);
+}
+
+void AmfModel::PredictManyNormalized(
+    data::UserId u, std::span<const data::ServiceId> services,
+    std::span<double> out) const {
+  AMF_CHECK_MSG(services.size() == out.size(),
+                "services/out size mismatch");
+  AMF_CHECK_MSG(HasUser(u), "batch prediction for unregistered user " << u);
+  const std::size_t d = config_.rank;
+  const std::span<const double> x(&user_factors_[u * d], d);
+  for (std::size_t i = 0; i < services.size(); ++i) {
+    AMF_CHECK_MSG(HasService(services[i]),
+                  "batch prediction for unregistered service "
+                      << services[i]);
+    out[i] = linalg::Dot(
+        x, std::span<const double>(&service_factors_[services[i] * d], d));
+  }
+  transform::SigmoidRow(out, out);
+}
+
+void AmfModel::PredictManyRaw(data::UserId u,
+                              std::span<const data::ServiceId> services,
+                              std::span<double> out) const {
+  PredictManyNormalized(u, services, out);
+  transform_.InverseRow(out);
+}
+
+void AmfModel::PredictMatrixImpl(linalg::Matrix* out,
+                                 common::ThreadPool* pool, bool raw) const {
+  AMF_CHECK(out != nullptr);
+  out->Resize(num_users(), num_services());
+  if (num_users() == 0 || num_services() == 0) return;
+  common::ThreadPool& tp = pool ? *pool : common::ThreadPool::Global();
+  tp.ParallelFor(0, num_users(), [&](std::size_t u) {
+    const std::span<double> row = out->row(u);
+    PredictRowNormalized(static_cast<data::UserId>(u), row);
+    if (raw) transform_.InverseRow(row);
+  });
+}
+
+void AmfModel::PredictMatrixNormalized(linalg::Matrix* out,
+                                       common::ThreadPool* pool) const {
+  PredictMatrixImpl(out, pool, /*raw=*/false);
+}
+
+void AmfModel::PredictMatrixRaw(linalg::Matrix* out,
+                                common::ThreadPool* pool) const {
+  PredictMatrixImpl(out, pool, /*raw=*/true);
 }
 
 double AmfModel::UserError(data::UserId u) const {
@@ -207,6 +285,26 @@ void AmfModel::SetServiceError(data::ServiceId s, double e) {
   AMF_CHECK(HasService(s));
   AMF_CHECK_MSG(e >= 0.0, "entity error must be non-negative");
   service_error_[s] = e;
+}
+
+std::vector<double> PredictSamplesRaw(
+    const AmfModel& model, std::span<const data::QoSSample> samples) {
+  std::vector<double> out(samples.size());
+  std::unordered_map<data::UserId, std::vector<std::size_t>> by_user;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    by_user[samples[i].user].push_back(i);
+  }
+  std::vector<data::ServiceId> ids;
+  std::vector<double> scores;
+  for (const auto& [u, idx] : by_user) {
+    ids.clear();
+    ids.reserve(idx.size());
+    for (std::size_t i : idx) ids.push_back(samples[i].service);
+    scores.resize(ids.size());
+    model.PredictManyRaw(u, ids, scores);
+    for (std::size_t j = 0; j < idx.size(); ++j) out[idx[j]] = scores[j];
+  }
+  return out;
 }
 
 }  // namespace amf::core

@@ -27,6 +27,13 @@
 #include "core/amf_config.h"
 #include "data/qos_types.h"
 
+namespace amf::common {
+class ThreadPool;
+}
+namespace amf::linalg {
+class Matrix;
+}
+
 namespace amf::core {
 
 class AmfModel {
@@ -71,6 +78,39 @@ class AmfModel {
   /// Predicted normalized value g in (0, 1).
   double PredictNormalized(data::UserId u, data::ServiceId s) const;
 
+  // --- Batched prediction --------------------------------------------------
+  // The batch APIs score one registered user against many services in a
+  // single pass: a rank-d GEMV over the contiguous service-factor block,
+  // then the sigmoid (and for the raw variants the inverse transform)
+  // applied to the whole row. They agree with the scalar Predict* entry
+  // for entry up to floating-point summation order (~1e-15 relative; see
+  // tests/batch_predict_test.cpp). They are const reads: safe to call
+  // concurrently with each other, but not with OnlineUpdate/Ensure*.
+
+  /// Scores user u against services [0, out.size()); out.size() must not
+  /// exceed num_services().
+  void PredictRowNormalized(data::UserId u, std::span<double> out) const;
+
+  /// Row scoring with raw QoS readout (inverse transform over the row).
+  void PredictRowRaw(data::UserId u, std::span<double> out) const;
+
+  /// Gather variant for candidate subsets: out[i] scores (u, services[i]).
+  /// Sizes must match; every id must be registered.
+  void PredictManyNormalized(data::UserId u,
+                             std::span<const data::ServiceId> services,
+                             std::span<double> out) const;
+  void PredictManyRaw(data::UserId u,
+                      std::span<const data::ServiceId> services,
+                      std::span<double> out) const;
+
+  /// Scores every (user, service) pair into `out` (resized to num_users()
+  /// x num_services()), fanning rows across `pool` (nullptr = the
+  /// process-global pool). No OnlineUpdate may run concurrently.
+  void PredictMatrixNormalized(linalg::Matrix* out,
+                               common::ThreadPool* pool = nullptr) const;
+  void PredictMatrixRaw(linalg::Matrix* out,
+                        common::ThreadPool* pool = nullptr) const;
+
   /// Running average error of one entity (Eq. 13/14 state).
   double UserError(data::UserId u) const;
   double ServiceError(data::ServiceId s) const;
@@ -97,6 +137,15 @@ class AmfModel {
   }
 
  private:
+  /// Grows one entity family to `need` entries: geometric capacity reserve,
+  /// then one resize + randomized factor fill (keeps storage contiguous
+  /// and growth amortized O(1) per entity).
+  void Grow(std::vector<double>& factors, std::vector<double>& errors,
+            std::size_t need);
+
+  void PredictMatrixImpl(linalg::Matrix* out, common::ThreadPool* pool,
+                         bool raw) const;
+
   AmfConfig config_;
   transform::QoSTransform transform_;
   common::Rng rng_;
@@ -108,5 +157,12 @@ class AmfModel {
   // Atomic so concurrent striped-lock updates may share the counter.
   std::atomic<std::uint64_t> updates_{0};
 };
+
+/// Batched prediction for scattered test samples: groups them by user and
+/// scores each group through the gather kernel in one pass. Returns raw
+/// predictions aligned with `samples`. Every referenced entity must be
+/// registered.
+std::vector<double> PredictSamplesRaw(const AmfModel& model,
+                                      std::span<const data::QoSSample> samples);
 
 }  // namespace amf::core

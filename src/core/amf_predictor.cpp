@@ -42,4 +42,10 @@ double AmfPredictor::Predict(data::UserId u, data::ServiceId s) const {
   return model_->PredictRaw(u, s);
 }
 
+void AmfPredictor::PredictRow(data::UserId u,
+                              std::span<const data::ServiceId> services,
+                              std::span<double> out) const {
+  model_->PredictManyRaw(u, services, out);
+}
+
 }  // namespace amf::core

@@ -30,6 +30,11 @@ class AmfPredictor : public eval::Predictor {
 
   double Predict(data::UserId u, data::ServiceId s) const override;
 
+  /// Batched scoring through the model's gather/row kernels (one GEMV-style
+  /// pass + whole-row sigmoid/inverse transform).
+  void PredictRow(data::UserId u, std::span<const data::ServiceId> services,
+                  std::span<double> out) const override;
+
   AmfModel& model() { return *model_; }
   const AmfModel& model() const { return *model_; }
   OnlineTrainer& trainer() { return *trainer_; }

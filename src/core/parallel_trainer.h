@@ -38,6 +38,8 @@ class ParallelReplayTrainer {
   /// The trainer updates `model` in place; the model must outlive it.
   /// Every entity that appears in a replayed sample must already be
   /// registered (EnsureUser/EnsureService) — growth is not thread-safe.
+  /// ReplayEpoch enforces this with a debug-mode check (AMF_DCHECK);
+  /// release builds skip the scan.
   ParallelReplayTrainer(AmfModel& model,
                         const ParallelReplayConfig& config = {});
 

@@ -1,6 +1,7 @@
 #include "eval/metrics.h"
 
 #include <cmath>
+#include <unordered_map>
 
 #include "common/check.h"
 #include "common/statistics.h"
@@ -34,47 +35,52 @@ Metrics ComputeMetrics(std::span<const double> predicted,
   return m;
 }
 
-namespace {
-
-std::pair<std::vector<double>, std::vector<double>> PredictAll(
-    const Predictor& p, std::span<const data::QoSSample> test) {
-  std::vector<double> pred;
-  std::vector<double> truth;
-  pred.reserve(test.size());
-  truth.reserve(test.size());
-  for (const data::QoSSample& s : test) {
-    pred.push_back(p.Predict(s.user, s.service));
-    truth.push_back(s.value);
+std::vector<double> PredictBatch(const Predictor& p,
+                                 std::span<const data::QoSSample> test) {
+  // Group sample indices by user so each group goes through the
+  // predictor's batched row kernel in one pass.
+  std::vector<double> pred(test.size());
+  std::unordered_map<data::UserId, std::vector<std::size_t>> by_user;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    by_user[test[i].user].push_back(i);
   }
-  return {std::move(pred), std::move(truth)};
+  std::vector<data::ServiceId> services;
+  std::vector<double> scores;
+  for (const auto& [u, idx] : by_user) {
+    services.clear();
+    services.reserve(idx.size());
+    for (std::size_t i : idx) services.push_back(test[i].service);
+    scores.resize(services.size());
+    p.PredictRow(u, services, scores);
+    for (std::size_t j = 0; j < idx.size(); ++j) pred[idx[j]] = scores[j];
+  }
+  return pred;
 }
-
-}  // namespace
 
 Metrics EvaluatePredictor(const Predictor& p,
                           std::span<const data::QoSSample> test) {
-  const auto [pred, truth] = PredictAll(p, test);
+  const std::vector<double> pred = PredictBatch(p, test);
+  std::vector<double> truth;
+  truth.reserve(test.size());
+  for (const data::QoSSample& s : test) truth.push_back(s.value);
   return ComputeMetrics(pred, truth);
 }
 
 std::vector<double> SignedErrors(const Predictor& p,
                                  std::span<const data::QoSSample> test) {
-  std::vector<double> errs;
-  errs.reserve(test.size());
-  for (const data::QoSSample& s : test) {
-    errs.push_back(p.Predict(s.user, s.service) - s.value);
-  }
+  std::vector<double> errs = PredictBatch(p, test);
+  for (std::size_t i = 0; i < test.size(); ++i) errs[i] -= test[i].value;
   return errs;
 }
 
 std::vector<double> RelativeErrors(const Predictor& p,
                                    std::span<const data::QoSSample> test) {
+  const std::vector<double> pred = PredictBatch(p, test);
   std::vector<double> errs;
   errs.reserve(test.size());
-  for (const data::QoSSample& s : test) {
-    if (s.value <= 0.0) continue;
-    errs.push_back(std::abs(p.Predict(s.user, s.service) - s.value) /
-                   s.value);
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    if (test[i].value <= 0.0) continue;
+    errs.push_back(std::abs(pred[i] - test[i].value) / test[i].value);
   }
   return errs;
 }

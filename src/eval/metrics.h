@@ -32,7 +32,13 @@ struct Metrics {
 Metrics ComputeMetrics(std::span<const double> predicted,
                        std::span<const double> actual);
 
-/// Predicts every test sample with `p` and scores it.
+/// Predicts every test sample, grouping samples by user so each group is
+/// scored through the predictor's batched PredictRow in one pass. Returns
+/// predictions aligned with `test`.
+std::vector<double> PredictBatch(const Predictor& p,
+                                 std::span<const data::QoSSample> test);
+
+/// Predicts every test sample with `p` (batched by user) and scores it.
 Metrics EvaluatePredictor(const Predictor& p,
                           std::span<const data::QoSSample> test);
 

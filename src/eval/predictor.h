@@ -7,6 +7,7 @@
 // wrapper so that one protocol can score everything.
 #pragma once
 
+#include <span>
 #include <string>
 
 #include "data/qos_types.h"
@@ -27,6 +28,19 @@ class Predictor {
   /// Predicts the QoS value for an unobserved (user, service) pair.
   /// Must be callable for any indices within the fitted matrix shape.
   virtual double Predict(data::UserId u, data::ServiceId s) const = 0;
+
+  /// Batch variant: out[i] = prediction for (u, services[i]). Sizes must
+  /// match. The default loops over Predict; approaches with a batched
+  /// scoring path (AMF) override it with a single-pass row kernel. All
+  /// evaluation loops (metrics, ranking, protocol) call this, so an
+  /// override accelerates every experiment at once.
+  virtual void PredictRow(data::UserId u,
+                          std::span<const data::ServiceId> services,
+                          std::span<double> out) const {
+    for (std::size_t i = 0; i < services.size(); ++i) {
+      out[i] = Predict(u, services[i]);
+    }
+  }
 };
 
 }  // namespace amf::eval

@@ -26,7 +26,9 @@ ProtocolResult RunProtocol(const linalg::Matrix& slice,
     predictor->Fit(split.train);
     result.fit_seconds += watch.ElapsedSeconds();
 
+    common::Stopwatch predict_watch;
     result.rounds.push_back(EvaluatePredictor(*predictor, split.test));
+    result.predict_seconds += predict_watch.ElapsedSeconds();
   }
   result.average = AverageMetrics(result.rounds);
   return result;

@@ -31,6 +31,9 @@ struct ProtocolResult {
   Metrics average;               ///< metrics averaged over rounds
   std::vector<Metrics> rounds;   ///< per-round metrics
   double fit_seconds = 0.0;      ///< total Fit() wall time over all rounds
+  /// Total held-out scoring wall time over all rounds (batched by user
+  /// through Predictor::PredictRow) — the deployment-side cost.
+  double predict_seconds = 0.0;
 };
 
 /// Runs the protocol on one dense ground-truth slice.

@@ -20,6 +20,27 @@ std::vector<std::size_t> RankByValue(std::span<const double> values,
   return order;
 }
 
+std::vector<std::size_t> TopKByValue(std::span<const double> values,
+                                     std::size_t k,
+                                     bool smaller_is_better) {
+  std::vector<std::size_t> order(values.size());
+  std::iota(order.begin(), order.end(), 0);
+  const std::size_t cutoff = std::min(k, order.size());
+  // Comparing the index as a tiebreaker reproduces stable_sort's order on
+  // equal values, so TopKByValue(v, k) == RankByValue(v)[0..k).
+  std::partial_sort(order.begin(), order.begin() + cutoff, order.end(),
+                    [&](std::size_t a, std::size_t b) {
+                      const double va = values[a];
+                      const double vb = values[b];
+                      if (va != vb) {
+                        return smaller_is_better ? va < vb : va > vb;
+                      }
+                      return a < b;
+                    });
+  order.resize(cutoff);
+  return order;
+}
+
 SelectionMetrics EvaluateSelection(const Predictor& p, data::UserId user,
                                    std::span<const data::ServiceId> candidates,
                                    std::span<const double> truth,
@@ -29,10 +50,9 @@ SelectionMetrics EvaluateSelection(const Predictor& p, data::UserId user,
                 "candidates/truth size mismatch");
   AMF_CHECK_MSG(k >= 1, "k must be >= 1");
 
+  // One batched scoring pass over the candidate set.
   std::vector<double> predicted(candidates.size());
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    predicted[i] = p.Predict(user, candidates[i]);
-  }
+  p.PredictRow(user, candidates, predicted);
   const std::vector<std::size_t> pred_order =
       RankByValue(predicted, smaller_is_better);
   const std::vector<std::size_t> true_order =

@@ -21,6 +21,14 @@ namespace amf::eval {
 std::vector<std::size_t> RankByValue(std::span<const double> values,
                                      bool smaller_is_better);
 
+/// Indices of the k best entries, best-first (std::partial_sort — O(n log
+/// k) instead of a full sort). Ties break toward the lower index, matching
+/// RankByValue's stable order. Returns min(k, values.size()) indices.
+/// This is the top-k primitive for candidate selection over a
+/// batch-scored prediction row.
+std::vector<std::size_t> TopKByValue(std::span<const double> values,
+                                     std::size_t k, bool smaller_is_better);
+
 struct SelectionMetrics {
   /// Predicted-best candidate is the true best.
   bool top1_hit = false;

@@ -68,4 +68,17 @@ eval::PredictorFactory MakeFactory(const std::string& name,
   return {};
 }
 
+linalg::Matrix PredictDenseMatrix(const eval::Predictor& p,
+                                  std::size_t users, std::size_t services) {
+  linalg::Matrix out(users, services);
+  std::vector<data::ServiceId> all(services);
+  for (std::size_t s = 0; s < services; ++s) {
+    all[s] = static_cast<data::ServiceId>(s);
+  }
+  for (std::size_t u = 0; u < users; ++u) {
+    p.PredictRow(static_cast<data::UserId>(u), all, out.row(u));
+  }
+  return out;
+}
+
 }  // namespace amf::exp

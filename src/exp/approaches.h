@@ -9,6 +9,7 @@
 #include "core/amf_config.h"
 #include "data/qos_types.h"
 #include "eval/protocol.h"
+#include "linalg/matrix.h"
 
 namespace amf::exp {
 
@@ -25,5 +26,14 @@ core::AmfConfig AmfConfigFor(data::QoSAttribute attr, std::uint64_t seed);
 /// Throws common::CheckError for unknown names.
 eval::PredictorFactory MakeFactory(const std::string& name,
                                    data::QoSAttribute attr);
+
+/// Scores every (user, service) pair of a fitted predictor into a dense
+/// users x services matrix, one batched PredictRow per user (candidate
+/// selection over the full service catalog, Fig. 14-style sweeps).
+/// Rows run serially because eval::Predictor implementations are not
+/// required to support concurrent reads; for parallel fan-out over rows
+/// use core::AmfModel::PredictMatrixRaw on the model directly.
+linalg::Matrix PredictDenseMatrix(const eval::Predictor& p,
+                                  std::size_t users, std::size_t services);
 
 }  // namespace amf::exp

@@ -30,6 +30,8 @@ ExperimentScale ApplyEnvOverrides(ExperimentScale base) {
       common::EnvInt("AMF_ROUNDS", static_cast<std::int64_t>(base.rounds)));
   base.seed = static_cast<std::uint64_t>(
       common::EnvInt("AMF_SEED", static_cast<std::int64_t>(base.seed)));
+  base.threads = static_cast<std::size_t>(common::EnvInt(
+      "AMF_THREADS", static_cast<std::int64_t>(base.threads)));
   const std::string densities = common::EnvString("AMF_DENSITIES", "");
   if (!densities.empty()) {
     std::vector<double> parsed;

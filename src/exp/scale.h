@@ -6,6 +6,8 @@
 //
 //   AMF_SCALE=small      preset quick scale (60 x 500 x 16, 1 round)
 //   AMF_USERS, AMF_SERVICES, AMF_SLICES, AMF_ROUNDS, AMF_SEED   integers
+//   AMF_THREADS          worker threads for batched matrix scoring /
+//                        parallel replay (0 = hardware concurrency)
 //   AMF_DENSITIES        comma list, e.g. "0.1,0.3,0.5"
 #pragma once
 
@@ -25,6 +27,9 @@ struct ExperimentScale {
   std::size_t rounds = 1;
   std::vector<double> densities = {0.10, 0.20, 0.30, 0.40, 0.50};
   std::uint64_t seed = 2014;
+  /// Worker threads for batched matrix scoring and parallel replay
+  /// (0 = hardware concurrency).
+  std::size_t threads = 0;
 };
 
 /// Paper-scale defaults.

@@ -1,0 +1,53 @@
+// GemvRowMajor lives in its own TU: this file is compiled with
+// -fassociative-math (see CMakeLists.txt) so the per-row dot-product
+// reductions can be reordered into SIMD lanes. That freedom is safe here
+// because GEMV feeds the *prediction* readout, which only promises
+// ~1e-12 agreement with the scalar path; the strict-IEEE training kernels
+// and the reference oracles stay in kernels.cpp under default FP rules.
+#include "common/check.h"
+#include "common/multiversion.h"
+#include "linalg/kernels.h"
+
+namespace amf::linalg {
+
+AMF_MULTIVERSION
+void GemvRowMajor(std::span<const double> x, std::span<const double> block,
+                  std::span<double> out) {
+  const std::size_t d = x.size();
+  const std::size_t rows = out.size();
+  AMF_DCHECK(block.size() >= rows * d);
+  const double* __restrict xp = x.data();
+  const double* __restrict bp = block.data();
+  double* __restrict op = out.data();
+
+  // Four rows at a time: the four dot products share x and use
+  // independent accumulators, so each inner reduction vectorizes (with
+  // reassociation) and the four chains pipeline.
+  std::size_t i = 0;
+  for (; i + 4 <= rows; i += 4) {
+    const double* __restrict r0 = bp + (i + 0) * d;
+    const double* __restrict r1 = bp + (i + 1) * d;
+    const double* __restrict r2 = bp + (i + 2) * d;
+    const double* __restrict r3 = bp + (i + 3) * d;
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    for (std::size_t k = 0; k < d; ++k) {
+      const double xk = xp[k];
+      a0 += xk * r0[k];
+      a1 += xk * r1[k];
+      a2 += xk * r2[k];
+      a3 += xk * r3[k];
+    }
+    op[i + 0] = a0;
+    op[i + 1] = a1;
+    op[i + 2] = a2;
+    op[i + 3] = a3;
+  }
+  for (; i < rows; ++i) {
+    const double* __restrict r0 = bp + i * d;
+    double acc = 0.0;
+    for (std::size_t k = 0; k < d; ++k) acc += xp[k] * r0[k];
+    op[i] = acc;
+  }
+}
+
+}  // namespace amf::linalg

@@ -1,0 +1,44 @@
+// Batched prediction kernels.
+//
+// These are the hot inner loops of the batched scoring path: one user's
+// latent vector against a contiguous row-major block of service factors
+// (a rank-d GEMV), and the fused simultaneous SGD pair update of one
+// online step. Both are written branch-free with independent accumulators
+// so the compiler can unroll/vectorize them; `reference::` holds the
+// plain scalar formulations that serve as the correctness oracle in
+// tests (tests/batch_predict_test.cpp).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace amf::linalg {
+
+/// Row-major GEMV: out[i] = dot(x, block[i*d .. i*d+d)) where d = x.size().
+/// `block` must hold at least out.size() * d values. Rows are processed in
+/// blocks of four with independent accumulators (SIMD/ILP friendly).
+void GemvRowMajor(std::span<const double> x, std::span<const double> block,
+                  std::span<double> out);
+
+/// Fused simultaneous SGD pair step (paper Eqs. 16-17):
+///   u[k] <- u[k] - cu * (coef * s[k] + lambda_u * u[k])
+///   s[k] <- s[k] - cs * (coef * u[k] + lambda_s * s[k])
+/// with both updates computed from the *old* values (the hand-rolled loop
+/// this replaces lived in AmfModel::OnlineUpdate). The arithmetic order is
+/// kept bit-identical to that loop so fixed-seed traces are unchanged.
+void SgdPairStep(std::span<double> u, std::span<double> s, double coef,
+                 double cu, double cs, double lambda_u, double lambda_s);
+
+namespace reference {
+
+/// Scalar one-row-at-a-time GEMV oracle.
+void GemvRowMajor(std::span<const double> x, std::span<const double> block,
+                  std::span<double> out);
+
+/// Scalar SGD pair-step oracle (the pre-refactor OnlineUpdate loop).
+void SgdPairStep(std::span<double> u, std::span<double> s, double coef,
+                 double cu, double cs, double lambda_u, double lambda_s);
+
+}  // namespace reference
+
+}  // namespace amf::linalg

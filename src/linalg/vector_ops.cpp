@@ -8,14 +8,35 @@ namespace amf::linalg {
 
 double Dot(std::span<const double> a, std::span<const double> b) {
   AMF_DCHECK(a.size() == b.size());
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  const double* __restrict ap = a.data();
+  const double* __restrict bp = b.data();
+  const std::size_t n = a.size();
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += ap[i + 0] * bp[i + 0];
+    s1 += ap[i + 1] * bp[i + 1];
+    s2 += ap[i + 2] * bp[i + 2];
+    s3 += ap[i + 3] * bp[i + 3];
+  }
+  double s = (s0 + s1) + (s2 + s3);
+  for (; i < n; ++i) s += ap[i] * bp[i];
   return s;
 }
 
 void Axpy(double alpha, std::span<const double> x, std::span<double> y) {
   AMF_DCHECK(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  const double* __restrict xp = x.data();
+  double* __restrict yp = y.data();
+  const std::size_t n = x.size();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    yp[i + 0] += alpha * xp[i + 0];
+    yp[i + 1] += alpha * xp[i + 1];
+    yp[i + 2] += alpha * xp[i + 2];
+    yp[i + 3] += alpha * xp[i + 3];
+  }
+  for (; i < n; ++i) yp[i] += alpha * xp[i];
 }
 
 void Scale(double alpha, std::span<double> x) {
@@ -41,5 +62,21 @@ double NormalizeInPlace(std::span<double> x) {
   if (n > 0.0) Scale(1.0 / n, x);
   return n;
 }
+
+namespace reference {
+
+double Dot(std::span<const double> a, std::span<const double> b) {
+  AMF_DCHECK(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+void Axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  AMF_DCHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+}  // namespace reference
 
 }  // namespace amf::linalg

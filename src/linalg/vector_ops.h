@@ -1,7 +1,10 @@
 // Vector kernels on std::span<double>.
 //
 // These are the hot inner operations of the SGD updates (dot products and
-// axpy on d-dimensional latent vectors, d = 10 in the paper).
+// axpy on d-dimensional latent vectors, d = 10 in the paper). Dot and Axpy
+// are 4-way unrolled (independent accumulators / independent lanes) so
+// they pipeline and vectorize; the plain scalar formulations live in
+// `reference::` and serve as the correctness oracle in tests.
 #pragma once
 
 #include <span>
@@ -31,5 +34,16 @@ void Subtract(std::span<const double> a, std::span<const double> b,
 /// Normalizes x to unit L2 norm; no-op on the zero vector. Returns the
 /// original norm.
 double NormalizeInPlace(std::span<double> x);
+
+namespace reference {
+
+/// Single-accumulator scalar dot product (oracle for the unrolled Dot;
+/// the two differ only by floating-point summation order).
+double Dot(std::span<const double> a, std::span<const double> b);
+
+/// Plain-loop axpy oracle.
+void Axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+}  // namespace reference
 
 }  // namespace amf::linalg

@@ -13,6 +13,8 @@
 // the normalized value r away from 0 in the relative-error loss.
 #pragma once
 
+#include <span>
+
 #include "transform/boxcox.h"
 #include "transform/normalizer.h"
 
@@ -23,6 +25,23 @@ double Sigmoid(double x);
 
 /// Sigmoid derivative g'(x) = g(x) (1 - g(x)).
 double SigmoidDerivative(double x);
+
+/// Element-wise exp over a row, branch-free (Cody-Waite range reduction +
+/// degree-13 polynomial + exponent-bit scaling) so the loop vectorizes and
+/// pipelines; accurate to a few ulp of std::exp. Inputs are clamped to
+/// [-708, 708] (results saturate instead of over/underflowing). `out` may
+/// alias `x`; sizes must match.
+void ExpRow(std::span<const double> x, std::span<double> out);
+
+/// Element-wise sigmoid over a row via ExpRow: out[i] = 1/(1 + exp(-x[i])),
+/// within a few ulp of the scalar Sigmoid. `out` may alias `x`.
+void SigmoidRow(std::span<const double> x, std::span<double> out);
+
+/// Element-wise natural log over a row, branch-free (exponent extraction +
+/// atanh-series polynomial on the reduced mantissa), accurate to a few ulp
+/// of std::log. Requires every x[i] > 0 (finite, non-denormal). `out` may
+/// alias `x`.
+void LogRow(std::span<const double> x, std::span<double> out);
 
 /// Logit (inverse sigmoid); input is clamped into (eps, 1-eps).
 double Logit(double y, double eps = 1e-12);
@@ -50,6 +69,13 @@ class QoSTransform {
 
   /// normalized -> raw (exact inverse of Forward up to the clamps).
   double Inverse(double normalized) const;
+
+  /// In-place Inverse over a whole row of normalized predictions (the
+  /// batch readout of PredictRowRaw). Vectorized: the Box-Cox inverse
+  /// power is computed as ExpRow(LogRow(base) / alpha) instead of a
+  /// std::pow per entry, so results agree with the scalar Inverse to
+  /// ~1e-14 relative rather than bit-for-bit.
+  void InverseRow(std::span<double> inout) const;
 
   /// Convenience: predicted raw QoS from a latent inner product,
   /// Inverse(Sigmoid(inner)).

@@ -20,11 +20,18 @@ AmfModel RegisteredModel(std::size_t users, std::size_t services,
   return m;
 }
 
-TEST(ParallelTrainerTest, UnregisteredEntityThrows) {
+TEST(ParallelTrainerTest, UnregisteredEntityCheckedInDebug) {
+  // Registration is enforced with AMF_DCHECK: it throws in debug builds
+  // and is compiled out (with whatever fallout unregistered ids cause)
+  // in NDEBUG builds, keeping the scan off the release replay path.
   AmfModel m(MakeResponseTimeConfig(1));
   ParallelReplayTrainer trainer(m);
   const std::vector<data::QoSSample> samples = {{0, 5, 5, 1.0, 0.0}};
+#ifndef NDEBUG
   EXPECT_THROW(trainer.ReplayEpoch(samples), common::CheckError);
+#else
+  GTEST_SKIP() << "registration scan is debug-only (AMF_DCHECK)";
+#endif
 }
 
 TEST(ParallelTrainerTest, EmptySampleSetThrows) {
