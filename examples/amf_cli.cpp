@@ -26,15 +26,35 @@
 //       Ranks all services for a user by predicted QoS (ascending) and
 //       prints the top-k candidates with uncertainty.
 //
+//   amf_cli chaos [--users N --services M --slices T --seed S
+//           --ticks K --tick-seconds DT --per-tick P
+//           --drop p --corrupt p --duplicate p --spike p --churn p
+//           --ckpt-dir DIR --ckpt-interval SEC --retention R
+//           --crash-tick K2 --truncate 0|1]
+//       End-to-end fault-tolerance drill: streams faulted observations
+//       (drops retried with backoff; corrupt/duplicate/spiked samples go
+//       through the ingestion guards) into a prediction service that
+//       checkpoints periodically, kills and restores the service mid-run
+//       (optionally hand-truncating the newest checkpoint to prove the
+//       fallback), and reports pipeline/fault/degradation counters plus
+//       the end-state MRE against ground truth.
+//
 // Exit code 0 on success, 1 on usage errors, 2 on runtime failure.
 #include <algorithm>
+#include <cmath>
+#include <filesystem>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "adapt/environment.h"
+#include "adapt/fault_injector.h"
+#include "adapt/prediction_service.h"
 #include "common/check.h"
+#include "common/retry.h"
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "core/amf_predictor.h"
@@ -238,9 +258,163 @@ int CmdRecommend(const Args& args) {
   return 0;
 }
 
+int CmdChaos(const Args& args) {
+  // --- Ground truth + fault layer ----------------------------------------
+  data::SyntheticConfig synth;
+  synth.users = static_cast<std::size_t>(args.GetInt("users", 24));
+  synth.services = static_cast<std::size_t>(args.GetInt("services", 80));
+  synth.slices = static_cast<std::size_t>(args.GetInt("slices", 8));
+  synth.seed = static_cast<std::uint64_t>(args.GetInt("seed", 2014));
+  const data::SyntheticQoSDataset dataset(synth);
+  const adapt::Environment env(dataset);
+
+  adapt::FaultInjectorConfig faults;
+  faults.drop_prob = args.GetDouble("drop", 0.05);
+  faults.corrupt_prob = args.GetDouble("corrupt", 0.10);
+  faults.duplicate_prob = args.GetDouble("duplicate", 0.02);
+  faults.spike_prob = args.GetDouble("spike", 0.02);
+  faults.churn_prob = args.GetDouble("churn", 0.0);
+  faults.seed = synth.seed ^ 0xc4a05;
+  adapt::FaultInjector injector(env, faults);
+
+  // --- Service under test, with checkpointing ----------------------------
+  core::CheckpointManagerConfig ckpt;
+  ckpt.directory = args.Get("ckpt-dir", "amf_chaos_ckpt");
+  ckpt.interval_seconds = args.GetDouble("ckpt-interval", 120.0);
+  ckpt.retention = static_cast<std::size_t>(args.GetInt("retention", 4));
+
+  adapt::PredictionServiceConfig service_cfg;
+  service_cfg.model = core::MakeResponseTimeConfig(synth.seed);
+  const auto make_service = [&]() {
+    auto svc = std::make_unique<adapt::QoSPredictionService>(service_cfg);
+    svc->EnableCheckpoints(ckpt);
+    for (std::size_t u = 0; u < synth.users; ++u) {
+      svc->RegisterUser("u" + std::to_string(u));
+    }
+    for (std::size_t s = 0; s < synth.services; ++s) {
+      svc->RegisterService("s" + std::to_string(s));
+    }
+    return svc;
+  };
+  std::unique_ptr<adapt::QoSPredictionService> service = make_service();
+
+  // --- Faulted streaming loop --------------------------------------------
+  const auto ticks = static_cast<std::size_t>(args.GetInt("ticks", 40));
+  const double tick_seconds = args.GetDouble("tick-seconds", 15.0);
+  const auto per_tick = static_cast<std::size_t>(args.GetInt("per-tick", 150));
+  const auto crash_tick = static_cast<std::size_t>(
+      args.GetInt("crash-tick", static_cast<std::int64_t>(ticks / 2)));
+  const bool truncate_newest = args.GetInt("truncate", 1) != 0;
+  const common::BackoffConfig backoff{.max_attempts = 3,
+                                      .initial_delay_seconds = 1e-4,
+                                      .multiplier = 2.0,
+                                      .max_delay_seconds = 1e-3};
+
+  common::Rng rng(synth.seed ^ 0x5eed);
+  std::uint64_t give_ups = 0;
+  double now = 0.0;
+  for (std::size_t tick = 0; tick < ticks; ++tick) {
+    now = static_cast<double>(tick + 1) * tick_seconds;
+    for (std::size_t i = 0; i < per_tick; ++i) {
+      const auto u = static_cast<data::UserId>(rng.Index(synth.users));
+      const auto s = static_cast<data::ServiceId>(rng.Index(synth.services));
+      // A dropped read is transient: retry with exponential backoff, then
+      // give up on the observation (the stream is lossy by design).
+      const std::optional<adapt::InvocationResult> result =
+          common::RetryWithBackoff(
+              [&]() { return injector.Invoke(u, s, now); }, backoff);
+      if (!result) {
+        ++give_ups;
+        continue;
+      }
+      const data::QoSSample observed{.slice = env.SliceAt(now),
+                                     .user = u,
+                                     .service = s,
+                                     .value = result->response_time,
+                                     .timestamp = now};
+      for (const data::QoSSample& delivered : injector.Deliver(observed)) {
+        service->ReportObservation(delivered);
+      }
+    }
+    service->Tick(now);
+
+    if (tick + 1 == crash_tick) {
+      // Simulated process death: the service (model, trainer, stats) is
+      // destroyed; only the checkpoint directory survives.
+      service->checkpoints()->Save(service->model(),
+                                   service->trainer().store(), now,
+                                   service->trainer().last_epoch_error());
+      service.reset();
+      if (truncate_newest) {
+        // Hand-truncate the newest checkpoint: recovery must detect it and
+        // fall back to the previous valid one.
+        core::CheckpointManager probe(ckpt);
+        const std::vector<std::string> files = probe.List();
+        if (!files.empty()) {
+          const std::string& victim = files.back();
+          const auto size = std::filesystem::file_size(victim);
+          std::filesystem::resize_file(victim, size / 2);
+          std::cout << "[chaos] tick " << tick + 1 << ": crashed; truncated "
+                    << victim << " to " << size / 2 << " bytes\n";
+        }
+      } else {
+        std::cout << "[chaos] tick " << tick + 1 << ": crashed\n";
+      }
+      service = make_service();
+      const bool restored = service->RestoreFromLatestCheckpoint();
+      std::cout << "[chaos] restore "
+                << (restored ? "succeeded" : "FAILED (cold start)")
+                << ", corrupt checkpoints skipped: "
+                << service->checkpoints()->corrupt_skipped() << "\n";
+    }
+  }
+
+  // --- End-state scoring (resilient ladder vs ground truth) --------------
+  std::vector<double> pred;
+  std::vector<double> truth;
+  std::uint64_t non_model = 0;
+  for (std::size_t u = 0; u < synth.users; ++u) {
+    for (std::size_t s = 0; s < synth.services; ++s) {
+      const adapt::QoSPredictionService::ResilientPrediction p =
+          service->PredictResilient(static_cast<data::UserId>(u),
+                                    static_cast<data::ServiceId>(s));
+      if (!std::isfinite(p.value)) continue;
+      if (p.source != adapt::QoSPredictionService::PredictionSource::kModel) {
+        ++non_model;
+      }
+      pred.push_back(p.value);
+      truth.push_back(env.TrueResponseTime(static_cast<data::UserId>(u),
+                                           static_cast<data::ServiceId>(s),
+                                           now));
+    }
+  }
+  const eval::Metrics m = eval::ComputeMetrics(pred, truth);
+
+  const core::PipelineStats stats = service->pipeline_stats();
+  const adapt::FaultInjectionStats& fi = injector.stats();
+  const auto& deg = service->degradation_stats();
+  std::cout << "faults: invocations=" << fi.invocations
+            << " drops=" << fi.drops << " (gave up " << give_ups
+            << ") spikes=" << fi.spikes << " corruptions=" << fi.corruptions
+            << " duplicates=" << fi.duplicates << " churns=" << fi.churns
+            << "\n";
+  std::cout << "pipeline: " << stats.ToString() << "\n";
+  std::cout << "degradation: model=" << deg.model
+            << " service_mean=" << deg.service_mean
+            << " last_known_good=" << deg.last_known_good
+            << " unavailable=" << deg.unavailable << " (" << non_model
+            << " predictions served off-ladder)\n";
+  std::cout << "checkpoints: written=" << service->checkpoints()->written()
+            << " on disk=" << service->checkpoints()->List().size() << "\n";
+  std::cout << "end-state: entries=" << m.count
+            << " MRE=" << common::FormatFixed(m.mre, 4)
+            << " MAE=" << common::FormatFixed(m.mae, 4) << "\n";
+  return 0;
+}
+
 int Usage() {
   std::cerr << "usage: amf_cli "
-               "<generate|train|predict|evaluate|summarize|recommend> "
+               "<generate|train|predict|evaluate|summarize|recommend|chaos> "
                "[--flag value ...]\n(see the header of amf_cli.cpp)\n";
   return 1;
 }
@@ -258,6 +432,7 @@ int main(int argc, char** argv) {
     if (cmd == "evaluate") return CmdEvaluate(args);
     if (cmd == "summarize") return CmdSummarize(args);
     if (cmd == "recommend") return CmdRecommend(args);
+    if (cmd == "chaos") return CmdChaos(args);
     return Usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

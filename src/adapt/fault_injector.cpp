@@ -1,0 +1,86 @@
+#include "adapt/fault_injector.h"
+
+#include <limits>
+
+#include "common/check.h"
+
+namespace amf::adapt {
+
+FaultInjector::FaultInjector(const Environment& env,
+                             const FaultInjectorConfig& config)
+    : env_(&env), config_(config), rng_(config.seed) {
+  const auto prob = [](double p) { return p >= 0.0 && p <= 1.0; };
+  AMF_CHECK_MSG(prob(config_.drop_prob) && prob(config_.spike_prob) &&
+                    prob(config_.corrupt_prob) &&
+                    prob(config_.duplicate_prob) && prob(config_.churn_prob),
+                "fault probabilities must be in [0, 1]");
+  AMF_CHECK_MSG(config_.spike_multiplier > 0.0,
+                "spike_multiplier must be positive");
+}
+
+std::optional<InvocationResult> FaultInjector::Invoke(data::UserId u,
+                                                      data::ServiceId s,
+                                                      double now_seconds) {
+  ++stats_.invocations;
+  if (config_.drop_prob > 0.0 && rng_.Bernoulli(config_.drop_prob)) {
+    ++stats_.drops;
+    return std::nullopt;
+  }
+  InvocationResult result = env_->Invoke(u, s, now_seconds);
+  if (config_.spike_prob > 0.0 && rng_.Bernoulli(config_.spike_prob)) {
+    ++stats_.spikes;
+    result.response_time *= config_.spike_multiplier;
+  }
+  return result;
+}
+
+double FaultInjector::CorruptValue(double value) {
+  // Round-robin over corruption modes so one scenario exercises every
+  // guard (NaN, Inf, zero, negative, absurd magnitude).
+  const std::uint32_t mode = corrupt_mode_++ % 5;
+  switch (mode) {
+    case 0: return std::numeric_limits<double>::quiet_NaN();
+    case 1: return std::numeric_limits<double>::infinity();
+    case 2: return 0.0;
+    case 3: return -value - 1.0;
+    default: return value * 1e12 + 1e15;
+  }
+}
+
+std::vector<data::QoSSample> FaultInjector::Deliver(
+    const data::QoSSample& sample) {
+  ++stats_.deliveries;
+  data::QoSSample out = sample;
+  if (config_.corrupt_prob > 0.0 && rng_.Bernoulli(config_.corrupt_prob)) {
+    ++stats_.corruptions;
+    out.value = CorruptValue(out.value);
+  }
+  if (config_.churn_prob > 0.0 && rng_.Bernoulli(config_.churn_prob)) {
+    ++stats_.churns;
+    // Re-attribute to a phantom entity: the model sees a brand-new id and
+    // must register it without disturbing anyone else.
+    if (rng_.Bernoulli(0.5)) {
+      out.user += config_.churn_id_offset;
+    } else {
+      out.service += config_.churn_id_offset;
+    }
+  }
+  std::vector<data::QoSSample> delivered{out};
+  if (config_.duplicate_prob > 0.0 &&
+      rng_.Bernoulli(config_.duplicate_prob)) {
+    ++stats_.duplicates;
+    delivered.push_back(out);
+  }
+  return delivered;
+}
+
+std::vector<data::QoSSample> FaultInjector::Observe(data::UserId u,
+                                                    data::ServiceId s,
+                                                    double now_seconds) {
+  const std::optional<InvocationResult> result = Invoke(u, s, now_seconds);
+  if (!result) return {};
+  return Deliver(data::QoSSample{env_->SliceAt(now_seconds), u, s,
+                                 result->response_time, now_seconds});
+}
+
+}  // namespace amf::adapt

@@ -1,0 +1,83 @@
+// FaultInjector: a chaos layer between the Environment (ground truth) and
+// the QoS collection path, for exercising the pipeline's fault tolerance
+// end-to-end. From a seeded RNG it injects, per invocation / delivery:
+//
+//   * drops           -- the collector read fails (nullopt; callers retry
+//                        with common::RetryWithBackoff or give up)
+//   * latency spikes  -- the observed RT is multiplied by spike_multiplier
+//   * corrupt values  -- the delivered sample value becomes NaN/Inf/zero/
+//                        negative/garbage-huge (round-robin over modes)
+//   * duplicate delivery -- the same sample is delivered twice
+//   * entity churn    -- the sample is re-attributed to a phantom user/
+//                        service id beyond the known population
+//
+// Deterministic in the config seed; every fault is counted in stats().
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "adapt/environment.h"
+#include "common/rng.h"
+#include "data/qos_types.h"
+
+namespace amf::adapt {
+
+struct FaultInjectorConfig {
+  double drop_prob = 0.0;
+  double spike_prob = 0.0;
+  double spike_multiplier = 10.0;
+  double corrupt_prob = 0.0;
+  double duplicate_prob = 0.0;
+  double churn_prob = 0.0;
+  /// Phantom ids used by churn faults: original id + this offset.
+  std::uint32_t churn_id_offset = 100000;
+  std::uint64_t seed = 42;
+};
+
+struct FaultInjectionStats {
+  std::uint64_t invocations = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t spikes = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t churns = 0;
+};
+
+class FaultInjector {
+ public:
+  /// `env` must outlive the injector.
+  FaultInjector(const Environment& env, const FaultInjectorConfig& config);
+
+  const FaultInjectorConfig& config() const { return config_; }
+  const FaultInjectionStats& stats() const { return stats_; }
+
+  /// One invocation through the fault layer: nullopt = dropped (the
+  /// collector read failed); otherwise the environment's result, possibly
+  /// with a latency spike applied.
+  std::optional<InvocationResult> Invoke(data::UserId u, data::ServiceId s,
+                                         double now_seconds);
+
+  /// Applies delivery faults to one observed sample: corruption, entity
+  /// churn, duplicate delivery. Returns the sample(s) the collector
+  /// actually receives (1 normally, 2 on duplication).
+  std::vector<data::QoSSample> Deliver(const data::QoSSample& sample);
+
+  /// Convenience for streaming loops: Invoke + wrap into a sample +
+  /// Deliver. Empty when the invocation was dropped.
+  std::vector<data::QoSSample> Observe(data::UserId u, data::ServiceId s,
+                                       double now_seconds);
+
+ private:
+  double CorruptValue(double value);
+
+  const Environment* env_;
+  FaultInjectorConfig config_;
+  common::Rng rng_;
+  FaultInjectionStats stats_;
+  std::uint32_t corrupt_mode_ = 0;
+};
+
+}  // namespace amf::adapt

@@ -1,7 +1,9 @@
 #include "adapt/prediction_service.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -38,6 +40,12 @@ bool QoSPredictionService::UnregisterService(const std::string& name) {
 
 void QoSPredictionService::ReportObservation(const data::QoSSample& sample) {
   collector_.Collect(sample);
+  // Degradation-ladder state: per-service running mean over plausibly
+  // clean observations (the trainer's validator is the authoritative
+  // gate; this fallback statistic only needs to be robust, not exact).
+  if (std::isfinite(sample.value) && sample.value > 0.0) {
+    service_stats_[sample.service].Add(sample.value);
+  }
 }
 
 void QoSPredictionService::Tick(double now_seconds) {
@@ -46,6 +54,10 @@ void QoSPredictionService::Tick(double now_seconds) {
   trainer_.ProcessIncoming();
   for (std::size_t i = 0; i < config_.replay_epochs_per_tick; ++i) {
     trainer_.ReplayEpoch();
+  }
+  if (checkpoints_ != nullptr) {
+    checkpoints_->MaybeSave(model_, trainer_.store(), trainer_.now(),
+                            trainer_.last_epoch_error());
   }
 }
 
@@ -105,6 +117,67 @@ bool QoSPredictionService::PredictQoSRow(
     }
   }
   return true;
+}
+
+QoSPredictionService::ResilientPrediction
+QoSPredictionService::PredictResilient(data::UserId u,
+                                       data::ServiceId s) const {
+  const DegradationConfig& deg = config_.degradation;
+
+  // Rung 1: the AMF prediction, but only when both entity error EMAs have
+  // converged below the trust threshold and the readout is finite.
+  if (model_.HasUser(u) && model_.HasService(s) &&
+      model_.UserError(u) <= deg.max_entity_error &&
+      model_.ServiceError(s) <= deg.max_entity_error) {
+    const double value = model_.PredictRaw(u, s);
+    if (std::isfinite(value)) {
+      ++degradation_stats_.model;
+      return {value, PredictionSource::kModel};
+    }
+  }
+
+  // Rung 2: per-service running mean of everything observed so far (the
+  // UPCC-style population fallback for unconverged entities).
+  const auto it = service_stats_.find(s);
+  if (it != service_stats_.end() && it->second.count() > 0) {
+    ++degradation_stats_.service_mean;
+    return {it->second.mean(), PredictionSource::kServiceMean};
+  }
+
+  // Rung 3: the last-known-good stored sample for this exact pair.
+  if (const auto sample = trainer_.store().Get(u, s)) {
+    const double age = trainer_.now() - sample->timestamp;
+    if (deg.last_known_good_max_age_seconds <= 0.0 ||
+        age <= deg.last_known_good_max_age_seconds) {
+      ++degradation_stats_.last_known_good;
+      return {sample->value, PredictionSource::kLastKnownGood};
+    }
+  }
+
+  ++degradation_stats_.unavailable;
+  return {std::numeric_limits<double>::quiet_NaN(),
+          PredictionSource::kUnavailable};
+}
+
+void QoSPredictionService::EnableCheckpoints(
+    const core::CheckpointManagerConfig& config) {
+  checkpoints_ = std::make_unique<core::CheckpointManager>(config);
+}
+
+bool QoSPredictionService::RestoreFromLatestCheckpoint() {
+  if (checkpoints_ == nullptr) return false;
+  std::optional<core::CheckpointData> data = checkpoints_->LoadLatestValid();
+  if (!data) return false;
+  model_ = std::move(data->model);
+  core::SampleStore& store = trainer_.mutable_store();
+  store.Clear();
+  for (const data::QoSSample& s : data->store.samples()) store.Upsert(s);
+  if (data->now > trainer_.now()) trainer_.AdvanceTime(data->now);
+  return true;
+}
+
+core::PipelineStats QoSPredictionService::pipeline_stats() const {
+  return trainer_.Stats();
 }
 
 }  // namespace amf::adapt

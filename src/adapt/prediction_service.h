@@ -12,12 +12,27 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
 
 #include "adapt/registry.h"
+#include "common/statistics.h"
 #include "core/amf_predictor.h"
+#include "core/checkpoint.h"
 #include "stream/collector.h"
 
 namespace amf::adapt {
+
+/// Graceful-degradation thresholds for PredictResilient.
+struct DegradationConfig {
+  /// Entity-error EMA (e_u / e_s) above this counts as unconverged: the
+  /// model has not seen enough of this entity for its factorization to be
+  /// trusted, so the ladder steps down to the service mean.
+  double max_entity_error = 0.8;
+  /// A stored (user, service) sample older than this (seconds, against
+  /// the trainer clock) no longer counts as last-known-good. <= 0: any
+  /// stored sample qualifies.
+  double last_known_good_max_age_seconds = 0.0;
+};
 
 struct PredictionServiceConfig {
   core::AmfConfig model;
@@ -26,6 +41,7 @@ struct PredictionServiceConfig {
   /// per-tick cost bounded (a real deployment trains continuously in the
   /// background; the simulation quantizes that into ticks).
   std::size_t replay_epochs_per_tick = 1;
+  DegradationConfig degradation{};
 };
 
 class QoSPredictionService {
@@ -80,9 +96,59 @@ class QoSPredictionService {
                      std::span<double> values,
                      std::span<double> uncertainties) const;
 
+  // --- Graceful degradation ------------------------------------------------
+  /// Where a resilient prediction came from (the degradation ladder).
+  enum class PredictionSource : std::uint8_t {
+    kModel = 0,        ///< converged AMF prediction
+    kServiceMean,      ///< running mean of the service's observations
+    kLastKnownGood,    ///< most recent stored raw sample for the pair
+    kUnavailable,      ///< nothing known; value is NaN
+  };
+
+  struct ResilientPrediction {
+    double value = 0.0;
+    PredictionSource source = PredictionSource::kUnavailable;
+  };
+
+  /// Never-fails prediction: walks the degradation ladder
+  ///   AMF model (entities registered, error EMAs converged, finite value)
+  ///   -> per-service running mean of observed samples
+  ///   -> last-known-good stored sample for the pair
+  ///   -> unavailable (NaN value).
+  /// Sources are counted in degradation_stats().
+  ResilientPrediction PredictResilient(data::UserId u,
+                                       data::ServiceId s) const;
+
+  struct DegradationStats {
+    std::uint64_t model = 0;
+    std::uint64_t service_mean = 0;
+    std::uint64_t last_known_good = 0;
+    std::uint64_t unavailable = 0;
+  };
+  const DegradationStats& degradation_stats() const {
+    return degradation_stats_;
+  }
+
+  // --- Checkpointing -------------------------------------------------------
+  /// Arms interval-gated crash-safe checkpoints: every Tick() hands the
+  /// model + sample store + trainer clock to a core::CheckpointManager.
+  void EnableCheckpoints(const core::CheckpointManagerConfig& config);
+
+  /// Restores model, sample store, and clock from the newest valid
+  /// checkpoint (corrupt ones are skipped). Returns false when
+  /// checkpoints are not enabled or none is loadable. Registry names are
+  /// not part of a checkpoint; re-register entities after restore.
+  bool RestoreFromLatestCheckpoint();
+
+  core::CheckpointManager* checkpoints() { return checkpoints_.get(); }
+
   const core::AmfModel& model() const { return model_; }
   core::OnlineTrainer& trainer() { return trainer_; }
+  const core::OnlineTrainer& trainer() const { return trainer_; }
   std::size_t observations() const { return collector_.total_collected(); }
+
+  /// Ingestion/guard counters from the trainer's validator.
+  core::PipelineStats pipeline_stats() const;
 
  private:
   PredictionServiceConfig config_;
@@ -91,6 +157,11 @@ class QoSPredictionService {
   stream::Collector collector_;
   UserRegistry users_;
   ServiceRegistry services_;
+  std::unordered_map<data::ServiceId, common::RunningStats> service_stats_;
+  std::unique_ptr<core::CheckpointManager> checkpoints_;
+  // PredictResilient is conceptually const; the ladder accounting is
+  // observability-only state (single-writer, like the model's counters).
+  mutable DegradationStats degradation_stats_;
 };
 
 }  // namespace amf::adapt

@@ -1,0 +1,41 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace amf::common {
+
+namespace {
+
+// Reflected polynomial 0xEDB88320; table generated at static-init time.
+constexpr std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+void Crc32::Update(const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = state_;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = kTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  state_ = c;
+}
+
+std::uint32_t Crc32Of(std::string_view bytes) {
+  Crc32 crc;
+  crc.Update(bytes);
+  return crc.value();
+}
+
+}  // namespace amf::common

@@ -1,0 +1,31 @@
+// CRC-32 (IEEE 802.3 polynomial, the zlib/gzip variant) for checkpoint
+// integrity checking. Self-contained table-driven implementation so the
+// library carries no compression-library dependency.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace amf::common {
+
+/// Streaming CRC-32 accumulator.
+class Crc32 {
+ public:
+  /// Folds `size` bytes into the running checksum.
+  void Update(const void* data, std::size_t size);
+  void Update(std::string_view bytes) { Update(bytes.data(), bytes.size()); }
+
+  /// Final checksum of everything Update()ed so far.
+  std::uint32_t value() const { return state_ ^ 0xFFFFFFFFu; }
+
+  void Reset() { state_ = 0xFFFFFFFFu; }
+
+ private:
+  std::uint32_t state_ = 0xFFFFFFFFu;
+};
+
+/// One-shot convenience.
+std::uint32_t Crc32Of(std::string_view bytes);
+
+}  // namespace amf::common

@@ -14,11 +14,21 @@
 // which FMA/width differences comfortably satisfy.
 //
 // On non-x86 or non-ELF targets the macro expands to nothing and the
-// plain (still auto-vectorized where possible) build is used.
+// plain (still auto-vectorized where possible) build is used. It is also
+// disabled under ThreadSanitizer: the ifunc resolvers target_clones
+// emits run before TSan's runtime is initialized and crash at load time.
 #pragma once
 
+#if defined(__SANITIZE_THREAD__)
+#define AMF_TSAN_BUILD 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define AMF_TSAN_BUILD 1
+#endif
+#endif
+
 #if defined(__x86_64__) && defined(__ELF__) && defined(__GNUC__) && \
-    !defined(__clang__)
+    !defined(__clang__) && !defined(AMF_TSAN_BUILD)
 #define AMF_MULTIVERSION \
   __attribute__((target_clones("default", "arch=x86-64-v3", "arch=x86-64-v4")))
 #else

@@ -1,0 +1,57 @@
+// Retry with exponential backoff, for transient failures (a collector read
+// that timed out, a flaky network hop to the QoS manager). Header-only and
+// policy-injectable: tests pass a fake sleep to stay deterministic.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <thread>
+#include <utility>
+
+namespace amf::common {
+
+struct BackoffConfig {
+  /// Total attempts (first try included). Must be >= 1.
+  std::size_t max_attempts = 5;
+  /// Delay before the second attempt.
+  double initial_delay_seconds = 0.01;
+  /// Delay growth factor per attempt.
+  double multiplier = 2.0;
+  /// Delay ceiling.
+  double max_delay_seconds = 1.0;
+};
+
+/// Calls `fn` until its result converts to true (an engaged optional, a
+/// non-false bool, ...) or max_attempts is exhausted, sleeping
+/// exponentially longer between attempts via `sleep(seconds)`. Returns the
+/// last result; `attempts_out` (optional) receives the attempt count.
+template <typename F, typename SleepFn>
+auto RetryWithBackoff(F&& fn, const BackoffConfig& config, SleepFn&& sleep,
+                      std::size_t* attempts_out = nullptr)
+    -> decltype(fn()) {
+  double delay = config.initial_delay_seconds;
+  const std::size_t attempts = std::max<std::size_t>(config.max_attempts, 1);
+  for (std::size_t attempt = 1;; ++attempt) {
+    auto result = fn();
+    if (attempts_out != nullptr) *attempts_out = attempt;
+    if (result || attempt >= attempts) return result;
+    sleep(delay);
+    delay = std::min(delay * config.multiplier, config.max_delay_seconds);
+  }
+}
+
+/// Overload that really sleeps (std::this_thread::sleep_for).
+template <typename F>
+auto RetryWithBackoff(F&& fn, const BackoffConfig& config = {},
+                      std::size_t* attempts_out = nullptr)
+    -> decltype(fn()) {
+  return RetryWithBackoff(
+      std::forward<F>(fn), config,
+      [](double seconds) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+      },
+      attempts_out);
+}
+
+}  // namespace amf::common

@@ -40,6 +40,12 @@ struct AmfConfig {
   double gradient_clip = 0.25;
   /// Initial per-entity average error for new users/services (paper: 1).
   double initial_error = 1.0;
+  /// The relative-error loss divides by r; samples whose transformed value
+  /// satisfies |r| < loss_epsilon are skipped outright (OnlineUpdate
+  /// returns NaN and leaves the model untouched) instead of dividing.
+  /// The transform already floors r at value_floor, so this guard only
+  /// binds on misconfigured transforms or corrupted state. <= 0 disables.
+  double loss_epsilon = 1e-8;
   /// Technique 3 switch: false fixes w_u = w_s = 1/2 (ablation A2).
   bool adaptive_weights = true;
   std::uint64_t seed = 1;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <unordered_map>
 
 #include "common/check.h"
@@ -39,7 +40,9 @@ AmfModel::AmfModel(const AmfModel& other)
       service_factors_(other.service_factors_),
       user_error_(other.user_error_),
       service_error_(other.service_error_),
-      updates_(other.updates()) {}
+      updates_(other.updates()),
+      nan_reinit_users_(other.nan_reinit_users()),
+      nan_reinit_services_(other.nan_reinit_services()) {}
 
 AmfModel& AmfModel::operator=(const AmfModel& other) {
   if (this == &other) return *this;
@@ -51,6 +54,10 @@ AmfModel& AmfModel::operator=(const AmfModel& other) {
   user_error_ = other.user_error_;
   service_error_ = other.service_error_;
   updates_.store(other.updates(), std::memory_order_relaxed);
+  nan_reinit_users_.store(other.nan_reinit_users(),
+                          std::memory_order_relaxed);
+  nan_reinit_services_.store(other.nan_reinit_services(),
+                             std::memory_order_relaxed);
   return *this;
 }
 
@@ -62,7 +69,9 @@ AmfModel::AmfModel(AmfModel&& other) noexcept
       service_factors_(std::move(other.service_factors_)),
       user_error_(std::move(other.user_error_)),
       service_error_(std::move(other.service_error_)),
-      updates_(other.updates()) {}
+      updates_(other.updates()),
+      nan_reinit_users_(other.nan_reinit_users()),
+      nan_reinit_services_(other.nan_reinit_services()) {}
 
 AmfModel& AmfModel::operator=(AmfModel&& other) noexcept {
   if (this == &other) return *this;
@@ -74,6 +83,10 @@ AmfModel& AmfModel::operator=(AmfModel&& other) noexcept {
   user_error_ = std::move(other.user_error_);
   service_error_ = std::move(other.service_error_);
   updates_.store(other.updates(), std::memory_order_relaxed);
+  nan_reinit_users_.store(other.nan_reinit_users(),
+                          std::memory_order_relaxed);
+  nan_reinit_services_.store(other.nan_reinit_services(),
+                             std::memory_order_relaxed);
   return *this;
 }
 
@@ -106,18 +119,64 @@ void AmfModel::EnsureService(data::ServiceId s) {
   }
 }
 
+bool AmfModel::RepairNonFinite(std::span<double> v, double& error,
+                               std::uint64_t entity_id) {
+  bool poisoned = false;
+  for (const double x : v) {
+    if (!std::isfinite(x)) {
+      poisoned = true;
+      break;
+    }
+  }
+  if (!poisoned) return false;
+  // Deterministic refill without touching the shared rng_ (concurrent
+  // striped-lock updates may repair different entities at once).
+  std::uint64_t state =
+      common::DeriveSeed(config_.seed ^ 0x9e3779b97f4a7c15ULL, entity_id);
+  for (double& x : v) {
+    const std::uint64_t bits = common::SplitMix64(state);
+    x = static_cast<double>(bits >> 11) * 0x1.0p-53 * config_.init_scale;
+  }
+  error = config_.initial_error;
+  return true;
+}
+
 double AmfModel::OnlineUpdate(data::UserId u, data::ServiceId s,
                               double raw_value) {
+  // Hard ingestion guard: a non-finite observation must never reach the
+  // transform (BoxCox domain) or the loss. Leave the model untouched.
+  if (!std::isfinite(raw_value)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+
   EnsureUser(u);
   EnsureService(s);
-  updates_.fetch_add(1, std::memory_order_relaxed);
 
   const std::size_t d = config_.rank;
   const std::span<double> ui(&user_factors_[u * d], d);
   const std::span<double> sj(&service_factors_[s * d], d);
 
+  // NaN-poisoning detector: a corrupted latent vector (from a bad
+  // checkpoint, a torn write, or any earlier bug) would otherwise turn
+  // every future update on this entity into NaN and spread through the
+  // shared factors during replay. Drop and re-initialize it instead.
+  if (RepairNonFinite(ui, user_error_[u], u)) {
+    nan_reinit_users_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (RepairNonFinite(sj, service_error_[s], s)) {
+    nan_reinit_services_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   // Data transformation (Eqs. 3-4); r is floored away from 0.
   const double r = transform_.Forward(raw_value);
+  // Loss guard: e_us and the gradient divide by r; skip the sample rather
+  // than divide when the transform left it at (or below) zero.
+  if (!std::isfinite(r) ||
+      (config_.loss_epsilon > 0.0 && std::abs(r) < config_.loss_epsilon)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  updates_.fetch_add(1, std::memory_order_relaxed);
+
   const double x = linalg::Dot(ui, sj);
   const double g = transform::Sigmoid(x);
   const double gp = g * (1.0 - g);

@@ -65,6 +65,15 @@ class AmfModel {
   /// Returns the pre-update relative error e_us (Eq. 15) — the trainer's
   /// convergence signal.
   ///
+  /// Hard robustness guards: a non-finite raw value, or one whose
+  /// transformed value r falls below config.loss_epsilon (the
+  /// relative-error loss divides by r), is skipped — the model is left
+  /// untouched and NaN is returned so callers can count the skip. If a
+  /// latent vector has been NaN-poisoned (by corrupted state from any
+  /// source), it is detected here, re-randomized, and its entity error
+  /// reset to initial_error instead of propagating NaN through replay;
+  /// see nan_reinit_users()/nan_reinit_services().
+  ///
   /// Thread-compatibility: concurrent OnlineUpdate calls are safe only if
   /// (a) both entities are already registered (Ensure* grows storage and
   /// must not race) and (b) callers serialize access per user and per
@@ -136,6 +145,14 @@ class AmfModel {
     return updates_.load(std::memory_order_relaxed);
   }
 
+  /// Latent vectors re-randomized after NaN poisoning was detected.
+  std::uint64_t nan_reinit_users() const {
+    return nan_reinit_users_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t nan_reinit_services() const {
+    return nan_reinit_services_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Grows one entity family to `need` entries: geometric capacity reserve,
   /// then one resize + randomized factor fill (keeps storage contiguous
@@ -145,6 +162,12 @@ class AmfModel {
 
   void PredictMatrixImpl(linalg::Matrix* out, common::ThreadPool* pool,
                          bool raw) const;
+
+  /// If `v` contains any non-finite entry, re-randomizes it (deterministic
+  /// in (config.seed, entity id), racing-update safe: no shared RNG state)
+  /// and resets `error` to initial_error. Returns true if repaired.
+  bool RepairNonFinite(std::span<double> v, double& error,
+                       std::uint64_t entity_id);
 
   AmfConfig config_;
   transform::QoSTransform transform_;
@@ -156,6 +179,8 @@ class AmfModel {
   std::vector<double> service_error_;
   // Atomic so concurrent striped-lock updates may share the counter.
   std::atomic<std::uint64_t> updates_{0};
+  std::atomic<std::uint64_t> nan_reinit_users_{0};
+  std::atomic<std::uint64_t> nan_reinit_services_{0};
 };
 
 /// Batched prediction for scattered test samples: groups them by user and

@@ -1,0 +1,256 @@
+#include "core/checkpoint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/crc32.h"
+#include "core/model_io.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace amf::core {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr const char* kMagic = "AMF_CKPT";
+constexpr int kVersion = 1;
+constexpr const char* kExtension = ".amfck";
+
+/// fsync a path (file or directory); best-effort no-op off POSIX.
+void SyncPath(const std::string& path, bool directory) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int flags = directory ? (O_RDONLY | O_DIRECTORY) : O_WRONLY;
+  const int fd = ::open(path.c_str(), flags);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)path;
+  (void)directory;
+#endif
+}
+
+/// istream >> double does not portably accept "nan"; encode explicitly.
+void WriteMaybeNan(std::ostream& os, const char* label, double v) {
+  if (std::isfinite(v)) {
+    os << label << " " << v << "\n";
+  } else {
+    os << label << " nan\n";
+  }
+}
+
+double ReadMaybeNan(std::istream& is, const std::string& label) {
+  std::string tok;
+  is >> tok;
+  AMF_CHECK_MSG(is.good() && tok == label,
+                "checkpoint: expected '" << label << "', got '" << tok << "'");
+  is >> tok;
+  AMF_CHECK_MSG(!is.fail(), "checkpoint: missing value for " << label);
+  if (tok == "nan") return std::numeric_limits<double>::quiet_NaN();
+  std::istringstream iss(tok);
+  double v = 0.0;
+  iss >> v;
+  AMF_CHECK_MSG(!iss.fail(), "checkpoint: bad value for " << label);
+  return v;
+}
+
+std::string BuildPayload(const AmfModel& model, const SampleStore& store,
+                         double now, double last_epoch_error) {
+  std::ostringstream payload;
+  payload << std::setprecision(17);
+  SaveModel(payload, model);
+  SaveSampleStore(payload, store);
+  payload << "AMF_TRAINER " << kVersion << "\n";
+  WriteMaybeNan(payload, "now", now);
+  WriteMaybeNan(payload, "last_epoch_error", last_epoch_error);
+  return payload.str();
+}
+
+}  // namespace
+
+void WriteCheckpoint(std::ostream& os, const AmfModel& model,
+                     const SampleStore& store, double now,
+                     double last_epoch_error) {
+  const std::string payload =
+      BuildPayload(model, store, now, last_epoch_error);
+  os << kMagic << " " << kVersion << "\n";
+  os << "bytes " << payload.size() << " crc32 " << std::hex
+     << common::Crc32Of(payload) << std::dec << "\n";
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+}
+
+CheckpointData ReadCheckpoint(std::istream& is) {
+  std::string tok;
+  is >> tok;
+  AMF_CHECK_MSG(is.good() && tok == kMagic,
+                "checkpoint: bad magic '" << tok << "'");
+  int version = 0;
+  is >> version;
+  AMF_CHECK_MSG(!is.fail() && version == kVersion,
+                "checkpoint: unsupported version " << version);
+  is >> tok;
+  AMF_CHECK_MSG(is.good() && tok == "bytes", "checkpoint: missing size");
+  std::size_t bytes = 0;
+  is >> bytes;
+  AMF_CHECK_MSG(!is.fail(), "checkpoint: bad payload size");
+  is >> tok;
+  AMF_CHECK_MSG(is.good() && tok == "crc32", "checkpoint: missing crc");
+  std::uint32_t expected_crc = 0;
+  is >> std::hex >> expected_crc >> std::dec;
+  AMF_CHECK_MSG(!is.fail(), "checkpoint: bad crc field");
+  is.ignore(1);  // the newline terminating the header
+
+  std::string payload(bytes, '\0');
+  is.read(payload.data(), static_cast<std::streamsize>(bytes));
+  AMF_CHECK_MSG(static_cast<std::size_t>(is.gcount()) == bytes,
+                "checkpoint: truncated payload (" << is.gcount() << " of "
+                                                  << bytes << " bytes)");
+  AMF_CHECK_MSG(common::Crc32Of(payload) == expected_crc,
+                "checkpoint: CRC mismatch (corrupt payload)");
+
+  std::istringstream ps(payload);
+  CheckpointData data(LoadModel(ps));
+  LoadSampleStore(ps, data.store);
+  ps >> tok;
+  AMF_CHECK_MSG(ps.good() && tok == "AMF_TRAINER",
+                "checkpoint: missing trainer section");
+  int tversion = 0;
+  ps >> tversion;
+  AMF_CHECK_MSG(!ps.fail() && tversion == kVersion,
+                "checkpoint: bad trainer section version");
+  data.now = ReadMaybeNan(ps, "now");
+  data.last_epoch_error = ReadMaybeNan(ps, "last_epoch_error");
+  AMF_CHECK_MSG(std::isfinite(data.now), "checkpoint: corrupt clock");
+  return data;
+}
+
+void WriteCheckpointFile(const std::string& path, const AmfModel& model,
+                         const SampleStore& store, double now,
+                         double last_epoch_error) {
+  const fs::path target(path);
+  const fs::path tmp = target.string() + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    AMF_CHECK_MSG(os.good(), "cannot open for writing: " << tmp.string());
+    WriteCheckpoint(os, model, store, now, last_epoch_error);
+    os.flush();
+    AMF_CHECK_MSG(os.good(), "write failed: " << tmp.string());
+  }
+  SyncPath(tmp.string(), /*directory=*/false);
+  std::error_code ec;
+  fs::rename(tmp, target, ec);
+  AMF_CHECK_MSG(!ec, "rename failed: " << tmp.string() << " -> " << path
+                                       << " (" << ec.message() << ")");
+  const fs::path dir = target.parent_path();
+  if (!dir.empty()) SyncPath(dir.string(), /*directory=*/true);
+}
+
+CheckpointData ReadCheckpointFile(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  AMF_CHECK_MSG(is.good(), "cannot open for reading: " << path);
+  return ReadCheckpoint(is);
+}
+
+CheckpointManager::CheckpointManager(const CheckpointManagerConfig& config)
+    : config_(config) {
+  AMF_CHECK_MSG(!config_.directory.empty(),
+                "checkpoint directory must be set");
+  AMF_CHECK_MSG(config_.retention >= 1, "retention must be >= 1");
+  fs::create_directories(config_.directory);
+  // Continue sequence numbering after the newest existing checkpoint.
+  for (const std::string& path : List()) {
+    const std::string stem = fs::path(path).stem().string();
+    const std::size_t dash = stem.rfind('-');
+    if (dash == std::string::npos) continue;
+    const std::uint64_t seq =
+        std::strtoull(stem.c_str() + dash + 1, nullptr, 10);
+    next_seq_ = std::max(next_seq_, seq + 1);
+  }
+}
+
+std::string CheckpointManager::PathFor(std::uint64_t seq) const {
+  std::ostringstream name;
+  name << config_.prefix << "-" << std::setw(8) << std::setfill('0') << seq
+       << kExtension;
+  return (fs::path(config_.directory) / name.str()).string();
+}
+
+std::vector<std::string> CheckpointManager::List() const {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(config_.directory, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path& p = entry.path();
+    if (p.extension() != kExtension) continue;
+    if (p.filename().string().rfind(config_.prefix + "-", 0) != 0) continue;
+    paths.push_back(p.string());
+  }
+  std::sort(paths.begin(), paths.end());  // zero-padded seq => lexicographic
+  return paths;
+}
+
+std::string CheckpointManager::Save(const AmfModel& model,
+                                    const SampleStore& store, double now,
+                                    double last_epoch_error) {
+  const std::string path = PathFor(next_seq_++);
+  WriteCheckpointFile(path, model, store, now, last_epoch_error);
+  ++written_;
+  last_save_time_ = now;
+  saved_once_ = true;
+  // Retention: prune oldest beyond the limit.
+  std::vector<std::string> all = List();
+  while (all.size() > config_.retention) {
+    std::error_code ec;
+    fs::remove(all.front(), ec);
+    all.erase(all.begin());
+  }
+  return path;
+}
+
+bool CheckpointManager::MaybeSave(const AmfModel& model,
+                                 const SampleStore& store, double now,
+                                 double last_epoch_error) {
+  if (saved_once_ && config_.interval_seconds > 0.0 &&
+      now - last_save_time_ < config_.interval_seconds) {
+    return false;
+  }
+  Save(model, store, now, last_epoch_error);
+  return true;
+}
+
+std::optional<CheckpointData> CheckpointManager::LoadLatestValid() {
+  std::vector<std::string> all = List();
+  for (auto it = all.rbegin(); it != all.rend(); ++it) {
+    try {
+      return ReadCheckpointFile(*it);
+    } catch (const common::CheckError&) {
+      ++corrupt_skipped_;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<CheckpointData> LoadCheckpointOrFallback(
+    const std::string& preferred_path, CheckpointManager& manager) {
+  try {
+    return ReadCheckpointFile(preferred_path);
+  } catch (const common::CheckError&) {
+    return manager.LoadLatestValid();
+  }
+}
+
+}  // namespace amf::core

@@ -1,0 +1,125 @@
+// Crash-safe checkpointing of the online pipeline (DESIGN.md §7).
+//
+// A checkpoint bundles everything Algorithm 1 needs to resume mid-stream
+// after a process death: the model (config, latent factors, the
+// adaptive-weight error EMAs e_u/e_s), the sample store ("existing data
+// samples"), and the trainer clock. The on-disk format is
+//
+//   AMF_CKPT 1
+//   bytes <N> crc32 <hex>
+//   <N payload bytes: AMF_MODEL section, AMF_SAMPLES section,
+//    AMF_TRAINER section>
+//
+// so a reader can detect truncation (fewer than N payload bytes) and
+// corruption (CRC-32 mismatch) before any field is trusted. Writes are
+// atomic: payload to a temp file in the same directory, fsync, rename over
+// the final name, fsync the directory — a crash mid-write leaves at worst
+// a stale temp file, never a torn checkpoint.
+//
+// CheckpointManager runs this from the trainer loop: interval-gated saves
+// into a retention-managed directory (`<prefix>-<seq>.amfck`), and
+// LoadLatestValid() walks checkpoints newest-first, skipping (and
+// counting) corrupt ones, so recovery always lands on the newest valid
+// state.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/amf_model.h"
+#include "core/sample_store.h"
+
+namespace amf::core {
+
+/// Everything restored from one checkpoint.
+struct CheckpointData {
+  AmfModel model;
+  SampleStore store;
+  double now = 0.0;
+  double last_epoch_error = std::numeric_limits<double>::quiet_NaN();
+
+  explicit CheckpointData(AmfModel m) : model(std::move(m)) {}
+};
+
+/// Serializes one checkpoint (length + CRC header, then payload).
+void WriteCheckpoint(std::ostream& os, const AmfModel& model,
+                     const SampleStore& store, double now,
+                     double last_epoch_error);
+
+/// Parses and verifies a checkpoint. Throws common::CheckError on
+/// truncation, CRC mismatch, or malformed sections.
+CheckpointData ReadCheckpoint(std::istream& is);
+
+/// Atomic file write: temp file + fsync + rename + directory fsync.
+void WriteCheckpointFile(const std::string& path, const AmfModel& model,
+                         const SampleStore& store, double now,
+                         double last_epoch_error);
+
+/// Reads + verifies one checkpoint file (throws on IO error/corruption).
+CheckpointData ReadCheckpointFile(const std::string& path);
+
+struct CheckpointManagerConfig {
+  /// Directory holding the checkpoints (created if missing).
+  std::string directory;
+  /// Newest checkpoints kept on disk; older ones are pruned after each
+  /// successful save. Must be >= 1.
+  std::size_t retention = 5;
+  /// Minimum (trainer-clock) seconds between MaybeSave() saves; <= 0
+  /// checkpoints on every call.
+  double interval_seconds = 300.0;
+  /// Filename prefix: files are "<prefix>-<seq>.amfck".
+  std::string prefix = "ckpt";
+};
+
+class CheckpointManager {
+ public:
+  /// Creates the directory if needed and scans it for existing
+  /// checkpoints (sequence numbering continues after a restart).
+  explicit CheckpointManager(const CheckpointManagerConfig& config);
+
+  const CheckpointManagerConfig& config() const { return config_; }
+
+  /// Writes a new checkpoint unconditionally (atomic) and prunes beyond
+  /// the retention limit. Returns the file path.
+  std::string Save(const AmfModel& model, const SampleStore& store,
+                   double now, double last_epoch_error);
+
+  /// Interval-gated Save, for calling on every trainer tick: saves only
+  /// when `now` is at least interval_seconds past the last save (or on the
+  /// first call). Returns true if a checkpoint was written.
+  bool MaybeSave(const AmfModel& model, const SampleStore& store, double now,
+                 double last_epoch_error);
+
+  /// Loads the newest checkpoint that passes validation, skipping (and
+  /// counting) corrupt/truncated ones. nullopt when none is loadable.
+  std::optional<CheckpointData> LoadLatestValid();
+
+  /// Checkpoint paths sorted oldest -> newest by sequence number.
+  std::vector<std::string> List() const;
+
+  std::uint64_t written() const { return written_; }
+  /// Corrupt checkpoints detected (and skipped) by LoadLatestValid.
+  std::uint64_t corrupt_skipped() const { return corrupt_skipped_; }
+
+ private:
+  std::string PathFor(std::uint64_t seq) const;
+
+  CheckpointManagerConfig config_;
+  std::uint64_t next_seq_ = 1;
+  double last_save_time_ = 0.0;
+  bool saved_once_ = false;
+  std::uint64_t written_ = 0;
+  std::uint64_t corrupt_skipped_ = 0;
+};
+
+/// Recovery entry point: tries `preferred_path` first (a checkpoint file);
+/// if it is missing, truncated, or corrupt, falls back to the manager's
+/// newest valid checkpoint. nullopt when nothing valid exists anywhere.
+std::optional<CheckpointData> LoadCheckpointOrFallback(
+    const std::string& preferred_path, CheckpointManager& manager);
+
+}  // namespace amf::core

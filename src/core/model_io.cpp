@@ -1,5 +1,6 @@
 #include "core/model_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <istream>
@@ -102,9 +103,13 @@ AmfModel LoadModel(std::istream& is) {
     ExpectToken(is, "u");
     double err = 0.0;
     is >> err;
+    AMF_CHECK_MSG(!is.fail() && std::isfinite(err) && err >= 0.0,
+                  "model file: corrupt error for user " << u);
     model.SetUserError(static_cast<data::UserId>(u), err);
     for (double& v : model.MutableUserFactors(static_cast<data::UserId>(u))) {
       is >> v;
+      AMF_CHECK_MSG(!is.fail() && std::isfinite(v),
+                    "model file: corrupt factor in user block " << u);
     }
     AMF_CHECK_MSG(!is.fail(), "model file: truncated user block " << u);
   }
@@ -112,10 +117,14 @@ AmfModel LoadModel(std::istream& is) {
     ExpectToken(is, "s");
     double err = 0.0;
     is >> err;
+    AMF_CHECK_MSG(!is.fail() && std::isfinite(err) && err >= 0.0,
+                  "model file: corrupt error for service " << s);
     model.SetServiceError(static_cast<data::ServiceId>(s), err);
     for (double& v :
          model.MutableServiceFactors(static_cast<data::ServiceId>(s))) {
       is >> v;
+      AMF_CHECK_MSG(!is.fail() && std::isfinite(v),
+                    "model file: corrupt factor in service block " << s);
     }
     AMF_CHECK_MSG(!is.fail(), "model file: truncated service block " << s);
   }
@@ -143,6 +152,8 @@ void LoadSampleStore(std::istream& is, SampleStore& store) {
     is >> s.slice >> s.user >> s.service >> s.value >> s.timestamp;
     AMF_CHECK_MSG(!is.fail(), "sample store file: truncated at record "
                                   << i << " of " << count);
+    AMF_CHECK_MSG(std::isfinite(s.value) && std::isfinite(s.timestamp),
+                  "sample store file: corrupt record " << i);
     store.Upsert(s);
   }
 }

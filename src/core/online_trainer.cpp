@@ -7,7 +7,10 @@
 namespace amf::core {
 
 OnlineTrainer::OnlineTrainer(AmfModel& model, const TrainerConfig& config)
-    : model_(model), config_(config), rng_(config.seed) {
+    : model_(model),
+      config_(config),
+      rng_(config.seed),
+      validator_(config.validator) {
   AMF_CHECK_MSG(config_.convergence_tol > 0.0,
                 "convergence_tol must be positive");
   AMF_CHECK_MSG(config_.max_epochs > 0, "max_epochs must be positive");
@@ -27,10 +30,23 @@ std::size_t OnlineTrainer::ProcessIncoming() {
   while (!incoming_.empty()) {
     const data::QoSSample sample = incoming_.front();
     incoming_.pop_front();
+    // Ingestion guard: rejected/quarantined samples never reach the store
+    // or the model (counted in Stats()).
+    if (config_.validate_ingest && !validator_.Admit(sample, now_)) {
+      continue;
+    }
     // Algorithm 1 lines 4-9: I_ij <- 1, register new entities (done inside
     // OnlineUpdate), refresh (t_ij, R_ij), update online.
     store_.Upsert(sample);
-    model_.OnlineUpdate(sample.user, sample.service, sample.value);
+    const double e =
+        model_.OnlineUpdate(sample.user, sample.service, sample.value);
+    if (std::isnan(e)) {
+      // The model refused the sample (degenerate transform); don't keep it
+      // around for replay to refuse again.
+      store_.Remove(sample.user, sample.service);
+      ++skipped_updates_;
+      continue;
+    }
     now_ = std::max(now_, sample.timestamp);
     ++processed;
   }
@@ -47,7 +63,16 @@ std::optional<double> OnlineTrainer::ReplayOne() {
     store_.Remove(sample.user, sample.service);
     return std::nullopt;
   }
-  return model_.OnlineUpdate(sample.user, sample.service, sample.value);
+  const double e =
+      model_.OnlineUpdate(sample.user, sample.service, sample.value);
+  if (std::isnan(e)) {
+    // Hard model-side guard tripped; drop the sample so the epoch loop
+    // cannot spin on it.
+    store_.Remove(sample.user, sample.service);
+    ++skipped_updates_;
+    return std::nullopt;
+  }
+  return e;
 }
 
 std::optional<double> OnlineTrainer::ReplayEpoch() {
@@ -91,6 +116,14 @@ std::size_t OnlineTrainer::RunUntilConverged() {
     prev = *mean_err;
   }
   return epochs;
+}
+
+PipelineStats OnlineTrainer::Stats() const {
+  PipelineStats s = validator_.stats();
+  s.skipped_updates = skipped_updates_;
+  s.nan_reinit_users = model_.nan_reinit_users();
+  s.nan_reinit_services = model_.nan_reinit_services();
+  return s;
 }
 
 }  // namespace amf::core

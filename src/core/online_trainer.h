@@ -17,7 +17,9 @@
 
 #include "common/rng.h"
 #include "core/amf_model.h"
+#include "core/pipeline_stats.h"
 #include "core/sample_store.h"
+#include "core/sample_validator.h"
 
 namespace amf::core {
 
@@ -34,6 +36,12 @@ struct TrainerConfig {
   std::size_t max_epochs = 200;
   /// Replay order randomization seed.
   std::uint64_t seed = 7;
+  /// Run every incoming sample through a SampleValidator before it may
+  /// touch the store or the model (rejected/quarantined samples are
+  /// counted in Stats() and dropped). Off = trust the caller.
+  bool validate_ingest = true;
+  /// Ingestion-guard thresholds (used when validate_ingest is true).
+  SampleValidatorConfig validator;
 };
 
 class OnlineTrainer {
@@ -77,14 +85,28 @@ class OnlineTrainer {
   /// Mean training error of the last completed epoch (NaN before any).
   double last_epoch_error() const { return last_epoch_error_; }
 
+  /// The ingestion guard (history, quarantine buffer). Valid regardless of
+  /// validate_ingest; only consulted when it is on.
+  const SampleValidator& validator() const { return validator_; }
+
+  /// Pipeline counters: validator verdicts, updates the model refused
+  /// (non-finite / degenerate-r samples), and NaN-poisoning repairs.
+  PipelineStats Stats() const;
+
+  /// Mutable store access for checkpoint restore (LoadSampleStore upserts
+  /// records into it); not for use while training is in flight.
+  SampleStore& mutable_store() { return store_; }
+
  private:
   AmfModel& model_;
   TrainerConfig config_;
   common::Rng rng_;
   SampleStore store_;
+  SampleValidator validator_;
   std::deque<data::QoSSample> incoming_;
   double now_ = 0.0;
   bool converged_ = false;
+  std::uint64_t skipped_updates_ = 0;
   double last_epoch_error_ = std::numeric_limits<double>::quiet_NaN();
 };
 

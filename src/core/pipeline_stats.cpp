@@ -1,0 +1,23 @@
+#include "core/pipeline_stats.h"
+
+#include <sstream>
+
+namespace amf::core {
+
+std::string PipelineStats::ToString() const {
+  std::ostringstream oss;
+  oss << "accepted=" << accepted << " rejected{nonfinite=" << rejected_nonfinite
+      << " nonpositive=" << rejected_nonpositive
+      << " out_of_range=" << rejected_out_of_range
+      << " bad_timestamp=" << rejected_bad_timestamp
+      << " duplicate=" << rejected_duplicate << "}"
+      << " quarantined=" << quarantined_outlier
+      << " skipped_updates=" << skipped_updates
+      << " nan_reinit{users=" << nan_reinit_users
+      << " services=" << nan_reinit_services << "}"
+      << " checkpoints{written=" << checkpoints_written
+      << " corrupt=" << checkpoints_corrupt << "}";
+  return oss.str();
+}
+
+}  // namespace amf::core

@@ -1,0 +1,46 @@
+// Per-reason counters for the fault-tolerant online pipeline: every sample
+// that enters the ingestion path is either accepted, rejected (with a
+// reason), or quarantined; every NaN-poisoned latent vector the model
+// repairs and every checkpoint written/skipped is accounted here. The
+// counters are the observable surface of the ingestion -> quarantine ->
+// train -> checkpoint flow (DESIGN.md §7) and what the fault-injection
+// tests assert against.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace amf::core {
+
+struct PipelineStats {
+  // --- Ingestion (SampleValidator verdicts) --------------------------------
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_nonfinite = 0;    ///< NaN/Inf values
+  std::uint64_t rejected_nonpositive = 0;  ///< value <= 0 (RT/TP are positive)
+  std::uint64_t rejected_out_of_range = 0; ///< value beyond max_value
+  std::uint64_t rejected_bad_timestamp = 0;///< non-finite / far-future stamps
+  std::uint64_t rejected_duplicate = 0;    ///< duplicate or stale (u,s,t) key
+  std::uint64_t quarantined_outlier = 0;   ///< failed the median+MAD gate
+
+  // --- Training-side guards ------------------------------------------------
+  std::uint64_t skipped_updates = 0;   ///< OnlineUpdate refused the sample
+  std::uint64_t nan_reinit_users = 0;  ///< user vectors re-randomized
+  std::uint64_t nan_reinit_services = 0;
+
+  // --- Checkpointing -------------------------------------------------------
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t checkpoints_corrupt = 0;  ///< detected bad at load time
+
+  std::uint64_t rejected() const {
+    return rejected_nonfinite + rejected_nonpositive + rejected_out_of_range +
+           rejected_bad_timestamp + rejected_duplicate;
+  }
+  std::uint64_t seen() const {
+    return accepted + rejected() + quarantined_outlier;
+  }
+
+  /// One-line "accepted=... rejected{...} quarantined=..." summary.
+  std::string ToString() const;
+};
+
+}  // namespace amf::core

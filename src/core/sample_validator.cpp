@@ -1,0 +1,137 @@
+#include "core/sample_validator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/statistics.h"
+
+namespace amf::core {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}
+
+const char* ToString(SampleVerdict v) {
+  switch (v) {
+    case SampleVerdict::kAccept: return "accept";
+    case SampleVerdict::kNonFinite: return "non_finite";
+    case SampleVerdict::kNonPositive: return "non_positive";
+    case SampleVerdict::kOutOfRange: return "out_of_range";
+    case SampleVerdict::kBadTimestamp: return "bad_timestamp";
+    case SampleVerdict::kDuplicate: return "duplicate";
+    case SampleVerdict::kOutlier: return "outlier";
+  }
+  return "unknown";
+}
+
+SampleValidator::SampleValidator(const SampleValidatorConfig& config)
+    : config_(config) {
+  AMF_CHECK_MSG(config_.history_capacity > 0,
+                "history_capacity must be positive");
+  AMF_CHECK_MSG(config_.mad_floor > 0.0, "mad_floor must be positive");
+}
+
+void SampleValidator::RobustStats(const History& h, double* median,
+                                  double* mad) const {
+  if (h.ring.empty()) {
+    *median = kNaN;
+    *mad = kNaN;
+    return;
+  }
+  std::vector<double> v = h.ring;
+  *median = common::Median(v);
+  for (double& x : v) x = std::abs(x - *median);
+  *mad = common::Median(std::move(v));
+}
+
+double SampleValidator::ServiceMedian(data::ServiceId s) const {
+  const auto it = history_.find(s);
+  if (it == history_.end()) return kNaN;
+  double median = kNaN, mad = kNaN;
+  RobustStats(it->second, &median, &mad);
+  return median;
+}
+
+double SampleValidator::ServiceMad(data::ServiceId s) const {
+  const auto it = history_.find(s);
+  if (it == history_.end()) return kNaN;
+  double median = kNaN, mad = kNaN;
+  RobustStats(it->second, &median, &mad);
+  return mad;
+}
+
+SampleVerdict SampleValidator::Validate(const data::QoSSample& sample,
+                                        double now) {
+  // Value guards first: a non-finite value must never reach BoxCox or the
+  // relative-error loss.
+  if (!std::isfinite(sample.value)) {
+    ++stats_.rejected_nonfinite;
+    return SampleVerdict::kNonFinite;
+  }
+  if (config_.reject_nonpositive && sample.value <= 0.0) {
+    ++stats_.rejected_nonpositive;
+    return SampleVerdict::kNonPositive;
+  }
+  if (config_.max_value > 0.0 && sample.value > config_.max_value) {
+    ++stats_.rejected_out_of_range;
+    return SampleVerdict::kOutOfRange;
+  }
+
+  // Timestamp guards: expiry (Algorithm 1) subtracts timestamps from the
+  // clock, so a garbage stamp would silently pin a sample forever (or expire
+  // everything).
+  if (!std::isfinite(sample.timestamp) || sample.timestamp < 0.0 ||
+      (config_.max_future_seconds > 0.0 &&
+       sample.timestamp > now + config_.max_future_seconds)) {
+    ++stats_.rejected_bad_timestamp;
+    return SampleVerdict::kBadTimestamp;
+  }
+
+  // Duplicate / stale delivery of the same (user, service) key.
+  const std::uint64_t key = PairKey(sample.user, sample.service);
+  if (config_.reject_duplicates) {
+    const auto it = last_accepted_ts_.find(key);
+    if (it != last_accepted_ts_.end() && sample.timestamp <= it->second) {
+      ++stats_.rejected_duplicate;
+      return SampleVerdict::kDuplicate;
+    }
+  }
+
+  // Statistical outlier gate: running median +- k * MAD per service.
+  History& h = history_[sample.service];
+  if (config_.outlier_mad_k > 0.0 &&
+      h.ring.size() >= config_.outlier_min_samples) {
+    double median = kNaN, mad = kNaN;
+    RobustStats(h, &median, &mad);
+    const double scale = std::max(mad, config_.mad_floor);
+    if (std::abs(sample.value - median) > config_.outlier_mad_k * scale) {
+      ++stats_.quarantined_outlier;
+      quarantine_.push_back(sample);
+      while (quarantine_.size() > config_.quarantine_capacity) {
+        quarantine_.pop_front();
+      }
+      return SampleVerdict::kOutlier;
+    }
+  }
+
+  // Accepted: fold into history + duplicate state.
+  if (h.ring.size() < config_.history_capacity) {
+    h.ring.push_back(sample.value);
+  } else {
+    h.ring[h.next] = sample.value;
+    h.next = (h.next + 1) % config_.history_capacity;
+  }
+  last_accepted_ts_[key] = sample.timestamp;
+  ++stats_.accepted;
+  return SampleVerdict::kAccept;
+}
+
+void SampleValidator::Reset() {
+  history_.clear();
+  last_accepted_ts_.clear();
+  quarantine_.clear();
+}
+
+}  // namespace amf::core

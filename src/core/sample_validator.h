@@ -1,0 +1,128 @@
+// SampleValidator: the ingestion guard in front of SampleStore /
+// OnlineTrainer (DESIGN.md §7).
+//
+// Real collectors emit exactly the data the AMF loss cannot digest: NaN
+// from timed-out probes, zero/negative response times, duplicated
+// deliveries, stale retransmissions, and wild outliers from transient
+// congestion. Every observation passes through Validate() before it may
+// touch the model; the verdict is one of
+//
+//   kAccept         -- sample is clean, train on it
+//   kNonFinite      -- NaN/Inf value
+//   kNonPositive    -- value <= 0 (QoS metrics here are strictly positive)
+//   kOutOfRange     -- value > max_value
+//   kBadTimestamp   -- non-finite, negative, or far-future timestamp
+//   kDuplicate      -- (user, service) already delivered this timestamp, or
+//                      an older one than the last accepted (stale replay)
+//   kOutlier        -- outside median +- k * MAD of the service's recent
+//                      accepted values (quarantined, not dropped silently)
+//
+// Outlier detection keeps a bounded ring of recent accepted values per
+// service and compares against the running median + MAD (median absolute
+// deviation), which is robust to the very contamination it guards against.
+// Quarantined samples are retained (bounded) for offline inspection.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "core/pipeline_stats.h"
+#include "data/qos_types.h"
+
+namespace amf::core {
+
+enum class SampleVerdict : std::uint8_t {
+  kAccept = 0,
+  kNonFinite,
+  kNonPositive,
+  kOutOfRange,
+  kBadTimestamp,
+  kDuplicate,
+  kOutlier,
+};
+
+/// Human-readable verdict name ("accept", "non_finite", ...).
+const char* ToString(SampleVerdict v);
+
+struct SampleValidatorConfig {
+  /// Values above this are rejected as out-of-range (e.g. an RT far beyond
+  /// any plausible timeout). <= 0 disables the ceiling.
+  double max_value = 1e9;
+  /// Reject values <= 0 (RT and TP are strictly positive; a zero RT is a
+  /// collector artifact, not a measurement).
+  bool reject_nonpositive = true;
+  /// Timestamps more than this many seconds ahead of the validator clock
+  /// are rejected (clock skew / garbage stamps). <= 0 disables. Off by
+  /// default: simulations legitimately drive the trainer clock *from*
+  /// sample stamps, so only real deployments with an authoritative clock
+  /// should enable it. Non-finite / negative stamps are always rejected.
+  double max_future_seconds = 0.0;
+  /// Reject re-deliveries: a sample whose timestamp is <= the last
+  /// accepted timestamp for the same (user, service) pair.
+  bool reject_duplicates = true;
+  /// Outlier gate: reject when |value - median| > k * max(MAD, mad_floor)
+  /// over the service's recent accepted values. <= 0 disables.
+  double outlier_mad_k = 8.0;
+  /// Minimum accepted samples for a service before the outlier gate arms.
+  std::size_t outlier_min_samples = 16;
+  /// Ring-buffer capacity of recent accepted values kept per service.
+  std::size_t history_capacity = 64;
+  /// MAD floor so a constant-valued history does not reject everything.
+  double mad_floor = 1e-3;
+  /// Max quarantined samples retained for inspection (oldest evicted).
+  std::size_t quarantine_capacity = 256;
+};
+
+class SampleValidator {
+ public:
+  explicit SampleValidator(const SampleValidatorConfig& config = {});
+
+  const SampleValidatorConfig& config() const { return config_; }
+
+  /// Classifies one sample against the validator clock `now`. Accepted
+  /// samples update the per-service history and per-pair timestamp state;
+  /// outliers land in the quarantine buffer. Counts into stats().
+  SampleVerdict Validate(const data::QoSSample& sample, double now);
+
+  /// Convenience: Validate == kAccept.
+  bool Admit(const data::QoSSample& sample, double now) {
+    return Validate(sample, now) == SampleVerdict::kAccept;
+  }
+
+  /// Per-reason counters accumulated by Validate.
+  const PipelineStats& stats() const { return stats_; }
+
+  /// Quarantined outliers, oldest first (bounded by quarantine_capacity).
+  const std::deque<data::QoSSample>& quarantine() const { return quarantine_; }
+
+  /// Running median of a service's recent accepted values (NaN if none).
+  double ServiceMedian(data::ServiceId s) const;
+  /// Running MAD of a service's recent accepted values (NaN if none).
+  double ServiceMad(data::ServiceId s) const;
+
+  /// Drops all history/quarantine state (counters are preserved).
+  void Reset();
+
+ private:
+  struct History {
+    std::vector<double> ring;  // capacity-bounded, insertion order
+    std::size_t next = 0;      // ring write cursor once full
+  };
+
+  static std::uint64_t PairKey(data::UserId u, data::ServiceId s) {
+    return (static_cast<std::uint64_t>(u) << 32) | s;
+  }
+
+  /// median / MAD of the service history; both NaN when empty.
+  void RobustStats(const History& h, double* median, double* mad) const;
+
+  SampleValidatorConfig config_;
+  PipelineStats stats_;
+  std::unordered_map<data::ServiceId, History> history_;
+  std::unordered_map<std::uint64_t, double> last_accepted_ts_;
+  std::deque<data::QoSSample> quarantine_;
+};
+
+}  // namespace amf::core

@@ -1,0 +1,141 @@
+#include "core/trainer_watchdog.h"
+
+#include <chrono>
+#include <exception>
+
+#include "common/check.h"
+
+namespace amf::core {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}
+
+TrainerWatchdog::TrainerWatchdog(Step step, const WatchdogConfig& config)
+    : step_(std::move(step)), config_(config) {
+  AMF_CHECK_MSG(step_ != nullptr, "watchdog needs a step function");
+  AMF_CHECK_MSG(config_.check_interval_seconds > 0.0,
+                "check_interval_seconds must be positive");
+  AMF_CHECK_MSG(config_.stall_timeout_seconds > 0.0,
+                "stall_timeout_seconds must be positive");
+}
+
+TrainerWatchdog::~TrainerWatchdog() { Stop(); }
+
+std::int64_t TrainerWatchdog::NowNanos() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+std::string TrainerWatchdog::last_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_error_;
+}
+
+void TrainerWatchdog::WorkerLoop() {
+  while (!stop_.load(std::memory_order_acquire) &&
+         !cancel_.load(std::memory_order_acquire)) {
+    try {
+      step_(cancel_);
+    } catch (const std::exception& e) {
+      exceptions_.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        last_error_ = e.what();
+      }
+      break;
+    } catch (...) {
+      exceptions_.fetch_add(1, std::memory_order_relaxed);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        last_error_ = "unknown exception";
+      }
+      break;
+    }
+    heartbeats_.fetch_add(1, std::memory_order_relaxed);
+    last_beat_nanos_.store(NowNanos(), std::memory_order_release);
+  }
+  worker_exited_.store(true, std::memory_order_release);
+  cv_.notify_all();
+}
+
+void TrainerWatchdog::LaunchWorker() {
+  worker_exited_.store(false, std::memory_order_release);
+  cancel_.store(false, std::memory_order_release);
+  last_beat_nanos_.store(NowNanos(), std::memory_order_release);
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+void TrainerWatchdog::MonitorLoop() {
+  const auto interval = std::chrono::duration<double>(
+      config_.check_interval_seconds);
+  const std::int64_t stall_nanos = static_cast<std::int64_t>(
+      config_.stall_timeout_seconds * 1e9);
+  bool stall_flagged = false;
+  while (!stop_.load(std::memory_order_acquire)) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, interval, [this] {
+        return stop_.load(std::memory_order_acquire) ||
+               worker_exited_.load(std::memory_order_acquire);
+      });
+    }
+    if (stop_.load(std::memory_order_acquire)) break;
+
+    if (worker_exited_.load(std::memory_order_acquire)) {
+      // The worker died (exception) or returned after a cancel request:
+      // restart it, up to the budget.
+      if (worker_.joinable()) worker_.join();
+      if (restarts_.load(std::memory_order_relaxed) >=
+          config_.max_restarts) {
+        gave_up_.store(true, std::memory_order_release);
+        running_.store(false, std::memory_order_release);
+        return;
+      }
+      restarts_.fetch_add(1, std::memory_order_relaxed);
+      stall_flagged = false;
+      LaunchWorker();
+      continue;
+    }
+
+    // Stall detection: the worker is alive but hasn't heartbeat within
+    // the timeout. Raise the cancel token; a cooperative step returns and
+    // the restart happens on the next poll (the exited branch above).
+    const std::int64_t age =
+        NowNanos() - last_beat_nanos_.load(std::memory_order_acquire);
+    if (age > stall_nanos) {
+      if (!stall_flagged) {
+        stalls_.fetch_add(1, std::memory_order_relaxed);
+        stall_flagged = true;
+      }
+      cancel_.store(true, std::memory_order_release);
+    } else {
+      stall_flagged = false;
+    }
+  }
+}
+
+void TrainerWatchdog::Start() {
+  if (running_.load(std::memory_order_acquire)) return;
+  stop_.store(false, std::memory_order_release);
+  gave_up_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  LaunchWorker();
+  monitor_ = std::thread([this] { MonitorLoop(); });
+}
+
+void TrainerWatchdog::Stop() {
+  if (!running_.load(std::memory_order_acquire) && !monitor_.joinable() &&
+      !worker_.joinable()) {
+    return;
+  }
+  stop_.store(true, std::memory_order_release);
+  cancel_.store(true, std::memory_order_release);
+  cv_.notify_all();
+  if (monitor_.joinable()) monitor_.join();
+  if (worker_.joinable()) worker_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+}  // namespace amf::core

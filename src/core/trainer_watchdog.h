@@ -1,0 +1,109 @@
+// TrainerWatchdog: keeps a background training worker alive.
+//
+// A production deployment trains continuously from a worker thread; that
+// worker can die (an exception escaping a training step) or stall (a bug
+// or a pathological input wedging a step). The watchdog owns the worker
+// thread, runs the user-supplied step function in a loop, and a monitor
+// thread restarts the worker when it
+//
+//   * dies  -- the step threw; the exception is recorded and the worker is
+//              relaunched (up to max_restarts), or
+//   * stalls -- no heartbeat for stall_timeout_seconds; the watchdog
+//              raises the cancel token (steps are expected to poll it in
+//              long loops) and relaunches once the worker returns.
+//
+// The step function receives the cancel token; a cooperative step checks
+// it between bounded units of work. A step that ignores the token and
+// never returns cannot be forcibly killed (C++ threads are not
+// cancellable); the stall is still detected and visible via stalls().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace amf::core {
+
+struct WatchdogConfig {
+  /// Monitor poll interval.
+  double check_interval_seconds = 0.02;
+  /// Heartbeat age after which the worker counts as stalled.
+  double stall_timeout_seconds = 0.5;
+  /// Worker relaunches before the watchdog gives up.
+  std::size_t max_restarts = 5;
+};
+
+class TrainerWatchdog {
+ public:
+  /// One bounded unit of training work (e.g. drain + one replay epoch).
+  /// Called in a loop from the worker thread; long steps should poll
+  /// `cancel` and return early when it is set.
+  using Step = std::function<void(const std::atomic<bool>& cancel)>;
+
+  TrainerWatchdog(Step step, const WatchdogConfig& config = {});
+  ~TrainerWatchdog();
+
+  TrainerWatchdog(const TrainerWatchdog&) = delete;
+  TrainerWatchdog& operator=(const TrainerWatchdog&) = delete;
+
+  /// Launches the worker + monitor threads. No-op if already running.
+  void Start();
+
+  /// Stops both threads and joins them. Idempotent.
+  void Stop();
+
+  /// True between Start() and Stop() while the watchdog has not given up.
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// True once max_restarts was exhausted (the worker keeps failing).
+  bool gave_up() const { return gave_up_.load(std::memory_order_acquire); }
+
+  /// Worker relaunches performed so far.
+  std::size_t restarts() const {
+    return restarts_.load(std::memory_order_relaxed);
+  }
+  /// Steps that ended in an exception.
+  std::size_t exceptions() const {
+    return exceptions_.load(std::memory_order_relaxed);
+  }
+  /// Stall detections (heartbeat older than stall_timeout_seconds).
+  std::size_t stalls() const { return stalls_.load(std::memory_order_relaxed); }
+  /// Steps completed across all worker incarnations.
+  std::uint64_t heartbeats() const {
+    return heartbeats_.load(std::memory_order_relaxed);
+  }
+  /// what() of the most recent worker exception ("" if none).
+  std::string last_error() const;
+
+ private:
+  void WorkerLoop();
+  void MonitorLoop();
+  void LaunchWorker();
+  std::int64_t NowNanos() const;
+
+  Step step_;
+  WatchdogConfig config_;
+
+  std::thread worker_;
+  std::thread monitor_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> cancel_{false};
+  std::atomic<bool> worker_exited_{false};
+  std::atomic<bool> gave_up_{false};
+  std::atomic<std::int64_t> last_beat_nanos_{0};
+  std::atomic<std::size_t> restarts_{0};
+  std::atomic<std::size_t> exceptions_{0};
+  std::atomic<std::size_t> stalls_{0};
+  std::atomic<std::uint64_t> heartbeats_{0};
+
+  mutable std::mutex mu_;  // guards last_error_ and monitor wakeups
+  std::condition_variable cv_;
+  std::string last_error_;
+};
+
+}  // namespace amf::core

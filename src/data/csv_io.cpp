@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/logging.h"
 #include "common/string_util.h"
 
 namespace amf::data {
@@ -36,23 +37,40 @@ struct Record {
   double value;
 };
 
-/// Parses one record; returns false for blank/comment lines.
-bool ParseRecord(const std::string& line, std::size_t line_no, Record& rec) {
+enum class ParseStatus { kOk, kSkip, kBad };
+
+/// Non-throwing parse of one line. kSkip for blank/comment lines; kBad
+/// fills `error` with a "line N: ..." diagnostic.
+ParseStatus TryParseRecord(const std::string& line, std::size_t line_no,
+                           Record& rec, std::string& error) {
+  const auto bad = [&](const std::string& what) {
+    error = "line " + std::to_string(line_no) + ": " + what;
+    return ParseStatus::kBad;
+  };
   const std::string trimmed = common::Trim(line);
-  if (trimmed.empty() || trimmed[0] == '#') return false;
+  if (trimmed.empty() || trimmed[0] == '#') return ParseStatus::kSkip;
   const std::vector<std::string> f = Fields(trimmed);
-  AMF_CHECK_MSG(f.size() == 4,
-                "line " << line_no << ": expected 4 fields, got " << f.size());
+  if (f.size() != 4) {
+    return bad("expected 4 fields, got " + std::to_string(f.size()));
+  }
   const auto u = common::ParseInt(f[0]);
   const auto s = common::ParseInt(f[1]);
   const auto t = common::ParseInt(f[2]);
   const auto v = common::ParseDouble(f[3]);
-  AMF_CHECK_MSG(u && s && t && v, "line " << line_no << ": parse error");
-  AMF_CHECK_MSG(*u >= 0 && *s >= 0 && *t >= 0,
-                "line " << line_no << ": negative index");
+  if (!(u && s && t && v)) return bad("parse error");
+  if (*u < 0 || *s < 0 || *t < 0) return bad("negative index");
   rec = Record{static_cast<std::size_t>(*u), static_cast<std::size_t>(*s),
                static_cast<std::size_t>(*t), *v};
-  return true;
+  return ParseStatus::kOk;
+}
+
+/// Parses one record; returns false for blank/comment lines. Throws
+/// common::CheckError on malformed records (legacy strict contract).
+bool ParseRecord(const std::string& line, std::size_t line_no, Record& rec) {
+  std::string error;
+  const ParseStatus st = TryParseRecord(line, line_no, rec, error);
+  AMF_CHECK_MSG(st != ParseStatus::kBad, error);
+  return st == ParseStatus::kOk;
 }
 
 }  // namespace
@@ -83,20 +101,55 @@ void WriteSliceTriplets(std::ostream& os, const SparseMatrix& slice,
 
 void ReadTriplets(std::istream& is, InMemoryDataset& dataset,
                   QoSAttribute attr) {
+  TripletReadOptions strict;
+  strict.strict = true;
+  (void)ReadTriplets(is, dataset, attr, strict);
+}
+
+TripletReadStats ReadTriplets(std::istream& is, InMemoryDataset& dataset,
+                              QoSAttribute attr,
+                              const TripletReadOptions& options) {
+  TripletReadStats stats;
   std::string line;
-  std::size_t line_no = 0;
+  std::string error;
+  const auto handle_bad = [&]() {
+    ++stats.bad_lines;
+    AMF_CHECK_MSG(!options.strict, error);
+    if (options.warn && stats.bad_lines <= options.max_warnings) {
+      AMF_LOG(Warning) << "ReadTriplets: skipping " << error;
+    }
+    AMF_CHECK_MSG(
+        options.max_bad_lines == 0 || stats.bad_lines <= options.max_bad_lines,
+        "too many malformed lines (" << stats.bad_lines << " > "
+                                     << options.max_bad_lines
+                                     << "); last: " << error);
+  };
   while (std::getline(is, line)) {
-    ++line_no;
+    ++stats.lines;
     Record rec;
-    if (!ParseRecord(line, line_no, rec)) continue;
-    AMF_CHECK_MSG(rec.user < dataset.num_users() &&
-                      rec.service < dataset.num_services() &&
-                      rec.slice < dataset.num_slices(),
-                  "line " << line_no << ": index out of dataset bounds");
+    switch (TryParseRecord(line, stats.lines, rec, error)) {
+      case ParseStatus::kSkip:
+        continue;
+      case ParseStatus::kBad:
+        handle_bad();
+        continue;
+      case ParseStatus::kOk:
+        break;
+    }
+    if (rec.user >= dataset.num_users() ||
+        rec.service >= dataset.num_services() ||
+        rec.slice >= dataset.num_slices()) {
+      error = "line " + std::to_string(stats.lines) +
+              ": index out of dataset bounds";
+      handle_bad();
+      continue;
+    }
     dataset.SetValue(attr, static_cast<UserId>(rec.user),
                      static_cast<ServiceId>(rec.service),
                      static_cast<SliceId>(rec.slice), rec.value);
+    ++stats.records;
   }
+  return stats;
 }
 
 SparseMatrix ReadSliceTriplets(std::istream& is, std::size_t users,
@@ -129,6 +182,14 @@ void ReadTripletsFile(const std::string& path, InMemoryDataset& dataset,
   std::ifstream is(path);
   AMF_CHECK_MSG(is.good(), "cannot open for reading: " << path);
   ReadTriplets(is, dataset, attr);
+}
+
+TripletReadStats ReadTripletsFile(const std::string& path,
+                                  InMemoryDataset& dataset, QoSAttribute attr,
+                                  const TripletReadOptions& options) {
+  std::ifstream is(path);
+  AMF_CHECK_MSG(is.good(), "cannot open for reading: " << path);
+  return ReadTriplets(is, dataset, attr, options);
 }
 
 }  // namespace amf::data

@@ -23,12 +23,42 @@ void WriteTriplets(std::ostream& os, const QoSDataset& dataset,
 void WriteSliceTriplets(std::ostream& os, const SparseMatrix& slice,
                         SliceId slice_id, char sep = ' ');
 
+/// Malformed-line policy for the options-based triplet reader.
+struct TripletReadOptions {
+  /// Throw common::CheckError on the first malformed or out-of-range
+  /// record (the legacy behavior). When false, bad lines are counted and
+  /// skipped instead.
+  bool strict = false;
+  /// Lenient mode only: abort with common::CheckError once more than this
+  /// many bad lines have been seen (a file that is mostly garbage is a
+  /// wrong file, not a noisy one). 0 disables the cap.
+  std::size_t max_bad_lines = 0;
+  /// Log a warning for each skipped line, up to `max_warnings` of them.
+  bool warn = true;
+  std::size_t max_warnings = 10;
+};
+
+/// Outcome counters from one options-based read.
+struct TripletReadStats {
+  std::size_t lines = 0;      ///< total input lines (incl. blanks/comments)
+  std::size_t records = 0;    ///< well-formed records stored
+  std::size_t bad_lines = 0;  ///< malformed / unparsable / out-of-range
+};
+
 /// Parses triplet lines into `dataset` for `attr`. Blank lines and lines
 /// starting with '#' are skipped. Accepts space-, tab- or comma-separated
 /// fields. Throws common::CheckError on malformed records or out-of-range
 /// indices.
 void ReadTriplets(std::istream& is, InMemoryDataset& dataset,
                   QoSAttribute attr);
+
+/// Hardened variant: malformed records are handled per `options` and the
+/// counters are returned. With `options.strict` this matches the legacy
+/// overload; otherwise bad lines are skipped (warned, counted) until the
+/// optional `max_bad_lines` cap trips.
+TripletReadStats ReadTriplets(std::istream& is, InMemoryDataset& dataset,
+                              QoSAttribute attr,
+                              const TripletReadOptions& options);
 
 /// Reads triplets of a single slice into a SparseMatrix (records whose
 /// slice differs from `slice_id` are ignored).
@@ -40,5 +70,8 @@ void WriteTripletsFile(const std::string& path, const QoSDataset& dataset,
                        QoSAttribute attr, char sep = ' ');
 void ReadTripletsFile(const std::string& path, InMemoryDataset& dataset,
                       QoSAttribute attr);
+TripletReadStats ReadTripletsFile(const std::string& path,
+                                  InMemoryDataset& dataset, QoSAttribute attr,
+                                  const TripletReadOptions& options);
 
 }  // namespace amf::data

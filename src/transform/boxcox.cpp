@@ -12,6 +12,13 @@ double BoxCox(double x, double alpha) {
   return (std::pow(x, alpha) - 1.0) / alpha;
 }
 
+double BoxCoxClamped(double x, double alpha, double epsilon) {
+  AMF_CHECK_MSG(epsilon > 0.0, "BoxCoxClamped requires epsilon > 0");
+  // NaN fails the comparison and falls through to epsilon as well.
+  const double safe = x > epsilon ? x : epsilon;
+  return BoxCox(safe, alpha);
+}
+
 double BoxCoxInverse(double y, double alpha) {
   if (alpha == 0.0) return std::exp(y);
   const double base = alpha * y + 1.0;

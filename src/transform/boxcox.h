@@ -13,6 +13,13 @@ namespace amf::transform {
 /// Forward Box-Cox transform. Requires x > 0.
 double BoxCox(double x, double alpha);
 
+/// Domain-safe forward transform: x is clamped to at least `epsilon`
+/// before the transform, so non-positive and NaN inputs map to
+/// BoxCox(epsilon) instead of throwing. Requires epsilon > 0. This is the
+/// entry point ingestion-adjacent code should use; a thrown domain error
+/// deep inside a trainer thread would otherwise take the worker down.
+double BoxCoxClamped(double x, double alpha, double epsilon);
+
 /// Inverse Box-Cox transform: returns x such that BoxCox(x, alpha) == y.
 /// For alpha != 0 requires (alpha * y + 1) > 0.
 double BoxCoxInverse(double y, double alpha);

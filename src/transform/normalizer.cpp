@@ -1,12 +1,19 @@
 #include "transform/normalizer.h"
 
+#include <cmath>
+
 #include "common/check.h"
 
 namespace amf::transform {
 
 LinearNormalizer::LinearNormalizer(double lo, double hi)
     : lo_(lo), hi_(hi), inv_span_(1.0 / (hi - lo)) {
-  AMF_CHECK_MSG(hi > lo, "LinearNormalizer requires hi > lo");
+  AMF_CHECK_MSG(std::isfinite(lo) && std::isfinite(hi),
+                "LinearNormalizer requires finite bounds, got [" << lo << ", "
+                                                                 << hi << "]");
+  AMF_CHECK_MSG(hi > lo, "LinearNormalizer fit range is empty or degenerate: "
+                         "requires hi > lo, got ["
+                             << lo << ", " << hi << "]");
 }
 
 double LinearNormalizer::Normalize(double x) const {

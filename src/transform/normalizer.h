@@ -3,9 +3,13 @@
 
 namespace amf::transform {
 
-/// Maps [lo, hi] linearly onto [0, 1]. lo < hi is required.
+/// Maps [lo, hi] linearly onto [0, 1].
 class LinearNormalizer {
  public:
+  /// Throws common::CheckError when the fit range is unusable: lo or hi
+  /// non-finite, or hi <= lo (an empty or degenerate range would make
+  /// Normalize divide by zero and poison everything downstream with
+  /// NaN/Inf, so it is refused at construction instead).
   LinearNormalizer(double lo, double hi);
 
   double lo() const { return lo_; }

@@ -152,10 +152,15 @@ QoSTransform::QoSTransform(const QoSTransformConfig& config)
       normalizer_(boxcox_min_, boxcox_max_) {}
 
 double QoSTransform::Forward(double raw) const {
+  // BoxCoxClamped (rather than clamp + BoxCox) also absorbs NaN input:
+  // a domain error here would unwind through trainer worker threads, so
+  // Forward is total — garbage raw values map to the floor. The
+  // ingestion validator is the layer that rejects them loudly.
   const double clamped =
-      std::clamp(raw, std::max(config_.r_min, config_.value_floor),
-                 config_.r_max);
-  const double r = normalizer_.Normalize(BoxCox(clamped, config_.alpha));
+      std::min(BoxCoxClamped(raw, config_.alpha,
+                             std::max(config_.r_min, config_.value_floor)),
+               boxcox_max_);
+  const double r = normalizer_.Normalize(clamped);
   // Floor r away from 0 so the relative-error loss (r in the denominator)
   // stays finite; the ceiling keeps Inverse within BoxCox's domain.
   return std::clamp(r, config_.value_floor, 1.0);

@@ -1,0 +1,239 @@
+#include "core/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "common/check.h"
+#include "common/crc32.h"
+
+namespace amf::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+AmfModel TrainedModel() {
+  AmfModel m(MakeResponseTimeConfig(/*seed=*/17));
+  for (int i = 0; i < 300; ++i) {
+    m.OnlineUpdate(i % 5, i % 9, 0.4 + 0.3 * (i % 4));
+  }
+  return m;
+}
+
+SampleStore FilledStore() {
+  SampleStore store;
+  store.Upsert({0, 1, 2, 1.25, 30.0});
+  store.Upsert({0, 3, 4, 0.5, 45.0});
+  store.Upsert({1, 0, 0, 2.0, 60.0});
+  return store;
+}
+
+std::string Serialized(const AmfModel& model, const SampleStore& store,
+                       double now, double err) {
+  std::stringstream ss;
+  WriteCheckpoint(ss, model, store, now, err);
+  return ss.str();
+}
+
+void ExpectModelsEqual(const AmfModel& a, const AmfModel& b) {
+  ASSERT_EQ(a.num_users(), b.num_users());
+  ASSERT_EQ(a.num_services(), b.num_services());
+  for (data::UserId u = 0; u < a.num_users(); ++u) {
+    EXPECT_DOUBLE_EQ(a.UserError(u), b.UserError(u));
+    for (data::ServiceId s = 0; s < a.num_services(); ++s) {
+      EXPECT_DOUBLE_EQ(a.PredictRaw(u, s), b.PredictRaw(u, s));
+    }
+  }
+}
+
+/// Fresh scratch directory under the gtest temp root.
+std::string ScratchDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/ckpt_test_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+TEST(CheckpointTest, StreamRoundTripPreservesEverything) {
+  const AmfModel model = TrainedModel();
+  const SampleStore store = FilledStore();
+  std::stringstream ss;
+  WriteCheckpoint(ss, model, store, 123.5, 0.25);
+  const CheckpointData data = ReadCheckpoint(ss);
+
+  ExpectModelsEqual(model, data.model);
+  EXPECT_EQ(data.store.size(), store.size());
+  const auto sample = data.store.Get(1, 2);
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_DOUBLE_EQ(sample->value, 1.25);
+  EXPECT_DOUBLE_EQ(sample->timestamp, 30.0);
+  EXPECT_DOUBLE_EQ(data.now, 123.5);
+  EXPECT_DOUBLE_EQ(data.last_epoch_error, 0.25);
+}
+
+TEST(CheckpointTest, NanEpochErrorRoundTrips) {
+  // A trainer that has not finished an epoch reports NaN; the format must
+  // carry it (istream >> does not parse "nan" portably).
+  const AmfModel model = TrainedModel();
+  std::stringstream ss;
+  WriteCheckpoint(ss, model, SampleStore{}, 0.0,
+                  std::numeric_limits<double>::quiet_NaN());
+  const CheckpointData data = ReadCheckpoint(ss);
+  EXPECT_TRUE(std::isnan(data.last_epoch_error));
+}
+
+TEST(CheckpointTest, BitFlipInPayloadIsDetected) {
+  std::string text = Serialized(TrainedModel(), FilledStore(), 10.0, 0.1);
+  // Payload starts after the two header lines.
+  const std::size_t payload = text.find('\n', text.find('\n') + 1) + 1;
+  ASSERT_LT(payload + 10, text.size());
+  text[payload + 10] ^= 0x04;  // keep it printable-ish; CRC must still trip
+  std::stringstream ss(text);
+  EXPECT_THROW(ReadCheckpoint(ss), common::CheckError);
+}
+
+TEST(CheckpointTest, TruncationIsDetectedAtEveryBoundary) {
+  const std::string text =
+      Serialized(TrainedModel(), FilledStore(), 10.0, 0.1);
+  const std::size_t samples_at = text.find("AMF_SAMPLES");
+  const std::size_t trainer_at = text.find("AMF_TRAINER");
+  ASSERT_NE(samples_at, std::string::npos);
+  ASSERT_NE(trainer_at, std::string::npos);
+  // Mid-model, exactly at each section boundary, and one byte short.
+  for (const std::size_t cut : {text.size() / 2, samples_at, trainer_at,
+                                text.size() - 1}) {
+    std::stringstream ss(text.substr(0, cut));
+    EXPECT_THROW(ReadCheckpoint(ss), common::CheckError) << "cut=" << cut;
+  }
+}
+
+TEST(CheckpointTest, GarbageHeaderThrows) {
+  std::stringstream ss("DEFINITELY_NOT_A_CHECKPOINT\n");
+  EXPECT_THROW(ReadCheckpoint(ss), common::CheckError);
+}
+
+TEST(CheckpointTest, FileRoundTripIsAtomicallyWritten) {
+  const std::string dir = ScratchDir("file_roundtrip");
+  fs::create_directories(dir);
+  const std::string path = dir + "/one.amfck";
+  const AmfModel model = TrainedModel();
+  WriteCheckpointFile(path, model, FilledStore(), 77.0, 0.5);
+  // No temp file left behind.
+  std::size_t files = 0;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    (void)e;
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);
+  const CheckpointData data = ReadCheckpointFile(path);
+  ExpectModelsEqual(model, data.model);
+  EXPECT_DOUBLE_EQ(data.now, 77.0);
+}
+
+TEST(CheckpointManagerTest, RetentionPrunesOldest) {
+  CheckpointManagerConfig cfg;
+  cfg.directory = ScratchDir("retention");
+  cfg.retention = 3;
+  CheckpointManager mgr(cfg);
+  const AmfModel model = TrainedModel();
+  for (int i = 0; i < 5; ++i) {
+    mgr.Save(model, SampleStore{}, 10.0 * (i + 1), 0.1);
+  }
+  const std::vector<std::string> files = mgr.List();
+  ASSERT_EQ(files.size(), 3u);
+  EXPECT_EQ(mgr.written(), 5u);
+  // The newest one carries the latest clock.
+  const CheckpointData data = ReadCheckpointFile(files.back());
+  EXPECT_DOUBLE_EQ(data.now, 50.0);
+}
+
+TEST(CheckpointManagerTest, LoadLatestValidSkipsCorruptNewest) {
+  CheckpointManagerConfig cfg;
+  cfg.directory = ScratchDir("fallback");
+  CheckpointManager mgr(cfg);
+  const AmfModel model = TrainedModel();
+  mgr.Save(model, FilledStore(), 100.0, 0.1);
+  const std::string newest = mgr.Save(model, FilledStore(), 200.0, 0.1);
+  // Hand-truncate the newest checkpoint (simulated torn write / bad disk).
+  fs::resize_file(newest, fs::file_size(newest) / 2);
+
+  const std::optional<CheckpointData> data = mgr.LoadLatestValid();
+  ASSERT_TRUE(data.has_value());
+  EXPECT_DOUBLE_EQ(data->now, 100.0);  // fell back to the previous one
+  EXPECT_EQ(mgr.corrupt_skipped(), 1u);
+}
+
+TEST(CheckpointManagerTest, LoadLatestValidEmptyDirectory) {
+  CheckpointManagerConfig cfg;
+  cfg.directory = ScratchDir("empty");
+  CheckpointManager mgr(cfg);
+  EXPECT_FALSE(mgr.LoadLatestValid().has_value());
+}
+
+TEST(CheckpointManagerTest, SequenceContinuesAfterRestart) {
+  CheckpointManagerConfig cfg;
+  cfg.directory = ScratchDir("restart");
+  const AmfModel model = TrainedModel();
+  {
+    CheckpointManager mgr(cfg);
+    mgr.Save(model, SampleStore{}, 1.0, 0.1);
+    mgr.Save(model, SampleStore{}, 2.0, 0.1);
+  }
+  // A new manager over the same directory must not overwrite history.
+  CheckpointManager mgr(cfg);
+  mgr.Save(model, SampleStore{}, 3.0, 0.1);
+  const std::vector<std::string> files = mgr.List();
+  ASSERT_EQ(files.size(), 3u);
+  EXPECT_DOUBLE_EQ(ReadCheckpointFile(files.back()).now, 3.0);
+  EXPECT_DOUBLE_EQ(ReadCheckpointFile(files.front()).now, 1.0);
+}
+
+TEST(CheckpointManagerTest, MaybeSaveIsIntervalGated) {
+  CheckpointManagerConfig cfg;
+  cfg.directory = ScratchDir("interval");
+  cfg.interval_seconds = 100.0;
+  CheckpointManager mgr(cfg);
+  const AmfModel model = TrainedModel();
+  EXPECT_TRUE(mgr.MaybeSave(model, SampleStore{}, 0.0, 0.1));   // first
+  EXPECT_FALSE(mgr.MaybeSave(model, SampleStore{}, 50.0, 0.1));  // too soon
+  EXPECT_TRUE(mgr.MaybeSave(model, SampleStore{}, 150.0, 0.1));
+  EXPECT_EQ(mgr.written(), 2u);
+}
+
+TEST(CheckpointManagerTest, LoadCheckpointOrFallback) {
+  CheckpointManagerConfig cfg;
+  cfg.directory = ScratchDir("preferred");
+  CheckpointManager mgr(cfg);
+  const AmfModel model = TrainedModel();
+  mgr.Save(model, SampleStore{}, 42.0, 0.1);
+
+  // Preferred path missing -> manager's newest valid.
+  std::optional<CheckpointData> data =
+      LoadCheckpointOrFallback(cfg.directory + "/nope.amfck", mgr);
+  ASSERT_TRUE(data.has_value());
+  EXPECT_DOUBLE_EQ(data->now, 42.0);
+
+  // Preferred path corrupt -> same fallback.
+  const std::string bad = cfg.directory + "/bad.amfck";
+  std::ofstream(bad) << "AMF_CKPT 1\nbytes 10 crc32 0\ngarbage";
+  data = LoadCheckpointOrFallback(bad, mgr);
+  ASSERT_TRUE(data.has_value());
+  EXPECT_DOUBLE_EQ(data->now, 42.0);
+}
+
+TEST(Crc32Test, MatchesKnownVector) {
+  // The canonical IEEE 802.3 check value.
+  EXPECT_EQ(common::Crc32Of("123456789"), 0xCBF43926u);
+  common::Crc32 streaming;
+  streaming.Update("1234");
+  streaming.Update("56789");
+  EXPECT_EQ(streaming.value(), 0xCBF43926u);
+  EXPECT_NE(common::Crc32Of("123456788"), common::Crc32Of("123456789"));
+}
+
+}  // namespace
+}  // namespace amf::core

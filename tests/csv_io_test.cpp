@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "common/check.h"
@@ -86,6 +87,58 @@ TEST(CsvIoTest, FileRoundTrip) {
   InMemoryDataset dst(2, 2, 1);
   ReadTripletsFile(path, dst, QoSAttribute::kResponseTime);
   EXPECT_DOUBLE_EQ(dst.Value(QoSAttribute::kResponseTime, 1, 1, 0), 9.0);
+}
+
+TEST(CsvIoLenientTest, SkipsAndCountsMalformedLines) {
+  // Two good records, one short line, one unparsable value, one
+  // out-of-bounds index; lenient mode keeps the good ones.
+  std::stringstream ss("0 0 0 1.0\nbroken line\n0 1 0 xyz\n9 0 0 2.0\n"
+                       "1 1 0 3.0\n");
+  InMemoryDataset d(2, 2, 1);
+  TripletReadOptions opts;
+  opts.warn = false;
+  const TripletReadStats stats =
+      ReadTriplets(ss, d, QoSAttribute::kResponseTime, opts);
+  EXPECT_EQ(stats.lines, 5u);
+  EXPECT_EQ(stats.records, 2u);
+  EXPECT_EQ(stats.bad_lines, 3u);
+  EXPECT_DOUBLE_EQ(d.Value(QoSAttribute::kResponseTime, 0, 0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(d.Value(QoSAttribute::kResponseTime, 1, 1, 0), 3.0);
+}
+
+TEST(CsvIoLenientTest, BadLineCapTrips) {
+  std::stringstream ss("junk\nmore junk\neven more\n0 0 0 1.0\n");
+  InMemoryDataset d(1, 1, 1);
+  TripletReadOptions opts;
+  opts.warn = false;
+  opts.max_bad_lines = 2;
+  EXPECT_THROW(ReadTriplets(ss, d, QoSAttribute::kResponseTime, opts),
+               common::CheckError);
+}
+
+TEST(CsvIoLenientTest, StrictOptionMatchesLegacyBehavior) {
+  std::stringstream ss("0 0 0 1.0\nbroken\n");
+  InMemoryDataset d(1, 1, 1);
+  TripletReadOptions opts;
+  opts.strict = true;
+  EXPECT_THROW(ReadTriplets(ss, d, QoSAttribute::kResponseTime, opts),
+               common::CheckError);
+}
+
+TEST(CsvIoLenientTest, FileOverloadReturnsStats) {
+  const std::string path =
+      ::testing::TempDir() + "/amf_csv_io_lenient.triplets";
+  {
+    std::ofstream os(path);
+    os << "0 0 0 4.0\ngarbage\n";
+  }
+  InMemoryDataset d(1, 1, 1);
+  TripletReadOptions opts;
+  opts.warn = false;
+  const TripletReadStats stats =
+      ReadTripletsFile(path, d, QoSAttribute::kResponseTime, opts);
+  EXPECT_EQ(stats.records, 1u);
+  EXPECT_EQ(stats.bad_lines, 1u);
 }
 
 TEST(CsvIoTest, MissingFileThrows) {

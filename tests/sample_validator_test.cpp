@@ -1,0 +1,200 @@
+#include "core/sample_validator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace amf::core {
+namespace {
+
+data::QoSSample S(data::UserId u, data::ServiceId s, double value,
+                  double timestamp) {
+  return data::QoSSample{
+      .slice = 0, .user = u, .service = s, .value = value,
+      .timestamp = timestamp};
+}
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(SampleValidatorTest, AcceptsCleanSample) {
+  SampleValidator v;
+  EXPECT_EQ(v.Validate(S(0, 0, 1.5, 10.0), 10.0), SampleVerdict::kAccept);
+  EXPECT_EQ(v.stats().accepted, 1u);
+  EXPECT_EQ(v.stats().rejected(), 0u);
+}
+
+TEST(SampleValidatorTest, RejectsNonFiniteValues) {
+  SampleValidator v;
+  EXPECT_EQ(v.Validate(S(0, 0, kNan, 1.0), 1.0), SampleVerdict::kNonFinite);
+  EXPECT_EQ(v.Validate(S(0, 1, kInf, 1.0), 1.0), SampleVerdict::kNonFinite);
+  EXPECT_EQ(v.Validate(S(0, 2, -kInf, 1.0), 1.0), SampleVerdict::kNonFinite);
+  EXPECT_EQ(v.stats().rejected_nonfinite, 3u);
+  EXPECT_EQ(v.stats().accepted, 0u);
+}
+
+TEST(SampleValidatorTest, RejectsNonPositiveValues) {
+  SampleValidator v;
+  EXPECT_EQ(v.Validate(S(0, 0, 0.0, 1.0), 1.0), SampleVerdict::kNonPositive);
+  EXPECT_EQ(v.Validate(S(0, 0, -2.5, 1.0), 1.0),
+            SampleVerdict::kNonPositive);
+  EXPECT_EQ(v.stats().rejected_nonpositive, 2u);
+}
+
+TEST(SampleValidatorTest, NonPositiveGateCanBeDisabled) {
+  SampleValidatorConfig cfg;
+  cfg.reject_nonpositive = false;
+  SampleValidator v(cfg);
+  EXPECT_EQ(v.Validate(S(0, 0, 0.0, 1.0), 1.0), SampleVerdict::kAccept);
+}
+
+TEST(SampleValidatorTest, RejectsValuesBeyondMax) {
+  SampleValidatorConfig cfg;
+  cfg.max_value = 100.0;
+  SampleValidator v(cfg);
+  EXPECT_EQ(v.Validate(S(0, 0, 100.5, 1.0), 1.0),
+            SampleVerdict::kOutOfRange);
+  EXPECT_EQ(v.Validate(S(0, 0, 99.0, 1.0), 1.0), SampleVerdict::kAccept);
+  EXPECT_EQ(v.stats().rejected_out_of_range, 1u);
+}
+
+TEST(SampleValidatorTest, RejectsGarbageTimestampsAlways) {
+  SampleValidator v;  // max_future_seconds disabled by default
+  EXPECT_EQ(v.Validate(S(0, 0, 1.0, kNan), 0.0),
+            SampleVerdict::kBadTimestamp);
+  EXPECT_EQ(v.Validate(S(0, 0, 1.0, -5.0), 0.0),
+            SampleVerdict::kBadTimestamp);
+  EXPECT_EQ(v.Validate(S(0, 0, 1.0, kInf), 0.0),
+            SampleVerdict::kBadTimestamp);
+  EXPECT_EQ(v.stats().rejected_bad_timestamp, 3u);
+}
+
+TEST(SampleValidatorTest, FarFutureGateIsOptIn) {
+  // Disabled by default: simulations drive the clock from sample stamps.
+  SampleValidator lax;
+  EXPECT_EQ(lax.Validate(S(0, 0, 1.0, 1e6), 0.0), SampleVerdict::kAccept);
+
+  SampleValidatorConfig cfg;
+  cfg.max_future_seconds = 60.0;
+  SampleValidator strict(cfg);
+  EXPECT_EQ(strict.Validate(S(0, 0, 1.0, 1e6), 0.0),
+            SampleVerdict::kBadTimestamp);
+  EXPECT_EQ(strict.Validate(S(0, 0, 1.0, 30.0), 0.0),
+            SampleVerdict::kAccept);
+}
+
+TEST(SampleValidatorTest, RejectsDuplicateAndStaleDeliveries) {
+  SampleValidator v;
+  EXPECT_EQ(v.Validate(S(1, 2, 1.0, 10.0), 10.0), SampleVerdict::kAccept);
+  // Same (user, service) pair at the same stamp: re-delivery.
+  EXPECT_EQ(v.Validate(S(1, 2, 1.0, 10.0), 10.0), SampleVerdict::kDuplicate);
+  // Older stamp than the last accepted: stale retransmission.
+  EXPECT_EQ(v.Validate(S(1, 2, 1.0, 5.0), 10.0), SampleVerdict::kDuplicate);
+  // A different pair at the same stamp is fine.
+  EXPECT_EQ(v.Validate(S(1, 3, 1.0, 10.0), 10.0), SampleVerdict::kAccept);
+  // Fresh stamp for the original pair is fine.
+  EXPECT_EQ(v.Validate(S(1, 2, 1.0, 11.0), 11.0), SampleVerdict::kAccept);
+  EXPECT_EQ(v.stats().rejected_duplicate, 2u);
+}
+
+TEST(SampleValidatorTest, DuplicateGateCanBeDisabled) {
+  SampleValidatorConfig cfg;
+  cfg.reject_duplicates = false;
+  SampleValidator v(cfg);
+  EXPECT_EQ(v.Validate(S(1, 2, 1.0, 10.0), 10.0), SampleVerdict::kAccept);
+  EXPECT_EQ(v.Validate(S(1, 2, 1.0, 10.0), 10.0), SampleVerdict::kAccept);
+}
+
+TEST(SampleValidatorTest, QuarantinesOutliersAfterGateArms) {
+  SampleValidatorConfig cfg;
+  cfg.outlier_min_samples = 8;
+  cfg.outlier_mad_k = 6.0;
+  SampleValidator v(cfg);
+  // Build history on one service from several users (fresh stamps).
+  double t = 1.0;
+  for (int i = 0; i < 8; ++i) {
+    const double value = 1.0 + 0.05 * (i % 3);
+    EXPECT_EQ(v.Validate(S(static_cast<data::UserId>(i), 7, value, t), t),
+              SampleVerdict::kAccept);
+    t += 1.0;
+  }
+  EXPECT_TRUE(std::isfinite(v.ServiceMedian(7)));
+  // A wild spike is quarantined, not accepted.
+  EXPECT_EQ(v.Validate(S(0, 7, 500.0, t), t), SampleVerdict::kOutlier);
+  EXPECT_EQ(v.stats().quarantined_outlier, 1u);
+  ASSERT_EQ(v.quarantine().size(), 1u);
+  EXPECT_DOUBLE_EQ(v.quarantine().back().value, 500.0);
+  // An in-band value still gets through.
+  EXPECT_EQ(v.Validate(S(1, 7, 1.02, t + 1.0), t + 1.0),
+            SampleVerdict::kAccept);
+}
+
+TEST(SampleValidatorTest, OutlierGateWaitsForMinSamples) {
+  SampleValidatorConfig cfg;
+  cfg.outlier_min_samples = 8;
+  SampleValidator v(cfg);
+  // Only 3 accepted values: the gate is not armed, a spike passes.
+  for (int i = 0; i < 3; ++i) {
+    v.Validate(S(static_cast<data::UserId>(i), 0, 1.0, 1.0 + i), 1.0 + i);
+  }
+  EXPECT_EQ(v.Validate(S(9, 0, 500.0, 10.0), 10.0), SampleVerdict::kAccept);
+}
+
+TEST(SampleValidatorTest, QuarantineBufferIsBounded) {
+  SampleValidatorConfig cfg;
+  cfg.outlier_min_samples = 4;
+  cfg.quarantine_capacity = 3;
+  SampleValidator v(cfg);
+  double t = 1.0;
+  for (int i = 0; i < 4; ++i) {
+    v.Validate(S(static_cast<data::UserId>(i), 0, 1.0, t), t);
+    t += 1.0;
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(v.Validate(S(static_cast<data::UserId>(i), 0, 1000.0 + i, t), t),
+              SampleVerdict::kOutlier);
+    t += 1.0;
+  }
+  EXPECT_EQ(v.quarantine().size(), 3u);
+  // Oldest evicted: the newest outliers remain.
+  EXPECT_DOUBLE_EQ(v.quarantine().back().value, 1009.0);
+}
+
+TEST(SampleValidatorTest, ServiceStatsUnseenServiceIsNan) {
+  SampleValidator v;
+  EXPECT_TRUE(std::isnan(v.ServiceMedian(42)));
+  EXPECT_TRUE(std::isnan(v.ServiceMad(42)));
+}
+
+TEST(SampleValidatorTest, ResetDropsStateKeepsCounters) {
+  SampleValidator v;
+  v.Validate(S(1, 2, 1.0, 10.0), 10.0);
+  v.Validate(S(1, 2, 1.0, 10.0), 10.0);  // duplicate
+  ASSERT_EQ(v.stats().rejected_duplicate, 1u);
+  v.Reset();
+  // History gone: the same stamp is no longer a duplicate.
+  EXPECT_EQ(v.Validate(S(1, 2, 1.0, 10.0), 10.0), SampleVerdict::kAccept);
+  // Counters survived.
+  EXPECT_EQ(v.stats().rejected_duplicate, 1u);
+  EXPECT_EQ(v.stats().accepted, 2u);
+}
+
+TEST(SampleValidatorTest, VerdictNamesAreStable) {
+  EXPECT_STREQ(ToString(SampleVerdict::kAccept), "accept");
+  EXPECT_STREQ(ToString(SampleVerdict::kOutlier), "outlier");
+}
+
+TEST(PipelineStatsTest, AggregatesAndFormats) {
+  PipelineStats s;
+  s.accepted = 5;
+  s.rejected_nonfinite = 1;
+  s.rejected_duplicate = 2;
+  s.quarantined_outlier = 3;
+  EXPECT_EQ(s.rejected(), 3u);
+  EXPECT_EQ(s.seen(), 11u);
+  EXPECT_NE(s.ToString().find("accepted=5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace amf::core
