@@ -27,6 +27,7 @@ amf_add_bench(selection_quality)
 amf_add_bench(baselines_extended)
 amf_add_bench(supplementary_all_slices)
 amf_add_bench(coldstart_curve)
+amf_add_bench(train_throughput)
 
 # Micro benchmarks use google-benchmark.
 add_executable(micro_kernels ${AMF_BENCH_DIR}/micro_kernels.cpp)

@@ -1,12 +1,26 @@
 #include "adapt/concurrent_service.h"
 
-#include <mutex>
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
 
 namespace amf::adapt {
 
+namespace {
+
+PredictionServiceConfig WithGuardedTrainer(PredictionServiceConfig config) {
+  // Concurrent readers exist by construction in this facade, so every
+  // model write must publish through the seqlock protocol.
+  config.trainer.guarded_updates = true;
+  return config;
+}
+
+}  // namespace
+
 ConcurrentPredictionService::ConcurrentPredictionService(
-    const PredictionServiceConfig& config)
-    : service_(config) {}
+    const PredictionServiceConfig& config, std::size_t ring_capacity)
+    : ring_(ring_capacity), service_(WithGuardedTrainer(config)) {}
 
 data::UserId ConcurrentPredictionService::RegisterUser(
     const std::string& name) {
@@ -20,31 +34,113 @@ data::ServiceId ConcurrentPredictionService::RegisterService(
   return service_.RegisterService(name);
 }
 
-void ConcurrentPredictionService::ReportObservation(
+bool ConcurrentPredictionService::ReportObservation(
     const data::QoSSample& sample) {
-  std::unique_lock lock(mu_);
-  service_.ReportObservation(sample);
+  if (ring_.TryPush(sample)) {
+    observations_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+  dropped_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void ConcurrentPredictionService::DrainRing() {
+  staged_.clear();
+  data::QoSSample sample;
+  while (ring_.TryPop(sample)) staged_.push_back(sample);
+  if (staged_.empty()) return;
+
+  // Pre-registration: the guarded trainer path must never grow the model
+  // (reallocation under concurrent readers). Ensure up to the batch's max
+  // ids — registration is dense, so this covers every staged entity.
+  data::UserId max_u = 0;
+  data::ServiceId max_s = 0;
+  for (const data::QoSSample& s : staged_) {
+    max_u = std::max(max_u, s.user);
+    max_s = std::max(max_s, s.service);
+  }
+  bool grow;
+  {
+    std::shared_lock lock(mu_);
+    const core::AmfModel& m = service_.model();
+    grow = !m.HasUser(max_u) || !m.HasService(max_s);
+  }
+  if (grow) {
+    std::unique_lock lock(mu_);
+    service_.EnsureRegistered(max_u, max_s);
+  }
 }
 
 void ConcurrentPredictionService::Tick(double now_seconds) {
-  std::unique_lock lock(mu_);
+  std::lock_guard train(train_mu_);
+  DrainRing();
+  std::shared_lock lock(mu_);
+  for (const data::QoSSample& s : staged_) service_.ReportObservation(s);
+  staged_.clear();
   service_.Tick(now_seconds);
 }
 
 void ConcurrentPredictionService::TrainToConvergence(double now_seconds) {
-  std::unique_lock lock(mu_);
+  std::lock_guard train(train_mu_);
+  DrainRing();
+  std::shared_lock lock(mu_);
+  for (const data::QoSSample& s : staged_) service_.ReportObservation(s);
+  staged_.clear();
   service_.TrainToConvergence(now_seconds);
 }
 
 std::optional<double> ConcurrentPredictionService::PredictQoS(
     data::UserId u, data::ServiceId s) const {
   std::shared_lock lock(mu_);
-  return service_.PredictQoS(u, s);
+  const core::AmfModel& m = service_.model();
+  if (!m.HasUser(u) || !m.HasService(s)) return std::nullopt;
+  return m.PredictRawShared(u, s);
 }
 
-std::size_t ConcurrentPredictionService::observations() const {
+bool ConcurrentPredictionService::PredictQoSMany(
+    data::UserId u, std::span<const data::ServiceId> candidates,
+    std::span<double> values) const {
+  AMF_CHECK_MSG(values.size() == candidates.size(),
+                "candidates/values size mismatch");
+  std::fill(values.begin(), values.end(),
+            std::numeric_limits<double>::quiet_NaN());
   std::shared_lock lock(mu_);
-  return service_.observations();
+  const core::AmfModel& m = service_.model();
+  if (!m.HasUser(u)) return false;
+  std::vector<data::ServiceId> known;
+  std::vector<std::size_t> pos;
+  known.reserve(candidates.size());
+  pos.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (m.HasService(candidates[i])) {
+      known.push_back(candidates[i]);
+      pos.push_back(i);
+    }
+  }
+  if (known.empty()) return true;
+  std::vector<double> scores(known.size());
+  m.PredictManyRawShared(u, known, scores);
+  for (std::size_t j = 0; j < known.size(); ++j) values[pos[j]] = scores[j];
+  return true;
+}
+
+void ConcurrentPredictionService::EnableCheckpoints(
+    const core::CheckpointManagerConfig& config) {
+  std::lock_guard train(train_mu_);
+  std::unique_lock lock(mu_);
+  service_.EnableCheckpoints(config);
+}
+
+bool ConcurrentPredictionService::RestoreFromLatestCheckpoint() {
+  std::lock_guard train(train_mu_);
+  std::unique_lock lock(mu_);
+  return service_.RestoreFromLatestCheckpoint();
+}
+
+core::PipelineStats ConcurrentPredictionService::pipeline_stats() const {
+  // The counters live in trainer-thread state; briefly join that role.
+  std::lock_guard train(train_mu_);
+  return service_.pipeline_stats();
 }
 
 }  // namespace amf::adapt

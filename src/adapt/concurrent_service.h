@@ -2,46 +2,113 @@
 //
 // The Fig.-3 deployment serves many BPEL engines at once: observation
 // uploads and prediction queries arrive concurrently while a background
-// loop keeps training. This wrapper provides that concurrency contract
-// with a readers-writer lock: predictions (read-only on the model) run
-// concurrently; observation reports, ticks, and registration serialize as
-// writers. Per-sample updates are microseconds, so a single writer lock
-// is the right simplicity/throughput tradeoff at the paper's scale.
+// loop keeps training. Earlier revisions serialized everything behind one
+// readers-writer lock, which made a long TrainToConvergence block every
+// prediction and capped training throughput at one core. The current
+// contract keeps the three hot paths off that lock entirely:
+//
+//   - ReportObservation pushes into a bounded lock-free MPSC ring buffer
+//     (common/mpsc_ring.h): producers never block on the trainer, never
+//     allocate, and shed load explicitly (dropped_observations()) when
+//     the trainer falls behind.
+//   - PredictQoS / PredictQoSMany read latent rows through the model's
+//     per-row seqlocks (AmfModel::*Shared): they run concurrently with
+//     training — no mutual exclusion with Tick/TrainToConvergence at all,
+//     and writers are never delayed by readers.
+//   - Tick / TrainToConvergence drain the ring and train through the
+//     seqlock-publishing guarded update path, optionally sharded across
+//     a thread pool (TrainerConfig::replay_threads).
+//
+// The shared_mutex survives only for the registration/checkpoint paths:
+// registering an entity reallocates factor storage, which no seqlock can
+// protect, so Register*/EnsureRegistered/checkpoint-restore take it
+// exclusive while predictions and training hold it shared. Those paths
+// are rare (entity churn, restarts) — steady-state predictions only ever
+// take an uncontended shared lock, and observation ingest takes no lock.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
+#include <mutex>
 #include <optional>
 #include <shared_mutex>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "adapt/prediction_service.h"
+#include "common/mpsc_ring.h"
 
 namespace amf::adapt {
 
 class ConcurrentPredictionService {
  public:
+  /// `ring_capacity` bounds the observation ingest buffer (rounded up to a
+  /// power of two); pushes beyond it are dropped and counted. The trainer
+  /// is always switched to guarded (seqlock-publishing) updates,
+  /// whatever the passed config says, because concurrent readers exist by
+  /// construction here.
   explicit ConcurrentPredictionService(
-      const PredictionServiceConfig& config = {
-          core::MakeResponseTimeConfig(), core::TrainerConfig{}, 1});
+      const PredictionServiceConfig& config = {core::MakeResponseTimeConfig(),
+                                               core::TrainerConfig{}, 1},
+      std::size_t ring_capacity = 4096);
 
+  // --- Registration (exclusive lock; rare) ---------------------------------
   data::UserId RegisterUser(const std::string& name);
   data::ServiceId RegisterService(const std::string& name);
 
-  /// Thread-safe observation upload.
-  void ReportObservation(const data::QoSSample& sample);
+  // --- Hot paths (no writer lock) ------------------------------------------
+  /// Lock-free observation upload from any thread. Returns false (and
+  /// counts the drop) when the ring is full.
+  bool ReportObservation(const data::QoSSample& sample);
 
-  /// Thread-safe train step (call from a background loop).
-  void Tick(double now_seconds);
-
-  /// Thread-safe blocking train-to-convergence.
-  void TrainToConvergence(double now_seconds);
-
-  /// Concurrent with other predictions; serialized against writers.
+  /// Prediction concurrent with training and other predictions. Seqlock
+  /// row snapshots; only a shared (reader-side) lock against the rare
+  /// registration path.
   std::optional<double> PredictQoS(data::UserId u, data::ServiceId s) const;
 
-  std::size_t observations() const;
+  /// Batched variant: values[i] scores (u, candidates[i]); unknown ids get
+  /// NaN. Returns false (all NaN) if the user is unknown.
+  bool PredictQoSMany(data::UserId u,
+                      std::span<const data::ServiceId> candidates,
+                      std::span<double> values) const;
+
+  // --- Training (single background thread; serialized among themselves) ---
+  /// Drains the ring, pre-registers unseen entities (briefly exclusive if
+  /// growth is needed), then trains one bounded step. Safe to call while
+  /// predictions and uploads are in flight.
+  void Tick(double now_seconds);
+
+  /// Like Tick but replays to convergence. Predictions proceed throughout.
+  void TrainToConvergence(double now_seconds);
+
+  // --- Checkpoints (exclusive lock; rare) ----------------------------------
+  void EnableCheckpoints(const core::CheckpointManagerConfig& config);
+  bool RestoreFromLatestCheckpoint();
+
+  // --- Monitoring ----------------------------------------------------------
+  /// Observations accepted into the ring so far.
+  std::size_t observations() const {
+    return observations_.load(std::memory_order_relaxed);
+  }
+  /// Observations shed because the ring was full.
+  std::uint64_t dropped_observations() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  core::PipelineStats pipeline_stats() const;
 
  private:
-  mutable std::shared_mutex mu_;
+  /// Pops everything out of the ring into staged_, registering unseen
+  /// entities under the exclusive lock first. Caller holds train_mu_.
+  void DrainRing();
+
+  // Lock order: train_mu_ before mu_. Readers take only mu_ (shared).
+  mutable std::shared_mutex mu_;   // registration/checkpoint vs everything
+  mutable std::mutex train_mu_;    // serializes Tick/TrainToConvergence
+  common::MpscRingBuffer<data::QoSSample> ring_;
+  std::vector<data::QoSSample> staged_;  // drain scratch (trainer thread)
+  std::atomic<std::size_t> observations_{0};
+  std::atomic<std::uint64_t> dropped_{0};
   QoSPredictionService service_;
 };
 

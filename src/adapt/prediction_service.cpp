@@ -30,6 +30,12 @@ data::ServiceId QoSPredictionService::RegisterService(
   return id;
 }
 
+void QoSPredictionService::EnsureRegistered(data::UserId u,
+                                            data::ServiceId s) {
+  model_.EnsureUser(u);
+  model_.EnsureService(s);
+}
+
 bool QoSPredictionService::UnregisterUser(const std::string& name) {
   return users_.Leave(name);
 }

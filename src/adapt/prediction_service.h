@@ -54,6 +54,11 @@ class QoSPredictionService {
   // --- User / service managers -------------------------------------------
   data::UserId RegisterUser(const std::string& name);
   data::ServiceId RegisterService(const std::string& name);
+  /// Registers raw ids with the model (no registry entry): grows factor
+  /// storage up to and including each id. Used by the concurrent facade to
+  /// pre-register every entity of a drained batch under its registration
+  /// lock before samples reach the (growth-unsafe) guarded trainer path.
+  void EnsureRegistered(data::UserId u, data::ServiceId s);
   bool UnregisterUser(const std::string& name);
   bool UnregisterService(const std::string& name);
   const UserRegistry& users() const { return users_; }

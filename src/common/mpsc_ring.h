@@ -1,0 +1,116 @@
+// Bounded lock-free MPSC ring buffer (Vyukov's array queue, restricted to
+// one consumer).
+//
+// Observation ingest is the one path that must never block: BPEL engines
+// report samples from arbitrary threads while the trainer drains them at
+// its own pace. Producers claim a slot with one CAS on the head counter
+// and publish it by bumping the slot's sequence number; the consumer pops
+// by sequence without touching the producers' cache line. A full ring
+// rejects the push (TryPush returns false) — backpressure is explicit and
+// the caller counts the drop — rather than blocking or growing without
+// bound.
+//
+// Memory orders: a producer's release store of `seq = pos + 1` publishes
+// the constructed value to the consumer's acquire load; the consumer's
+// release store of `seq = pos + capacity` hands the recycled slot to the
+// (pos + capacity)'th producer. Head/tail counters only carry slot
+// ownership, so their RMW/stores are relaxed.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "common/check.h"
+
+namespace amf::common {
+
+template <typename T>
+class MpscRingBuffer {
+ public:
+  /// Capacity is rounded up to the next power of two (minimum 2).
+  explicit MpscRingBuffer(std::size_t min_capacity = 1024)
+      : capacity_(RoundUpPow2(min_capacity)),
+        mask_(capacity_ - 1),
+        cells_(std::make_unique<Cell[]>(capacity_)) {
+    for (std::size_t i = 0; i < capacity_; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscRingBuffer(const MpscRingBuffer&) = delete;
+  MpscRingBuffer& operator=(const MpscRingBuffer&) = delete;
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Lock-free multi-producer push. Returns false when the ring is full.
+  bool TryPush(const T& value) {
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+      const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
+                                static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          cell.value = value;
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS failure reloaded `pos`; retry with the newer slot.
+      } else if (dif < 0) {
+        return false;  // slot still holds an unconsumed value: full
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Single-consumer pop. Returns false when the ring is empty. Must only
+  /// be called from one thread at a time.
+  bool TryPop(T& out) {
+    const std::size_t pos = tail_.load(std::memory_order_relaxed);
+    Cell& cell = cells_[pos & mask_];
+    const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+    if (static_cast<std::intptr_t>(seq) -
+            static_cast<std::intptr_t>(pos + 1) < 0) {
+      return false;  // producer has not published this slot yet
+    }
+    out = std::move(cell.value);
+    cell.seq.store(pos + capacity_, std::memory_order_release);
+    tail_.store(pos + 1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Racy size estimate (monitoring only).
+  std::size_t SizeApprox() const {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    return head >= tail ? head - tail : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  static std::size_t RoundUpPow2(std::size_t n) {
+    AMF_CHECK_MSG(n <= (std::size_t{1} << 31), "ring capacity too large");
+    std::size_t p = 2;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::unique_ptr<Cell[]> cells_;
+  // Producers and the consumer hammer different counters; keep them on
+  // separate cache lines.
+  alignas(64) std::atomic<std::size_t> head_{0};
+  alignas(64) std::atomic<std::size_t> tail_{0};
+};
+
+}  // namespace amf::common

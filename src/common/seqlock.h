@@ -1,0 +1,115 @@
+// Seqlock protocol for versioned rows, TSan-clean via std::atomic_ref.
+//
+// A writer brackets each row mutation with BeginWrite/EndWrite on the
+// row's 32-bit version word (odd = write in flight) and stores the row
+// elements through relaxed atomic_ref stores. A reader loads the version
+// (acquire), copies the row through relaxed atomic loads, issues an
+// acquire fence, and re-reads the version: an unchanged even value proves
+// the copy is a consistent snapshot. This is Boehm's recommended seqlock
+// formulation ("Can seqlocks get along with programming language memory
+// models?"): because the data accesses themselves are (relaxed) atomics,
+// a torn read attempt is well-defined — the retry loop discards it — and
+// ThreadSanitizer sees no race.
+//
+// Memory-order argument:
+//   - BeginWrite's release fence orders the odd version store before any
+//     subsequent data store becomes visible; a reader that observes new
+//     data but an old even version would contradict it.
+//   - EndWrite's release store orders all data stores before the closing
+//     even version; a reader whose second version load (after the acquire
+//     fence that orders its data loads) equals the first even value
+//     therefore saw every store of at most one complete write.
+//   - Readers never write, so any number of them proceed in parallel with
+//     one writer per row; writers are wait-free (two increments), readers
+//     lock-free (they retry only while a writer is mid-row).
+//
+// atomic_ref requires the referenced object to outlive all references and
+// to be naturally aligned; std::uint32_t and double in vectors satisfy
+// both on every platform this library targets.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+
+namespace amf::common {
+
+using SeqlockVersion = std::uint32_t;
+
+/// Marks the row as being written (version becomes odd). The caller must
+/// hold writer-side mutual exclusion for the row; the seqlock orders a
+/// single writer against readers, not writers against each other.
+inline void SeqlockBeginWrite(SeqlockVersion& version) {
+  std::atomic_ref<SeqlockVersion> v(version);
+  v.store(v.load(std::memory_order_relaxed) + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+}
+
+/// Publishes the write (version becomes even again).
+inline void SeqlockEndWrite(SeqlockVersion& version) {
+  std::atomic_ref<SeqlockVersion> v(version);
+  v.store(v.load(std::memory_order_relaxed) + 1, std::memory_order_release);
+}
+
+/// Relaxed atomic store of one row element inside a write section.
+inline void SeqlockStore(double& slot, double value) {
+  std::atomic_ref<double>(slot).store(value, std::memory_order_relaxed);
+}
+
+/// Relaxed atomic load usable outside any version bracket (64-bit loads
+/// never tear); for row snapshots prefer SeqlockReadRow.
+inline double RelaxedLoad(const double& slot) {
+  // atomic_ref wants a mutable lvalue; the const_cast is sound because
+  // loads never modify the object.
+  return std::atomic_ref<double>(const_cast<double&>(slot))
+      .load(std::memory_order_relaxed);
+}
+
+inline void RelaxedStore(double& slot, double value) {
+  std::atomic_ref<double>(slot).store(value, std::memory_order_relaxed);
+}
+
+/// One read attempt: calls `read_fn()` (relaxed atomic loads only) between
+/// the two version loads. Returns true if the snapshot is consistent.
+template <typename ReadFn>
+inline bool SeqlockTryRead(const SeqlockVersion& version, ReadFn&& read_fn) {
+  std::atomic_ref<SeqlockVersion> v(const_cast<SeqlockVersion&>(version));
+  const SeqlockVersion v1 = v.load(std::memory_order_acquire);
+  if (v1 & 1u) return false;  // writer mid-row
+  read_fn();
+  std::atomic_thread_fence(std::memory_order_acquire);
+  return v.load(std::memory_order_relaxed) == v1;
+}
+
+/// Retries `read_fn` until it lands between writes. The wait is bounded by
+/// the writer's two-increment critical section; a pause keeps the version
+/// cache line shared while spinning.
+template <typename ReadFn>
+inline void SeqlockRead(const SeqlockVersion& version, ReadFn&& read_fn) {
+  while (!SeqlockTryRead(version, read_fn)) {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+  }
+}
+
+/// Consistent snapshot of `row` into `dst` (sizes must match).
+inline void SeqlockReadRow(const SeqlockVersion& version,
+                           std::span<const double> row,
+                           std::span<double> dst) {
+  SeqlockRead(version, [&] {
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      dst[k] = RelaxedLoad(row[k]);
+    }
+  });
+}
+
+/// Publishes `src` into `row` under one write bracket.
+inline void SeqlockWriteRow(SeqlockVersion& version, std::span<double> row,
+                            std::span<const double> src) {
+  SeqlockBeginWrite(version);
+  for (std::size_t k = 0; k < row.size(); ++k) SeqlockStore(row[k], src[k]);
+  SeqlockEndWrite(version);
+}
+
+}  // namespace amf::common

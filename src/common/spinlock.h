@@ -1,0 +1,63 @@
+// Test-and-test-and-set spinlock and a striped set of them.
+//
+// The sharded replay scheduler serializes same-service factor updates
+// across user shards with one lock per service stripe. Critical sections
+// are tens of nanoseconds (a rank-10 row write), far below the cost of
+// parking a thread, so a spinlock beats std::mutex here; the TTAS load
+// loop keeps the cache line shared while waiting instead of bouncing it
+// with failed RMWs.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+namespace amf::common {
+
+class Spinlock {
+ public:
+  Spinlock() = default;
+  Spinlock(const Spinlock&) = delete;
+  Spinlock& operator=(const Spinlock&) = delete;
+
+  void lock() {
+    for (;;) {
+      if (!flag_.exchange(true, std::memory_order_acquire)) return;
+      while (flag_.load(std::memory_order_relaxed)) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+  }
+
+  bool try_lock() {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Fixed set of spinlocks indexed by hash stripe. Entities map to stripes
+/// by id modulo the stripe count; distinct entities may share a stripe
+/// (coarser exclusion is always safe).
+class StripedSpinlocks {
+ public:
+  explicit StripedSpinlocks(std::size_t stripes)
+      : locks_(stripes == 0 ? 1 : stripes) {}
+
+  std::size_t stripes() const { return locks_.size(); }
+
+  Spinlock& ForIndex(std::size_t id) { return locks_[id % locks_.size()]; }
+
+ private:
+  // Spinlock is neither copyable nor movable; vector is constructed once
+  // at full size and never resized.
+  std::vector<Spinlock> locks_;
+};
+
+}  // namespace amf::common

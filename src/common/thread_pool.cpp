@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <memory>
 
 #include "common/check.h"
 
@@ -43,37 +44,91 @@ void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
                              const std::function<void(std::size_t)>& fn) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
-  // ~4 chunks per worker balances load without excessive task overhead.
-  const std::size_t chunks =
-      std::min(n, std::max<std::size_t>(1, workers_.size() * 4));
-  const std::size_t chunk_size = (n + chunks - 1) / chunks;
 
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mu;
+  // Chunked atomic work handout: the iteration cursor is one shared
+  // counter and every participant claims `grain` consecutive indices per
+  // fetch_add. Compared with pre-cut chunks queued through the task mutex,
+  // this costs one uncontended RMW per grain, load-balances skewed
+  // iterations for free, and lets the calling thread work the loop
+  // instead of sleeping on futures. ~8 grains per participant keeps the
+  // RMW rate negligible while still smoothing imbalance.
+  const std::size_t participants = workers_.size() + 1;
+  const std::size_t grain =
+      std::max<std::size_t>(1, n / (participants * 8));
 
-  std::vector<std::future<void>> futures;
-  futures.reserve(chunks);
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t lo = begin + c * chunk_size;
-    const std::size_t hi = std::min(end, lo + chunk_size);
-    if (lo >= hi) break;
-    futures.push_back(Submit([&, lo, hi] {
+  // The control block is shared with the helper tasks so ParallelFor can
+  // return without waiting for helpers that never got scheduled (e.g. all
+  // workers busy with unrelated long tasks): such stragglers find the
+  // cursor exhausted, touch nothing but the block, and retire as no-ops.
+  struct LoopState {
+    std::atomic<std::size_t> next;
+    std::size_t end = 0;
+    std::size_t grain = 1;
+    const std::function<void(std::size_t)>* fn = nullptr;  // caller-owned;
+    // only dereferenced for a successfully claimed chunk, and every chunk
+    // is claimed-and-finished before ParallelFor returns (in_flight).
+    std::atomic<std::size_t> in_flight{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+  };
+  auto state = std::make_shared<LoopState>();
+  state->next.store(begin, std::memory_order_relaxed);
+  state->end = end;
+  state->grain = grain;
+  state->fn = &fn;
+
+  auto drain = [](LoopState& st) {
+    // Participants exit ONLY via cursor exhaustion — a failure merely
+    // stops fn from being executed. That way every drain() call (the
+    // caller's in particular) leaves the cursor >= end, so a straggler
+    // helper scheduled after ParallelFor returned can never claim a chunk
+    // and never dereferences the caller-owned fn.
+    for (;;) {
+      // Claim is bracketed by in_flight so the caller's completion wait
+      // (own drain returned AND in_flight == 0) cannot miss a chunk that
+      // was claimed but not yet counted.
+      st.in_flight.fetch_add(1, std::memory_order_acq_rel);
+      const std::size_t lo =
+          st.next.fetch_add(st.grain, std::memory_order_relaxed);
+      if (lo >= st.end) {
+        st.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+        return;
+      }
+      const std::size_t hi = std::min(st.end, lo + st.grain);
       for (std::size_t i = lo; i < hi; ++i) {
-        if (failed.load(std::memory_order_relaxed)) return;
+        if (st.failed.load(std::memory_order_relaxed)) break;
         try {
-          fn(i);
+          (*st.fn)(i);
         } catch (...) {
-          std::lock_guard<std::mutex> lock(error_mu);
-          if (!first_error) first_error = std::current_exception();
-          failed.store(true, std::memory_order_relaxed);
-          return;
+          {
+            std::lock_guard<std::mutex> lock(st.error_mu);
+            if (!st.first_error) st.first_error = std::current_exception();
+          }
+          st.failed.store(true, std::memory_order_relaxed);
+          break;
         }
       }
-    }));
+      st.in_flight.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  };
+
+  // One helper task per worker that could possibly get a grain; helpers
+  // that arrive after the cursor is exhausted return immediately.
+  const std::size_t helpers =
+      std::min(workers_.size(), (n + grain - 1) / grain);
+  for (std::size_t h = 0; h < helpers; ++h) {
+    Submit([state, drain] { drain(*state); });
   }
-  for (auto& f : futures) f.wait();
-  if (first_error) std::rethrow_exception(first_error);
+  drain(*state);  // the caller participates; returns with cursor >= end
+  // Every index is now either finished or abandoned-by-failure except for
+  // chunks other participants still hold. Chunks are short by
+  // construction, so spin-yield suffices. Crucially this does NOT wait
+  // for queued-but-unstarted helpers — a wedged pool cannot deadlock us.
+  while (state->in_flight.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  if (state->first_error) std::rethrow_exception(state->first_error);
 }
 
 ThreadPool& ThreadPool::Global() {

@@ -31,9 +31,11 @@ class ThreadPool {
   /// Enqueues a task; the returned future reports completion/exceptions.
   std::future<void> Submit(std::function<void()> task);
 
-  /// Runs fn(i) for i in [begin, end) across the pool, blocking until all
-  /// iterations complete. Work is chunked to limit scheduling overhead.
-  /// Exceptions from iterations are rethrown (the first one encountered).
+  /// Runs fn(i) for i in [begin, end) across the pool (the calling thread
+  /// participates), blocking until all iterations complete. Work is handed
+  /// out in chunks claimed from a shared atomic cursor, so fine-grained
+  /// iteration mixes load-balance without queue contention. Exceptions
+  /// from iterations are rethrown (the first one encountered).
   void ParallelFor(std::size_t begin, std::size_t end,
                    const std::function<void(std::size_t)>& fn);
 

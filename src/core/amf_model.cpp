@@ -40,6 +40,8 @@ AmfModel::AmfModel(const AmfModel& other)
       service_factors_(other.service_factors_),
       user_error_(other.user_error_),
       service_error_(other.service_error_),
+      user_version_(other.user_version_),
+      service_version_(other.service_version_),
       updates_(other.updates()),
       nan_reinit_users_(other.nan_reinit_users()),
       nan_reinit_services_(other.nan_reinit_services()) {}
@@ -53,6 +55,8 @@ AmfModel& AmfModel::operator=(const AmfModel& other) {
   service_factors_ = other.service_factors_;
   user_error_ = other.user_error_;
   service_error_ = other.service_error_;
+  user_version_ = other.user_version_;
+  service_version_ = other.service_version_;
   updates_.store(other.updates(), std::memory_order_relaxed);
   nan_reinit_users_.store(other.nan_reinit_users(),
                           std::memory_order_relaxed);
@@ -69,6 +73,8 @@ AmfModel::AmfModel(AmfModel&& other) noexcept
       service_factors_(std::move(other.service_factors_)),
       user_error_(std::move(other.user_error_)),
       service_error_(std::move(other.service_error_)),
+      user_version_(std::move(other.user_version_)),
+      service_version_(std::move(other.service_version_)),
       updates_(other.updates()),
       nan_reinit_users_(other.nan_reinit_users()),
       nan_reinit_services_(other.nan_reinit_services()) {}
@@ -82,6 +88,8 @@ AmfModel& AmfModel::operator=(AmfModel&& other) noexcept {
   service_factors_ = std::move(other.service_factors_);
   user_error_ = std::move(other.user_error_);
   service_error_ = std::move(other.service_error_);
+  user_version_ = std::move(other.user_version_);
+  service_version_ = std::move(other.service_version_);
   updates_.store(other.updates(), std::memory_order_relaxed);
   nan_reinit_users_.store(other.nan_reinit_users(),
                           std::memory_order_relaxed);
@@ -91,16 +99,20 @@ AmfModel& AmfModel::operator=(AmfModel&& other) noexcept {
 }
 
 void AmfModel::Grow(std::vector<double>& factors,
-                    std::vector<double>& errors, std::size_t need) {
+                    std::vector<double>& errors,
+                    std::vector<common::SeqlockVersion>& versions,
+                    std::size_t need) {
   const std::size_t d = config_.rank;
   if (errors.capacity() < need) {
     const std::size_t cap = std::max(need, 2 * errors.capacity());
     errors.reserve(cap);
     factors.reserve(cap * d);
+    versions.reserve(cap);
   }
   const std::size_t old = errors.size();
   errors.resize(need, config_.initial_error);
   factors.resize(need * d);
+  versions.resize(need, 0);
   // Same rng_ draw order as per-entity registration: rank draws each.
   for (std::size_t i = old * d; i < need * d; ++i) {
     factors[i] = rng_.Uniform() * config_.init_scale;
@@ -109,13 +121,15 @@ void AmfModel::Grow(std::vector<double>& factors,
 
 void AmfModel::EnsureUser(data::UserId u) {
   const std::size_t need = static_cast<std::size_t>(u) + 1;
-  if (user_error_.size() < need) Grow(user_factors_, user_error_, need);
+  if (user_error_.size() < need) {
+    Grow(user_factors_, user_error_, user_version_, need);
+  }
 }
 
 void AmfModel::EnsureService(data::ServiceId s) {
   const std::size_t need = static_cast<std::size_t>(s) + 1;
   if (service_error_.size() < need) {
-    Grow(service_factors_, service_error_, need);
+    Grow(service_factors_, service_error_, service_version_, need);
   }
 }
 
@@ -129,16 +143,21 @@ bool AmfModel::RepairNonFinite(std::span<double> v, double& error,
     }
   }
   if (!poisoned) return false;
+  FillDeterministicRow(entity_id, v);
+  error = config_.initial_error;
+  return true;
+}
+
+void AmfModel::FillDeterministicRow(std::uint64_t entity_id,
+                                    std::span<double> out) const {
   // Deterministic refill without touching the shared rng_ (concurrent
   // striped-lock updates may repair different entities at once).
   std::uint64_t state =
       common::DeriveSeed(config_.seed ^ 0x9e3779b97f4a7c15ULL, entity_id);
-  for (double& x : v) {
+  for (double& x : out) {
     const std::uint64_t bits = common::SplitMix64(state);
     x = static_cast<double>(bits >> 11) * 0x1.0p-53 * config_.init_scale;
   }
-  error = config_.initial_error;
-  return true;
 }
 
 double AmfModel::OnlineUpdate(data::UserId u, data::ServiceId s,
@@ -213,6 +232,179 @@ double AmfModel::OnlineUpdate(data::UserId u, data::ServiceId s,
   linalg::SgdPairStep(ui, sj, common_coef, cu, cs, config_.lambda_user,
                       config_.lambda_service);
   return e_us;
+}
+
+double AmfModel::OnlineUpdateGuarded(data::UserId u, data::ServiceId s,
+                                     double raw_value) {
+  // Same guards and math as OnlineUpdate; only the publication differs.
+  if (!std::isfinite(raw_value)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  // Growth would reallocate storage under concurrent readers; entities
+  // must be registered up front (the concurrent service pre-registers
+  // under its exclusive lock before any sample reaches the trainer).
+  AMF_DCHECK(HasUser(u) && HasService(s));
+
+  const std::size_t d = config_.rank;
+  const std::span<double> ui(&user_factors_[u * d], d);
+  const std::span<double> sj(&service_factors_[s * d], d);
+
+  // Thread-local so concurrent shard workers never share scratch; the
+  // resize is a no-op after the first call per thread.
+  thread_local std::vector<double> new_u, new_s;
+  new_u.resize(d);
+  new_s.resize(d);
+
+  // NaN-poisoning repair, published through the seqlock (the serial
+  // in-place repair would hand readers a torn row).
+  const auto repair_guarded =
+      [&](std::span<double> row, double& err, common::SeqlockVersion& ver,
+          std::uint64_t id, std::vector<double>& scratch,
+          std::atomic<std::uint64_t>& counter) {
+        bool poisoned = false;
+        for (const double x : row) {
+          if (!std::isfinite(x)) {
+            poisoned = true;
+            break;
+          }
+        }
+        if (!poisoned) return;
+        FillDeterministicRow(id, scratch);
+        common::SeqlockBeginWrite(ver);
+        for (std::size_t k = 0; k < d; ++k) {
+          common::SeqlockStore(row[k], scratch[k]);
+        }
+        common::RelaxedStore(err, config_.initial_error);
+        common::SeqlockEndWrite(ver);
+        counter.fetch_add(1, std::memory_order_relaxed);
+      };
+  repair_guarded(ui, user_error_[u], user_version_[u], u, new_u,
+                 nan_reinit_users_);
+  repair_guarded(sj, service_error_[s], service_version_[s], s, new_s,
+                 nan_reinit_services_);
+
+  const double r = transform_.Forward(raw_value);
+  if (!std::isfinite(r) ||
+      (config_.loss_epsilon > 0.0 && std::abs(r) < config_.loss_epsilon)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  updates_.fetch_add(1, std::memory_order_relaxed);
+
+  // Plain reads are sound here: the caller holds writer exclusion for both
+  // rows, and concurrent readers only load.
+  const double x = linalg::Dot(ui, sj);
+  const double g = transform::Sigmoid(x);
+  const double gp = g * (1.0 - g);
+  const double e_us = std::abs(r - g) / r;
+
+  double wu = 0.5;
+  double ws = 0.5;
+  const double eu = user_error_[u];
+  const double es = service_error_[s];
+  if (config_.adaptive_weights) {
+    const double sum = eu + es;
+    if (sum > 0.0) {
+      wu = eu / sum;
+      ws = es / sum;
+    }
+  }
+  const double new_eu = eu + config_.beta * wu * (e_us - eu);
+  const double new_es = es + config_.beta * ws * (e_us - es);
+
+  double common_coef = (g - r) * gp / (r * r);
+  if (config_.gradient_clip > 0.0) {
+    common_coef = std::clamp(common_coef, -config_.gradient_clip,
+                             config_.gradient_clip);
+  }
+  const double cu = config_.learn_rate * wu;
+  const double cs = config_.learn_rate * ws;
+  for (std::size_t k = 0; k < d; ++k) {
+    const double uk = ui[k];
+    const double sk = sj[k];
+    new_u[k] = uk - cu * (common_coef * sk + config_.lambda_user * uk);
+    new_s[k] = sk - cs * (common_coef * uk + config_.lambda_service * sk);
+  }
+
+  common::SeqlockBeginWrite(user_version_[u]);
+  for (std::size_t k = 0; k < d; ++k) common::SeqlockStore(ui[k], new_u[k]);
+  common::RelaxedStore(user_error_[u], new_eu);
+  common::SeqlockEndWrite(user_version_[u]);
+
+  common::SeqlockBeginWrite(service_version_[s]);
+  for (std::size_t k = 0; k < d; ++k) common::SeqlockStore(sj[k], new_s[k]);
+  common::RelaxedStore(service_error_[s], new_es);
+  common::SeqlockEndWrite(service_version_[s]);
+
+  return e_us;
+}
+
+double AmfModel::SharedDotWithService(std::span<const double> urow,
+                                      data::ServiceId s) const {
+  const std::size_t d = config_.rank;
+  const double* row = &service_factors_[s * d];
+  double acc = 0.0;
+  common::SeqlockRead(service_version_[s], [&] {
+    double a = 0.0;
+    for (std::size_t k = 0; k < d; ++k) {
+      a += urow[k] * common::RelaxedLoad(row[k]);
+    }
+    acc = a;
+  });
+  return acc;
+}
+
+double AmfModel::PredictNormalizedShared(data::UserId u,
+                                         data::ServiceId s) const {
+  AMF_CHECK_MSG(HasUser(u) && HasService(s),
+                "shared prediction for unregistered entity (" << u << ","
+                                                              << s << ")");
+  const std::size_t d = config_.rank;
+  thread_local std::vector<double> urow;
+  urow.resize(d);
+  common::SeqlockReadRow(
+      user_version_[u],
+      std::span<const double>(&user_factors_[u * d], d), urow);
+  return transform::Sigmoid(SharedDotWithService(urow, s));
+}
+
+double AmfModel::PredictRawShared(data::UserId u, data::ServiceId s) const {
+  return transform_.Inverse(PredictNormalizedShared(u, s));
+}
+
+void AmfModel::PredictManyRawShared(data::UserId u,
+                                    std::span<const data::ServiceId> services,
+                                    std::span<double> out) const {
+  AMF_CHECK_MSG(services.size() == out.size(),
+                "services/out size mismatch");
+  AMF_CHECK_MSG(HasUser(u), "shared prediction for unregistered user " << u);
+  const std::size_t d = config_.rank;
+  thread_local std::vector<double> urow;
+  urow.resize(d);
+  common::SeqlockReadRow(
+      user_version_[u],
+      std::span<const double>(&user_factors_[u * d], d), urow);
+  for (std::size_t i = 0; i < services.size(); ++i) {
+    AMF_CHECK_MSG(HasService(services[i]),
+                  "shared prediction for unregistered service "
+                      << services[i]);
+    out[i] = transform_.Inverse(
+        transform::Sigmoid(SharedDotWithService(urow, services[i])));
+  }
+}
+
+double AmfModel::UserErrorShared(data::UserId u) const {
+  AMF_CHECK(HasUser(u));
+  return common::RelaxedLoad(user_error_[u]);
+}
+
+double AmfModel::ServiceErrorShared(data::ServiceId s) const {
+  AMF_CHECK(HasService(s));
+  return common::RelaxedLoad(service_error_[s]);
+}
+
+double AmfModel::PredictionUncertaintyShared(data::UserId u,
+                                             data::ServiceId s) const {
+  return 0.5 * (UserErrorShared(u) + ServiceErrorShared(s));
 }
 
 double AmfModel::PredictRaw(data::UserId u, data::ServiceId s) const {

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/seqlock.h"
 #include "core/amf_config.h"
 #include "data/qos_types.h"
 
@@ -120,6 +121,50 @@ class AmfModel {
   void PredictMatrixRaw(linalg::Matrix* out,
                         common::ThreadPool* pool = nullptr) const;
 
+  // --- Concurrent access ---------------------------------------------------
+  // Every latent row carries a seqlock version word (common/seqlock.h).
+  // The *Guarded writer publishes row mutations through the seqlock, and
+  // the *Shared readers snapshot rows through its retry loop, so training
+  // and prediction may run concurrently with no lock between them.
+  //
+  // Division of responsibility: the seqlock orders ONE writer per row
+  // against any number of readers. Writer-vs-writer exclusion is the
+  // caller's job (OnlineTrainer shards users so each row has one owning
+  // worker, and stripes services with spinlocks). Registration (Ensure*)
+  // reallocates factor storage and must still exclude both readers and
+  // writers — ConcurrentPredictionService keeps a registration lock for
+  // exactly that path.
+
+  /// OnlineUpdate that publishes its row writes via the per-row seqlock
+  /// (same math, same return value; row stores go through relaxed
+  /// atomic_ref inside a version bracket instead of the SIMD pair-step).
+  /// Both entities MUST already be registered (AMF_DCHECK; growth here
+  /// would race readers), and the caller must hold per-user and
+  /// per-service writer exclusion.
+  double OnlineUpdateGuarded(data::UserId u, data::ServiceId s,
+                             double raw_value);
+
+  /// Prediction readout that is safe concurrently with OnlineUpdateGuarded
+  /// writers: each latent row is snapshotted through its seqlock. The two
+  /// rows are individually consistent; the pair may straddle at most the
+  /// writer's in-flight update (statistically irrelevant for QoS scores).
+  /// Entities must be registered and must not be concurrently Ensure*d.
+  double PredictRawShared(data::UserId u, data::ServiceId s) const;
+  double PredictNormalizedShared(data::UserId u, data::ServiceId s) const;
+
+  /// Gather variant of the shared readout: out[i] scores (u, services[i])
+  /// raw. The user row is snapshotted once, each service row through its
+  /// own seqlock. Sizes must match; every id must be registered.
+  void PredictManyRawShared(data::UserId u,
+                            std::span<const data::ServiceId> services,
+                            std::span<double> out) const;
+
+  /// Entity-error reads safe against concurrent guarded writers (relaxed
+  /// atomic loads; 64-bit loads never tear).
+  double UserErrorShared(data::UserId u) const;
+  double ServiceErrorShared(data::ServiceId s) const;
+  double PredictionUncertaintyShared(data::UserId u, data::ServiceId s) const;
+
   /// Running average error of one entity (Eq. 13/14 state).
   double UserError(data::UserId u) const;
   double ServiceError(data::ServiceId s) const;
@@ -158,7 +203,7 @@ class AmfModel {
   /// then one resize + randomized factor fill (keeps storage contiguous
   /// and growth amortized O(1) per entity).
   void Grow(std::vector<double>& factors, std::vector<double>& errors,
-            std::size_t need);
+            std::vector<common::SeqlockVersion>& versions, std::size_t need);
 
   void PredictMatrixImpl(linalg::Matrix* out, common::ThreadPool* pool,
                          bool raw) const;
@@ -169,6 +214,15 @@ class AmfModel {
   bool RepairNonFinite(std::span<double> v, double& error,
                        std::uint64_t entity_id);
 
+  /// The deterministic replacement row RepairNonFinite writes.
+  void FillDeterministicRow(std::uint64_t entity_id,
+                            std::span<double> out) const;
+
+  /// Dot of a snapshotted user row with service s's live row, computed
+  /// inside s's seqlock read bracket.
+  double SharedDotWithService(std::span<const double> urow,
+                              data::ServiceId s) const;
+
   AmfConfig config_;
   transform::QoSTransform transform_;
   common::Rng rng_;
@@ -177,6 +231,11 @@ class AmfModel {
   std::vector<double> service_factors_;
   std::vector<double> user_error_;
   std::vector<double> service_error_;
+  // Per-row seqlock version words (even = stable, odd = write in flight).
+  // Only the *Guarded / *Shared paths touch them; serial paths leave them
+  // even and pay nothing.
+  std::vector<common::SeqlockVersion> user_version_;
+  std::vector<common::SeqlockVersion> service_version_;
   // Atomic so concurrent striped-lock updates may share the counter.
   std::atomic<std::uint64_t> updates_{0};
   std::atomic<std::uint64_t> nan_reinit_users_{0};

@@ -1,8 +1,12 @@
 #include "core/online_trainer.h"
 
+#include <algorithm>
 #include <cmath>
+#include <mutex>
+#include <utility>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace amf::core {
 
@@ -16,7 +20,18 @@ OnlineTrainer::OnlineTrainer(AmfModel& model, const TrainerConfig& config)
   AMF_CHECK_MSG(config_.max_epochs > 0, "max_epochs must be positive");
 }
 
+OnlineTrainer::~OnlineTrainer() = default;
+
 void OnlineTrainer::Observe(const data::QoSSample& sample) {
+  if (config_.max_incoming > 0 &&
+      incoming_.size() >= config_.max_incoming) {
+    // Backpressure: a trainer that cannot keep up sheds the newest sample
+    // (the store already holds the freshest value per pair, so dropping
+    // bursts degrades recency, not correctness) instead of letting the
+    // queue grow without bound.
+    ++dropped_on_overflow_;
+    return;
+  }
   incoming_.push_back(sample);
 }
 
@@ -38,8 +53,7 @@ std::size_t OnlineTrainer::ProcessIncoming() {
     // Algorithm 1 lines 4-9: I_ij <- 1, register new entities (done inside
     // OnlineUpdate), refresh (t_ij, R_ij), update online.
     store_.Upsert(sample);
-    const double e =
-        model_.OnlineUpdate(sample.user, sample.service, sample.value);
+    const double e = ApplyUpdate(sample);
     if (std::isnan(e)) {
       // The model refused the sample (degenerate transform); don't keep it
       // around for replay to refuse again.
@@ -63,8 +77,7 @@ std::optional<double> OnlineTrainer::ReplayOne() {
     store_.Remove(sample.user, sample.service);
     return std::nullopt;
   }
-  const double e =
-      model_.OnlineUpdate(sample.user, sample.service, sample.value);
+  const double e = ApplyUpdate(sample);
   if (std::isnan(e)) {
     // Hard model-side guard tripped; drop the sample so the epoch loop
     // cannot spin on it.
@@ -76,6 +89,7 @@ std::optional<double> OnlineTrainer::ReplayOne() {
 }
 
 std::optional<double> OnlineTrainer::ReplayEpoch() {
+  if (config_.replay_threads > 1) return ReplayEpochParallel();
   const std::size_t iters = store_.size();
   if (iters == 0) return std::nullopt;
   double err_sum = 0.0;
@@ -89,6 +103,102 @@ std::optional<double> OnlineTrainer::ReplayEpoch() {
   }
   if (applied == 0) return std::nullopt;
   return err_sum / static_cast<double>(applied);
+}
+
+std::optional<double> OnlineTrainer::ReplayEpochParallel() {
+  const std::vector<data::QoSSample>& samples = store_.samples();
+  if (samples.empty()) return std::nullopt;
+
+  const std::size_t shards = config_.replay_shards > 0
+                                 ? config_.replay_shards
+                                 : config_.replay_threads * 4;
+  if (!pool_) {
+    pool_ = std::make_unique<common::ThreadPool>(config_.replay_threads);
+  }
+  if (!service_locks_) {
+    service_locks_ =
+        std::make_unique<common::StripedSpinlocks>(config_.service_stripes);
+  }
+  // Persistent per-shard RNGs: shard k's replay order is a fixed function
+  // of (seed, k, epoch index), so a given shard count replays identically
+  // no matter how the OS schedules the worker threads.
+  while (shard_rngs_.size() < shards) {
+    shard_rngs_.push_back(rng_.Fork(0x5eed0000ULL + shard_rngs_.size()));
+  }
+
+  // Partition stored samples by owning user shard. Two samples of the
+  // same user always land in the same shard, so every user row (and its
+  // error EMA) has exactly one writer this epoch — hogwild needs locks
+  // only on the service side, where shards collide.
+  shard_partitions_.resize(shards);
+  for (auto& p : shard_partitions_) p.clear();
+  for (std::uint32_t i = 0; i < samples.size(); ++i) {
+    shard_partitions_[samples[i].user % shards].push_back(i);
+  }
+
+  struct ShardOutcome {
+    double err_sum = 0.0;
+    std::size_t applied = 0;
+    std::uint64_t refused = 0;
+    // Store mutations are deferred to the epoch barrier: the store is not
+    // thread-safe, and removals mid-epoch would invalidate `samples`.
+    std::vector<std::pair<data::UserId, data::ServiceId>> remove;
+  };
+  std::vector<ShardOutcome> outcomes(shards);
+  const double now = now_;
+  const double expiry = config_.expiry_seconds;
+
+  pool_->ParallelFor(0, shards, [&](std::size_t shard) {
+    std::vector<std::uint32_t>& part = shard_partitions_[shard];
+    if (part.empty()) return;
+    shard_rngs_[shard].Shuffle(part);
+    ShardOutcome& out = outcomes[shard];
+    for (const std::uint32_t idx : part) {
+      const data::QoSSample& s = samples[idx];
+      if (expiry > 0.0 && now - s.timestamp >= expiry) {
+        out.remove.emplace_back(s.user, s.service);  // Alg. 1: I_ij <- 0
+        continue;
+      }
+      double e;
+      {
+        std::lock_guard<common::Spinlock> guard(
+            service_locks_->ForIndex(s.service));
+        e = model_.OnlineUpdateGuarded(s.user, s.service, s.value);
+      }
+      if (std::isnan(e)) {
+        out.remove.emplace_back(s.user, s.service);
+        ++out.refused;
+      } else {
+        out.err_sum += e;
+        ++out.applied;
+      }
+    }
+  });
+
+  // Epoch barrier: merge per-shard partials and apply deferred removals.
+  double err_sum = 0.0;
+  std::size_t applied = 0;
+  for (const ShardOutcome& out : outcomes) {
+    for (const auto& [u, s] : out.remove) store_.Remove(u, s);
+    skipped_updates_ += out.refused;
+    err_sum += out.err_sum;
+    applied += out.applied;
+  }
+  if (applied == 0) return std::nullopt;
+  return err_sum / static_cast<double>(applied);
+}
+
+double OnlineTrainer::ApplyUpdate(const data::QoSSample& sample) {
+  if (config_.guarded_updates) {
+    // No-op for already-registered entities. Callers with concurrent
+    // readers must pre-register (growth reallocates under the readers);
+    // see ConcurrentPredictionService's drain path.
+    model_.EnsureUser(sample.user);
+    model_.EnsureService(sample.service);
+    return model_.OnlineUpdateGuarded(sample.user, sample.service,
+                                      sample.value);
+  }
+  return model_.OnlineUpdate(sample.user, sample.service, sample.value);
 }
 
 std::size_t OnlineTrainer::RunUntilConverged() {
@@ -121,6 +231,7 @@ std::size_t OnlineTrainer::RunUntilConverged() {
 PipelineStats OnlineTrainer::Stats() const {
   PipelineStats s = validator_.stats();
   s.skipped_updates = skipped_updates_;
+  s.dropped_on_overflow = dropped_on_overflow_;
   s.nan_reinit_users = model_.nan_reinit_users();
   s.nan_reinit_services = model_.nan_reinit_services();
   return s;

@@ -14,12 +14,19 @@
 #pragma once
 
 #include <deque>
+#include <memory>
+#include <vector>
 
 #include "common/rng.h"
+#include "common/spinlock.h"
 #include "core/amf_model.h"
 #include "core/pipeline_stats.h"
 #include "core/sample_store.h"
 #include "core/sample_validator.h"
+
+namespace amf::common {
+class ThreadPool;
+}
 
 namespace amf::core {
 
@@ -42,18 +49,49 @@ struct TrainerConfig {
   bool validate_ingest = true;
   /// Ingestion-guard thresholds (used when validate_ingest is true).
   SampleValidatorConfig validator;
+
+  // --- Parallel sharded replay ---------------------------------------------
+  /// Worker threads for replay epochs. <= 1 keeps the serial Algorithm-1
+  /// loop (with-replacement random picks, bit-deterministic). > 1 runs
+  /// each epoch as a user-sharded hogwild pass over the store across an
+  /// internal ThreadPool: every shard owns its users' rows outright,
+  /// same-service updates are serialized by striped spinlocks, and all
+  /// writes publish through the model's per-row seqlocks.
+  std::size_t replay_threads = 1;
+  /// User shards for parallel replay; 0 = 4x replay_threads. Sample i is
+  /// assigned to shard (user % shards), each shard replays its partition
+  /// in an order drawn from its own persistent RNG — deterministic per
+  /// shard count regardless of thread scheduling.
+  std::size_t replay_shards = 0;
+  /// Striped spinlocks serializing same-service updates across shards.
+  std::size_t service_stripes = 64;
+  /// Backpressure cap on the incoming Observe queue (0 = unbounded).
+  /// Overflowing samples are dropped newest-first and counted in
+  /// Stats().dropped_on_overflow.
+  std::size_t max_incoming = 65536;
+  /// Route every model write through AmfModel::OnlineUpdateGuarded (the
+  /// seqlock publish protocol) so external threads may read the model via
+  /// the *Shared APIs while training runs. Parallel replay always uses the
+  /// guarded path; this flag additionally covers the serial ingest/replay
+  /// paths. Growth still happens on ingest: callers with live concurrent
+  /// readers must pre-register entities (see ConcurrentPredictionService).
+  bool guarded_updates = false;
 };
 
 class OnlineTrainer {
  public:
   /// The trainer updates `model` in place; the model must outlive it.
   OnlineTrainer(AmfModel& model, const TrainerConfig& config = {});
+  ~OnlineTrainer();  // out of line: unique_ptr<ThreadPool> member
 
   const TrainerConfig& config() const { return config_; }
   const SampleStore& store() const { return store_; }
   double now() const { return now_; }
 
   /// Enqueues a newly observed sample (thread-compatible, not thread-safe).
+  /// When the queue is at config().max_incoming the sample is dropped and
+  /// counted in Stats().dropped_on_overflow — a slow trainer sheds load
+  /// instead of growing the queue without bound.
   void Observe(const data::QoSSample& sample);
 
   /// Advances the simulated clock (timestamps of later Observe calls are
@@ -72,6 +110,9 @@ class OnlineTrainer {
 
   /// One epoch = store-size replay iterations. Returns the mean e_us over
   /// the updates actually applied (nullopt if nothing could be replayed).
+  /// With config().replay_threads > 1 the epoch runs as one user-sharded
+  /// parallel pass (each stored sample replayed exactly once, expiration
+  /// applied at the epoch barrier).
   std::optional<double> ReplayEpoch();
 
   /// Drains incoming samples, then replays epochs until the convergence
@@ -98,6 +139,13 @@ class OnlineTrainer {
   SampleStore& mutable_store() { return store_; }
 
  private:
+  /// One parallel user-sharded epoch over the current store contents.
+  std::optional<double> ReplayEpochParallel();
+
+  /// Applies one incoming/replayed sample through the configured update
+  /// path (guarded or plain); registers entities first when growing.
+  double ApplyUpdate(const data::QoSSample& sample);
+
   AmfModel& model_;
   TrainerConfig config_;
   common::Rng rng_;
@@ -107,7 +155,14 @@ class OnlineTrainer {
   double now_ = 0.0;
   bool converged_ = false;
   std::uint64_t skipped_updates_ = 0;
+  std::uint64_t dropped_on_overflow_ = 0;
   double last_epoch_error_ = std::numeric_limits<double>::quiet_NaN();
+
+  // Parallel-replay state, created lazily on the first parallel epoch.
+  std::unique_ptr<common::ThreadPool> pool_;
+  std::unique_ptr<common::StripedSpinlocks> service_locks_;
+  std::vector<common::Rng> shard_rngs_;  // one persistent RNG per shard
+  std::vector<std::vector<std::uint32_t>> shard_partitions_;  // scratch
 };
 
 }  // namespace amf::core

@@ -12,6 +12,7 @@ std::string PipelineStats::ToString() const {
       << " bad_timestamp=" << rejected_bad_timestamp
       << " duplicate=" << rejected_duplicate << "}"
       << " quarantined=" << quarantined_outlier
+      << " dropped_on_overflow=" << dropped_on_overflow
       << " skipped_updates=" << skipped_updates
       << " nan_reinit{users=" << nan_reinit_users
       << " services=" << nan_reinit_services << "}"

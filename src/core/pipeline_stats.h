@@ -21,6 +21,7 @@ struct PipelineStats {
   std::uint64_t rejected_bad_timestamp = 0;///< non-finite / far-future stamps
   std::uint64_t rejected_duplicate = 0;    ///< duplicate or stale (u,s,t) key
   std::uint64_t quarantined_outlier = 0;   ///< failed the median+MAD gate
+  std::uint64_t dropped_on_overflow = 0;   ///< backpressure: queue at cap
 
   // --- Training-side guards ------------------------------------------------
   std::uint64_t skipped_updates = 0;   ///< OnlineUpdate refused the sample

@@ -1,0 +1,177 @@
+// TSan-targeted stress tests for ConcurrentPredictionService: uploads,
+// predictions, training ticks, and registration all racing each other.
+// Assertions are deliberately weak (finite outputs, counters add up) —
+// the point is that every interleaving TSan can provoke is exercised.
+#include "adapt/concurrent_service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/online_trainer.h"
+
+namespace amf::adapt {
+namespace {
+
+PredictionServiceConfig StressConfig(std::size_t replay_threads) {
+  PredictionServiceConfig config{core::MakeResponseTimeConfig(), {}, 1};
+  config.trainer.replay_threads = replay_threads;
+  config.trainer.expiry_seconds = 0.0;
+  return config;
+}
+
+// Producers hammering ReportObservation + readers hammering PredictQoS /
+// PredictQoSMany + one trainer thread ticking, all concurrently.
+void RunStress(std::size_t replay_threads) {
+  ConcurrentPredictionService service(StressConfig(replay_threads), 1024);
+  constexpr std::size_t kUsers = 12, kServices = 24;
+  for (std::size_t u = 0; u < kUsers; ++u) {
+    service.RegisterUser("u" + std::to_string(u));
+  }
+  for (std::size_t s = 0; s < kServices; ++s) {
+    service.RegisterService("s" + std::to_string(s));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> produced{0};
+  std::atomic<std::size_t> nonfinite{0};
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 2; ++p) {
+    producers.emplace_back([&, p] {
+      std::size_t i = static_cast<std::size_t>(p) * 7919;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const data::QoSSample sample{
+            0, static_cast<data::UserId>(i % kUsers),
+            static_cast<data::ServiceId>((i * 31) % kServices),
+            0.2 + 0.001 * static_cast<double>(i % 997), 0.0};
+        service.ReportObservation(sample);
+        produced.fetch_add(1, std::memory_order_relaxed);
+        ++i;
+      }
+    });
+  }
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      std::vector<data::ServiceId> candidates(kServices);
+      for (std::size_t s = 0; s < kServices; ++s) {
+        candidates[s] = static_cast<data::ServiceId>(s);
+      }
+      std::vector<double> values(kServices);
+      std::size_t i = static_cast<std::size_t>(r);
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto u = static_cast<data::UserId>(i % kUsers);
+        const auto pred = service.PredictQoS(
+            u, static_cast<data::ServiceId>(i % kServices));
+        if (pred.has_value() && !std::isfinite(*pred)) {
+          nonfinite.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (i % 7 == 0) {
+          service.PredictQoSMany(u, candidates, values);
+          for (std::size_t s = 0; s < kServices; ++s) {
+            // NaN marks an unknown id; anything else must be finite.
+            if (!std::isnan(values[s]) && !std::isfinite(values[s])) {
+              nonfinite.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+        ++i;
+      }
+    });
+  }
+
+  // The trainer role: ticks (ring drain + ingest + replay) racing the
+  // producers and readers above.
+  std::thread trainer([&] {
+    for (int iter = 0; iter < 60; ++iter) {
+      service.Tick(static_cast<double>(iter));
+    }
+  });
+
+  trainer.join();
+  stop.store(true);
+  for (auto& t : producers) t.join();
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(nonfinite.load(), 0u);
+  EXPECT_EQ(service.observations() + service.dropped_observations(),
+            produced.load());
+}
+
+TEST(ConcurrentStressTest, UploadPredictTrainSerialReplay) { RunStress(1); }
+
+TEST(ConcurrentStressTest, UploadPredictTrainShardedReplay) { RunStress(4); }
+
+TEST(ConcurrentStressTest, RegistrationChurnUnderLoad) {
+  // Growth (the one remaining exclusive-lock path) racing predictions and
+  // uploads: readers must always see either "unknown id" or a finite
+  // value, never torn state.
+  ConcurrentPredictionService service(StressConfig(2), 512);
+  service.RegisterUser("u0");
+  service.RegisterService("s0");
+  service.ReportObservation({0, 0, 0, 1.0, 0.0});
+  service.Tick(0.0);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> nonfinite{0};
+  std::atomic<data::UserId> max_user{0};
+  std::atomic<data::ServiceId> max_service{0};
+
+  std::thread registrar([&] {
+    for (int i = 1; i <= 200; ++i) {
+      const auto u = service.RegisterUser("u" + std::to_string(i));
+      const auto s = service.RegisterService("s" + std::to_string(i));
+      max_user.store(u, std::memory_order_relaxed);
+      max_service.store(s, std::memory_order_relaxed);
+    }
+  });
+
+  std::thread producer([&] {
+    std::size_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto u = max_user.load(std::memory_order_relaxed);
+      const auto s = max_service.load(std::memory_order_relaxed);
+      service.ReportObservation(
+          {0, static_cast<data::UserId>(i % (u + 1)),
+           static_cast<data::ServiceId>(i % (s + 1)), 0.5, 0.0});
+      ++i;
+    }
+  });
+
+  std::thread reader([&] {
+    std::size_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto u = max_user.load(std::memory_order_relaxed);
+      const auto s = max_service.load(std::memory_order_relaxed);
+      const auto pred =
+          service.PredictQoS(static_cast<data::UserId>(i % (u + 1)),
+                             static_cast<data::ServiceId>(i % (s + 1)));
+      if (pred.has_value() && !std::isfinite(*pred)) {
+        nonfinite.fetch_add(1, std::memory_order_relaxed);
+      }
+      ++i;
+    }
+  });
+
+  for (int iter = 0; iter < 30; ++iter) {
+    service.Tick(static_cast<double>(iter));
+  }
+  registrar.join();
+  stop.store(true);
+  producer.join();
+  reader.join();
+
+  EXPECT_EQ(nonfinite.load(), 0u);
+  // Everything the registrar created is now predictable.
+  service.Tick(31.0);
+  EXPECT_TRUE(service.PredictQoS(200, 200).has_value());
+}
+
+}  // namespace
+}  // namespace amf::adapt

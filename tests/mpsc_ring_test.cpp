@@ -1,0 +1,118 @@
+#include "common/mpsc_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace amf::common {
+namespace {
+
+TEST(MpscRingTest, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(MpscRingBuffer<int>(1).capacity(), 2u);
+  EXPECT_EQ(MpscRingBuffer<int>(2).capacity(), 2u);
+  EXPECT_EQ(MpscRingBuffer<int>(3).capacity(), 4u);
+  EXPECT_EQ(MpscRingBuffer<int>(1000).capacity(), 1024u);
+  EXPECT_EQ(MpscRingBuffer<int>(1024).capacity(), 1024u);
+}
+
+TEST(MpscRingTest, FifoSingleThreaded) {
+  MpscRingBuffer<int> ring(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ring.TryPush(i));
+  int out = -1;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ring.TryPop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(ring.TryPop(out));
+}
+
+TEST(MpscRingTest, FullRingRejectsPush) {
+  MpscRingBuffer<int> ring(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.TryPush(i));
+  EXPECT_FALSE(ring.TryPush(99));
+  int out;
+  ASSERT_TRUE(ring.TryPop(out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(ring.TryPush(99));  // freed slot is reusable
+}
+
+TEST(MpscRingTest, WrapsAroundManyTimes) {
+  MpscRingBuffer<int> ring(4);
+  int out;
+  for (int round = 0; round < 1000; ++round) {
+    ASSERT_TRUE(ring.TryPush(round));
+    ASSERT_TRUE(ring.TryPop(out));
+    EXPECT_EQ(out, round);
+  }
+  EXPECT_EQ(ring.SizeApprox(), 0u);
+}
+
+TEST(MpscRingTest, MultiProducerDeliversEverythingInPerProducerOrder) {
+  constexpr std::size_t kProducers = 4;
+  constexpr std::uint32_t kPerProducer = 5000;
+  MpscRingBuffer<std::uint32_t> ring(256);
+
+  // Value encodes (producer, sequence); the consumer checks that each
+  // producer's values arrive in its push order even under contention.
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::uint32_t i = 0; i < kPerProducer; ++i) {
+        const std::uint32_t v =
+            static_cast<std::uint32_t>(p) << 24 | i;
+        while (!ring.TryPush(v)) std::this_thread::yield();
+      }
+    });
+  }
+
+  std::vector<std::uint32_t> next(kProducers, 0);
+  std::size_t received = 0;
+  std::uint32_t v;
+  while (received < kProducers * kPerProducer) {
+    if (!ring.TryPop(v)) {
+      std::this_thread::yield();
+      continue;
+    }
+    const std::size_t p = v >> 24;
+    const std::uint32_t seq = v & 0xffffffu;
+    ASSERT_LT(p, kProducers);
+    EXPECT_EQ(seq, next[p]) << "producer " << p << " reordered";
+    next[p] = seq + 1;
+    ++received;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_FALSE(ring.TryPop(v));
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(next[p], kPerProducer);
+  }
+}
+
+TEST(MpscRingTest, DropCountingUnderOverflowPressure) {
+  // Producers race a deliberately tiny ring with no consumer: accepted +
+  // rejected must equal attempted, and accepted can never exceed capacity.
+  MpscRingBuffer<int> ring(8);
+  constexpr int kAttempts = 1000;
+  std::atomic<int> accepted{0};
+  std::atomic<int> rejected{0};
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&] {
+      for (int i = 0; i < kAttempts; ++i) {
+        if (ring.TryPush(i)) {
+          accepted.fetch_add(1);
+        } else {
+          rejected.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(accepted.load() + rejected.load(), 3 * kAttempts);
+  EXPECT_LE(accepted.load(), static_cast<int>(ring.capacity()));
+}
+
+}  // namespace
+}  // namespace amf::common

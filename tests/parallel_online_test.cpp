@@ -1,0 +1,226 @@
+// Parallel sharded replay epochs in OnlineTrainer: parity with the serial
+// trainer, determinism per shard count, and Observe backpressure.
+#include "core/online_trainer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/statistics.h"
+#include "core/amf_model.h"
+#include "tests/test_util.h"
+
+namespace amf::core {
+namespace {
+
+AmfModel RegisteredModel(std::size_t users, std::size_t services,
+                         std::uint64_t seed = 2) {
+  AmfModel m(MakeResponseTimeConfig(seed));
+  m.EnsureUser(static_cast<data::UserId>(users - 1));
+  m.EnsureService(static_cast<data::ServiceId>(services - 1));
+  return m;
+}
+
+double TestMre(const AmfModel& m, const data::TrainTestSplit& split) {
+  std::vector<double> rel;
+  for (const auto& s : split.test) {
+    rel.push_back(std::abs(m.PredictRaw(s.user, s.service) - s.value) /
+                  s.value);
+  }
+  return common::Median(rel);
+}
+
+TEST(ParallelOnlineTest, ParityWithSerialAcrossThreadCounts) {
+  const linalg::Matrix slice = testutil::SmallRtSlice(30, 90, 5);
+  const data::TrainTestSplit split = testutil::Split(slice, 0.3);
+  const std::vector<data::QoSSample> samples = split.train.ToSamples();
+
+  // Serial reference: the bit-deterministic Algorithm-1 loop. Both sides
+  // get a tight convergence criterion so they stop near the same fixed
+  // point rather than wherever the stall detector happened to fire.
+  TrainerConfig scfg;
+  scfg.expiry_seconds = 0.0;
+  scfg.convergence_tol = 1e-3;
+  scfg.convergence_patience = 3;
+  AmfModel ser_model = RegisteredModel(30, 90, 3);
+  OnlineTrainer ser(ser_model, scfg);
+  for (const auto& s : samples) ser.Observe(s);
+  ser.RunUntilConverged();
+  const double ser_mre = TestMre(ser_model, split);
+  ASSERT_TRUE(std::isfinite(ser_mre));
+
+  // Sharded parallel replay at every thread count in the acceptance
+  // matrix must land within 2% relative MRE of the serial trainer.
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    AmfModel par_model = RegisteredModel(30, 90, 3);
+    TrainerConfig pcfg = scfg;
+    pcfg.replay_threads = threads;
+    OnlineTrainer par(par_model, pcfg);
+    for (const auto& s : samples) par.Observe(s);
+    par.RunUntilConverged();
+    const double par_mre = TestMre(par_model, split);
+    ASSERT_TRUE(std::isfinite(par_mre)) << "threads=" << threads;
+    EXPECT_LE(std::abs(par_mre - ser_mre) / ser_mre, 0.02)
+        << "threads=" << threads << " parallel MRE " << par_mre
+        << " vs serial " << ser_mre;
+  }
+}
+
+TEST(ParallelOnlineTest, DeterministicPerShardCount) {
+  // Each shard replays its partition in an order drawn from a persistent
+  // per-shard RNG, so replay order is a function of (seed, shard count)
+  // alone. With shard-disjoint services (each user here calls its own
+  // private services, so a shard exclusively owns every row it touches)
+  // there is no cross-shard interleaving at all, and the result must be
+  // bitwise identical across worker counts and repeated runs.
+  constexpr std::size_t kUsers = 16;
+  constexpr std::size_t kServicesPerUser = 6;
+  std::vector<data::QoSSample> samples;
+  common::Rng gen(31);
+  for (data::UserId u = 0; u < kUsers; ++u) {
+    for (std::size_t r = 0; r < kServicesPerUser; ++r) {
+      const auto s = static_cast<data::ServiceId>(u * kServicesPerUser + r);
+      samples.push_back({0, u, s, gen.LogNormal(-0.2, 0.8), 0.0});
+    }
+  }
+
+  auto run = [&](std::size_t threads, std::size_t shards) {
+    AmfModel m = RegisteredModel(kUsers, kUsers * kServicesPerUser, 4);
+    TrainerConfig cfg;
+    cfg.expiry_seconds = 0.0;
+    cfg.replay_threads = threads;
+    cfg.replay_shards = shards;
+    OnlineTrainer t(m, cfg);
+    for (const auto& s : samples) t.Observe(s);
+    t.ProcessIncoming();
+    double last = 0.0;
+    for (int e = 0; e < 3; ++e) last = t.ReplayEpoch().value();
+    return last;
+  };
+
+  const double a = run(2, 4);
+  const double b = run(2, 4);
+  EXPECT_DOUBLE_EQ(a, b) << "same (threads, shards) must be reproducible";
+
+  const double c = run(4, 4);
+  EXPECT_DOUBLE_EQ(a, c)
+      << "shard count, not thread count, determines replay order";
+
+  // A different shard count partitions (and therefore orders) the replay
+  // differently — expected to diverge bitwise, though quality-equivalent.
+  const double d = run(2, 2);
+  EXPECT_TRUE(std::isfinite(d));
+}
+
+TEST(ParallelOnlineTest, ParallelEpochAppliesEveryStoredSampleOnce) {
+  AmfModel m = RegisteredModel(6, 12, 5);
+  TrainerConfig cfg;
+  cfg.expiry_seconds = 0.0;
+  cfg.replay_threads = 4;
+  OnlineTrainer t(m, cfg);
+  std::vector<data::QoSSample> samples;
+  for (data::UserId u = 0; u < 6; ++u) {
+    for (data::ServiceId s = 0; s < 12; ++s) {
+      samples.push_back({0, u, s, 0.4 + 0.05 * u, 0.0});
+    }
+  }
+  for (const auto& s : samples) t.Observe(s);
+  t.ProcessIncoming();
+  const std::uint64_t after_ingest = m.updates();
+  EXPECT_EQ(after_ingest, samples.size());
+  t.ReplayEpoch();
+  EXPECT_EQ(m.updates(), after_ingest + samples.size());
+}
+
+TEST(ParallelOnlineTest, ParallelEpochExpiresStaleSamples) {
+  AmfModel m = RegisteredModel(4, 4, 5);
+  TrainerConfig cfg;
+  cfg.expiry_seconds = 100.0;
+  cfg.replay_threads = 2;
+  OnlineTrainer t(m, cfg);
+  // Two fresh samples, two that will be stale at replay time.
+  t.Observe({0, 0, 0, 0.5, 0.0});
+  t.Observe({0, 1, 1, 0.5, 0.0});
+  t.Observe({0, 2, 2, 0.5, 890.0});
+  t.Observe({0, 3, 3, 0.5, 890.0});
+  t.AdvanceTime(900.0);
+  t.ProcessIncoming();
+  ASSERT_EQ(t.store().size(), 4u);
+  t.ReplayEpoch();  // epoch barrier applies the deferred removals
+  EXPECT_EQ(t.store().size(), 2u);
+  EXPECT_TRUE(t.store().Get(2, 2).has_value());
+  EXPECT_TRUE(t.store().Get(3, 3).has_value());
+  EXPECT_FALSE(t.store().Get(0, 0).has_value());
+  EXPECT_FALSE(t.store().Get(1, 1).has_value());
+}
+
+TEST(ParallelOnlineTest, ObserveBackpressureDropsAndCounts) {
+  AmfModel m = RegisteredModel(2, 2, 5);
+  TrainerConfig cfg;
+  cfg.max_incoming = 10;
+  cfg.validate_ingest = false;
+  OnlineTrainer t(m, cfg);
+  for (int i = 0; i < 25; ++i) t.Observe({0, 0, 0, 0.5, 0.0});
+  EXPECT_EQ(t.Stats().dropped_on_overflow, 15u);
+  EXPECT_EQ(t.ProcessIncoming(), 10u);
+  // Queue drained: capacity is available again.
+  t.Observe({0, 1, 1, 0.5, 0.0});
+  EXPECT_EQ(t.Stats().dropped_on_overflow, 15u);
+  EXPECT_EQ(t.ProcessIncoming(), 1u);
+}
+
+TEST(ParallelOnlineTest, UnboundedQueueWhenCapIsZero) {
+  AmfModel m = RegisteredModel(2, 2, 5);
+  TrainerConfig cfg;
+  cfg.max_incoming = 0;
+  cfg.validate_ingest = false;
+  OnlineTrainer t(m, cfg);
+  for (int i = 0; i < 100000; ++i) t.Observe({0, 0, 0, 0.5, 0.0});
+  EXPECT_EQ(t.Stats().dropped_on_overflow, 0u);
+  EXPECT_EQ(t.ProcessIncoming(), 100000u);
+}
+
+TEST(ParallelOnlineTest, GuardedSerialPathMatchesQuality) {
+  // guarded_updates routes the serial loop through OnlineUpdateGuarded;
+  // the math is identical, so results must be bitwise equal to the
+  // unguarded serial trainer.
+  const linalg::Matrix slice = testutil::SmallRtSlice(15, 40, 9);
+  const std::vector<data::QoSSample> samples =
+      testutil::Split(slice, 0.3).train.ToSamples();
+
+  auto run = [&](bool guarded) {
+    AmfModel m = RegisteredModel(15, 40, 6);
+    TrainerConfig cfg;
+    cfg.expiry_seconds = 0.0;
+    cfg.guarded_updates = guarded;
+    OnlineTrainer t(m, cfg);
+    for (const auto& s : samples) t.Observe(s);
+    t.RunUntilConverged();
+    return t.last_epoch_error();
+  };
+  EXPECT_DOUBLE_EQ(run(false), run(true));
+}
+
+TEST(ParallelOnlineTest, ShardsDefaultToFourTimesThreads) {
+  // replay_shards = 0 resolves to 4x threads internally; just verify the
+  // epoch works and improves error with the default.
+  const linalg::Matrix slice = testutil::SmallRtSlice(20, 50, 3);
+  const std::vector<data::QoSSample> samples =
+      testutil::Split(slice, 0.3).train.ToSamples();
+  AmfModel m = RegisteredModel(20, 50, 4);
+  TrainerConfig cfg;
+  cfg.expiry_seconds = 0.0;
+  cfg.replay_threads = 2;
+  cfg.replay_shards = 0;
+  OnlineTrainer t(m, cfg);
+  for (const auto& s : samples) t.Observe(s);
+  t.ProcessIncoming();
+  const double first = t.ReplayEpoch().value();
+  double last = first;
+  for (int e = 0; e < 10; ++e) last = t.ReplayEpoch().value();
+  EXPECT_LT(last, first);
+}
+
+}  // namespace
+}  // namespace amf::core
