@@ -8,6 +8,11 @@
 //   --quick       smaller workload (CI smoke)
 //   --out <path>  JSON output path
 //
+// Every instrumented run carries a live obs::MetricsRegistry, so the
+// output includes trainer.epoch_seconds percentiles per configuration, an
+// embedded metrics export, and an instrumentation-overhead measurement
+// (uninstrumented vs instrumented 1-thread replay).
+//
 // Speedups are relative to the measured 1-thread sharded run and bounded
 // above by the physical core count reported in the JSON — on a 1-core
 // container every configuration time-slices the same CPU and the speedup
@@ -16,6 +21,7 @@
 #include <cstring>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common/mpsc_ring.h"
@@ -24,6 +30,8 @@
 #include "core/amf_model.h"
 #include "core/online_trainer.h"
 #include "data/qos_types.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -32,6 +40,10 @@ struct ReplayResult {
   std::size_t updates = 0;
   double seconds = 0.0;
   double updates_per_sec = 0.0;
+  double epoch_p50 = 0.0;  // trainer.epoch_seconds percentiles
+  double epoch_p95 = 0.0;
+  double epoch_p99 = 0.0;
+  std::string metrics_json;  // full registry export for this run
 };
 
 std::vector<amf::data::QoSSample> MakeStream(std::size_t users,
@@ -52,7 +64,9 @@ std::vector<amf::data::QoSSample> MakeStream(std::size_t users,
 
 ReplayResult MeasureReplay(const std::vector<amf::data::QoSSample>& samples,
                            std::size_t users, std::size_t services,
-                           std::size_t threads, std::size_t epochs) {
+                           std::size_t threads, std::size_t epochs,
+                           bool instrument) {
+  amf::obs::MetricsRegistry registry;  // outlives the trainer (below)
   amf::core::AmfModel model(amf::core::MakeResponseTimeConfig(7));
   model.EnsureUser(static_cast<amf::data::UserId>(users - 1));
   model.EnsureService(static_cast<amf::data::ServiceId>(services - 1));
@@ -60,6 +74,7 @@ ReplayResult MeasureReplay(const std::vector<amf::data::QoSSample>& samples,
   cfg.expiry_seconds = 0.0;
   cfg.validate_ingest = false;
   cfg.replay_threads = threads;
+  cfg.metrics = instrument ? &registry : nullptr;
   amf::core::OnlineTrainer trainer(model, cfg);
   for (const auto& s : samples) trainer.Observe(s);
   trainer.ProcessIncoming();  // ingest excluded from the replay timing
@@ -73,7 +88,32 @@ ReplayResult MeasureReplay(const std::vector<amf::data::QoSSample>& samples,
   r.seconds = watch.ElapsedSeconds();
   r.updates_per_sec =
       r.seconds > 0.0 ? static_cast<double>(r.updates) / r.seconds : 0.0;
+  if (instrument) {
+    const amf::obs::MetricsSnapshot snap = registry.Snapshot();
+    if (const amf::obs::HistogramSnapshot* h =
+            snap.FindHistogram("trainer.epoch_seconds")) {
+      r.epoch_p50 = h->p50();
+      r.epoch_p95 = h->p95();
+      r.epoch_p99 = h->p99();
+    }
+    r.metrics_json = amf::obs::ToJson(snap);
+  }
   return r;
+}
+
+/// Best-of-N wrapper: replay timings on a shared container jitter by tens
+/// of percent run to run, so keep the fastest (least-disturbed) repeat.
+ReplayResult BestReplay(const std::vector<amf::data::QoSSample>& samples,
+                        std::size_t users, std::size_t services,
+                        std::size_t threads, std::size_t epochs,
+                        bool instrument, int reps) {
+  ReplayResult best;
+  for (int i = 0; i < reps; ++i) {
+    ReplayResult r =
+        MeasureReplay(samples, users, services, threads, epochs, instrument);
+    if (r.updates_per_sec > best.updates_per_sec) best = std::move(r);
+  }
+  return best;
 }
 
 double MeasureRingThroughput(std::size_t items) {
@@ -129,13 +169,22 @@ int main(int argc, char** argv) {
   const std::vector<amf::data::QoSSample> samples =
       MakeStream(users, services, stream, 42);
 
+  // Instrumentation overhead: same 1-thread workload, metrics off vs on.
+  const ReplayResult plain = BestReplay(samples, users, services, 1, epochs,
+                                        /*instrument=*/false, /*reps=*/3);
+  std::fprintf(stderr, "uninstrumented 1-thread: %.0f updates/s\n",
+               plain.updates_per_sec);
+
   std::vector<ReplayResult> results;
   for (std::size_t threads : {1u, 2u, 4u, 8u}) {
-    results.push_back(
-        MeasureReplay(samples, users, services, threads, epochs));
-    std::fprintf(stderr, "replay threads=%zu: %.0f updates/s (%zu in %.3fs)\n",
+    results.push_back(BestReplay(samples, users, services, threads, epochs,
+                                 /*instrument=*/true, /*reps=*/3));
+    std::fprintf(stderr,
+                 "replay threads=%zu: %.0f updates/s (%zu in %.3fs, "
+                 "epoch p50=%.4fs p99=%.4fs)\n",
                  results.back().threads, results.back().updates_per_sec,
-                 results.back().updates, results.back().seconds);
+                 results.back().updates, results.back().seconds,
+                 results.back().epoch_p50, results.back().epoch_p99);
   }
   const double ring_rate = MeasureRingThroughput(ring_items);
   std::fprintf(stderr, "mpsc ring: %.0f items/s\n", ring_rate);
@@ -161,12 +210,26 @@ int main(int argc, char** argv) {
     std::fprintf(out,
                  "    {\"threads\": %zu, \"updates\": %zu, "
                  "\"seconds\": %.6f, \"updates_per_sec\": %.1f, "
-                 "\"speedup_vs_1_thread\": %.3f}%s\n",
+                 "\"speedup_vs_1_thread\": %.3f, "
+                 "\"epoch_seconds_p50\": %.6f, "
+                 "\"epoch_seconds_p95\": %.6f, "
+                 "\"epoch_seconds_p99\": %.6f}%s\n",
                  r.threads, r.updates, r.seconds, r.updates_per_sec,
-                 base > 0.0 ? r.updates_per_sec / base : 0.0,
-                 i + 1 < results.size() ? "," : "");
+                 base > 0.0 ? r.updates_per_sec / base : 0.0, r.epoch_p50,
+                 r.epoch_p95, r.epoch_p99, i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"instrumentation_overhead\": {\n");
+  std::fprintf(out, "    \"uninstrumented_updates_per_sec\": %.1f,\n",
+               plain.updates_per_sec);
+  std::fprintf(out, "    \"instrumented_updates_per_sec\": %.1f,\n", base);
+  std::fprintf(out, "    \"overhead_pct\": %.2f\n",
+               plain.updates_per_sec > 0.0
+                   ? 100.0 * (plain.updates_per_sec - base) /
+                         plain.updates_per_sec
+                   : 0.0);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out, "  \"metrics\": %s,\n", results.back().metrics_json.c_str());
   std::fprintf(out, "  \"mpsc_ring_items_per_sec\": %.1f,\n", ring_rate);
   std::fprintf(out,
                "  \"note\": \"speedup is bounded by hardware_concurrency; "

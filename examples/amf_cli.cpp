@@ -26,6 +26,16 @@
 //       Ranks all services for a user by predicted QoS (ascending) and
 //       prints the top-k candidates with uncertainty.
 //
+//   amf_cli metrics [--seconds SEC --users N --services M --seed S
+//           --ring CAP --watch 0|1 --format json|prom --out FILE]
+//       Runs a synthetic concurrent workload (producer uploads, trainer
+//       ticks, predictions in flight) against a ConcurrentPredictionService
+//       for SEC seconds, then dumps its metrics registry — counters,
+//       gauges, and latency-histogram percentiles — as JSON (default) or
+//       Prometheus text. --watch 1 additionally prints a live counter
+//       line to stderr four times a second while the workload runs,
+//       demonstrating that snapshots never wait for training.
+//
 //   amf_cli chaos [--users N --services M --slices T --seed S
 //           --ticks K --tick-seconds DT --per-tick P
 //           --drop p --corrupt p --duplicate p --spike p --churn p
@@ -41,15 +51,20 @@
 //
 // Exit code 0 on success, 1 on usage errors, 2 on runtime failure.
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
+#include "adapt/concurrent_service.h"
 #include "adapt/environment.h"
 #include "adapt/fault_injector.h"
 #include "adapt/prediction_service.h"
@@ -57,6 +72,7 @@
 #include "common/retry.h"
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "common/timer.h"
 #include "core/amf_predictor.h"
 #include "core/model_io.h"
 #include "data/csv_io.h"
@@ -65,6 +81,8 @@
 #include "data/synthetic.h"
 #include "eval/metrics.h"
 #include "eval/ranking.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -258,6 +276,92 @@ int CmdRecommend(const Args& args) {
   return 0;
 }
 
+int CmdMetrics(const Args& args) {
+  const double seconds = args.GetDouble("seconds", 1.0);
+  const std::string format = common::ToLower(args.Get("format", "json"));
+  AMF_CHECK_MSG(format == "json" || format == "prom",
+                "--format must be json or prom, got " << format);
+  const bool live = args.GetInt("watch", 0) != 0;
+  const auto users = static_cast<std::size_t>(args.GetInt("users", 32));
+  const auto services = static_cast<std::size_t>(args.GetInt("services", 128));
+  const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 2014));
+
+  adapt::PredictionServiceConfig cfg;
+  cfg.model = core::MakeResponseTimeConfig(seed);
+  adapt::ConcurrentPredictionService service(
+      cfg, static_cast<std::size_t>(args.GetInt("ring", 4096)));
+  for (std::size_t u = 0; u < users; ++u) {
+    service.RegisterUser("u" + std::to_string(u));
+  }
+  for (std::size_t s = 0; s < services; ++s) {
+    service.RegisterService("s" + std::to_string(s));
+  }
+
+  // Closed-loop synthetic workload: every instrumented hot path (ingest
+  // ring, trainer, prediction reads) stays busy while the clock runs.
+  std::atomic<bool> stop{false};
+  common::Stopwatch clock;
+  std::thread producer([&] {
+    common::Rng rng(seed ^ 0xab);
+    while (!stop.load(std::memory_order_relaxed)) {
+      service.ReportObservation(data::QoSSample{
+          .slice = 0,
+          .user = static_cast<data::UserId>(rng.Index(users)),
+          .service = static_cast<data::ServiceId>(rng.Index(services)),
+          .value = rng.LogNormal(-1.0, 0.5),
+          .timestamp = clock.ElapsedSeconds()});
+    }
+  });
+  std::thread trainer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      service.Tick(clock.ElapsedSeconds());
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  common::Rng rng(seed ^ 0xcd);
+  std::vector<data::ServiceId> candidates(16);
+  std::vector<double> values(candidates.size());
+  double next_report = 0.25;
+  while (clock.ElapsedSeconds() < seconds) {
+    const auto u = static_cast<data::UserId>(rng.Index(users));
+    service.PredictQoS(u, static_cast<data::ServiceId>(rng.Index(services)));
+    for (data::ServiceId& c : candidates) {
+      c = static_cast<data::ServiceId>(rng.Index(services));
+    }
+    service.PredictQoSMany(u, candidates, values);
+    if (live && clock.ElapsedSeconds() >= next_report) {
+      // Snapshots are wait-free: this runs while the trainer thread is
+      // mid-tick and never queues behind it.
+      const obs::MetricsSnapshot snap = service.metrics().Snapshot();
+      std::cerr << "[metrics] t="
+                << common::FormatFixed(clock.ElapsedSeconds(), 2)
+                << " reported=" << snap.CounterValue("ingest.reported")
+                << " ring_dropped=" << snap.CounterValue("ingest.ring_dropped")
+                << " updates=" << snap.CounterValue("trainer.updates")
+                << " predictions=" << snap.CounterValue("predict.calls")
+                << "\n";
+      next_report += 0.25;
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  producer.join();
+  trainer.join();
+  service.Tick(clock.ElapsedSeconds());  // final drain so totals settle
+
+  const obs::MetricsSnapshot snap = service.metrics().Snapshot();
+  const std::string text =
+      format == "json" ? obs::ToJson(snap) : obs::ToPrometheus(snap);
+  const std::string out = args.Get("out", "");
+  if (!out.empty()) {
+    std::ofstream os(out, std::ios::trunc);
+    AMF_CHECK_MSG(os.good(), "cannot open --out file " << out);
+    os << text << "\n";
+  }
+  std::cout << text << "\n";
+  return 0;
+}
+
 int CmdChaos(const Args& args) {
   // --- Ground truth + fault layer ----------------------------------------
   data::SyntheticConfig synth;
@@ -414,7 +518,8 @@ int CmdChaos(const Args& args) {
 
 int Usage() {
   std::cerr << "usage: amf_cli "
-               "<generate|train|predict|evaluate|summarize|recommend|chaos> "
+               "<generate|train|predict|evaluate|summarize|recommend|"
+               "metrics|chaos> "
                "[--flag value ...]\n(see the header of amf_cli.cpp)\n";
   return 1;
 }
@@ -432,6 +537,7 @@ int main(int argc, char** argv) {
     if (cmd == "evaluate") return CmdEvaluate(args);
     if (cmd == "summarize") return CmdSummarize(args);
     if (cmd == "recommend") return CmdRecommend(args);
+    if (cmd == "metrics") return CmdMetrics(args);
     if (cmd == "chaos") return CmdChaos(args);
     return Usage();
   } catch (const std::exception& e) {

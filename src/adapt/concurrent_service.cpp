@@ -5,14 +5,20 @@
 #include <limits>
 #include <vector>
 
+#include "common/seqlock.h"
+#include "linalg/matrix.h"
+#include "obs/trace.h"
+
 namespace amf::adapt {
 
 namespace {
 
-PredictionServiceConfig WithGuardedTrainer(PredictionServiceConfig config) {
+PredictionServiceConfig WithGuardedTrainer(PredictionServiceConfig config,
+                                           obs::MetricsRegistry* registry) {
   // Concurrent readers exist by construction in this facade, so every
   // model write must publish through the seqlock protocol.
   config.trainer.guarded_updates = true;
+  config.metrics = registry;
   return config;
 }
 
@@ -20,7 +26,39 @@ PredictionServiceConfig WithGuardedTrainer(PredictionServiceConfig config) {
 
 ConcurrentPredictionService::ConcurrentPredictionService(
     const PredictionServiceConfig& config, std::size_t ring_capacity)
-    : ring_(ring_capacity), service_(WithGuardedTrainer(config)) {}
+    : registry_(config.metrics != nullptr ? config.metrics : &own_metrics_),
+      ring_(ring_capacity),
+      service_(WithGuardedTrainer(config, registry_)) {
+  RegisterMetrics();
+}
+
+void ConcurrentPredictionService::RegisterMetrics() {
+  registry_->RegisterCallbackCounter("ingest.reported", [this] {
+    return static_cast<std::uint64_t>(
+        observations_.load(std::memory_order_relaxed));
+  });
+  registry_->RegisterCallbackCounter("ingest.ring_dropped", [this] {
+    return dropped_.load(std::memory_order_relaxed);
+  });
+  registry_->RegisterCallbackGauge("ingest.ring_occupancy", [this] {
+    return static_cast<double>(ring_.SizeApprox());
+  });
+  registry_->GetGauge("ingest.ring_capacity")
+      ->Set(static_cast<double>(ring_.capacity()));
+  // Process-wide seqlock reader retries: spikes mean predictions keep
+  // colliding with in-flight row publishes.
+  registry_->RegisterCallbackCounter("predict.seqlock_retries", [] {
+    return common::SeqlockRetryCounter().load(std::memory_order_relaxed);
+  });
+
+  predict_calls_ = registry_->GetCounter("predict.calls");
+  predict_hist_ = registry_->GetLatencyHistogram("predict.seconds");
+  batch_calls_ = registry_->GetCounter("predict.batch_calls");
+  batch_candidates_ = registry_->GetCounter("predict.batch_candidates");
+  batch_hist_ = registry_->GetLatencyHistogram("predict.batch_seconds");
+  matrix_calls_ = registry_->GetCounter("predict.matrix_calls");
+  matrix_hist_ = registry_->GetLatencyHistogram("predict.matrix_seconds");
+}
 
 data::UserId ConcurrentPredictionService::RegisterUser(
     const std::string& name) {
@@ -91,6 +129,7 @@ void ConcurrentPredictionService::TrainToConvergence(double now_seconds) {
 
 std::optional<double> ConcurrentPredictionService::PredictQoS(
     data::UserId u, data::ServiceId s) const {
+  obs::ScopedCounterTimer trace(predict_calls_, predict_hist_);
   std::shared_lock lock(mu_);
   const core::AmfModel& m = service_.model();
   if (!m.HasUser(u) || !m.HasService(s)) return std::nullopt;
@@ -102,6 +141,10 @@ bool ConcurrentPredictionService::PredictQoSMany(
     std::span<double> values) const {
   AMF_CHECK_MSG(values.size() == candidates.size(),
                 "candidates/values size mismatch");
+  obs::ScopedCounterTimer trace(batch_calls_, batch_hist_);
+  if (batch_candidates_ != nullptr) {
+    batch_candidates_->Increment(candidates.size());
+  }
   std::fill(values.begin(), values.end(),
             std::numeric_limits<double>::quiet_NaN());
   std::shared_lock lock(mu_);
@@ -124,6 +167,26 @@ bool ConcurrentPredictionService::PredictQoSMany(
   return true;
 }
 
+void ConcurrentPredictionService::PredictMatrix(linalg::Matrix* out) const {
+  obs::ScopedCounterTimer trace(matrix_calls_, matrix_hist_);
+  std::shared_lock lock(mu_);
+  const core::AmfModel& m = service_.model();
+  const std::size_t users = m.num_users();
+  const std::size_t services = m.num_services();
+  out->Resize(users, services);
+  if (users == 0 || services == 0) return;
+  // The model's PredictMatrixRaw reads rows without seqlock brackets, so
+  // go row by row through the shared (seqlock-snapshotting) gather kernel
+  // instead — each row is a consistent snapshot taken while training runs.
+  std::vector<data::ServiceId> all(services);
+  for (std::size_t s = 0; s < services; ++s) {
+    all[s] = static_cast<data::ServiceId>(s);
+  }
+  for (std::size_t u = 0; u < users; ++u) {
+    m.PredictManyRawShared(static_cast<data::UserId>(u), all, out->row(u));
+  }
+}
+
 void ConcurrentPredictionService::EnableCheckpoints(
     const core::CheckpointManagerConfig& config) {
   std::lock_guard train(train_mu_);
@@ -138,9 +201,13 @@ bool ConcurrentPredictionService::RestoreFromLatestCheckpoint() {
 }
 
 core::PipelineStats ConcurrentPredictionService::pipeline_stats() const {
-  // The counters live in trainer-thread state; briefly join that role.
-  std::lock_guard train(train_mu_);
-  return service_.pipeline_stats();
+  // Deliberately lock-free: every source counter is a relaxed atomic
+  // (AtomicIngestCounters, the trainer's single-writer atomics, the
+  // checkpoint manager's counters, this facade's ring counters), so a
+  // monitor never queues behind train_mu_ while an epoch runs.
+  core::PipelineStats s = service_.pipeline_stats();
+  s.ring_dropped = dropped_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace amf::adapt

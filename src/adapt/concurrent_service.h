@@ -38,6 +38,11 @@
 
 #include "adapt/prediction_service.h"
 #include "common/mpsc_ring.h"
+#include "obs/metrics.h"
+
+namespace amf::linalg {
+class Matrix;
+}
 
 namespace amf::adapt {
 
@@ -73,6 +78,12 @@ class ConcurrentPredictionService {
                       std::span<const data::ServiceId> candidates,
                       std::span<double> values) const;
 
+  /// Scores every registered (user, service) pair into `out` (resized to
+  /// num_users x num_services), reading each row through the model's
+  /// seqlocks so it runs concurrently with training. Row-by-row snapshot
+  /// consistency (like the other Predict* paths), not a global one.
+  void PredictMatrix(linalg::Matrix* out) const;
+
   // --- Training (single background thread; serialized among themselves) ---
   /// Drains the ring, pre-registers unseen entities (briefly exclusive if
   /// growth is needed), then trains one bounded step. Safe to call while
@@ -95,12 +106,32 @@ class ConcurrentPredictionService {
   std::uint64_t dropped_observations() const {
     return dropped_.load(std::memory_order_relaxed);
   }
+
+  /// Wait-free pipeline counters: trainer/validator stats plus this
+  /// facade's ring counters (ring_dropped). Every source is a relaxed
+  /// atomic — no lock is taken, so monitors may call this at any time,
+  /// including while Tick/TrainToConvergence holds train_mu_.
   core::PipelineStats pipeline_stats() const;
+
+  /// The metrics registry this service reports into: the config-supplied
+  /// one, else an internally owned registry. Snapshot it for ingest.*,
+  /// predict.*, trainer.*, pipeline.*, and checkpoint.* series.
+  obs::MetricsRegistry& metrics() const { return *registry_; }
 
  private:
   /// Pops everything out of the ring into staged_, registering unseen
   /// entities under the exclusive lock first. Caller holds train_mu_.
   void DrainRing();
+
+  /// Registers ingest.* / predict.* series and resolves the owned
+  /// counter/histogram handles. Runs once, from the constructor.
+  void RegisterMetrics();
+
+  // Declared before service_: the trainer registers metric callbacks into
+  // the registry at construction, and service_ is destroyed first so no
+  // callback can outlive its target within this object.
+  mutable obs::MetricsRegistry own_metrics_;
+  obs::MetricsRegistry* registry_;  // config.metrics or &own_metrics_
 
   // Lock order: train_mu_ before mu_. Readers take only mu_ (shared).
   mutable std::shared_mutex mu_;   // registration/checkpoint vs everything
@@ -110,6 +141,15 @@ class ConcurrentPredictionService {
   std::atomic<std::size_t> observations_{0};
   std::atomic<std::uint64_t> dropped_{0};
   QoSPredictionService service_;
+
+  // Prediction-path instrumentation handles (registry-owned, wait-free).
+  obs::Counter* predict_calls_ = nullptr;
+  obs::LatencyHistogram* predict_hist_ = nullptr;
+  obs::Counter* batch_calls_ = nullptr;
+  obs::Counter* batch_candidates_ = nullptr;
+  obs::LatencyHistogram* batch_hist_ = nullptr;
+  obs::Counter* matrix_calls_ = nullptr;
+  obs::LatencyHistogram* matrix_hist_ = nullptr;
 };
 
 }  // namespace amf::adapt

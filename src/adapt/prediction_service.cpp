@@ -10,11 +10,23 @@
 
 namespace amf::adapt {
 
+namespace {
+
+/// Propagates the service-level metrics registry into the trainer config
+/// (service-level setting wins when both are set).
+core::TrainerConfig WithMetrics(core::TrainerConfig trainer,
+                                obs::MetricsRegistry* metrics) {
+  if (metrics != nullptr) trainer.metrics = metrics;
+  return trainer;
+}
+
+}  // namespace
+
 QoSPredictionService::QoSPredictionService(
     const PredictionServiceConfig& config)
     : config_(config),
       model_(config.model),
-      trainer_(model_, config.trainer),
+      trainer_(model_, WithMetrics(config.trainer, config.metrics)),
       collector_(trainer_) {}
 
 data::UserId QoSPredictionService::RegisterUser(const std::string& name) {
@@ -168,6 +180,9 @@ QoSPredictionService::PredictResilient(data::UserId u,
 void QoSPredictionService::EnableCheckpoints(
     const core::CheckpointManagerConfig& config) {
   checkpoints_ = std::make_unique<core::CheckpointManager>(config);
+  obs::MetricsRegistry* metrics =
+      config_.metrics != nullptr ? config_.metrics : trainer_.config().metrics;
+  checkpoints_->AttachMetrics(metrics);
 }
 
 bool QoSPredictionService::RestoreFromLatestCheckpoint() {
@@ -183,7 +198,12 @@ bool QoSPredictionService::RestoreFromLatestCheckpoint() {
 }
 
 core::PipelineStats QoSPredictionService::pipeline_stats() const {
-  return trainer_.Stats();
+  core::PipelineStats s = trainer_.Stats();
+  if (checkpoints_ != nullptr) {
+    s.checkpoints_written = checkpoints_->written();
+    s.checkpoints_corrupt = checkpoints_->corrupt_skipped();
+  }
+  return s;
 }
 
 }  // namespace amf::adapt

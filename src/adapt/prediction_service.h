@@ -42,6 +42,11 @@ struct PredictionServiceConfig {
   /// background; the simulation quantizes that into ticks).
   std::size_t replay_epochs_per_tick = 1;
   DegradationConfig degradation{};
+  /// Observability sink for the whole pipeline (trainer counters, epoch
+  /// timing, checkpoint counters). Overrides trainer.metrics when set; the
+  /// registry must outlive the service and must not be snapshotted after
+  /// the service is destroyed. nullptr = no metrics.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class QoSPredictionService {

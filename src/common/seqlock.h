@@ -81,12 +81,25 @@ inline bool SeqlockTryRead(const SeqlockVersion& version, ReadFn&& read_fn) {
   return v.load(std::memory_order_relaxed) == v1;
 }
 
+/// Process-wide count of reader retries (snapshot attempts discarded
+/// because a writer was mid-row). Monitoring only: the counter is bumped
+/// on the retry path exclusively, so uncontended reads cost nothing, and
+/// a monitoring layer can expose it as a contention signal (see
+/// obs::MetricsRegistry callers). Constant-initialized, so safe to touch
+/// from any thread at any time.
+inline std::atomic<std::uint64_t>& SeqlockRetryCounter() {
+  static std::atomic<std::uint64_t> retries{0};
+  return retries;
+}
+
 /// Retries `read_fn` until it lands between writes. The wait is bounded by
 /// the writer's two-increment critical section; a pause keeps the version
-/// cache line shared while spinning.
+/// cache line shared while spinning. Each discarded attempt is counted in
+/// SeqlockRetryCounter().
 template <typename ReadFn>
 inline void SeqlockRead(const SeqlockVersion& version, ReadFn&& read_fn) {
   while (!SeqlockTryRead(version, read_fn)) {
+    SeqlockRetryCounter().fetch_add(1, std::memory_order_relaxed);
 #if defined(__x86_64__) || defined(__i386__)
     __builtin_ia32_pause();
 #endif

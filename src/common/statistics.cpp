@@ -79,15 +79,16 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::Add(double x) {
-  std::size_t bin;
-  if (x < lo_) {
-    bin = 0;
-  } else if (x >= hi_) {
-    bin = counts_.size() - 1;
-  } else {
-    bin = static_cast<std::size_t>((x - lo_) / bin_width_);
-    bin = std::min(bin, counts_.size() - 1);
+  if (!(x >= lo_)) {  // below range, or NaN
+    ++underflow_;
+    return;
   }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  std::size_t bin = static_cast<std::size_t>((x - lo_) / bin_width_);
+  bin = std::min(bin, counts_.size() - 1);
   ++counts_[bin];
   ++total_;
 }
@@ -121,6 +122,10 @@ std::string Histogram::ToAscii(std::size_t width) const {
     oss << FormatFixed(bin_center(b), 3) << " | ";
     for (std::size_t i = 0; i < bar; ++i) oss << '#';
     oss << "  (" << FormatFixed(density(b), 4) << ")\n";
+  }
+  if (underflow_ > 0 || overflow_ > 0) {
+    oss << "out of range: underflow=" << underflow_
+        << " overflow=" << overflow_ << " (excluded from densities)\n";
   }
   return oss.str();
 }

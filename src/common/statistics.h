@@ -50,8 +50,12 @@ double Median(std::vector<double> v);
 /// closest ranks. Requires non-empty input.
 double Percentile(std::vector<double> v, double p);
 
-/// Fixed-width histogram over [lo, hi); values outside are clamped into the
-/// first/last bin. Densities sum to 1 over all bins.
+/// Fixed-width histogram over [lo, hi). Out-of-range values (x < lo or
+/// x >= hi; NaN counts as underflow) are tracked as explicit underflow /
+/// overflow counts instead of being clamped into the edge bins — clamping
+/// silently inflated the edge densities of Fig. 10-style plots. Densities
+/// are fractions of the *in-range* samples and sum to 1 over all bins
+/// whenever any sample landed in range.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -62,14 +66,22 @@ class Histogram {
   std::size_t bins() const { return counts_.size(); }
   double lo() const { return lo_; }
   double hi() const { return hi_; }
+  /// In-range samples (the density denominator).
   std::size_t total() const { return total_; }
+  /// Samples below lo (including NaN).
+  std::size_t underflow() const { return underflow_; }
+  /// Samples at or above hi.
+  std::size_t overflow() const { return overflow_; }
+  /// Every Add() ever made, in range or not.
+  std::size_t seen() const { return total_ + underflow_ + overflow_; }
   std::size_t count(std::size_t bin) const;
-  /// Fraction of samples in `bin` (0 when empty).
+  /// Fraction of in-range samples in `bin` (0 when no in-range samples).
   double density(std::size_t bin) const;
   /// Center of `bin`.
   double bin_center(std::size_t bin) const;
 
-  /// Renders a fixed-width ASCII bar chart (for bench output).
+  /// Renders a fixed-width ASCII bar chart (for bench output); reports
+  /// underflow/overflow tallies on a trailing line when nonzero.
   std::string ToAscii(std::size_t width = 50) const;
 
  private:
@@ -78,6 +90,8 @@ class Histogram {
   double bin_width_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
 };
 
 }  // namespace amf::common

@@ -13,6 +13,8 @@
 #include "common/check.h"
 #include "common/crc32.h"
 #include "core/model_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <fcntl.h>
@@ -203,12 +205,48 @@ std::vector<std::string> CheckpointManager::List() const {
   return paths;
 }
 
+void CheckpointManager::AttachMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  registry->RegisterCallbackCounter("checkpoint.writes", [this] {
+    return written_.load(std::memory_order_relaxed);
+  });
+  registry->RegisterCallbackCounter("checkpoint.write_failures", [this] {
+    return write_failures_.load(std::memory_order_relaxed);
+  });
+  registry->RegisterCallbackCounter("checkpoint.bytes_written", [this] {
+    return bytes_written_.load(std::memory_order_relaxed);
+  });
+  registry->RegisterCallbackCounter("checkpoint.corrupt_skipped", [this] {
+    return corrupt_skipped_.load(std::memory_order_relaxed);
+  });
+  // Checkpoints of large models can take whole seconds; widen the range.
+  obs::LatencyHistogramOptions opts;
+  opts.max_value = 600.0;
+  write_hist_ = registry->GetLatencyHistogram("checkpoint.write_seconds", opts);
+  restore_hist_ =
+      registry->GetLatencyHistogram("checkpoint.restore_seconds", opts);
+}
+
 std::string CheckpointManager::Save(const AmfModel& model,
                                     const SampleStore& store, double now,
                                     double last_epoch_error) {
   const std::string path = PathFor(next_seq_++);
-  WriteCheckpointFile(path, model, store, now, last_epoch_error);
-  ++written_;
+  {
+    obs::ScopedLatencyTimer timer(write_hist_);
+    try {
+      WriteCheckpointFile(path, model, store, now, last_epoch_error);
+    } catch (...) {
+      write_failures_.fetch_add(1, std::memory_order_relaxed);
+      throw;
+    }
+  }
+  written_.fetch_add(1, std::memory_order_relaxed);
+  std::error_code size_ec;
+  const auto file_bytes = fs::file_size(path, size_ec);
+  if (!size_ec) {
+    bytes_written_.fetch_add(static_cast<std::uint64_t>(file_bytes),
+                             std::memory_order_relaxed);
+  }
   last_save_time_ = now;
   saved_once_ = true;
   // Retention: prune oldest beyond the limit.
@@ -233,12 +271,13 @@ bool CheckpointManager::MaybeSave(const AmfModel& model,
 }
 
 std::optional<CheckpointData> CheckpointManager::LoadLatestValid() {
+  obs::ScopedLatencyTimer timer(restore_hist_);
   std::vector<std::string> all = List();
   for (auto it = all.rbegin(); it != all.rend(); ++it) {
     try {
       return ReadCheckpointFile(*it);
     } catch (const common::CheckError&) {
-      ++corrupt_skipped_;
+      corrupt_skipped_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   return std::nullopt;

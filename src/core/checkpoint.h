@@ -23,6 +23,7 @@
 // state.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <limits>
@@ -32,6 +33,11 @@
 
 #include "core/amf_model.h"
 #include "core/sample_store.h"
+
+namespace amf::obs {
+class LatencyHistogram;
+class MetricsRegistry;
+}  // namespace amf::obs
 
 namespace amf::core {
 
@@ -101,9 +107,29 @@ class CheckpointManager {
   /// Checkpoint paths sorted oldest -> newest by sequence number.
   std::vector<std::string> List() const;
 
-  std::uint64_t written() const { return written_; }
+  /// Registers checkpoint.* counters and write/restore latency histograms
+  /// with `registry`. Call before concurrent use; the registry must not
+  /// be snapshotted after this manager is destroyed (the registrations
+  /// are callbacks into manager-owned counters).
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
+  // Save/MaybeSave run on the trainer thread; monitors read the counters
+  // concurrently (pipeline_stats, metric snapshots), hence relaxed atomics.
+  std::uint64_t written() const {
+    return written_.load(std::memory_order_relaxed);
+  }
   /// Corrupt checkpoints detected (and skipped) by LoadLatestValid.
-  std::uint64_t corrupt_skipped() const { return corrupt_skipped_; }
+  std::uint64_t corrupt_skipped() const {
+    return corrupt_skipped_.load(std::memory_order_relaxed);
+  }
+  /// Save attempts that threw (IO failure mid-write).
+  std::uint64_t write_failures() const {
+    return write_failures_.load(std::memory_order_relaxed);
+  }
+  /// Total payload bytes of successfully written checkpoint files.
+  std::uint64_t bytes_written() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::string PathFor(std::uint64_t seq) const;
@@ -112,8 +138,12 @@ class CheckpointManager {
   std::uint64_t next_seq_ = 1;
   double last_save_time_ = 0.0;
   bool saved_once_ = false;
-  std::uint64_t written_ = 0;
-  std::uint64_t corrupt_skipped_ = 0;
+  std::atomic<std::uint64_t> written_{0};
+  std::atomic<std::uint64_t> corrupt_skipped_{0};
+  std::atomic<std::uint64_t> write_failures_{0};
+  std::atomic<std::uint64_t> bytes_written_{0};
+  obs::LatencyHistogram* write_hist_ = nullptr;
+  obs::LatencyHistogram* restore_hist_ = nullptr;
 };
 
 /// Recovery entry point: tries `preferred_path` first (a checkpoint file);

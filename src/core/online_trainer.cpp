@@ -7,6 +7,8 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace amf::core {
 
@@ -18,9 +20,55 @@ OnlineTrainer::OnlineTrainer(AmfModel& model, const TrainerConfig& config)
   AMF_CHECK_MSG(config_.convergence_tol > 0.0,
                 "convergence_tol must be positive");
   AMF_CHECK_MSG(config_.max_epochs > 0, "max_epochs must be positive");
+  if (config_.metrics != nullptr) RegisterMetrics();
 }
 
 OnlineTrainer::~OnlineTrainer() = default;
+
+void OnlineTrainer::RegisterMetrics() {
+  obs::MetricsRegistry& reg = *config_.metrics;
+  // Callbacks sample the always-on relaxed atomics, so enabling metrics
+  // adds no hot-path work here — only snapshot-time loads.
+  const auto counter = [](const std::atomic<std::uint64_t>& src) {
+    return [&src] { return src.load(std::memory_order_relaxed); };
+  };
+  reg.RegisterCallbackCounter("trainer.updates", counter(updates_applied_));
+  reg.RegisterCallbackCounter("trainer.epochs", counter(epochs_run_));
+  reg.RegisterCallbackCounter("trainer.expired", counter(expired_));
+  reg.RegisterCallbackCounter("trainer.queue_dropped",
+                              counter(dropped_on_overflow_));
+  reg.RegisterCallbackCounter("trainer.clock_regressions",
+                              counter(clock_regressions_));
+  reg.RegisterCallbackCounter("trainer.skipped_updates",
+                              counter(skipped_updates_));
+
+  const AtomicIngestCounters& in = validator_.counters();
+  reg.RegisterCallbackCounter("pipeline.accepted", counter(in.accepted));
+  reg.RegisterCallbackCounter("pipeline.rejected_nonfinite",
+                              counter(in.rejected_nonfinite));
+  reg.RegisterCallbackCounter("pipeline.rejected_nonpositive",
+                              counter(in.rejected_nonpositive));
+  reg.RegisterCallbackCounter("pipeline.rejected_out_of_range",
+                              counter(in.rejected_out_of_range));
+  reg.RegisterCallbackCounter("pipeline.rejected_bad_timestamp",
+                              counter(in.rejected_bad_timestamp));
+  reg.RegisterCallbackCounter("pipeline.rejected_duplicate",
+                              counter(in.rejected_duplicate));
+  reg.RegisterCallbackCounter("pipeline.quarantined_outlier",
+                              counter(in.quarantined_outlier));
+  reg.RegisterCallbackCounter("pipeline.nan_reinit_users",
+                              [this] { return model_.nan_reinit_users(); });
+  reg.RegisterCallbackCounter("pipeline.nan_reinit_services",
+                              [this] { return model_.nan_reinit_services(); });
+
+  // Epoch wall times span microseconds (tiny stores) to minutes (full
+  // convergence passes over a large store).
+  epoch_hist_ = reg.GetLatencyHistogram(
+      "trainer.epoch_seconds", {.min_value = 1e-6, .max_value = 600.0});
+  // Parallel replay only: max/mean shard partition size this epoch (1.0 =
+  // perfectly balanced; N = one shard owns N times its fair share).
+  shard_imbalance_gauge_ = reg.GetGauge("trainer.shard_imbalance");
+}
 
 void OnlineTrainer::Observe(const data::QoSSample& sample) {
   if (config_.max_incoming > 0 &&
@@ -29,14 +77,21 @@ void OnlineTrainer::Observe(const data::QoSSample& sample) {
     // (the store already holds the freshest value per pair, so dropping
     // bursts degrades recency, not correctness) instead of letting the
     // queue grow without bound.
-    ++dropped_on_overflow_;
+    dropped_on_overflow_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   incoming_.push_back(sample);
 }
 
 void OnlineTrainer::AdvanceTime(double now) {
-  AMF_CHECK_MSG(now >= now_, "time must be monotonic");
+  if (!(now >= now_)) {  // backwards step, or NaN
+    // A wall clock stepping backwards (NTP, VM migration, restore onto a
+    // different machine) must not abort an always-on trainer. Hold the
+    // clock — expiry keeps working against the newest time we ever saw —
+    // and surface the event to monitoring instead.
+    clock_regressions_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   now_ = now;
 }
 
@@ -58,23 +113,27 @@ std::size_t OnlineTrainer::ProcessIncoming() {
       // The model refused the sample (degenerate transform); don't keep it
       // around for replay to refuse again.
       store_.Remove(sample.user, sample.service);
-      ++skipped_updates_;
+      skipped_updates_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     now_ = std::max(now_, sample.timestamp);
+    updates_applied_.fetch_add(1, std::memory_order_relaxed);
     ++processed;
   }
   if (processed > 0) converged_ = false;
   return processed;
 }
 
-std::optional<double> OnlineTrainer::ReplayOne() {
+std::optional<double> OnlineTrainer::ReplayOneCounted(std::uint64_t& applied,
+                                                      std::uint64_t& expired,
+                                                      std::uint64_t& skipped) {
   if (store_.empty()) return std::nullopt;
   const data::QoSSample sample = store_.PickRandom(rng_);
   if (config_.expiry_seconds > 0.0 &&
       now_ - sample.timestamp >= config_.expiry_seconds) {
     // Algorithm 1 line 15: the sample is obsolete, set I_ij <- 0.
     store_.Remove(sample.user, sample.service);
+    ++expired;
     return std::nullopt;
   }
   const double e = ApplyUpdate(sample);
@@ -82,25 +141,48 @@ std::optional<double> OnlineTrainer::ReplayOne() {
     // Hard model-side guard tripped; drop the sample so the epoch loop
     // cannot spin on it.
     store_.Remove(sample.user, sample.service);
-    ++skipped_updates_;
+    ++skipped;
     return std::nullopt;
   }
+  ++applied;
+  return e;
+}
+
+void OnlineTrainer::FlushReplayCounters(std::uint64_t applied,
+                                        std::uint64_t expired,
+                                        std::uint64_t skipped) {
+  if (applied > 0) updates_applied_.fetch_add(applied, std::memory_order_relaxed);
+  if (expired > 0) expired_.fetch_add(expired, std::memory_order_relaxed);
+  if (skipped > 0) skipped_updates_.fetch_add(skipped, std::memory_order_relaxed);
+}
+
+std::optional<double> OnlineTrainer::ReplayOne() {
+  std::uint64_t applied = 0, expired = 0, skipped = 0;
+  const std::optional<double> e = ReplayOneCounted(applied, expired, skipped);
+  FlushReplayCounters(applied, expired, skipped);
   return e;
 }
 
 std::optional<double> OnlineTrainer::ReplayEpoch() {
+  if (store_.size() > 0) epochs_run_.fetch_add(1, std::memory_order_relaxed);
+  obs::ScopedLatencyTimer epoch_timer(epoch_hist_);
   if (config_.replay_threads > 1) return ReplayEpochParallel();
   const std::size_t iters = store_.size();
   if (iters == 0) return std::nullopt;
   double err_sum = 0.0;
   std::size_t applied = 0;
+  // Counters accumulate in locals and flush once at the epoch barrier, so
+  // the per-sample hot loop carries no atomic RMW (same batching as the
+  // parallel path; monitors lag by at most one epoch).
+  std::uint64_t applied_n = 0, expired_n = 0, skipped_n = 0;
   for (std::size_t i = 0; i < iters; ++i) {
-    if (const auto e = ReplayOne()) {
+    if (const auto e = ReplayOneCounted(applied_n, expired_n, skipped_n)) {
       err_sum += *e;
       ++applied;
     }
     if (store_.empty()) break;
   }
+  FlushReplayCounters(applied_n, expired_n, skipped_n);
   if (applied == 0) return std::nullopt;
   return err_sum / static_cast<double>(applied);
 }
@@ -135,11 +217,22 @@ std::optional<double> OnlineTrainer::ReplayEpochParallel() {
   for (std::uint32_t i = 0; i < samples.size(); ++i) {
     shard_partitions_[samples[i].user % shards].push_back(i);
   }
+  if (shard_imbalance_gauge_ != nullptr) {
+    // max/mean partition size: 1.0 is a perfect split, higher means one
+    // shard serializes that multiple of its fair share of the epoch.
+    std::size_t max_part = 0;
+    for (const auto& p : shard_partitions_) max_part = std::max(max_part, p.size());
+    const double mean_part =
+        static_cast<double>(samples.size()) / static_cast<double>(shards);
+    shard_imbalance_gauge_->Set(
+        mean_part > 0.0 ? static_cast<double>(max_part) / mean_part : 0.0);
+  }
 
   struct ShardOutcome {
     double err_sum = 0.0;
     std::size_t applied = 0;
     std::uint64_t refused = 0;
+    std::uint64_t expired = 0;
     // Store mutations are deferred to the epoch barrier: the store is not
     // thread-safe, and removals mid-epoch would invalidate `samples`.
     std::vector<std::pair<data::UserId, data::ServiceId>> remove;
@@ -157,6 +250,7 @@ std::optional<double> OnlineTrainer::ReplayEpochParallel() {
       const data::QoSSample& s = samples[idx];
       if (expiry > 0.0 && now - s.timestamp >= expiry) {
         out.remove.emplace_back(s.user, s.service);  // Alg. 1: I_ij <- 0
+        ++out.expired;
         continue;
       }
       double e;
@@ -180,10 +274,12 @@ std::optional<double> OnlineTrainer::ReplayEpochParallel() {
   std::size_t applied = 0;
   for (const ShardOutcome& out : outcomes) {
     for (const auto& [u, s] : out.remove) store_.Remove(u, s);
-    skipped_updates_ += out.refused;
+    skipped_updates_.fetch_add(out.refused, std::memory_order_relaxed);
+    expired_.fetch_add(out.expired, std::memory_order_relaxed);
     err_sum += out.err_sum;
     applied += out.applied;
   }
+  updates_applied_.fetch_add(applied, std::memory_order_relaxed);
   if (applied == 0) return std::nullopt;
   return err_sum / static_cast<double>(applied);
 }
@@ -229,9 +325,13 @@ std::size_t OnlineTrainer::RunUntilConverged() {
 }
 
 PipelineStats OnlineTrainer::Stats() const {
+  // Wait-free: every source is a relaxed atomic with the trainer thread
+  // as its only writer, so monitors may call this mid-epoch.
   PipelineStats s = validator_.stats();
-  s.skipped_updates = skipped_updates_;
-  s.dropped_on_overflow = dropped_on_overflow_;
+  s.skipped_updates = skipped_updates_.load(std::memory_order_relaxed);
+  s.dropped_on_overflow =
+      dropped_on_overflow_.load(std::memory_order_relaxed);
+  s.clock_regressions = clock_regressions_.load(std::memory_order_relaxed);
   s.nan_reinit_users = model_.nan_reinit_users();
   s.nan_reinit_services = model_.nan_reinit_services();
   return s;

@@ -13,6 +13,7 @@
 // the mean training error across replay epochs.
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <memory>
 #include <vector>
@@ -27,6 +28,12 @@
 namespace amf::common {
 class ThreadPool;
 }
+
+namespace amf::obs {
+class Gauge;
+class LatencyHistogram;
+class MetricsRegistry;
+}  // namespace amf::obs
 
 namespace amf::core {
 
@@ -76,6 +83,15 @@ struct TrainerConfig {
   /// paths. Growth still happens on ingest: callers with live concurrent
   /// readers must pre-register entities (see ConcurrentPredictionService).
   bool guarded_updates = false;
+
+  // --- Observability -------------------------------------------------------
+  /// When set, the trainer registers its counters (trainer.*, pipeline.*)
+  /// with this registry at construction and records epoch wall times into
+  /// a trainer.epoch_seconds histogram. The registry must outlive the
+  /// trainer's last use AND must not be snapshotted after the trainer is
+  /// destroyed (the registrations are callbacks into trainer state).
+  /// nullptr = no metrics, zero overhead beyond the always-on atomics.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 class OnlineTrainer {
@@ -95,7 +111,10 @@ class OnlineTrainer {
   void Observe(const data::QoSSample& sample);
 
   /// Advances the simulated clock (timestamps of later Observe calls are
-  /// expected to be >= now).
+  /// expected to be >= now). A non-monotonic `now` — reachable in real
+  /// deployments when a checkpoint restore meets a wall clock that
+  /// stepped backwards — is clamped (the clock holds) and counted in
+  /// Stats().clock_regressions instead of aborting the process.
   void AdvanceTime(double now);
 
   /// Drains the incoming queue: each sample is stored (I_ij <- 1) and
@@ -131,8 +150,17 @@ class OnlineTrainer {
   const SampleValidator& validator() const { return validator_; }
 
   /// Pipeline counters: validator verdicts, updates the model refused
-  /// (non-finite / degenerate-r samples), and NaN-poisoning repairs.
+  /// (non-finite / degenerate-r samples), NaN-poisoning repairs, shed
+  /// load, and clock regressions. Wait-free — every source is a relaxed
+  /// atomic, so monitors may call this from any thread while training
+  /// runs (no lock is taken and none is needed).
   PipelineStats Stats() const;
+
+  /// Total online updates applied (ingest + replay), for throughput
+  /// monitoring. Relaxed read; safe from any thread.
+  std::uint64_t updates_applied() const {
+    return updates_applied_.load(std::memory_order_relaxed);
+  }
 
   /// Mutable store access for checkpoint restore (LoadSampleStore upserts
   /// records into it); not for use while training is in flight.
@@ -142,9 +170,21 @@ class OnlineTrainer {
   /// One parallel user-sharded epoch over the current store contents.
   std::optional<double> ReplayEpochParallel();
 
+  /// ReplayOne body with plain-integer accounting: the serial epoch loop
+  /// accumulates into locals and flushes once per epoch, keeping atomic
+  /// RMWs out of the per-sample path.
+  std::optional<double> ReplayOneCounted(std::uint64_t& applied,
+                                         std::uint64_t& expired,
+                                         std::uint64_t& skipped);
+  void FlushReplayCounters(std::uint64_t applied, std::uint64_t expired,
+                           std::uint64_t skipped);
+
   /// Applies one incoming/replayed sample through the configured update
   /// path (guarded or plain); registers entities first when growing.
   double ApplyUpdate(const data::QoSSample& sample);
+
+  /// Registers trainer.* / pipeline.* metrics with config_.metrics.
+  void RegisterMetrics();
 
   AmfModel& model_;
   TrainerConfig config_;
@@ -154,9 +194,19 @@ class OnlineTrainer {
   std::deque<data::QoSSample> incoming_;
   double now_ = 0.0;
   bool converged_ = false;
-  std::uint64_t skipped_updates_ = 0;
-  std::uint64_t dropped_on_overflow_ = 0;
+  // Single-writer (the trainer thread) relaxed atomics: monitoring
+  // threads read them concurrently via Stats() / metric callbacks.
+  std::atomic<std::uint64_t> skipped_updates_{0};
+  std::atomic<std::uint64_t> dropped_on_overflow_{0};
+  std::atomic<std::uint64_t> clock_regressions_{0};
+  std::atomic<std::uint64_t> updates_applied_{0};
+  std::atomic<std::uint64_t> epochs_run_{0};
+  std::atomic<std::uint64_t> expired_{0};
   double last_epoch_error_ = std::numeric_limits<double>::quiet_NaN();
+
+  // Metric handles (nullptr when config_.metrics is nullptr).
+  obs::LatencyHistogram* epoch_hist_ = nullptr;
+  obs::Gauge* shard_imbalance_gauge_ = nullptr;
 
   // Parallel-replay state, created lazily on the first parallel epoch.
   std::unique_ptr<common::ThreadPool> pool_;

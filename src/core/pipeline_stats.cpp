@@ -12,10 +12,12 @@ std::string PipelineStats::ToString() const {
       << " bad_timestamp=" << rejected_bad_timestamp
       << " duplicate=" << rejected_duplicate << "}"
       << " quarantined=" << quarantined_outlier
-      << " dropped_on_overflow=" << dropped_on_overflow
+      << " dropped{ring=" << ring_dropped
+      << " overflow=" << dropped_on_overflow << "}"
       << " skipped_updates=" << skipped_updates
       << " nan_reinit{users=" << nan_reinit_users
       << " services=" << nan_reinit_services << "}"
+      << " clock_regressions=" << clock_regressions
       << " checkpoints{written=" << checkpoints_written
       << " corrupt=" << checkpoints_corrupt << "}";
   return oss.str();

@@ -7,6 +7,7 @@
 // tests assert against.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -21,12 +22,19 @@ struct PipelineStats {
   std::uint64_t rejected_bad_timestamp = 0;///< non-finite / far-future stamps
   std::uint64_t rejected_duplicate = 0;    ///< duplicate or stale (u,s,t) key
   std::uint64_t quarantined_outlier = 0;   ///< failed the median+MAD gate
-  std::uint64_t dropped_on_overflow = 0;   ///< backpressure: queue at cap
+
+  // --- Shed load (both stages of the ingest funnel) ------------------------
+  /// Backpressure at the concurrent facade: observation ring was full
+  /// (ConcurrentPredictionService::ReportObservation returned false).
+  std::uint64_t ring_dropped = 0;
+  /// Backpressure at the trainer: incoming queue at max_incoming.
+  std::uint64_t dropped_on_overflow = 0;
 
   // --- Training-side guards ------------------------------------------------
   std::uint64_t skipped_updates = 0;   ///< OnlineUpdate refused the sample
   std::uint64_t nan_reinit_users = 0;  ///< user vectors re-randomized
   std::uint64_t nan_reinit_services = 0;
+  std::uint64_t clock_regressions = 0; ///< AdvanceTime clamped a backwards now
 
   // --- Checkpointing -------------------------------------------------------
   std::uint64_t checkpoints_written = 0;
@@ -39,9 +47,49 @@ struct PipelineStats {
   std::uint64_t seen() const {
     return accepted + rejected() + quarantined_outlier;
   }
+  /// Unified shed-load total: every sample dropped for capacity reasons,
+  /// whichever stage shed it. Samples the ring shed never reached the
+  /// trainer queue and vice versa, so the two counters are disjoint.
+  std::uint64_t dropped() const { return ring_dropped + dropped_on_overflow; }
 
   /// One-line "accepted=... rejected{...} quarantined=..." summary.
   std::string ToString() const;
+};
+
+/// Live, concurrently-readable mirrors of the ingestion counters.
+///
+/// The pipeline has exactly one writer per counter (the trainer thread),
+/// but monitoring threads read at any time, so the live cells are relaxed
+/// atomics: a snapshot is a plain-struct PipelineStats assembled from
+/// relaxed loads — wait-free for the reader, free for the writer (an
+/// uncontended relaxed fetch_add), and well-defined under TSan. The
+/// counters carry no ordering obligations (statistics, not
+/// synchronization), hence relaxed everywhere.
+struct AtomicIngestCounters {
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> rejected_nonfinite{0};
+  std::atomic<std::uint64_t> rejected_nonpositive{0};
+  std::atomic<std::uint64_t> rejected_out_of_range{0};
+  std::atomic<std::uint64_t> rejected_bad_timestamp{0};
+  std::atomic<std::uint64_t> rejected_duplicate{0};
+  std::atomic<std::uint64_t> quarantined_outlier{0};
+
+  /// Copies the live values (relaxed) into the value-struct fields.
+  void SnapshotInto(PipelineStats* out) const {
+    out->accepted = accepted.load(std::memory_order_relaxed);
+    out->rejected_nonfinite =
+        rejected_nonfinite.load(std::memory_order_relaxed);
+    out->rejected_nonpositive =
+        rejected_nonpositive.load(std::memory_order_relaxed);
+    out->rejected_out_of_range =
+        rejected_out_of_range.load(std::memory_order_relaxed);
+    out->rejected_bad_timestamp =
+        rejected_bad_timestamp.load(std::memory_order_relaxed);
+    out->rejected_duplicate =
+        rejected_duplicate.load(std::memory_order_relaxed);
+    out->quarantined_outlier =
+        quarantined_outlier.load(std::memory_order_relaxed);
+  }
 };
 
 }  // namespace amf::core

@@ -67,15 +67,15 @@ SampleVerdict SampleValidator::Validate(const data::QoSSample& sample,
   // Value guards first: a non-finite value must never reach BoxCox or the
   // relative-error loss.
   if (!std::isfinite(sample.value)) {
-    ++stats_.rejected_nonfinite;
+    counters_.rejected_nonfinite.fetch_add(1, std::memory_order_relaxed);
     return SampleVerdict::kNonFinite;
   }
   if (config_.reject_nonpositive && sample.value <= 0.0) {
-    ++stats_.rejected_nonpositive;
+    counters_.rejected_nonpositive.fetch_add(1, std::memory_order_relaxed);
     return SampleVerdict::kNonPositive;
   }
   if (config_.max_value > 0.0 && sample.value > config_.max_value) {
-    ++stats_.rejected_out_of_range;
+    counters_.rejected_out_of_range.fetch_add(1, std::memory_order_relaxed);
     return SampleVerdict::kOutOfRange;
   }
 
@@ -85,7 +85,7 @@ SampleVerdict SampleValidator::Validate(const data::QoSSample& sample,
   if (!std::isfinite(sample.timestamp) || sample.timestamp < 0.0 ||
       (config_.max_future_seconds > 0.0 &&
        sample.timestamp > now + config_.max_future_seconds)) {
-    ++stats_.rejected_bad_timestamp;
+    counters_.rejected_bad_timestamp.fetch_add(1, std::memory_order_relaxed);
     return SampleVerdict::kBadTimestamp;
   }
 
@@ -94,7 +94,7 @@ SampleVerdict SampleValidator::Validate(const data::QoSSample& sample,
   if (config_.reject_duplicates) {
     const auto it = last_accepted_ts_.find(key);
     if (it != last_accepted_ts_.end() && sample.timestamp <= it->second) {
-      ++stats_.rejected_duplicate;
+      counters_.rejected_duplicate.fetch_add(1, std::memory_order_relaxed);
       return SampleVerdict::kDuplicate;
     }
   }
@@ -107,7 +107,7 @@ SampleVerdict SampleValidator::Validate(const data::QoSSample& sample,
     RobustStats(h, &median, &mad);
     const double scale = std::max(mad, config_.mad_floor);
     if (std::abs(sample.value - median) > config_.outlier_mad_k * scale) {
-      ++stats_.quarantined_outlier;
+      counters_.quarantined_outlier.fetch_add(1, std::memory_order_relaxed);
       quarantine_.push_back(sample);
       while (quarantine_.size() > config_.quarantine_capacity) {
         quarantine_.pop_front();
@@ -124,7 +124,7 @@ SampleVerdict SampleValidator::Validate(const data::QoSSample& sample,
     h.next = (h.next + 1) % config_.history_capacity;
   }
   last_accepted_ts_[key] = sample.timestamp;
-  ++stats_.accepted;
+  counters_.accepted.fetch_add(1, std::memory_order_relaxed);
   return SampleVerdict::kAccept;
 }
 

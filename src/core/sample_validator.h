@@ -91,8 +91,18 @@ class SampleValidator {
     return Validate(sample, now) == SampleVerdict::kAccept;
   }
 
-  /// Per-reason counters accumulated by Validate.
-  const PipelineStats& stats() const { return stats_; }
+  /// Per-reason counters accumulated by Validate, as a plain-struct
+  /// snapshot. The live counters are relaxed atomics (single writer — the
+  /// trainer thread — but monitoring threads snapshot concurrently), so
+  /// this read is wait-free and safe from any thread at any time.
+  PipelineStats stats() const {
+    PipelineStats s;
+    counters_.SnapshotInto(&s);
+    return s;
+  }
+
+  /// Live ingestion counters (for registering metrics callbacks).
+  const AtomicIngestCounters& counters() const { return counters_; }
 
   /// Quarantined outliers, oldest first (bounded by quarantine_capacity).
   const std::deque<data::QoSSample>& quarantine() const { return quarantine_; }
@@ -119,7 +129,7 @@ class SampleValidator {
   void RobustStats(const History& h, double* median, double* mad) const;
 
   SampleValidatorConfig config_;
-  PipelineStats stats_;
+  AtomicIngestCounters counters_;
   std::unordered_map<data::ServiceId, History> history_;
   std::unordered_map<std::uint64_t, double> last_accepted_ts_;
   std::deque<data::QoSSample> quarantine_;

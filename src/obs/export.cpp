@@ -1,0 +1,125 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace amf::obs {
+
+namespace {
+
+/// Shortest-ish round-trippable double; JSON-safe when finite_only.
+std::string FormatDouble(double v, bool finite_only) {
+  if (!std::isfinite(v)) {
+    if (!finite_only) return std::isnan(v) ? "NaN" : (v > 0 ? "+Inf" : "-Inf");
+    return "0";
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// Metric names here are dotted identifiers; escape defensively anyway.
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string PromName(const std::string& name) {
+  std::string out = "amf_";
+  for (char c : name) {
+    out.push_back(std::isalnum(static_cast<unsigned char>(c)) ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToJson(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    os << (i ? ",\n    " : "\n    ") << '"'
+       << JsonEscape(snapshot.counters[i].first)
+       << "\": " << snapshot.counters[i].second;
+  }
+  os << (snapshot.counters.empty() ? "},\n" : "\n  },\n");
+
+  os << "  \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    os << (i ? ",\n    " : "\n    ") << '"'
+       << JsonEscape(snapshot.gauges[i].first)
+       << "\": " << FormatDouble(snapshot.gauges[i].second, true);
+  }
+  os << (snapshot.gauges.empty() ? "},\n" : "\n  },\n");
+
+  os << "  \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSnapshot& h = snapshot.histograms[i];
+    os << (i ? ",\n    " : "\n    ") << '"' << JsonEscape(h.name) << "\": {"
+       << "\"count\": " << h.total << ", \"sum\": "
+       << FormatDouble(h.sum, true)
+       << ", \"mean\": " << FormatDouble(h.mean(), true)
+       << ", \"underflow\": " << h.underflow
+       << ", \"overflow\": " << h.overflow
+       << ", \"p50\": " << FormatDouble(h.p50(), true)
+       << ", \"p95\": " << FormatDouble(h.p95(), true)
+       << ", \"p99\": " << FormatDouble(h.p99(), true) << ", \"buckets\": [";
+    bool first = true;
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (h.counts[b] == 0) continue;  // compact dumps: skip empty buckets
+      os << (first ? "" : ", ") << "{\"le\": "
+         << FormatDouble(h.upper_bounds[b], true)
+         << ", \"count\": " << h.counts[b] << '}';
+      first = false;
+    }
+    os << "]}";
+  }
+  os << (snapshot.histograms.empty() ? "}\n" : "\n  }\n");
+  os << "}\n";
+  return os.str();
+}
+
+std::string ToPrometheus(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string n = PromName(name);
+    os << "# TYPE " << n << " counter\n" << n << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string n = PromName(name);
+    os << "# TYPE " << n << " gauge\n"
+       << n << ' ' << FormatDouble(value, false) << '\n';
+  }
+  for (const HistogramSnapshot& h : snapshot.histograms) {
+    const std::string n = PromName(h.name);
+    os << "# TYPE " << n << " histogram\n";
+    // Cumulative buckets: underflow samples are <= every finite edge.
+    std::uint64_t cum = h.underflow;
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      cum += h.counts[b];
+      os << n << "_bucket{le=\"" << FormatDouble(h.upper_bounds[b], false)
+         << "\"} " << cum << '\n';
+    }
+    os << n << "_bucket{le=\"+Inf\"} " << h.total << '\n';
+    os << n << "_sum " << FormatDouble(h.sum, false) << '\n';
+    os << n << "_count " << h.total << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace amf::obs

@@ -1,0 +1,37 @@
+// Exporters for MetricsSnapshot: machine-readable JSON and Prometheus
+// text exposition format (version 0.0.4).
+//
+// Both exporters operate on an immutable snapshot, so they impose zero
+// cost on the pipeline being observed; take the snapshot first, format
+// at leisure. Doubles are emitted with %.9g and non-finite values are
+// written as 0 in JSON (JSON has no NaN/Inf literal) and verbatim in
+// Prometheus (which accepts NaN/+Inf/-Inf).
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace amf::obs {
+
+/// One JSON object:
+///   {
+///     "counters":   {"ingest.reported": 123, ...},
+///     "gauges":     {"ingest.ring_occupancy": 4, ...},
+///     "histograms": {"predict.seconds": {"count": ..., "sum": ...,
+///                    "mean": ..., "underflow": ..., "overflow": ...,
+///                    "p50": ..., "p95": ..., "p99": ...,
+///                    "buckets": [{"le": ..., "count": ...}, ...]}, ...}
+///   }
+/// Zero-count buckets are omitted from "buckets" to keep dumps compact;
+/// the percentile fields are computed over the full bucket set.
+std::string ToJson(const MetricsSnapshot& snapshot);
+
+/// Prometheus text format. Metric names are sanitized ('.' and any other
+/// non-[a-zA-Z0-9_] byte become '_') and prefixed with "amf_". Histograms
+/// emit cumulative `_bucket{le="..."}` series: underflow samples are <=
+/// every finite edge and so count into each cumulative bucket, overflow
+/// only into `le="+Inf"`; `_sum` and `_count` follow.
+std::string ToPrometheus(const MetricsSnapshot& snapshot);
+
+}  // namespace amf::obs

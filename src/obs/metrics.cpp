@@ -1,0 +1,220 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace amf::obs {
+
+namespace {
+
+/// Relaxed atomic add for doubles via CAS (fetch_add on atomic<double> is
+/// C++20 but not universally lock-free-lowered; the CAS loop is portable
+/// and the histogram sum is not contended enough for it to matter).
+void RelaxedAdd(std::atomic<double>& target, double delta) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+LatencyHistogram::LatencyHistogram(const LatencyHistogramOptions& options)
+    : min_(options.min_value),
+      max_(options.max_value),
+      inv_log_width_(static_cast<double>(options.buckets) /
+                     std::log(options.max_value / options.min_value)),
+      counts_(options.buckets) {
+  AMF_CHECK_MSG(options.min_value > 0.0,
+                "LatencyHistogram requires min_value > 0 (log-spaced)");
+  AMF_CHECK_MSG(options.max_value > options.min_value,
+                "LatencyHistogram requires max_value > min_value");
+  AMF_CHECK_MSG(options.buckets > 0,
+                "LatencyHistogram requires at least one bucket");
+}
+
+void LatencyHistogram::Record(double value) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  if (std::isfinite(value)) RelaxedAdd(sum_, value);
+  if (!(value >= min_)) {  // also catches NaN
+    underflow_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (value >= max_) {
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const double pos = std::log(value / min_) * inv_log_width_;
+  std::size_t bucket = pos <= 0.0 ? 0 : static_cast<std::size_t>(pos);
+  bucket = std::min(bucket, counts_.size() - 1);
+  counts_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+double LatencyHistogram::UpperBound(std::size_t bucket) const {
+  const double frac =
+      static_cast<double>(bucket + 1) / static_cast<double>(counts_.size());
+  return min_ * std::pow(max_ / min_, frac);
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  AMF_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile out of range");
+  if (total == 0) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(total);
+  double cum = static_cast<double>(underflow);
+  if (rank <= cum) return min_value;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double in_bucket = static_cast<double>(counts[i]);
+    if (in_bucket > 0.0 && rank <= cum + in_bucket) {
+      const double lower = i == 0 ? min_value : upper_bounds[i - 1];
+      const double frac = (rank - cum) / in_bucket;
+      return lower + frac * (upper_bounds[i] - lower);
+    }
+    cum += in_bucket;
+  }
+  return max_value;  // rank lands in overflow (or on the last edge)
+}
+
+std::uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+bool MetricsSnapshot::HasCounter(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+double MetricsSnapshot::GaugeValue(std::string_view name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0.0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    std::string_view name) const {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+template <typename T, typename MakeFn>
+T* MetricsRegistry::GetOrCreate(OwnedSlots<T>& kind, std::string_view name,
+                                MakeFn make) {
+  std::lock_guard<std::mutex> lock(register_mu_);
+  const std::size_t n = kind.size.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (kind.slots[i].name == name) return kind.slots[i].metric.get();
+  }
+  AMF_CHECK_MSG(n < kMaxPerKind, "metrics registry full for '" << name << "'");
+  kind.slots[n].name = std::string(name);
+  kind.slots[n].metric = make();
+  // Publish the fully constructed slot; Snapshot()'s acquire load of the
+  // size pairs with this release store.
+  kind.size.store(n + 1, std::memory_order_release);
+  return kind.slots[n].metric.get();
+}
+
+template <typename Fn>
+void MetricsRegistry::RegisterCallback(CallbackSlots<Fn>& kind,
+                                       std::string_view name, Fn fn) {
+  std::lock_guard<std::mutex> lock(register_mu_);
+  const std::size_t n = kind.size.load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (kind.slots[i].name == name) {
+      // Replacement races with a concurrent Snapshot() call in principle;
+      // in practice callbacks are (re)registered at component setup, not
+      // while monitors poll. Keep the common path allocation-free.
+      kind.slots[i].fn = std::move(fn);
+      return;
+    }
+  }
+  AMF_CHECK_MSG(n < kMaxPerKind, "metrics registry full for '" << name << "'");
+  kind.slots[n].name = std::string(name);
+  kind.slots[n].fn = std::move(fn);
+  kind.size.store(n + 1, std::memory_order_release);
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  return GetOrCreate(counters_, name,
+                     [] { return std::make_unique<Counter>(); });
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  return GetOrCreate(gauges_, name, [] { return std::make_unique<Gauge>(); });
+}
+
+LatencyHistogram* MetricsRegistry::GetLatencyHistogram(
+    std::string_view name, const LatencyHistogramOptions& options) {
+  return GetOrCreate(histograms_, name, [&options] {
+    return std::make_unique<LatencyHistogram>(options);
+  });
+}
+
+void MetricsRegistry::RegisterCallbackCounter(
+    std::string_view name, std::function<std::uint64_t()> fn) {
+  RegisterCallback(callback_counters_, name, std::move(fn));
+}
+
+void MetricsRegistry::RegisterCallbackGauge(std::string_view name,
+                                            std::function<double()> fn) {
+  RegisterCallback(callback_gauges_, name, std::move(fn));
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+
+  const std::size_t nc = counters_.size.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < nc; ++i) {
+    snap.counters.emplace_back(counters_.slots[i].name,
+                               counters_.slots[i].metric->value());
+  }
+  const std::size_t ncc =
+      callback_counters_.size.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < ncc; ++i) {
+    snap.counters.emplace_back(callback_counters_.slots[i].name,
+                               callback_counters_.slots[i].fn());
+  }
+
+  const std::size_t ng = gauges_.size.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < ng; ++i) {
+    snap.gauges.emplace_back(gauges_.slots[i].name,
+                             gauges_.slots[i].metric->value());
+  }
+  const std::size_t ncg = callback_gauges_.size.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < ncg; ++i) {
+    snap.gauges.emplace_back(callback_gauges_.slots[i].name,
+                             callback_gauges_.slots[i].fn());
+  }
+
+  const std::size_t nh = histograms_.size.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < nh; ++i) {
+    const LatencyHistogram& h = *histograms_.slots[i].metric;
+    HistogramSnapshot hs;
+    hs.name = histograms_.slots[i].name;
+    hs.min_value = h.min_value();
+    hs.max_value = h.max_value();
+    hs.upper_bounds.reserve(h.buckets());
+    hs.counts.reserve(h.buckets());
+    for (std::size_t b = 0; b < h.buckets(); ++b) {
+      hs.upper_bounds.push_back(h.UpperBound(b));
+      hs.counts.push_back(h.bucket_count(b));
+    }
+    hs.underflow = h.underflow();
+    hs.overflow = h.overflow();
+    hs.total = h.count();
+    hs.sum = h.sum();
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+}  // namespace amf::obs

@@ -1,0 +1,244 @@
+// Runtime observability: a wait-free metrics layer for the online pipeline.
+//
+// Algorithm 1 runs forever, so the system's health can only be judged by
+// instruments that work *while* it runs: a monitoring read must never
+// queue behind a training epoch, and a hot path must never slow down to
+// be counted. This registry provides three metric kinds under stable
+// string names:
+//
+//   Counter          -- monotonically increasing uint64 (events)
+//   Gauge            -- last-written double (levels: occupancy, ratios)
+//   LatencyHistogram -- fixed log-spaced buckets with percentile readout
+//
+// plus callback variants that sample an existing atomic (or other
+// wait-free source) at snapshot time, so components can expose counters
+// they already maintain without moving ownership.
+//
+// Concurrency contract:
+//   - Hot-path updates go through pointers resolved once at setup
+//     (GetCounter/GetGauge/GetLatencyHistogram) and are single relaxed
+//     atomic RMWs — no locks, no allocation, no fences.
+//   - Snapshot() is wait-free with respect to every updater: it performs
+//     relaxed loads only. A snapshot is a *consistent-enough* monitoring
+//     view (counters read at slightly different instants), never a
+//     blocking one.
+//   - Registration is the only mutually-excluded operation (a mutex
+//     against other registrations). Each new metric slot is fully
+//     constructed, then published with one release store of the slot
+//     count; Snapshot's acquire load of the count therefore only ever
+//     walks completed, immutable-after-publish slots. Registering is
+//     rare (setup time) and never contends with updates or snapshots.
+//
+// Memory-order rationale: metric values carry no inter-thread ordering
+// obligations — they are statistics, not synchronization. A reader that
+// observes a slightly stale counter is correct by definition, so every
+// value access is std::memory_order_relaxed; the only acquire/release
+// pair in the subsystem publishes slot construction (see above).
+//
+// Lifetime: callbacks registered on a registry may capture components
+// (rings, trainers); the registry must not be snapshotted after such a
+// component is destroyed. In this codebase registries and the components
+// feeding them share one owner (e.g. ConcurrentPredictionService), which
+// makes that ordering structural.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace amf::obs {
+
+/// Monotonic event counter. Relaxed increments, wait-free reads.
+class Counter {
+ public:
+  void Increment(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written level. Relaxed stores, wait-free reads.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+struct LatencyHistogramOptions {
+  /// Lower edge of the first bucket. Values below it (and NaN) count as
+  /// underflow, not into any bucket.
+  double min_value = 1e-6;  // 1 microsecond, in seconds
+  /// Upper edge of the last bucket. Values >= it count as overflow.
+  double max_value = 60.0;
+  /// Number of log-spaced buckets between min_value and max_value.
+  std::size_t buckets = 64;
+};
+
+/// Fixed-bucket latency histogram with log-spaced bucket edges.
+///
+// Record() is one relaxed fetch_add on the target bucket plus a log to
+// locate it; there is no lock and no allocation, so any number of
+// threads may record concurrently. Out-of-range samples are tracked as
+// explicit underflow/overflow counts — they are never folded into the
+// edge buckets (the same skew bug fixed in common::Histogram), so
+// percentile extraction can saturate honestly at the histogram bounds.
+class LatencyHistogram {
+ public:
+  explicit LatencyHistogram(const LatencyHistogramOptions& options = {});
+
+  /// Records one sample (seconds). Wait-free; callable from any thread.
+  void Record(double value);
+
+  std::size_t buckets() const { return counts_.size(); }
+  double min_value() const { return min_; }
+  double max_value() const { return max_; }
+  /// Inclusive upper edge of bucket i (log-spaced).
+  double UpperBound(std::size_t bucket) const;
+
+  // Wait-free reads (relaxed; monitoring only).
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  std::uint64_t underflow() const {
+    return underflow_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t overflow() const {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucket_count(std::size_t bucket) const {
+    return counts_[bucket].load(std::memory_order_relaxed);
+  }
+
+ private:
+  double min_;
+  double max_;
+  double inv_log_width_;  // buckets / log(max/min)
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> underflow_{0};
+  std::atomic<std::uint64_t> overflow_{0};
+  std::atomic<double> sum_{0.0};
+  std::vector<std::atomic<std::uint64_t>> counts_;
+};
+
+/// Point-in-time copy of one histogram, with percentile extraction.
+struct HistogramSnapshot {
+  std::string name;
+  double min_value = 0.0;
+  double max_value = 0.0;
+  std::vector<double> upper_bounds;     ///< per-bucket inclusive upper edge
+  std::vector<std::uint64_t> counts;    ///< per-bucket sample counts
+  std::uint64_t underflow = 0;
+  std::uint64_t overflow = 0;
+  std::uint64_t total = 0;  ///< all recorded samples incl. under/overflow
+  double sum = 0.0;
+
+  double mean() const {
+    return total > 0 ? sum / static_cast<double>(total) : 0.0;
+  }
+
+  /// p in [0, 100]. Linear interpolation inside the hit bucket; saturates
+  /// at min_value / max_value for ranks landing in underflow / overflow.
+  /// 0 when the histogram is empty.
+  double Percentile(double p) const;
+  double p50() const { return Percentile(50.0); }
+  double p95() const { return Percentile(95.0); }
+  double p99() const { return Percentile(99.0); }
+};
+
+/// Point-in-time copy of a whole registry.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Counter value by name; 0 when absent.
+  std::uint64_t CounterValue(std::string_view name) const;
+  /// Gauge value by name; 0 when absent.
+  double GaugeValue(std::string_view name) const;
+  /// Histogram by name; nullptr when absent.
+  const HistogramSnapshot* FindHistogram(std::string_view name) const;
+  bool HasCounter(std::string_view name) const;
+};
+
+/// Named metrics for one pipeline instance. See the file comment for the
+/// concurrency contract. Capacity is fixed (kMaxPerKind per metric kind)
+/// so publication is a single release store into a pre-sized slot array.
+class MetricsRegistry {
+ public:
+  static constexpr std::size_t kMaxPerKind = 256;
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter registered under `name`, creating it on first
+  /// use. The pointer is stable for the registry's lifetime.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  /// `options` apply only on first creation; later calls with the same
+  /// name return the existing histogram unchanged.
+  LatencyHistogram* GetLatencyHistogram(
+      std::string_view name, const LatencyHistogramOptions& options = {});
+
+  /// Exposes an externally-owned wait-free source as a counter/gauge,
+  /// sampled at Snapshot() time. `fn` must itself be safe to call
+  /// concurrently with the source's writers (e.g. a relaxed atomic load)
+  /// and must outlive the registry's last Snapshot(). Re-registering a
+  /// name replaces the callback.
+  void RegisterCallbackCounter(std::string_view name,
+                               std::function<std::uint64_t()> fn);
+  void RegisterCallbackGauge(std::string_view name,
+                             std::function<double()> fn);
+
+  /// Wait-free monitoring view: relaxed loads of every published metric
+  /// plus one call per registered callback. Never blocks an updater and
+  /// is never blocked by one.
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  template <typename T>
+  struct OwnedSlots {
+    struct Slot {
+      std::string name;
+      std::unique_ptr<T> metric;
+    };
+    std::array<Slot, kMaxPerKind> slots;
+    std::atomic<std::size_t> size{0};
+  };
+  template <typename Fn>
+  struct CallbackSlots {
+    struct Slot {
+      std::string name;
+      Fn fn;
+    };
+    std::array<Slot, kMaxPerKind> slots;
+    std::atomic<std::size_t> size{0};
+  };
+
+  template <typename T, typename MakeFn>
+  T* GetOrCreate(OwnedSlots<T>& kind, std::string_view name, MakeFn make);
+  template <typename Fn>
+  void RegisterCallback(CallbackSlots<Fn>& kind, std::string_view name,
+                        Fn fn);
+
+  mutable std::mutex register_mu_;  // registration vs registration only
+  OwnedSlots<Counter> counters_;
+  OwnedSlots<Gauge> gauges_;
+  OwnedSlots<LatencyHistogram> histograms_;
+  CallbackSlots<std::function<std::uint64_t()>> callback_counters_;
+  CallbackSlots<std::function<double()>> callback_gauges_;
+};
+
+}  // namespace amf::obs

@@ -1,0 +1,49 @@
+// Lightweight scoped-trace timers: bracket a hot-path section and record
+// its wall time into a LatencyHistogram on scope exit.
+//
+// Null-safe by design — call sites are instrumented unconditionally and
+// pass whatever histogram pointer their component resolved at setup
+// (nullptr when metrics are disabled), so the uninstrumented cost is one
+// branch.
+#pragma once
+
+#include "common/timer.h"
+#include "obs/metrics.h"
+
+namespace amf::obs {
+
+/// Records the scope's elapsed seconds into `histogram` on destruction.
+/// No-op when `histogram` is nullptr.
+class ScopedLatencyTimer {
+ public:
+  explicit ScopedLatencyTimer(LatencyHistogram* histogram)
+      : histogram_(histogram) {}
+
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+  ~ScopedLatencyTimer() {
+    if (histogram_ != nullptr) histogram_->Record(watch_.ElapsedSeconds());
+  }
+
+ private:
+  LatencyHistogram* histogram_;
+  common::Stopwatch watch_;
+};
+
+/// Counts the call on entry and records the scope's elapsed seconds on
+/// exit — the usual pair for an instrumented hot path. Either pointer
+/// may be nullptr independently.
+class ScopedCounterTimer {
+ public:
+  ScopedCounterTimer(Counter* calls, LatencyHistogram* histogram)
+      : calls_(calls), timer_(histogram) {
+    if (calls_ != nullptr) calls_->Increment();
+  }
+
+ private:
+  Counter* calls_;
+  ScopedLatencyTimer timer_;
+};
+
+}  // namespace amf::obs

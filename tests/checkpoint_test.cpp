@@ -11,6 +11,8 @@
 
 #include "common/check.h"
 #include "common/crc32.h"
+#include "core/online_trainer.h"
+#include "obs/metrics.h"
 
 namespace amf::core {
 namespace {
@@ -223,6 +225,62 @@ TEST(CheckpointManagerTest, LoadCheckpointOrFallback) {
   data = LoadCheckpointOrFallback(bad, mgr);
   ASSERT_TRUE(data.has_value());
   EXPECT_DOUBLE_EQ(data->now, 42.0);
+}
+
+TEST(CheckpointManagerTest, MetricsCountWritesBytesAndRestores) {
+  CheckpointManagerConfig cfg;
+  cfg.directory = ScratchDir("metrics");
+  CheckpointManager mgr(cfg);
+  obs::MetricsRegistry registry;
+  mgr.AttachMetrics(&registry);
+  const AmfModel model = TrainedModel();
+  const std::string newest = mgr.Save(model, FilledStore(), 100.0, 0.1);
+  mgr.Save(model, FilledStore(), 200.0, 0.1);
+
+  obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterValue("checkpoint.writes"), 2u);
+  EXPECT_EQ(snap.CounterValue("checkpoint.write_failures"), 0u);
+  EXPECT_GE(snap.CounterValue("checkpoint.bytes_written"),
+            2 * fs::file_size(newest) / 2);  // two similar-size files
+  const obs::HistogramSnapshot* writes =
+      snap.FindHistogram("checkpoint.write_seconds");
+  ASSERT_NE(writes, nullptr);
+  EXPECT_EQ(writes->total, 2u);
+
+  // A corrupt newest checkpoint is counted on restore, and the restore
+  // latency lands in its histogram.
+  fs::resize_file(mgr.List().back(), 10);
+  ASSERT_TRUE(mgr.LoadLatestValid().has_value());
+  snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterValue("checkpoint.corrupt_skipped"), 1u);
+  const obs::HistogramSnapshot* restores =
+      snap.FindHistogram("checkpoint.restore_seconds");
+  ASSERT_NE(restores, nullptr);
+  EXPECT_EQ(restores->total, 1u);
+}
+
+TEST(CheckpointManagerTest, RestoreThenEarlierTimestampDoesNotAbort) {
+  CheckpointManagerConfig cfg;
+  cfg.directory = ScratchDir("clock_regression");
+  CheckpointManager mgr(cfg);
+  AmfModel model = TrainedModel();
+  mgr.Save(model, FilledStore(), 1000.0, 0.1);
+
+  // Recovery path: a restored trainer adopts the checkpoint clock, then
+  // the wall clock turns out to be behind it (NTP step, clock skew). The
+  // trainer must clamp and count, not crash the freshly restored process.
+  const std::optional<CheckpointData> data = mgr.LoadLatestValid();
+  ASSERT_TRUE(data.has_value());
+  AmfModel restored = data->model;
+  OnlineTrainer trainer(restored);
+  trainer.AdvanceTime(data->now);
+  ASSERT_DOUBLE_EQ(trainer.now(), 1000.0);
+  EXPECT_NO_THROW(trainer.AdvanceTime(250.0));
+  EXPECT_DOUBLE_EQ(trainer.now(), 1000.0);
+  EXPECT_EQ(trainer.Stats().clock_regressions, 1u);
+  // The pipeline keeps running: later real time still advances the clock.
+  trainer.AdvanceTime(1500.0);
+  EXPECT_DOUBLE_EQ(trainer.now(), 1500.0);
 }
 
 TEST(Crc32Test, MatchesKnownVector) {

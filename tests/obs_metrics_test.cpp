@@ -1,0 +1,408 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "obs/export.h"
+#include "obs/trace.h"
+
+namespace {
+
+using amf::obs::Counter;
+using amf::obs::Gauge;
+using amf::obs::HistogramSnapshot;
+using amf::obs::LatencyHistogram;
+using amf::obs::LatencyHistogramOptions;
+using amf::obs::MetricsRegistry;
+using amf::obs::MetricsSnapshot;
+using amf::obs::ScopedCounterTimer;
+using amf::obs::ScopedLatencyTimer;
+
+// --- Minimal JSON validator -------------------------------------------------
+// Enough of a recursive-descent parser to prove ToJson emits syntactically
+// valid JSON (objects, arrays, strings, numbers); values are not
+// interpreted.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      default:
+        return Number();
+    }
+  }
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek('}')) return true;
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (!Expect(':')) return false;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek('}')) return true;
+      if (!Expect(',')) return false;
+    }
+  }
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek(']')) return true;
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek(']')) return true;
+      if (!Expect(',')) return false;
+    }
+  }
+  bool String() {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    for (++pos_; pos_ < s_.size(); ++pos_) {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+      } else if (s_[pos_] == '"') {
+        ++pos_;
+        return true;
+      }
+    }
+    return false;
+  }
+  bool Number() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool Peek(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool Expect(char c) { return Peek(c); }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+// --- Counters / gauges ------------------------------------------------------
+
+TEST(MetricsRegistryTest, CounterAndGaugeBasics) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("events");
+  c->Increment();
+  c->Increment(9);
+  EXPECT_EQ(c->value(), 10u);
+  reg.GetGauge("level")->Set(2.5);
+
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_TRUE(snap.HasCounter("events"));
+  EXPECT_EQ(snap.CounterValue("events"), 10u);
+  EXPECT_DOUBLE_EQ(snap.GaugeValue("level"), 2.5);
+  EXPECT_EQ(snap.CounterValue("missing"), 0u);
+  EXPECT_FALSE(snap.HasCounter("missing"));
+}
+
+TEST(MetricsRegistryTest, GetIsIdempotentWithStablePointers) {
+  MetricsRegistry reg;
+  Counter* a = reg.GetCounter("x");
+  Counter* b = reg.GetCounter("x");
+  EXPECT_EQ(a, b);
+  LatencyHistogramOptions narrow{.min_value = 1.0, .max_value = 2.0,
+                                 .buckets = 4};
+  LatencyHistogram* h1 = reg.GetLatencyHistogram("lat", narrow);
+  // Later options are ignored: same object, original configuration.
+  LatencyHistogram* h2 = reg.GetLatencyHistogram("lat", {});
+  EXPECT_EQ(h1, h2);
+  EXPECT_DOUBLE_EQ(h2->min_value(), 1.0);
+  EXPECT_EQ(h2->buckets(), 4u);
+}
+
+TEST(MetricsRegistryTest, CallbackCounterAndGaugeSampleAtSnapshotTime) {
+  MetricsRegistry reg;
+  std::atomic<std::uint64_t> external{7};
+  reg.RegisterCallbackCounter("ext.count", [&external] {
+    return external.load(std::memory_order_relaxed);
+  });
+  reg.RegisterCallbackGauge("ext.level", [] { return 0.25; });
+  EXPECT_EQ(reg.Snapshot().CounterValue("ext.count"), 7u);
+  external.store(9, std::memory_order_relaxed);
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.CounterValue("ext.count"), 9u);
+  EXPECT_DOUBLE_EQ(snap.GaugeValue("ext.level"), 0.25);
+}
+
+// --- Latency histogram ------------------------------------------------------
+
+TEST(LatencyHistogramTest, RecordsIntoLogSpacedBuckets) {
+  LatencyHistogram h({.min_value = 1e-3, .max_value = 10.0, .buckets = 32});
+  for (int i = 0; i < 100; ++i) h.Record(0.010);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.underflow(), 0u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_NEAR(h.sum(), 1.0, 1e-9);
+  // All samples landed in one bucket whose bounds bracket the value.
+  std::size_t hit = 0, hit_bucket = 0;
+  for (std::size_t b = 0; b < h.buckets(); ++b) {
+    if (h.bucket_count(b) > 0) {
+      ++hit;
+      hit_bucket = b;
+    }
+  }
+  EXPECT_EQ(hit, 1u);
+  EXPECT_GE(h.UpperBound(hit_bucket), 0.010);
+  if (hit_bucket > 0) {
+    EXPECT_LT(h.UpperBound(hit_bucket - 1), 0.010);
+  }
+}
+
+TEST(LatencyHistogramTest, UnderflowOverflowTrackedExplicitly) {
+  LatencyHistogram h({.min_value = 1e-3, .max_value = 1.0, .buckets = 8});
+  h.Record(1e-6);   // below min
+  h.Record(5.0);    // above max
+  h.Record(1.0);    // max is exclusive -> overflow
+  h.Record(std::nan(""));  // NaN -> underflow bucket-less
+  h.Record(0.1);    // in range
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.underflow(), 2u);
+  EXPECT_EQ(h.overflow(), 2u);
+  std::uint64_t in_range = 0;
+  for (std::size_t b = 0; b < h.buckets(); ++b) in_range += h.bucket_count(b);
+  EXPECT_EQ(in_range, 1u);  // never folded into edge buckets
+}
+
+TEST(LatencyHistogramTest, PercentilesOnKnownDistribution) {
+  LatencyHistogram h({.min_value = 1e-4, .max_value = 10.0, .buckets = 128});
+  // 90 fast samples at ~1ms, 10 slow at ~1s.
+  for (int i = 0; i < 90; ++i) h.Record(0.001);
+  for (int i = 0; i < 10; ++i) h.Record(1.0);
+  HistogramSnapshot snap;
+  snap.min_value = h.min_value();
+  snap.max_value = h.max_value();
+  for (std::size_t b = 0; b < h.buckets(); ++b) {
+    snap.upper_bounds.push_back(h.UpperBound(b));
+    snap.counts.push_back(h.bucket_count(b));
+  }
+  snap.total = h.count();
+  snap.sum = h.sum();
+  // Bucket width at these scales is ~9.4% (128 log buckets over 5
+  // decades); percentiles are exact up to one bucket.
+  EXPECT_NEAR(snap.p50(), 0.001, 0.001 * 0.2);
+  EXPECT_NEAR(snap.Percentile(99.0), 1.0, 1.0 * 0.2);
+  EXPECT_NEAR(snap.mean(), (90 * 0.001 + 10 * 1.0) / 100.0, 1e-9);
+}
+
+TEST(LatencyHistogramTest, PercentileEdgeCases) {
+  HistogramSnapshot empty;
+  EXPECT_EQ(empty.Percentile(50.0), 0.0);  // empty histogram
+
+  LatencyHistogram h({.min_value = 1e-3, .max_value = 1.0, .buckets = 8});
+  h.Record(0.05);  // single element
+  HistogramSnapshot snap;
+  snap.min_value = h.min_value();
+  snap.max_value = h.max_value();
+  for (std::size_t b = 0; b < h.buckets(); ++b) {
+    snap.upper_bounds.push_back(h.UpperBound(b));
+    snap.counts.push_back(h.bucket_count(b));
+  }
+  snap.total = h.count();
+  snap.sum = h.sum();
+  const double p0 = snap.Percentile(0.0);
+  const double p100 = snap.Percentile(100.0);
+  EXPECT_GE(p0, snap.min_value);
+  EXPECT_LE(p100, snap.max_value);
+  EXPECT_LE(p0, p100);
+  // Every percentile of a single-sample histogram is in its bucket.
+  EXPECT_NEAR(snap.p50(), 0.05, 0.05);
+
+  // Ranks landing in underflow/overflow saturate at the bounds.
+  snap.underflow = 1000;
+  snap.total += 1000;
+  EXPECT_DOUBLE_EQ(snap.Percentile(1.0), snap.min_value);
+  snap.overflow = 100000;
+  snap.total += 100000;
+  EXPECT_DOUBLE_EQ(snap.Percentile(99.9), snap.max_value);
+}
+
+TEST(LatencyHistogramTest, InvalidOptionsThrow) {
+  EXPECT_THROW(
+      LatencyHistogram({.min_value = 0.0, .max_value = 1.0, .buckets = 4}),
+      amf::common::CheckError);
+  EXPECT_THROW(
+      LatencyHistogram({.min_value = 1.0, .max_value = 1.0, .buckets = 4}),
+      amf::common::CheckError);
+  EXPECT_THROW(
+      LatencyHistogram({.min_value = 1e-3, .max_value = 1.0, .buckets = 0}),
+      amf::common::CheckError);
+}
+
+// --- Concurrency ------------------------------------------------------------
+
+TEST(MetricsRegistryTest, ConcurrentUpdatesAndSnapshotsAgree) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("hammer.count");
+  LatencyHistogram* h = reg.GetLatencyHistogram("hammer.lat");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  std::atomic<bool> stop{false};
+  std::thread snapshotter([&] {
+    // Monitors run throughout; totals observed must be monotonic.
+    std::uint64_t last = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::uint64_t seen = reg.Snapshot().CounterValue("hammer.count");
+      EXPECT_GE(seen, last);
+      last = seen;
+    }
+  });
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c->Increment();
+        h->Record(1e-4 * (t + 1));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  stop.store(true, std::memory_order_relaxed);
+  snapshotter.join();
+  const MetricsSnapshot snap = reg.Snapshot();
+  EXPECT_EQ(snap.CounterValue("hammer.count"),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const HistogramSnapshot* hs = snap.FindHistogram("hammer.lat");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->total, static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+// --- Exporters --------------------------------------------------------------
+
+MetricsSnapshot ExampleSnapshot() {
+  MetricsRegistry reg;
+  reg.GetCounter("pipeline.accepted")->Increment(42);
+  reg.GetCounter("weird name\"with\\quotes")->Increment(1);
+  reg.GetGauge("ring.occupancy")->Set(17.0);
+  LatencyHistogram* h = reg.GetLatencyHistogram(
+      "predict.seconds", {.min_value = 1e-6, .max_value = 1.0, .buckets = 16});
+  h->Record(1e-5);
+  h->Record(1e-4);
+  h->Record(1e-4);
+  h->Record(2.0);  // overflow
+  return reg.Snapshot();
+}
+
+TEST(ExportTest, ToJsonIsValidAndCarriesNames) {
+  const std::string json = amf::obs::ToJson(ExampleSnapshot());
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.Valid()) << json;
+  EXPECT_NE(json.find("\"pipeline.accepted\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"ring.occupancy\": 17"), std::string::npos);
+  EXPECT_NE(json.find("\"predict.seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+  EXPECT_NE(json.find("\"overflow\": 1"), std::string::npos);
+  // Escaping round-trips through the validator too.
+  EXPECT_NE(json.find("weird name\\\"with\\\\quotes"), std::string::npos);
+}
+
+TEST(ExportTest, ToJsonOfEmptyRegistryIsValid) {
+  MetricsRegistry reg;
+  const std::string json = amf::obs::ToJson(reg.Snapshot());
+  JsonChecker checker(json);
+  EXPECT_TRUE(checker.Valid()) << json;
+}
+
+TEST(ExportTest, ToPrometheusFormat) {
+  const std::string text = amf::obs::ToPrometheus(ExampleSnapshot());
+  EXPECT_NE(text.find("# TYPE amf_pipeline_accepted counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("amf_pipeline_accepted 42"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE amf_ring_occupancy gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE amf_predict_seconds histogram"),
+            std::string::npos);
+  // Name sanitization: every non-alphanumeric becomes '_'.
+  EXPECT_NE(text.find("amf_weird_name_with_quotes 1"), std::string::npos);
+  // +Inf bucket equals _count equals total samples (incl. overflow).
+  EXPECT_NE(text.find("amf_predict_seconds_bucket{le=\"+Inf\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("amf_predict_seconds_count 4"), std::string::npos);
+}
+
+TEST(ExportTest, PrometheusBucketsAreCumulative) {
+  MetricsRegistry reg;
+  LatencyHistogram* h = reg.GetLatencyHistogram(
+      "lat", {.min_value = 0.1, .max_value = 10.0, .buckets = 4});
+  h->Record(0.01);  // underflow: must count into every finite bucket
+  h->Record(0.15);
+  h->Record(5.0);
+  const std::string text = amf::obs::ToPrometheus(reg.Snapshot());
+  // Parse the bucket counts back out in order and check monotonicity and
+  // that the first finite bucket already includes the underflow sample.
+  std::vector<std::uint64_t> cum;
+  std::size_t pos = 0;
+  while ((pos = text.find("amf_lat_bucket{le=\"", pos)) != std::string::npos) {
+    const std::size_t close = text.find("} ", pos);
+    cum.push_back(std::stoull(text.substr(close + 2)));
+    pos = close;
+  }
+  ASSERT_EQ(cum.size(), 5u);  // 4 finite + +Inf
+  EXPECT_GE(cum.front(), 1u);
+  for (std::size_t i = 1; i < cum.size(); ++i) EXPECT_GE(cum[i], cum[i - 1]);
+  EXPECT_EQ(cum.back(), 3u);
+}
+
+// --- Scoped timers ----------------------------------------------------------
+
+TEST(TraceTest, ScopedTimersRecordAndCount) {
+  MetricsRegistry reg;
+  Counter* calls = reg.GetCounter("op.calls");
+  LatencyHistogram* lat = reg.GetLatencyHistogram("op.seconds");
+  {
+    ScopedCounterTimer trace(calls, lat);
+  }
+  { ScopedLatencyTimer timer(lat); }
+  EXPECT_EQ(calls->value(), 1u);
+  EXPECT_EQ(lat->count(), 2u);
+  // Null-safe: instrumentation disabled costs a branch, not a crash.
+  { ScopedCounterTimer trace(nullptr, nullptr); }
+  { ScopedLatencyTimer timer(nullptr); }
+}
+
+}  // namespace

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/check.h"
 #include "tests/test_util.h"
 
@@ -36,12 +38,24 @@ TEST(OnlineTrainerTest, ProcessIncomingStoresAndUpdates) {
   EXPECT_EQ(trainer.ProcessIncoming(), 0u);
 }
 
-TEST(OnlineTrainerTest, TimeMustBeMonotonic) {
+TEST(OnlineTrainerTest, ClockRegressionClampsInsteadOfAborting) {
   AmfModel m(ModelConfig());
   OnlineTrainer trainer(m);
   trainer.AdvanceTime(100.0);
   EXPECT_DOUBLE_EQ(trainer.now(), 100.0);
-  EXPECT_THROW(trainer.AdvanceTime(50.0), common::CheckError);
+  // A backwards wall clock (e.g. restore meets an earlier NTP-stepped
+  // time) holds the trainer clock and is counted, never an abort.
+  EXPECT_NO_THROW(trainer.AdvanceTime(50.0));
+  EXPECT_DOUBLE_EQ(trainer.now(), 100.0);
+  EXPECT_EQ(trainer.Stats().clock_regressions, 1u);
+  // NaN is a regression too (not a clock value).
+  trainer.AdvanceTime(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_DOUBLE_EQ(trainer.now(), 100.0);
+  EXPECT_EQ(trainer.Stats().clock_regressions, 2u);
+  // Forward progress still works afterwards.
+  trainer.AdvanceTime(150.0);
+  EXPECT_DOUBLE_EQ(trainer.now(), 150.0);
+  EXPECT_EQ(trainer.Stats().clock_regressions, 2u);
 }
 
 TEST(OnlineTrainerTest, ProcessIncomingAdvancesClockToSampleTime) {

@@ -109,6 +109,37 @@ TEST(PercentileTest, OutOfRangeThrows) {
   EXPECT_THROW(Percentile({1.0}, 101.0), CheckError);
 }
 
+TEST(PercentileTest, EmptyThrows) {
+  EXPECT_THROW(Percentile({}, 50.0), CheckError);
+}
+
+TEST(PercentileTest, SingleElementIsEveryPercentile) {
+  for (double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(Percentile({7.5}, p), 7.5);
+  }
+}
+
+TEST(RunningStatsTest, MergeTwoEmpties) {
+  RunningStats a, b;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeSingleElementSides) {
+  RunningStats a, b;
+  a.Add(2.0);
+  b.Add(4.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 4.0);
+  // Sample variance of {2, 4} = 2.
+  EXPECT_NEAR(a.variance(), 2.0, 1e-12);
+}
+
 TEST(HistogramTest, BinningAndDensity) {
   Histogram h(0.0, 10.0, 5);
   for (double x : {0.5, 1.5, 2.5, 2.6, 9.9}) h.Add(x);
@@ -122,13 +153,45 @@ TEST(HistogramTest, BinningAndDensity) {
   EXPECT_NEAR(total_density, 1.0, 1e-12);
 }
 
-TEST(HistogramTest, OutOfRangeClamped) {
+TEST(HistogramTest, OutOfRangeTrackedNotClamped) {
   Histogram h(0.0, 1.0, 2);
-  h.Add(-5.0);
-  h.Add(7.0);
-  h.Add(1.0);  // hi is exclusive -> last bin
+  h.Add(-5.0);  // below lo -> underflow, no bin
+  h.Add(7.0);   // above hi -> overflow, no bin
+  h.Add(1.0);   // hi is exclusive -> overflow too
+  h.Add(0.25);  // in range -> first bin
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
   EXPECT_EQ(h.count(0), 1u);
-  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(1), 0u);
+  EXPECT_EQ(h.total(), 1u);  // in-range only
+  EXPECT_EQ(h.seen(), 4u);   // everything Add saw
+}
+
+TEST(HistogramTest, DensityExcludesOutOfRange) {
+  Histogram h(0.0, 10.0, 5);
+  for (double x : {0.5, 1.5, 2.5, 2.6, 9.9}) h.Add(x);
+  h.Add(-100.0);
+  h.Add(1e9);
+  // Densities are over the 5 in-range samples; out-of-range ones neither
+  // inflate an edge bin nor deflate the normalization.
+  EXPECT_DOUBLE_EQ(h.density(0), 0.4);
+  double total_density = 0.0;
+  for (std::size_t b = 0; b < h.bins(); ++b) total_density += h.density(b);
+  EXPECT_NEAR(total_density, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, AsciiReportsOutOfRange) {
+  Histogram h(0.0, 1.0, 2);
+  h.Add(0.5);
+  h.Add(-1.0);
+  h.Add(2.0);
+  const std::string art = h.ToAscii(10);
+  EXPECT_NE(art.find("underflow=1"), std::string::npos);
+  EXPECT_NE(art.find("overflow=1"), std::string::npos);
+  // No out-of-range line when everything fit.
+  Histogram clean(0.0, 1.0, 2);
+  clean.Add(0.5);
+  EXPECT_EQ(clean.ToAscii(10).find("underflow"), std::string::npos);
 }
 
 TEST(HistogramTest, BinCenters) {
