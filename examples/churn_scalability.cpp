@@ -1,94 +1,319 @@
-// Churn demo (the Fig. 14 scenario as an example).
+// Churn-scalability drill (DESIGN.md §10): proves that entity churn is
+// bounded-memory and non-destructive.
 //
-//   build/examples/churn_scalability
+//   build/examples/churn_scalability [--cycles N] [--active W]
+//                                    [--tick-every T] [--quick]
+//                                    [--out <path>]
 //
-// Trains AMF on 80% of users/services; after convergence the remaining 20%
-// join. Thanks to adaptive weights, the newcomers' error drops quickly
-// while the existing entities stay stable — no whole-model retraining.
-#include <cmath>
-#include <iostream>
+// Phase 1 registers a base population and trains it to convergence, in
+// TWO independent service instances; one stays churn-free for the rest of
+// the run (the control), the other takes the churn.
+//
+// Phase 2 runs N join/observe/leave cycles over a sliding window of at
+// most W concurrently-active transient users/services, Ticking the
+// trainer throughout. Every departure goes through Retire*: the registry
+// slot is recycled through the free-list under a bumped generation, the
+// factor row is re-initialized, and the tenant's samples are purged.
+//
+// Phase 3 asserts the lifecycle contract:
+//   - registry slots stay bounded by peak-active + slack (no growth),
+//   - slot recycling is exact (registrations - slots == recycled),
+//   - every base prediction is BIT-identical to the churn-free control,
+//   - a checkpoint round-trip (v2 format: registries persisted) preserves
+//     every name -> prediction binding,
+// and writes a BENCH_-style JSON summary.
+//
+// The acceptance-scale run is `--cycles 1000000 --active 10000`; the
+// defaults are sized for CI.
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <string>
 #include <vector>
 
-#include "common/statistics.h"
-#include "common/string_util.h"
-#include "common/table_printer.h"
-#include "core/amf_model.h"
-#include "core/online_trainer.h"
-#include "data/masking.h"
-#include "data/synthetic.h"
+#include "adapt/prediction_service.h"
+#include "common/check.h"
 
-int main() {
-  using namespace amf;
+namespace {
 
-  data::SyntheticConfig dataset_config;
-  dataset_config.users = 100;
-  dataset_config.services = 500;
-  dataset_config.slices = 2;
-  dataset_config.seed = 31;
-  const data::SyntheticQoSDataset dataset(dataset_config);
+using amf::adapt::PredictionServiceConfig;
+using amf::adapt::QoSPredictionService;
 
-  const std::size_t existing_users = 80;     // 80%
-  const std::size_t existing_services = 400;
+constexpr std::size_t kBaseUsers = 24;
+constexpr std::size_t kBaseServices = 48;
+// Free-list slack: the window briefly holds W+1 entities between a join
+// and the matching retire, plus one slot of LIFO hand-off headroom.
+constexpr std::size_t kSlotSlack = 2;
 
-  const linalg::Matrix slice =
-      dataset.DenseSlice(data::QoSAttribute::kResponseTime, 0);
-  common::Rng rng(5);
-  const data::TrainTestSplit split = data::SplitSlice(slice, 0.15, rng);
+std::uint64_t Mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
 
-  core::AmfModel model(core::MakeResponseTimeConfig(1));
-  core::TrainerConfig trainer_config;
-  trainer_config.expiry_seconds = 0;  // no expiry in this demo
-  core::OnlineTrainer trainer(model, trainer_config);
+/// Deterministic synthetic response time in (0.1, 3.0) seconds.
+double SyntheticRt(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t h = Mix(a * 0x100000001b3ULL + b + 1);
+  return 0.1 + 2.9 * static_cast<double>(h >> 11) * 0x1.0p-53;
+}
 
-  auto is_existing = [&](const data::QoSSample& s) {
-    return s.user < existing_users && s.service < existing_services;
-  };
+PredictionServiceConfig MakeConfig() {
+  PredictionServiceConfig config;
+  config.model = amf::core::MakeResponseTimeConfig();
+  config.trainer.expiry_seconds = 0;  // churn, not staleness, is under test
+  // Tick applies incoming observations online but replays nothing: churn
+  // cycles must leave the converged base rows untouched so the
+  // bit-identity assertion is exact.
+  config.replay_epochs_per_tick = 0;
+  return config;
+}
 
-  // Phase 1: only the existing 80% x 80% block is known.
-  for (const data::QoSSample& s : split.train.ToSamples()) {
-    if (is_existing(s)) trainer.Observe(s);
+std::string UserName(std::uint64_t c) { return "t-u-" + std::to_string(c); }
+std::string ServiceName(std::uint64_t c) { return "t-s-" + std::to_string(c); }
+
+/// Registers and trains the shared base population (identical in both
+/// service instances).
+void TrainBase(QoSPredictionService& service) {
+  for (std::size_t u = 0; u < kBaseUsers; ++u) {
+    service.RegisterUser("base-u-" + std::to_string(u));
   }
-  const std::size_t warmup_epochs = trainer.RunUntilConverged();
-
-  auto mre_of = [&](bool existing) {
-    std::vector<double> rel;
-    for (const data::QoSSample& s : split.test) {
-      if (is_existing(s) != existing) continue;
-      if (!model.HasUser(s.user) || !model.HasService(s.service)) continue;
-      if (s.value <= 0.0) continue;
-      rel.push_back(std::abs(model.PredictRaw(s.user, s.service) - s.value) /
-                    s.value);
+  for (std::size_t s = 0; s < kBaseServices; ++s) {
+    service.RegisterService("base-s-" + std::to_string(s));
+  }
+  for (std::size_t u = 0; u < kBaseUsers; ++u) {
+    for (std::size_t s = 0; s < kBaseServices; ++s) {
+      service.ReportObservation({0, static_cast<amf::data::UserId>(u),
+                                 static_cast<amf::data::ServiceId>(s),
+                                 SyntheticRt(u, s), 0.0});
     }
-    return rel.empty() ? std::nan("") : common::Median(rel);
+  }
+  service.TrainToConvergence(1.0);
+}
+
+std::vector<double> SnapshotBase(const QoSPredictionService& service) {
+  std::vector<double> out;
+  out.reserve(kBaseUsers * kBaseServices);
+  for (std::size_t u = 0; u < kBaseUsers; ++u) {
+    for (std::size_t s = 0; s < kBaseServices; ++s) {
+      const auto p = service.PredictQoS(static_cast<amf::data::UserId>(u),
+                                        static_cast<amf::data::ServiceId>(s));
+      AMF_CHECK_MSG(p.has_value(), "base pair unpredictable");
+      out.push_back(*p);
+    }
+  }
+  return out;
+}
+
+std::size_t CountBitMismatches(const std::vector<double>& a,
+                               const std::vector<double>& b) {
+  AMF_CHECK_MSG(a.size() == b.size(), "snapshot size mismatch");
+  std::size_t bad = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::bit_cast<std::uint64_t>(a[i]) !=
+        std::bit_cast<std::uint64_t>(b[i])) {
+      ++bad;
+    }
+  }
+  return bad;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t cycles = 20000;
+  std::size_t active = 512;
+  std::size_t tick_every = 256;
+  std::string out_path = "BENCH_churn_scalability.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--cycles") == 0 && i + 1 < argc) {
+      cycles = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--active") == 0 && i + 1 < argc) {
+      active = static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--tick-every") == 0 && i + 1 < argc) {
+      tick_every =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      cycles = 4000;
+      active = 128;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--cycles N] [--active W] [--tick-every T] "
+                   "[--quick] [--out <path>]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  AMF_CHECK_MSG(active >= 1 && tick_every >= 1, "bad drill parameters");
+
+  const auto started = std::chrono::steady_clock::now();
+
+  // Phase 1: identical base training in the churned and control services.
+  QoSPredictionService service(MakeConfig());
+  QoSPredictionService control(MakeConfig());
+  TrainBase(service);
+  TrainBase(control);
+  const std::vector<double> baseline = SnapshotBase(control);
+  AMF_CHECK_MSG(CountBitMismatches(SnapshotBase(service), baseline) == 0,
+                "base training is not deterministic across instances");
+  std::fprintf(stderr, "base trained: %zu users x %zu services\n", kBaseUsers,
+               kBaseServices);
+
+  // Phase 2: join/observe/leave cycles over a bounded sliding window.
+  std::deque<std::uint64_t> live;
+  std::size_t peak_active_users = 0;
+  std::size_t peak_active_services = 0;
+  double now = 2.0;
+  for (std::uint64_t c = 0; c < cycles; ++c) {
+    const amf::data::UserId u = service.RegisterUser(UserName(c));
+    const amf::data::ServiceId s = service.RegisterService(ServiceName(c));
+    service.ReportObservation({0, u, s, SyntheticRt(c, ~c), now});
+    live.push_back(c);
+    peak_active_users = std::max(peak_active_users, service.users().num_active());
+    peak_active_services =
+        std::max(peak_active_services, service.services().num_active());
+    if (live.size() > active) {
+      const std::uint64_t old = live.front();
+      live.pop_front();
+      AMF_CHECK_MSG(service.RetireUser(UserName(old)), "retire lost a user");
+      AMF_CHECK_MSG(service.RetireService(ServiceName(old)),
+                    "retire lost a service");
+    }
+    if ((c + 1) % tick_every == 0) {
+      now += 1.0;
+      service.Tick(now);
+    }
+  }
+  now += 1.0;
+  service.Tick(now);
+
+  // Phase 3a: bounded slots + exact recycling accounting.
+  const std::size_t user_slots = service.users().size();
+  const std::size_t service_slots = service.services().size();
+  AMF_CHECK_MSG(user_slots <= peak_active_users + kSlotSlack,
+                "user slots grew past peak-active + slack: "
+                    << user_slots << " > " << peak_active_users + kSlotSlack);
+  AMF_CHECK_MSG(service_slots <= peak_active_services + kSlotSlack,
+                "service slots grew past peak-active + slack: "
+                    << service_slots << " > "
+                    << peak_active_services + kSlotSlack);
+  AMF_CHECK_MSG(service.users().recycled_total() ==
+                    kBaseUsers + cycles - user_slots,
+                "user slot recycling accounting is off");
+  AMF_CHECK_MSG(service.services().recycled_total() ==
+                    kBaseServices + cycles - service_slots,
+                "service slot recycling accounting is off");
+
+  // Phase 3b: the churn-free control and the churned service must agree
+  // on every base prediction, to the bit.
+  const std::size_t mismatches =
+      CountBitMismatches(SnapshotBase(service), baseline);
+  AMF_CHECK_MSG(mismatches == 0,
+                mismatches << " base predictions diverged under churn");
+
+  // Phase 3c: checkpoint round-trip preserves every name -> prediction
+  // binding (v2 checkpoints persist both registries).
+  const std::filesystem::path ckpt_dir =
+      std::filesystem::temp_directory_path() / "amf_churn_drill_ckpt";
+  std::filesystem::remove_all(ckpt_dir);
+  amf::core::CheckpointManagerConfig ckpt;
+  ckpt.directory = ckpt_dir.string();
+  ckpt.retention = 1;
+  ckpt.interval_seconds = 0.0;
+  service.EnableCheckpoints(ckpt);
+  now += 1.0;
+  service.Tick(now);  // interval 0 => this tick saves, registries included
+
+  QoSPredictionService restored(MakeConfig());
+  restored.EnableCheckpoints(ckpt);
+  AMF_CHECK_MSG(restored.RestoreFromLatestCheckpoint(),
+                "checkpoint restore failed");
+  std::size_t bindings_checked = 0;
+  const auto check_binding = [&](const std::string& user,
+                                 const std::string& svc) {
+    const auto u1 = service.users().Lookup(user);
+    const auto s1 = service.services().Lookup(svc);
+    const auto u2 = restored.users().Lookup(user);
+    const auto s2 = restored.services().Lookup(svc);
+    AMF_CHECK_MSG(u1 && s1 && u2 && s2,
+                  "binding lost across restore: " << user << " / " << svc);
+    const auto p1 = service.PredictQoS(*u1, *s1);
+    const auto p2 = restored.PredictQoS(*u2, *s2);
+    AMF_CHECK_MSG(p1 && p2 &&
+                      std::bit_cast<std::uint64_t>(*p1) ==
+                          std::bit_cast<std::uint64_t>(*p2),
+                  "prediction changed across restore: " << user << " / "
+                                                        << svc);
+    ++bindings_checked;
   };
-
-  std::cout << "phase 1: trained existing 80% to convergence in "
-            << warmup_epochs << " epochs; existing MRE = "
-            << common::FormatFixed(mre_of(true), 3) << "\n\n";
-
-  // Phase 2: the remaining 20% join. Register them first (random factors)
-  // to expose the initial error a newcomer starts from.
-  model.EnsureUser(static_cast<data::UserId>(dataset.num_users() - 1));
-  model.EnsureService(
-      static_cast<data::ServiceId>(dataset.num_services() - 1));
-  common::TablePrinter table({"replay epoch", "existing MRE", "new MRE"});
-  table.AddRow({"join (random init)", common::FormatFixed(mre_of(true), 3),
-                common::FormatFixed(mre_of(false), 3)});
-
-  for (const data::QoSSample& s : split.train.ToSamples()) {
-    if (!is_existing(s)) trainer.Observe(s);
+  for (std::size_t u = 0; u < kBaseUsers; ++u) {
+    for (std::size_t s = 0; s < kBaseServices; ++s) {
+      check_binding("base-u-" + std::to_string(u),
+                    "base-s-" + std::to_string(s));
+    }
   }
-  trainer.ProcessIncoming();
-  table.AddRow({"first updates", common::FormatFixed(mre_of(true), 3),
-                common::FormatFixed(mre_of(false), 3)});
-  for (int epoch = 1; epoch <= 10; ++epoch) {
-    trainer.ReplayEpoch();
-    table.AddRow({std::to_string(epoch),
-                  common::FormatFixed(mre_of(true), 3),
-                  common::FormatFixed(mre_of(false), 3)});
+  for (const std::uint64_t c : live) {
+    check_binding(UserName(c), ServiceName(c));
   }
-  table.Print(std::cout);
-  std::cout << "new-entity MRE should fall toward the existing level while "
-               "existing MRE stays stable.\n";
+  std::filesystem::remove_all(ckpt_dir);
+
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  const amf::core::PipelineStats stats = service.pipeline_stats();
+  std::fprintf(stderr,
+               "churn: %zu cycles, window %zu: user slots %zu (peak active "
+               "%zu, recycled %llu), service slots %zu (peak active %zu, "
+               "recycled %llu), purged samples %llu, %.2fs\n",
+               cycles, active, user_slots, peak_active_users,
+               static_cast<unsigned long long>(service.users().recycled_total()),
+               service_slots, peak_active_services,
+               static_cast<unsigned long long>(
+                   service.services().recycled_total()),
+               static_cast<unsigned long long>(stats.purged_samples), seconds);
+
+  FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"bench\": \"churn_scalability\",\n");
+  std::fprintf(out, "  \"cycles\": %zu,\n", cycles);
+  std::fprintf(out, "  \"active_window\": %zu,\n", active);
+  std::fprintf(out, "  \"tick_every\": %zu,\n", tick_every);
+  std::fprintf(out, "  \"base_users\": %zu,\n", kBaseUsers);
+  std::fprintf(out, "  \"base_services\": %zu,\n", kBaseServices);
+  std::fprintf(out, "  \"peak_active_users\": %zu,\n", peak_active_users);
+  std::fprintf(out, "  \"peak_active_services\": %zu,\n",
+               peak_active_services);
+  std::fprintf(out, "  \"user_slots\": %zu,\n", user_slots);
+  std::fprintf(out, "  \"service_slots\": %zu,\n", service_slots);
+  std::fprintf(out, "  \"slot_slack\": %zu,\n", kSlotSlack);
+  std::fprintf(out, "  \"users_recycled\": %llu,\n",
+               static_cast<unsigned long long>(
+                   service.users().recycled_total()));
+  std::fprintf(out, "  \"services_recycled\": %llu,\n",
+               static_cast<unsigned long long>(
+                   service.services().recycled_total()));
+  std::fprintf(out, "  \"purged_samples\": %llu,\n",
+               static_cast<unsigned long long>(stats.purged_samples));
+  std::fprintf(out, "  \"rejected_unregistered\": %llu,\n",
+               static_cast<unsigned long long>(stats.rejected_unregistered));
+  std::fprintf(out, "  \"base_prediction_bit_mismatches\": %zu,\n",
+               mismatches);
+  std::fprintf(out, "  \"checkpoint_bindings_checked\": %zu,\n",
+               bindings_checked);
+  std::fprintf(out, "  \"seconds\": %.3f\n", seconds);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::fprintf(stderr, "wrote %s\n", out_path.c_str());
   return 0;
 }

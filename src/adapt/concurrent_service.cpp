@@ -72,6 +72,60 @@ data::ServiceId ConcurrentPredictionService::RegisterService(
   return service_.RegisterService(name);
 }
 
+bool ConcurrentPredictionService::UnregisterUser(const std::string& name) {
+  std::unique_lock lock(mu_);
+  return service_.UnregisterUser(name);
+}
+
+bool ConcurrentPredictionService::UnregisterService(const std::string& name) {
+  std::unique_lock lock(mu_);
+  return service_.UnregisterService(name);
+}
+
+bool ConcurrentPredictionService::RetireUser(const std::string& name) {
+  std::unique_lock lock(mu_);
+  if (!service_.users().Lookup(name)) return false;
+  pending_retire_users_.push_back(name);
+  return true;
+}
+
+bool ConcurrentPredictionService::RetireService(const std::string& name) {
+  std::unique_lock lock(mu_);
+  if (!service_.services().Lookup(name)) return false;
+  pending_retire_services_.push_back(name);
+  return true;
+}
+
+ConcurrentPredictionService::RegistryOccupancy
+ConcurrentPredictionService::registry_occupancy() const {
+  std::shared_lock lock(mu_);
+  const UserRegistry& users = service_.users();
+  const ServiceRegistry& services = service_.services();
+  return RegistryOccupancy{users.size(),    users.num_active(),
+                           users.free_slots(), services.size(),
+                           services.num_active(), services.free_slots()};
+}
+
+void ConcurrentPredictionService::ApplyPendingRetirements() {
+  // Caller holds train_mu_: no replay epoch is in flight, so this IS the
+  // epoch barrier — no hogwild shard owns any row, and the store is not
+  // being iterated. The exclusive lock fences off registration and the
+  // registry readers; predictions in flight stay safe because the row
+  // rewrite publishes through the per-row seqlocks.
+  std::unique_lock lock(mu_);
+  if (pending_retire_users_.empty() && pending_retire_services_.empty()) {
+    return;
+  }
+  for (const std::string& name : pending_retire_users_) {
+    service_.RetireUser(name);
+  }
+  for (const std::string& name : pending_retire_services_) {
+    service_.RetireService(name);
+  }
+  pending_retire_users_.clear();
+  pending_retire_services_.clear();
+}
+
 bool ConcurrentPredictionService::ReportObservation(
     const data::QoSSample& sample) {
   if (ring_.TryPush(sample)) {
@@ -112,8 +166,11 @@ void ConcurrentPredictionService::DrainRing() {
 void ConcurrentPredictionService::Tick(double now_seconds) {
   std::lock_guard train(train_mu_);
   DrainRing();
+  ApplyPendingRetirements();
   std::shared_lock lock(mu_);
-  for (const data::QoSSample& s : staged_) service_.ReportObservation(s);
+  for (const data::QoSSample& s : staged_) {
+    service_.ReportObservationTrusted(s);
+  }
   staged_.clear();
   service_.Tick(now_seconds);
 }
@@ -121,8 +178,11 @@ void ConcurrentPredictionService::Tick(double now_seconds) {
 void ConcurrentPredictionService::TrainToConvergence(double now_seconds) {
   std::lock_guard train(train_mu_);
   DrainRing();
+  ApplyPendingRetirements();
   std::shared_lock lock(mu_);
-  for (const data::QoSSample& s : staged_) service_.ReportObservation(s);
+  for (const data::QoSSample& s : staged_) {
+    service_.ReportObservationTrusted(s);
+  }
   staged_.clear();
   service_.TrainToConvergence(now_seconds);
 }

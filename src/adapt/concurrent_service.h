@@ -58,9 +58,38 @@ class ConcurrentPredictionService {
                                                core::TrainerConfig{}, 1},
       std::size_t ring_capacity = 4096);
 
-  // --- Registration (exclusive lock; rare) ---------------------------------
+  // --- Registration / lifecycle (exclusive lock; rare) ---------------------
   data::UserId RegisterUser(const std::string& name);
   data::ServiceId RegisterService(const std::string& name);
+
+  /// Deactivates a name (binding and factors kept for a rejoin). Takes
+  /// effect immediately; observations for the id are still accepted via
+  /// the trusted drain path until the entity is retired.
+  bool UnregisterUser(const std::string& name);
+  bool UnregisterService(const std::string& name);
+
+  /// Queues a name's slot for reclamation. Returns false if the name is
+  /// not currently bound. The retirement itself — factor-row re-init,
+  /// sample purge, free-list push — is DEFERRED to the next Tick /
+  /// TrainToConvergence barrier (like PR 3's store removals): a hogwild
+  /// replay epoch iterates a snapshot of the store and owns rows by
+  /// shard, so reclaiming mid-epoch would rewrite rows under a live
+  /// writer. At the barrier no epoch is in flight and the rewrite
+  /// publishes through the per-row seqlocks, so concurrent predictions
+  /// stay safe throughout. Re-registering the same name before the next
+  /// barrier re-binds the name first; the queued retirement then reclaims
+  /// whatever the name is bound to at barrier time.
+  bool RetireUser(const std::string& name);
+  bool RetireService(const std::string& name);
+
+  /// Registry occupancy (shared lock): total slots / currently active /
+  /// free-listed, for bounded-churn assertions and monitoring. The
+  /// lifecycle.* gauges expose the same numbers wait-free.
+  struct RegistryOccupancy {
+    std::size_t user_slots = 0, users_active = 0, users_free = 0;
+    std::size_t service_slots = 0, services_active = 0, services_free = 0;
+  };
+  RegistryOccupancy registry_occupancy() const;
 
   // --- Hot paths (no writer lock) ------------------------------------------
   /// Lock-free observation upload from any thread. Returns false (and
@@ -123,6 +152,12 @@ class ConcurrentPredictionService {
   /// entities under the exclusive lock first. Caller holds train_mu_.
   void DrainRing();
 
+  /// Applies queued retirements. Caller holds train_mu_ (the epoch
+  /// barrier: no replay in flight); takes mu_ exclusive for the registry
+  /// and store mutations. Runs before staged samples are reported so ring
+  /// residue addressed to a just-retired slot is refused, not replayed.
+  void ApplyPendingRetirements();
+
   /// Registers ingest.* / predict.* series and resolves the owned
   /// counter/histogram handles. Runs once, from the constructor.
   void RegisterMetrics();
@@ -138,6 +173,10 @@ class ConcurrentPredictionService {
   mutable std::mutex train_mu_;    // serializes Tick/TrainToConvergence
   common::MpscRingBuffer<data::QoSSample> ring_;
   std::vector<data::QoSSample> staged_;  // drain scratch (trainer thread)
+  // Names queued by Retire*; drained at the next training barrier.
+  // Guarded by mu_ (exclusive).
+  std::vector<std::string> pending_retire_users_;
+  std::vector<std::string> pending_retire_services_;
   std::atomic<std::size_t> observations_{0};
   std::atomic<std::uint64_t> dropped_{0};
   QoSPredictionService service_;

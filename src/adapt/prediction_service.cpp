@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace amf::adapt {
 
@@ -27,11 +29,14 @@ QoSPredictionService::QoSPredictionService(
     : config_(config),
       model_(config.model),
       trainer_(model_, WithMetrics(config.trainer, config.metrics)),
-      collector_(trainer_) {}
+      collector_(trainer_) {
+  RegisterLifecycleMetrics();
+}
 
 data::UserId QoSPredictionService::RegisterUser(const std::string& name) {
   const data::UserId id = users_.Join(name);
   model_.EnsureUser(id);
+  SyncLifecycleCounters();
   return id;
 }
 
@@ -39,6 +44,7 @@ data::ServiceId QoSPredictionService::RegisterService(
     const std::string& name) {
   const data::ServiceId id = services_.Join(name);
   model_.EnsureService(id);
+  SyncLifecycleCounters();
   return id;
 }
 
@@ -49,14 +55,64 @@ void QoSPredictionService::EnsureRegistered(data::UserId u,
 }
 
 bool QoSPredictionService::UnregisterUser(const std::string& name) {
-  return users_.Leave(name);
+  const bool known = users_.Leave(name);
+  if (known) SyncLifecycleCounters();
+  return known;
 }
 
 bool QoSPredictionService::UnregisterService(const std::string& name) {
-  return services_.Leave(name);
+  const bool known = services_.Leave(name);
+  if (known) SyncLifecycleCounters();
+  return known;
+}
+
+bool QoSPredictionService::RetireUser(const std::string& name) {
+  const std::optional<data::UserId> id = users_.Retire(name);
+  if (!id) return false;
+  model_.RetireUser(*id);
+  // Purge the ingest buffer first: anything still queued there would be
+  // flushed after the trainer purge and train the slot's next tenant.
+  trainer_.CountPurgedSamples(collector_.RemoveUser(*id));
+  trainer_.PurgeUser(*id);
+  SyncLifecycleCounters();
+  return true;
+}
+
+bool QoSPredictionService::RetireService(const std::string& name) {
+  const std::optional<data::ServiceId> id = services_.Retire(name);
+  if (!id) return false;
+  model_.RetireService(*id);
+  trainer_.CountPurgedSamples(collector_.RemoveService(*id));
+  trainer_.PurgeService(*id);
+  // The degradation ladder must never serve the departed tenant's running
+  // mean for the slot's next tenant.
+  service_stats_.erase(*id);
+  SyncLifecycleCounters();
+  return true;
 }
 
 void QoSPredictionService::ReportObservation(const data::QoSSample& sample) {
+  if (!users_.IsKnown(sample.user) || !services_.IsKnown(sample.service)) {
+    rejected_unregistered_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  CollectObservation(sample);
+}
+
+void QoSPredictionService::ReportObservationTrusted(
+    const data::QoSSample& sample) {
+  // The concurrent facade owns id management (raw ids, pre-registered
+  // with the model before draining); only explicitly retired slots are
+  // refused here, so ring residue from before a retirement cannot
+  // resurrect the old tenant's state.
+  if (users_.IsFree(sample.user) || services_.IsFree(sample.service)) {
+    rejected_unregistered_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  CollectObservation(sample);
+}
+
+void QoSPredictionService::CollectObservation(const data::QoSSample& sample) {
   collector_.Collect(sample);
   // Degradation-ladder state: per-service running mean over plausibly
   // clean observations (the trainer's validator is the authoritative
@@ -73,9 +129,13 @@ void QoSPredictionService::Tick(double now_seconds) {
   for (std::size_t i = 0; i < config_.replay_epochs_per_tick; ++i) {
     trainer_.ReplayEpoch();
   }
-  if (checkpoints_ != nullptr) {
+  if (checkpoints_ != nullptr && checkpoints_->ShouldSave(trainer_.now())) {
+    // Snapshot both registries only on ticks that will actually save:
+    // the images copy every name.
+    const core::CheckpointRegistries registries{users_.ToImage(),
+                                                services_.ToImage()};
     checkpoints_->MaybeSave(model_, trainer_.store(), trainer_.now(),
-                            trainer_.last_epoch_error());
+                            trainer_.last_epoch_error(), &registries);
   }
 }
 
@@ -142,6 +202,16 @@ QoSPredictionService::PredictResilient(data::UserId u,
                                        data::ServiceId s) const {
   const DegradationConfig& deg = config_.degradation;
 
+  // Unregistered ids (never joined, or retired) refuse the whole ladder
+  // up front: every statistic further down belongs to a different tenant
+  // (or to nobody), and serving it would invent QoS for an entity that
+  // does not exist.
+  if (!users_.IsKnown(u) || !services_.IsKnown(s)) {
+    ++degradation_stats_.unavailable;
+    return {std::numeric_limits<double>::quiet_NaN(),
+            PredictionSource::kUnavailable};
+  }
+
   // Rung 1: the AMF prediction, but only when both entity error EMAs have
   // converged below the trust threshold and the readout is finite.
   if (model_.HasUser(u) && model_.HasService(s) &&
@@ -194,6 +264,19 @@ bool QoSPredictionService::RestoreFromLatestCheckpoint() {
   store.Clear();
   for (const data::QoSSample& s : data->store.samples()) store.Upsert(s);
   if (data->now > trainer_.now()) trainer_.AdvanceTime(data->now);
+  if (data->registries) {
+    users_ = UserRegistry::FromImage(data->registries->users);
+    services_ = ServiceRegistry::FromImage(data->registries->services);
+    SyncLifecycleCounters();
+  } else {
+    // Pre-v2 checkpoint: the factors are anonymous. Registering names in
+    // any order other than the original one silently rebinds every name
+    // to someone else's latent rows — warn loudly.
+    AMF_LOG(Warning)
+        << "checkpoint carries no registry section (v1 format): "
+           "name->id bindings were not restored; re-register entities "
+           "in their original join order or predictions will be rebound";
+  }
   return true;
 }
 
@@ -203,7 +286,54 @@ core::PipelineStats QoSPredictionService::pipeline_stats() const {
     s.checkpoints_written = checkpoints_->written();
     s.checkpoints_corrupt = checkpoints_->corrupt_skipped();
   }
+  s.rejected_unregistered =
+      rejected_unregistered_.load(std::memory_order_relaxed);
   return s;
+}
+
+void QoSPredictionService::SyncLifecycleCounters() {
+  const auto store = [](std::atomic<std::uint64_t>& dst, std::uint64_t v) {
+    dst.store(v, std::memory_order_relaxed);
+  };
+  store(lifecycle_.users_active, users_.num_active());
+  store(lifecycle_.users_slots, users_.size());
+  store(lifecycle_.users_free, users_.free_slots());
+  store(lifecycle_.users_recycled, users_.recycled_total());
+  store(lifecycle_.services_active, services_.num_active());
+  store(lifecycle_.services_slots, services_.size());
+  store(lifecycle_.services_free, services_.free_slots());
+  store(lifecycle_.services_recycled, services_.recycled_total());
+}
+
+void QoSPredictionService::RegisterLifecycleMetrics() {
+  obs::MetricsRegistry* reg = config_.metrics;
+  if (reg == nullptr) return;
+  const auto gauge = [](const std::atomic<std::uint64_t>& src) {
+    return [&src] {
+      return static_cast<double>(src.load(std::memory_order_relaxed));
+    };
+  };
+  const auto counter = [](const std::atomic<std::uint64_t>& src) {
+    return [&src] { return src.load(std::memory_order_relaxed); };
+  };
+  reg->RegisterCallbackGauge("lifecycle.users_active",
+                             gauge(lifecycle_.users_active));
+  reg->RegisterCallbackGauge("lifecycle.users_slots",
+                             gauge(lifecycle_.users_slots));
+  reg->RegisterCallbackGauge("lifecycle.users_free",
+                             gauge(lifecycle_.users_free));
+  reg->RegisterCallbackCounter("lifecycle.users_recycled",
+                               counter(lifecycle_.users_recycled));
+  reg->RegisterCallbackGauge("lifecycle.services_active",
+                             gauge(lifecycle_.services_active));
+  reg->RegisterCallbackGauge("lifecycle.services_slots",
+                             gauge(lifecycle_.services_slots));
+  reg->RegisterCallbackGauge("lifecycle.services_free",
+                             gauge(lifecycle_.services_free));
+  reg->RegisterCallbackCounter("lifecycle.services_recycled",
+                               counter(lifecycle_.services_recycled));
+  reg->RegisterCallbackCounter("lifecycle.rejected_unregistered",
+                               counter(rejected_unregistered_));
 }
 
 }  // namespace amf::adapt

@@ -8,6 +8,7 @@
 // scenario monitors response time); instantiate twice for RT + TP.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <span>
@@ -64,14 +65,40 @@ class QoSPredictionService {
   /// pre-register every entity of a drained batch under its registration
   /// lock before samples reach the (growth-unsafe) guarded trainer path.
   void EnsureRegistered(data::UserId u, data::ServiceId s);
+  /// Deactivates a name. The registry binding, latent factors, and stored
+  /// samples survive — a rejoin resumes from the learned state — but new
+  /// observations for the id are refused while it is departed.
   bool UnregisterUser(const std::string& name);
   bool UnregisterService(const std::string& name);
+  /// Reclaims a departed (or active) entity end to end (DESIGN.md §10):
+  /// the registry slot goes onto the free-list under a bumped generation,
+  /// the model row is deterministically re-initialized with its error EMA
+  /// reset to initial_error (the paper's cold-start state, Eq. 13), and
+  /// every trace of the tenant is purged from the trainer (stored samples,
+  /// queued observations, validator history — counted in
+  /// pipeline_stats().purged_samples) and, for services, from the
+  /// degradation ladder's running stats. Returns false if the name is
+  /// unknown. Under churn, Retire is what bounds memory: slots recycle
+  /// instead of growing forever.
+  bool RetireUser(const std::string& name);
+  bool RetireService(const std::string& name);
   const UserRegistry& users() const { return users_; }
   const ServiceRegistry& services() const { return services_; }
 
   // --- Input handling ------------------------------------------------------
-  /// Reports one observed QoS sample (ids must come from the registries).
+  /// Reports one observed QoS sample. Ids must belong to registered
+  /// entities (active or departed registry slots): observations for ids
+  /// that never joined, or whose slot was retired, are refused and counted
+  /// in pipeline_stats().rejected_unregistered — they would otherwise grow
+  /// fallback statistics (and, through the trainer, factor storage) for
+  /// entities that do not exist.
   void ReportObservation(const data::QoSSample& sample);
+
+  /// The concurrent facade's ingest entry: it manages raw ids itself and
+  /// pre-registers them with the model before draining, so this path only
+  /// refuses ids whose registry slot is explicitly retired (stale ring
+  /// residue from before a retirement must not resurrect the tenant).
+  void ReportObservationTrusted(const data::QoSSample& sample);
 
   // --- Online updating -----------------------------------------------------
   /// Advances the service clock, drains buffered observations into the
@@ -125,7 +152,10 @@ class QoSPredictionService {
   ///   -> per-service running mean of observed samples
   ///   -> last-known-good stored sample for the pair
   ///   -> unavailable (NaN value).
-  /// Sources are counted in degradation_stats().
+  /// Sources are counted in degradation_stats(). Ids that are not
+  /// registered (never joined, or retired) refuse every rung and return
+  /// kUnavailable: the ladder must not serve another tenant's statistics
+  /// for an entity that does not exist.
   ResilientPrediction PredictResilient(data::UserId u,
                                        data::ServiceId s) const;
 
@@ -144,10 +174,13 @@ class QoSPredictionService {
   /// model + sample store + trainer clock to a core::CheckpointManager.
   void EnableCheckpoints(const core::CheckpointManagerConfig& config);
 
-  /// Restores model, sample store, and clock from the newest valid
-  /// checkpoint (corrupt ones are skipped). Returns false when
-  /// checkpoints are not enabled or none is loadable. Registry names are
-  /// not part of a checkpoint; re-register entities after restore.
+  /// Restores model, sample store, clock, and — for v2 checkpoints — both
+  /// entity registries (names, lifecycle states, free-list) from the
+  /// newest valid checkpoint, so every name predicts from its own trained
+  /// factors regardless of re-registration order. v1 checkpoints restore
+  /// factors only (logged): callers must then re-register names in the
+  /// original join order. Returns false when checkpoints are not enabled
+  /// or none is loadable.
   bool RestoreFromLatestCheckpoint();
 
   core::CheckpointManager* checkpoints() { return checkpoints_.get(); }
@@ -161,6 +194,18 @@ class QoSPredictionService {
   core::PipelineStats pipeline_stats() const;
 
  private:
+  /// Shared body of the two ReportObservation entries (gate already
+  /// passed).
+  void CollectObservation(const data::QoSSample& sample);
+
+  /// Mirrors registry lifecycle totals into the relaxed-atomic counters
+  /// metric callbacks read (callbacks must not walk registry vectors that
+  /// another thread is mutating). Call after any registry mutation.
+  void SyncLifecycleCounters();
+
+  /// Registers lifecycle.* gauges/counters with config_.metrics.
+  void RegisterLifecycleMetrics();
+
   PredictionServiceConfig config_;
   core::AmfModel model_;
   core::OnlineTrainer trainer_;
@@ -172,6 +217,20 @@ class QoSPredictionService {
   // PredictResilient is conceptually const; the ladder accounting is
   // observability-only state (single-writer, like the model's counters).
   mutable DegradationStats degradation_stats_;
+  // Single-writer relaxed atomics mirrored from the registries so metric
+  // snapshots are wait-free and race-free against registry mutation.
+  struct LifecycleCounters {
+    std::atomic<std::uint64_t> users_active{0};
+    std::atomic<std::uint64_t> users_slots{0};
+    std::atomic<std::uint64_t> users_free{0};
+    std::atomic<std::uint64_t> users_recycled{0};
+    std::atomic<std::uint64_t> services_active{0};
+    std::atomic<std::uint64_t> services_slots{0};
+    std::atomic<std::uint64_t> services_free{0};
+    std::atomic<std::uint64_t> services_recycled{0};
+  };
+  LifecycleCounters lifecycle_;
+  std::atomic<std::uint64_t> rejected_unregistered_{0};
 };
 
 }  // namespace amf::adapt

@@ -1,41 +1,116 @@
 // User / service managers (Fig. 3): track the entities known to the QoS
-// prediction service and their join/leave lifecycle under churn.
+// prediction service and their join/leave/retire lifecycle under churn.
+//
+// Lifecycle state machine per slot (see DESIGN.md §10):
+//
+//   (unknown) --Join--> ACTIVE --Leave--> DEPARTED --Join--> ACTIVE
+//                         |                  |
+//                       Retire             Retire
+//                         v                  v
+//                        FREE --Join(new name, recycled id)--> ACTIVE
+//
+// Leave deactivates but keeps the name->id binding, so a returning entity
+// gets its learned latent factors back. Retire reclaims the slot: the
+// binding is erased, the id goes onto a free-list, and the slot's
+// generation counter is bumped so any (id, generation) handle taken before
+// the retirement can be told apart from the slot's next tenant. Under
+// sustained churn the slot table is bounded by the peak number of
+// live-or-departed entities, not by the total that ever joined.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "core/registry_image.h"
 #include "data/qos_types.h"
 
 namespace amf::adapt {
 
-/// Generic id registry: external string name <-> dense numeric id, with an
-/// active flag ("leave" deactivates but never reuses ids, so a returning
-/// entity keeps its learned latent factors).
+using core::SlotState;
+
+/// Generic id registry: external string name <-> dense numeric id, with
+/// per-slot lifecycle state, generation tags, and id recycling.
 template <typename IdType>
 class Registry {
  public:
-  /// Registers (or re-activates) a name; returns its id.
+  using Generation = std::uint32_t;
+
+  /// A generation-tagged reference to a slot: stays valid across
+  /// leave/rejoin but is invalidated by retirement (the generation bumps),
+  /// so a stale handle can never be confused with the slot's next tenant.
+  struct Handle {
+    IdType id = 0;
+    Generation generation = 0;
+    bool operator==(const Handle&) const = default;
+  };
+
+  /// Registers (or re-activates) a name; returns its id. Unknown names
+  /// take a recycled slot from the free-list when one is available (its
+  /// generation was already bumped at retirement), else a fresh dense id.
   IdType Join(const std::string& name) {
-    auto [it, inserted] = ids_.try_emplace(
-        name, static_cast<IdType>(names_.size()));
-    if (inserted) {
-      names_.push_back(name);
-      active_.push_back(true);
-    } else {
-      active_[it->second] = true;
+    const auto it = ids_.find(name);
+    if (it != ids_.end()) {
+      if (states_[it->second] == SlotState::kDeparted) {
+        states_[it->second] = SlotState::kActive;
+        ++num_active_;
+      }
+      return it->second;
     }
-    return it->second;
+    IdType id;
+    if (!free_list_.empty()) {
+      id = static_cast<IdType>(free_list_.back());
+      free_list_.pop_back();
+      names_[id] = name;
+      recycled_total_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      id = static_cast<IdType>(names_.size());
+      names_.push_back(name);
+      states_.push_back(SlotState::kFree);  // overwritten below
+      generations_.push_back(0);
+    }
+    states_[id] = SlotState::kActive;
+    ++num_active_;
+    ids_.emplace(name, id);
+    return id;
   }
 
-  /// Deactivates a name; returns false if unknown.
+  /// Join returning the slot's generation-tagged handle.
+  Handle JoinHandle(const std::string& name) {
+    const IdType id = Join(name);
+    return Handle{id, generations_[id]};
+  }
+
+  /// Deactivates a name (binding and slot retained for a rejoin); returns
+  /// false if unknown.
   bool Leave(const std::string& name) {
     const auto it = ids_.find(name);
     if (it == ids_.end()) return false;
-    active_[it->second] = false;
+    if (states_[it->second] == SlotState::kActive) {
+      states_[it->second] = SlotState::kDeparted;
+      --num_active_;
+    }
     return true;
+  }
+
+  /// Reclaims a name's slot (from active or departed): erases the binding,
+  /// bumps the slot's generation (stale handles die immediately), and
+  /// pushes the id onto the free-list for reuse by a future Join. Returns
+  /// the reclaimed id, or nullopt if the name is unknown.
+  std::optional<IdType> Retire(const std::string& name) {
+    const auto it = ids_.find(name);
+    if (it == ids_.end()) return std::nullopt;
+    const IdType id = it->second;
+    ids_.erase(it);
+    names_[id].clear();
+    if (states_[id] == SlotState::kActive) --num_active_;
+    states_[id] = SlotState::kFree;
+    ++generations_[id];
+    free_list_.push_back(static_cast<std::uint32_t>(id));
+    return id;
   }
 
   std::optional<IdType> Lookup(const std::string& name) const {
@@ -44,28 +119,140 @@ class Registry {
     return it->second;
   }
 
-  bool IsActive(IdType id) const {
-    return id < active_.size() && active_[id];
+  std::optional<Handle> LookupHandle(const std::string& name) const {
+    const auto it = ids_.find(name);
+    if (it == ids_.end()) return std::nullopt;
+    return Handle{it->second, generations_[it->second]};
   }
 
+  bool IsActive(IdType id) const {
+    return id < states_.size() && states_[id] == SlotState::kActive;
+  }
+
+  /// True when the slot has been retired and awaits reuse. Out-of-range
+  /// ids (never issued by this registry) are not free.
+  bool IsFree(IdType id) const {
+    return id < states_.size() && states_[id] == SlotState::kFree;
+  }
+
+  /// True while the slot has a live name binding (active or departed):
+  /// the id belongs to a real registered tenant. False for ids this
+  /// registry never issued and for retired (free) slots.
+  bool IsKnown(IdType id) const {
+    return id < states_.size() && states_[id] != SlotState::kFree;
+  }
+
+  SlotState State(IdType id) const { return states_.at(id); }
+
+  Generation GenerationOf(IdType id) const { return generations_.at(id); }
+
+  /// True while `handle` still refers to its original tenant (the slot has
+  /// not been retired since the handle was taken).
+  bool IsCurrent(Handle handle) const {
+    return handle.id < generations_.size() &&
+           generations_[handle.id] == handle.generation &&
+           states_[handle.id] != SlotState::kFree;
+  }
+
+  /// Name bound to a slot (empty for free slots).
   const std::string& Name(IdType id) const { return names_.at(id); }
 
-  /// Total ids ever issued (dense; inactive ids included).
+  /// Total slots in the dense table (active + departed + free). Under
+  /// churn with retirement this is bounded by peak concurrency, not by
+  /// the total number of entities that ever joined.
   std::size_t size() const { return names_.size(); }
+
+  /// Currently active slots. O(1): maintained incrementally by
+  /// Join/Leave/Retire.
+  std::size_t num_active() const { return num_active_; }
+
+  /// Reclaimed slots currently awaiting reuse.
+  std::size_t free_slots() const { return free_list_.size(); }
+
+  /// Retired slots handed out again so far. Relaxed atomic so metric
+  /// callbacks may read it while another thread mutates the registry
+  /// under the owning service's lock.
+  std::uint64_t recycled_total() const {
+    return recycled_total_.load(std::memory_order_relaxed);
+  }
 
   /// Currently active ids.
   std::vector<IdType> ActiveIds() const {
     std::vector<IdType> out;
-    for (std::size_t i = 0; i < active_.size(); ++i) {
-      if (active_[i]) out.push_back(static_cast<IdType>(i));
+    for (std::size_t i = 0; i < states_.size(); ++i) {
+      if (states_[i] == SlotState::kActive) {
+        out.push_back(static_cast<IdType>(i));
+      }
     }
     return out;
+  }
+
+  /// Serializable snapshot (for checkpoints).
+  core::RegistryImage ToImage() const {
+    core::RegistryImage image;
+    image.names = names_;
+    image.states.reserve(states_.size());
+    for (const SlotState s : states_) {
+      image.states.push_back(static_cast<std::uint8_t>(s));
+    }
+    image.generations = generations_;
+    image.free_list = free_list_;
+    image.recycled_total = recycled_total();
+    return image;
+  }
+
+  /// Rebuilds a registry from a snapshot (checkpoint restore).
+  static Registry FromImage(const core::RegistryImage& image) {
+    Registry reg;
+    reg.names_ = image.names;
+    reg.states_.reserve(image.states.size());
+    for (const std::uint8_t s : image.states) {
+      reg.states_.push_back(static_cast<SlotState>(s));
+    }
+    reg.generations_ = image.generations;
+    reg.free_list_ = image.free_list;
+    reg.recycled_total_.store(image.recycled_total,
+                              std::memory_order_relaxed);
+    for (std::size_t i = 0; i < reg.names_.size(); ++i) {
+      if (reg.states_[i] != SlotState::kFree) {
+        reg.ids_.emplace(reg.names_[i], static_cast<IdType>(i));
+      }
+      if (reg.states_[i] == SlotState::kActive) ++reg.num_active_;
+    }
+    return reg;
+  }
+
+  Registry() = default;
+  Registry(const Registry& other)
+      : ids_(other.ids_),
+        names_(other.names_),
+        states_(other.states_),
+        generations_(other.generations_),
+        free_list_(other.free_list_),
+        num_active_(other.num_active_),
+        recycled_total_(other.recycled_total()) {}
+  Registry& operator=(const Registry& other) {
+    if (this == &other) return *this;
+    ids_ = other.ids_;
+    names_ = other.names_;
+    states_ = other.states_;
+    generations_ = other.generations_;
+    free_list_ = other.free_list_;
+    num_active_ = other.num_active_;
+    recycled_total_.store(other.recycled_total(),
+                          std::memory_order_relaxed);
+    return *this;
   }
 
  private:
   std::unordered_map<std::string, IdType> ids_;
   std::vector<std::string> names_;
-  std::vector<bool> active_;
+  std::vector<SlotState> states_;
+  std::vector<Generation> generations_;
+  std::vector<std::uint32_t> free_list_;  // back = next handed out
+  std::size_t num_active_ = 0;
+  // Atomic (single writer) so metric callbacks can read concurrently.
+  std::atomic<std::uint64_t> recycled_total_{0};
 };
 
 using UserRegistry = Registry<data::UserId>;

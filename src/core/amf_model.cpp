@@ -133,6 +133,36 @@ void AmfModel::EnsureService(data::ServiceId s) {
   }
 }
 
+void AmfModel::RetireUser(data::UserId u) {
+  AMF_CHECK_MSG(HasUser(u), "RetireUser: unknown user " << u);
+  const std::size_t d = config_.rank;
+  const std::span<double> row(&user_factors_[u * d], d);
+  // Stage the cold-start row outside the seqlock bracket, then publish:
+  // readers either see the old tenant's row or the fresh one, never a mix.
+  std::vector<double> fresh(d);
+  FillDeterministicRow(u, fresh);
+  common::SeqlockBeginWrite(user_version_[u]);
+  for (std::size_t k = 0; k < d; ++k) {
+    common::SeqlockStore(row[k], fresh[k]);
+  }
+  common::RelaxedStore(user_error_[u], config_.initial_error);
+  common::SeqlockEndWrite(user_version_[u]);
+}
+
+void AmfModel::RetireService(data::ServiceId s) {
+  AMF_CHECK_MSG(HasService(s), "RetireService: unknown service " << s);
+  const std::size_t d = config_.rank;
+  const std::span<double> row(&service_factors_[s * d], d);
+  std::vector<double> fresh(d);
+  FillDeterministicRow(s, fresh);
+  common::SeqlockBeginWrite(service_version_[s]);
+  for (std::size_t k = 0; k < d; ++k) {
+    common::SeqlockStore(row[k], fresh[k]);
+  }
+  common::RelaxedStore(service_error_[s], config_.initial_error);
+  common::SeqlockEndWrite(service_version_[s]);
+}
+
 bool AmfModel::RepairNonFinite(std::span<double> v, double& error,
                                std::uint64_t entity_id) {
   bool poisoned = false;

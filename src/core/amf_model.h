@@ -62,6 +62,18 @@ class AmfModel {
   bool HasUser(data::UserId u) const { return u < num_users(); }
   bool HasService(data::ServiceId s) const { return s < num_services(); }
 
+  /// Reclaims a registered entity's slot for reuse by a new tenant
+  /// (registry retirement): deterministically re-initializes the latent
+  /// row (same (seed, id)-derived fill as NaN repair — no shared RNG
+  /// state) and resets the error EMA to config.initial_error, the paper's
+  /// cold-start state for a fresh entity (Eq. 13). The row write is
+  /// published through the per-row seqlock, so it is safe against
+  /// concurrent *Shared readers; writer-vs-writer exclusion (vs. guarded
+  /// trainer updates on the same row) remains the caller's job —
+  /// ConcurrentPredictionService defers retirement to the epoch barrier.
+  void RetireUser(data::UserId u);
+  void RetireService(data::ServiceId s);
+
   /// One SGD step on an observed sample. Registers unknown entities.
   /// Returns the pre-update relative error e_us (Eq. 15) — the trainer's
   /// convergence signal.

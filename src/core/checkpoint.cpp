@@ -28,7 +28,12 @@ namespace {
 namespace fs = std::filesystem;
 
 constexpr const char* kMagic = "AMF_CKPT";
-constexpr int kVersion = 1;
+// v1: model + samples + trainer clock. v2 appends an optional
+// AMF_REGISTRIES section (both entity registries) so a restore reproduces
+// the exact name->factor-row binding. Readers accept both.
+constexpr int kVersion = 2;
+constexpr int kMinVersion = 1;
+constexpr int kTrainerVersion = 1;
 constexpr const char* kExtension = ".amfck";
 
 /// fsync a path (file or directory); best-effort no-op off POSIX.
@@ -71,14 +76,20 @@ double ReadMaybeNan(std::istream& is, const std::string& label) {
 }
 
 std::string BuildPayload(const AmfModel& model, const SampleStore& store,
-                         double now, double last_epoch_error) {
+                         double now, double last_epoch_error,
+                         const CheckpointRegistries* registries) {
   std::ostringstream payload;
   payload << std::setprecision(17);
   SaveModel(payload, model);
   SaveSampleStore(payload, store);
-  payload << "AMF_TRAINER " << kVersion << "\n";
+  payload << "AMF_TRAINER " << kTrainerVersion << "\n";
   WriteMaybeNan(payload, "now", now);
   WriteMaybeNan(payload, "last_epoch_error", last_epoch_error);
+  if (registries != nullptr) {
+    payload << "AMF_REGISTRIES 1\n";
+    SaveRegistryImage(payload, registries->users);
+    SaveRegistryImage(payload, registries->services);
+  }
   return payload.str();
 }
 
@@ -86,9 +97,10 @@ std::string BuildPayload(const AmfModel& model, const SampleStore& store,
 
 void WriteCheckpoint(std::ostream& os, const AmfModel& model,
                      const SampleStore& store, double now,
-                     double last_epoch_error) {
+                     double last_epoch_error,
+                     const CheckpointRegistries* registries) {
   const std::string payload =
-      BuildPayload(model, store, now, last_epoch_error);
+      BuildPayload(model, store, now, last_epoch_error, registries);
   os << kMagic << " " << kVersion << "\n";
   os << "bytes " << payload.size() << " crc32 " << std::hex
      << common::Crc32Of(payload) << std::dec << "\n";
@@ -102,7 +114,7 @@ CheckpointData ReadCheckpoint(std::istream& is) {
                 "checkpoint: bad magic '" << tok << "'");
   int version = 0;
   is >> version;
-  AMF_CHECK_MSG(!is.fail() && version == kVersion,
+  AMF_CHECK_MSG(!is.fail() && version >= kMinVersion && version <= kVersion,
                 "checkpoint: unsupported version " << version);
   is >> tok;
   AMF_CHECK_MSG(is.good() && tok == "bytes", "checkpoint: missing size");
@@ -132,23 +144,41 @@ CheckpointData ReadCheckpoint(std::istream& is) {
                 "checkpoint: missing trainer section");
   int tversion = 0;
   ps >> tversion;
-  AMF_CHECK_MSG(!ps.fail() && tversion == kVersion,
+  AMF_CHECK_MSG(!ps.fail() && tversion == kTrainerVersion,
                 "checkpoint: bad trainer section version");
   data.now = ReadMaybeNan(ps, "now");
   data.last_epoch_error = ReadMaybeNan(ps, "last_epoch_error");
   AMF_CHECK_MSG(std::isfinite(data.now), "checkpoint: corrupt clock");
+  // Optional v2 trailer. A v1 payload (or a v2 one written without
+  // registries) simply ends here; the CRC already vouched for the bytes,
+  // so a malformed section past a valid marker is corruption, not absence.
+  ps >> tok;
+  if (!ps.fail() && tok == "AMF_REGISTRIES") {
+    int rversion = 0;
+    ps >> rversion;
+    AMF_CHECK_MSG(!ps.fail() && rversion == 1,
+                  "checkpoint: bad registries section version");
+    CheckpointRegistries regs;
+    regs.users = LoadRegistryImage(ps);
+    regs.services = LoadRegistryImage(ps);
+    data.registries = std::move(regs);
+  } else {
+    AMF_CHECK_MSG(ps.eof() || tok.empty(),
+                  "checkpoint: unexpected trailing section '" << tok << "'");
+  }
   return data;
 }
 
 void WriteCheckpointFile(const std::string& path, const AmfModel& model,
                          const SampleStore& store, double now,
-                         double last_epoch_error) {
+                         double last_epoch_error,
+                         const CheckpointRegistries* registries) {
   const fs::path target(path);
   const fs::path tmp = target.string() + ".tmp";
   {
     std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
     AMF_CHECK_MSG(os.good(), "cannot open for writing: " << tmp.string());
-    WriteCheckpoint(os, model, store, now, last_epoch_error);
+    WriteCheckpoint(os, model, store, now, last_epoch_error, registries);
     os.flush();
     AMF_CHECK_MSG(os.good(), "write failed: " << tmp.string());
   }
@@ -229,12 +259,14 @@ void CheckpointManager::AttachMetrics(obs::MetricsRegistry* registry) {
 
 std::string CheckpointManager::Save(const AmfModel& model,
                                     const SampleStore& store, double now,
-                                    double last_epoch_error) {
+                                    double last_epoch_error,
+                                    const CheckpointRegistries* registries) {
   const std::string path = PathFor(next_seq_++);
   {
     obs::ScopedLatencyTimer timer(write_hist_);
     try {
-      WriteCheckpointFile(path, model, store, now, last_epoch_error);
+      WriteCheckpointFile(path, model, store, now, last_epoch_error,
+                          registries);
     } catch (...) {
       write_failures_.fetch_add(1, std::memory_order_relaxed);
       throw;
@@ -261,12 +293,10 @@ std::string CheckpointManager::Save(const AmfModel& model,
 
 bool CheckpointManager::MaybeSave(const AmfModel& model,
                                  const SampleStore& store, double now,
-                                 double last_epoch_error) {
-  if (saved_once_ && config_.interval_seconds > 0.0 &&
-      now - last_save_time_ < config_.interval_seconds) {
-    return false;
-  }
-  Save(model, store, now, last_epoch_error);
+                                 double last_epoch_error,
+                                 const CheckpointRegistries* registries) {
+  if (!ShouldSave(now)) return false;
+  Save(model, store, now, last_epoch_error, registries);
   return true;
 }
 

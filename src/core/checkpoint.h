@@ -3,14 +3,21 @@
 // A checkpoint bundles everything Algorithm 1 needs to resume mid-stream
 // after a process death: the model (config, latent factors, the
 // adaptive-weight error EMAs e_u/e_s), the sample store ("existing data
-// samples"), and the trainer clock. The on-disk format is
+// samples"), the trainer clock, and (format v2) both entity registries.
+// The on-disk format is
 //
-//   AMF_CKPT 1
+//   AMF_CKPT 2
 //   bytes <N> crc32 <hex>
 //   <N payload bytes: AMF_MODEL section, AMF_SAMPLES section,
-//    AMF_TRAINER section>
+//    AMF_TRAINER section, optional AMF_REGISTRIES section>
 //
-// so a reader can detect truncation (fewer than N payload bytes) and
+// The trailing AMF_REGISTRIES section (two RegistryImage blocks: users,
+// then services) binds names to factor rows across a restore; without it
+// (v1 files, or v2 writers passing no registries) the factors restore
+// anonymously and callers must re-register names in the original join
+// order. Readers accept v1 and v2.
+//
+// The header lets a reader detect truncation (fewer than N payload bytes) and
 // corruption (CRC-32 mismatch) before any field is trusted. Writes are
 // atomic: payload to a temp file in the same directory, fsync, rename over
 // the final name, fsync the directory — a crash mid-write leaves at worst
@@ -32,6 +39,7 @@
 #include <vector>
 
 #include "core/amf_model.h"
+#include "core/registry_image.h"
 #include "core/sample_store.h"
 
 namespace amf::obs {
@@ -41,29 +49,45 @@ class MetricsRegistry;
 
 namespace amf::core {
 
+/// Both entity registries, snapshotted together (a checkpoint either
+/// carries name<->id bindings for BOTH sides or for neither).
+struct CheckpointRegistries {
+  RegistryImage users;
+  RegistryImage services;
+};
+
 /// Everything restored from one checkpoint.
 struct CheckpointData {
   AmfModel model;
   SampleStore store;
   double now = 0.0;
   double last_epoch_error = std::numeric_limits<double>::quiet_NaN();
+  /// Registry snapshots (format v2). nullopt for v1 checkpoints and v2
+  /// checkpoints written without registries: factors restore fine, but
+  /// name->row bindings must be recreated by the caller (and will be
+  /// wrong if names re-register in a different order — hence v2).
+  std::optional<CheckpointRegistries> registries;
 
   explicit CheckpointData(AmfModel m) : model(std::move(m)) {}
 };
 
-/// Serializes one checkpoint (length + CRC header, then payload).
+/// Serializes one checkpoint (length + CRC header, then payload). When
+/// `registries` is non-null the payload carries a trailing AMF_REGISTRIES
+/// section binding names to factor rows across the restore.
 void WriteCheckpoint(std::ostream& os, const AmfModel& model,
                      const SampleStore& store, double now,
-                     double last_epoch_error);
+                     double last_epoch_error,
+                     const CheckpointRegistries* registries = nullptr);
 
-/// Parses and verifies a checkpoint. Throws common::CheckError on
-/// truncation, CRC mismatch, or malformed sections.
+/// Parses and verifies a checkpoint (format v1 or v2). Throws
+/// common::CheckError on truncation, CRC mismatch, or malformed sections.
 CheckpointData ReadCheckpoint(std::istream& is);
 
 /// Atomic file write: temp file + fsync + rename + directory fsync.
 void WriteCheckpointFile(const std::string& path, const AmfModel& model,
                          const SampleStore& store, double now,
-                         double last_epoch_error);
+                         double last_epoch_error,
+                         const CheckpointRegistries* registries = nullptr);
 
 /// Reads + verifies one checkpoint file (throws on IO error/corruption).
 CheckpointData ReadCheckpointFile(const std::string& path);
@@ -90,15 +114,25 @@ class CheckpointManager {
   const CheckpointManagerConfig& config() const { return config_; }
 
   /// Writes a new checkpoint unconditionally (atomic) and prunes beyond
-  /// the retention limit. Returns the file path.
+  /// the retention limit. Returns the file path. `registries` (optional)
+  /// is persisted as the v2 AMF_REGISTRIES section.
   std::string Save(const AmfModel& model, const SampleStore& store,
-                   double now, double last_epoch_error);
+                   double now, double last_epoch_error,
+                   const CheckpointRegistries* registries = nullptr);
 
   /// Interval-gated Save, for calling on every trainer tick: saves only
   /// when `now` is at least interval_seconds past the last save (or on the
   /// first call). Returns true if a checkpoint was written.
   bool MaybeSave(const AmfModel& model, const SampleStore& store, double now,
-                 double last_epoch_error);
+                 double last_epoch_error,
+                 const CheckpointRegistries* registries = nullptr);
+
+  /// True when a MaybeSave(..., now) call would write: callers use this
+  /// to skip building registry snapshots on ticks that will not save.
+  bool ShouldSave(double now) const {
+    return !(saved_once_ && config_.interval_seconds > 0.0 &&
+             now - last_save_time_ < config_.interval_seconds);
+  }
 
   /// Loads the newest checkpoint that passes validation, skipping (and
   /// counting) corrupt/truncated ones. nullopt when none is loadable.

@@ -41,6 +41,8 @@ void OnlineTrainer::RegisterMetrics() {
                               counter(clock_regressions_));
   reg.RegisterCallbackCounter("trainer.skipped_updates",
                               counter(skipped_updates_));
+  reg.RegisterCallbackCounter("trainer.purged_samples",
+                              counter(purged_samples_));
 
   const AtomicIngestCounters& in = validator_.counters();
   reg.RegisterCallbackCounter("pipeline.accepted", counter(in.accepted));
@@ -334,7 +336,38 @@ PipelineStats OnlineTrainer::Stats() const {
   s.clock_regressions = clock_regressions_.load(std::memory_order_relaxed);
   s.nan_reinit_users = model_.nan_reinit_users();
   s.nan_reinit_services = model_.nan_reinit_services();
+  s.purged_samples = purged_samples_.load(std::memory_order_relaxed);
   return s;
+}
+
+std::size_t OnlineTrainer::PurgeUser(data::UserId u) {
+  std::size_t purged = store_.RemoveUser(u);
+  for (auto it = incoming_.begin(); it != incoming_.end();) {
+    if (it->user == u) {
+      it = incoming_.erase(it);
+      ++purged;
+    } else {
+      ++it;
+    }
+  }
+  validator_.ForgetUser(u);
+  purged_samples_.fetch_add(purged, std::memory_order_relaxed);
+  return purged;
+}
+
+std::size_t OnlineTrainer::PurgeService(data::ServiceId s) {
+  std::size_t purged = store_.RemoveService(s);
+  for (auto it = incoming_.begin(); it != incoming_.end();) {
+    if (it->service == s) {
+      it = incoming_.erase(it);
+      ++purged;
+    } else {
+      ++it;
+    }
+  }
+  validator_.ForgetService(s);
+  purged_samples_.fetch_add(purged, std::memory_order_relaxed);
+  return purged;
 }
 
 }  // namespace amf::core

@@ -166,6 +166,25 @@ class OnlineTrainer {
   /// records into it); not for use while training is in flight.
   SampleStore& mutable_store() { return store_; }
 
+  /// Scrubs every trace of a retired entity from the training pipeline:
+  /// stored samples (they would keep dragging paired factors via Eq. 8-9
+  /// replay updates), queued-but-unprocessed observations, and the
+  /// validator's per-pair / per-service state (so the recycled id's next
+  /// tenant is not rejected as a duplicate or judged against the old
+  /// tenant's outlier window). Returns the number of samples removed
+  /// (store + queue), also accumulated into Stats().purged_samples. Not
+  /// for use while a replay epoch is in flight — callers with concurrent
+  /// training defer to the epoch barrier (see ConcurrentPredictionService).
+  std::size_t PurgeUser(data::UserId u);
+  std::size_t PurgeService(data::ServiceId s);
+
+  /// Accounts samples purged upstream of the trainer (e.g. a service-level
+  /// ingest buffer dropped at retirement) in Stats().purged_samples, so
+  /// the pipeline-wide purge total stays in one counter.
+  void CountPurgedSamples(std::size_t n) {
+    purged_samples_.fetch_add(n, std::memory_order_relaxed);
+  }
+
  private:
   /// One parallel user-sharded epoch over the current store contents.
   std::optional<double> ReplayEpochParallel();
@@ -202,6 +221,7 @@ class OnlineTrainer {
   std::atomic<std::uint64_t> updates_applied_{0};
   std::atomic<std::uint64_t> epochs_run_{0};
   std::atomic<std::uint64_t> expired_{0};
+  std::atomic<std::uint64_t> purged_samples_{0};
   double last_epoch_error_ = std::numeric_limits<double>::quiet_NaN();
 
   // Metric handles (nullptr when config_.metrics is nullptr).

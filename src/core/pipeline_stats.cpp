@@ -14,6 +14,8 @@ std::string PipelineStats::ToString() const {
       << " quarantined=" << quarantined_outlier
       << " dropped{ring=" << ring_dropped
       << " overflow=" << dropped_on_overflow << "}"
+      << " lifecycle{purged=" << purged_samples
+      << " unregistered=" << rejected_unregistered << "}"
       << " skipped_updates=" << skipped_updates
       << " nan_reinit{users=" << nan_reinit_users
       << " services=" << nan_reinit_services << "}"

@@ -30,6 +30,13 @@ struct PipelineStats {
   /// Backpressure at the trainer: incoming queue at max_incoming.
   std::uint64_t dropped_on_overflow = 0;
 
+  // --- Entity lifecycle (registry churn, DESIGN.md §10) --------------------
+  /// Samples scrubbed from the store/queue when an entity was retired.
+  std::uint64_t purged_samples = 0;
+  /// Observations refused because the user or service id was not
+  /// registered (never joined, or its slot was retired).
+  std::uint64_t rejected_unregistered = 0;
+
   // --- Training-side guards ------------------------------------------------
   std::uint64_t skipped_updates = 0;   ///< OnlineUpdate refused the sample
   std::uint64_t nan_reinit_users = 0;  ///< user vectors re-randomized

@@ -1,0 +1,79 @@
+#include "core/registry_image.h"
+
+#include <istream>
+#include <ostream>
+
+#include "common/check.h"
+
+namespace amf::core {
+
+namespace {
+
+constexpr const char* kMagic = "AMF_REGISTRY";
+constexpr int kVersion = 1;
+
+}  // namespace
+
+void SaveRegistryImage(std::ostream& os, const RegistryImage& image) {
+  const std::size_t n = image.names.size();
+  AMF_CHECK_MSG(image.states.size() == n && image.generations.size() == n,
+                "registry image: parallel arrays out of sync");
+  os << kMagic << " " << kVersion << " " << n << " "
+     << image.free_list.size() << " " << image.recycled_total << "\n";
+  for (std::size_t i = 0; i < n; ++i) {
+    // "<state> <generation> <name_len> <name bytes>": the length prefix
+    // makes names with whitespace round-trip.
+    os << static_cast<unsigned>(image.states[i]) << " "
+       << image.generations[i] << " " << image.names[i].size() << " "
+       << image.names[i] << "\n";
+  }
+  for (std::size_t i = 0; i < image.free_list.size(); ++i) {
+    os << image.free_list[i] << (i + 1 < image.free_list.size() ? " " : "");
+  }
+  os << "\n";
+}
+
+RegistryImage LoadRegistryImage(std::istream& is) {
+  std::string tok;
+  is >> tok;
+  AMF_CHECK_MSG(is.good() && tok == kMagic,
+                "registry image: bad magic '" << tok << "'");
+  int version = 0;
+  std::size_t n = 0;
+  std::size_t free_count = 0;
+  RegistryImage image;
+  is >> version >> n >> free_count >> image.recycled_total;
+  AMF_CHECK_MSG(!is.fail() && version == kVersion,
+                "registry image: bad header");
+  AMF_CHECK_MSG(free_count <= n, "registry image: free-list exceeds slots");
+  image.names.resize(n);
+  image.states.resize(n);
+  image.generations.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    unsigned state = 0;
+    std::size_t len = 0;
+    is >> state >> image.generations[i] >> len;
+    AMF_CHECK_MSG(!is.fail() && state <= 2,
+                  "registry image: corrupt slot " << i);
+    image.states[i] = static_cast<std::uint8_t>(state);
+    is.ignore(1);  // the single space separating length from name bytes
+    std::string name(len, '\0');
+    is.read(name.data(), static_cast<std::streamsize>(len));
+    AMF_CHECK_MSG(static_cast<std::size_t>(is.gcount()) == len,
+                  "registry image: truncated name in slot " << i);
+    image.names[i] = std::move(name);
+  }
+  image.free_list.resize(free_count);
+  for (std::size_t i = 0; i < free_count; ++i) {
+    is >> image.free_list[i];
+    AMF_CHECK_MSG(!is.fail() && image.free_list[i] < n,
+                  "registry image: bad free-list entry " << i);
+    AMF_CHECK_MSG(image.states[image.free_list[i]] ==
+                      static_cast<std::uint8_t>(SlotState::kFree),
+                  "registry image: free-list entry "
+                      << image.free_list[i] << " not marked free");
+  }
+  return image;
+}
+
+}  // namespace amf::core

@@ -1,0 +1,50 @@
+// Serializable snapshot of an entity registry (adapt::Registry): the
+// name<->id bindings, per-slot lifecycle state, generation tags, and the
+// free-list of reclaimed ids. Lives in core so the checkpoint layer can
+// persist registries without depending on the adapt layer; adapt::Registry
+// converts to/from this image (ToImage/FromImage).
+//
+// Persisting this alongside the model is what keeps names and latent rows
+// bound across a crash-restore: factors alone are anonymous, and
+// re-registering names in a different order after a restart would silently
+// rebind every name to someone else's rows.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace amf::core {
+
+/// Per-slot lifecycle state (adapt::Registry's state machine).
+enum class SlotState : std::uint8_t {
+  kActive = 0,    ///< joined, id resolves, samples accepted
+  kDeparted = 1,  ///< left; binding and factors retained for a rejoin
+  kFree = 2,      ///< retired; id is on the free-list awaiting reuse
+};
+
+struct RegistryImage {
+  /// Parallel arrays over dense slot ids [0, names.size()). Free slots
+  /// carry an empty name.
+  std::vector<std::string> names;
+  std::vector<std::uint8_t> states;       ///< SlotState per slot
+  std::vector<std::uint32_t> generations; ///< bumped on each retirement
+  /// Reclaimed ids in reuse order (back = handed out next).
+  std::vector<std::uint32_t> free_list;
+  /// Total slots ever handed out again after retirement.
+  std::uint64_t recycled_total = 0;
+
+  bool operator==(const RegistryImage&) const = default;
+};
+
+/// Writes one registry image as a self-describing text section
+/// ("AMF_REGISTRY <version> ..."). Names are length-prefixed so they may
+/// contain spaces.
+void SaveRegistryImage(std::ostream& os, const RegistryImage& image);
+
+/// Reads a section written by SaveRegistryImage. Throws common::CheckError
+/// on malformed input.
+RegistryImage LoadRegistryImage(std::istream& is);
+
+}  // namespace amf::core

@@ -60,6 +60,35 @@ std::size_t SampleStore::ExpireOlderThan(double cutoff) {
   return expired;
 }
 
+std::size_t SampleStore::RemoveUser(data::UserId u) {
+  std::size_t removed = 0;
+  std::size_t i = 0;
+  while (i < samples_.size()) {
+    if (samples_[i].user == u) {
+      Remove(samples_[i].user, samples_[i].service);
+      ++removed;
+      // Swap-remove moved a new sample into position i; re-examine it.
+    } else {
+      ++i;
+    }
+  }
+  return removed;
+}
+
+std::size_t SampleStore::RemoveService(data::ServiceId s) {
+  std::size_t removed = 0;
+  std::size_t i = 0;
+  while (i < samples_.size()) {
+    if (samples_[i].service == s) {
+      Remove(samples_[i].user, samples_[i].service);
+      ++removed;
+    } else {
+      ++i;
+    }
+  }
+  return removed;
+}
+
 void SampleStore::Clear() {
   samples_.clear();
   index_.clear();

@@ -42,6 +42,14 @@ class SampleStore {
   /// Returns the number expired. O(n).
   std::size_t ExpireOlderThan(double cutoff);
 
+  /// Removes every sample observed by `u` (entity retirement). Returns
+  /// the number removed. O(n).
+  std::size_t RemoveUser(data::UserId u);
+
+  /// Removes every sample of service `s` (entity retirement). Returns
+  /// the number removed. O(n).
+  std::size_t RemoveService(data::ServiceId s);
+
   void Clear();
 
  private:

@@ -134,4 +134,25 @@ void SampleValidator::Reset() {
   quarantine_.clear();
 }
 
+void SampleValidator::ForgetUser(data::UserId u) {
+  for (auto it = last_accepted_ts_.begin(); it != last_accepted_ts_.end();) {
+    if (static_cast<data::UserId>(it->first >> 32) == u) {
+      it = last_accepted_ts_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SampleValidator::ForgetService(data::ServiceId s) {
+  for (auto it = last_accepted_ts_.begin(); it != last_accepted_ts_.end();) {
+    if (static_cast<data::ServiceId>(it->first & 0xffffffffULL) == s) {
+      it = last_accepted_ts_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  history_.erase(s);
+}
+
 }  // namespace amf::core

@@ -115,6 +115,15 @@ class SampleValidator {
   /// Drops all history/quarantine state (counters are preserved).
   void Reset();
 
+  /// Forgets a retired user's per-pair duplicate-timestamp state so the
+  /// recycled id's next tenant starts clean (its first observation would
+  /// otherwise be rejected as a stale re-delivery). O(pairs).
+  void ForgetUser(data::UserId u);
+
+  /// Forgets a retired service's pair state, outlier history, and median/
+  /// MAD window — the next tenant's value scale is unrelated.
+  void ForgetService(data::ServiceId s);
+
  private:
   struct History {
     std::vector<double> ring;  // capacity-bounded, insertion order

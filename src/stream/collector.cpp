@@ -14,6 +14,17 @@ void Collector::CollectBatch(const std::vector<data::QoSSample>& samples) {
   total_collected_ += samples.size();
 }
 
+std::size_t Collector::RemoveUser(data::UserId u) {
+  return std::erase_if(buffer_,
+                       [u](const data::QoSSample& s) { return s.user == u; });
+}
+
+std::size_t Collector::RemoveService(data::ServiceId s) {
+  return std::erase_if(buffer_, [s](const data::QoSSample& sample) {
+    return sample.service == s;
+  });
+}
+
 std::size_t Collector::Flush() {
   const std::size_t n = buffer_.size();
   for (const data::QoSSample& s : buffer_) trainer_->Observe(s);

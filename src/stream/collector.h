@@ -29,6 +29,13 @@ class Collector {
   /// call trainer.RunUntilConverged() (or ProcessIncoming) afterwards.
   std::size_t Flush();
 
+  /// Drops every buffered sample naming the entity (order-preserving);
+  /// returns the number removed. Part of entity retirement: samples still
+  /// sitting in this buffer would otherwise be flushed after the purge and
+  /// train the reclaimed slot's next tenant.
+  std::size_t RemoveUser(data::UserId u);
+  std::size_t RemoveService(data::ServiceId s);
+
  private:
   core::OnlineTrainer* trainer_;
   std::vector<data::QoSSample> buffer_;

@@ -283,6 +283,86 @@ TEST(CheckpointManagerTest, RestoreThenEarlierTimestampDoesNotAbort) {
   EXPECT_DOUBLE_EQ(trainer.now(), 1500.0);
 }
 
+CheckpointRegistries TestRegistries() {
+  CheckpointRegistries regs;
+  regs.users.names = {"alice", "", "carol"};
+  regs.users.states = {0 /*active*/, 2 /*free*/, 1 /*departed*/};
+  regs.users.generations = {0, 3, 1};
+  regs.users.free_list = {1};
+  regs.users.recycled_total = 5;
+  regs.services.names = {"weather"};
+  regs.services.states = {0};
+  regs.services.generations = {0};
+  regs.services.recycled_total = 0;
+  return regs;
+}
+
+TEST(CheckpointTest, RegistrySectionRoundTrips) {
+  const CheckpointRegistries regs = TestRegistries();
+  std::stringstream ss;
+  WriteCheckpoint(ss, TrainedModel(), FilledStore(), 10.0, 0.1, &regs);
+  const CheckpointData data = ReadCheckpoint(ss);
+  ASSERT_TRUE(data.registries.has_value());
+  EXPECT_EQ(data.registries->users, regs.users);
+  EXPECT_EQ(data.registries->services, regs.services);
+}
+
+TEST(CheckpointTest, WriterWithoutRegistriesYieldsNullopt) {
+  std::stringstream ss;
+  WriteCheckpoint(ss, TrainedModel(), FilledStore(), 10.0, 0.1);
+  EXPECT_EQ(ss.str().find("AMF_REGISTRIES"), std::string::npos);
+  const CheckpointData data = ReadCheckpoint(ss);
+  EXPECT_FALSE(data.registries.has_value());
+}
+
+TEST(CheckpointTest, V1HeaderStillLoads) {
+  // A pre-registry checkpoint differs only in the header version (the
+  // version is outside the CRC-covered payload).
+  std::string text = Serialized(TrainedModel(), FilledStore(), 10.0, 0.1);
+  const std::size_t at = text.find("AMF_CKPT 2");
+  ASSERT_NE(at, std::string::npos);
+  text[at + 9] = '1';
+  std::stringstream ss(text);
+  const CheckpointData data = ReadCheckpoint(ss);
+  EXPECT_DOUBLE_EQ(data.now, 10.0);
+  EXPECT_FALSE(data.registries.has_value());
+}
+
+TEST(CheckpointTest, FutureVersionIsRejected) {
+  std::string text = Serialized(TrainedModel(), FilledStore(), 10.0, 0.1);
+  const std::size_t at = text.find("AMF_CKPT 2");
+  ASSERT_NE(at, std::string::npos);
+  text[at + 9] = '9';
+  std::stringstream ss(text);
+  EXPECT_THROW(ReadCheckpoint(ss), common::CheckError);
+}
+
+TEST(CheckpointTest, TruncationInsideRegistrySectionIsDetected) {
+  const CheckpointRegistries regs = TestRegistries();
+  std::stringstream full;
+  WriteCheckpoint(full, TrainedModel(), FilledStore(), 10.0, 0.1, &regs);
+  const std::string text = full.str();
+  const std::size_t regs_at = text.find("AMF_REGISTRIES");
+  ASSERT_NE(regs_at, std::string::npos);
+  for (const std::size_t cut : {regs_at, regs_at + 20, text.size() - 1}) {
+    std::stringstream ss(text.substr(0, cut));
+    EXPECT_THROW(ReadCheckpoint(ss), common::CheckError) << "cut=" << cut;
+  }
+}
+
+TEST(CheckpointManagerTest, ManagerPersistsRegistries) {
+  CheckpointManagerConfig cfg;
+  cfg.directory = ScratchDir("registries");
+  CheckpointManager mgr(cfg);
+  const CheckpointRegistries regs = TestRegistries();
+  mgr.Save(TrainedModel(), FilledStore(), 50.0, 0.1, &regs);
+  const std::optional<CheckpointData> data = mgr.LoadLatestValid();
+  ASSERT_TRUE(data.has_value());
+  ASSERT_TRUE(data->registries.has_value());
+  EXPECT_EQ(data->registries->users, regs.users);
+  EXPECT_EQ(data->registries->services, regs.services);
+}
+
 TEST(Crc32Test, MatchesKnownVector) {
   // The canonical IEEE 802.3 check value.
   EXPECT_EQ(common::Crc32Of("123456789"), 0xCBF43926u);

@@ -35,6 +35,25 @@ TEST(CollectorTest, CollectBatch) {
   EXPECT_EQ(model.updates(), 3u);
 }
 
+TEST(CollectorTest, RemoveDropsOnlyTheNamedEntity) {
+  core::AmfModel model(core::MakeResponseTimeConfig(1));
+  core::OnlineTrainer trainer(model);
+  Collector collector(trainer);
+  collector.Collect({0, 0, 0, 1.0, 0.0});
+  collector.Collect({0, 1, 0, 2.0, 0.0});
+  collector.Collect({0, 0, 1, 3.0, 0.0});
+  collector.Collect({0, 1, 1, 4.0, 0.0});
+  EXPECT_EQ(collector.RemoveUser(0), 2u);
+  EXPECT_EQ(collector.buffered(), 2u);
+  EXPECT_EQ(collector.RemoveService(1), 1u);
+  EXPECT_EQ(collector.RemoveUser(7), 0u);
+  // The survivor is exactly user 1 / service 0.
+  EXPECT_EQ(collector.Flush(), 1u);
+  trainer.ProcessIncoming();
+  EXPECT_TRUE(trainer.store().Contains(1, 0));
+  EXPECT_EQ(trainer.store().size(), 1u);
+}
+
 TEST(CollectorTest, TotalCollectedAccumulatesAcrossFlushes) {
   core::AmfModel model(core::MakeResponseTimeConfig(1));
   core::OnlineTrainer trainer(model);

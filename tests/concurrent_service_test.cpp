@@ -181,6 +181,42 @@ TEST(ConcurrentServiceTest, ShedLoadFullyAccounted) {
   EXPECT_EQ(snap.CounterValue("ingest.reported"), 8u);
 }
 
+TEST(ConcurrentServiceTest, RetirementDefersToTrainingBarrier) {
+  ConcurrentPredictionService service;
+  const auto u = service.RegisterUser("u");
+  service.RegisterService("s");
+  EXPECT_FALSE(service.RetireUser("ghost"));
+  EXPECT_TRUE(service.RetireUser("u"));
+  // Queued, not applied: the slot stays active until the next barrier.
+  auto occ = service.registry_occupancy();
+  EXPECT_EQ(occ.users_active, 1u);
+  EXPECT_EQ(occ.users_free, 0u);
+  service.Tick(1.0);  // the barrier applies pending retirements
+  occ = service.registry_occupancy();
+  EXPECT_EQ(occ.users_active, 0u);
+  EXPECT_EQ(occ.users_free, 1u);
+  // The reclaimed slot recycles for the next tenant.
+  EXPECT_EQ(service.RegisterUser("v"), u);
+  EXPECT_EQ(service.registry_occupancy().users_free, 0u);
+}
+
+TEST(ConcurrentServiceTest, RingResidueForRetiredSlotIsRefused) {
+  ConcurrentPredictionService service;
+  const auto u = service.RegisterUser("u");
+  const auto s = service.RegisterService("s");
+  service.ReportObservation({0, u, s, 1.0, 0.0});
+  service.Tick(0.0);
+  EXPECT_EQ(service.pipeline_stats().rejected_unregistered, 0u);
+  // An upload races a retirement: the sample sits in the ring when the
+  // retire lands. The barrier applies the retirement BEFORE replaying the
+  // staged batch, so the residue must be refused, not trained into the
+  // recycled slot.
+  service.ReportObservation({0, u, s, 1.0, 1.0});
+  EXPECT_TRUE(service.RetireUser("u"));
+  service.Tick(1.0);
+  EXPECT_EQ(service.pipeline_stats().rejected_unregistered, 1u);
+}
+
 TEST(ConcurrentServiceTest, MetricsSnapshotCarriesInstrumentedSeries) {
   ConcurrentPredictionService service;
   const auto u = service.RegisterUser("u");

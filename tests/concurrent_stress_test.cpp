@@ -173,5 +173,93 @@ TEST(ConcurrentStressTest, RegistrationChurnUnderLoad) {
   EXPECT_TRUE(service.PredictQoS(200, 200).has_value());
 }
 
+TEST(ConcurrentStressTest, JoinRetireChurnRacesPredictions) {
+  // Transient entities joining, uploading, and retiring while readers
+  // predict and the trainer ticks: exercises the barrier-deferred
+  // reclamation path (registry mutation + seqlock row rewrite + store
+  // purge) against concurrent row readers under TSan.
+  ConcurrentPredictionService service(StressConfig(2), 1024);
+  constexpr std::size_t kBaseUsers = 6, kBaseServices = 12;
+  for (std::size_t u = 0; u < kBaseUsers; ++u) {
+    service.RegisterUser("u" + std::to_string(u));
+  }
+  for (std::size_t s = 0; s < kBaseServices; ++s) {
+    service.RegisterService("s" + std::to_string(s));
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> nonfinite{0};
+  constexpr int kChurnCycles = 150;
+  constexpr std::size_t kWindow = 4;
+
+  std::thread churner([&] {
+    for (int i = 0; i < kChurnCycles; ++i) {
+      const auto u =
+          service.RegisterUser("churn-u" + std::to_string(i));
+      const auto s =
+          service.RegisterService("churn-s" + std::to_string(i));
+      service.ReportObservation({0, u, s, 0.7, 0.0});
+      if (i >= static_cast<int>(kWindow)) {
+        const std::string old = std::to_string(i - kWindow);
+        EXPECT_TRUE(service.RetireUser("churn-u" + old));
+        EXPECT_TRUE(service.RetireService("churn-s" + old));
+      }
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      std::size_t i = static_cast<std::size_t>(r);
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Ids beyond the base range hit recycled/in-flight slots.
+        const auto pred = service.PredictQoS(
+            static_cast<data::UserId>(i % (kBaseUsers + 8)),
+            static_cast<data::ServiceId>(i % (kBaseServices + 8)));
+        if (pred.has_value() && !std::isfinite(*pred)) {
+          nonfinite.fetch_add(1, std::memory_order_relaxed);
+        }
+        ++i;
+      }
+    });
+  }
+
+  std::thread producer([&] {
+    std::size_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      service.ReportObservation(
+          {0, static_cast<data::UserId>(i % kBaseUsers),
+           static_cast<data::ServiceId>(i % kBaseServices), 0.4, 0.0});
+      ++i;
+    }
+  });
+
+  for (int iter = 0; iter < 60; ++iter) {
+    service.Tick(static_cast<double>(iter));
+  }
+  churner.join();
+  // Retire the final window, then one last barrier to apply everything.
+  for (int i = kChurnCycles - static_cast<int>(kWindow); i < kChurnCycles;
+       ++i) {
+    EXPECT_TRUE(service.RetireUser("churn-u" + std::to_string(i)));
+    EXPECT_TRUE(service.RetireService("churn-s" + std::to_string(i)));
+  }
+  service.Tick(61.0);
+  stop.store(true);
+  producer.join();
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(nonfinite.load(), 0u);
+  const auto occ = service.registry_occupancy();
+  // Every churned entity retired: only the base population stays active,
+  // and after the barrier every slot is either active or free-listed.
+  EXPECT_EQ(occ.users_active, kBaseUsers);
+  EXPECT_EQ(occ.services_active, kBaseServices);
+  EXPECT_LE(occ.user_slots, kBaseUsers + kChurnCycles);
+  EXPECT_LE(occ.service_slots, kBaseServices + kChurnCycles);
+  EXPECT_EQ(occ.user_slots, occ.users_active + occ.users_free);
+  EXPECT_EQ(occ.service_slots, occ.services_active + occ.services_free);
+}
+
 }  // namespace
 }  // namespace amf::adapt

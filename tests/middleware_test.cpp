@@ -62,10 +62,27 @@ TEST(MiddlewareTest, ObservationsReportedToService) {
   const auto dataset = MakeDataset();
   Environment env(dataset, 900.0);
   QoSPredictionService service;
+  // The service only accepts observations for registered entities; the
+  // middleware's user and the workflow's bound services must have joined.
+  service.RegisterUser("app-0");
+  for (int s = 0; s < 8; ++s) {
+    service.RegisterService("svc-" + std::to_string(s));
+  }
   NoAdaptationPolicy policy;
   ExecutionMiddleware mw(0, MakeWorkflow(), env, &service, policy, 2.0);
   mw.Step(0.0);
   EXPECT_EQ(service.observations(), 2u);
+}
+
+TEST(MiddlewareTest, UnregisteredObservationsAreRefused) {
+  const auto dataset = MakeDataset();
+  Environment env(dataset, 900.0);
+  QoSPredictionService service;  // nothing registered
+  NoAdaptationPolicy policy;
+  ExecutionMiddleware mw(0, MakeWorkflow(), env, &service, policy, 2.0);
+  mw.Step(0.0);
+  EXPECT_EQ(service.observations(), 0u);
+  EXPECT_EQ(service.pipeline_stats().rejected_unregistered, 2u);
 }
 
 TEST(MiddlewareTest, PolicyRebindChangesWorkflowAndCounts) {

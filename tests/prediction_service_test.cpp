@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <filesystem>
+#include <string>
+#include <vector>
 
 namespace amf::adapt {
 namespace {
@@ -91,6 +94,168 @@ TEST(PredictionServiceTest, TickAdvancesTrainerClock) {
   // Ticking with an older time must not move the clock backwards.
   service.Tick(500.0);
   EXPECT_DOUBLE_EQ(service.trainer().now(), 1000.0);
+}
+
+TEST(PredictionServiceTest, UnregisteredObservationsAreRejectedAndCounted) {
+  QoSPredictionService service;
+  service.ReportObservation({0, 0, 0, 1.0, 0.0});  // nobody registered
+  EXPECT_EQ(service.observations(), 0u);
+  EXPECT_EQ(service.pipeline_stats().rejected_unregistered, 1u);
+  const auto u = service.RegisterUser("u");
+  service.ReportObservation({0, u, 0, 1.0, 0.0});  // service side unknown
+  EXPECT_EQ(service.observations(), 0u);
+  EXPECT_EQ(service.pipeline_stats().rejected_unregistered, 2u);
+  const auto s = service.RegisterService("s");
+  service.ReportObservation({0, u, s, 1.0, 0.0});
+  EXPECT_EQ(service.observations(), 1u);
+}
+
+TEST(PredictionServiceTest, LeaveThenRejoinKeepsLearnedFactors) {
+  QoSPredictionService service;
+  const auto u = service.RegisterUser("u");
+  const auto s = service.RegisterService("s");
+  for (int i = 0; i < 50; ++i) {
+    service.ReportObservation({0, u, s, 0.8, 0.0});
+    service.Tick(0.0);
+  }
+  const double trained = *service.PredictQoS(u, s);
+  service.UnregisterUser("u");
+  EXPECT_EQ(service.RegisterUser("u"), u);
+  EXPECT_DOUBLE_EQ(*service.PredictQoS(u, s), trained);
+}
+
+TEST(PredictionServiceTest, RetireResetsSlotToColdStart) {
+  QoSPredictionService service;
+  const auto u = service.RegisterUser("u");
+  const auto s = service.RegisterService("s");
+  for (int i = 0; i < 50; ++i) {
+    service.ReportObservation({0, u, s, 0.8, 0.0});
+    service.Tick(0.0);
+  }
+  EXPECT_LT(service.model().UserError(u), 1.0);
+  const double trained = *service.PredictQoS(u, s);
+  ASSERT_TRUE(service.RetireUser("u"));
+  ASSERT_TRUE(service.RetireService("s"));
+  // The next tenants recycle the slots and start from the paper's
+  // cold-start state: initial_error EMAs and deterministically
+  // re-initialized rows — no trace of the previous tenant's training.
+  EXPECT_EQ(service.RegisterUser("someone-else"), u);
+  EXPECT_EQ(service.RegisterService("another-svc"), s);
+  EXPECT_DOUBLE_EQ(service.model().UserError(u), 1.0);
+  EXPECT_DOUBLE_EQ(service.model().ServiceError(s), 1.0);
+  EXPECT_NE(*service.PredictQoS(u, s), trained);
+  // The re-init is a pure function of (config seed, slot id): a second
+  // service put through the identical history lands on the same value.
+  QoSPredictionService twin;
+  twin.RegisterUser("u");
+  twin.RegisterService("s");
+  for (int i = 0; i < 50; ++i) {
+    twin.ReportObservation({0, u, s, 0.8, 0.0});
+    twin.Tick(0.0);
+  }
+  twin.RetireUser("u");
+  twin.RetireService("s");
+  twin.RegisterUser("someone-else");
+  twin.RegisterService("another-svc");
+  EXPECT_DOUBLE_EQ(*twin.PredictQoS(u, s), *service.PredictQoS(u, s));
+}
+
+TEST(PredictionServiceTest, RetirePurgesSamplesAndFallbackState) {
+  QoSPredictionService service;
+  const auto u = service.RegisterUser("u");
+  const auto s = service.RegisterService("s");
+  service.ReportObservation({0, u, s, 0.8, 0.0});
+  service.Tick(0.0);  // sample lands in the store
+  EXPECT_TRUE(service.trainer().store().Contains(u, s));
+  ASSERT_TRUE(service.RetireService("s"));
+  EXPECT_FALSE(service.trainer().store().Contains(u, s));
+  EXPECT_GE(service.pipeline_stats().purged_samples, 1u);
+  // The degradation ladder no longer serves the retired tenant's mean.
+  const auto res = service.PredictResilient(u, s);
+  EXPECT_EQ(res.source, QoSPredictionService::PredictionSource::kUnavailable);
+  EXPECT_TRUE(std::isnan(res.value));
+}
+
+TEST(PredictionServiceTest, RetirePurgesBufferedObservations) {
+  QoSPredictionService service;
+  const auto u = service.RegisterUser("u");
+  const auto s = service.RegisterService("s");
+  // Buffered in the collector, not yet flushed into the trainer.
+  service.ReportObservation({0, u, s, 0.8, 0.0});
+  ASSERT_TRUE(service.RetireUser("u"));
+  EXPECT_GE(service.pipeline_stats().purged_samples, 1u);
+  // The flush after retirement must not train the recycled slot.
+  service.RegisterUser("next-tenant");
+  service.Tick(0.0);
+  EXPECT_FALSE(service.trainer().store().Contains(u, s));
+  EXPECT_DOUBLE_EQ(service.model().UserError(u), 1.0);
+}
+
+TEST(PredictionServiceTest, PredictResilientRefusesUnregisteredIds) {
+  QoSPredictionService service;
+  const auto u = service.RegisterUser("u");
+  const auto s = service.RegisterService("s");
+  for (int i = 0; i < 10; ++i) {
+    service.ReportObservation({0, u, s, 0.8, 0.0});
+  }
+  service.Tick(0.0);
+  // Registered pair: some rung serves it.
+  EXPECT_NE(service.PredictResilient(u, s).source,
+            QoSPredictionService::PredictionSource::kUnavailable);
+  // Never-registered ids refuse the whole ladder.
+  const auto ghost = service.PredictResilient(7, 7);
+  EXPECT_EQ(ghost.source,
+            QoSPredictionService::PredictionSource::kUnavailable);
+  EXPECT_TRUE(std::isnan(ghost.value));
+  // Retired ids refuse it too, even though the model still has the rows.
+  service.RetireUser("u");
+  EXPECT_EQ(service.PredictResilient(u, s).source,
+            QoSPredictionService::PredictionSource::kUnavailable);
+}
+
+TEST(PredictionServiceTest, CheckpointRestoreSurvivesReRegistrationOrder) {
+  const std::string dir =
+      ::testing::TempDir() + "/svc_ckpt_reorder";
+  std::filesystem::remove_all(dir);
+  core::CheckpointManagerConfig ckpt;
+  ckpt.directory = dir;
+  ckpt.interval_seconds = 0.0;
+
+  const std::vector<std::string> users = {"alice", "bob", "carol"};
+  QoSPredictionService service;
+  for (const auto& name : users) service.RegisterUser(name);
+  const auto s = service.RegisterService("svc");
+  // Give each user a distinct QoS signature.
+  double level = 0.5;
+  for (const auto& name : users) {
+    const auto u = *service.users().Lookup(name);
+    for (int i = 0; i < 50; ++i) service.ReportObservation({0, u, s, level, 0.0});
+    level += 1.0;
+  }
+  service.TrainToConvergence(0.0);
+  service.EnableCheckpoints(ckpt);
+  service.Tick(1.0);  // interval 0 => saves, registries included
+
+  // "Restart": a fresh process restores, then names re-register in a
+  // DIFFERENT order. v2 checkpoints carry the registries, so every name
+  // must still predict from its own factors, not from whoever happened to
+  // claim its dense id first.
+  QoSPredictionService restarted;
+  restarted.EnableCheckpoints(ckpt);
+  ASSERT_TRUE(restarted.RestoreFromLatestCheckpoint());
+  restarted.RegisterUser("carol");
+  restarted.RegisterUser("alice");
+  restarted.RegisterUser("bob");
+  restarted.RegisterService("svc");
+  for (const auto& name : users) {
+    const auto u_old = *service.users().Lookup(name);
+    const auto u_new = *restarted.users().Lookup(name);
+    EXPECT_EQ(u_new, u_old) << name;
+    EXPECT_DOUBLE_EQ(*restarted.PredictQoS(u_new, s),
+                     *service.PredictQoS(u_old, s))
+        << name;
+  }
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -64,5 +64,124 @@ TEST(RegistryTest, IsActiveOutOfRangeIsFalse) {
   EXPECT_FALSE(reg.IsActive(0));
 }
 
+TEST(RegistryTest, RetireRecyclesSlotUnderFreshGeneration) {
+  UserRegistry reg;
+  const auto a = reg.Join("a");
+  const auto gen0 = reg.GenerationOf(a);
+  const auto retired = reg.Retire("a");
+  ASSERT_TRUE(retired.has_value());
+  EXPECT_EQ(*retired, a);
+  EXPECT_TRUE(reg.IsFree(a));
+  EXPECT_FALSE(reg.IsKnown(a));
+  EXPECT_EQ(reg.free_slots(), 1u);
+  // The next join reuses the slot — same id, bumped generation.
+  const auto b = reg.Join("b");
+  EXPECT_EQ(b, a);
+  EXPECT_EQ(reg.GenerationOf(b), gen0 + 1);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_EQ(reg.free_slots(), 0u);
+  EXPECT_EQ(reg.recycled_total(), 1u);
+}
+
+TEST(RegistryTest, StaleHandleDoesNotAliasRecycledSlot) {
+  UserRegistry reg;
+  const auto stale = reg.JoinHandle("a");
+  EXPECT_TRUE(reg.IsCurrent(stale));
+  reg.Retire("a");
+  EXPECT_FALSE(reg.IsCurrent(stale));
+  // "b" now owns the recycled slot; the old handle must still be stale.
+  reg.Join("b");
+  EXPECT_FALSE(reg.IsCurrent(stale));
+  const auto fresh = reg.LookupHandle("b");
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_EQ(fresh->id, stale.id);
+  EXPECT_TRUE(reg.IsCurrent(*fresh));
+}
+
+TEST(RegistryTest, RetireUnknownOrTwiceFails) {
+  UserRegistry reg;
+  EXPECT_FALSE(reg.Retire("ghost").has_value());
+  reg.Join("a");
+  EXPECT_TRUE(reg.Retire("a").has_value());
+  EXPECT_FALSE(reg.Retire("a").has_value());
+}
+
+TEST(RegistryTest, RetireDepartedEntityWorks) {
+  UserRegistry reg;
+  const auto a = reg.Join("a");
+  reg.Leave("a");
+  EXPECT_TRUE(reg.IsKnown(a));  // departed slots still own their factors
+  EXPECT_EQ(reg.num_active(), 0u);
+  ASSERT_TRUE(reg.Retire("a").has_value());
+  EXPECT_FALSE(reg.IsKnown(a));
+  EXPECT_EQ(reg.num_active(), 0u);
+}
+
+TEST(RegistryTest, FreeListIsLifo) {
+  UserRegistry reg;
+  reg.Join("a");
+  reg.Join("b");
+  reg.Join("c");
+  reg.Retire("a");
+  reg.Retire("c");
+  // Last retired, first reused.
+  EXPECT_EQ(reg.Join("d"), 2u);
+  EXPECT_EQ(reg.Join("e"), 0u);
+  EXPECT_EQ(reg.Join("f"), 3u);  // free-list empty -> dense growth resumes
+}
+
+TEST(RegistryTest, NumActiveTracksLifecycle) {
+  UserRegistry reg;
+  reg.Join("a");
+  reg.Join("b");
+  EXPECT_EQ(reg.num_active(), 2u);
+  reg.Leave("a");
+  EXPECT_EQ(reg.num_active(), 1u);
+  reg.Join("a");  // rejoin reactivates
+  EXPECT_EQ(reg.num_active(), 2u);
+  reg.Retire("b");
+  EXPECT_EQ(reg.num_active(), 1u);
+}
+
+TEST(RegistryTest, ActiveIdsSkipsFreeSlots) {
+  UserRegistry reg;
+  reg.Join("a");
+  reg.Join("b");
+  reg.Join("c");
+  reg.Retire("b");
+  const auto active = reg.ActiveIds();
+  ASSERT_EQ(active.size(), 2u);
+  EXPECT_EQ(active[0], 0u);
+  EXPECT_EQ(active[1], 2u);
+}
+
+TEST(RegistryTest, ImageRoundTripPreservesLifecycle) {
+  UserRegistry reg;
+  reg.Join("a");
+  reg.Join("b");
+  reg.Join("c");
+  reg.Leave("b");
+  reg.Retire("c");
+  reg.Join("d");  // recycles c's slot
+  reg.Retire("a");
+
+  const UserRegistry copy = UserRegistry::FromImage(reg.ToImage());
+  EXPECT_EQ(copy.size(), reg.size());
+  EXPECT_EQ(copy.num_active(), reg.num_active());
+  EXPECT_EQ(copy.free_slots(), reg.free_slots());
+  EXPECT_EQ(copy.recycled_total(), reg.recycled_total());
+  EXPECT_EQ(copy.Lookup("b"), reg.Lookup("b"));
+  EXPECT_EQ(copy.Lookup("d"), reg.Lookup("d"));
+  EXPECT_FALSE(copy.Lookup("a").has_value());
+  EXPECT_FALSE(copy.Lookup("c").has_value());
+  for (data::UserId id = 0; id < copy.size(); ++id) {
+    EXPECT_EQ(copy.State(id), reg.State(id)) << id;
+    EXPECT_EQ(copy.GenerationOf(id), reg.GenerationOf(id)) << id;
+  }
+  // The restored free-list hands out the same slots in the same order.
+  UserRegistry replay = UserRegistry::FromImage(reg.ToImage());
+  EXPECT_EQ(replay.Join("x"), reg.Join("x"));
+}
+
 }  // namespace
 }  // namespace amf::adapt

@@ -97,6 +97,35 @@ TEST(SampleStoreTest, Clear) {
   EXPECT_FALSE(store.Contains(0, 0));
 }
 
+TEST(SampleStoreTest, RemoveUserPurgesEveryRowOfThatUser) {
+  SampleStore store;
+  store.Upsert(S(0, 0, 1.0, 0));
+  store.Upsert(S(0, 1, 2.0, 0));
+  store.Upsert(S(0, 2, 3.0, 0));
+  store.Upsert(S(1, 0, 4.0, 0));
+  store.Upsert(S(2, 1, 5.0, 0));
+  EXPECT_EQ(store.RemoveUser(0), 3u);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_FALSE(store.Contains(0, 0));
+  EXPECT_FALSE(store.Contains(0, 1));
+  EXPECT_FALSE(store.Contains(0, 2));
+  EXPECT_DOUBLE_EQ(store.Get(1, 0)->value, 4.0);
+  EXPECT_DOUBLE_EQ(store.Get(2, 1)->value, 5.0);
+  EXPECT_EQ(store.RemoveUser(0), 0u);
+}
+
+TEST(SampleStoreTest, RemoveServicePurgesEveryColumnOfThatService) {
+  SampleStore store;
+  store.Upsert(S(0, 0, 1.0, 0));
+  store.Upsert(S(1, 0, 2.0, 0));
+  store.Upsert(S(2, 0, 3.0, 0));
+  store.Upsert(S(0, 1, 4.0, 0));
+  EXPECT_EQ(store.RemoveService(0), 3u);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_DOUBLE_EQ(store.Get(0, 1)->value, 4.0);
+  EXPECT_EQ(store.RemoveService(7), 0u);
+}
+
 TEST(SampleStoreTest, SamplesViewMatchesSize) {
   SampleStore store;
   store.Upsert(S(0, 0, 1.0, 0));
