@@ -5,9 +5,11 @@
 
 #include <vector>
 
+#include "common/aligned.h"
 #include "core/amf_model.h"
 #include "core/sample_store.h"
 #include "data/synthetic.h"
+#include "linalg/kernels.h"
 #include "linalg/matrix.h"
 #include "transform/qos_transform.h"
 
@@ -105,6 +107,77 @@ void BM_PredictMatrix(benchmark::State& state) {
   state.SetLabel("142x4500");
 }
 BENCHMARK(BM_PredictMatrix)->Unit(benchmark::kMillisecond);
+
+// --- GEMV alignment ablation -----------------------------------------------
+// The arena layout exists so every factor row starts on a 64-byte boundary
+// with a cache-line-multiple stride. These three benchmarks isolate what
+// that buys the GEMV kernel itself: the same 4500x{rank} scoring pass over
+// (a) a 64B-aligned packed block, (b) the identical data deliberately
+// shifted one double off alignment (the old vector-of-rows worst case),
+// and (c) the arena's padded-stride block through GemvRowMajorStrided,
+// which may assume alignment outright under AMF_NATIVE.
+
+constexpr std::size_t kGemvRows = 4500;
+
+std::vector<double, common::AlignedAllocator<double>> FillBlock(
+    std::size_t doubles) {
+  std::vector<double, common::AlignedAllocator<double>> block(doubles);
+  common::Rng rng(11);
+  for (double& v : block) v = rng.Uniform() - 0.5;
+  return block;
+}
+
+void BM_GemvAligned(benchmark::State& state) {
+  const auto rank = static_cast<std::size_t>(state.range(0));
+  const auto block = FillBlock(kGemvRows * rank);
+  const auto x = FillBlock(rank);
+  std::vector<double> out(kGemvRows);
+  for (auto _ : state) {
+    linalg::GemvRowMajor({x.data(), rank}, {block.data(), block.size()}, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kGemvRows));
+}
+BENCHMARK(BM_GemvAligned)->Arg(10)->Arg(32);
+
+void BM_GemvUnaligned(benchmark::State& state) {
+  const auto rank = static_cast<std::size_t>(state.range(0));
+  // One extra lane, then score from +1: every row now straddles cache
+  // lines the way rows in a packed std::vector could before the arena.
+  const auto backing = FillBlock(kGemvRows * rank + 1);
+  const double* block = backing.data() + 1;
+  const auto x = FillBlock(rank);
+  std::vector<double> out(kGemvRows);
+  for (auto _ : state) {
+    linalg::GemvRowMajor({x.data(), rank}, {block, kGemvRows * rank}, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kGemvRows));
+}
+BENCHMARK(BM_GemvUnaligned)->Arg(10)->Arg(32);
+
+void BM_GemvStridedArena(benchmark::State& state) {
+  const auto rank = static_cast<std::size_t>(state.range(0));
+  const std::size_t stride =
+      common::RoundUp(rank, common::kCacheLineBytes / sizeof(double));
+  auto block = FillBlock(kGemvRows * stride);
+  // Zero the pad lanes like the arena does; they are read (stride > rank
+  // loads nothing past rank in the kernel, but keep the data honest).
+  for (std::size_t r = 0; r < kGemvRows; ++r) {
+    for (std::size_t k = rank; k < stride; ++k) block[r * stride + k] = 0.0;
+  }
+  const auto x = FillBlock(rank);
+  std::vector<double> out(kGemvRows);
+  for (auto _ : state) {
+    linalg::GemvRowMajorStrided({x.data(), rank}, block.data(), stride, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kGemvRows));
+}
+BENCHMARK(BM_GemvStridedArena)->Arg(10)->Arg(32);
 
 void BM_TransformForward(benchmark::State& state) {
   transform::QoSTransformConfig cfg;

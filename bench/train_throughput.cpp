@@ -1,6 +1,7 @@
 // Replay-training throughput: serial Algorithm-1 loop vs user-sharded
-// parallel epochs at 1/2/4/8 worker threads, plus the lock-free MPSC
-// observation ring's ingest rate.
+// parallel epochs at 1/2/4/8 worker threads, the predict-path (matrix
+// scoring) throughput over the arena factor layout, plus the lock-free
+// MPSC observation ring's ingest rate.
 //
 // Emits machine-readable JSON (default BENCH_train_throughput.json in the
 // current directory) so CI and the acceptance harness can parse the
@@ -8,15 +9,20 @@
 //   --quick       smaller workload (CI smoke)
 //   --out <path>  JSON output path
 //
-// Every instrumented run carries a live obs::MetricsRegistry, so the
-// output includes trainer.epoch_seconds percentiles per configuration, an
-// embedded metrics export, and an instrumentation-overhead measurement
-// (uninstrumented vs instrumented 1-thread replay).
-//
-// Speedups are relative to the measured 1-thread sharded run and bounded
-// above by the physical core count reported in the JSON — on a 1-core
-// container every configuration time-slices the same CPU and the speedup
-// stays ~1 regardless of thread count.
+// Honesty rules (this bench has previously committed meaningless numbers
+// from a 1-core container, so they are enforced in the output schema):
+//   - Every thread configuration carries "speedup_valid": whether the host
+//     actually has >= that many cores. When it does not, the headline
+//     "speedup_vs_1_thread" is emitted as null and nothing is printed to
+//     stderr as a speedup — time-slicing one core proves nothing.
+//   - Every timing is a median over N measured repetitions after a warmup
+//     run, with min/max recorded, so a single noisy rep can neither
+//     flatter nor sink the number (the old best-of-3 overhead measurement
+//     once reported -3.09% "overhead" — pure noise).
+//   - The arena alignment invariants the predict numbers depend on are
+//     checked at runtime and recorded under "alignment".
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -24,12 +30,14 @@
 #include <utility>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/mpsc_ring.h"
 #include "common/rng.h"
 #include "common/timer.h"
 #include "core/amf_model.h"
 #include "core/online_trainer.h"
 #include "data/qos_types.h"
+#include "linalg/matrix.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 
@@ -38,8 +46,11 @@ namespace {
 struct ReplayResult {
   std::size_t threads = 0;
   std::size_t updates = 0;
+  bool pinned = false;
   double seconds = 0.0;
   double updates_per_sec = 0.0;
+  double updates_per_sec_min = 0.0;
+  double updates_per_sec_max = 0.0;
   double epoch_p50 = 0.0;  // trainer.epoch_seconds percentiles
   double epoch_p95 = 0.0;
   double epoch_p99 = 0.0;
@@ -65,7 +76,7 @@ std::vector<amf::data::QoSSample> MakeStream(std::size_t users,
 ReplayResult MeasureReplay(const std::vector<amf::data::QoSSample>& samples,
                            std::size_t users, std::size_t services,
                            std::size_t threads, std::size_t epochs,
-                           bool instrument) {
+                           bool instrument, bool pin) {
   amf::obs::MetricsRegistry registry;  // outlives the trainer (below)
   amf::core::AmfModel model(amf::core::MakeResponseTimeConfig(7));
   model.EnsureUser(static_cast<amf::data::UserId>(users - 1));
@@ -74,6 +85,7 @@ ReplayResult MeasureReplay(const std::vector<amf::data::QoSSample>& samples,
   cfg.expiry_seconds = 0.0;
   cfg.validate_ingest = false;
   cfg.replay_threads = threads;
+  cfg.pin_replay_threads = pin;
   cfg.metrics = instrument ? &registry : nullptr;
   amf::core::OnlineTrainer trainer(model, cfg);
   for (const auto& s : samples) trainer.Observe(s);
@@ -84,6 +96,7 @@ ReplayResult MeasureReplay(const std::vector<amf::data::QoSSample>& samples,
   for (std::size_t e = 0; e < epochs; ++e) trainer.ReplayEpoch();
   ReplayResult r;
   r.threads = threads;
+  r.pinned = pin;
   r.updates = per_epoch * epochs;
   r.seconds = watch.ElapsedSeconds();
   r.updates_per_sec =
@@ -101,19 +114,111 @@ ReplayResult MeasureReplay(const std::vector<amf::data::QoSSample>& samples,
   return r;
 }
 
-/// Best-of-N wrapper: replay timings on a shared container jitter by tens
-/// of percent run to run, so keep the fastest (least-disturbed) repeat.
-ReplayResult BestReplay(const std::vector<amf::data::QoSSample>& samples,
-                        std::size_t users, std::size_t services,
-                        std::size_t threads, std::size_t epochs,
-                        bool instrument, int reps) {
-  ReplayResult best;
+/// Median-of-N wrapper: one discarded warmup run (page-faults the factor
+/// arena and the store, spins the pool up), then `reps` measured runs.
+/// Returns the median-throughput rep with the min/max range filled in, so
+/// a single noisy repetition on a shared container cannot set the number.
+ReplayResult MedianReplay(const std::vector<amf::data::QoSSample>& samples,
+                          std::size_t users, std::size_t services,
+                          std::size_t threads, std::size_t epochs,
+                          bool instrument, bool pin, int reps) {
+  MeasureReplay(samples, users, services, threads, epochs, instrument, pin);
+  std::vector<ReplayResult> runs;
+  runs.reserve(static_cast<std::size_t>(reps));
   for (int i = 0; i < reps; ++i) {
-    ReplayResult r =
-        MeasureReplay(samples, users, services, threads, epochs, instrument);
-    if (r.updates_per_sec > best.updates_per_sec) best = std::move(r);
+    runs.push_back(MeasureReplay(samples, users, services, threads, epochs,
+                                 instrument, pin));
   }
-  return best;
+  std::sort(runs.begin(), runs.end(),
+            [](const ReplayResult& a, const ReplayResult& b) {
+              return a.updates_per_sec < b.updates_per_sec;
+            });
+  ReplayResult median = runs[runs.size() / 2];
+  median.updates_per_sec_min = runs.front().updates_per_sec;
+  median.updates_per_sec_max = runs.back().updates_per_sec;
+  return median;
+}
+
+struct PredictResult {
+  std::size_t rank = 0;
+  std::size_t users = 0;
+  std::size_t services = 0;
+  double shared_entries_per_sec = 0.0;  // block-validated seqlock path
+  double shared_min = 0.0;
+  double shared_max = 0.0;
+  double plain_entries_per_sec = 0.0;  // unguarded PredictMatrixRaw
+  double plain_min = 0.0;
+  double plain_max = 0.0;
+};
+
+/// Matrix-scoring throughput over the arena layout at rank 10 (the
+/// paper's headline configuration): the shared path is what a live
+/// serving tier runs concurrently with training (block-batched seqlock
+/// validation + strided GEMV), the plain path is the quiesced batch
+/// readout. Median-of-`reps` after one warmup pass each.
+PredictResult MeasurePredict(std::size_t users, std::size_t services,
+                             int reps) {
+  amf::core::AmfConfig cfg = amf::core::MakeResponseTimeConfig(11);
+  cfg.rank = 10;
+  amf::core::AmfModel model(cfg);
+  model.EnsureUser(static_cast<amf::data::UserId>(users - 1));
+  model.EnsureService(static_cast<amf::data::ServiceId>(services - 1));
+
+  PredictResult r;
+  r.rank = cfg.rank;
+  r.users = users;
+  r.services = services;
+  const double entries = static_cast<double>(users * services);
+
+  const auto median_rate = [&](auto&& one_pass, double& lo, double& hi) {
+    one_pass();  // warmup
+    std::vector<double> rates;
+    rates.reserve(static_cast<std::size_t>(reps));
+    for (int i = 0; i < reps; ++i) {
+      amf::common::Stopwatch watch;
+      one_pass();
+      const double s = watch.ElapsedSeconds();
+      rates.push_back(s > 0.0 ? entries / s : 0.0);
+    }
+    std::sort(rates.begin(), rates.end());
+    lo = rates.front();
+    hi = rates.back();
+    return rates[rates.size() / 2];
+  };
+
+  std::vector<double> row(services);
+  r.shared_entries_per_sec = median_rate(
+      [&] {
+        for (std::size_t u = 0; u < users; ++u) {
+          model.PredictRowRawShared(static_cast<amf::data::UserId>(u), row);
+        }
+      },
+      r.shared_min, r.shared_max);
+
+  amf::linalg::Matrix out;
+  r.plain_entries_per_sec = median_rate(
+      [&] { model.PredictMatrixRaw(&out, nullptr); }, r.plain_min,
+      r.plain_max);
+  return r;
+}
+
+/// Runtime re-check of the arena invariants the predict numbers assume.
+bool FactorRowsAligned(const amf::core::AmfModel& model) {
+  for (std::size_t u = 0; u < model.num_users(); ++u) {
+    if (!amf::common::IsAligned(
+            model.UserFactors(static_cast<amf::data::UserId>(u)).data(),
+            amf::core::AmfModel::kFactorRowAlignment)) {
+      return false;
+    }
+  }
+  for (std::size_t s = 0; s < model.num_services(); ++s) {
+    if (!amf::common::IsAligned(
+            model.ServiceFactors(static_cast<amf::data::ServiceId>(s)).data(),
+            amf::core::AmfModel::kFactorRowAlignment)) {
+      return false;
+    }
+  }
+  return true;
 }
 
 double MeasureRingThroughput(std::size_t items) {
@@ -160,34 +265,78 @@ int main(int argc, char** argv) {
     }
   }
 
-  const std::size_t users = quick ? 60 : 200;
-  const std::size_t services = quick ? 300 : 2000;
-  const std::size_t stream = quick ? 8000 : 50000;
-  const std::size_t epochs = quick ? 2 : 5;
+  // Quick mode still needs epochs big enough (several ms) that the
+  // sharded pass's fan-out/barrier overhead cannot mask real scaling —
+  // CI asserts the 2-thread floor on this workload.
+  const std::size_t users = quick ? 100 : 200;
+  const std::size_t services = quick ? 600 : 2000;
+  const std::size_t stream = quick ? 30000 : 50000;
+  const std::size_t epochs = quick ? 3 : 5;
   const std::size_t ring_items = quick ? 200000 : 2000000;
+  const int reps = quick ? 3 : 5;
+  const unsigned hw = std::thread::hardware_concurrency();
 
   const std::vector<amf::data::QoSSample> samples =
       MakeStream(users, services, stream, 42);
 
-  // Instrumentation overhead: same 1-thread workload, metrics off vs on.
-  const ReplayResult plain = BestReplay(samples, users, services, 1, epochs,
-                                        /*instrument=*/false, /*reps=*/3);
-  std::fprintf(stderr, "uninstrumented 1-thread: %.0f updates/s\n",
-               plain.updates_per_sec);
+  // Instrumentation overhead: same 1-thread workload, metrics off vs on,
+  // median-of-reps each (warmup discarded inside MedianReplay).
+  const ReplayResult plain =
+      MedianReplay(samples, users, services, 1, epochs,
+                   /*instrument=*/false, /*pin=*/false, reps);
+  std::fprintf(stderr,
+               "uninstrumented 1-thread: %.0f updates/s "
+               "(min %.0f, max %.0f over %d reps)\n",
+               plain.updates_per_sec, plain.updates_per_sec_min,
+               plain.updates_per_sec_max, reps);
 
   std::vector<ReplayResult> results;
   for (std::size_t threads : {1u, 2u, 4u, 8u}) {
-    results.push_back(BestReplay(samples, users, services, threads, epochs,
-                                 /*instrument=*/true, /*reps=*/3));
-    std::fprintf(stderr,
-                 "replay threads=%zu: %.0f updates/s (%zu in %.3fs, "
-                 "epoch p50=%.4fs p99=%.4fs)\n",
-                 results.back().threads, results.back().updates_per_sec,
-                 results.back().updates, results.back().seconds,
-                 results.back().epoch_p50, results.back().epoch_p99);
+    // Pin replay workers whenever the host has a core per worker — the
+    // layout pass exists to keep shard rows cache-resident, and pinning
+    // removes migration from the measurement. Never pin an oversubscribed
+    // configuration (it would serialize on the stacked cores).
+    const bool pin = hw >= threads && threads > 1;
+    results.push_back(MedianReplay(samples, users, services, threads, epochs,
+                                   /*instrument=*/true, pin, reps));
+    const ReplayResult& r = results.back();
+    const bool valid = hw >= threads;
+    if (valid && results.front().updates_per_sec > 0.0) {
+      std::fprintf(stderr,
+                   "replay threads=%zu%s: %.0f updates/s (%zu in %.3fs, "
+                   "speedup %.2fx, epoch p50=%.4fs p99=%.4fs)\n",
+                   r.threads, r.pinned ? " (pinned)" : "", r.updates_per_sec,
+                   r.updates, r.seconds,
+                   r.updates_per_sec / results.front().updates_per_sec,
+                   r.epoch_p50, r.epoch_p99);
+    } else {
+      std::fprintf(stderr,
+                   "replay threads=%zu: %.0f updates/s — SPEEDUP NOT VALID "
+                   "(host has %u hardware threads; configurations wider "
+                   "than the host time-slice and prove nothing)\n",
+                   r.threads, r.updates_per_sec, hw);
+    }
   }
+
+  const PredictResult predict =
+      MeasurePredict(quick ? 60 : 142, quick ? 300 : 4500, reps);
+  std::fprintf(stderr,
+               "predict matrix rank=%zu (%zux%zu): shared %.1fM entries/s, "
+               "plain %.1fM entries/s\n",
+               predict.rank, predict.users, predict.services,
+               predict.shared_entries_per_sec / 1e6,
+               predict.plain_entries_per_sec / 1e6);
+
   const double ring_rate = MeasureRingThroughput(ring_items);
   std::fprintf(stderr, "mpsc ring: %.0f items/s\n", ring_rate);
+
+  // Alignment invariants the numbers above rely on.
+  amf::core::AmfConfig probe_cfg = amf::core::MakeResponseTimeConfig(3);
+  probe_cfg.rank = 10;
+  amf::core::AmfModel probe(probe_cfg);
+  probe.EnsureUser(static_cast<amf::data::UserId>(users - 1));
+  probe.EnsureService(static_cast<amf::data::ServiceId>(services - 1));
+  const bool rows_aligned = FactorRowsAligned(probe);
 
   const double base = results.front().updates_per_sec;
   FILE* out = std::fopen(out_path.c_str(), "w");
@@ -198,43 +347,113 @@ int main(int argc, char** argv) {
   std::fprintf(out, "{\n");
   std::fprintf(out, "  \"bench\": \"train_throughput\",\n");
   std::fprintf(out, "  \"quick\": %s,\n", quick ? "true" : "false");
-  std::fprintf(out, "  \"hardware_concurrency\": %u,\n",
-               std::thread::hardware_concurrency());
+  std::fprintf(out, "  \"hardware_concurrency\": %u,\n", hw);
+  std::fprintf(out, "  \"speedup_valid\": %s,\n",
+               hw >= 2 ? "true" : "false");
   std::fprintf(out, "  \"users\": %zu,\n", users);
   std::fprintf(out, "  \"services\": %zu,\n", services);
   std::fprintf(out, "  \"stream_samples\": %zu,\n", stream);
   std::fprintf(out, "  \"replay_epochs\": %zu,\n", epochs);
+  std::fprintf(out,
+               "  \"measurement\": {\"reps\": %d, \"warmup_runs\": 1, "
+               "\"aggregate\": \"median\"},\n",
+               reps);
+  std::fprintf(out,
+               "  \"alignment\": {\"factor_rows_64b_aligned\": %s, "
+               "\"row_alignment_bytes\": %zu, "
+               "\"factor_row_stride_doubles\": %zu},\n",
+               rows_aligned ? "true" : "false",
+               amf::core::AmfModel::kFactorRowAlignment,
+               probe.factor_row_stride());
   std::fprintf(out, "  \"replay\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
     const ReplayResult& r = results[i];
+    const bool valid = hw >= r.threads;
+    char speedup[32];
+    if (valid && base > 0.0) {
+      std::snprintf(speedup, sizeof(speedup), "%.3f",
+                    r.updates_per_sec / base);
+    } else {
+      // A thread count the host cannot actually run in parallel produces
+      // a time-slicing artifact, not a speedup; refuse to report one.
+      std::snprintf(speedup, sizeof(speedup), "null");
+    }
     std::fprintf(out,
-                 "    {\"threads\": %zu, \"updates\": %zu, "
+                 "    {\"threads\": %zu, \"pinned\": %s, \"updates\": %zu, "
                  "\"seconds\": %.6f, \"updates_per_sec\": %.1f, "
-                 "\"speedup_vs_1_thread\": %.3f, "
+                 "\"updates_per_sec_min\": %.1f, "
+                 "\"updates_per_sec_max\": %.1f, "
+                 "\"speedup_valid\": %s, "
+                 "\"speedup_vs_1_thread\": %s, "
                  "\"epoch_seconds_p50\": %.6f, "
                  "\"epoch_seconds_p95\": %.6f, "
                  "\"epoch_seconds_p99\": %.6f}%s\n",
-                 r.threads, r.updates, r.seconds, r.updates_per_sec,
-                 base > 0.0 ? r.updates_per_sec / base : 0.0, r.epoch_p50,
-                 r.epoch_p95, r.epoch_p99, i + 1 < results.size() ? "," : "");
+                 r.threads, r.pinned ? "true" : "false", r.updates,
+                 r.seconds, r.updates_per_sec, r.updates_per_sec_min,
+                 r.updates_per_sec_max, valid ? "true" : "false", speedup,
+                 r.epoch_p50, r.epoch_p95, r.epoch_p99,
+                 i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"predict\": {\n");
+  std::fprintf(out, "    \"rank\": %zu,\n", predict.rank);
+  std::fprintf(out, "    \"users\": %zu,\n", predict.users);
+  std::fprintf(out, "    \"services\": %zu,\n", predict.services);
+  std::fprintf(out,
+               "    \"matrix_shared_entries_per_sec\": %.1f,\n"
+               "    \"matrix_shared_entries_per_sec_min\": %.1f,\n"
+               "    \"matrix_shared_entries_per_sec_max\": %.1f,\n",
+               predict.shared_entries_per_sec, predict.shared_min,
+               predict.shared_max);
+  std::fprintf(out,
+               "    \"matrix_entries_per_sec\": %.1f,\n"
+               "    \"matrix_entries_per_sec_min\": %.1f,\n"
+               "    \"matrix_entries_per_sec_max\": %.1f\n",
+               predict.plain_entries_per_sec, predict.plain_min,
+               predict.plain_max);
+  std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"instrumentation_overhead\": {\n");
+  std::fprintf(out, "    \"reps\": %d,\n", reps);
   std::fprintf(out, "    \"uninstrumented_updates_per_sec\": %.1f,\n",
                plain.updates_per_sec);
+  std::fprintf(out,
+               "    \"uninstrumented_updates_per_sec_min\": %.1f,\n"
+               "    \"uninstrumented_updates_per_sec_max\": %.1f,\n",
+               plain.updates_per_sec_min, plain.updates_per_sec_max);
   std::fprintf(out, "    \"instrumented_updates_per_sec\": %.1f,\n", base);
-  std::fprintf(out, "    \"overhead_pct\": %.2f\n",
+  std::fprintf(out,
+               "    \"instrumented_updates_per_sec_min\": %.1f,\n"
+               "    \"instrumented_updates_per_sec_max\": %.1f,\n",
+               results.front().updates_per_sec_min,
+               results.front().updates_per_sec_max);
+  std::fprintf(out, "    \"overhead_pct\": %.2f,\n",
                plain.updates_per_sec > 0.0
                    ? 100.0 * (plain.updates_per_sec - base) /
                          plain.updates_per_sec
+                   : 0.0);
+  // Worst-case disagreement across the two rep distributions, so the
+  // reader can judge whether the point estimate is distinguishable from
+  // the run-to-run jitter on this host.
+  std::fprintf(out, "    \"overhead_pct_spread\": [%.2f, %.2f]\n",
+               plain.updates_per_sec_max > 0.0
+                   ? 100.0 * (plain.updates_per_sec_min -
+                              results.front().updates_per_sec_max) /
+                         plain.updates_per_sec_max
+                   : 0.0,
+               plain.updates_per_sec_min > 0.0
+                   ? 100.0 * (plain.updates_per_sec_max -
+                              results.front().updates_per_sec_min) /
+                         plain.updates_per_sec_min
                    : 0.0);
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"metrics\": %s,\n", results.back().metrics_json.c_str());
   std::fprintf(out, "  \"mpsc_ring_items_per_sec\": %.1f,\n", ring_rate);
   std::fprintf(out,
-               "  \"note\": \"speedup is bounded by hardware_concurrency; "
-               "on a single-core host all thread counts time-slice one "
-               "CPU and speedup stays ~1\"\n");
+               "  \"note\": \"medians over reps after one warmup; "
+               "speedup_vs_1_thread is null for thread counts wider than "
+               "hardware_concurrency (time-slicing one core proves "
+               "nothing); see DESIGN.md section 11 for the arena layout "
+               "these numbers measure\"\n");
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::fprintf(stderr, "wrote %s\n", out_path.c_str());

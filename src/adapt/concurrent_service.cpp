@@ -236,14 +236,12 @@ void ConcurrentPredictionService::PredictMatrix(linalg::Matrix* out) const {
   out->Resize(users, services);
   if (users == 0 || services == 0) return;
   // The model's PredictMatrixRaw reads rows without seqlock brackets, so
-  // go row by row through the shared (seqlock-snapshotting) gather kernel
-  // instead — each row is a consistent snapshot taken while training runs.
-  std::vector<data::ServiceId> all(services);
-  for (std::size_t s = 0; s < services; ++s) {
-    all[s] = static_cast<data::ServiceId>(s);
-  }
+  // go row by row through the shared row readout instead: service rows are
+  // validated once per block around a strided SIMD GEMV (not once per
+  // row), so scoring stays near the unguarded batch path's speed while
+  // every block is a consistent snapshot taken while training runs.
   for (std::size_t u = 0; u < users; ++u) {
-    m.PredictManyRawShared(static_cast<data::UserId>(u), all, out->row(u));
+    m.PredictRowRawShared(static_cast<data::UserId>(u), out->row(u));
   }
 }
 

@@ -1,0 +1,64 @@
+// Cache-line-aligned allocation helpers.
+//
+// The arena-backed factor layout (core/factor_arena.h) requires every
+// latent row to start on a 64-byte boundary so (a) the SIMD GEMV kernels
+// may assume aligned loads and (b) one row's seqlock publish never dirties
+// a cache line shared with a neighboring row. std::vector's default
+// allocator only guarantees alignof(double); this allocator upgrades it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+namespace amf::common {
+
+/// Hot-path alignment unit: one x86/ARM cache line. Also the destructive
+/// interference distance on every platform this library targets (we avoid
+/// std::hardware_destructive_interference_size: it is 256 on some
+/// libstdc++/arm combinations and would quadruple arena padding).
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// True when `p` sits on an `alignment`-byte boundary.
+inline bool IsAligned(const void* p, std::size_t alignment) {
+  return (reinterpret_cast<std::uintptr_t>(p) & (alignment - 1)) == 0;
+}
+
+/// Rounds `n` up to the next multiple of `unit` (unit must be nonzero).
+inline constexpr std::size_t RoundUp(std::size_t n, std::size_t unit) {
+  return ((n + unit - 1) / unit) * unit;
+}
+
+/// Minimal allocator handing out `Align`-byte-aligned storage, for use as
+/// std::vector's allocator. All instances are interchangeable (stateless),
+/// so vectors with this allocator copy/move/swap exactly like default ones.
+template <typename T, std::size_t Align = kCacheLineBytes>
+struct AlignedAllocator {
+  static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                "Align must be a power of two >= alignof(T)");
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}  // NOLINT
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Align)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Align));
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+}  // namespace amf::common

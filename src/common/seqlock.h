@@ -125,4 +125,40 @@ inline void SeqlockWriteRow(SeqlockVersion& version, std::span<double> row,
   SeqlockEndWrite(version);
 }
 
+// --- Block-batched validation ----------------------------------------------
+// Scoring one user against a block of B service rows with the per-row
+// protocol costs 2B version ops, B acquire fences, and per-element atomic
+// loads that defeat vectorization. The block protocol amortizes all of it:
+// sweep the B version words once (acquire), run ONE bulk computation over
+// the rows, fence, and re-sweep — an unchanged all-even sweep proves every
+// row was stable across the whole computation, so the bulk kernel may use
+// plain vector loads (non-TSan builds; a torn attempt is discarded by the
+// failed re-sweep, never observed). The caller retries or degrades to the
+// per-row protocol on failure.
+
+/// One block read attempt. `version_at(i)` must return a (const) reference
+/// to the i-th row's version word; `snapshot` receives the first-sweep
+/// values (size >= n). `compute()` performs the bulk read. Returns true
+/// when every row was even and unchanged across the computation.
+template <typename VersionAt, typename ComputeFn>
+inline bool SeqlockTryReadBlock(std::size_t n, VersionAt&& version_at,
+                                SeqlockVersion* snapshot,
+                                ComputeFn&& compute) {
+  for (std::size_t i = 0; i < n; ++i) {
+    std::atomic_ref<SeqlockVersion> v(
+        const_cast<SeqlockVersion&>(version_at(i)));
+    const SeqlockVersion v1 = v.load(std::memory_order_acquire);
+    if (v1 & 1u) return false;  // writer mid-row somewhere in the block
+    snapshot[i] = v1;
+  }
+  compute();
+  std::atomic_thread_fence(std::memory_order_acquire);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::atomic_ref<SeqlockVersion> v(
+        const_cast<SeqlockVersion&>(version_at(i)));
+    if (v.load(std::memory_order_relaxed) != snapshot[i]) return false;
+  }
+  return true;
+}
+
 }  // namespace amf::common

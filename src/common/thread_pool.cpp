@@ -7,15 +7,46 @@
 
 #include "common/check.h"
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace amf::common {
 
-ThreadPool::ThreadPool(std::size_t threads) {
+namespace {
+
+/// Pins `handle` to logical core `core`. Returns true on success; failure
+/// (non-Linux, cgroup cpuset restrictions, core out of range) is benign —
+/// the thread simply stays under scheduler placement.
+bool PinThreadToCore(std::thread& handle, std::size_t core) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core % CPU_SETSIZE, &set);
+  return pthread_setaffinity_np(handle.native_handle(), sizeof(set), &set) ==
+         0;
+#else
+  (void)handle;
+  (void)core;
+  return false;
+#endif
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t threads, bool pin_to_cores) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  const std::size_t cores =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
+    if (pin_to_cores && PinThreadToCore(workers_.back(), i % cores)) {
+      ++pinned_workers_;
+    }
   }
 }
 

@@ -20,13 +20,26 @@ namespace amf::common {
 class ThreadPool {
  public:
   /// Creates a pool with `threads` workers (0 = hardware concurrency).
-  explicit ThreadPool(std::size_t threads = 0);
+  ///
+  /// `pin_to_cores` pins worker i to logical core i % hardware_concurrency
+  /// (Linux only; a silent no-op elsewhere or when the affinity call is
+  /// refused, e.g. in a restricted container). Pinning keeps each replay
+  /// shard's working set — its users' factor rows — in one core's private
+  /// cache instead of migrating with the thread; only worth it for pools
+  /// whose workers own partitioned state (see OnlineTrainer), so it is off
+  /// by default. With more workers than cores the modulo stacks them
+  /// round-robin, which is no worse than the scheduler's time-slicing.
+  explicit ThreadPool(std::size_t threads = 0, bool pin_to_cores = false);
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t size() const { return workers_.size(); }
+
+  /// Workers this pool managed to pin to cores at construction (0 when
+  /// pinning was not requested or unavailable). For tests and benches.
+  std::size_t pinned_workers() const { return pinned_workers_; }
 
   /// Enqueues a task; the returned future reports completion/exceptions.
   std::future<void> Submit(std::function<void()> task);
@@ -46,6 +59,7 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
+  std::size_t pinned_workers_ = 0;
   std::queue<std::packaged_task<void()>> tasks_;
   std::mutex mu_;
   std::condition_variable cv_;

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "common/multiversion.h"  // AMF_TSAN_BUILD
 #include "common/thread_pool.h"
 #include "linalg/kernels.h"
 #include "linalg/matrix.h"
@@ -25,23 +26,36 @@ AmfConfig Validate(AmfConfig c) {
   return c;
 }
 
+/// Single-accumulator dot in ascending-k order — the per-row reduction
+/// order of GemvRowMajor/GemvRowMajorStrided. The per-row fallbacks of the
+/// blocked shared row readout use this so a degraded block still returns
+/// the exact bits the GEMV bulk pass would have.
+double RowOrderDot(std::span<const double> a, const double* b,
+                   std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t k = 0; k < n; ++k) acc += a[k] * b[k];
+  return acc;
+}
+
+/// Blocks that keep failing validation (a writer storm on these rows)
+/// degrade to the per-row protocol after this many whole-block retries.
+[[maybe_unused]] constexpr int kMaxBlockTries = 3;
+
 }  // namespace
 
 AmfModel::AmfModel(const AmfConfig& config)
     : config_(Validate(config)),
       transform_(config_.transform),
-      rng_(config_.seed) {}
+      rng_(config_.seed),
+      user_(config_.rank),
+      service_(config_.rank) {}
 
 AmfModel::AmfModel(const AmfModel& other)
     : config_(other.config_),
       transform_(other.transform_),
       rng_(other.rng_),
-      user_factors_(other.user_factors_),
-      service_factors_(other.service_factors_),
-      user_error_(other.user_error_),
-      service_error_(other.service_error_),
-      user_version_(other.user_version_),
-      service_version_(other.service_version_),
+      user_(other.user_),
+      service_(other.service_),
       updates_(other.updates()),
       nan_reinit_users_(other.nan_reinit_users()),
       nan_reinit_services_(other.nan_reinit_services()) {}
@@ -51,12 +65,8 @@ AmfModel& AmfModel::operator=(const AmfModel& other) {
   config_ = other.config_;
   transform_ = other.transform_;
   rng_ = other.rng_;
-  user_factors_ = other.user_factors_;
-  service_factors_ = other.service_factors_;
-  user_error_ = other.user_error_;
-  service_error_ = other.service_error_;
-  user_version_ = other.user_version_;
-  service_version_ = other.service_version_;
+  user_ = other.user_;
+  service_ = other.service_;
   updates_.store(other.updates(), std::memory_order_relaxed);
   nan_reinit_users_.store(other.nan_reinit_users(),
                           std::memory_order_relaxed);
@@ -69,12 +79,8 @@ AmfModel::AmfModel(AmfModel&& other) noexcept
     : config_(std::move(other.config_)),
       transform_(std::move(other.transform_)),
       rng_(std::move(other.rng_)),
-      user_factors_(std::move(other.user_factors_)),
-      service_factors_(std::move(other.service_factors_)),
-      user_error_(std::move(other.user_error_)),
-      service_error_(std::move(other.service_error_)),
-      user_version_(std::move(other.user_version_)),
-      service_version_(std::move(other.service_version_)),
+      user_(std::move(other.user_)),
+      service_(std::move(other.service_)),
       updates_(other.updates()),
       nan_reinit_users_(other.nan_reinit_users()),
       nan_reinit_services_(other.nan_reinit_services()) {}
@@ -84,12 +90,8 @@ AmfModel& AmfModel::operator=(AmfModel&& other) noexcept {
   config_ = std::move(other.config_);
   transform_ = std::move(other.transform_);
   rng_ = std::move(other.rng_);
-  user_factors_ = std::move(other.user_factors_);
-  service_factors_ = std::move(other.service_factors_);
-  user_error_ = std::move(other.user_error_);
-  service_error_ = std::move(other.service_error_);
-  user_version_ = std::move(other.user_version_);
-  service_version_ = std::move(other.service_version_);
+  user_ = std::move(other.user_);
+  service_ = std::move(other.service_);
   updates_.store(other.updates(), std::memory_order_relaxed);
   nan_reinit_users_.store(other.nan_reinit_users(),
                           std::memory_order_relaxed);
@@ -98,69 +100,56 @@ AmfModel& AmfModel::operator=(AmfModel&& other) noexcept {
   return *this;
 }
 
-void AmfModel::Grow(std::vector<double>& factors,
-                    std::vector<double>& errors,
-                    std::vector<common::SeqlockVersion>& versions,
-                    std::size_t need) {
-  const std::size_t d = config_.rank;
-  if (errors.capacity() < need) {
-    const std::size_t cap = std::max(need, 2 * errors.capacity());
-    errors.reserve(cap);
-    factors.reserve(cap * d);
-    versions.reserve(cap);
-  }
-  const std::size_t old = errors.size();
-  errors.resize(need, config_.initial_error);
-  factors.resize(need * d);
-  versions.resize(need, 0);
-  // Same rng_ draw order as per-entity registration: rank draws each.
-  for (std::size_t i = old * d; i < need * d; ++i) {
-    factors[i] = rng_.Uniform() * config_.init_scale;
+void AmfModel::Grow(FactorArena& arena, std::size_t need) {
+  const std::size_t old = arena.Grow(need, config_.initial_error);
+  // Same rng_ draw order as per-entity registration (and as the pre-arena
+  // vector layout): rank draws per entity, registration order. Pad lanes
+  // stay at the arena's zero fill.
+  for (std::size_t i = old; i < need; ++i) {
+    for (double& x : arena.row_span(i)) {
+      x = rng_.Uniform() * config_.init_scale;
+    }
   }
 }
 
 void AmfModel::EnsureUser(data::UserId u) {
   const std::size_t need = static_cast<std::size_t>(u) + 1;
-  if (user_error_.size() < need) {
-    Grow(user_factors_, user_error_, user_version_, need);
-  }
+  if (user_.size() < need) Grow(user_, need);
 }
 
 void AmfModel::EnsureService(data::ServiceId s) {
   const std::size_t need = static_cast<std::size_t>(s) + 1;
-  if (service_error_.size() < need) {
-    Grow(service_factors_, service_error_, service_version_, need);
-  }
+  if (service_.size() < need) Grow(service_, need);
 }
 
 void AmfModel::RetireUser(data::UserId u) {
   AMF_CHECK_MSG(HasUser(u), "RetireUser: unknown user " << u);
   const std::size_t d = config_.rank;
-  const std::span<double> row(&user_factors_[u * d], d);
+  const std::span<double> row = user_.row_span(u);
   // Stage the cold-start row outside the seqlock bracket, then publish:
   // readers either see the old tenant's row or the fresh one, never a mix.
   std::vector<double> fresh(d);
   FillDeterministicRow(u, fresh);
-  common::SeqlockBeginWrite(user_version_[u]);
+  common::SeqlockBeginWrite(user_.version(u));
   for (std::size_t k = 0; k < d; ++k) {
     common::SeqlockStore(row[k], fresh[k]);
   }
-  common::RelaxedStore(user_error_[u], config_.initial_error);
-  common::SeqlockEndWrite(user_version_[u]);
+  common::RelaxedStore(user_.error(u), config_.initial_error);
+  common::SeqlockEndWrite(user_.version(u));
 }
 
 void AmfModel::RetireService(data::ServiceId s) {
   AMF_CHECK_MSG(HasService(s), "RetireService: unknown service " << s);
   const std::size_t d = config_.rank;
-  const std::span<double> row(&service_factors_[s * d], d);
+  const std::span<double> row = service_.row_span(s);
   std::vector<double> fresh(d);
   FillDeterministicRow(s, fresh);
-  common::SeqlockBeginWrite(service_version_[s]);
+  common::SeqlockBeginWrite(service_.version(s));
   for (std::size_t k = 0; k < d; ++k) {
     common::SeqlockStore(row[k], fresh[k]);
   }
-  common::RelaxedStore(service_error_[s], config_.initial_error);
-  common::SeqlockEndWrite(service_version_[s]);
+  common::RelaxedStore(service_.error(s), config_.initial_error);
+  common::SeqlockEndWrite(service_.version(s));
 }
 
 bool AmfModel::RepairNonFinite(std::span<double> v, double& error,
@@ -201,18 +190,17 @@ double AmfModel::OnlineUpdate(data::UserId u, data::ServiceId s,
   EnsureUser(u);
   EnsureService(s);
 
-  const std::size_t d = config_.rank;
-  const std::span<double> ui(&user_factors_[u * d], d);
-  const std::span<double> sj(&service_factors_[s * d], d);
+  const std::span<double> ui = user_.row_span(u);
+  const std::span<double> sj = service_.row_span(s);
 
   // NaN-poisoning detector: a corrupted latent vector (from a bad
   // checkpoint, a torn write, or any earlier bug) would otherwise turn
   // every future update on this entity into NaN and spread through the
   // shared factors during replay. Drop and re-initialize it instead.
-  if (RepairNonFinite(ui, user_error_[u], u)) {
+  if (RepairNonFinite(ui, user_.error(u), u)) {
     nan_reinit_users_.fetch_add(1, std::memory_order_relaxed);
   }
-  if (RepairNonFinite(sj, service_error_[s], s)) {
+  if (RepairNonFinite(sj, service_.error(s), s)) {
     nan_reinit_services_.fetch_add(1, std::memory_order_relaxed);
   }
 
@@ -237,8 +225,8 @@ double AmfModel::OnlineUpdate(data::UserId u, data::ServiceId s,
   double wu = 0.5;
   double ws = 0.5;
   if (config_.adaptive_weights) {
-    const double eu = user_error_[u];
-    const double es = service_error_[s];
+    const double eu = user_.error(u);
+    const double es = service_.error(s);
     const double sum = eu + es;
     if (sum > 0.0) {
       wu = eu / sum;
@@ -247,8 +235,8 @@ double AmfModel::OnlineUpdate(data::UserId u, data::ServiceId s,
   }
 
   // EMA updates of the entity errors (Eqs. 13-14).
-  user_error_[u] += config_.beta * wu * (e_us - user_error_[u]);
-  service_error_[s] += config_.beta * ws * (e_us - service_error_[s]);
+  user_.error(u) += config_.beta * wu * (e_us - user_.error(u));
+  service_.error(s) += config_.beta * ws * (e_us - service_.error(s));
 
   // Weighted SGD step (Eqs. 16-17), simultaneous in U_u and S_s.
   double common_coef = (g - r) * gp / (r * r);
@@ -276,8 +264,8 @@ double AmfModel::OnlineUpdateGuarded(data::UserId u, data::ServiceId s,
   AMF_DCHECK(HasUser(u) && HasService(s));
 
   const std::size_t d = config_.rank;
-  const std::span<double> ui(&user_factors_[u * d], d);
-  const std::span<double> sj(&service_factors_[s * d], d);
+  const std::span<double> ui = user_.row_span(u);
+  const std::span<double> sj = service_.row_span(s);
 
   // Thread-local so concurrent shard workers never share scratch; the
   // resize is a no-op after the first call per thread.
@@ -308,9 +296,9 @@ double AmfModel::OnlineUpdateGuarded(data::UserId u, data::ServiceId s,
         common::SeqlockEndWrite(ver);
         counter.fetch_add(1, std::memory_order_relaxed);
       };
-  repair_guarded(ui, user_error_[u], user_version_[u], u, new_u,
+  repair_guarded(ui, user_.error(u), user_.version(u), u, new_u,
                  nan_reinit_users_);
-  repair_guarded(sj, service_error_[s], service_version_[s], s, new_s,
+  repair_guarded(sj, service_.error(s), service_.version(s), s, new_s,
                  nan_reinit_services_);
 
   const double r = transform_.Forward(raw_value);
@@ -329,8 +317,8 @@ double AmfModel::OnlineUpdateGuarded(data::UserId u, data::ServiceId s,
 
   double wu = 0.5;
   double ws = 0.5;
-  const double eu = user_error_[u];
-  const double es = service_error_[s];
+  const double eu = user_.error(u);
+  const double es = service_.error(s);
   if (config_.adaptive_weights) {
     const double sum = eu + es;
     if (sum > 0.0) {
@@ -355,15 +343,17 @@ double AmfModel::OnlineUpdateGuarded(data::UserId u, data::ServiceId s,
     new_s[k] = sk - cs * (common_coef * uk + config_.lambda_service * sk);
   }
 
-  common::SeqlockBeginWrite(user_version_[u]);
+  // The publish dirties exactly three lines per row family at rank <= 8
+  // (row line(s) + its private meta line) — never a neighboring row's.
+  common::SeqlockBeginWrite(user_.version(u));
   for (std::size_t k = 0; k < d; ++k) common::SeqlockStore(ui[k], new_u[k]);
-  common::RelaxedStore(user_error_[u], new_eu);
-  common::SeqlockEndWrite(user_version_[u]);
+  common::RelaxedStore(user_.error(u), new_eu);
+  common::SeqlockEndWrite(user_.version(u));
 
-  common::SeqlockBeginWrite(service_version_[s]);
+  common::SeqlockBeginWrite(service_.version(s));
   for (std::size_t k = 0; k < d; ++k) common::SeqlockStore(sj[k], new_s[k]);
-  common::RelaxedStore(service_error_[s], new_es);
-  common::SeqlockEndWrite(service_version_[s]);
+  common::RelaxedStore(service_.error(s), new_es);
+  common::SeqlockEndWrite(service_.version(s));
 
   return e_us;
 }
@@ -371,9 +361,9 @@ double AmfModel::OnlineUpdateGuarded(data::UserId u, data::ServiceId s,
 double AmfModel::SharedDotWithService(std::span<const double> urow,
                                       data::ServiceId s) const {
   const std::size_t d = config_.rank;
-  const double* row = &service_factors_[s * d];
+  const double* row = service_.row(s);
   double acc = 0.0;
-  common::SeqlockRead(service_version_[s], [&] {
+  common::SeqlockRead(service_.version(s), [&] {
     double a = 0.0;
     for (std::size_t k = 0; k < d; ++k) {
       a += urow[k] * common::RelaxedLoad(row[k]);
@@ -381,6 +371,49 @@ double AmfModel::SharedDotWithService(std::span<const double> urow,
     acc = a;
   });
   return acc;
+}
+
+void AmfModel::SharedDotBlock(std::span<const double> urow, std::size_t begin,
+                              std::size_t end, std::span<double> out) const {
+  const std::size_t d = config_.rank;
+  [[maybe_unused]] const std::size_t stride = service_.stride();
+  thread_local std::vector<double> srow;
+  // Per-row fallback: a consistent snapshot through the row's own seqlock,
+  // reduced in GEMV row order so the bits match the bulk pass.
+  const auto row_fallback = [&](std::size_t s) {
+    srow.resize(d);
+    common::SeqlockReadRow(service_.version(s), service_.row_span(s), srow);
+    return RowOrderDot(urow, srow.data(), d);
+  };
+  [[maybe_unused]] common::SeqlockVersion snap[kSharedPredictBlock];
+  for (std::size_t b = begin; b < end; b += kSharedPredictBlock) {
+    const std::size_t n = std::min(kSharedPredictBlock, end - b);
+    const std::span<double> chunk = out.subspan(b - begin, n);
+#if defined(AMF_TSAN_BUILD)
+    // TSan cannot model the discarded-torn-read bulk pass (its data loads
+    // are deliberately non-atomic); use the per-row atomic protocol.
+    for (std::size_t i = 0; i < n; ++i) chunk[i] = row_fallback(b + i);
+#else
+    // Block protocol: one version sweep brackets a strided SIMD GEMV over
+    // the whole chunk. A failed re-sweep discards the (possibly torn)
+    // chunk and retries; a writer storm degrades to per-row snapshots.
+    int tries = 0;
+    while (!common::SeqlockTryReadBlock(
+        n, [&](std::size_t i) -> const common::SeqlockVersion& {
+          return service_.version(b + i);
+        },
+        snap,
+        [&] {
+          linalg::GemvRowMajorStrided(urow, service_.row(b), stride, chunk);
+        })) {
+      common::SeqlockRetryCounter().fetch_add(1, std::memory_order_relaxed);
+      if (++tries >= kMaxBlockTries) {
+        for (std::size_t i = 0; i < n; ++i) chunk[i] = row_fallback(b + i);
+        break;
+      }
+    }
+#endif
+  }
 }
 
 double AmfModel::PredictNormalizedShared(data::UserId u,
@@ -391,9 +424,7 @@ double AmfModel::PredictNormalizedShared(data::UserId u,
   const std::size_t d = config_.rank;
   thread_local std::vector<double> urow;
   urow.resize(d);
-  common::SeqlockReadRow(
-      user_version_[u],
-      std::span<const double>(&user_factors_[u * d], d), urow);
+  common::SeqlockReadRow(user_.version(u), user_.row_span(u), urow);
   return transform::Sigmoid(SharedDotWithService(urow, s));
 }
 
@@ -410,26 +441,81 @@ void AmfModel::PredictManyRawShared(data::UserId u,
   const std::size_t d = config_.rank;
   thread_local std::vector<double> urow;
   urow.resize(d);
-  common::SeqlockReadRow(
-      user_version_[u],
-      std::span<const double>(&user_factors_[u * d], d), urow);
-  for (std::size_t i = 0; i < services.size(); ++i) {
-    AMF_CHECK_MSG(HasService(services[i]),
-                  "shared prediction for unregistered service "
-                      << services[i]);
-    out[i] = transform_.Inverse(
-        transform::Sigmoid(SharedDotWithService(urow, services[i])));
+  common::SeqlockReadRow(user_.version(u), user_.row_span(u), urow);
+  for (const data::ServiceId s : services) {
+    AMF_CHECK_MSG(HasService(s),
+                  "shared prediction for unregistered service " << s);
   }
+  // Gathered rows validate in blocks too: one version sweep per
+  // kSharedPredictBlock scattered rows around a bulk dot pass (linalg::Dot
+  // — the same reduction PredictManyRaw uses, so quiescent results match
+  // it bit for bit).
+  thread_local std::vector<double> srow;
+  const auto row_fallback = [&](data::ServiceId s) {
+    srow.resize(d);
+    common::SeqlockReadRow(service_.version(s), service_.row_span(s), srow);
+    return linalg::Dot(urow, std::span<const double>(srow.data(), d));
+  };
+  [[maybe_unused]] common::SeqlockVersion snap[kSharedPredictBlock];
+  for (std::size_t b = 0; b < services.size(); b += kSharedPredictBlock) {
+    const std::size_t n = std::min(kSharedPredictBlock, services.size() - b);
+    const std::span<double> chunk = out.subspan(b, n);
+#if defined(AMF_TSAN_BUILD)
+    for (std::size_t i = 0; i < n; ++i) {
+      chunk[i] = row_fallback(services[b + i]);
+    }
+#else
+    int tries = 0;
+    while (!common::SeqlockTryReadBlock(
+        n, [&](std::size_t i) -> const common::SeqlockVersion& {
+          return service_.version(services[b + i]);
+        },
+        snap,
+        [&] {
+          for (std::size_t i = 0; i < n; ++i) {
+            chunk[i] = linalg::Dot(
+                urow, std::span<const double>(service_.row(services[b + i]),
+                                              d));
+          }
+        })) {
+      common::SeqlockRetryCounter().fetch_add(1, std::memory_order_relaxed);
+      if (++tries >= kMaxBlockTries) {
+        for (std::size_t i = 0; i < n; ++i) {
+          chunk[i] = row_fallback(services[b + i]);
+        }
+        break;
+      }
+    }
+#endif
+  }
+  transform::SigmoidRow(out, out);
+  transform_.InverseRow(out);
+}
+
+void AmfModel::PredictRowRawShared(data::UserId u,
+                                   std::span<double> out) const {
+  AMF_CHECK_MSG(HasUser(u), "shared row prediction for unregistered user "
+                                << u);
+  AMF_CHECK_MSG(out.size() <= num_services(),
+                "row of " << out.size() << " exceeds " << num_services()
+                          << " registered services");
+  const std::size_t d = config_.rank;
+  thread_local std::vector<double> urow;
+  urow.resize(d);
+  common::SeqlockReadRow(user_.version(u), user_.row_span(u), urow);
+  SharedDotBlock(urow, 0, out.size(), out);
+  transform::SigmoidRow(out, out);
+  transform_.InverseRow(out);
 }
 
 double AmfModel::UserErrorShared(data::UserId u) const {
   AMF_CHECK(HasUser(u));
-  return common::RelaxedLoad(user_error_[u]);
+  return common::RelaxedLoad(user_.error(u));
 }
 
 double AmfModel::ServiceErrorShared(data::ServiceId s) const {
   AMF_CHECK(HasService(s));
-  return common::RelaxedLoad(service_error_[s]);
+  return common::RelaxedLoad(service_.error(s));
 }
 
 double AmfModel::PredictionUncertaintyShared(data::UserId u,
@@ -445,10 +531,8 @@ double AmfModel::PredictNormalized(data::UserId u, data::ServiceId s) const {
   AMF_CHECK_MSG(HasUser(u) && HasService(s),
                 "prediction for unregistered entity (" << u << "," << s
                                                        << ")");
-  const std::size_t d = config_.rank;
-  const std::span<const double> ui(&user_factors_[u * d], d);
-  const std::span<const double> sj(&service_factors_[s * d], d);
-  return transform::Sigmoid(linalg::Dot(ui, sj));
+  return transform::Sigmoid(
+      linalg::Dot(user_.row_span(u), service_.row_span(s)));
 }
 
 void AmfModel::PredictRowNormalized(data::UserId u,
@@ -457,11 +541,8 @@ void AmfModel::PredictRowNormalized(data::UserId u,
   AMF_CHECK_MSG(out.size() <= num_services(),
                 "row of " << out.size() << " exceeds " << num_services()
                           << " registered services");
-  const std::size_t d = config_.rank;
-  const std::span<const double> x(&user_factors_[u * d], d);
-  linalg::GemvRowMajor(
-      x, std::span<const double>(service_factors_.data(), out.size() * d),
-      out);
+  linalg::GemvRowMajorStrided(user_.row_span(u), service_.data(),
+                              service_.stride(), out);
   transform::SigmoidRow(out, out);
 }
 
@@ -476,14 +557,12 @@ void AmfModel::PredictManyNormalized(
   AMF_CHECK_MSG(services.size() == out.size(),
                 "services/out size mismatch");
   AMF_CHECK_MSG(HasUser(u), "batch prediction for unregistered user " << u);
-  const std::size_t d = config_.rank;
-  const std::span<const double> x(&user_factors_[u * d], d);
+  const std::span<const double> x = user_.row_span(u);
   for (std::size_t i = 0; i < services.size(); ++i) {
     AMF_CHECK_MSG(HasService(services[i]),
                   "batch prediction for unregistered service "
                       << services[i]);
-    out[i] = linalg::Dot(
-        x, std::span<const double>(&service_factors_[services[i] * d], d));
+    out[i] = linalg::Dot(x, service_.row_span(services[i]));
   }
   transform::SigmoidRow(out, out);
 }
@@ -520,12 +599,12 @@ void AmfModel::PredictMatrixRaw(linalg::Matrix* out,
 
 double AmfModel::UserError(data::UserId u) const {
   AMF_CHECK(HasUser(u));
-  return user_error_[u];
+  return user_.error(u);
 }
 
 double AmfModel::ServiceError(data::ServiceId s) const {
   AMF_CHECK(HasService(s));
-  return service_error_[s];
+  return service_.error(s);
 }
 
 double AmfModel::PredictionUncertainty(data::UserId u,
@@ -535,37 +614,34 @@ double AmfModel::PredictionUncertainty(data::UserId u,
 
 std::span<const double> AmfModel::UserFactors(data::UserId u) const {
   AMF_CHECK(HasUser(u));
-  return std::span<const double>(&user_factors_[u * config_.rank],
-                                 config_.rank);
+  return user_.row_span(u);
 }
 
 std::span<const double> AmfModel::ServiceFactors(data::ServiceId s) const {
   AMF_CHECK(HasService(s));
-  return std::span<const double>(&service_factors_[s * config_.rank],
-                                 config_.rank);
+  return service_.row_span(s);
 }
 
 std::span<double> AmfModel::MutableUserFactors(data::UserId u) {
   AMF_CHECK(HasUser(u));
-  return std::span<double>(&user_factors_[u * config_.rank], config_.rank);
+  return user_.row_span(u);
 }
 
 std::span<double> AmfModel::MutableServiceFactors(data::ServiceId s) {
   AMF_CHECK(HasService(s));
-  return std::span<double>(&service_factors_[s * config_.rank],
-                           config_.rank);
+  return service_.row_span(s);
 }
 
 void AmfModel::SetUserError(data::UserId u, double e) {
   AMF_CHECK(HasUser(u));
   AMF_CHECK_MSG(e >= 0.0, "entity error must be non-negative");
-  user_error_[u] = e;
+  user_.error(u) = e;
 }
 
 void AmfModel::SetServiceError(data::ServiceId s, double e) {
   AMF_CHECK(HasService(s));
   AMF_CHECK_MSG(e >= 0.0, "entity error must be non-negative");
-  service_error_[s] = e;
+  service_.error(s) = e;
 }
 
 std::vector<double> PredictSamplesRaw(

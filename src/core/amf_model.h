@@ -26,6 +26,7 @@
 #include "common/rng.h"
 #include "common/seqlock.h"
 #include "core/amf_config.h"
+#include "core/factor_arena.h"
 #include "data/qos_types.h"
 
 namespace amf::common {
@@ -50,8 +51,16 @@ class AmfModel {
   const AmfConfig& config() const { return config_; }
   const transform::QoSTransform& transform() const { return transform_; }
 
-  std::size_t num_users() const { return user_error_.size(); }
-  std::size_t num_services() const { return service_error_.size(); }
+  std::size_t num_users() const { return user_.size(); }
+  std::size_t num_services() const { return service_.size(); }
+
+  /// Every latent row starts on a boundary of this many bytes (arena
+  /// layout; see core/factor_arena.h). Exposed for tests and benches.
+  static constexpr std::size_t kFactorRowAlignment = common::kCacheLineBytes;
+
+  /// Doubles between consecutive factor-row starts (rank rounded up to a
+  /// cache-line multiple; the pad lanes are permanently zero).
+  std::size_t factor_row_stride() const { return user_.stride(); }
 
   /// Registers users/services up to and including the given id (no-op for
   /// already-known entities). New factors are randomized, errors set to
@@ -165,11 +174,24 @@ class AmfModel {
   double PredictNormalizedShared(data::UserId u, data::ServiceId s) const;
 
   /// Gather variant of the shared readout: out[i] scores (u, services[i])
-  /// raw. The user row is snapshotted once, each service row through its
-  /// own seqlock. Sizes must match; every id must be registered.
+  /// raw. The user row is snapshotted once; service rows are validated in
+  /// blocks (one version sweep bracketing a bulk dot pass per block of
+  /// kSharedPredictBlock rows — see DESIGN.md §11) with a per-row seqlock
+  /// fallback under write churn. Sizes must match; every id must be
+  /// registered. Quiescent results are bit-identical to PredictManyRaw.
   void PredictManyRawShared(data::UserId u,
                             std::span<const data::ServiceId> services,
                             std::span<double> out) const;
+
+  /// Row variant of the shared readout: scores user u against services
+  /// [0, out.size()) concurrently with guarded writers. Contiguous service
+  /// blocks validate once per block and run the strided SIMD GEMV inside
+  /// the bracket, so this is the fast path for matrix scoring while
+  /// training runs. Quiescent results are bit-identical to PredictRowRaw.
+  void PredictRowRawShared(data::UserId u, std::span<double> out) const;
+
+  /// Service rows validated per block in the *Shared batch readouts.
+  static constexpr std::size_t kSharedPredictBlock = 64;
 
   /// Entity-error reads safe against concurrent guarded writers (relaxed
   /// atomic loads; 64-bit loads never tear).
@@ -212,10 +234,10 @@ class AmfModel {
 
  private:
   /// Grows one entity family to `need` entries: geometric capacity reserve,
-  /// then one resize + randomized factor fill (keeps storage contiguous
-  /// and growth amortized O(1) per entity).
-  void Grow(std::vector<double>& factors, std::vector<double>& errors,
-            std::vector<common::SeqlockVersion>& versions, std::size_t need);
+  /// then one arena resize + randomized factor fill (same rng_ draw order
+  /// as the pre-arena layout: rank draws per entity, registration order —
+  /// fixed-seed traces are unchanged).
+  void Grow(FactorArena& arena, std::size_t need);
 
   void PredictMatrixImpl(linalg::Matrix* out, common::ThreadPool* pool,
                          bool raw) const;
@@ -235,19 +257,21 @@ class AmfModel {
   double SharedDotWithService(std::span<const double> urow,
                               data::ServiceId s) const;
 
+  /// Shared-path dot pass over the contiguous service block [begin, end):
+  /// block-batched seqlock validation around the strided GEMV, degrading
+  /// to per-row snapshots for a block that keeps getting invalidated.
+  void SharedDotBlock(std::span<const double> urow, std::size_t begin,
+                      std::size_t end, std::span<double> out) const;
+
   AmfConfig config_;
   transform::QoSTransform transform_;
   common::Rng rng_;
-  // Flat [entity * rank + k] latent factor storage; grows with churn.
-  std::vector<double> user_factors_;
-  std::vector<double> service_factors_;
-  std::vector<double> user_error_;
-  std::vector<double> service_error_;
-  // Per-row seqlock version words (even = stable, odd = write in flight).
-  // Only the *Guarded / *Shared paths touch them; serial paths leave them
-  // even and pay nothing.
-  std::vector<common::SeqlockVersion> user_version_;
-  std::vector<common::SeqlockVersion> service_version_;
+  // Arena-backed blocked factor storage: one 64-byte-aligned padded row
+  // per entity, its seqlock version word and error EMA co-located in a
+  // private meta line (see core/factor_arena.h). Serial paths leave the
+  // versions even and pay nothing.
+  FactorArena user_;
+  FactorArena service_;
   // Atomic so concurrent striped-lock updates may share the counter.
   std::atomic<std::uint64_t> updates_{0};
   std::atomic<std::uint64_t> nan_reinit_users_{0};

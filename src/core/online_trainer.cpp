@@ -197,7 +197,8 @@ std::optional<double> OnlineTrainer::ReplayEpochParallel() {
                                  ? config_.replay_shards
                                  : config_.replay_threads * 4;
   if (!pool_) {
-    pool_ = std::make_unique<common::ThreadPool>(config_.replay_threads);
+    pool_ = std::make_unique<common::ThreadPool>(config_.replay_threads,
+                                                 config_.pin_replay_threads);
   }
   if (!service_locks_) {
     service_locks_ =

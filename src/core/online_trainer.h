@@ -72,6 +72,12 @@ struct TrainerConfig {
   std::size_t replay_shards = 0;
   /// Striped spinlocks serializing same-service updates across shards.
   std::size_t service_stripes = 64;
+  /// Pin each replay worker to a core (Linux; silent no-op elsewhere or
+  /// when refused by the container). Keeps a shard's user rows resident in
+  /// one core's private cache across epochs instead of migrating with the
+  /// thread. Off by default: pinning helps dedicated training hosts and
+  /// hurts oversubscribed ones — an explicit deployment decision.
+  bool pin_replay_threads = false;
   /// Backpressure cap on the incoming Observe queue (0 = unbounded).
   /// Overflowing samples are dropped newest-first and counted in
   /// Stats().dropped_on_overflow.

@@ -50,4 +50,49 @@ void GemvRowMajor(std::span<const double> x, std::span<const double> block,
   }
 }
 
+AMF_MULTIVERSION
+void GemvRowMajorStrided(std::span<const double> x, const double* block,
+                         std::size_t stride, std::span<double> out) {
+  const std::size_t d = x.size();
+  const std::size_t rows = out.size();
+  AMF_DCHECK(stride >= d);
+  const double* __restrict xp = x.data();
+  const double* __restrict bp = block;
+#if defined(AMF_NATIVE_BUILD)
+  // Arena contract: 64-byte base, stride a multiple of 8 doubles — every
+  // row start is cache-line aligned, so the compiler may use aligned
+  // vector loads for the row streams.
+  bp = static_cast<const double*>(__builtin_assume_aligned(bp, 64));
+#endif
+  double* __restrict op = out.data();
+
+  // Same four-row / independent-accumulator shape (and the same k order)
+  // as GemvRowMajor above, so the reduction is bit-identical to it.
+  std::size_t i = 0;
+  for (; i + 4 <= rows; i += 4) {
+    const double* __restrict r0 = bp + (i + 0) * stride;
+    const double* __restrict r1 = bp + (i + 1) * stride;
+    const double* __restrict r2 = bp + (i + 2) * stride;
+    const double* __restrict r3 = bp + (i + 3) * stride;
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    for (std::size_t k = 0; k < d; ++k) {
+      const double xk = xp[k];
+      a0 += xk * r0[k];
+      a1 += xk * r1[k];
+      a2 += xk * r2[k];
+      a3 += xk * r3[k];
+    }
+    op[i + 0] = a0;
+    op[i + 1] = a1;
+    op[i + 2] = a2;
+    op[i + 3] = a3;
+  }
+  for (; i < rows; ++i) {
+    const double* __restrict r0 = bp + i * stride;
+    double acc = 0.0;
+    for (std::size_t k = 0; k < d; ++k) acc += xp[k] * r0[k];
+    op[i] = acc;
+  }
+}
+
 }  // namespace amf::linalg

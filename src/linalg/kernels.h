@@ -20,6 +20,21 @@ namespace amf::linalg {
 void GemvRowMajor(std::span<const double> x, std::span<const double> block,
                   std::span<double> out);
 
+/// Strided variant for the arena-backed factor layout: row i starts at
+/// block + i * stride with only the first x.size() lanes meaningful
+/// (stride >= x.size(); the pad lanes are not read). The inner reduction
+/// visits lanes in the same order as GemvRowMajor, so for stride ==
+/// x.size() the two produce bit-identical results.
+///
+/// Alignment contract: `block` points at a 64-byte-aligned base and
+/// `stride` is a multiple of 8 doubles (both guaranteed by
+/// core::FactorArena), so every row start is 64-byte aligned. Under
+/// AMF_NATIVE builds the kernel asserts that to the compiler
+/// (assume_aligned) and may issue aligned vector loads — passing an
+/// unaligned base from a non-arena caller is undefined there.
+void GemvRowMajorStrided(std::span<const double> x, const double* block,
+                         std::size_t stride, std::span<double> out);
+
 /// Fused simultaneous SGD pair step (paper Eqs. 16-17):
 ///   u[k] <- u[k] - cu * (coef * s[k] + lambda_u * u[k])
 ///   s[k] <- s[k] - cs * (coef * u[k] + lambda_s * s[k])

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <string>
 #include <thread>
 #include <vector>
@@ -259,6 +260,86 @@ TEST(ConcurrentStressTest, JoinRetireChurnRacesPredictions) {
   EXPECT_LE(occ.service_slots, kBaseServices + kChurnCycles);
   EXPECT_EQ(occ.user_slots, occ.users_active + occ.users_free);
   EXPECT_EQ(occ.service_slots, occ.services_active + occ.services_free);
+}
+
+TEST(ConcurrentStressTest, AdjacentRowHammer) {
+  // The arena layout's core claim: one row's guarded SGD publish shares no
+  // cache line — and, for correctness under TSan, no synchronization
+  // state — with its neighbors. Two writers hammer adjacent service rows
+  // (s and s+1 for every even s) while readers sweep the block-validated
+  // shared paths across exactly those rows. Any layout bug that lets a
+  // publish touch a neighbor's lanes, or any hole in the block validation
+  // protocol, shows up here as a TSan report or a non-finite readout.
+  core::AmfConfig cfg = core::MakeResponseTimeConfig(/*seed=*/31);
+  cfg.rank = 10;
+  core::AmfModel model(cfg);
+  constexpr std::size_t kUsers = 4;
+  // Span several validation blocks so block boundaries are exercised.
+  constexpr std::size_t kServices = core::AmfModel::kSharedPredictBlock * 3;
+  model.EnsureUser(kUsers - 1);
+  model.EnsureService(kServices - 1);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> nonfinite{0};
+
+  // Writer w owns user w and the services with parity w: the two writers
+  // always update adjacent service rows concurrently, never the same row
+  // (the seqlock orders one writer per row; exclusion is ours to provide).
+  std::vector<std::thread> writers;
+  for (std::size_t w = 0; w < 2; ++w) {
+    writers.emplace_back([&, w] {
+      std::size_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto s =
+            static_cast<data::ServiceId>(((2 * i) % kServices) + w);
+        model.OnlineUpdateGuarded(static_cast<data::UserId>(w),
+                                  s % kServices,
+                                  0.3 + 0.001 * static_cast<double>(i % 71));
+        ++i;
+      }
+    });
+  }
+
+  std::vector<data::ServiceId> ids(kServices);
+  for (std::size_t s = 0; s < kServices; ++s) {
+    ids[s] = static_cast<data::ServiceId>(s);
+  }
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      std::vector<double> row(kServices);
+      std::vector<double> gather(kServices);
+      for (int iter = 0; iter < 400; ++iter) {
+        const auto u =
+            static_cast<data::UserId>((iter + r) % (kUsers - 2));
+        model.PredictRowRawShared(u + 2, row);  // users no writer touches
+        model.PredictManyRawShared(u + 2, ids, gather);
+        for (std::size_t s = 0; s < kServices; ++s) {
+          if (!std::isfinite(row[s]) || !std::isfinite(gather[s])) {
+            nonfinite.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        if (!std::isfinite(model.PredictRawShared(
+                u + 2, static_cast<data::ServiceId>(iter % kServices)))) {
+          nonfinite.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  for (auto& t : readers) t.join();
+  stop.store(true);
+  for (auto& t : writers) t.join();
+  EXPECT_EQ(nonfinite.load(), 0u);
+
+  // Post-race invariant: every row pointer still honors the arena
+  // alignment contract (no reallocation happened under the hammer).
+  for (data::ServiceId s = 0; s < model.num_services(); ++s) {
+    ASSERT_EQ(reinterpret_cast<std::uintptr_t>(
+                  model.ServiceFactors(s).data()) %
+                  core::AmfModel::kFactorRowAlignment,
+              0u);
+  }
 }
 
 }  // namespace

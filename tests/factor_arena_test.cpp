@@ -1,0 +1,258 @@
+// Arena-backed factor layout (core/factor_arena.h + the AmfModel blocked
+// predict paths built on it): alignment/stride invariants that the SIMD
+// kernels and the false-sharing analysis rely on, bit-identity of the
+// layout change against the scalar reference paths, and checkpoint
+// round-trips through the new storage.
+#include "core/factor_arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/rng.h"
+#include "core/amf_model.h"
+#include "core/checkpoint.h"
+#include "core/sample_store.h"
+#include "linalg/kernels.h"
+
+namespace amf::core {
+namespace {
+
+bool RowAligned(const double* p) {
+  return common::IsAligned(p, AmfModel::kFactorRowAlignment);
+}
+
+// --- FactorArena itself ------------------------------------------------------
+
+TEST(FactorArenaTest, StrideIsCacheLineMultipleOfRank) {
+  for (std::size_t rank : {1u, 7u, 8u, 10u, 9u, 16u, 17u, 32u, 100u}) {
+    FactorArena arena(rank);
+    EXPECT_GE(arena.stride(), rank);
+    EXPECT_EQ(arena.stride() * sizeof(double) % common::kCacheLineBytes, 0u)
+        << "rank " << rank;
+  }
+}
+
+TEST(FactorArenaTest, EveryRowAlignedAcrossGrowth) {
+  FactorArena arena(10);
+  std::size_t total = 0;
+  // Repeated growth forces several geometric reallocations; alignment
+  // must hold for every row after every one of them.
+  for (std::size_t target : {1u, 3u, 17u, 64u, 65u, 500u}) {
+    arena.Grow(target, 1.0);
+    total = target;
+    for (std::size_t i = 0; i < total; ++i) {
+      ASSERT_TRUE(RowAligned(arena.row(i))) << "row " << i << " at size "
+                                            << total;
+      ASSERT_TRUE(common::IsAligned(&arena.version(i),
+                                    common::kCacheLineBytes))
+          << "meta line " << i;
+    }
+  }
+}
+
+TEST(FactorArenaTest, GrowZeroFillsNewRowsAndSetsInitialError) {
+  FactorArena arena(5);
+  arena.Grow(4, 0.75);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(arena.error(i), 0.75);
+    EXPECT_EQ(arena.version(i), 0u);
+    for (double v : arena.row_span(i)) EXPECT_EQ(v, 0.0);
+    // Pad lanes beyond rank must also be zero (the strided GEMV loads
+    // only [0, rank), but the invariant keeps the block dumpable).
+    for (std::size_t k = arena.rank(); k < arena.stride(); ++k) {
+      EXPECT_EQ(arena.row(i)[k], 0.0);
+    }
+  }
+}
+
+TEST(FactorArenaTest, GrowPreservesExistingRows) {
+  FactorArena arena(6);
+  arena.Grow(3, 1.0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    auto row = arena.row_span(i);
+    for (std::size_t k = 0; k < row.size(); ++k) {
+      row[k] = static_cast<double>(i * 100 + k);
+    }
+    arena.error(i) = static_cast<double>(i) + 0.5;
+  }
+  arena.Grow(200, 1.0);  // certainly reallocates
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t k = 0; k < arena.rank(); ++k) {
+      EXPECT_EQ(arena.row(i)[k], static_cast<double>(i * 100 + k));
+    }
+    EXPECT_DOUBLE_EQ(arena.error(i), static_cast<double>(i) + 0.5);
+  }
+}
+
+// --- AmfModel on the arena ---------------------------------------------------
+
+AmfModel SmallTrainedModel(std::size_t users, std::size_t services) {
+  AmfConfig cfg = MakeResponseTimeConfig(/*seed=*/23);
+  cfg.rank = 10;
+  AmfModel m(cfg);
+  m.EnsureUser(static_cast<data::UserId>(users - 1));
+  m.EnsureService(static_cast<data::ServiceId>(services - 1));
+  for (std::size_t i = 0; i < users * services; ++i) {
+    m.OnlineUpdate(static_cast<data::UserId>(i % users),
+                   static_cast<data::ServiceId>((i * 13) % services),
+                   0.3 + 0.001 * static_cast<double>(i % 89));
+  }
+  return m;
+}
+
+TEST(FactorArenaModelTest, AllFactorRowsAlignedAfterIncrementalGrowth) {
+  AmfModel m(MakeResponseTimeConfig(1));
+  // Grow one entity at a time — the worst case for any layout that packs
+  // rank-length rows back to back.
+  for (int i = 0; i < 150; ++i) {
+    m.EnsureUser(static_cast<data::UserId>(i));
+    m.EnsureService(static_cast<data::ServiceId>(i * 2 + 1));
+  }
+  for (data::UserId u = 0; u < m.num_users(); ++u) {
+    ASSERT_TRUE(RowAligned(m.UserFactors(u).data())) << "user " << u;
+  }
+  for (data::ServiceId s = 0; s < m.num_services(); ++s) {
+    ASSERT_TRUE(RowAligned(m.ServiceFactors(s).data())) << "service " << s;
+  }
+}
+
+TEST(FactorArenaModelTest, RowsStayAlignedAfterRetireReinit) {
+  AmfModel m = SmallTrainedModel(8, 16);
+  m.RetireUser(3);
+  m.RetireService(7);
+  EXPECT_TRUE(RowAligned(m.UserFactors(3).data()));
+  EXPECT_TRUE(RowAligned(m.ServiceFactors(7).data()));
+  // Retirement resets to the cold-start state without disturbing others.
+  EXPECT_DOUBLE_EQ(m.UserError(3), m.config().initial_error);
+  for (data::UserId u = 0; u < m.num_users(); ++u) {
+    for (data::ServiceId s = 0; s < m.num_services(); ++s) {
+      EXPECT_TRUE(std::isfinite(m.PredictRaw(u, s)));
+    }
+  }
+}
+
+TEST(FactorArenaModelTest, StrideConstantAndExposed) {
+  AmfConfig cfg = MakeResponseTimeConfig(2);
+  cfg.rank = 10;
+  AmfModel m(cfg);
+  const std::size_t stride = m.factor_row_stride();
+  EXPECT_GE(stride, cfg.rank);
+  EXPECT_EQ(stride * sizeof(double) % AmfModel::kFactorRowAlignment, 0u);
+  m.EnsureUser(999);
+  m.EnsureService(999);
+  EXPECT_EQ(m.factor_row_stride(), stride);  // growth never changes it
+  // Consecutive rows are exactly one stride apart (blocked layout).
+  EXPECT_EQ(m.UserFactors(1).data() - m.UserFactors(0).data(),
+            static_cast<std::ptrdiff_t>(stride));
+}
+
+TEST(FactorArenaModelTest, SharedReadoutsBitIdenticalWhenQuiescent) {
+  AmfModel m = SmallTrainedModel(12, 64);
+  std::vector<data::ServiceId> ids;
+  for (data::ServiceId s = 0; s < m.num_services(); ++s) ids.push_back(s);
+  std::vector<double> plain(ids.size());
+  std::vector<double> shared(ids.size());
+  for (data::UserId u = 0; u < m.num_users(); ++u) {
+    // Gather path vs PredictManyRaw.
+    m.PredictManyRaw(u, ids, plain);
+    m.PredictManyRawShared(u, ids, shared);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      EXPECT_EQ(plain[i], shared[i]) << "gather u=" << u << " i=" << i;
+    }
+    // Row path vs PredictRowRaw (both GEMV-shaped).
+    m.PredictRowRaw(u, plain);
+    m.PredictRowRawShared(u, shared);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      EXPECT_EQ(plain[i], shared[i]) << "row u=" << u << " i=" << i;
+    }
+    // Scalar shared entry vs scalar plain entry: the scalar shared dot has
+    // always used a single-accumulator reduction (vs linalg::Dot's
+    // 4-accumulator shape), so these two agree only up to summation order
+    // — the arena must not have widened that gap.
+    for (data::ServiceId s = 0; s < m.num_services(); ++s) {
+      const double plain_v = m.PredictRaw(u, s);
+      EXPECT_NEAR(m.PredictRawShared(u, s), plain_v,
+                  1e-12 * (1.0 + std::abs(plain_v)));
+    }
+  }
+}
+
+TEST(FactorArenaModelTest, CheckpointRoundTripBitIdenticalPredictions) {
+  AmfModel m = SmallTrainedModel(10, 40);
+  SampleStore store;
+  store.Upsert({0, 1, 2, 0.8, 5.0});
+  std::stringstream ss;
+  WriteCheckpoint(ss, m, store, 100.0, 0.25);
+  CheckpointData restored = ReadCheckpoint(ss);
+  ASSERT_EQ(restored.model.num_users(), m.num_users());
+  ASSERT_EQ(restored.model.num_services(), m.num_services());
+  for (data::UserId u = 0; u < m.num_users(); ++u) {
+    EXPECT_EQ(m.UserError(u), restored.model.UserError(u));
+    for (data::ServiceId s = 0; s < m.num_services(); ++s) {
+      // Bit-identical, not approximately equal: the arena layout must not
+      // perturb serialization or readout numerics in any way.
+      EXPECT_EQ(m.PredictRaw(u, s), restored.model.PredictRaw(u, s))
+          << "u=" << u << " s=" << s;
+    }
+  }
+  // The restored arena satisfies the same alignment contract.
+  for (data::UserId u = 0; u < restored.model.num_users(); ++u) {
+    ASSERT_TRUE(RowAligned(restored.model.UserFactors(u).data()));
+  }
+}
+
+// --- Strided GEMV kernel -----------------------------------------------------
+
+TEST(StridedGemvTest, MatchesPackedGemvBitForBit) {
+  for (std::size_t rank : {1u, 3u, 8u, 10u, 13u, 32u}) {
+    const std::size_t stride =
+        common::RoundUp(rank, common::kCacheLineBytes / sizeof(double));
+    const std::size_t rows = 157;
+    std::vector<double, common::AlignedAllocator<double>> strided(
+        rows * stride, 0.0);
+    std::vector<double> packed(rows * rank);
+    common::Rng rng(rank);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t k = 0; k < rank; ++k) {
+        const double v = rng.Uniform() - 0.5;
+        strided[r * stride + k] = v;
+        packed[r * rank + k] = v;
+      }
+    }
+    std::vector<double> x(rank);
+    for (double& v : x) v = rng.Uniform();
+    std::vector<double> out_packed(rows);
+    std::vector<double> out_strided(rows);
+    linalg::GemvRowMajor(x, packed, out_packed);
+    linalg::GemvRowMajorStrided(x, strided.data(), stride, out_strided);
+    for (std::size_t r = 0; r < rows; ++r) {
+      EXPECT_EQ(out_packed[r], out_strided[r])
+          << "rank " << rank << " row " << r;
+    }
+  }
+}
+
+TEST(StridedGemvTest, StrideEqualRankDegeneratesToPacked) {
+  // stride == rank is legal (rank already a line multiple) and must be
+  // exactly GemvRowMajor.
+  const std::size_t rank = 16;
+  const std::size_t rows = 40;
+  std::vector<double, common::AlignedAllocator<double>> block(rows * rank);
+  common::Rng rng(5);
+  for (double& v : block) v = rng.Uniform() - 0.5;
+  std::vector<double> x(rank);
+  for (double& v : x) v = rng.Uniform();
+  std::vector<double> a(rows);
+  std::vector<double> b(rows);
+  linalg::GemvRowMajor(x, {block.data(), block.size()}, a);
+  linalg::GemvRowMajorStrided(x, block.data(), rank, b);
+  for (std::size_t r = 0; r < rows; ++r) EXPECT_EQ(a[r], b[r]);
+}
+
+}  // namespace
+}  // namespace amf::core
