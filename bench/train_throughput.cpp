@@ -25,11 +25,13 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "adapt/prediction_service.h"
 #include "common/aligned.h"
 #include "common/mpsc_ring.h"
 #include "common/rng.h"
@@ -40,6 +42,7 @@
 #include "linalg/matrix.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "stream/wal.h"
 
 namespace {
 
@@ -221,6 +224,58 @@ bool FactorRowsAligned(const amf::core::AmfModel& model) {
   return true;
 }
 
+struct JournalIngestResult {
+  std::string mode;  // "off", "os", "interval", "always"
+  double obs_per_sec = 0.0;
+  double obs_per_sec_min = 0.0;
+  double obs_per_sec_max = 0.0;
+};
+
+/// Write-ahead-journal overhead on the serial ingest path: the same
+/// observation stream reported through QoSPredictionService with the
+/// journal off vs each fsync policy. Only the accept-and-buffer path is
+/// timed (no Tick inside the window), so the number isolates exactly the
+/// frame/CRC/write/fsync cost the WAL adds per accepted observation.
+JournalIngestResult MeasureJournalIngest(
+    const std::vector<amf::data::QoSSample>& samples, std::size_t users,
+    std::size_t services, const char* mode, int reps) {
+  namespace fs = std::filesystem;
+  const std::string dir = "amf_bench_wal";
+  const auto one_pass = [&]() {
+    amf::adapt::PredictionServiceConfig cfg{
+        amf::core::MakeResponseTimeConfig(7), amf::core::TrainerConfig{}, 0};
+    amf::adapt::QoSPredictionService svc(cfg);
+    svc.EnsureRegistered(static_cast<amf::data::UserId>(users - 1),
+                         static_cast<amf::data::ServiceId>(services - 1));
+    if (std::strcmp(mode, "off") != 0) {
+      fs::remove_all(dir);
+      amf::stream::JournalConfig wal;
+      wal.directory = dir;
+      wal.fsync_policy = *amf::stream::ParseFsyncPolicy(mode);
+      svc.EnableJournal(wal);
+    }
+    amf::common::Stopwatch watch;
+    for (const auto& s : samples) svc.ReportObservationTrusted(s);
+    return watch.ElapsedSeconds();
+  };
+
+  one_pass();  // warmup
+  std::vector<double> rates;
+  rates.reserve(static_cast<std::size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    const double s = one_pass();
+    rates.push_back(s > 0.0 ? static_cast<double>(samples.size()) / s : 0.0);
+  }
+  fs::remove_all(dir);
+  std::sort(rates.begin(), rates.end());
+  JournalIngestResult r;
+  r.mode = mode;
+  r.obs_per_sec = rates[rates.size() / 2];
+  r.obs_per_sec_min = rates.front();
+  r.obs_per_sec_max = rates.back();
+  return r;
+}
+
 double MeasureRingThroughput(std::size_t items) {
   amf::common::MpscRingBuffer<amf::data::QoSSample> ring(65536);
   const amf::data::QoSSample sample{0, 1, 2, 0.5, 0.0};
@@ -329,6 +384,24 @@ int main(int argc, char** argv) {
 
   const double ring_rate = MeasureRingThroughput(ring_items);
   std::fprintf(stderr, "mpsc ring: %.0f items/s\n", ring_rate);
+
+  // WAL overhead: ingest with the journal off vs each fsync policy.
+  const std::size_t wal_stream = quick ? 4000 : 20000;
+  std::vector<amf::data::QoSSample> wal_samples =
+      MakeStream(users, services, wal_stream, 43);
+  for (std::size_t i = 0; i < wal_samples.size(); ++i) {
+    wal_samples[i].timestamp = 0.001 * static_cast<double>(i);
+  }
+  std::vector<JournalIngestResult> wal_results;
+  for (const char* mode : {"off", "os", "interval", "always"}) {
+    wal_results.push_back(
+        MeasureJournalIngest(wal_samples, users, services, mode, reps));
+    const JournalIngestResult& r = wal_results.back();
+    std::fprintf(stderr,
+                 "journal ingest fsync=%s: %.0f obs/s (min %.0f, max %.0f)\n",
+                 r.mode.c_str(), r.obs_per_sec, r.obs_per_sec_min,
+                 r.obs_per_sec_max);
+  }
 
   // Alignment invariants the numbers above rely on.
   amf::core::AmfConfig probe_cfg = amf::core::MakeResponseTimeConfig(3);
@@ -448,6 +521,21 @@ int main(int argc, char** argv) {
   std::fprintf(out, "  },\n");
   std::fprintf(out, "  \"metrics\": %s,\n", results.back().metrics_json.c_str());
   std::fprintf(out, "  \"mpsc_ring_items_per_sec\": %.1f,\n", ring_rate);
+  std::fprintf(out, "  \"journal_ingest\": {\n");
+  std::fprintf(out, "    \"samples\": %zu,\n", wal_stream);
+  std::fprintf(out, "    \"reps\": %d,\n", reps);
+  std::fprintf(out, "    \"fsync_interval_ms\": 50,\n");
+  std::fprintf(out, "    \"modes\": [\n");
+  for (std::size_t i = 0; i < wal_results.size(); ++i) {
+    const JournalIngestResult& r = wal_results[i];
+    std::fprintf(out,
+                 "      {\"mode\": \"%s\", \"obs_per_sec\": %.1f, "
+                 "\"obs_per_sec_min\": %.1f, \"obs_per_sec_max\": %.1f}%s\n",
+                 r.mode.c_str(), r.obs_per_sec, r.obs_per_sec_min,
+                 r.obs_per_sec_max, i + 1 < wal_results.size() ? "," : "");
+  }
+  std::fprintf(out, "    ]\n");
+  std::fprintf(out, "  },\n");
   std::fprintf(out,
                "  \"note\": \"medians over reps after one warmup; "
                "speedup_vs_1_thread is null for thread counts wider than "

@@ -40,20 +40,44 @@
 //           --ticks K --tick-seconds DT --per-tick P
 //           --drop p --corrupt p --duplicate p --spike p --churn p
 //           --ckpt-dir DIR --ckpt-interval SEC --retention R
-//           --crash-tick K2 --truncate 0|1]
+//           --crash-tick K2 --truncate 0|1
+//           --wal-dir DIR --fsync os|interval|always
+//           --wal-torn 0|1 --wal-bitflip 0|1 --wal-drop-middle 0|1]
 //       End-to-end fault-tolerance drill: streams faulted observations
 //       (drops retried with backoff; corrupt/duplicate/spiked samples go
 //       through the ingestion guards) into a prediction service that
 //       checkpoints periodically, kills and restores the service mid-run
 //       (optionally hand-truncating the newest checkpoint to prove the
 //       fallback), and reports pipeline/fault/degradation counters plus
-//       the end-state MRE against ground truth.
+//       the end-state MRE against ground truth. With --wal-dir the
+//       service journals every accepted observation and the crash
+//       recovers through Recover() (checkpoint + journal replay); the
+//       --wal-* switches damage the journal at the crash point (torn
+//       tail from a mid-append kill, a flipped payload byte, a deleted
+//       middle segment) to prove recovery truncates / quarantines /
+//       skips instead of dying.
+//
+//   amf_cli wal --dir DIR [--after LSN] [--dump K]
+//       Inspects a journal directory without touching it: per-segment
+//       base/first/last LSN, record and byte counts, quarantined bytes,
+//       header validity; totals with the covered LSN range, CRC-verified
+//       record count, skip/gap/quarantine accounting; optionally dumps
+//       the last K records after --after.
+//
+//   amf_cli recover --ckpt-dir DIR --wal-dir DIR [--dry-run 1 --seed S]
+//       Point-in-time recovery. --dry-run 1 is read-only: reports which
+//       checkpoint would restore, its journal watermark (or the
+//       full-replay fallback), and how many journal records would
+//       replay. Without it the state is actually rebuilt (checkpoint +
+//       replay through the validation pipeline), collapsed into a fresh
+//       checkpoint, and fully-covered journal segments are removed.
 //
 // Exit code 0 on success, 1 on usage errors, 2 on runtime failure.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <deque>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -74,6 +98,7 @@
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "core/amf_predictor.h"
+#include "core/checkpoint.h"
 #include "core/model_io.h"
 #include "data/csv_io.h"
 #include "data/masking.h"
@@ -83,6 +108,7 @@
 #include "eval/ranking.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
+#include "stream/wal.h"
 
 namespace {
 
@@ -387,20 +413,33 @@ int CmdChaos(const Args& args) {
   ckpt.interval_seconds = args.GetDouble("ckpt-interval", 120.0);
   ckpt.retention = static_cast<std::size_t>(args.GetInt("retention", 4));
 
+  stream::JournalConfig wal;
+  wal.directory = args.Get("wal-dir", "");
+  const bool journaled = !wal.directory.empty();
+  if (journaled) {
+    const auto policy = stream::ParseFsyncPolicy(args.Get("fsync", "interval"));
+    AMF_CHECK_MSG(policy, "--fsync must be os, interval, or always");
+    wal.fsync_policy = *policy;
+  }
+
   adapt::PredictionServiceConfig service_cfg;
   service_cfg.model = core::MakeResponseTimeConfig(synth.seed);
-  const auto make_service = [&]() {
+  const auto make_service = [&](bool register_names) {
     auto svc = std::make_unique<adapt::QoSPredictionService>(service_cfg);
     svc->EnableCheckpoints(ckpt);
-    for (std::size_t u = 0; u < synth.users; ++u) {
-      svc->RegisterUser("u" + std::to_string(u));
-    }
-    for (std::size_t s = 0; s < synth.services; ++s) {
-      svc->RegisterService("s" + std::to_string(s));
+    if (journaled) svc->EnableJournal(wal);
+    if (register_names) {
+      for (std::size_t u = 0; u < synth.users; ++u) {
+        svc->RegisterUser("u" + std::to_string(u));
+      }
+      for (std::size_t s = 0; s < synth.services; ++s) {
+        svc->RegisterService("s" + std::to_string(s));
+      }
     }
     return svc;
   };
-  std::unique_ptr<adapt::QoSPredictionService> service = make_service();
+  std::unique_ptr<adapt::QoSPredictionService> service =
+      make_service(/*register_names=*/true);
 
   // --- Faulted streaming loop --------------------------------------------
   const auto ticks = static_cast<std::size_t>(args.GetInt("ticks", 40));
@@ -444,10 +483,15 @@ int CmdChaos(const Args& args) {
 
     if (tick + 1 == crash_tick) {
       // Simulated process death: the service (model, trainer, stats) is
-      // destroyed; only the checkpoint directory survives.
-      service->checkpoints()->Save(service->model(),
-                                   service->trainer().store(), now,
-                                   service->trainer().last_epoch_error());
+      // destroyed; only the checkpoint + journal directories survive.
+      // Without a journal, take a parting checkpoint (the old drill);
+      // with one, everything since the last interval checkpoint must
+      // come back through journal replay — that is the point.
+      if (!journaled) {
+        service->checkpoints()->Save(service->model(),
+                                     service->trainer().store(), now,
+                                     service->trainer().last_epoch_error());
+      }
       service.reset();
       if (truncate_newest) {
         // Hand-truncate the newest checkpoint: recovery must detect it and
@@ -464,12 +508,67 @@ int CmdChaos(const Args& args) {
       } else {
         std::cout << "[chaos] tick " << tick + 1 << ": crashed\n";
       }
-      service = make_service();
-      const bool restored = service->RestoreFromLatestCheckpoint();
-      std::cout << "[chaos] restore "
-                << (restored ? "succeeded" : "FAILED (cold start)")
-                << ", corrupt checkpoints skipped: "
-                << service->checkpoints()->corrupt_skipped() << "\n";
+      if (journaled) {
+        // Journal damage drills: a mid-append kill (torn tail), silent
+        // media corruption (flipped payload byte), and a lost segment.
+        namespace fs = std::filesystem;
+        std::vector<std::string> segments;
+        for (const auto& entry : fs::directory_iterator(wal.directory)) {
+          if (entry.path().extension() == ".amfwal") {
+            segments.push_back(entry.path().string());
+          }
+        }
+        std::sort(segments.begin(), segments.end());
+        if (args.GetInt("wal-torn", 0) != 0 && !segments.empty()) {
+          const std::string& victim = segments.back();
+          const auto size = fs::file_size(victim);
+          if (size > 3) {
+            fs::resize_file(victim, size - 3);
+            std::cout << "[chaos] tore journal tail: " << victim << "\n";
+          }
+        }
+        if (args.GetInt("wal-bitflip", 0) != 0 && !segments.empty()) {
+          const std::string& victim = segments.front();
+          if (fs::file_size(victim) > 40) {
+            std::fstream f(victim, std::ios::in | std::ios::out |
+                                       std::ios::binary);
+            f.seekg(36);  // inside the first record's payload
+            char byte = 0;
+            f.read(&byte, 1);
+            byte = static_cast<char>(byte ^ 0x40);
+            f.seekp(36);
+            f.write(&byte, 1);
+            std::cout << "[chaos] flipped a payload byte in " << victim
+                      << "\n";
+          }
+        }
+        if (args.GetInt("wal-drop-middle", 0) != 0 && segments.size() >= 3) {
+          const std::string& victim = segments[segments.size() / 2];
+          fs::remove(victim);
+          std::cout << "[chaos] removed middle segment " << victim << "\n";
+        }
+      }
+      service = make_service(/*register_names=*/true);
+      if (journaled) {
+        const adapt::QoSPredictionService::RecoveryReport rec =
+            service->Recover();
+        std::cout << "[chaos] recover: checkpoint="
+                  << (rec.checkpoint_restored ? "restored" : "none")
+                  << " watermark=" << rec.watermark
+                  << " scanned=" << rec.scanned
+                  << " replayed=" << rec.replayed
+                  << " rejected{generation=" << rec.rejected_generation
+                  << " retired=" << rec.rejected_retired
+                  << "} quarantined_segments=" << rec.quarantined_segments
+                  << ", corrupt checkpoints skipped: "
+                  << service->checkpoints()->corrupt_skipped() << "\n";
+      } else {
+        const bool restored = service->RestoreFromLatestCheckpoint();
+        std::cout << "[chaos] restore "
+                  << (restored ? "succeeded" : "FAILED (cold start)")
+                  << ", corrupt checkpoints skipped: "
+                  << service->checkpoints()->corrupt_skipped() << "\n";
+      }
     }
   }
 
@@ -510,16 +609,157 @@ int CmdChaos(const Args& args) {
             << " predictions served off-ladder)\n";
   std::cout << "checkpoints: written=" << service->checkpoints()->written()
             << " on disk=" << service->checkpoints()->List().size() << "\n";
+  if (journaled) {
+    const stream::ObservationJournal& j = *service->journal();
+    std::cout << "journal: fsync=" << stream::FsyncPolicyName(wal.fsync_policy)
+              << " appends=" << j.appends() << " failures="
+              << j.append_failures() << " bytes=" << j.bytes_appended()
+              << " syncs=" << j.syncs() << " rotations=" << j.rotations()
+              << " torn_tails_truncated=" << j.torn_tail_truncations()
+              << " segments_gc=" << j.segments_removed()
+              << " last_lsn=" << j.last_lsn() << "\n";
+  }
   std::cout << "end-state: entries=" << m.count
             << " MRE=" << common::FormatFixed(m.mre, 4)
             << " MAE=" << common::FormatFixed(m.mae, 4) << "\n";
   return 0;
 }
 
+int CmdWal(const Args& args) {
+  const std::string dir = args.Require("dir");
+  const auto after = static_cast<std::uint64_t>(args.GetInt("after", 0));
+  const auto dump = static_cast<std::size_t>(args.GetInt("dump", 0));
+
+  std::deque<stream::JournalRecord> tail;
+  const stream::JournalScanResult scan = stream::ScanJournal(
+      dir, after, [&](const stream::JournalRecord& r) {
+        if (dump == 0) return;
+        tail.push_back(r);
+        if (tail.size() > dump) tail.pop_front();
+      });
+
+  for (const stream::JournalSegmentInfo& seg : scan.segments) {
+    std::cout << std::filesystem::path(seg.path).filename().string()
+              << " base=" << seg.base_lsn;
+    if (seg.records > 0) {
+      std::cout << " lsn=[" << seg.first_lsn << ".." << seg.last_lsn << "]";
+    } else {
+      std::cout << " lsn=[]";
+    }
+    std::cout << " records=" << seg.records << " bytes=" << seg.bytes;
+    if (!seg.header_ok) std::cout << " BAD-HEADER";
+    if (seg.quarantined_bytes > 0) {
+      std::cout << " quarantined_bytes=" << seg.quarantined_bytes;
+    }
+    std::cout << "\n";
+  }
+  std::cout << "total: segments=" << scan.segments.size()
+            << " records=" << scan.records_scanned;
+  if (scan.records_scanned > 0) {
+    std::cout << " lsn=[" << scan.min_lsn << ".." << scan.max_lsn << "]";
+  }
+  if (after > 0) std::cout << " (after lsn " << after << ")";
+  std::cout << " skipped=" << scan.records_skipped
+            << " gaps=" << scan.lsn_gaps
+            << " quarantined{segments=" << scan.quarantined_segments
+            << " bytes=" << scan.quarantined_bytes << "}\n";
+  std::cout << "crc: " << (scan.quarantined_segments == 0 ? "OK" : "FAILED")
+            << " (every surviving record above is CRC-verified)\n";
+  for (const stream::JournalRecord& r : tail) {
+    std::cout << "  lsn=" << r.lsn << " user=" << r.sample.user
+              << " service=" << r.sample.service
+              << " slice=" << r.sample.slice << " value="
+              << common::FormatFixed(r.sample.value, 6) << " timestamp="
+              << common::FormatFixed(r.sample.timestamp, 3)
+              << " gen{user=" << r.user_generation
+              << " service=" << r.service_generation << "}\n";
+  }
+  return scan.quarantined_segments == 0 ? 0 : 2;
+}
+
+int CmdRecover(const Args& args) {
+  core::CheckpointManagerConfig ckpt;
+  ckpt.directory = args.Require("ckpt-dir");
+  stream::JournalConfig wal;
+  wal.directory = args.Require("wal-dir");
+
+  if (args.GetInt("dry-run", 0) != 0) {
+    // Read-only preview: probe checkpoints newest-first for the first
+    // loadable one, then count what its watermark would leave to replay.
+    core::CheckpointManager probe(ckpt);
+    const std::vector<std::string> files = probe.List();
+    std::optional<std::uint64_t> watermark;
+    std::string used;
+    for (auto it = files.rbegin(); it != files.rend(); ++it) {
+      try {
+        const core::CheckpointData data = core::ReadCheckpointFile(*it);
+        watermark = data.wal_watermark;
+        used = *it;
+        break;
+      } catch (const std::exception&) {
+        continue;  // corrupt / torn: real recovery skips it too
+      }
+    }
+    if (used.empty()) {
+      std::cout << "checkpoint: none loadable (cold start)\n";
+    } else {
+      std::cout << "checkpoint: " << used << "\n";
+    }
+    if (watermark) {
+      std::cout << "watermark: " << *watermark << "\n";
+    } else {
+      std::cout << "watermark: none (pre-v3 checkpoint or cold start): "
+                   "the FULL journal would replay\n";
+    }
+    std::uint64_t would_replay = 0;
+    const stream::JournalScanResult scan = stream::ScanJournal(
+        wal.directory, watermark.value_or(0),
+        [&](const stream::JournalRecord&) { ++would_replay; });
+    std::cout << "journal: segments=" << scan.segments.size()
+              << " would_replay=" << would_replay;
+    if (would_replay > 0) {
+      std::cout << " lsn=[" << scan.min_lsn << ".." << scan.max_lsn << "]";
+    }
+    std::cout << " quarantined_segments=" << scan.quarantined_segments
+              << " gaps=" << scan.lsn_gaps << "\n";
+    return 0;
+  }
+
+  adapt::PredictionServiceConfig cfg;
+  cfg.model = core::MakeResponseTimeConfig(
+      static_cast<std::uint64_t>(args.GetInt("seed", 2014)));
+  adapt::QoSPredictionService service(cfg);
+  service.EnableCheckpoints(ckpt);
+  service.EnableJournal(wal);
+  const adapt::QoSPredictionService::RecoveryReport rec = service.Recover();
+  std::cout << "checkpoint=" << (rec.checkpoint_restored ? "restored" : "none")
+            << " watermark=" << rec.watermark << " scanned=" << rec.scanned
+            << " replayed=" << rec.replayed
+            << " rejected{generation=" << rec.rejected_generation
+            << " retired=" << rec.rejected_retired
+            << "} quarantined_segments=" << rec.quarantined_segments << "\n";
+
+  // Collapse the recovered state into a fresh checkpoint so the replay
+  // work is not repeated on the next start, then drop covered segments.
+  service.journal()->SyncNow();
+  const std::uint64_t new_watermark = service.journal()->last_lsn();
+  const core::CheckpointRegistries regs{service.users().ToImage(),
+                                        service.services().ToImage()};
+  const std::string path = service.checkpoints()->Save(
+      service.model(), service.trainer().store(), service.trainer().now(),
+      service.trainer().last_epoch_error(), &regs, &new_watermark);
+  const std::uint64_t removed =
+      service.journal()->RemoveSegmentsCoveredBy(new_watermark);
+  std::cout << "checkpointed recovered state to " << path << " (watermark "
+            << new_watermark << "), removed " << removed
+            << " covered journal segments\n";
+  return 0;
+}
+
 int Usage() {
   std::cerr << "usage: amf_cli "
                "<generate|train|predict|evaluate|summarize|recommend|"
-               "metrics|chaos> "
+               "metrics|chaos|wal|recover> "
                "[--flag value ...]\n(see the header of amf_cli.cpp)\n";
   return 1;
 }
@@ -539,6 +779,8 @@ int main(int argc, char** argv) {
     if (cmd == "recommend") return CmdRecommend(args);
     if (cmd == "metrics") return CmdMetrics(args);
     if (cmd == "chaos") return CmdChaos(args);
+    if (cmd == "wal") return CmdWal(args);
+    if (cmd == "recover") return CmdRecover(args);
     return Usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

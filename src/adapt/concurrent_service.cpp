@@ -168,9 +168,9 @@ void ConcurrentPredictionService::Tick(double now_seconds) {
   DrainRing();
   ApplyPendingRetirements();
   std::shared_lock lock(mu_);
-  for (const data::QoSSample& s : staged_) {
-    service_.ReportObservationTrusted(s);
-  }
+  // Group commit: the whole drained batch is journaled with one append
+  // (and at most one fsync) before any of it reaches the collector.
+  service_.ReportObservationsTrusted(staged_);
   staged_.clear();
   service_.Tick(now_seconds);
 }
@@ -180,9 +180,7 @@ void ConcurrentPredictionService::TrainToConvergence(double now_seconds) {
   DrainRing();
   ApplyPendingRetirements();
   std::shared_lock lock(mu_);
-  for (const data::QoSSample& s : staged_) {
-    service_.ReportObservationTrusted(s);
-  }
+  service_.ReportObservationsTrusted(staged_);
   staged_.clear();
   service_.TrainToConvergence(now_seconds);
 }
@@ -256,6 +254,22 @@ bool ConcurrentPredictionService::RestoreFromLatestCheckpoint() {
   std::lock_guard train(train_mu_);
   std::unique_lock lock(mu_);
   return service_.RestoreFromLatestCheckpoint();
+}
+
+void ConcurrentPredictionService::EnableJournal(
+    const stream::JournalConfig& config) {
+  std::lock_guard train(train_mu_);
+  std::unique_lock lock(mu_);
+  service_.EnableJournal(config);
+}
+
+QoSPredictionService::RecoveryReport ConcurrentPredictionService::Recover() {
+  // Exclusive on both locks: recovery rebuilds the model and registries
+  // (like a checkpoint restore) and then trains through the normal
+  // pipeline (like a Tick).
+  std::lock_guard train(train_mu_);
+  std::unique_lock lock(mu_);
+  return service_.Recover();
 }
 
 core::PipelineStats ConcurrentPredictionService::pipeline_stats() const {

@@ -126,6 +126,21 @@ class ConcurrentPredictionService {
   void EnableCheckpoints(const core::CheckpointManagerConfig& config);
   bool RestoreFromLatestCheckpoint();
 
+  // --- Durable observation journal (exclusive lock; rare) ------------------
+  /// Arms the write-ahead observation journal. The hot ReportObservation
+  /// path is untouched (still a wait-free ring push); journaling happens
+  /// at the Tick/TrainToConvergence drain as ONE group-commit batch append
+  /// per drain, so even fsync=always costs one fsync per drain, not per
+  /// observation. Note the durability point under this facade is the
+  /// *drain*, not the ring push: an observation is durable once the Tick
+  /// that drained it returns (the serial QoSPredictionService journals
+  /// synchronously in ReportObservation instead).
+  void EnableJournal(const stream::JournalConfig& config);
+
+  /// Point-in-time recovery: newest valid checkpoint + replay of journal
+  /// records past its watermark (see QoSPredictionService::Recover).
+  QoSPredictionService::RecoveryReport Recover();
+
   // --- Monitoring ----------------------------------------------------------
   /// Observations accepted into the ring so far.
   std::size_t observations() const {

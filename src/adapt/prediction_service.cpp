@@ -96,6 +96,17 @@ void QoSPredictionService::ReportObservation(const data::QoSSample& sample) {
     rejected_unregistered_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+  // WAL discipline: the record is framed + (policy-dependent) fsynced
+  // before anything downstream sees it. A failed append means the
+  // observation cannot be made durable, so it is shed — acknowledged
+  // observations are exactly the journaled ones.
+  if (journal_ != nullptr) {
+    const auto gens = JournalGenerations(sample);
+    if (!journal_->Append(sample, gens.first, gens.second)) {
+      journal_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
   CollectObservation(sample);
 }
 
@@ -109,7 +120,56 @@ void QoSPredictionService::ReportObservationTrusted(
     rejected_unregistered_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+  if (journal_ != nullptr) {
+    const auto gens = JournalGenerations(sample);
+    if (!journal_->Append(sample, gens.first, gens.second)) {
+      journal_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
   CollectObservation(sample);
+}
+
+void QoSPredictionService::ReportObservationsTrusted(
+    const std::vector<data::QoSSample>& samples) {
+  if (journal_ == nullptr) {
+    for (const data::QoSSample& s : samples) ReportObservationTrusted(s);
+    return;
+  }
+  // Group commit: gate the whole drain, journal the survivors with one
+  // write + at most one fsync, then collect exactly the appended prefix.
+  journal_batch_.clear();
+  for (const data::QoSSample& s : samples) {
+    if (users_.IsFree(s.user) || services_.IsFree(s.service)) {
+      rejected_unregistered_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    journal_batch_.push_back(s);
+  }
+  if (journal_batch_.empty()) return;
+  const std::size_t appended = journal_->AppendBatch(
+      journal_batch_,
+      [this](const data::QoSSample& s) { return JournalGenerations(s); });
+  if (appended < journal_batch_.size()) {
+    journal_dropped_.fetch_add(journal_batch_.size() - appended,
+                               std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < appended; ++i) {
+    CollectObservation(journal_batch_[i]);
+  }
+}
+
+std::pair<std::uint32_t, std::uint32_t>
+QoSPredictionService::JournalGenerations(const data::QoSSample& sample) const {
+  // +1-encoded: 0 marks an id the registries never issued (raw-id ingest
+  // through the concurrent facade), which replays unconditionally.
+  const std::uint32_t ugen =
+      sample.user < users_.size() ? users_.GenerationOf(sample.user) + 1 : 0;
+  const std::uint32_t sgen =
+      sample.service < services_.size()
+          ? services_.GenerationOf(sample.service) + 1
+          : 0;
+  return {ugen, sgen};
 }
 
 void QoSPredictionService::CollectObservation(const data::QoSSample& sample) {
@@ -134,8 +194,26 @@ void QoSPredictionService::Tick(double now_seconds) {
     // the images copy every name.
     const core::CheckpointRegistries registries{users_.ToImage(),
                                                 services_.ToImage()};
-    checkpoints_->MaybeSave(model_, trainer_.store(), trainer_.now(),
-                            trainer_.last_epoch_error(), &registries);
+    // Watermark invariant: Flush + ProcessIncoming above applied every
+    // record the journal holds, so the checkpoint covers exactly LSNs
+    // <= last_lsn(). SyncNow makes those LSNs durable before a watermark
+    // claiming them can hit disk (otherwise a crash could GC segments the
+    // checkpoint supposedly covers while their tail was still in cache).
+    std::uint64_t watermark = 0;
+    const std::uint64_t* watermark_ptr = nullptr;
+    if (journal_ != nullptr) {
+      journal_->SyncNow();
+      watermark = journal_->last_lsn();
+      watermark_ptr = &watermark;
+    }
+    if (checkpoints_->MaybeSave(model_, trainer_.store(), trainer_.now(),
+                                trainer_.last_epoch_error(), &registries,
+                                watermark_ptr) &&
+        journal_ != nullptr) {
+      // The watermark is durable in the just-written checkpoint: segments
+      // entirely at or below it can never be needed again.
+      journal_->RemoveSegmentsCoveredBy(watermark);
+    }
   }
 }
 
@@ -259,6 +337,7 @@ bool QoSPredictionService::RestoreFromLatestCheckpoint() {
   if (checkpoints_ == nullptr) return false;
   std::optional<core::CheckpointData> data = checkpoints_->LoadLatestValid();
   if (!data) return false;
+  restored_watermark_ = data->wal_watermark;
   model_ = std::move(data->model);
   core::SampleStore& store = trainer_.mutable_store();
   store.Clear();
@@ -280,6 +359,98 @@ bool QoSPredictionService::RestoreFromLatestCheckpoint() {
   return true;
 }
 
+void QoSPredictionService::EnableJournal(const stream::JournalConfig& config) {
+  journal_ = std::make_unique<stream::ObservationJournal>(config);
+  obs::MetricsRegistry* metrics =
+      config_.metrics != nullptr ? config_.metrics : trainer_.config().metrics;
+  journal_->AttachMetrics(metrics);
+}
+
+QoSPredictionService::RecoveryReport QoSPredictionService::Recover() {
+  RecoveryReport report;
+  report.checkpoint_restored = RestoreFromLatestCheckpoint();
+  if (report.checkpoint_restored) {
+    // The validator's duplicate map is in-memory state the checkpoint
+    // does not carry. Rebuild it from the restored store so a replayed
+    // record whose effect the checkpoint already contains is rejected as
+    // a re-delivery instead of double-applied — this is what makes the
+    // full-journal fallback below idempotent.
+    trainer_.SeedValidatorFromStore();
+  }
+  if (report.checkpoint_restored && restored_watermark_) {
+    report.watermark = *restored_watermark_;
+  } else if (report.checkpoint_restored && journal_ != nullptr) {
+    AMF_LOG(Warning)
+        << "recover: checkpoint carries no journal watermark (pre-v3 "
+           "format): replaying the FULL journal; duplicate rejection "
+           "against the restored store makes this safe but slow";
+  }
+  if (journal_ == nullptr) return report;
+  std::uint64_t max_id_user = 0;
+  std::uint64_t max_id_service = 0;
+  std::vector<stream::JournalRecord> survivors;
+  const stream::JournalScanResult scan = stream::ScanJournal(
+      journal_->config().directory, report.watermark,
+      [&](const stream::JournalRecord& record) {
+        ++report.scanned;
+        // Generation gate: a non-zero recorded generation must still
+        // match the restored registry (+1 encoding, JournalGenerations).
+        // A mismatch means the id was retired — and possibly recycled to
+        // a new tenant — after this record was appended; applying it
+        // would train the wrong tenant's factors.
+        const data::UserId u = record.sample.user;
+        const data::ServiceId s = record.sample.service;
+        if ((record.user_generation != 0 &&
+             (u >= users_.size() ||
+              users_.GenerationOf(u) + 1 != record.user_generation)) ||
+            (record.service_generation != 0 &&
+             (s >= services_.size() ||
+              services_.GenerationOf(s) + 1 != record.service_generation))) {
+          ++report.rejected_generation;
+          return;
+        }
+        // Same gate as the trusted ingest path: a currently-free slot
+        // accepts nothing, even at matching generation.
+        if (users_.IsFree(u) || services_.IsFree(s)) {
+          ++report.rejected_retired;
+          return;
+        }
+        max_id_user = std::max<std::uint64_t>(max_id_user, u);
+        max_id_service = std::max<std::uint64_t>(max_id_service, s);
+        survivors.push_back(record);
+      });
+  report.quarantined_segments = scan.quarantined_segments;
+  if (!survivors.empty()) {
+    // Grow factor storage once, then run every survivor through the
+    // normal ingest pipeline (collector -> validator -> trainer queue).
+    // No replay epochs here: application is deterministic, so the result
+    // is bit-identical to feeding the same records into a fresh restore.
+    EnsureRegistered(static_cast<data::UserId>(max_id_user),
+                     static_cast<data::ServiceId>(max_id_service));
+    double latest = trainer_.now();
+    for (const stream::JournalRecord& record : survivors) {
+      CollectObservation(record.sample);
+      latest = std::max(latest, record.sample.timestamp);
+      ++report.replayed;
+    }
+    if (latest > trainer_.now()) trainer_.AdvanceTime(latest);
+    collector_.Flush();
+    trainer_.ProcessIncoming();
+  }
+  journal_replayed_.fetch_add(report.replayed, std::memory_order_relaxed);
+  journal_replay_rejected_.fetch_add(
+      report.rejected_generation + report.rejected_retired,
+      std::memory_order_relaxed);
+  AMF_LOG(Info) << "recover: checkpoint="
+                << (report.checkpoint_restored ? "restored" : "none")
+                << " watermark=" << report.watermark << " scanned="
+                << report.scanned << " replayed=" << report.replayed
+                << " rejected{generation=" << report.rejected_generation
+                << " retired=" << report.rejected_retired
+                << "} quarantined_segments=" << report.quarantined_segments;
+  return report;
+}
+
 core::PipelineStats QoSPredictionService::pipeline_stats() const {
   core::PipelineStats s = trainer_.Stats();
   if (checkpoints_ != nullptr) {
@@ -288,6 +459,11 @@ core::PipelineStats QoSPredictionService::pipeline_stats() const {
   }
   s.rejected_unregistered =
       rejected_unregistered_.load(std::memory_order_relaxed);
+  if (journal_ != nullptr) s.journal_appended = journal_->appends();
+  s.journal_dropped = journal_dropped_.load(std::memory_order_relaxed);
+  s.journal_replayed = journal_replayed_.load(std::memory_order_relaxed);
+  s.journal_replay_rejected =
+      journal_replay_rejected_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -14,12 +14,15 @@
 #include <span>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "adapt/registry.h"
 #include "common/statistics.h"
 #include "core/amf_predictor.h"
 #include "core/checkpoint.h"
 #include "stream/collector.h"
+#include "stream/wal.h"
 
 namespace amf::adapt {
 
@@ -99,6 +102,13 @@ class QoSPredictionService {
   /// refuses ids whose registry slot is explicitly retired (stale ring
   /// residue from before a retirement must not resurrect the tenant).
   void ReportObservationTrusted(const data::QoSSample& sample);
+
+  /// Batch form of ReportObservationTrusted with group-commit journaling:
+  /// the whole batch is gated, appended to the journal as ONE write and at
+  /// most one fsync, then collected. This is the concurrent facade's drain
+  /// path — the per-sample fsync cost of `always` amortizes over the drain
+  /// instead of taxing the wait-free producers.
+  void ReportObservationsTrusted(const std::vector<data::QoSSample>& samples);
 
   // --- Online updating -----------------------------------------------------
   /// Advances the service clock, drains buffered observations into the
@@ -185,6 +195,43 @@ class QoSPredictionService {
 
   core::CheckpointManager* checkpoints() { return checkpoints_.get(); }
 
+  // --- Durable observation journal (DESIGN.md §12) -------------------------
+  /// Arms the write-ahead observation journal: from now on every accepted
+  /// observation is framed + CRC'd into a rotating segment file *before*
+  /// it reaches the collector (an observation whose append fails is
+  /// dropped and counted in pipeline_stats().journal_dropped — never
+  /// acknowledged-but-undurable). Checkpoints taken afterwards carry the
+  /// journal watermark (format v3) and segments fully covered by a saved
+  /// watermark are garbage-collected. Call before Recover().
+  void EnableJournal(const stream::JournalConfig& config);
+
+  stream::ObservationJournal* journal() { return journal_.get(); }
+
+  /// What Recover() did (also returned by the dry-run CLI path).
+  struct RecoveryReport {
+    bool checkpoint_restored = false;
+    /// Watermark the restored checkpoint carried; 0 when the checkpoint
+    /// predates v3 (or none restored) — then the whole journal replays
+    /// and idempotence (duplicate rejection) does the filtering.
+    std::uint64_t watermark = 0;
+    std::uint64_t scanned = 0;   ///< journal records with LSN > watermark
+    std::uint64_t replayed = 0;  ///< handed to the validation pipeline
+    std::uint64_t rejected_generation = 0;  ///< retired-and-recycled ids
+    std::uint64_t rejected_retired = 0;     ///< retired, slot still free
+    std::uint64_t quarantined_segments = 0;
+  };
+
+  /// Point-in-time recovery: newest valid checkpoint (if enabled) +
+  /// replay of journal records with LSN > its watermark through the
+  /// normal validation/gating pipeline. Replayed records whose registry
+  /// generation no longer matches (the id was retired — and possibly
+  /// recycled to a new tenant — after the append) are rejected, not
+  /// misapplied. Application is ingest-only (collector -> validator ->
+  /// trainer queue -> ProcessIncoming): no replay epochs run, so the
+  /// post-recovery factors are bit-identical to feeding the same
+  /// surviving records into a fresh restore of the same checkpoint.
+  RecoveryReport Recover();
+
   const core::AmfModel& model() const { return model_; }
   core::OnlineTrainer& trainer() { return trainer_; }
   const core::OnlineTrainer& trainer() const { return trainer_; }
@@ -197,6 +244,11 @@ class QoSPredictionService {
   /// Shared body of the two ReportObservation entries (gate already
   /// passed).
   void CollectObservation(const data::QoSSample& sample);
+
+  /// Registry generations for a sample, +1-encoded for the journal
+  /// (0 = id not registry-tracked at append time; see stream/wal.h).
+  std::pair<std::uint32_t, std::uint32_t> JournalGenerations(
+      const data::QoSSample& sample) const;
 
   /// Mirrors registry lifecycle totals into the relaxed-atomic counters
   /// metric callbacks read (callbacks must not walk registry vectors that
@@ -214,6 +266,14 @@ class QoSPredictionService {
   ServiceRegistry services_;
   std::unordered_map<data::ServiceId, common::RunningStats> service_stats_;
   std::unique_ptr<core::CheckpointManager> checkpoints_;
+  std::unique_ptr<stream::ObservationJournal> journal_;
+  std::vector<data::QoSSample> journal_batch_;  // drain-path scratch
+  /// Watermark carried by the last restored checkpoint (nullopt: none, or
+  /// a pre-v3 file — Recover then falls back to full-journal replay).
+  std::optional<std::uint64_t> restored_watermark_;
+  std::atomic<std::uint64_t> journal_dropped_{0};
+  std::atomic<std::uint64_t> journal_replayed_{0};
+  std::atomic<std::uint64_t> journal_replay_rejected_{0};
   // PredictResilient is conceptually const; the ladder accounting is
   // observability-only state (single-writer, like the model's counters).
   mutable DegradationStats degradation_stats_;

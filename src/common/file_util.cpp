@@ -1,0 +1,150 @@
+#include "common/file_util.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+#include <vector>
+
+#include "common/check.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#define AMF_HAVE_POSIX_IO 1
+#endif
+
+namespace amf::common {
+
+namespace fs = std::filesystem;
+
+bool SyncFile(const std::string& path) {
+#if AMF_HAVE_POSIX_IO
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+#else
+  (void)path;
+  return false;
+#endif
+}
+
+bool SyncDirectory(const std::string& path) {
+#if AMF_HAVE_POSIX_IO
+  const int fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+#else
+  (void)path;
+  return false;
+#endif
+}
+
+void CreateDirectoriesDurable(const std::string& path) {
+  const fs::path target = fs::absolute(fs::path(path));
+  // Walk up to the deepest existing ancestor, remembering what we are
+  // about to create so each new entry's parent can be fsynced afterwards.
+  std::vector<fs::path> created;
+  fs::path probe = target;
+  while (!probe.empty() && !fs::exists(probe)) {
+    created.push_back(probe);
+    const fs::path parent = probe.parent_path();
+    if (parent == probe) break;
+    probe = parent;
+  }
+  std::error_code ec;
+  fs::create_directories(target, ec);
+  AMF_CHECK_MSG(!ec, "cannot create directory " << target.string() << " ("
+                                                << ec.message() << ")");
+  // Sync the parent of every directory just created (deepest last so the
+  // chain is durable bottom-up once this returns). Best-effort: a read-only
+  // or exotic filesystem downgrades durability, it does not break creation.
+  for (auto it = created.rbegin(); it != created.rend(); ++it) {
+    SyncDirectory(it->parent_path().string());
+  }
+}
+
+AppendFile::~AppendFile() { Close(); }
+
+bool AppendFile::Open(const std::string& path) {
+  Close();
+  path_ = path;
+  size_ = 0;
+#if AMF_HAVE_POSIX_IO
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd_ < 0) return false;
+  struct stat st {};
+  if (::fstat(fd_, &st) == 0) size_ = static_cast<std::uint64_t>(st.st_size);
+  return true;
+#else
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) return false;
+  file_ = f;
+  // "ab" only moves the position on the first write; seek explicitly so
+  // size() is right immediately after a reopen.
+  std::fseek(f, 0, SEEK_END);
+  const long pos = std::ftell(f);
+  size_ = pos > 0 ? static_cast<std::uint64_t>(pos) : 0;
+  return true;
+#endif
+}
+
+bool AppendFile::Append(const void* data, std::size_t size) {
+  if (size == 0) return is_open();
+#if AMF_HAVE_POSIX_IO
+  if (fd_ < 0) return false;
+  const char* p = static_cast<const char*>(data);
+  std::size_t remaining = size;
+  while (remaining > 0) {
+    const ::ssize_t n = ::write(fd_, p, remaining);
+    if (n <= 0) return false;
+    p += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  size_ += size;
+  return true;
+#else
+  if (file_ == nullptr) return false;
+  std::FILE* f = static_cast<std::FILE*>(file_);
+  if (std::fwrite(data, 1, size, f) != size) return false;
+  size_ += size;
+  return true;
+#endif
+}
+
+bool AppendFile::Flush() {
+#if AMF_HAVE_POSIX_IO
+  return fd_ >= 0;  // ::write is unbuffered; already at the OS
+#else
+  return file_ != nullptr &&
+         std::fflush(static_cast<std::FILE*>(file_)) == 0;
+#endif
+}
+
+bool AppendFile::Sync() {
+#if AMF_HAVE_POSIX_IO
+  return fd_ >= 0 && ::fsync(fd_) == 0;
+#else
+  return Flush();  // no durability claim off POSIX
+#endif
+}
+
+void AppendFile::Close() {
+#if AMF_HAVE_POSIX_IO
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+#else
+  if (file_ != nullptr) {
+    std::fclose(static_cast<std::FILE*>(file_));
+    file_ = nullptr;
+  }
+#endif
+}
+
+}  // namespace amf::common

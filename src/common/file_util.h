@@ -1,0 +1,82 @@
+// Durable file-system primitives shared by the checkpoint and journal
+// layers (DESIGN.md §7/§12).
+//
+// POSIX durability has two independent halves that are easy to get only
+// half right:
+//   1. file *contents* survive power loss only after fsync(fd) returns;
+//   2. the file's *name* survives only after the containing directory is
+//      itself fsynced — a rename or create whose directory was never
+//      synced can silently vanish, leaving a perfectly-synced orphan.
+// Every helper here is a best-effort no-op on platforms without the
+// POSIX calls (the library still works; durability claims do not hold
+// there and DESIGN.md says so).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace amf::common {
+
+/// fsyncs a file's contents by path (open + fsync + close). Returns false
+/// when the file cannot be opened or synced (and on non-POSIX builds).
+bool SyncFile(const std::string& path);
+
+/// fsyncs a directory entry table by path, making renames/creates/removes
+/// inside it durable. Returns false on failure / non-POSIX.
+bool SyncDirectory(const std::string& path);
+
+/// create_directories + directory fsync of every directory actually
+/// created *and* of the deepest pre-existing parent, so the new chain of
+/// names survives power loss (a freshly created checkpoint/journal
+/// directory is otherwise itself a rename-away-from-durable). Throws
+/// common::CheckError when creation fails.
+void CreateDirectoriesDurable(const std::string& path);
+
+/// Append-only file handle for write-ahead logging: buffered user-space
+/// writes, explicit Flush (to the OS) and Sync (to the platter). Wraps a
+/// raw POSIX fd when available so Sync is a real fsync on the same open
+/// descriptor; falls back to std::FILE-based appends (Flush works, Sync
+/// degrades to Flush) elsewhere.
+class AppendFile {
+ public:
+  AppendFile() = default;
+  ~AppendFile();
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+
+  /// Opens (creating if needed) `path` for appending. Returns false on
+  /// failure. Reopening an already-open handle closes the old file first.
+  bool Open(const std::string& path);
+
+  bool is_open() const { return fd_ >= 0 || file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  /// Appends `size` bytes at the end of the file. Returns false on a
+  /// short or failed write (caller treats the record as not durable).
+  bool Append(const void* data, std::size_t size);
+  bool Append(std::string_view bytes) {
+    return Append(bytes.data(), bytes.size());
+  }
+
+  /// Pushes buffered bytes to the OS (no durability claim).
+  bool Flush();
+
+  /// Durability point: everything appended so far has reached stable
+  /// storage when this returns true (fsync on POSIX; Flush elsewhere).
+  bool Sync();
+
+  /// Current file size in bytes (appended so far + pre-existing).
+  std::uint64_t size() const { return size_; }
+
+  void Close();
+
+ private:
+  int fd_ = -1;          // POSIX path
+  void* file_ = nullptr; // std::FILE* fallback
+  std::string path_;
+  std::uint64_t size_ = 0;
+};
+
+}  // namespace amf::common

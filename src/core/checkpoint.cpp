@@ -12,14 +12,10 @@
 
 #include "common/check.h"
 #include "common/crc32.h"
+#include "common/file_util.h"
 #include "core/model_io.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
-
-#if defined(__unix__) || defined(__APPLE__)
-#include <fcntl.h>
-#include <unistd.h>
-#endif
 
 namespace amf::core {
 
@@ -30,26 +26,13 @@ namespace fs = std::filesystem;
 constexpr const char* kMagic = "AMF_CKPT";
 // v1: model + samples + trainer clock. v2 appends an optional
 // AMF_REGISTRIES section (both entity registries) so a restore reproduces
-// the exact name->factor-row binding. Readers accept both.
-constexpr int kVersion = 2;
+// the exact name->factor-row binding. v3 appends an optional AMF_WAL
+// section carrying the observation-journal watermark LSN the checkpoint
+// covers (DESIGN.md §12). Readers accept all three.
+constexpr int kVersion = 3;
 constexpr int kMinVersion = 1;
 constexpr int kTrainerVersion = 1;
 constexpr const char* kExtension = ".amfck";
-
-/// fsync a path (file or directory); best-effort no-op off POSIX.
-void SyncPath(const std::string& path, bool directory) {
-#if defined(__unix__) || defined(__APPLE__)
-  const int flags = directory ? (O_RDONLY | O_DIRECTORY) : O_WRONLY;
-  const int fd = ::open(path.c_str(), flags);
-  if (fd >= 0) {
-    ::fsync(fd);
-    ::close(fd);
-  }
-#else
-  (void)path;
-  (void)directory;
-#endif
-}
 
 /// istream >> double does not portably accept "nan"; encode explicitly.
 void WriteMaybeNan(std::ostream& os, const char* label, double v) {
@@ -77,7 +60,8 @@ double ReadMaybeNan(std::istream& is, const std::string& label) {
 
 std::string BuildPayload(const AmfModel& model, const SampleStore& store,
                          double now, double last_epoch_error,
-                         const CheckpointRegistries* registries) {
+                         const CheckpointRegistries* registries,
+                         const std::uint64_t* wal_watermark) {
   std::ostringstream payload;
   payload << std::setprecision(17);
   SaveModel(payload, model);
@@ -90,6 +74,10 @@ std::string BuildPayload(const AmfModel& model, const SampleStore& store,
     SaveRegistryImage(payload, registries->users);
     SaveRegistryImage(payload, registries->services);
   }
+  if (wal_watermark != nullptr) {
+    payload << "AMF_WAL 1\n";
+    payload << "watermark " << *wal_watermark << "\n";
+  }
   return payload.str();
 }
 
@@ -98,9 +86,11 @@ std::string BuildPayload(const AmfModel& model, const SampleStore& store,
 void WriteCheckpoint(std::ostream& os, const AmfModel& model,
                      const SampleStore& store, double now,
                      double last_epoch_error,
-                     const CheckpointRegistries* registries) {
-  const std::string payload =
-      BuildPayload(model, store, now, last_epoch_error, registries);
+                     const CheckpointRegistries* registries,
+                     const std::uint64_t* wal_watermark) {
+  const std::string payload = BuildPayload(model, store, now,
+                                           last_epoch_error, registries,
+                                           wal_watermark);
   os << kMagic << " " << kVersion << "\n";
   os << "bytes " << payload.size() << " crc32 " << std::hex
      << common::Crc32Of(payload) << std::dec << "\n";
@@ -149,9 +139,10 @@ CheckpointData ReadCheckpoint(std::istream& is) {
   data.now = ReadMaybeNan(ps, "now");
   data.last_epoch_error = ReadMaybeNan(ps, "last_epoch_error");
   AMF_CHECK_MSG(std::isfinite(data.now), "checkpoint: corrupt clock");
-  // Optional v2 trailer. A v1 payload (or a v2 one written without
-  // registries) simply ends here; the CRC already vouched for the bytes,
-  // so a malformed section past a valid marker is corruption, not absence.
+  // Optional trailers, in fixed order: AMF_REGISTRIES (v2+), then AMF_WAL
+  // (v3+). A v1 payload (or one written without the section) simply ends
+  // early; the CRC already vouched for the bytes, so a malformed section
+  // past a valid marker is corruption, not absence.
   ps >> tok;
   if (!ps.fail() && tok == "AMF_REGISTRIES") {
     int rversion = 0;
@@ -162,33 +153,49 @@ CheckpointData ReadCheckpoint(std::istream& is) {
     regs.users = LoadRegistryImage(ps);
     regs.services = LoadRegistryImage(ps);
     data.registries = std::move(regs);
-  } else {
-    AMF_CHECK_MSG(ps.eof() || tok.empty(),
-                  "checkpoint: unexpected trailing section '" << tok << "'");
+    ps >> tok;
   }
+  if (!ps.fail() && tok == "AMF_WAL") {
+    int wversion = 0;
+    ps >> wversion;
+    AMF_CHECK_MSG(!ps.fail() && wversion == 1,
+                  "checkpoint: bad wal section version");
+    ps >> tok;
+    AMF_CHECK_MSG(!ps.fail() && tok == "watermark",
+                  "checkpoint: missing wal watermark");
+    std::uint64_t watermark = 0;
+    ps >> watermark;
+    AMF_CHECK_MSG(!ps.fail(), "checkpoint: bad wal watermark");
+    data.wal_watermark = watermark;
+    ps >> tok;
+  }
+  AMF_CHECK_MSG(ps.eof() || ps.fail() || tok.empty(),
+                "checkpoint: unexpected trailing section '" << tok << "'");
   return data;
 }
 
 void WriteCheckpointFile(const std::string& path, const AmfModel& model,
                          const SampleStore& store, double now,
                          double last_epoch_error,
-                         const CheckpointRegistries* registries) {
+                         const CheckpointRegistries* registries,
+                         const std::uint64_t* wal_watermark) {
   const fs::path target(path);
   const fs::path tmp = target.string() + ".tmp";
   {
     std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
     AMF_CHECK_MSG(os.good(), "cannot open for writing: " << tmp.string());
-    WriteCheckpoint(os, model, store, now, last_epoch_error, registries);
+    WriteCheckpoint(os, model, store, now, last_epoch_error, registries,
+                    wal_watermark);
     os.flush();
     AMF_CHECK_MSG(os.good(), "write failed: " << tmp.string());
   }
-  SyncPath(tmp.string(), /*directory=*/false);
+  common::SyncFile(tmp.string());
   std::error_code ec;
   fs::rename(tmp, target, ec);
   AMF_CHECK_MSG(!ec, "rename failed: " << tmp.string() << " -> " << path
                                        << " (" << ec.message() << ")");
   const fs::path dir = target.parent_path();
-  if (!dir.empty()) SyncPath(dir.string(), /*directory=*/true);
+  if (!dir.empty()) common::SyncDirectory(dir.string());
 }
 
 CheckpointData ReadCheckpointFile(const std::string& path) {
@@ -202,7 +209,9 @@ CheckpointManager::CheckpointManager(const CheckpointManagerConfig& config)
   AMF_CHECK_MSG(!config_.directory.empty(),
                 "checkpoint directory must be set");
   AMF_CHECK_MSG(config_.retention >= 1, "retention must be >= 1");
-  fs::create_directories(config_.directory);
+  // Durable creation: a checkpoint written into a directory whose own
+  // entry was never synced could vanish with the directory on power loss.
+  common::CreateDirectoriesDurable(config_.directory);
   // Continue sequence numbering after the newest existing checkpoint.
   for (const std::string& path : List()) {
     const std::string stem = fs::path(path).stem().string();
@@ -260,13 +269,14 @@ void CheckpointManager::AttachMetrics(obs::MetricsRegistry* registry) {
 std::string CheckpointManager::Save(const AmfModel& model,
                                     const SampleStore& store, double now,
                                     double last_epoch_error,
-                                    const CheckpointRegistries* registries) {
+                                    const CheckpointRegistries* registries,
+                                    const std::uint64_t* wal_watermark) {
   const std::string path = PathFor(next_seq_++);
   {
     obs::ScopedLatencyTimer timer(write_hist_);
     try {
       WriteCheckpointFile(path, model, store, now, last_epoch_error,
-                          registries);
+                          registries, wal_watermark);
     } catch (...) {
       write_failures_.fetch_add(1, std::memory_order_relaxed);
       throw;
@@ -281,22 +291,28 @@ std::string CheckpointManager::Save(const AmfModel& model,
   }
   last_save_time_ = now;
   saved_once_ = true;
-  // Retention: prune oldest beyond the limit.
+  // Retention: prune oldest beyond the limit. The removals are made
+  // durable with one directory fsync so a crash cannot resurrect a
+  // pruned checkpoint ahead of the one that displaced it.
   std::vector<std::string> all = List();
+  bool removed_any = false;
   while (all.size() > config_.retention) {
     std::error_code ec;
     fs::remove(all.front(), ec);
+    removed_any = removed_any || !ec;
     all.erase(all.begin());
   }
+  if (removed_any) common::SyncDirectory(config_.directory);
   return path;
 }
 
 bool CheckpointManager::MaybeSave(const AmfModel& model,
                                  const SampleStore& store, double now,
                                  double last_epoch_error,
-                                 const CheckpointRegistries* registries) {
+                                 const CheckpointRegistries* registries,
+                                 const std::uint64_t* wal_watermark) {
   if (!ShouldSave(now)) return false;
-  Save(model, store, now, last_epoch_error, registries);
+  Save(model, store, now, last_epoch_error, registries, wal_watermark);
   return true;
 }
 

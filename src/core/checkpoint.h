@@ -6,16 +6,21 @@
 // samples"), the trainer clock, and (format v2) both entity registries.
 // The on-disk format is
 //
-//   AMF_CKPT 2
+//   AMF_CKPT 3
 //   bytes <N> crc32 <hex>
 //   <N payload bytes: AMF_MODEL section, AMF_SAMPLES section,
-//    AMF_TRAINER section, optional AMF_REGISTRIES section>
+//    AMF_TRAINER section, optional AMF_REGISTRIES section,
+//    optional AMF_WAL section>
 //
-// The trailing AMF_REGISTRIES section (two RegistryImage blocks: users,
-// then services) binds names to factor rows across a restore; without it
-// (v1 files, or v2 writers passing no registries) the factors restore
+// The AMF_REGISTRIES section (two RegistryImage blocks: users, then
+// services) binds names to factor rows across a restore; without it
+// (v1 files, or writers passing no registries) the factors restore
 // anonymously and callers must re-register names in the original join
-// order. Readers accept v1 and v2.
+// order. The AMF_WAL section (format v3, DESIGN.md §12) records the
+// observation-journal watermark: the highest journal LSN whose effects
+// this checkpoint already contains, so recovery replays only records
+// past it and older segments can be garbage-collected. Readers accept
+// v1, v2, and v3.
 //
 // The header lets a reader detect truncation (fewer than N payload bytes) and
 // corruption (CRC-32 mismatch) before any field is trusted. Writes are
@@ -67,19 +72,27 @@ struct CheckpointData {
   /// name->row bindings must be recreated by the caller (and will be
   /// wrong if names re-register in a different order — hence v2).
   std::optional<CheckpointRegistries> registries;
+  /// Observation-journal watermark (format v3): the highest journal LSN
+  /// already applied to this state. nullopt for v1/v2 checkpoints and for
+  /// writers running without a journal — recovery must then fall back to
+  /// replaying the full journal (idempotence makes that safe, just slow).
+  std::optional<std::uint64_t> wal_watermark;
 
   explicit CheckpointData(AmfModel m) : model(std::move(m)) {}
 };
 
 /// Serializes one checkpoint (length + CRC header, then payload). When
 /// `registries` is non-null the payload carries a trailing AMF_REGISTRIES
-/// section binding names to factor rows across the restore.
+/// section binding names to factor rows across the restore; when
+/// `wal_watermark` is non-null an AMF_WAL section records the journal LSN
+/// this state covers.
 void WriteCheckpoint(std::ostream& os, const AmfModel& model,
                      const SampleStore& store, double now,
                      double last_epoch_error,
-                     const CheckpointRegistries* registries = nullptr);
+                     const CheckpointRegistries* registries = nullptr,
+                     const std::uint64_t* wal_watermark = nullptr);
 
-/// Parses and verifies a checkpoint (format v1 or v2). Throws
+/// Parses and verifies a checkpoint (format v1, v2, or v3). Throws
 /// common::CheckError on truncation, CRC mismatch, or malformed sections.
 CheckpointData ReadCheckpoint(std::istream& is);
 
@@ -87,7 +100,8 @@ CheckpointData ReadCheckpoint(std::istream& is);
 void WriteCheckpointFile(const std::string& path, const AmfModel& model,
                          const SampleStore& store, double now,
                          double last_epoch_error,
-                         const CheckpointRegistries* registries = nullptr);
+                         const CheckpointRegistries* registries = nullptr,
+                         const std::uint64_t* wal_watermark = nullptr);
 
 /// Reads + verifies one checkpoint file (throws on IO error/corruption).
 CheckpointData ReadCheckpointFile(const std::string& path);
@@ -118,14 +132,16 @@ class CheckpointManager {
   /// is persisted as the v2 AMF_REGISTRIES section.
   std::string Save(const AmfModel& model, const SampleStore& store,
                    double now, double last_epoch_error,
-                   const CheckpointRegistries* registries = nullptr);
+                   const CheckpointRegistries* registries = nullptr,
+                   const std::uint64_t* wal_watermark = nullptr);
 
   /// Interval-gated Save, for calling on every trainer tick: saves only
   /// when `now` is at least interval_seconds past the last save (or on the
   /// first call). Returns true if a checkpoint was written.
   bool MaybeSave(const AmfModel& model, const SampleStore& store, double now,
                  double last_epoch_error,
-                 const CheckpointRegistries* registries = nullptr);
+                 const CheckpointRegistries* registries = nullptr,
+                 const std::uint64_t* wal_watermark = nullptr);
 
   /// True when a MaybeSave(..., now) call would write: callers use this
   /// to skip building registry snapshots on ticks that will not save.

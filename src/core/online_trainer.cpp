@@ -341,6 +341,12 @@ PipelineStats OnlineTrainer::Stats() const {
   return s;
 }
 
+void OnlineTrainer::SeedValidatorFromStore() {
+  for (const data::QoSSample& s : store_.samples()) {
+    validator_.SeedDuplicateHistory(s);
+  }
+}
+
 std::size_t OnlineTrainer::PurgeUser(data::UserId u) {
   std::size_t purged = store_.RemoveUser(u);
   for (auto it = incoming_.begin(); it != incoming_.end();) {

@@ -172,6 +172,14 @@ class OnlineTrainer {
   /// records into it); not for use while training is in flight.
   SampleStore& mutable_store() { return store_; }
 
+  /// Seeds the validator's per-pair duplicate history from every sample
+  /// currently in the store. Called after a checkpoint restore, before
+  /// journal replay: a replayed record whose effect the checkpoint
+  /// already contains then classifies as a rejected re-delivery instead
+  /// of double-applying (the validator's in-memory history is not
+  /// checkpointed). Not for use while training is in flight.
+  void SeedValidatorFromStore();
+
   /// Scrubs every trace of a retired entity from the training pipeline:
   /// stored samples (they would keep dragging paired factors via Eq. 8-9
   /// replay updates), queued-but-unprocessed observations, and the

@@ -13,7 +13,11 @@ std::string PipelineStats::ToString() const {
       << " duplicate=" << rejected_duplicate << "}"
       << " quarantined=" << quarantined_outlier
       << " dropped{ring=" << ring_dropped
-      << " overflow=" << dropped_on_overflow << "}"
+      << " overflow=" << dropped_on_overflow
+      << " journal=" << journal_dropped << "}"
+      << " journal{appended=" << journal_appended
+      << " replayed=" << journal_replayed
+      << " replay_rejected=" << journal_replay_rejected << "}"
       << " lifecycle{purged=" << purged_samples
       << " unregistered=" << rejected_unregistered << "}"
       << " skipped_updates=" << skipped_updates

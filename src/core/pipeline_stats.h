@@ -37,6 +37,20 @@ struct PipelineStats {
   /// registered (never joined, or its slot was retired).
   std::uint64_t rejected_unregistered = 0;
 
+  // --- Observation journal (DESIGN.md §12) ---------------------------------
+  /// Records appended to the write-ahead observation journal.
+  std::uint64_t journal_appended = 0;
+  /// Observations dropped because their journal append failed (IO error or
+  /// injected fault): un-journaled means un-durable, so the sample never
+  /// reaches the collector. Third leg of the shed-load identity.
+  std::uint64_t journal_dropped = 0;
+  /// Journal records re-ingested by point-in-time recovery.
+  std::uint64_t journal_replayed = 0;
+  /// Journal records refused at recovery: the id's registry slot was
+  /// retired (or retired-and-recycled, detected by generation mismatch)
+  /// after the record was appended.
+  std::uint64_t journal_replay_rejected = 0;
+
   // --- Training-side guards ------------------------------------------------
   std::uint64_t skipped_updates = 0;   ///< OnlineUpdate refused the sample
   std::uint64_t nan_reinit_users = 0;  ///< user vectors re-randomized
@@ -54,10 +68,13 @@ struct PipelineStats {
   std::uint64_t seen() const {
     return accepted + rejected() + quarantined_outlier;
   }
-  /// Unified shed-load total: every sample dropped for capacity reasons,
-  /// whichever stage shed it. Samples the ring shed never reached the
-  /// trainer queue and vice versa, so the two counters are disjoint.
-  std::uint64_t dropped() const { return ring_dropped + dropped_on_overflow; }
+  /// Unified shed-load total: every sample dropped for capacity or
+  /// durability reasons, whichever stage shed it. A sample sheds at most
+  /// once (ring -> journal -> trainer queue), so the three counters are
+  /// disjoint.
+  std::uint64_t dropped() const {
+    return ring_dropped + dropped_on_overflow + journal_dropped;
+  }
 
   /// One-line "accepted=... rejected{...} quarantined=..." summary.
   std::string ToString() const;

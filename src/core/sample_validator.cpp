@@ -128,6 +128,11 @@ SampleVerdict SampleValidator::Validate(const data::QoSSample& sample,
   return SampleVerdict::kAccept;
 }
 
+void SampleValidator::SeedDuplicateHistory(const data::QoSSample& sample) {
+  double& last = last_accepted_ts_[PairKey(sample.user, sample.service)];
+  if (sample.timestamp > last) last = sample.timestamp;
+}
+
 void SampleValidator::Reset() {
   history_.clear();
   last_accepted_ts_.clear();

@@ -112,6 +112,14 @@ class SampleValidator {
   /// Running MAD of a service's recent accepted values (NaN if none).
   double ServiceMad(data::ServiceId s) const;
 
+  /// Marks `sample`'s (user, service, timestamp) as already accepted
+  /// without counting into stats(): later deliveries with a timestamp <=
+  /// it are rejected as duplicates. Recovery seeds this from the restored
+  /// sample store so that replaying journal records whose effects the
+  /// checkpoint already contains is a rejected re-delivery, not a double
+  /// apply. Keeps the max timestamp if the pair is already tracked.
+  void SeedDuplicateHistory(const data::QoSSample& sample);
+
   /// Drops all history/quarantine state (counters are preserved).
   void Reset();
 

@@ -1,0 +1,535 @@
+#include "stream/wal.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <string_view>
+#include <system_error>
+
+#include "common/check.h"
+#include "common/crc32.h"
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace amf::stream {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kMagic[8] = {'A', 'M', 'F', 'W', 'A', 'L', '1', '\n'};
+constexpr std::size_t kHeaderBytes = sizeof(kMagic) + sizeof(std::uint64_t);
+constexpr std::size_t kFrameHeaderBytes = 2 * sizeof(std::uint32_t);
+// lsn + slice + user + service + ugen + sgen + value + timestamp.
+constexpr std::size_t kRecordPayloadBytes =
+    sizeof(std::uint64_t) + 5 * sizeof(std::uint32_t) + 2 * sizeof(double);
+// A frame whose length field exceeds this is treated as corruption, not a
+// future record type: it bounds how far a flipped length bit can reach.
+constexpr std::uint32_t kMaxPayloadBytes = 1u << 20;
+constexpr const char* kSegmentPrefix = "wal-";
+constexpr const char* kSegmentExtension = ".amfwal";
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Fixed-layout native-endian encoding (the journal is machine-local
+// recovery state, not an interchange format; DESIGN.md §12).
+template <typename T>
+void PutRaw(std::string& out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+template <typename T>
+T GetRaw(const char* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+std::string EncodePayload(std::uint64_t lsn, const data::QoSSample& s,
+                          std::uint32_t ugen, std::uint32_t sgen) {
+  std::string payload;
+  payload.reserve(kRecordPayloadBytes);
+  PutRaw(payload, lsn);
+  PutRaw(payload, s.slice);
+  PutRaw(payload, s.user);
+  PutRaw(payload, s.service);
+  PutRaw(payload, ugen);
+  PutRaw(payload, sgen);
+  PutRaw(payload, s.value);
+  PutRaw(payload, s.timestamp);
+  return payload;
+}
+
+JournalRecord DecodePayload(const char* p) {
+  JournalRecord r;
+  r.lsn = GetRaw<std::uint64_t>(p);
+  p += sizeof(std::uint64_t);
+  r.sample.slice = GetRaw<std::uint32_t>(p);
+  p += sizeof(std::uint32_t);
+  r.sample.user = GetRaw<std::uint32_t>(p);
+  p += sizeof(std::uint32_t);
+  r.sample.service = GetRaw<std::uint32_t>(p);
+  p += sizeof(std::uint32_t);
+  r.user_generation = GetRaw<std::uint32_t>(p);
+  p += sizeof(std::uint32_t);
+  r.service_generation = GetRaw<std::uint32_t>(p);
+  p += sizeof(std::uint32_t);
+  r.sample.value = GetRaw<double>(p);
+  p += sizeof(double);
+  r.sample.timestamp = GetRaw<double>(p);
+  return r;
+}
+
+void AppendFrame(std::string& out, const std::string& payload) {
+  PutRaw(out, static_cast<std::uint32_t>(payload.size()));
+  PutRaw(out, common::Crc32Of(payload));
+  out.append(payload);
+}
+
+std::string SegmentName(std::uint64_t base_lsn) {
+  std::ostringstream name;
+  name << kSegmentPrefix << std::setw(20) << std::setfill('0') << base_lsn
+       << kSegmentExtension;
+  return name.str();
+}
+
+std::vector<std::string> ListSegments(const std::string& directory) {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(directory, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path& p = entry.path();
+    if (p.extension() != kSegmentExtension) continue;
+    if (p.filename().string().rfind(kSegmentPrefix, 0) != 0) continue;
+    paths.push_back(p.string());
+  }
+  std::sort(paths.begin(), paths.end());  // zero-padded base LSN
+  return paths;
+}
+
+// How a segment's byte stream ends.
+enum class TailState {
+  kClean,    // last frame ends exactly at EOF
+  kTorn,     // trailing bytes are a prefix of a frame (crash mid-append)
+  kCorrupt,  // a complete frame failed its CRC (or an impossible length)
+};
+
+struct SegmentScan {
+  JournalSegmentInfo info;
+  TailState tail = TailState::kClean;
+  // Offset just past the last frame that parsed and verified; everything
+  // after it is torn or quarantined.
+  std::uint64_t valid_end = 0;
+  std::vector<JournalRecord> records;
+};
+
+SegmentScan ScanSegment(const std::string& path) {
+  SegmentScan scan;
+  scan.info.path = path;
+  std::string bytes;
+  {
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    bytes = buf.str();
+  }
+  scan.info.bytes = bytes.size();
+  if (bytes.size() < kHeaderBytes ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    scan.tail = TailState::kCorrupt;
+    scan.info.quarantined_bytes = bytes.size();
+    return scan;
+  }
+  scan.info.header_ok = true;
+  scan.info.base_lsn = GetRaw<std::uint64_t>(bytes.data() + sizeof(kMagic));
+  std::size_t off = kHeaderBytes;
+  scan.valid_end = off;
+  while (off < bytes.size()) {
+    if (bytes.size() - off < kFrameHeaderBytes) {
+      scan.tail = TailState::kTorn;
+      break;
+    }
+    const auto len = GetRaw<std::uint32_t>(bytes.data() + off);
+    if (len < kRecordPayloadBytes || len > kMaxPayloadBytes) {
+      scan.tail = TailState::kCorrupt;
+      break;
+    }
+    if (bytes.size() - off - kFrameHeaderBytes < len) {
+      scan.tail = TailState::kTorn;
+      break;
+    }
+    const auto crc = GetRaw<std::uint32_t>(bytes.data() + off + sizeof(len));
+    const std::string_view payload(bytes.data() + off + kFrameHeaderBytes,
+                                   len);
+    if (common::Crc32Of(payload) != crc) {
+      scan.tail = TailState::kCorrupt;
+      break;
+    }
+    scan.records.push_back(DecodePayload(payload.data()));
+    off += kFrameHeaderBytes + len;
+    scan.valid_end = off;
+  }
+  scan.info.records = scan.records.size();
+  if (!scan.records.empty()) {
+    scan.info.first_lsn = scan.records.front().lsn;
+    scan.info.last_lsn = scan.records.back().lsn;
+  }
+  scan.info.quarantined_bytes = scan.info.bytes - scan.valid_end;
+  return scan;
+}
+
+}  // namespace
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kOs:
+      return "os";
+    case FsyncPolicy::kInterval:
+      return "interval";
+    case FsyncPolicy::kAlways:
+      return "always";
+  }
+  return "unknown";
+}
+
+std::optional<FsyncPolicy> ParseFsyncPolicy(const std::string& name) {
+  if (name == "os") return FsyncPolicy::kOs;
+  if (name == "interval") return FsyncPolicy::kInterval;
+  if (name == "always") return FsyncPolicy::kAlways;
+  return std::nullopt;
+}
+
+ObservationJournal::ObservationJournal(const JournalConfig& config)
+    : config_(config) {
+  AMF_CHECK_MSG(!config_.directory.empty(), "journal directory must be set");
+  AMF_CHECK_MSG(config_.segment_max_bytes > kHeaderBytes,
+                "journal segment_max_bytes too small");
+  common::CreateDirectoriesDurable(config_.directory);
+  const std::uint64_t truncated = TruncateTornTail(config_.directory);
+  if (truncated > 0) {
+    torn_tail_truncations_.fetch_add(1, std::memory_order_relaxed);
+    AMF_LOG(Warning) << "journal: truncated " << truncated
+                     << " torn-tail bytes on open";
+  }
+  // Resume LSN numbering past everything readable on disk, and continue
+  // appending to the last segment only when it is fully clean — a
+  // quarantined segment is sealed and a fresh one started, so new records
+  // never hide behind corrupt bytes.
+  const std::vector<std::string> paths = ListSegments(config_.directory);
+  bool reuse_last = false;
+  std::uint64_t last_size = 0;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const SegmentScan scan = ScanSegment(paths[i]);
+    if (scan.info.last_lsn > 0) {
+      next_lsn_ = std::max(next_lsn_, scan.info.last_lsn + 1);
+    }
+    if (scan.info.header_ok) {
+      next_lsn_ = std::max(next_lsn_, scan.info.base_lsn);
+      // Quarantined / torn frames carry LSNs we cannot read (their CRC
+      // failed), but frames are fixed-size and LSNs within a segment are
+      // contiguous from base_lsn — so the byte count bounds every LSN
+      // this segment may ever have issued. Numbering must resume past
+      // that bound: reusing an LSN that an existing checkpoint watermark
+      // covers would make the record invisible to the next recovery (and
+      // prematurely GC-eligible).
+      if (scan.info.bytes > kHeaderBytes) {
+        const std::uint64_t frame = kFrameHeaderBytes + kRecordPayloadBytes;
+        const std::uint64_t issued_bound =
+            (scan.info.bytes - kHeaderBytes + frame - 1) / frame;
+        next_lsn_ = std::max(next_lsn_, scan.info.base_lsn + issued_bound);
+      }
+    }
+    if (i + 1 == paths.size()) {
+      reuse_last = scan.info.header_ok && scan.tail == TailState::kClean &&
+                   scan.info.bytes < config_.segment_max_bytes;
+      last_size = scan.info.bytes;
+    }
+  }
+  last_lsn_.store(next_lsn_ - 1, std::memory_order_relaxed);
+  if (reuse_last) {
+    broken_ = !file_.Open(paths.back());
+    AMF_CHECK_MSG(!broken_, "journal: cannot reopen " << paths.back());
+    AMF_CHECK_MSG(file_.size() == last_size,
+                  "journal: size changed between scan and open of "
+                      << paths.back());
+  } else {
+    std::lock_guard<std::mutex> lock(mu_);
+    AMF_CHECK_MSG(RotateLocked(), "journal: cannot create first segment in "
+                                      << config_.directory);
+    rotations_.store(0, std::memory_order_relaxed);  // opening is not a roll
+  }
+  last_sync_monotonic_ = MonotonicSeconds();
+}
+
+ObservationJournal::~ObservationJournal() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_.is_open()) {
+    file_.Flush();
+    file_.Close();
+  }
+}
+
+bool ObservationJournal::RotateLocked() {
+  if (file_.is_open()) {
+    // Seal the old segment: its bytes must be on the platter before the
+    // new name appears, or recovery could see the successor but not the
+    // records it implies exist.
+    file_.Sync();
+    file_.Close();
+  }
+  const std::string path =
+      (fs::path(config_.directory) / SegmentName(next_lsn_)).string();
+  if (!file_.Open(path)) {
+    broken_ = true;
+    return false;
+  }
+  std::string header(kMagic, sizeof(kMagic));
+  PutRaw(header, next_lsn_);
+  if (!file_.Append(header) || !file_.Sync()) {
+    broken_ = true;
+    return false;
+  }
+  common::SyncDirectory(config_.directory);
+  rotations_.fetch_add(1, std::memory_order_relaxed);
+  broken_ = false;
+  return true;
+}
+
+bool ObservationJournal::AppendEncodedLocked(const std::string& frames,
+                                             std::size_t records) {
+  if (broken_) return false;
+  if (file_.size() >= config_.segment_max_bytes) {
+    if (!RotateLocked()) return false;
+  }
+  obs::ScopedLatencyTimer timer(append_hist_);
+  if (!file_.Append(frames)) {
+    broken_ = true;
+    return false;
+  }
+  bytes_appended_.fetch_add(frames.size(), std::memory_order_relaxed);
+  appends_.fetch_add(records, std::memory_order_relaxed);
+  return true;
+}
+
+void ObservationJournal::ApplySyncPolicyLocked() {
+  switch (config_.fsync_policy) {
+    case FsyncPolicy::kOs:
+      file_.Flush();
+      return;
+    case FsyncPolicy::kAlways:
+      break;
+    case FsyncPolicy::kInterval: {
+      const double now = MonotonicSeconds();
+      if ((now - last_sync_monotonic_) * 1e3 < config_.fsync_interval_ms) {
+        file_.Flush();
+        return;
+      }
+      break;
+    }
+  }
+  obs::ScopedLatencyTimer timer(sync_hist_);
+  if (file_.Sync()) {
+    syncs_.fetch_add(1, std::memory_order_relaxed);
+    last_sync_monotonic_ = MonotonicSeconds();
+  }
+}
+
+std::optional<std::uint64_t> ObservationJournal::Append(
+    const data::QoSSample& sample, std::uint32_t user_generation,
+    std::uint32_t service_generation) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (config_.fail_appends_after > 0 &&
+      appends_.load(std::memory_order_relaxed) >= config_.fail_appends_after) {
+    append_failures_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  const std::uint64_t lsn = next_lsn_;
+  std::string frames;
+  AppendFrame(frames,
+              EncodePayload(lsn, sample, user_generation, service_generation));
+  if (!AppendEncodedLocked(frames, 1)) {
+    append_failures_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  next_lsn_ = lsn + 1;
+  last_lsn_.store(lsn, std::memory_order_relaxed);
+  ApplySyncPolicyLocked();
+  return lsn;
+}
+
+std::size_t ObservationJournal::AppendBatch(
+    const std::vector<data::QoSSample>& samples,
+    const std::function<std::pair<std::uint32_t, std::uint32_t>(
+        const data::QoSSample&)>& generations_of) {
+  if (samples.empty()) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  // The fault hook caps how many of this batch may succeed, so the
+  // accounting tests can hit a failure exactly mid-drain.
+  std::size_t limit = samples.size();
+  if (config_.fail_appends_after > 0) {
+    const std::uint64_t used = appends_.load(std::memory_order_relaxed);
+    limit = used >= config_.fail_appends_after
+                ? 0
+                : std::min<std::size_t>(limit,
+                                        config_.fail_appends_after - used);
+  }
+  std::string frames;
+  frames.reserve(limit * (kFrameHeaderBytes + kRecordPayloadBytes));
+  for (std::size_t i = 0; i < limit; ++i) {
+    std::pair<std::uint32_t, std::uint32_t> gens{0, 0};
+    if (generations_of) gens = generations_of(samples[i]);
+    AppendFrame(frames, EncodePayload(next_lsn_ + i, samples[i], gens.first,
+                                      gens.second));
+  }
+  std::size_t appended = 0;
+  if (limit > 0 && AppendEncodedLocked(frames, limit)) {
+    appended = limit;
+    next_lsn_ += limit;
+    last_lsn_.store(next_lsn_ - 1, std::memory_order_relaxed);
+    ApplySyncPolicyLocked();
+  }
+  const std::size_t failed = samples.size() - appended;
+  if (failed > 0) {
+    append_failures_.fetch_add(failed, std::memory_order_relaxed);
+  }
+  return appended;
+}
+
+bool ObservationJournal::SyncNow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!file_.is_open()) return false;
+  obs::ScopedLatencyTimer timer(sync_hist_);
+  const bool ok = file_.Sync();
+  if (ok) {
+    syncs_.fetch_add(1, std::memory_order_relaxed);
+    last_sync_monotonic_ = MonotonicSeconds();
+  }
+  return ok;
+}
+
+std::size_t ObservationJournal::RemoveSegmentsCoveredBy(
+    std::uint64_t watermark) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::vector<std::string> paths = ListSegments(config_.directory);
+  if (paths.size() < 2) return 0;
+  // Segment i holds LSNs in [base_i, base_{i+1}): removable when its
+  // successor's base shows every record is <= watermark. The active (last)
+  // segment always stays — its upper bound is still moving.
+  std::vector<std::uint64_t> bases(paths.size(), 0);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    std::ifstream is(paths[i], std::ios::binary);
+    char header[kHeaderBytes] = {};
+    is.read(header, sizeof(header));
+    if (is.gcount() == static_cast<std::streamsize>(sizeof(header)) &&
+        std::memcmp(header, kMagic, sizeof(kMagic)) == 0) {
+      bases[i] = GetRaw<std::uint64_t>(header + sizeof(kMagic));
+    }
+  }
+  std::size_t removed = 0;
+  for (std::size_t i = 0; i + 1 < paths.size(); ++i) {
+    if (bases[i] == 0 || bases[i + 1] == 0) continue;  // unreadable: keep
+    if (paths[i] == file_.path()) continue;
+    if (bases[i + 1] > watermark + 1) continue;
+    std::error_code ec;
+    if (fs::remove(paths[i], ec) && !ec) ++removed;
+  }
+  if (removed > 0) {
+    common::SyncDirectory(config_.directory);
+    segments_removed_.fetch_add(removed, std::memory_order_relaxed);
+  }
+  return removed;
+}
+
+void ObservationJournal::AttachMetrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) return;
+  registry->RegisterCallbackCounter("wal.appends", [this] {
+    return appends_.load(std::memory_order_relaxed);
+  });
+  registry->RegisterCallbackCounter("wal.append_failures", [this] {
+    return append_failures_.load(std::memory_order_relaxed);
+  });
+  registry->RegisterCallbackCounter("wal.bytes_appended", [this] {
+    return bytes_appended_.load(std::memory_order_relaxed);
+  });
+  registry->RegisterCallbackCounter("wal.fsyncs", [this] {
+    return syncs_.load(std::memory_order_relaxed);
+  });
+  registry->RegisterCallbackCounter("wal.rotations", [this] {
+    return rotations_.load(std::memory_order_relaxed);
+  });
+  registry->RegisterCallbackCounter("wal.torn_tail_truncations", [this] {
+    return torn_tail_truncations_.load(std::memory_order_relaxed);
+  });
+  registry->RegisterCallbackCounter("wal.segments_removed", [this] {
+    return segments_removed_.load(std::memory_order_relaxed);
+  });
+  append_hist_ = registry->GetLatencyHistogram("wal.append_seconds");
+  sync_hist_ = registry->GetLatencyHistogram("wal.fsync_seconds");
+}
+
+JournalScanResult ScanJournal(
+    const std::string& directory, std::uint64_t min_exclusive_lsn,
+    const std::function<void(const JournalRecord&)>& on_record) {
+  JournalScanResult result;
+  std::error_code ec;
+  if (!fs::is_directory(directory, ec)) return result;
+  std::uint64_t prev_lsn = 0;
+  for (const std::string& path : ListSegments(directory)) {
+    SegmentScan scan = ScanSegment(path);
+    if (scan.tail == TailState::kCorrupt) {
+      ++result.quarantined_segments;
+    }
+    result.quarantined_bytes += scan.info.quarantined_bytes;
+    for (const JournalRecord& record : scan.records) {
+      if (prev_lsn != 0 && record.lsn != prev_lsn + 1) ++result.lsn_gaps;
+      prev_lsn = record.lsn;
+      if (record.lsn <= min_exclusive_lsn) {
+        ++result.records_skipped;
+        continue;
+      }
+      ++result.records_scanned;
+      if (result.min_lsn == 0) result.min_lsn = record.lsn;
+      result.max_lsn = std::max(result.max_lsn, record.lsn);
+      if (on_record) on_record(record);
+    }
+    result.segments.push_back(std::move(scan.info));
+  }
+  return result;
+}
+
+JournalReadResult ReadJournal(const std::string& directory,
+                              std::uint64_t min_exclusive_lsn) {
+  JournalReadResult result;
+  result.scan = ScanJournal(directory, min_exclusive_lsn,
+                            [&result](const JournalRecord& record) {
+                              result.records.push_back(record);
+                            });
+  return result;
+}
+
+std::uint64_t TruncateTornTail(const std::string& directory) {
+  const std::vector<std::string> paths = ListSegments(directory);
+  if (paths.empty()) return 0;
+  const SegmentScan scan = ScanSegment(paths.back());
+  if (scan.tail != TailState::kTorn || !scan.info.header_ok) return 0;
+  const std::uint64_t excess = scan.info.bytes - scan.valid_end;
+  if (excess == 0) return 0;
+  std::error_code ec;
+  fs::resize_file(paths.back(), scan.valid_end, ec);
+  if (ec) return 0;
+  common::SyncFile(paths.back());
+  return excess;
+}
+
+}  // namespace amf::stream

@@ -1,0 +1,238 @@
+// Durable observation write-ahead journal (DESIGN.md §12).
+//
+// Every observation the pipeline accepts is appended here as a
+// length-prefixed, CRC-32-framed record *before* it is acknowledged as
+// durable, so a `kill -9` between checkpoints loses nothing that was
+// acked. The journal is a directory of rotating segment files
+//
+//   wal-<base_lsn, 20 decimal digits>.amfwal
+//
+// each starting with an 16-byte header (magic "AMFWAL1\n" + u64 base
+// LSN) followed by frames
+//
+//   [u32 payload_len][u32 crc32(payload)][payload]
+//
+// whose payload is one fixed-layout record: LSN (u64), slice/user/
+// service ids (u32 each), the user/service registry *generations*
+// captured at append time (u32 each, so replay can reject records whose
+// id was retired and recycled since), then value and timestamp (f64
+// little-endian bits each). LSNs are assigned at append, start at 1, and
+// are strictly monotonic across segments and reopens.
+//
+// Durability is governed by FsyncPolicy:
+//   kAlways   — fsync after every Append/AppendBatch (the drill policy:
+//               acknowledged == durable);
+//   kInterval — fsync when at least fsync_interval_ms of wall time has
+//               passed since the last sync (bounded loss window);
+//   kOs       — never fsync; bytes reach the OS page cache on append and
+//               survive process death but not power loss.
+// A batch append is one write + at most one fsync (group commit): the
+// concurrent facade drains its MPSC ring and journals the whole drain in
+// one call, keeping the wait-free hot path untouched.
+//
+// On (re)open the last segment's torn tail — a partial frame from a
+// crash mid-append — is truncated away; earlier corruption (bit flips)
+// is the reader's problem: JournalScan stops at the first bad frame of a
+// segment, quarantines the remainder, and moves on to the next segment
+// (skip-with-quarantine, never abort). Segments whose whole LSN range is
+// at or below the newest durable checkpoint watermark are garbage
+// collected by RemoveSegmentsCoveredBy().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/file_util.h"
+#include "data/qos_types.h"
+
+namespace amf::obs {
+class LatencyHistogram;
+class MetricsRegistry;
+}  // namespace amf::obs
+
+namespace amf::stream {
+
+/// When appended bytes are forced to stable storage.
+enum class FsyncPolicy {
+  kOs,        // never fsync (page cache only)
+  kInterval,  // fsync at most once per fsync_interval_ms
+  kAlways,    // fsync on every append (acknowledged == durable)
+};
+
+/// "always" / "interval" / "os" <-> FsyncPolicy (CLI + config plumbing).
+const char* FsyncPolicyName(FsyncPolicy policy);
+std::optional<FsyncPolicy> ParseFsyncPolicy(const std::string& name);
+
+struct JournalConfig {
+  /// Directory holding the segment files (created durably if missing).
+  std::string directory;
+  FsyncPolicy fsync_policy = FsyncPolicy::kInterval;
+  /// kInterval: maximum wall-clock milliseconds between fsyncs (the
+  /// bounded window of acknowledged-but-lost observations on power loss).
+  double fsync_interval_ms = 50.0;
+  /// A segment at or past this size rotates before the next append.
+  std::uint64_t segment_max_bytes = 8u << 20;
+  /// Fault-injection hook: after this many successful appends every
+  /// further append fails (0 = never). Lets tests and the chaos layer
+  /// exercise the journal_dropped accounting deterministically.
+  std::uint64_t fail_appends_after = 0;
+};
+
+/// One journaled observation: the sample plus the registry generations
+/// current when it was accepted. Generation 0 means "not tracked"
+/// (raw-id ingest without a registry) and always replays.
+struct JournalRecord {
+  std::uint64_t lsn = 0;
+  data::QoSSample sample;
+  std::uint32_t user_generation = 0;
+  std::uint32_t service_generation = 0;
+};
+
+/// Append-side handle. All mutating calls are internally serialized (one
+/// mutex); the intended writer is the single trainer/drain thread, but
+/// concurrent appenders are safe (see the TSan stress test). Counters are
+/// relaxed atomics readable from any thread.
+class ObservationJournal {
+ public:
+  explicit ObservationJournal(const JournalConfig& config);
+  ~ObservationJournal();
+
+  ObservationJournal(const ObservationJournal&) = delete;
+  ObservationJournal& operator=(const ObservationJournal&) = delete;
+
+  const JournalConfig& config() const { return config_; }
+
+  /// Appends one record (LSN assigned internally) and applies the fsync
+  /// policy. Returns the assigned LSN, or nullopt when the append failed
+  /// (IO error or the fail_appends_after hook) — the caller must count
+  /// the observation as journal-dropped, not acknowledged-durable.
+  std::optional<std::uint64_t> Append(const data::QoSSample& sample,
+                                      std::uint32_t user_generation = 0,
+                                      std::uint32_t service_generation = 0);
+
+  /// Group commit: encodes all `samples` into one buffer, appends it with
+  /// one write, applies the fsync policy once. Generations are looked up
+  /// per sample via `generations_of` (may be null -> 0/0). Returns the
+  /// number of records appended (a failure stops the batch; records
+  /// before the failure point are appended and keep their LSNs).
+  std::size_t AppendBatch(
+      const std::vector<data::QoSSample>& samples,
+      const std::function<std::pair<std::uint32_t, std::uint32_t>(
+          const data::QoSSample&)>& generations_of = nullptr);
+
+  /// Forces an fsync of the active segment regardless of policy (used at
+  /// checkpoint time so the watermark never exceeds durable LSNs).
+  bool SyncNow();
+
+  /// Removes every segment whose entire LSN range is <= `watermark`
+  /// (i.e. fully covered by a durable checkpoint). The active segment is
+  /// never removed. Returns the number of segments deleted; the deletions
+  /// are made durable with a directory fsync.
+  std::size_t RemoveSegmentsCoveredBy(std::uint64_t watermark);
+
+  /// LSN of the most recently appended record (0 before any append).
+  std::uint64_t last_lsn() const {
+    return last_lsn_.load(std::memory_order_relaxed);
+  }
+
+  /// Registers wal.* counters and append/fsync latency histograms.
+  void AttachMetrics(obs::MetricsRegistry* registry);
+
+  // Counters (relaxed; monitors read them concurrently with appends).
+  std::uint64_t appends() const {
+    return appends_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t append_failures() const {
+    return append_failures_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_appended() const {
+    return bytes_appended_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t syncs() const { return syncs_.load(std::memory_order_relaxed); }
+  std::uint64_t rotations() const {
+    return rotations_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t torn_tail_truncations() const {
+    return torn_tail_truncations_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t segments_removed() const {
+    return segments_removed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  bool RotateLocked();
+  bool AppendEncodedLocked(const std::string& frames, std::size_t records);
+  void ApplySyncPolicyLocked();
+
+  JournalConfig config_;
+  std::mutex mu_;
+  common::AppendFile file_;          // active segment
+  std::uint64_t next_lsn_ = 1;       // under mu_
+  std::atomic<std::uint64_t> last_lsn_{0};
+  double last_sync_monotonic_ = 0.0;  // seconds, under mu_
+  bool broken_ = false;               // active segment unwritable
+
+  std::atomic<std::uint64_t> appends_{0};
+  std::atomic<std::uint64_t> append_failures_{0};
+  std::atomic<std::uint64_t> bytes_appended_{0};
+  std::atomic<std::uint64_t> syncs_{0};
+  std::atomic<std::uint64_t> rotations_{0};
+  std::atomic<std::uint64_t> torn_tail_truncations_{0};
+  std::atomic<std::uint64_t> segments_removed_{0};
+  obs::LatencyHistogram* append_hist_ = nullptr;
+  obs::LatencyHistogram* sync_hist_ = nullptr;
+};
+
+/// Everything a read pass learns about one segment file.
+struct JournalSegmentInfo {
+  std::string path;
+  std::uint64_t base_lsn = 0;   // from the header
+  std::uint64_t first_lsn = 0;  // 0 when no valid record
+  std::uint64_t last_lsn = 0;
+  std::uint64_t records = 0;
+  std::uint64_t bytes = 0;            // file size
+  std::uint64_t quarantined_bytes = 0;  // unread tail after a bad frame
+  bool header_ok = false;
+};
+
+/// Result of scanning a journal directory.
+struct JournalScanResult {
+  std::vector<JournalSegmentInfo> segments;  // sorted by base LSN
+  std::uint64_t records_scanned = 0;   // delivered to the callback
+  std::uint64_t records_skipped = 0;   // valid frames at/below min LSN
+  std::uint64_t quarantined_segments = 0;  // segments cut short by corruption
+  std::uint64_t quarantined_bytes = 0;
+  std::uint64_t lsn_gaps = 0;  // missing records/segments in the LSN line
+  std::uint64_t min_lsn = 0;   // over delivered records (0 when none)
+  std::uint64_t max_lsn = 0;
+};
+
+/// Scans every segment under `directory` in LSN order, invoking
+/// `on_record` for each valid record with LSN > `min_exclusive_lsn`
+/// (pass 0 to get everything). Corruption never throws: a bad frame
+/// quarantines the rest of its segment, a missing middle segment counts
+/// as an LSN gap, and scanning continues with the next segment. A null
+/// callback just inventories (amf_cli wal).
+JournalScanResult ScanJournal(
+    const std::string& directory, std::uint64_t min_exclusive_lsn,
+    const std::function<void(const JournalRecord&)>& on_record);
+
+/// Convenience wrapper materializing the records (tests, dry-run CLI).
+struct JournalReadResult {
+  JournalScanResult scan;
+  std::vector<JournalRecord> records;
+};
+JournalReadResult ReadJournal(const std::string& directory,
+                              std::uint64_t min_exclusive_lsn = 0);
+
+/// Truncates the final segment's torn tail (partial trailing frame) in
+/// `directory`, if any. Returns bytes removed. Exposed for tests and
+/// amf_cli; ObservationJournal does this automatically on open.
+std::uint64_t TruncateTornTail(const std::string& directory);
+
+}  // namespace amf::stream

@@ -319,7 +319,7 @@ TEST(CheckpointTest, V1HeaderStillLoads) {
   // A pre-registry checkpoint differs only in the header version (the
   // version is outside the CRC-covered payload).
   std::string text = Serialized(TrainedModel(), FilledStore(), 10.0, 0.1);
-  const std::size_t at = text.find("AMF_CKPT 2");
+  const std::size_t at = text.find("AMF_CKPT 3");
   ASSERT_NE(at, std::string::npos);
   text[at + 9] = '1';
   std::stringstream ss(text);
@@ -328,13 +328,60 @@ TEST(CheckpointTest, V1HeaderStillLoads) {
   EXPECT_FALSE(data.registries.has_value());
 }
 
+TEST(CheckpointTest, V2HeaderStillLoads) {
+  const CheckpointRegistries regs = TestRegistries();
+  std::stringstream full;
+  WriteCheckpoint(full, TrainedModel(), FilledStore(), 10.0, 0.1, &regs);
+  std::string text = full.str();
+  const std::size_t at = text.find("AMF_CKPT 3");
+  ASSERT_NE(at, std::string::npos);
+  text[at + 9] = '2';
+  std::stringstream ss(text);
+  const CheckpointData data = ReadCheckpoint(ss);
+  EXPECT_DOUBLE_EQ(data.now, 10.0);
+  ASSERT_TRUE(data.registries.has_value());
+  EXPECT_FALSE(data.wal_watermark.has_value());
+}
+
 TEST(CheckpointTest, FutureVersionIsRejected) {
   std::string text = Serialized(TrainedModel(), FilledStore(), 10.0, 0.1);
-  const std::size_t at = text.find("AMF_CKPT 2");
+  const std::size_t at = text.find("AMF_CKPT 3");
   ASSERT_NE(at, std::string::npos);
   text[at + 9] = '9';
   std::stringstream ss(text);
   EXPECT_THROW(ReadCheckpoint(ss), common::CheckError);
+}
+
+TEST(CheckpointTest, WalWatermarkRoundTrips) {
+  const CheckpointRegistries regs = TestRegistries();
+  const std::uint64_t watermark = 123456789;
+  std::stringstream ss;
+  WriteCheckpoint(ss, TrainedModel(), FilledStore(), 10.0, 0.1, &regs,
+                  &watermark);
+  const CheckpointData data = ReadCheckpoint(ss);
+  ASSERT_TRUE(data.registries.has_value());
+  ASSERT_TRUE(data.wal_watermark.has_value());
+  EXPECT_EQ(*data.wal_watermark, watermark);
+}
+
+TEST(CheckpointTest, WalWatermarkWithoutRegistriesRoundTrips) {
+  const std::uint64_t watermark = 7;
+  std::stringstream ss;
+  WriteCheckpoint(ss, TrainedModel(), FilledStore(), 10.0, 0.1, nullptr,
+                  &watermark);
+  const CheckpointData data = ReadCheckpoint(ss);
+  EXPECT_FALSE(data.registries.has_value());
+  ASSERT_TRUE(data.wal_watermark.has_value());
+  EXPECT_EQ(*data.wal_watermark, watermark);
+}
+
+TEST(CheckpointTest, WriterWithoutWatermarkYieldsNullopt) {
+  const CheckpointRegistries regs = TestRegistries();
+  std::stringstream ss;
+  WriteCheckpoint(ss, TrainedModel(), FilledStore(), 10.0, 0.1, &regs);
+  EXPECT_EQ(ss.str().find("AMF_WAL"), std::string::npos);
+  const CheckpointData data = ReadCheckpoint(ss);
+  EXPECT_FALSE(data.wal_watermark.has_value());
 }
 
 TEST(CheckpointTest, TruncationInsideRegistrySectionIsDetected) {

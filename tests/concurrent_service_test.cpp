@@ -167,11 +167,16 @@ TEST(ConcurrentServiceTest, ShedLoadFullyAccounted) {
   EXPECT_EQ(stats.ring_dropped, kTotal - 8);
   EXPECT_EQ(stats.dropped_on_overflow, 8u - cfg.trainer.max_incoming);
   EXPECT_EQ(stats.accepted, cfg.trainer.max_incoming);
-  // Every sample is accounted exactly once across the two shed stages and
-  // the validator verdicts — nothing vanishes silently.
-  EXPECT_EQ(stats.ring_dropped + stats.dropped_on_overflow + stats.seen(),
+  // Every sample is accounted exactly once across the shed stages
+  // (ring, journal, trainer queue) and the validator verdicts — nothing
+  // vanishes silently. No journal is enabled here, so journal_dropped
+  // must stay zero; wal_recovery_test exercises the nonzero case.
+  EXPECT_EQ(stats.journal_dropped, 0u);
+  EXPECT_EQ(stats.ring_dropped + stats.journal_dropped +
+                stats.dropped_on_overflow + stats.seen(),
             kTotal);
-  EXPECT_EQ(stats.dropped(), stats.ring_dropped + stats.dropped_on_overflow);
+  EXPECT_EQ(stats.dropped(), stats.ring_dropped + stats.dropped_on_overflow +
+                                 stats.journal_dropped);
 
   // Both shed stages appear as distinct counters in one metrics snapshot.
   const obs::MetricsSnapshot snap = service.metrics().Snapshot();

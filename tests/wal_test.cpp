@@ -1,0 +1,372 @@
+// Unit tests for the durable observation journal (stream/wal.h):
+// framing, LSN continuity across rotation and reopen, fsync policies,
+// torn-tail truncation at every byte offset, bit-flip quarantine,
+// missing-segment tolerance, watermark GC accounting, and the
+// fault-injection append hook.
+#include "stream/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "data/qos_types.h"
+
+namespace amf::stream {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ScratchDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/wal_test_" + name;
+  fs::remove_all(dir);
+  return dir;
+}
+
+data::QoSSample MakeSample(std::uint32_t i) {
+  return {i % 4, i % 7, i % 5, 0.25 + 0.001 * static_cast<double>(i),
+          static_cast<double>(i)};
+}
+
+JournalConfig SmallSegments(const std::string& dir,
+                            std::uint64_t max_bytes = 200) {
+  JournalConfig cfg;
+  cfg.directory = dir;
+  cfg.fsync_policy = FsyncPolicy::kOs;
+  cfg.segment_max_bytes = max_bytes;  // a few records per segment
+  return cfg;
+}
+
+std::vector<std::string> Segments(const std::string& dir) {
+  std::vector<std::string> out;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.path().extension() == ".amfwal") out.push_back(e.path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(WalTest, AppendAssignsMonotonicLsnsAndRoundTrips) {
+  const std::string dir = ScratchDir("roundtrip");
+  JournalConfig cfg;
+  cfg.directory = dir;
+  cfg.fsync_policy = FsyncPolicy::kAlways;
+  ObservationJournal journal(cfg);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    const auto lsn = journal.Append(MakeSample(i), i + 1, 2 * i + 1);
+    ASSERT_TRUE(lsn.has_value());
+    EXPECT_EQ(*lsn, i + 1u);  // LSNs start at 1
+  }
+  EXPECT_EQ(journal.last_lsn(), 10u);
+  EXPECT_EQ(journal.appends(), 10u);
+  EXPECT_EQ(journal.syncs(), 10u);  // kAlways: one fsync per append
+
+  const JournalReadResult read = ReadJournal(dir);
+  ASSERT_EQ(read.records.size(), 10u);
+  EXPECT_EQ(read.scan.records_scanned, 10u);
+  EXPECT_EQ(read.scan.quarantined_segments, 0u);
+  EXPECT_EQ(read.scan.lsn_gaps, 0u);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(read.records[i].lsn, i + 1u);
+    EXPECT_EQ(read.records[i].sample, MakeSample(i));
+    EXPECT_EQ(read.records[i].user_generation, i + 1u);
+    EXPECT_EQ(read.records[i].service_generation, 2 * i + 1u);
+  }
+}
+
+TEST(WalTest, MinExclusiveLsnSkipsCoveredRecords) {
+  const std::string dir = ScratchDir("minlsn");
+  ObservationJournal journal(SmallSegments(dir));
+  for (std::uint32_t i = 0; i < 20; ++i) journal.Append(MakeSample(i));
+  const JournalReadResult read = ReadJournal(dir, /*min_exclusive_lsn=*/12);
+  ASSERT_EQ(read.records.size(), 8u);
+  EXPECT_EQ(read.records.front().lsn, 13u);
+  EXPECT_EQ(read.scan.records_skipped, 12u);
+  EXPECT_EQ(read.scan.min_lsn, 13u);
+  EXPECT_EQ(read.scan.max_lsn, 20u);
+}
+
+TEST(WalTest, RotationAndReopenKeepLsnsContinuous) {
+  const std::string dir = ScratchDir("rotate");
+  {
+    ObservationJournal journal(SmallSegments(dir));
+    for (std::uint32_t i = 0; i < 30; ++i) journal.Append(MakeSample(i));
+    EXPECT_GT(journal.rotations(), 0u);
+    EXPECT_GT(Segments(dir).size(), 1u);
+  }
+  {
+    // Reopen continues numbering after the newest durable record.
+    ObservationJournal journal(SmallSegments(dir));
+    EXPECT_EQ(journal.last_lsn(), 30u);
+    for (std::uint32_t i = 30; i < 40; ++i) {
+      const auto lsn = journal.Append(MakeSample(i));
+      ASSERT_TRUE(lsn.has_value());
+      EXPECT_EQ(*lsn, i + 1u);
+    }
+  }
+  const JournalReadResult read = ReadJournal(dir);
+  ASSERT_EQ(read.records.size(), 40u);
+  EXPECT_EQ(read.scan.lsn_gaps, 0u);
+  for (std::uint32_t i = 0; i < 40; ++i) {
+    EXPECT_EQ(read.records[i].lsn, i + 1u);
+  }
+}
+
+TEST(WalTest, FsyncPolicyCounters) {
+  {
+    JournalConfig cfg;
+    cfg.directory = ScratchDir("policy_os");
+    cfg.fsync_policy = FsyncPolicy::kOs;
+    ObservationJournal journal(cfg);
+    for (std::uint32_t i = 0; i < 5; ++i) journal.Append(MakeSample(i));
+    EXPECT_EQ(journal.syncs(), 0u);
+  }
+  {
+    JournalConfig cfg;
+    cfg.directory = ScratchDir("policy_interval");
+    cfg.fsync_policy = FsyncPolicy::kInterval;
+    cfg.fsync_interval_ms = 1e9;  // never within this test
+    ObservationJournal journal(cfg);
+    for (std::uint32_t i = 0; i < 5; ++i) journal.Append(MakeSample(i));
+    EXPECT_EQ(journal.syncs(), 0u);
+    EXPECT_TRUE(journal.SyncNow());  // explicit sync always works
+    EXPECT_EQ(journal.syncs(), 1u);
+  }
+}
+
+TEST(WalTest, ParseFsyncPolicyNames) {
+  EXPECT_EQ(ParseFsyncPolicy("always"), FsyncPolicy::kAlways);
+  EXPECT_EQ(ParseFsyncPolicy("interval"), FsyncPolicy::kInterval);
+  EXPECT_EQ(ParseFsyncPolicy("os"), FsyncPolicy::kOs);
+  EXPECT_FALSE(ParseFsyncPolicy("bogus").has_value());
+  EXPECT_STREQ(FsyncPolicyName(FsyncPolicy::kAlways), "always");
+}
+
+TEST(WalTest, FailAppendsAfterHookShedsDeterministically) {
+  JournalConfig cfg;
+  cfg.directory = ScratchDir("failhook");
+  cfg.fail_appends_after = 5;
+  ObservationJournal journal(cfg);
+  std::size_t ok = 0;
+  for (std::uint32_t i = 0; i < 9; ++i) {
+    if (journal.Append(MakeSample(i)).has_value()) ++ok;
+  }
+  EXPECT_EQ(ok, 5u);
+  EXPECT_EQ(journal.appends(), 5u);
+  EXPECT_EQ(journal.append_failures(), 4u);
+  EXPECT_EQ(ReadJournal(cfg.directory).records.size(), 5u);
+}
+
+TEST(WalTest, BatchAppendHonorsFailHookMidBatch) {
+  JournalConfig cfg;
+  cfg.directory = ScratchDir("failbatch");
+  cfg.fail_appends_after = 7;
+  ObservationJournal journal(cfg);
+  std::vector<data::QoSSample> batch;
+  for (std::uint32_t i = 0; i < 10; ++i) batch.push_back(MakeSample(i));
+  EXPECT_EQ(journal.AppendBatch(batch), 7u);
+  EXPECT_EQ(journal.append_failures(), 3u);
+  const JournalReadResult read = ReadJournal(cfg.directory);
+  ASSERT_EQ(read.records.size(), 7u);
+  EXPECT_EQ(read.records.back().lsn, 7u);
+}
+
+// The acceptance-criteria truncation fuzz: cut the journal byte stream at
+// EVERY offset and require (a) reading never fails, (b) exactly the fully
+// contained frames survive, (c) torn-tail truncation settles the file so
+// a writer can take over again.
+TEST(WalTest, TruncationFuzzAtEveryByteOffset) {
+  const std::string master = ScratchDir("fuzz_master");
+  {
+    JournalConfig cfg;
+    cfg.directory = master;
+    cfg.fsync_policy = FsyncPolicy::kOs;
+    ObservationJournal journal(cfg);
+    for (std::uint32_t i = 0; i < 5; ++i) journal.Append(MakeSample(i));
+  }
+  const std::vector<std::string> segs = Segments(master);
+  ASSERT_EQ(segs.size(), 1u);
+  std::string bytes;
+  {
+    std::ifstream is(segs[0], std::ios::binary);
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    bytes = buf.str();
+  }
+  constexpr std::size_t kHeader = 16;   // magic + base LSN
+  constexpr std::size_t kFrame = 8 + 44;  // len+crc header, fixed payload
+  ASSERT_EQ(bytes.size(), kHeader + 5 * kFrame);
+
+  for (std::size_t cut = 0; cut <= bytes.size(); ++cut) {
+    const std::string dir = ScratchDir("fuzz_cut");
+    fs::create_directories(dir);
+    const std::string seg = dir + "/" + fs::path(segs[0]).filename().string();
+    {
+      std::ofstream os(seg, std::ios::binary | std::ios::trunc);
+      os.write(bytes.data(), static_cast<std::streamsize>(cut));
+    }
+    const std::size_t expect =
+        cut < kHeader ? 0 : (cut - kHeader) / kFrame;  // whole frames only
+    const JournalReadResult read = ReadJournal(dir);
+    EXPECT_EQ(read.records.size(), expect) << "cut=" << cut;
+
+    // Truncating the torn tail (what a reopening writer does) leaves a
+    // clean segment holding exactly the surviving frames.
+    TruncateTornTail(dir);
+    const JournalReadResult after = ReadJournal(dir);
+    EXPECT_EQ(after.records.size(), expect) << "cut=" << cut;
+    if (cut >= kHeader) {
+      EXPECT_EQ(after.scan.quarantined_bytes, 0u) << "cut=" << cut;
+    }
+  }
+}
+
+TEST(WalTest, TornTailIsTruncatedOnReopenAndWritingResumes) {
+  const std::string dir = ScratchDir("torn_reopen");
+  {
+    ObservationJournal journal(SmallSegments(dir, /*max_bytes=*/1 << 20));
+    for (std::uint32_t i = 0; i < 4; ++i) journal.Append(MakeSample(i));
+  }
+  // Crash mid-append: a partial frame lands at the tail.
+  const std::vector<std::string> segs = Segments(dir);
+  ASSERT_EQ(segs.size(), 1u);
+  {
+    std::ofstream os(segs[0], std::ios::binary | std::ios::app);
+    const char partial[] = {0x2c, 0x00, 0x00};  // length field cut short
+    os.write(partial, sizeof(partial));
+  }
+  {
+    ObservationJournal journal(SmallSegments(dir, /*max_bytes=*/1 << 20));
+    EXPECT_EQ(journal.torn_tail_truncations(), 1u);
+    EXPECT_EQ(journal.last_lsn(), 4u);
+    ASSERT_TRUE(journal.Append(MakeSample(4)).has_value());
+  }
+  const JournalReadResult read = ReadJournal(dir);
+  ASSERT_EQ(read.records.size(), 5u);
+  EXPECT_EQ(read.records.back().lsn, 5u);
+  EXPECT_EQ(read.scan.lsn_gaps, 0u);
+}
+
+TEST(WalTest, BitFlipQuarantinesRestOfSegmentOnly) {
+  const std::string dir = ScratchDir("bitflip");
+  {
+    ObservationJournal journal(SmallSegments(dir));
+    for (std::uint32_t i = 0; i < 30; ++i) journal.Append(MakeSample(i));
+  }
+  const std::vector<std::string> segs = Segments(dir);
+  ASSERT_GT(segs.size(), 2u);
+  const std::uint64_t total = ReadJournal(dir).records.size();
+  // Flip one payload byte of the FIRST segment's second record.
+  {
+    std::fstream f(segs[0],
+                   std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(0, std::ios::end);
+    const std::size_t size = static_cast<std::size_t>(f.tellg());
+    constexpr std::size_t kHeader = 16, kFrame = 52;
+    ASSERT_GT(size, kHeader + kFrame + 20);
+    const std::size_t at = kHeader + kFrame + 12;  // inside record 2
+    f.seekg(static_cast<std::streamoff>(at));
+    char c;
+    f.read(&c, 1);
+    c ^= 0x40;
+    f.seekp(static_cast<std::streamoff>(at));
+    f.write(&c, 1);
+  }
+  const JournalReadResult read = ReadJournal(dir);
+  // Record 1 of the damaged segment survives; the rest of that segment is
+  // quarantined; every later segment still reads — never an abort.
+  EXPECT_EQ(read.scan.quarantined_segments, 1u);
+  EXPECT_GT(read.scan.quarantined_bytes, 0u);
+  EXPECT_LT(read.records.size(), total);
+  EXPECT_GT(read.records.size(), 0u);
+  EXPECT_EQ(read.records.front().lsn, 1u);
+  EXPECT_EQ(read.scan.lsn_gaps, 1u);  // one hole where the quarantine cut
+  EXPECT_EQ(read.records.back().lsn, total);  // later segments intact
+}
+
+TEST(WalTest, ReopenAfterQuarantineNeverReusesLsns) {
+  const std::string dir = ScratchDir("quarantine_lsn");
+  std::uint64_t issued = 0;
+  {
+    ObservationJournal journal(SmallSegments(dir));
+    for (std::uint32_t i = 0; i < 30; ++i) journal.Append(MakeSample(i));
+    issued = journal.last_lsn();
+  }
+  // Corrupt the LAST segment's first record: its whole body quarantines,
+  // so the reopen can read none of its LSNs — yet it must not hand them
+  // out again (a checkpoint watermark may already cover them, which would
+  // hide the reused records from the next recovery).
+  const std::vector<std::string> segs = Segments(dir);
+  {
+    std::fstream f(segs.back(),
+                   std::ios::binary | std::ios::in | std::ios::out);
+    constexpr std::size_t kAt = 16 + 12;  // inside record 1's payload
+    f.seekg(static_cast<std::streamoff>(kAt));
+    char c;
+    f.read(&c, 1);
+    c ^= 0x40;
+    f.seekp(static_cast<std::streamoff>(kAt));
+    f.write(&c, 1);
+  }
+  ObservationJournal journal(SmallSegments(dir));
+  const auto lsn = journal.Append(MakeSample(100));
+  ASSERT_TRUE(lsn.has_value());
+  EXPECT_GT(*lsn, issued);
+}
+
+TEST(WalTest, MissingMiddleSegmentIsSkippedNotFatal) {
+  const std::string dir = ScratchDir("missing_mid");
+  {
+    ObservationJournal journal(SmallSegments(dir));
+    for (std::uint32_t i = 0; i < 30; ++i) journal.Append(MakeSample(i));
+  }
+  std::vector<std::string> segs = Segments(dir);
+  ASSERT_GT(segs.size(), 2u);
+  const std::uint64_t total = ReadJournal(dir).records.size();
+  const std::uint64_t middle_records =
+      ReadJournal(dir).scan.segments[1].records;
+  fs::remove(segs[1]);
+  const JournalReadResult read = ReadJournal(dir);
+  EXPECT_EQ(read.records.size(), total - middle_records);
+  EXPECT_EQ(read.scan.lsn_gaps, 1u);
+  EXPECT_EQ(read.records.back().lsn, total);
+}
+
+TEST(WalTest, WatermarkGcRemovesExactlyCoveredSegments) {
+  const std::string dir = ScratchDir("gc");
+  ObservationJournal journal(SmallSegments(dir));
+  for (std::uint32_t i = 0; i < 30; ++i) journal.Append(MakeSample(i));
+  const std::vector<std::string> before = Segments(dir);
+  ASSERT_GT(before.size(), 2u);
+  const JournalReadResult inventory = ReadJournal(dir);
+
+  // Watermark below the first segment's last record: nothing is fully
+  // covered, nothing may go.
+  EXPECT_EQ(journal.RemoveSegmentsCoveredBy(0), 0u);
+  const std::uint64_t first_last = inventory.scan.segments[0].last_lsn;
+  EXPECT_EQ(journal.RemoveSegmentsCoveredBy(first_last - 1), 0u);
+
+  // Exactly the first segment is covered by its own last LSN.
+  EXPECT_EQ(journal.RemoveSegmentsCoveredBy(first_last), 1u);
+  EXPECT_EQ(Segments(dir).size(), before.size() - 1);
+
+  // A watermark covering everything keeps only the active segment, and
+  // every record past the watermark is still readable.
+  EXPECT_EQ(journal.RemoveSegmentsCoveredBy(journal.last_lsn()),
+            before.size() - 2);
+  EXPECT_EQ(Segments(dir).size(), 1u);
+  EXPECT_EQ(journal.segments_removed(), before.size() - 1);
+  const JournalReadResult after = ReadJournal(dir);
+  for (const JournalRecord& r : after.records) {
+    EXPECT_GT(r.lsn, first_last);
+  }
+  // The journal keeps appending normally after GC.
+  ASSERT_TRUE(journal.Append(MakeSample(30)).has_value());
+  EXPECT_EQ(journal.last_lsn(), 31u);
+}
+
+}  // namespace
+}  // namespace amf::stream
