@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/aligned.h"
+#include "common/bf16.h"
 #include "core/amf_model.h"
 #include "core/sample_store.h"
 #include "data/synthetic.h"
@@ -178,6 +179,93 @@ void BM_GemvStridedArena(benchmark::State& state) {
                           static_cast<std::int64_t>(kGemvRows));
 }
 BENCHMARK(BM_GemvStridedArena)->Arg(10)->Arg(32);
+
+// --- Strided GEMV precision ablation ---------------------------------------
+// The compressed read replicas (DESIGN.md §13) trade per-lane precision
+// for bytes: at a given rank the bf16/fp32 rows stream fewer cache lines
+// than fp64 ones. That trade only pays when the block spills cache — at
+// resident sizes fp64 wins (no widening converts, same lines from L1/L2)
+// — so this ablation uses a row count chosen to overflow typical L2+L3
+// slices and measure the bandwidth-bound regime the replicas target.
+
+constexpr std::size_t kReplicaGemvRows = 100000;
+
+void BM_GemvStridedFp64(benchmark::State& state) {
+  const auto rank = static_cast<std::size_t>(state.range(0));
+  const std::size_t stride =
+      common::RoundUp(rank, common::kCacheLineBytes / sizeof(double));
+  auto block = FillBlock(kReplicaGemvRows * stride);
+  for (std::size_t r = 0; r < kReplicaGemvRows; ++r) {
+    for (std::size_t k = rank; k < stride; ++k) block[r * stride + k] = 0.0;
+  }
+  const auto x = FillBlock(rank);
+  std::vector<double> out(kReplicaGemvRows);
+  for (auto _ : state) {
+    linalg::GemvRowMajorStrided({x.data(), rank}, block.data(), stride, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kReplicaGemvRows));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kReplicaGemvRows *
+                                                    stride * sizeof(double)));
+}
+BENCHMARK(BM_GemvStridedFp64)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_GemvStridedFp32(benchmark::State& state) {
+  const auto rank = static_cast<std::size_t>(state.range(0));
+  const std::size_t stride =
+      common::RoundUp(rank, common::kCacheLineBytes / sizeof(float));
+  std::vector<float, common::AlignedAllocator<float>> block(
+      kReplicaGemvRows * stride, 0.0f);
+  common::Rng rng(11);
+  for (std::size_t r = 0; r < kReplicaGemvRows; ++r) {
+    for (std::size_t k = 0; k < rank; ++k) {
+      block[r * stride + k] = static_cast<float>(rng.Uniform() - 0.5);
+    }
+  }
+  const auto x = FillBlock(rank);
+  std::vector<double> out(kReplicaGemvRows);
+  for (auto _ : state) {
+    linalg::GemvRowMajorStridedFp32({x.data(), rank}, block.data(), stride,
+                                    out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kReplicaGemvRows));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kReplicaGemvRows *
+                                                    stride * sizeof(float)));
+}
+BENCHMARK(BM_GemvStridedFp32)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_GemvStridedBf16(benchmark::State& state) {
+  const auto rank = static_cast<std::size_t>(state.range(0));
+  const std::size_t stride =
+      common::RoundUp(rank, common::kCacheLineBytes / sizeof(common::Bf16));
+  std::vector<common::Bf16, common::AlignedAllocator<common::Bf16>> block(
+      kReplicaGemvRows * stride, 0);
+  common::Rng rng(11);
+  for (std::size_t r = 0; r < kReplicaGemvRows; ++r) {
+    for (std::size_t k = 0; k < rank; ++k) {
+      block[r * stride + k] = common::Bf16FromDouble(rng.Uniform() - 0.5);
+    }
+  }
+  const auto x = FillBlock(rank);
+  std::vector<double> out(kReplicaGemvRows);
+  for (auto _ : state) {
+    linalg::GemvRowMajorStridedBf16({x.data(), rank}, block.data(), stride,
+                                    out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kReplicaGemvRows));
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(kReplicaGemvRows * stride *
+                                sizeof(common::Bf16)));
+}
+BENCHMARK(BM_GemvStridedBf16)->Arg(8)->Arg(16)->Arg(32);
 
 void BM_TransformForward(benchmark::State& state) {
   transform::QoSTransformConfig cfg;

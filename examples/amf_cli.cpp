@@ -27,7 +27,8 @@
 //       prints the top-k candidates with uncertainty.
 //
 //   amf_cli metrics [--seconds SEC --users N --services M --seed S
-//           --ring CAP --watch 0|1 --format json|prom --out FILE]
+//           --ring CAP --watch 0|1 --format json|prom --out FILE
+//           --read-precision fp64|fp32|bf16]
 //       Runs a synthetic concurrent workload (producer uploads, trainer
 //       ticks, predictions in flight) against a ConcurrentPredictionService
 //       for SEC seconds, then dumps its metrics registry — counters,
@@ -35,6 +36,9 @@
 //       Prometheus text. --watch 1 additionally prints a live counter
 //       line to stderr four times a second while the workload runs,
 //       demonstrating that snapshots never wait for training.
+//       --read-precision fp32|bf16 routes the prediction reads through
+//       the compressed replica slabs (DESIGN.md section 13); the replica.*
+//       series then report refresh and staleness activity.
 //
 //   amf_cli chaos [--users N --services M --slices T --seed S
 //           --ticks K --tick-seconds DT --per-tick P
@@ -321,6 +325,15 @@ int CmdMetrics(const Args& args) {
   }
   for (std::size_t s = 0; s < services; ++s) {
     service.RegisterService("s" + std::to_string(s));
+  }
+  const std::string precision_flag =
+      common::ToLower(args.Get("read-precision", "fp64"));
+  const auto precision = core::ParseReadPrecision(precision_flag);
+  AMF_CHECK_MSG(precision.has_value(),
+                "--read-precision must be fp64, fp32, or bf16, got "
+                    << precision_flag);
+  if (*precision != core::ReadPrecision::kFp64) {
+    service.SetReadPrecision(*precision);
   }
 
   // Closed-loop synthetic workload: every instrumented hot path (ingest

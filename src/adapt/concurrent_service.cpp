@@ -243,6 +243,21 @@ void ConcurrentPredictionService::PredictMatrix(linalg::Matrix* out) const {
   }
 }
 
+void ConcurrentPredictionService::SetReadPrecision(
+    core::ReadPrecision precision) {
+  // train_mu_ first (no tick in flight = no replay epoch, no refresh),
+  // then mu_ exclusive (no prediction in flight): the replica slabs can
+  // be rebuilt with no reader or writer anywhere in the model.
+  std::lock_guard train(train_mu_);
+  std::unique_lock lock(mu_);
+  service_.set_read_precision(precision);
+}
+
+core::ReadPrecision ConcurrentPredictionService::read_precision() const {
+  std::shared_lock lock(mu_);
+  return service_.read_precision();
+}
+
 void ConcurrentPredictionService::EnableCheckpoints(
     const core::CheckpointManagerConfig& config) {
   std::lock_guard train(train_mu_);

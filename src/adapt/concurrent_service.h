@@ -122,6 +122,17 @@ class ConcurrentPredictionService {
   /// Like Tick but replays to convergence. Predictions proceed throughout.
   void TrainToConvergence(double now_seconds);
 
+  // --- Read precision (exclusive lock; rare) -------------------------------
+  /// Switches the element type the prediction readouts stream: fp64 reads
+  /// the master factors directly (default, bit-identical results), fp32 /
+  /// bf16 route every PredictQoS / PredictQoSMany / PredictMatrix through
+  /// compressed replica slabs refreshed at each Tick's epoch barrier
+  /// (DESIGN.md §13). Takes both locks exclusive — the switch rebuilds the
+  /// replica slabs, which no seqlock protects — so treat it like a
+  /// registration-path operation: rare, not per-request.
+  void SetReadPrecision(core::ReadPrecision precision);
+  core::ReadPrecision read_precision() const;
+
   // --- Checkpoints (exclusive lock; rare) ----------------------------------
   void EnableCheckpoints(const core::CheckpointManagerConfig& config);
   bool RestoreFromLatestCheckpoint();

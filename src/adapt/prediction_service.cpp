@@ -338,7 +338,17 @@ bool QoSPredictionService::RestoreFromLatestCheckpoint() {
   std::optional<core::CheckpointData> data = checkpoints_->LoadLatestValid();
   if (!data) return false;
   restored_watermark_ = data->wal_watermark;
+  // The checkpoint format does not carry read_precision (a serving-side
+  // knob, not model state): the loaded model arrives at fp64 with no
+  // replicas. Re-apply the live precision after the swap — SetReadPrecision
+  // rebuilds and fully republishes the replica slabs from the restored
+  // masters, which is exactly the restore-time full refresh the replica
+  // lifecycle requires (DESIGN.md §13).
+  const core::ReadPrecision live_precision = model_.read_precision();
   model_ = std::move(data->model);
+  if (live_precision != model_.read_precision()) {
+    model_.SetReadPrecision(live_precision);
+  }
   core::SampleStore& store = trainer_.mutable_store();
   store.Clear();
   for (const data::QoSSample& s : data->store.samples()) store.Upsert(s);

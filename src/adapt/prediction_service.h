@@ -233,6 +233,18 @@ class QoSPredictionService {
   RecoveryReport Recover();
 
   const core::AmfModel& model() const { return model_; }
+
+  /// Switches the model's read precision (rebuilding the compressed
+  /// replicas from the fp64 masters). NOT safe against concurrent readers
+  /// or in-flight training — the concurrent facade wraps this under its
+  /// exclusive locks; serial callers just must not be mid-Tick.
+  void set_read_precision(core::ReadPrecision precision) {
+    model_.SetReadPrecision(precision);
+  }
+  core::ReadPrecision read_precision() const {
+    return model_.read_precision();
+  }
+
   core::OnlineTrainer& trainer() { return trainer_; }
   const core::OnlineTrainer& trainer() const { return trainer_; }
   std::size_t observations() const { return collector_.total_collected(); }

@@ -1,0 +1,68 @@
+// bfloat16 conversion helpers for the compressed read-replica path.
+//
+// bf16 is the top 16 bits of an IEEE-754 binary32: 1 sign bit, the same
+// 8-bit exponent, and a 7-bit mantissa. Truncating a float's low half
+// therefore preserves its full dynamic range (including subnormals, whose
+// encoding is monotone in the raw bit pattern) at ~2-3 significant decimal
+// digits. That is exactly the trade the predict-side replicas want: the
+// latent factors' information content is bounded by SGD noise, so halving
+// (vs fp32) or quartering (vs fp64) the bytes streamed per service-block
+// scan costs accuracy only within an explicitly enforced MRE budget.
+//
+// Encoding rounds to nearest-even rather than truncating: RNE halves the
+// worst-case quantization error and is what every hardware bf16 unit
+// (AVX512-BF16, NEON BF16, TPUs) implements, so replica contents stay
+// reproducible if the encode loop is ever offloaded. The round is the
+// classic bias trick on the raw bits — add 0x7FFF plus the LSB of the
+// kept half, then shift — which is correct for every finite value
+// (subnormals included) and for ±Inf, and may legitimately round a huge
+// finite value up to Inf (just as binary32 -> binary16 RNE does). NaN is
+// special-cased: the bias could carry into the exponent and turn a NaN
+// payload into Inf, so NaNs map to a canonical quiet NaN with the sign
+// preserved instead.
+//
+// Decoding is exact (every bf16 value IS a float): shift the 16 bits back
+// into the high half of a binary32. Both directions are pure bit
+// arithmetic — no FP environment dependence, safe in any TU.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace amf::common {
+
+/// Storage type of one bf16 lane (raw bits; top half of a binary32).
+using Bf16 = std::uint16_t;
+
+/// Round-to-nearest-even conversion, NaN-safe (see file comment).
+inline Bf16 Bf16FromFloat(float value) {
+  const std::uint32_t bits = std::bit_cast<std::uint32_t>(value);
+  if ((bits & 0x7F800000u) == 0x7F800000u && (bits & 0x007FFFFFu) != 0u) {
+    // NaN: rounding could carry into the exponent (=> Inf). Canonical
+    // quiet NaN, sign preserved.
+    return static_cast<Bf16>((bits >> 16) | 0x0040u);
+  }
+  const std::uint32_t rounded = bits + 0x7FFFu + ((bits >> 16) & 1u);
+  return static_cast<Bf16>(rounded >> 16);
+}
+
+/// Exact widening: every bf16 value is representable as a float.
+inline float Bf16ToFloat(Bf16 value) {
+  return std::bit_cast<float>(static_cast<std::uint32_t>(value) << 16);
+}
+
+/// double -> bf16 via the intermediate binary32: two RNE steps, which on
+/// a double sitting within half a float-ulp of a bf16 tie midpoint can
+/// land one bf16-ulp away from a direct single rounding (classic double
+/// rounding). That deviation is deterministic, at most 2^-8 relative, and
+/// far inside the replica accuracy budget; in exchange the encode matches
+/// what a hardware float->bf16 unit fed fp32-converted masters produces.
+inline Bf16 Bf16FromDouble(double value) {
+  return Bf16FromFloat(static_cast<float>(value));
+}
+
+inline double Bf16ToDouble(Bf16 value) {
+  return static_cast<double>(Bf16ToFloat(value));
+}
+
+}  // namespace amf::common

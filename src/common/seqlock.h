@@ -52,21 +52,28 @@ inline void SeqlockEndWrite(SeqlockVersion& version) {
 }
 
 /// Relaxed atomic store of one row element inside a write section.
-inline void SeqlockStore(double& slot, double value) {
-  std::atomic_ref<double>(slot).store(value, std::memory_order_relaxed);
+/// Generic over the element type so the compressed read replicas (float /
+/// bf16-as-uint16 lanes, see core/replica_arena.h) publish through the
+/// same protocol as the fp64 masters; every instantiation used here is
+/// always lock-free.
+template <typename T>
+inline void SeqlockStore(T& slot, T value) {
+  std::atomic_ref<T>(slot).store(value, std::memory_order_relaxed);
 }
 
-/// Relaxed atomic load usable outside any version bracket (64-bit loads
-/// never tear); for row snapshots prefer SeqlockReadRow.
-inline double RelaxedLoad(const double& slot) {
+/// Relaxed atomic load usable outside any version bracket (loads of
+/// lock-free sizes never tear); for row snapshots prefer SeqlockReadRow.
+template <typename T>
+inline T RelaxedLoad(const T& slot) {
   // atomic_ref wants a mutable lvalue; the const_cast is sound because
   // loads never modify the object.
-  return std::atomic_ref<double>(const_cast<double&>(slot))
+  return std::atomic_ref<T>(const_cast<T&>(slot))
       .load(std::memory_order_relaxed);
 }
 
-inline void RelaxedStore(double& slot, double value) {
-  std::atomic_ref<double>(slot).store(value, std::memory_order_relaxed);
+template <typename T>
+inline void RelaxedStore(T& slot, T value) {
+  std::atomic_ref<T>(slot).store(value, std::memory_order_relaxed);
 }
 
 /// One read attempt: calls `read_fn()` (relaxed atomic loads only) between

@@ -2,6 +2,25 @@
 
 namespace amf::core {
 
+const char* ToString(ReadPrecision p) {
+  switch (p) {
+    case ReadPrecision::kFp64:
+      return "fp64";
+    case ReadPrecision::kFp32:
+      return "fp32";
+    case ReadPrecision::kBf16:
+      return "bf16";
+  }
+  return "fp64";
+}
+
+std::optional<ReadPrecision> ParseReadPrecision(std::string_view s) {
+  if (s == "fp64") return ReadPrecision::kFp64;
+  if (s == "fp32") return ReadPrecision::kFp32;
+  if (s == "bf16") return ReadPrecision::kBf16;
+  return std::nullopt;
+}
+
 AmfConfig MakeResponseTimeConfig(std::uint64_t seed) {
   AmfConfig c;
   c.seed = seed;

@@ -6,10 +6,27 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
+#include <string_view>
 
 #include "transform/qos_transform.h"
 
 namespace amf::core {
+
+/// Element type of the predict-side read path (DESIGN.md §13). Training
+/// always runs against the fp64 master factors; kFp32/kBf16 additionally
+/// maintain compressed replica slabs (core/replica_arena.h) that the
+/// *Shared batch readouts stream instead of the masters, trading a
+/// bounded accuracy delta for 2x/4x fewer bytes per service-block scan.
+enum class ReadPrecision : std::uint8_t {
+  kFp64 = 0,  ///< read the masters directly (default; bit-identical)
+  kFp32 = 1,  ///< float replicas (~1e-7 relative per lane)
+  kBf16 = 2,  ///< bfloat16 replicas (~4e-3 relative per lane)
+};
+
+/// "fp64" / "fp32" / "bf16" (stable CLI/bench vocabulary).
+const char* ToString(ReadPrecision p);
+std::optional<ReadPrecision> ParseReadPrecision(std::string_view s);
 
 struct AmfConfig {
   /// Latent dimensionality d (paper: 10).
@@ -48,6 +65,14 @@ struct AmfConfig {
   double loss_epsilon = 1e-8;
   /// Technique 3 switch: false fixes w_u = w_s = 1/2 (ablation A2).
   bool adaptive_weights = true;
+  /// Element type served to the *Shared batch prediction readouts. kFp64
+  /// reads the master factors (default, bit-identical to every earlier
+  /// revision); kFp32/kBf16 maintain compressed replicas refreshed at the
+  /// trainer's epoch barrier. Runtime-switchable under exclusion via
+  /// AmfModel::SetReadPrecision. Not serialized with the model: a restored
+  /// checkpoint comes back at kFp64 and the owning service re-applies its
+  /// configured precision (which full-refreshes the replicas).
+  ReadPrecision read_precision = ReadPrecision::kFp64;
   std::uint64_t seed = 1;
 };
 

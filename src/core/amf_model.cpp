@@ -5,6 +5,7 @@
 #include <limits>
 #include <unordered_map>
 
+#include "common/bf16.h"
 #include "common/check.h"
 #include "common/multiversion.h"  // AMF_TSAN_BUILD
 #include "common/thread_pool.h"
@@ -48,7 +49,10 @@ AmfModel::AmfModel(const AmfConfig& config)
       transform_(config_.transform),
       rng_(config_.seed),
       user_(config_.rank),
-      service_(config_.rank) {}
+      service_(config_.rank) {
+  user_replica_.Configure(config_.read_precision, config_.rank);
+  service_replica_.Configure(config_.read_precision, config_.rank);
+}
 
 AmfModel::AmfModel(const AmfModel& other)
     : config_(other.config_),
@@ -56,9 +60,18 @@ AmfModel::AmfModel(const AmfModel& other)
       rng_(other.rng_),
       user_(other.user_),
       service_(other.service_),
+      user_replica_(other.user_replica_),
+      service_replica_(other.service_replica_),
+      user_dirty_(other.user_dirty_),
+      service_dirty_(other.service_dirty_),
       updates_(other.updates()),
       nan_reinit_users_(other.nan_reinit_users()),
-      nan_reinit_services_(other.nan_reinit_services()) {}
+      nan_reinit_services_(other.nan_reinit_services()),
+      replica_rows_refreshed_(other.replica_rows_refreshed()),
+      replica_refreshes_(other.replica_refreshes()),
+      replica_full_refreshes_(other.replica_full_refreshes()),
+      replica_synced_updates_(
+          other.replica_synced_updates_.load(std::memory_order_relaxed)) {}
 
 AmfModel& AmfModel::operator=(const AmfModel& other) {
   if (this == &other) return *this;
@@ -67,11 +80,24 @@ AmfModel& AmfModel::operator=(const AmfModel& other) {
   rng_ = other.rng_;
   user_ = other.user_;
   service_ = other.service_;
+  user_replica_ = other.user_replica_;
+  service_replica_ = other.service_replica_;
+  user_dirty_ = other.user_dirty_;
+  service_dirty_ = other.service_dirty_;
   updates_.store(other.updates(), std::memory_order_relaxed);
   nan_reinit_users_.store(other.nan_reinit_users(),
                           std::memory_order_relaxed);
   nan_reinit_services_.store(other.nan_reinit_services(),
                              std::memory_order_relaxed);
+  replica_rows_refreshed_.store(other.replica_rows_refreshed(),
+                                std::memory_order_relaxed);
+  replica_refreshes_.store(other.replica_refreshes(),
+                           std::memory_order_relaxed);
+  replica_full_refreshes_.store(other.replica_full_refreshes(),
+                                std::memory_order_relaxed);
+  replica_synced_updates_.store(
+      other.replica_synced_updates_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
   return *this;
 }
 
@@ -81,9 +107,18 @@ AmfModel::AmfModel(AmfModel&& other) noexcept
       rng_(std::move(other.rng_)),
       user_(std::move(other.user_)),
       service_(std::move(other.service_)),
+      user_replica_(std::move(other.user_replica_)),
+      service_replica_(std::move(other.service_replica_)),
+      user_dirty_(std::move(other.user_dirty_)),
+      service_dirty_(std::move(other.service_dirty_)),
       updates_(other.updates()),
       nan_reinit_users_(other.nan_reinit_users()),
-      nan_reinit_services_(other.nan_reinit_services()) {}
+      nan_reinit_services_(other.nan_reinit_services()),
+      replica_rows_refreshed_(other.replica_rows_refreshed()),
+      replica_refreshes_(other.replica_refreshes()),
+      replica_full_refreshes_(other.replica_full_refreshes()),
+      replica_synced_updates_(
+          other.replica_synced_updates_.load(std::memory_order_relaxed)) {}
 
 AmfModel& AmfModel::operator=(AmfModel&& other) noexcept {
   if (this == &other) return *this;
@@ -92,15 +127,29 @@ AmfModel& AmfModel::operator=(AmfModel&& other) noexcept {
   rng_ = std::move(other.rng_);
   user_ = std::move(other.user_);
   service_ = std::move(other.service_);
+  user_replica_ = std::move(other.user_replica_);
+  service_replica_ = std::move(other.service_replica_);
+  user_dirty_ = std::move(other.user_dirty_);
+  service_dirty_ = std::move(other.service_dirty_);
   updates_.store(other.updates(), std::memory_order_relaxed);
   nan_reinit_users_.store(other.nan_reinit_users(),
                           std::memory_order_relaxed);
   nan_reinit_services_.store(other.nan_reinit_services(),
                              std::memory_order_relaxed);
+  replica_rows_refreshed_.store(other.replica_rows_refreshed(),
+                                std::memory_order_relaxed);
+  replica_refreshes_.store(other.replica_refreshes(),
+                           std::memory_order_relaxed);
+  replica_full_refreshes_.store(other.replica_full_refreshes(),
+                                std::memory_order_relaxed);
+  replica_synced_updates_.store(
+      other.replica_synced_updates_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
   return *this;
 }
 
-void AmfModel::Grow(FactorArena& arena, std::size_t need) {
+void AmfModel::Grow(FactorArena& arena, ReplicaArena& replica,
+                    DirtyRowSet& dirty, std::size_t need) {
   const std::size_t old = arena.Grow(need, config_.initial_error);
   // Same rng_ draw order as per-entity registration (and as the pre-arena
   // vector layout): rank draws per entity, registration order. Pad lanes
@@ -110,16 +159,28 @@ void AmfModel::Grow(FactorArena& arena, std::size_t need) {
       x = rng_.Uniform() * config_.init_scale;
     }
   }
+  if (replica.enabled()) {
+    // Replica growth rides the same registration exclusion that makes
+    // master growth safe; publishing here (not at the next barrier) keeps
+    // the invariant that every registered row is replica-readable.
+    replica.Grow(need);
+    dirty.EnsureRows(need);
+    for (std::size_t i = old; i < need; ++i) {
+      replica.PublishRow(i, arena.row_span(i));
+    }
+  }
 }
 
 void AmfModel::EnsureUser(data::UserId u) {
   const std::size_t need = static_cast<std::size_t>(u) + 1;
-  if (user_.size() < need) Grow(user_, need);
+  if (user_.size() < need) Grow(user_, user_replica_, user_dirty_, need);
 }
 
 void AmfModel::EnsureService(data::ServiceId s) {
   const std::size_t need = static_cast<std::size_t>(s) + 1;
-  if (service_.size() < need) Grow(service_, need);
+  if (service_.size() < need) {
+    Grow(service_, service_replica_, service_dirty_, need);
+  }
 }
 
 void AmfModel::RetireUser(data::UserId u) {
@@ -136,6 +197,11 @@ void AmfModel::RetireUser(data::UserId u) {
   }
   common::RelaxedStore(user_.error(u), config_.initial_error);
   common::SeqlockEndWrite(user_.version(u));
+  // The replica is re-initialized in the same publish step, not left for
+  // the next barrier: a recycled slot must never serve the old tenant's
+  // compressed row to replica readers while the master already holds the
+  // cold-start row.
+  if (user_replica_.enabled()) user_replica_.PublishRow(u, fresh);
 }
 
 void AmfModel::RetireService(data::ServiceId s) {
@@ -150,6 +216,7 @@ void AmfModel::RetireService(data::ServiceId s) {
   }
   common::RelaxedStore(service_.error(s), config_.initial_error);
   common::SeqlockEndWrite(service_.version(s));
+  if (service_replica_.enabled()) service_replica_.PublishRow(s, fresh);
 }
 
 bool AmfModel::RepairNonFinite(std::span<double> v, double& error,
@@ -199,9 +266,11 @@ double AmfModel::OnlineUpdate(data::UserId u, data::ServiceId s,
   // shared factors during replay. Drop and re-initialize it instead.
   if (RepairNonFinite(ui, user_.error(u), u)) {
     nan_reinit_users_.fetch_add(1, std::memory_order_relaxed);
+    MarkUserDirty(u);
   }
   if (RepairNonFinite(sj, service_.error(s), s)) {
     nan_reinit_services_.fetch_add(1, std::memory_order_relaxed);
+    MarkServiceDirty(s);
   }
 
   // Data transformation (Eqs. 3-4); r is floored away from 0.
@@ -249,6 +318,10 @@ double AmfModel::OnlineUpdate(data::UserId u, data::ServiceId s,
   const double cs = eta * ws;
   linalg::SgdPairStep(ui, sj, common_coef, cu, cs, config_.lambda_user,
                       config_.lambda_service);
+  // Replica bookkeeping: both masters mutated; their compressed copies go
+  // stale until the next epoch-barrier refresh.
+  MarkUserDirty(u);
+  MarkServiceDirty(s);
   return e_us;
 }
 
@@ -278,7 +351,7 @@ double AmfModel::OnlineUpdateGuarded(data::UserId u, data::ServiceId s,
   const auto repair_guarded =
       [&](std::span<double> row, double& err, common::SeqlockVersion& ver,
           std::uint64_t id, std::vector<double>& scratch,
-          std::atomic<std::uint64_t>& counter) {
+          std::atomic<std::uint64_t>& counter, DirtyRowSet& dirty) {
         bool poisoned = false;
         for (const double x : row) {
           if (!std::isfinite(x)) {
@@ -295,11 +368,15 @@ double AmfModel::OnlineUpdateGuarded(data::UserId u, data::ServiceId s,
         common::RelaxedStore(err, config_.initial_error);
         common::SeqlockEndWrite(ver);
         counter.fetch_add(1, std::memory_order_relaxed);
+        // The repair may be the only mutation this call performs (the
+        // sample can still be refused below), so mark here, not just at
+        // the final publish.
+        if (replicas_enabled()) dirty.Mark(id);
       };
   repair_guarded(ui, user_.error(u), user_.version(u), u, new_u,
-                 nan_reinit_users_);
+                 nan_reinit_users_, user_dirty_);
   repair_guarded(sj, service_.error(s), service_.version(s), s, new_s,
-                 nan_reinit_services_);
+                 nan_reinit_services_, service_dirty_);
 
   const double r = transform_.Forward(raw_value);
   if (!std::isfinite(r) ||
@@ -355,6 +432,8 @@ double AmfModel::OnlineUpdateGuarded(data::UserId u, data::ServiceId s,
   common::RelaxedStore(service_.error(s), new_es);
   common::SeqlockEndWrite(service_.version(s));
 
+  MarkUserDirty(u);
+  MarkServiceDirty(s);
   return e_us;
 }
 
@@ -416,6 +495,70 @@ void AmfModel::SharedDotBlock(std::span<const double> urow, std::size_t begin,
   }
 }
 
+void AmfModel::SharedDotBlockReplica(std::span<const double> urow,
+                                     std::size_t begin, std::size_t end,
+                                     std::span<double> out) const {
+  const std::size_t d = config_.rank;
+  const ReplicaArena& rep = service_replica_;
+  [[maybe_unused]] const std::size_t stride = rep.stride();
+  thread_local std::vector<double> srow;
+  // Per-row fallback: a consistent widened snapshot through the replica
+  // row's own seqlock, reduced in GEMV row order (matches the bulk
+  // kernels' per-row reduction).
+  const auto row_fallback = [&](std::size_t s) {
+    srow.resize(d);
+    rep.SnapshotRow(s, srow);
+    return RowOrderDot(urow, srow.data(), d);
+  };
+  [[maybe_unused]] common::SeqlockVersion snap[kSharedPredictBlock];
+  for (std::size_t b = begin; b < end; b += kSharedPredictBlock) {
+    const std::size_t n = std::min(kSharedPredictBlock, end - b);
+    const std::span<double> chunk = out.subspan(b - begin, n);
+#if defined(AMF_TSAN_BUILD)
+    // Same TSan carve-out as the master path: the bulk pass reads the
+    // slab non-atomically (torn attempts are discarded, never observed),
+    // which TSan cannot model — degrade to per-row atomic snapshots.
+    for (std::size_t i = 0; i < n; ++i) chunk[i] = row_fallback(b + i);
+#else
+    // Block protocol against the replica's PACKED version words: the
+    // sweep for 64 rows touches 4 cache lines (vs 64 private meta lines
+    // on the master path), then one mixed-precision strided GEMV streams
+    // the compressed rows — the bytes-per-scan win the replicas exist
+    // for. Failed re-sweeps discard and retry; a refresh storm degrades
+    // to per-row snapshots.
+    int tries = 0;
+    while (!common::SeqlockTryReadBlock(
+        n, [&](std::size_t i) -> const common::SeqlockVersion& {
+          return rep.version(b + i);
+        },
+        snap,
+        [&] {
+          if (rep.precision() == ReadPrecision::kFp32) {
+            linalg::GemvRowMajorStridedFp32(urow, rep.fp32_row(b), stride,
+                                            chunk);
+          } else {
+            linalg::GemvRowMajorStridedBf16(urow, rep.bf16_row(b), stride,
+                                            chunk);
+          }
+        })) {
+      common::SeqlockRetryCounter().fetch_add(1, std::memory_order_relaxed);
+      if (++tries >= kMaxBlockTries) {
+        for (std::size_t i = 0; i < n; ++i) chunk[i] = row_fallback(b + i);
+        break;
+      }
+    }
+#endif
+  }
+}
+
+void AmfModel::SharedUserRow(data::UserId u, std::span<double> dst) const {
+  if (user_replica_.enabled()) {
+    user_replica_.SnapshotRow(u, dst);
+  } else {
+    common::SeqlockReadRow(user_.version(u), user_.row_span(u), dst);
+  }
+}
+
 double AmfModel::PredictNormalizedShared(data::UserId u,
                                          data::ServiceId s) const {
   AMF_CHECK_MSG(HasUser(u) && HasService(s),
@@ -424,7 +567,13 @@ double AmfModel::PredictNormalizedShared(data::UserId u,
   const std::size_t d = config_.rank;
   thread_local std::vector<double> urow;
   urow.resize(d);
-  common::SeqlockReadRow(user_.version(u), user_.row_span(u), urow);
+  SharedUserRow(u, urow);
+  if (replicas_enabled()) {
+    thread_local std::vector<double> srow;
+    srow.resize(d);
+    service_replica_.SnapshotRow(s, srow);
+    return transform::Sigmoid(RowOrderDot(urow, srow.data(), d));
+  }
   return transform::Sigmoid(SharedDotWithService(urow, s));
 }
 
@@ -441,10 +590,71 @@ void AmfModel::PredictManyRawShared(data::UserId u,
   const std::size_t d = config_.rank;
   thread_local std::vector<double> urow;
   urow.resize(d);
-  common::SeqlockReadRow(user_.version(u), user_.row_span(u), urow);
+  SharedUserRow(u, urow);
   for (const data::ServiceId s : services) {
     AMF_CHECK_MSG(HasService(s),
                   "shared prediction for unregistered service " << s);
+  }
+  if (replicas_enabled()) {
+    // Replica gather: same block-batched validation against the packed
+    // replica versions; the bulk pass widens each compressed row in GEMV
+    // row order (single ascending-k accumulator — identical reduction to
+    // the per-row fallback, in this same strict-FP TU).
+    const ReplicaArena& rep = service_replica_;
+    thread_local std::vector<double> srow;
+    const auto rep_fallback = [&](data::ServiceId s) {
+      srow.resize(d);
+      rep.SnapshotRow(s, srow);
+      return RowOrderDot(urow, srow.data(), d);
+    };
+    [[maybe_unused]] common::SeqlockVersion snap[kSharedPredictBlock];
+    for (std::size_t b = 0; b < services.size(); b += kSharedPredictBlock) {
+      const std::size_t n =
+          std::min(kSharedPredictBlock, services.size() - b);
+      const std::span<double> chunk = out.subspan(b, n);
+#if defined(AMF_TSAN_BUILD)
+      for (std::size_t i = 0; i < n; ++i) {
+        chunk[i] = rep_fallback(services[b + i]);
+      }
+#else
+      int tries = 0;
+      while (!common::SeqlockTryReadBlock(
+          n, [&](std::size_t i) -> const common::SeqlockVersion& {
+            return rep.version(services[b + i]);
+          },
+          snap,
+          [&] {
+            for (std::size_t i = 0; i < n; ++i) {
+              const std::size_t s = services[b + i];
+              double acc = 0.0;
+              if (rep.precision() == ReadPrecision::kFp32) {
+                const float* row = rep.fp32_row(s);
+                for (std::size_t k = 0; k < d; ++k) {
+                  acc += urow[k] * static_cast<double>(row[k]);
+                }
+              } else {
+                const common::Bf16* row = rep.bf16_row(s);
+                for (std::size_t k = 0; k < d; ++k) {
+                  acc += urow[k] * common::Bf16ToDouble(row[k]);
+                }
+              }
+              chunk[i] = acc;
+            }
+          })) {
+        common::SeqlockRetryCounter().fetch_add(1,
+                                                std::memory_order_relaxed);
+        if (++tries >= kMaxBlockTries) {
+          for (std::size_t i = 0; i < n; ++i) {
+            chunk[i] = rep_fallback(services[b + i]);
+          }
+          break;
+        }
+      }
+#endif
+    }
+    transform::SigmoidRow(out, out);
+    transform_.InverseRow(out);
+    return;
   }
   // Gathered rows validate in blocks too: one version sweep per
   // kSharedPredictBlock scattered rows around a bulk dot pass (linalg::Dot
@@ -502,8 +712,12 @@ void AmfModel::PredictRowRawShared(data::UserId u,
   const std::size_t d = config_.rank;
   thread_local std::vector<double> urow;
   urow.resize(d);
-  common::SeqlockReadRow(user_.version(u), user_.row_span(u), urow);
-  SharedDotBlock(urow, 0, out.size(), out);
+  SharedUserRow(u, urow);
+  if (replicas_enabled()) {
+    SharedDotBlockReplica(urow, 0, out.size(), out);
+  } else {
+    SharedDotBlock(urow, 0, out.size(), out);
+  }
   transform::SigmoidRow(out, out);
   transform_.InverseRow(out);
 }
@@ -642,6 +856,62 @@ void AmfModel::SetServiceError(data::ServiceId s, double e) {
   AMF_CHECK(HasService(s));
   AMF_CHECK_MSG(e >= 0.0, "entity error must be non-negative");
   service_.error(s) = e;
+}
+
+std::size_t AmfModel::RebuildReplicas() {
+  user_replica_.Configure(config_.read_precision, config_.rank);
+  service_replica_.Configure(config_.read_precision, config_.rank);
+  if (!replicas_enabled()) {
+    user_dirty_.Clear();
+    service_dirty_.Clear();
+    replica_synced_updates_.store(updates(), std::memory_order_relaxed);
+    return 0;
+  }
+  user_replica_.Grow(user_.size());
+  service_replica_.Grow(service_.size());
+  user_dirty_.EnsureRows(user_.size());
+  service_dirty_.EnsureRows(service_.size());
+  for (std::size_t i = 0; i < user_.size(); ++i) {
+    user_replica_.PublishRow(i, user_.row_span(i));
+  }
+  for (std::size_t i = 0; i < service_.size(); ++i) {
+    service_replica_.PublishRow(i, service_.row_span(i));
+  }
+  user_dirty_.Clear();
+  service_dirty_.Clear();
+  replica_synced_updates_.store(updates(), std::memory_order_relaxed);
+  return user_.size() + service_.size();
+}
+
+void AmfModel::SetReadPrecision(ReadPrecision precision) {
+  config_.read_precision = precision;
+  const std::size_t rows = RebuildReplicas();
+  if (replicas_enabled()) {
+    replica_full_refreshes_.fetch_add(1, std::memory_order_relaxed);
+    replica_rows_refreshed_.fetch_add(rows, std::memory_order_relaxed);
+  }
+}
+
+std::size_t AmfModel::RefreshReplicas() {
+  if (!replicas_enabled()) return 0;
+  std::size_t rows = 0;
+  rows += user_dirty_.Drain(
+      [&](std::size_t i) { user_replica_.PublishRow(i, user_.row_span(i)); });
+  rows += service_dirty_.Drain([&](std::size_t i) {
+    service_replica_.PublishRow(i, service_.row_span(i));
+  });
+  replica_refreshes_.fetch_add(1, std::memory_order_relaxed);
+  replica_rows_refreshed_.fetch_add(rows, std::memory_order_relaxed);
+  replica_synced_updates_.store(updates(), std::memory_order_relaxed);
+  return rows;
+}
+
+std::size_t AmfModel::RefreshAllReplicas() {
+  if (!replicas_enabled()) return 0;
+  const std::size_t rows = RebuildReplicas();
+  replica_full_refreshes_.fetch_add(1, std::memory_order_relaxed);
+  replica_rows_refreshed_.fetch_add(rows, std::memory_order_relaxed);
+  return rows;
 }
 
 std::vector<double> PredictSamplesRaw(

@@ -27,6 +27,7 @@
 #include "common/seqlock.h"
 #include "core/amf_config.h"
 #include "core/factor_arena.h"
+#include "core/replica_arena.h"
 #include "data/qos_types.h"
 
 namespace amf::common {
@@ -193,6 +194,68 @@ class AmfModel {
   /// Service rows validated per block in the *Shared batch readouts.
   static constexpr std::size_t kSharedPredictBlock = 64;
 
+  // --- Compressed read replicas (DESIGN.md §13) ----------------------------
+  // With read_precision kFp32/kBf16 the model keeps compressed copies of
+  // every latent row (core/replica_arena.h) and the *Shared readouts
+  // stream those instead of the fp64 masters — 2x/4x fewer bytes per
+  // service-block scan. Masters stay the only training state; replicas
+  // are refreshed from them at the trainer's epoch barrier (dirty rows
+  // only) and republished whole on checkpoint restore / precision
+  // switches. kFp64 (default) bypasses the subsystem entirely: the
+  // *Shared paths read the masters bit-identically to earlier revisions.
+
+  bool replicas_enabled() const { return user_replica_.enabled(); }
+  ReadPrecision read_precision() const { return config_.read_precision; }
+
+  /// Switches the read path's element type, rebuilding the replica slabs
+  /// from the masters (a full refresh; counted in
+  /// replica_full_refreshes). NOT safe against concurrent readers or
+  /// writers — callers switch under the same exclusion that guards
+  /// registration (see ConcurrentPredictionService::SetReadPrecision).
+  void SetReadPrecision(ReadPrecision precision);
+
+  /// Epoch-barrier refresh: republishes only the rows whose master
+  /// mutated since the last refresh (through the replica rows' seqlocks,
+  /// so concurrent *Shared readers never see a torn row). Returns rows
+  /// republished; no-op (0) when replicas are disabled. The caller must
+  /// guarantee no master writer is in flight (the trainers call this at
+  /// their epoch barriers).
+  std::size_t RefreshReplicas();
+
+  /// Unconditional whole-slab republish: checkpoint restore and any other
+  /// path that rewrites masters without dirty tracking (MutableUserFactors
+  /// et al.) must call this before replica reads resume.
+  std::size_t RefreshAllReplicas();
+
+  /// Replica observability (relaxed reads, safe from any thread):
+  /// rows republished so far, dirty-only refreshes, full refreshes,
+  /// rows currently awaiting refresh, and the number of updates applied
+  /// since the last refresh (the staleness window, in updates).
+  std::uint64_t replica_rows_refreshed() const {
+    return replica_rows_refreshed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t replica_refreshes() const {
+    return replica_refreshes_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t replica_full_refreshes() const {
+    return replica_full_refreshes_.load(std::memory_order_relaxed);
+  }
+  std::size_t replica_dirty_rows() const {
+    return user_dirty_.CountApprox() + service_dirty_.CountApprox();
+  }
+  std::uint64_t replica_staleness_updates() const {
+    return updates() -
+           replica_synced_updates_.load(std::memory_order_relaxed);
+  }
+
+  /// Bytes one batched scan streams per service row in the current read
+  /// precision (pad lanes included; the fp64 value counts the master
+  /// row). Bench/monitoring denominator.
+  std::size_t read_row_bytes() const {
+    return replicas_enabled() ? service_replica_.row_bytes()
+                              : service_.stride() * sizeof(double);
+  }
+
   /// Entity-error reads safe against concurrent guarded writers (relaxed
   /// atomic loads; 64-bit loads never tear).
   double UserErrorShared(data::UserId u) const;
@@ -236,8 +299,17 @@ class AmfModel {
   /// Grows one entity family to `need` entries: geometric capacity reserve,
   /// then one arena resize + randomized factor fill (same rng_ draw order
   /// as the pre-arena layout: rank draws per entity, registration order —
-  /// fixed-seed traces are unchanged).
-  void Grow(FactorArena& arena, std::size_t need);
+  /// fixed-seed traces are unchanged). When replicas are enabled the
+  /// family's replica slab grows in the same call and the new rows are
+  /// published immediately, so a freshly registered entity is readable at
+  /// the configured precision without waiting for a barrier.
+  void Grow(FactorArena& arena, ReplicaArena& replica, DirtyRowSet& dirty,
+            std::size_t need);
+
+  /// (Re)builds both replica slabs for the current config_.read_precision
+  /// and publishes every master row into them (shared body of the
+  /// constructor, SetReadPrecision, and RefreshAllReplicas).
+  std::size_t RebuildReplicas();
 
   void PredictMatrixImpl(linalg::Matrix* out, common::ThreadPool* pool,
                          bool raw) const;
@@ -263,6 +335,24 @@ class AmfModel {
   void SharedDotBlock(std::span<const double> urow, std::size_t begin,
                       std::size_t end, std::span<double> out) const;
 
+  /// Replica-path variant of SharedDotBlock: same block protocol against
+  /// the service replica's packed version words, bulk pass through the
+  /// mixed-precision strided GEMV.
+  void SharedDotBlockReplica(std::span<const double> urow, std::size_t begin,
+                             std::size_t end, std::span<double> out) const;
+
+  /// Snapshots user u's row for a shared readout into `dst`: from the
+  /// user replica (widened) when replicas are enabled, else from the
+  /// master through its seqlock.
+  void SharedUserRow(data::UserId u, std::span<double> dst) const;
+
+  void MarkUserDirty(data::UserId u) {
+    if (user_replica_.enabled()) user_dirty_.Mark(u);
+  }
+  void MarkServiceDirty(data::ServiceId s) {
+    if (service_replica_.enabled()) service_dirty_.Mark(s);
+  }
+
   AmfConfig config_;
   transform::QoSTransform transform_;
   common::Rng rng_;
@@ -272,10 +362,23 @@ class AmfModel {
   // versions even and pay nothing.
   FactorArena user_;
   FactorArena service_;
+  // Compressed read replicas + their dirty-row refresh bookkeeping
+  // (empty/no-op at the default kFp64 precision; see class comment in
+  // core/replica_arena.h).
+  ReplicaArena user_replica_;
+  ReplicaArena service_replica_;
+  DirtyRowSet user_dirty_;
+  DirtyRowSet service_dirty_;
   // Atomic so concurrent striped-lock updates may share the counter.
   std::atomic<std::uint64_t> updates_{0};
   std::atomic<std::uint64_t> nan_reinit_users_{0};
   std::atomic<std::uint64_t> nan_reinit_services_{0};
+  // Replica refresh accounting (barrier thread writes, monitors read).
+  std::atomic<std::uint64_t> replica_rows_refreshed_{0};
+  std::atomic<std::uint64_t> replica_refreshes_{0};
+  std::atomic<std::uint64_t> replica_full_refreshes_{0};
+  // updates() observed at the last refresh: the staleness-window anchor.
+  std::atomic<std::uint64_t> replica_synced_updates_{0};
 };
 
 /// Batched prediction for scattered test samples: groups them by user and

@@ -63,6 +63,24 @@ void OnlineTrainer::RegisterMetrics() {
   reg.RegisterCallbackCounter("pipeline.nan_reinit_services",
                               [this] { return model_.nan_reinit_services(); });
 
+  // Compressed read-replica health (all zero at read_precision fp64):
+  // refresh work done, rows currently awaiting the next barrier, and the
+  // staleness window in updates (how far replica readers lag the masters).
+  reg.RegisterCallbackCounter("replica.rows_refreshed", [this] {
+    return model_.replica_rows_refreshed();
+  });
+  reg.RegisterCallbackCounter("replica.refreshes",
+                              [this] { return model_.replica_refreshes(); });
+  reg.RegisterCallbackCounter("replica.full_refreshes", [this] {
+    return model_.replica_full_refreshes();
+  });
+  reg.RegisterCallbackGauge("replica.dirty_rows", [this] {
+    return static_cast<double>(model_.replica_dirty_rows());
+  });
+  reg.RegisterCallbackGauge("replica.staleness_updates", [this] {
+    return static_cast<double>(model_.replica_staleness_updates());
+  });
+
   // Epoch wall times span microseconds (tiny stores) to minutes (full
   // convergence passes over a large store).
   epoch_hist_ = reg.GetLatencyHistogram(
@@ -99,6 +117,7 @@ void OnlineTrainer::AdvanceTime(double now) {
 
 std::size_t OnlineTrainer::ProcessIncoming() {
   std::size_t processed = 0;
+  const bool saw_samples = !incoming_.empty();
   while (!incoming_.empty()) {
     const data::QoSSample sample = incoming_.front();
     incoming_.pop_front();
@@ -123,6 +142,11 @@ std::size_t OnlineTrainer::ProcessIncoming() {
     ++processed;
   }
   if (processed > 0) converged_ = false;
+  // Ingest is a barrier point too (the caller's thread, no replay in
+  // flight): publish the compressed replicas of every row this drain
+  // touched — including repairs on samples that were then refused, which
+  // is why the gate is "saw samples", not "applied updates".
+  if (saw_samples && model_.replicas_enabled()) model_.RefreshReplicas();
   return processed;
 }
 
@@ -185,6 +209,8 @@ std::optional<double> OnlineTrainer::ReplayEpoch() {
     if (store_.empty()) break;
   }
   FlushReplayCounters(applied_n, expired_n, skipped_n);
+  // Epoch barrier: fold this epoch's master mutations into the replicas.
+  if (model_.replicas_enabled()) model_.RefreshReplicas();
   if (applied == 0) return std::nullopt;
   return err_sum / static_cast<double>(applied);
 }
@@ -283,6 +309,10 @@ std::optional<double> OnlineTrainer::ReplayEpochParallel() {
     applied += out.applied;
   }
   updates_applied_.fetch_add(applied, std::memory_order_relaxed);
+  // Epoch barrier (the ParallelFor join ordered every shard's dirty marks
+  // before this point): dirty-row replica refresh on the trainer thread,
+  // while no hogwild writer is in flight.
+  if (model_.replicas_enabled()) model_.RefreshReplicas();
   if (applied == 0) return std::nullopt;
   return err_sum / static_cast<double>(applied);
 }

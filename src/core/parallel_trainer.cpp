@@ -49,6 +49,9 @@ double ParallelReplayTrainer::ReplayEpoch(
   });
   last_epoch_error_ =
       err_sum.load() / static_cast<double>(samples.size());
+  // Epoch barrier (ParallelFor joined): fold the epoch's master mutations
+  // into the compressed read replicas, if any are configured.
+  if (model_.replicas_enabled()) model_.RefreshReplicas();
   return last_epoch_error_;
 }
 

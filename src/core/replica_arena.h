@@ -1,0 +1,243 @@
+// ReplicaArena: compressed read-only copies of the fp64 factor masters
+// for the predict path, plus the dirty-row bookkeeping that keeps their
+// refresh cost proportional to training activity (DESIGN.md §13).
+//
+// Why replicas exist: the *Shared matrix readout is memory-bandwidth
+// bound — PR 6's arena layout made the kernel stream exactly one padded
+// fp64 row per service, so the next win is shrinking the row itself. SGD
+// must keep fp64 (the update is a contraction of tiny deltas; quantizing
+// the accumulator state would bias training), but a *prediction* only
+// survives a sigmoid and an inverse Box-Cox: per-lane relative error of
+// 1e-7 (fp32) or 4e-3 (bf16) moves the final MRE by far less than the
+// model's own training noise. So training owns fp64 masters, and reads
+// stream a compressed replica refreshed at the epoch barrier.
+//
+// Layout mirrors FactorArena: one 64-byte-aligned padded row per entity
+// (stride rounded up to a full cache line of elements, pad lanes
+// permanently zero) so the mixed-precision strided GEMV keeps the aligned
+// whole-line streaming of the fp64 kernel. The seqlock versions differ
+// deliberately: masters give each row a PRIVATE meta line because hogwild
+// writers publish rows concurrently and must not ping-pong neighbors'
+// lines; replica rows are only ever written by the single barrier thread
+// (refresh / retire / growth), so their version words are PACKED 16 per
+// line — a 64-row block validation sweep touches 4 version lines instead
+// of 64, which matters precisely because the whole point here is bytes.
+//
+// Refresh protocol: every master mutation marks the row in a DirtyRowSet
+// (one relaxed fetch_or; cheap enough to leave unconditional in the
+// update path). At the epoch barrier — where no hogwild shard owns any
+// row and the store is quiescent — the trainer drains the set and
+// republishes only the dirty rows through the replica's per-row seqlock.
+// Readers therefore never observe a torn replica row (same Boehm seqlock
+// argument as the masters), and a replica row is stale by at most one
+// epoch of updates, never inconsistent.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/aligned.h"
+#include "common/bf16.h"
+#include "common/check.h"
+#include "common/seqlock.h"
+#include "core/amf_config.h"
+
+namespace amf::core {
+
+/// One bit per factor row, set (relaxed) by the update paths when a
+/// master row mutates and drained at the epoch barrier to drive the
+/// dirty-only replica refresh. Marking is thread-safe (atomic_ref
+/// fetch_or — hogwild shards mark concurrently); Drain/Clear/EnsureRows
+/// assume the barrier's quiescence (pool join / single trainer thread).
+/// Plain vector storage keeps the set copyable alongside its model.
+class DirtyRowSet {
+ public:
+  void EnsureRows(std::size_t rows) {
+    const std::size_t words = (rows + 63) / 64;
+    if (words_.size() < words) words_.resize(words, 0);
+  }
+
+  std::size_t capacity_rows() const { return words_.size() * 64; }
+
+  /// Thread-safe (relaxed RMW). The row must be within capacity.
+  void Mark(std::size_t row) {
+    AMF_DCHECK(row < capacity_rows());
+    std::atomic_ref<std::uint64_t>(words_[row / 64])
+        .fetch_or(std::uint64_t{1} << (row % 64), std::memory_order_relaxed);
+  }
+
+  /// Barrier-only: invokes `fn(row)` for every marked row and clears the
+  /// set. Returns the number of rows visited.
+  template <typename Fn>
+  std::size_t Drain(Fn&& fn) {
+    std::size_t visited = 0;
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = std::atomic_ref<std::uint64_t>(words_[w])
+                               .exchange(0, std::memory_order_relaxed);
+      while (bits != 0) {
+        const int b = std::countr_zero(bits);
+        bits &= bits - 1;
+        fn(w * 64 + static_cast<std::size_t>(b));
+        ++visited;
+      }
+    }
+    return visited;
+  }
+
+  /// Barrier-only: marked-row count without draining (staleness gauge).
+  std::size_t CountApprox() const {
+    std::size_t n = 0;
+    for (const std::uint64_t& w : words_) {
+      n += static_cast<std::size_t>(std::popcount(common::RelaxedLoad(w)));
+    }
+    return n;
+  }
+
+  void Clear() {
+    for (std::uint64_t& w : words_) {
+      std::atomic_ref<std::uint64_t>(w).store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  std::vector<std::uint64_t> words_;
+};
+
+/// Compressed (fp32 or bf16) blocked copy of one FactorArena's rows.
+/// Disabled (precision kFp64) it holds nothing and costs nothing.
+class ReplicaArena {
+ public:
+  ReplicaArena() = default;
+
+  /// (Re)configures precision and rank, dropping any existing rows. The
+  /// caller re-grows and republishes afterwards (AmfModel::SetReadPrecision
+  /// / checkpoint restore). Not safe against concurrent readers.
+  void Configure(ReadPrecision precision, std::size_t rank) {
+    precision_ = precision;
+    rank_ = rank;
+    stride_ = 0;
+    f32_.clear();
+    b16_.clear();
+    versions_.clear();
+    if (precision_ == ReadPrecision::kFp32) {
+      stride_ = common::RoundUp(rank, kFloatsPerLine);
+    } else if (precision_ == ReadPrecision::kBf16) {
+      stride_ = common::RoundUp(rank, kBf16PerLine);
+    }
+  }
+
+  bool enabled() const { return precision_ != ReadPrecision::kFp64; }
+  ReadPrecision precision() const { return precision_; }
+  std::size_t rank() const { return rank_; }
+  /// Elements between consecutive row starts (64B multiple worth).
+  std::size_t stride() const { return stride_; }
+  std::size_t size() const { return versions_.size(); }
+
+  /// Bytes one batched scan streams per row (pad lanes included — the
+  /// kernel reads whole lines). The honest bench denominator.
+  std::size_t row_bytes() const {
+    switch (precision_) {
+      case ReadPrecision::kFp32:
+        return stride_ * sizeof(float);
+      case ReadPrecision::kBf16:
+        return stride_ * sizeof(common::Bf16);
+      case ReadPrecision::kFp64:
+        return 0;
+    }
+    return 0;
+  }
+
+  /// Grows to `need` rows (zero lanes, even version 0 = readable empty
+  /// row). Same geometric reserve discipline as FactorArena; not safe
+  /// against concurrent readers (callers grow under the registration
+  /// exclusion that already guards master growth).
+  void Grow(std::size_t need) {
+    if (!enabled() || need <= versions_.size()) return;
+    if (versions_.capacity() < need) {
+      const std::size_t cap = std::max(need, 2 * versions_.capacity());
+      versions_.reserve(cap);
+      if (precision_ == ReadPrecision::kFp32) f32_.reserve(cap * stride_);
+      if (precision_ == ReadPrecision::kBf16) b16_.reserve(cap * stride_);
+    }
+    versions_.resize(need, 0);
+    if (precision_ == ReadPrecision::kFp32) f32_.resize(need * stride_, 0.0f);
+    if (precision_ == ReadPrecision::kBf16) b16_.resize(need * stride_, 0);
+  }
+
+  const float* fp32_data() const { return f32_.data(); }
+  const common::Bf16* bf16_data() const { return b16_.data(); }
+  const float* fp32_row(std::size_t i) const {
+    return f32_.data() + i * stride_;
+  }
+  const common::Bf16* bf16_row(std::size_t i) const {
+    return b16_.data() + i * stride_;
+  }
+
+  const common::SeqlockVersion& version(std::size_t i) const {
+    return versions_[i];
+  }
+
+  /// Encodes `master` (rank_ lanes) into row i under the row's seqlock
+  /// bracket. Single-writer per row (the barrier thread); safe against
+  /// any number of concurrent readers.
+  void PublishRow(std::size_t i, std::span<const double> master) {
+    AMF_DCHECK(enabled() && i < size() && master.size() == rank_);
+    common::SeqlockBeginWrite(versions_[i]);
+    if (precision_ == ReadPrecision::kFp32) {
+      float* row = f32_.data() + i * stride_;
+      for (std::size_t k = 0; k < rank_; ++k) {
+        common::SeqlockStore(row[k], static_cast<float>(master[k]));
+      }
+    } else {
+      common::Bf16* row = b16_.data() + i * stride_;
+      for (std::size_t k = 0; k < rank_; ++k) {
+        common::SeqlockStore(row[k], common::Bf16FromDouble(master[k]));
+      }
+    }
+    common::SeqlockEndWrite(versions_[i]);
+  }
+
+  /// Consistent widened-to-fp64 snapshot of row i (per-row seqlock retry
+  /// loop, relaxed element loads — the TSan-clean fallback path).
+  void SnapshotRow(std::size_t i, std::span<double> dst) const {
+    AMF_DCHECK(enabled() && i < size() && dst.size() == rank_);
+    common::SeqlockRead(versions_[i], [&] {
+      if (precision_ == ReadPrecision::kFp32) {
+        const float* row = f32_.data() + i * stride_;
+        for (std::size_t k = 0; k < rank_; ++k) {
+          dst[k] = static_cast<double>(common::RelaxedLoad(row[k]));
+        }
+      } else {
+        const common::Bf16* row = b16_.data() + i * stride_;
+        for (std::size_t k = 0; k < rank_; ++k) {
+          dst[k] = common::Bf16ToDouble(common::RelaxedLoad(row[k]));
+        }
+      }
+    });
+  }
+
+ private:
+  static constexpr std::size_t kFloatsPerLine =
+      common::kCacheLineBytes / sizeof(float);
+  static constexpr std::size_t kBf16PerLine =
+      common::kCacheLineBytes / sizeof(common::Bf16);
+
+  ReadPrecision precision_ = ReadPrecision::kFp64;
+  std::size_t rank_ = 0;
+  std::size_t stride_ = 0;
+  std::vector<float, common::AlignedAllocator<float>> f32_;
+  std::vector<common::Bf16, common::AlignedAllocator<common::Bf16>> b16_;
+  // Packed version words (16 per line): replica rows have one writer (the
+  // barrier thread), so the false-sharing argument that gives master rows
+  // private meta lines does not apply, and packing divides the version
+  // sweep's line footprint by 16.
+  std::vector<common::SeqlockVersion,
+              common::AlignedAllocator<common::SeqlockVersion>>
+      versions_;
+};
+
+}  // namespace amf::core

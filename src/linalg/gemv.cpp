@@ -4,11 +4,27 @@
 // because GEMV feeds the *prediction* readout, which only promises
 // ~1e-12 agreement with the scalar path; the strict-IEEE training kernels
 // and the reference oracles stay in kernels.cpp under default FP rules.
+#include <bit>
+#include <cstdint>
+
 #include "common/check.h"
 #include "common/multiversion.h"
 #include "linalg/kernels.h"
 
 namespace amf::linalg {
+
+namespace {
+
+/// Exact bf16 -> double widening (shift the 16 raw bits into a binary32's
+/// high half; every bf16 value is a float). Kept local so this TU stays
+/// self-contained for the vectorizer; matches common::Bf16ToDouble bit
+/// for bit (the conversion is exact, so no FP-flag sensitivity).
+inline double WidenBf16(std::uint16_t b) {
+  return static_cast<double>(
+      std::bit_cast<float>(static_cast<std::uint32_t>(b) << 16));
+}
+
+}  // namespace
 
 AMF_MULTIVERSION
 void GemvRowMajor(std::span<const double> x, std::span<const double> block,
@@ -91,6 +107,100 @@ void GemvRowMajorStrided(std::span<const double> x, const double* block,
     const double* __restrict r0 = bp + i * stride;
     double acc = 0.0;
     for (std::size_t k = 0; k < d; ++k) acc += xp[k] * r0[k];
+    op[i] = acc;
+  }
+}
+
+// Mixed-precision strided GEMVs for the compressed read replicas. The
+// shape is deliberately the same four-row / independent-accumulator loop
+// as the fp64 kernel with the widening folded into the accumulate: a
+// separate widen-to-scratch pass measured SLOWER (the whole point of the
+// replicas is to stay bandwidth-bound, and a scratch pass doubles the
+// traffic through L1), while the fused form lets the vectorizer emit
+// convert+FMA per lane and keeps the replica's smaller rows the only
+// memory stream.
+
+AMF_MULTIVERSION
+void GemvRowMajorStridedFp32(std::span<const double> x, const float* block,
+                             std::size_t stride, std::span<double> out) {
+  const std::size_t d = x.size();
+  const std::size_t rows = out.size();
+  AMF_DCHECK(stride >= d);
+  const double* __restrict xp = x.data();
+  const float* __restrict bp = block;
+#if defined(AMF_NATIVE_BUILD)
+  // ReplicaArena contract: 64-byte base, stride a whole cache line of
+  // floats — every row start is line-aligned.
+  bp = static_cast<const float*>(__builtin_assume_aligned(bp, 64));
+#endif
+  double* __restrict op = out.data();
+
+  std::size_t i = 0;
+  for (; i + 4 <= rows; i += 4) {
+    const float* __restrict r0 = bp + (i + 0) * stride;
+    const float* __restrict r1 = bp + (i + 1) * stride;
+    const float* __restrict r2 = bp + (i + 2) * stride;
+    const float* __restrict r3 = bp + (i + 3) * stride;
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    for (std::size_t k = 0; k < d; ++k) {
+      const double xk = xp[k];
+      a0 += xk * static_cast<double>(r0[k]);
+      a1 += xk * static_cast<double>(r1[k]);
+      a2 += xk * static_cast<double>(r2[k]);
+      a3 += xk * static_cast<double>(r3[k]);
+    }
+    op[i + 0] = a0;
+    op[i + 1] = a1;
+    op[i + 2] = a2;
+    op[i + 3] = a3;
+  }
+  for (; i < rows; ++i) {
+    const float* __restrict r0 = bp + i * stride;
+    double acc = 0.0;
+    for (std::size_t k = 0; k < d; ++k) {
+      acc += xp[k] * static_cast<double>(r0[k]);
+    }
+    op[i] = acc;
+  }
+}
+
+AMF_MULTIVERSION
+void GemvRowMajorStridedBf16(std::span<const double> x,
+                             const std::uint16_t* block, std::size_t stride,
+                             std::span<double> out) {
+  const std::size_t d = x.size();
+  const std::size_t rows = out.size();
+  AMF_DCHECK(stride >= d);
+  const double* __restrict xp = x.data();
+  const std::uint16_t* __restrict bp = block;
+#if defined(AMF_NATIVE_BUILD)
+  bp = static_cast<const std::uint16_t*>(__builtin_assume_aligned(bp, 64));
+#endif
+  double* __restrict op = out.data();
+
+  std::size_t i = 0;
+  for (; i + 4 <= rows; i += 4) {
+    const std::uint16_t* __restrict r0 = bp + (i + 0) * stride;
+    const std::uint16_t* __restrict r1 = bp + (i + 1) * stride;
+    const std::uint16_t* __restrict r2 = bp + (i + 2) * stride;
+    const std::uint16_t* __restrict r3 = bp + (i + 3) * stride;
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    for (std::size_t k = 0; k < d; ++k) {
+      const double xk = xp[k];
+      a0 += xk * WidenBf16(r0[k]);
+      a1 += xk * WidenBf16(r1[k]);
+      a2 += xk * WidenBf16(r2[k]);
+      a3 += xk * WidenBf16(r3[k]);
+    }
+    op[i + 0] = a0;
+    op[i + 1] = a1;
+    op[i + 2] = a2;
+    op[i + 3] = a3;
+  }
+  for (; i < rows; ++i) {
+    const std::uint16_t* __restrict r0 = bp + i * stride;
+    double acc = 0.0;
+    for (std::size_t k = 0; k < d; ++k) acc += xp[k] * WidenBf16(r0[k]);
     op[i] = acc;
   }
 }

@@ -1,5 +1,6 @@
 #include "linalg/kernels.h"
 
+#include "common/bf16.h"
 #include "common/check.h"
 #include "linalg/vector_ops.h"
 
@@ -44,6 +45,35 @@ void SgdPairStep(std::span<double> u, std::span<double> s, double coef,
     const double sk = s[k];
     u[k] = uk - cu * (coef * sk + lambda_u * uk);
     s[k] = sk - cs * (coef * uk + lambda_s * sk);
+  }
+}
+
+void GemvRowMajorStridedFp32(std::span<const double> x, const float* block,
+                             std::size_t stride, std::span<double> out) {
+  const std::size_t d = x.size();
+  AMF_DCHECK(stride >= d);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const float* row = block + i * stride;
+    double acc = 0.0;
+    for (std::size_t k = 0; k < d; ++k) {
+      acc += x[k] * static_cast<double>(row[k]);
+    }
+    out[i] = acc;
+  }
+}
+
+void GemvRowMajorStridedBf16(std::span<const double> x,
+                             const std::uint16_t* block, std::size_t stride,
+                             std::span<double> out) {
+  const std::size_t d = x.size();
+  AMF_DCHECK(stride >= d);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const std::uint16_t* row = block + i * stride;
+    double acc = 0.0;
+    for (std::size_t k = 0; k < d; ++k) {
+      acc += x[k] * common::Bf16ToDouble(row[k]);
+    }
+    out[i] = acc;
   }
 }
 

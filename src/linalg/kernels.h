@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 
 namespace amf::linalg {
@@ -35,6 +36,20 @@ void GemvRowMajor(std::span<const double> x, std::span<const double> block,
 void GemvRowMajorStrided(std::span<const double> x, const double* block,
                          std::size_t stride, std::span<double> out);
 
+/// Mixed-precision variants of GemvRowMajorStrided for the compressed
+/// read replicas (core/replica_arena.h): the service block holds fp32 or
+/// bf16 (raw-bits uint16) lanes, each widened to double at load and
+/// accumulated in fp64 — identical loop shape and k order to the fp64
+/// kernel, so the only deviation from it is the per-lane quantization of
+/// the stored block. `stride` is in elements of the block's type; the
+/// 64-byte base/row alignment contract carries over (ReplicaArena rounds
+/// strides to a whole cache line of elements).
+void GemvRowMajorStridedFp32(std::span<const double> x, const float* block,
+                             std::size_t stride, std::span<double> out);
+void GemvRowMajorStridedBf16(std::span<const double> x,
+                             const std::uint16_t* block, std::size_t stride,
+                             std::span<double> out);
+
 /// Fused simultaneous SGD pair step (paper Eqs. 16-17):
 ///   u[k] <- u[k] - cu * (coef * s[k] + lambda_u * u[k])
 ///   s[k] <- s[k] - cs * (coef * u[k] + lambda_s * s[k])
@@ -49,6 +64,14 @@ namespace reference {
 /// Scalar one-row-at-a-time GEMV oracle.
 void GemvRowMajor(std::span<const double> x, std::span<const double> block,
                   std::span<double> out);
+
+/// Scalar strict-IEEE oracles for the mixed-precision strided kernels
+/// (single ascending-k accumulator per row, widening at load).
+void GemvRowMajorStridedFp32(std::span<const double> x, const float* block,
+                             std::size_t stride, std::span<double> out);
+void GemvRowMajorStridedBf16(std::span<const double> x,
+                             const std::uint16_t* block, std::size_t stride,
+                             std::span<double> out);
 
 /// Scalar SGD pair-step oracle (the pre-refactor OnlineUpdate loop).
 void SgdPairStep(std::span<double> u, std::span<double> s, double coef,

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/online_trainer.h"
+#include "linalg/matrix.h"
 #include "stream/wal.h"
 
 namespace amf::adapt {
@@ -342,6 +343,87 @@ TEST(ConcurrentStressTest, AdjacentRowHammer) {
                   core::AmfModel::kFactorRowAlignment,
               0u);
   }
+}
+
+TEST(ConcurrentStressTest, ReplicaRefreshRacesMatrixScans) {
+  // Compressed read replicas (DESIGN.md §13): the trainer's barrier-time
+  // RefreshReplicas republishes bf16 rows through the replica seqlocks
+  // while readers stream whole-matrix and batched scans off those same
+  // slabs. Any torn replica row, any refresh outside the barrier's
+  // quiescence, or any hole in the packed-version block validation shows
+  // up as a TSan report or a non-finite readout. The mid-flight precision
+  // flips exercise SetReadPrecision's claim to full exclusion.
+  ConcurrentPredictionService service(StressConfig(2), 1024);
+  constexpr std::size_t kUsers = 8, kServices = 96;
+  for (std::size_t u = 0; u < kUsers; ++u) {
+    service.RegisterUser("u" + std::to_string(u));
+  }
+  for (std::size_t s = 0; s < kServices; ++s) {
+    service.RegisterService("s" + std::to_string(s));
+  }
+  service.SetReadPrecision(core::ReadPrecision::kBf16);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> nonfinite{0};
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 2; ++p) {
+    producers.emplace_back([&, p] {
+      std::size_t i = static_cast<std::size_t>(p) * 7919;
+      while (!stop.load(std::memory_order_relaxed)) {
+        service.ReportObservation(
+            {0, static_cast<data::UserId>(i % kUsers),
+             static_cast<data::ServiceId>((i * 31) % kServices),
+             0.2 + 0.001 * static_cast<double>(i % 997), 0.0});
+        ++i;
+      }
+    });
+  }
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      linalg::Matrix scan;
+      std::vector<data::ServiceId> candidates(kServices);
+      for (std::size_t s = 0; s < kServices; ++s) {
+        candidates[s] = static_cast<data::ServiceId>(s);
+      }
+      std::vector<double> values(kServices);
+      std::size_t i = static_cast<std::size_t>(r);
+      while (!stop.load(std::memory_order_relaxed)) {
+        service.PredictMatrix(&scan);
+        for (const double v : scan.data()) {
+          if (!std::isfinite(v)) {
+            nonfinite.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        service.PredictQoSMany(static_cast<data::UserId>(i % kUsers),
+                               candidates, values);
+        for (std::size_t s = 0; s < kServices; ++s) {
+          if (!std::isnan(values[s]) && !std::isfinite(values[s])) {
+            nonfinite.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+        ++i;
+      }
+    });
+  }
+
+  std::thread trainer([&] {
+    for (int iter = 0; iter < 60; ++iter) {
+      service.Tick(static_cast<double>(iter));
+      if (iter == 20) service.SetReadPrecision(core::ReadPrecision::kFp32);
+      if (iter == 40) service.SetReadPrecision(core::ReadPrecision::kBf16);
+    }
+  });
+
+  trainer.join();
+  stop.store(true);
+  for (auto& t : producers) t.join();
+  for (auto& t : readers) t.join();
+
+  EXPECT_EQ(nonfinite.load(), 0u);
+  EXPECT_EQ(service.read_precision(), core::ReadPrecision::kBf16);
 }
 
 TEST(ConcurrentStressTest, WalAppendRotateStress) {

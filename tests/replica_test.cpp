@@ -1,0 +1,528 @@
+// Compressed read-replica coverage (DESIGN.md §13): bf16 codec edge
+// cases, the mixed-precision strided GEMV kernels against their scalar
+// oracles, replica refresh correctness (dirty-only == full, retire and
+// growth publish eagerly), the read_precision knob end to end, and
+// checkpoint restore keeping the live precision.
+#include "core/replica_arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <limits>
+#include <vector>
+
+#include "adapt/prediction_service.h"
+#include "common/aligned.h"
+#include "common/bf16.h"
+#include "common/rng.h"
+#include "core/amf_model.h"
+#include "core/online_trainer.h"
+#include "linalg/kernels.h"
+
+namespace amf::core {
+namespace {
+
+using common::Bf16;
+using common::Bf16FromDouble;
+using common::Bf16FromFloat;
+using common::Bf16ToDouble;
+using common::Bf16ToFloat;
+
+float FloatFromBits(std::uint32_t bits) { return std::bit_cast<float>(bits); }
+
+// --- bf16 codec ------------------------------------------------------------
+
+TEST(Bf16Test, ExactValuesRoundTrip) {
+  // Anything with <= 8 significant mantissa bits survives unchanged.
+  for (const float v : {0.0f, 1.0f, -1.0f, 0.5f, -2.5f, 3.140625f, 256.0f,
+                        -1.0f / 1024.0f, 1.984375f}) {
+    EXPECT_EQ(Bf16ToFloat(Bf16FromFloat(v)), v) << v;
+  }
+}
+
+TEST(Bf16Test, NegativeZeroKeepsSign) {
+  const float back = Bf16ToFloat(Bf16FromFloat(-0.0f));
+  EXPECT_EQ(back, 0.0f);
+  EXPECT_TRUE(std::signbit(back));
+}
+
+TEST(Bf16Test, RoundsNearestEvenOnTies) {
+  // A float exactly halfway between two bf16 neighbours (low 16 bits
+  // 0x8000) must round to the EVEN neighbour, in both directions.
+  const std::uint16_t even = 0x3F80;  // 1.0
+  const float tie_above_even =
+      FloatFromBits((static_cast<std::uint32_t>(even) << 16) | 0x8000);
+  EXPECT_EQ(Bf16FromFloat(tie_above_even), even) << "tie rounds down to even";
+
+  const std::uint16_t odd = 0x3F81;  // 1.0 + 2^-7
+  const float tie_above_odd =
+      FloatFromBits((static_cast<std::uint32_t>(odd) << 16) | 0x8000);
+  EXPECT_EQ(Bf16FromFloat(tie_above_odd), static_cast<std::uint16_t>(odd + 1))
+      << "tie rounds up to even";
+
+  // One ulp past the tie always rounds up, even from an even mantissa.
+  const float past_tie =
+      FloatFromBits((static_cast<std::uint32_t>(even) << 16) | 0x8001);
+  EXPECT_EQ(Bf16FromFloat(past_tie), static_cast<std::uint16_t>(even + 1));
+}
+
+TEST(Bf16Test, InfinitiesPreserved) {
+  const float inf = std::numeric_limits<float>::infinity();
+  EXPECT_EQ(Bf16ToFloat(Bf16FromFloat(inf)), inf);
+  EXPECT_EQ(Bf16ToFloat(Bf16FromFloat(-inf)), -inf);
+}
+
+TEST(Bf16Test, LargeFiniteRoundsToInfinity) {
+  // float max's mantissa is all ones: the RNE bias carries into the
+  // exponent and the result is bf16 infinity (same as IEEE float->half
+  // overflow behaviour).
+  const float fmax = std::numeric_limits<float>::max();
+  EXPECT_TRUE(std::isinf(Bf16ToFloat(Bf16FromFloat(fmax))));
+  EXPECT_TRUE(std::isinf(Bf16ToFloat(Bf16FromFloat(-fmax))));
+  EXPECT_LT(Bf16ToFloat(Bf16FromFloat(-fmax)), 0.0f);
+}
+
+TEST(Bf16Test, NanStaysNanAndNeverBecomesInfinity) {
+  // The encode special-cases NaN: blindly adding the RNE bias to a NaN
+  // with a nearly-empty mantissa could carry into the exponent and
+  // produce Inf. The result must stay NaN (quietened) with sign kept.
+  for (const std::uint32_t bits :
+       {0x7FC00000u, 0x7F800001u, 0xFFC00000u, 0xFF800001u, 0x7FFFFFFFu}) {
+    const float nan = FloatFromBits(bits);
+    ASSERT_TRUE(std::isnan(nan));
+    const float back = Bf16ToFloat(Bf16FromFloat(nan));
+    EXPECT_TRUE(std::isnan(back)) << std::hex << bits;
+    EXPECT_EQ(std::signbit(back), std::signbit(nan)) << std::hex << bits;
+  }
+}
+
+TEST(Bf16Test, SubnormalsRoundToNearest) {
+  // bf16 shares float's exponent range, so float subnormals map onto
+  // bf16 subnormals: the smallest float subnormal is far below half a
+  // bf16 ulp and must round to (signed) zero...
+  const float tiny = FloatFromBits(0x00000001);
+  EXPECT_EQ(Bf16FromFloat(tiny), 0x0000);
+  EXPECT_EQ(Bf16FromFloat(-tiny), 0x8000);
+  // ...while an exact bf16 subnormal round-trips unchanged.
+  const float sub = FloatFromBits(0x00010000);
+  EXPECT_GT(sub, 0.0f);
+  EXPECT_EQ(Bf16ToFloat(Bf16FromFloat(sub)), sub);
+}
+
+TEST(Bf16Test, FromDoubleMatchesFromFloatOfNarrowed) {
+  // Documented contract: double encode goes through float (one possible
+  // extra rounding, deterministic). Spot-check agreement.
+  common::Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-10.0, 10.0);
+    EXPECT_EQ(Bf16FromDouble(v), Bf16FromFloat(static_cast<float>(v))) << v;
+  }
+  EXPECT_EQ(Bf16ToDouble(Bf16FromDouble(1.5)), 1.5);
+}
+
+TEST(Bf16Test, RoundTripRelativeErrorWithinOneUlp) {
+  // 8 mantissa bits -> worst-case relative error 2^-8 under RNE.
+  common::Rng rng(23);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.Uniform(-4.0, 4.0);
+    const double back = Bf16ToDouble(Bf16FromDouble(v));
+    EXPECT_NEAR(back, v, std::abs(v) * 0x1p-8 + 1e-40) << v;
+  }
+}
+
+// --- Mixed-precision strided GEMV kernels ----------------------------------
+
+// The vectorized kernels are compiled with reassociation enabled, so the
+// fp64 accumulation order may differ from the scalar oracle's by a few
+// ulps (measured max ~4e-14 relative at rank 32). The contract is tight
+// closeness, not bit-equality — same as the fp64 GemvRowMajor precedent.
+constexpr double kKernelRelTol = 1e-12;
+
+void ExpectKernelClose(double got, double want, std::size_t rank,
+                       std::size_t row) {
+  EXPECT_NEAR(got, want, std::abs(want) * kKernelRelTol + 1e-15)
+      << "rank " << rank << " row " << row;
+}
+
+TEST(ReplicaKernelTest, Fp32StridedMatchesReference) {
+  common::Rng rng(3);
+  for (const std::size_t rank : {1u, 3u, 8u, 10u, 16u, 32u, 33u}) {
+    const std::size_t stride = common::RoundUp(rank, 16);  // 64B of floats
+    const std::size_t rows = 157;
+    std::vector<float, common::AlignedAllocator<float>> block(rows * stride,
+                                                              0.0f);
+    std::vector<double> x(rank);
+    for (double& v : x) v = rng.Uniform(-1.0, 1.0);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t k = 0; k < rank; ++k) {
+        block[r * stride + k] = static_cast<float>(rng.Uniform(-1.0, 1.0));
+      }
+    }
+    std::vector<double> got(rows), want(rows);
+    linalg::GemvRowMajorStridedFp32(x, block.data(), stride, got);
+    linalg::reference::GemvRowMajorStridedFp32(x, block.data(), stride, want);
+    for (std::size_t r = 0; r < rows; ++r) {
+      ExpectKernelClose(got[r], want[r], rank, r);
+    }
+  }
+}
+
+TEST(ReplicaKernelTest, Bf16StridedMatchesReference) {
+  common::Rng rng(4);
+  for (const std::size_t rank : {1u, 3u, 8u, 10u, 16u, 32u, 33u}) {
+    const std::size_t stride = common::RoundUp(rank, 32);  // 64B of bf16
+    const std::size_t rows = 157;
+    std::vector<Bf16, common::AlignedAllocator<Bf16>> block(rows * stride, 0);
+    std::vector<double> x(rank);
+    for (double& v : x) v = rng.Uniform(-1.0, 1.0);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t k = 0; k < rank; ++k) {
+        block[r * stride + k] = Bf16FromDouble(rng.Uniform(-1.0, 1.0));
+      }
+    }
+    std::vector<double> got(rows), want(rows);
+    linalg::GemvRowMajorStridedBf16(x, block.data(), stride, got);
+    linalg::reference::GemvRowMajorStridedBf16(x, block.data(), stride, want);
+    for (std::size_t r = 0; r < rows; ++r) {
+      ExpectKernelClose(got[r], want[r], rank, r);
+    }
+  }
+}
+
+// --- DirtyRowSet -----------------------------------------------------------
+
+TEST(DirtyRowSetTest, MarkDrainClear) {
+  DirtyRowSet set;
+  set.EnsureRows(130);
+  EXPECT_GE(set.capacity_rows(), 130u);
+  EXPECT_EQ(set.CountApprox(), 0u);
+  set.Mark(0);
+  set.Mark(63);
+  set.Mark(64);
+  set.Mark(129);
+  set.Mark(129);  // idempotent
+  EXPECT_EQ(set.CountApprox(), 4u);
+  std::vector<std::size_t> rows;
+  EXPECT_EQ(set.Drain([&](std::size_t r) { rows.push_back(r); }), 4u);
+  EXPECT_EQ(rows, (std::vector<std::size_t>{0, 63, 64, 129}));
+  EXPECT_EQ(set.CountApprox(), 0u);
+  EXPECT_EQ(set.Drain([](std::size_t) {}), 0u);
+  set.Mark(5);
+  set.Clear();
+  EXPECT_EQ(set.CountApprox(), 0u);
+}
+
+// --- ReplicaArena ----------------------------------------------------------
+
+TEST(ReplicaArenaTest, DisabledHoldsNothing) {
+  ReplicaArena arena;
+  arena.Configure(ReadPrecision::kFp64, 10);
+  EXPECT_FALSE(arena.enabled());
+  arena.Grow(100);
+  EXPECT_EQ(arena.size(), 0u);
+  EXPECT_EQ(arena.row_bytes(), 0u);
+}
+
+TEST(ReplicaArenaTest, PublishSnapshotRoundTrip) {
+  for (const ReadPrecision p : {ReadPrecision::kFp32, ReadPrecision::kBf16}) {
+    ReplicaArena arena;
+    arena.Configure(p, 10);
+    arena.Grow(4);
+    ASSERT_EQ(arena.size(), 4u);
+    // Row stride covers whole cache lines.
+    EXPECT_EQ(arena.row_bytes() % 64, 0u);
+    common::Rng rng(42);
+    std::vector<double> master(10);
+    for (double& v : master) v = rng.Uniform(-2.0, 2.0);
+    arena.PublishRow(2, master);
+    std::vector<double> snap(10);
+    arena.SnapshotRow(2, snap);
+    const double tol = p == ReadPrecision::kFp32 ? 1e-7 : 0x1p-8;
+    for (std::size_t k = 0; k < 10; ++k) {
+      EXPECT_NEAR(snap[k], master[k], std::abs(master[k]) * tol) << k;
+    }
+    // Untouched rows read as zeros with an even (readable) version.
+    arena.SnapshotRow(0, snap);
+    for (const double v : snap) EXPECT_EQ(v, 0.0);
+  }
+}
+
+// --- Model-level replica semantics -----------------------------------------
+
+AmfConfig ReplicaConfig(ReadPrecision p = ReadPrecision::kFp64) {
+  AmfConfig cfg = MakeResponseTimeConfig(/*seed=*/17);
+  cfg.read_precision = p;
+  return cfg;
+}
+
+void TrainSome(AmfModel& m, int n, std::uint64_t seed = 7) {
+  common::Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    m.OnlineUpdate(static_cast<data::UserId>(rng.Index(8)),
+                   static_cast<data::ServiceId>(rng.Index(24)),
+                   0.2 + 3.0 * rng.Uniform());
+  }
+}
+
+TEST(ModelReplicaTest, Fp64DefaultHasNoReplicasAndIdenticalReadouts) {
+  AmfModel m(ReplicaConfig());
+  TrainSome(m, 400);
+  EXPECT_FALSE(m.replicas_enabled());
+  EXPECT_EQ(m.read_precision(), ReadPrecision::kFp64);
+  EXPECT_EQ(m.read_row_bytes() % sizeof(double), 0u);
+  // The three shared readouts agree to within reassociation noise on the
+  // master path (the row readout's bulk GEMV may reorder accumulation).
+  std::vector<data::ServiceId> ids;
+  for (data::ServiceId s = 0; s < m.num_services(); ++s) ids.push_back(s);
+  std::vector<double> many(ids.size()), row(ids.size());
+  for (data::UserId u = 0; u < m.num_users(); ++u) {
+    m.PredictManyRawShared(u, ids, many);
+    m.PredictRowRawShared(u, row);
+    for (std::size_t s = 0; s < ids.size(); ++s) {
+      EXPECT_NEAR(many[s], row[s], std::abs(row[s]) * kKernelRelTol + 1e-15);
+      EXPECT_NEAR(m.PredictRawShared(u, ids[s]), row[s],
+                  std::abs(row[s]) * kKernelRelTol + 1e-15);
+    }
+  }
+}
+
+TEST(ModelReplicaTest, ReplicaReadoutTracksMasterWithinPrecisionBudget) {
+  for (const ReadPrecision p : {ReadPrecision::kFp32, ReadPrecision::kBf16}) {
+    AmfModel m(ReplicaConfig(p));
+    TrainSome(m, 600);
+    ASSERT_TRUE(m.replicas_enabled());
+    m.RefreshReplicas();
+    const double tol = p == ReadPrecision::kFp32 ? 1e-4 : 5e-2;
+    for (data::UserId u = 0; u < m.num_users(); ++u) {
+      for (data::ServiceId s = 0; s < m.num_services(); ++s) {
+        const double master = m.PredictRaw(u, s);
+        const double replica = m.PredictRawShared(u, s);
+        EXPECT_NEAR(replica, master, std::abs(master) * tol + 1e-9)
+            << "precision " << ToString(p) << " u " << u << " s " << s;
+      }
+    }
+  }
+}
+
+TEST(ModelReplicaTest, AllReplicaReadoutsAgree) {
+  // Single / batched / full-row readouts decode the same replica rows;
+  // they may differ only by the bulk kernel's reassociation noise.
+  AmfModel m(ReplicaConfig(ReadPrecision::kBf16));
+  TrainSome(m, 500);
+  m.RefreshReplicas();
+  std::vector<data::ServiceId> ids;
+  for (data::ServiceId s = 0; s < m.num_services(); ++s) ids.push_back(s);
+  std::vector<double> many(ids.size()), row(ids.size());
+  for (data::UserId u = 0; u < m.num_users(); ++u) {
+    m.PredictManyRawShared(u, ids, many);
+    m.PredictRowRawShared(u, row);
+    for (std::size_t s = 0; s < ids.size(); ++s) {
+      EXPECT_NEAR(many[s], row[s], std::abs(row[s]) * kKernelRelTol + 1e-15)
+          << "u " << u << " s " << s;
+      EXPECT_NEAR(m.PredictRawShared(u, ids[s]), row[s],
+                  std::abs(row[s]) * kKernelRelTol + 1e-15)
+          << "u " << u;
+    }
+  }
+}
+
+TEST(ModelReplicaTest, DirtyOnlyRefreshBitExactWithFullRefresh) {
+  // Two identical models, same update stream; one refreshes only dirty
+  // rows, the other republishes everything. The replicas must be
+  // bit-identical — a missed dirty mark would show up here.
+  AmfModel a(ReplicaConfig(ReadPrecision::kBf16));
+  AmfModel b(ReplicaConfig(ReadPrecision::kBf16));
+  TrainSome(a, 300, /*seed=*/99);
+  TrainSome(b, 300, /*seed=*/99);
+  EXPECT_GT(a.replica_dirty_rows(), 0u);
+  const std::size_t dirty_refreshed = a.RefreshReplicas();
+  const std::size_t full_refreshed = b.RefreshAllReplicas();
+  EXPECT_GT(dirty_refreshed, 0u);
+  EXPECT_GE(full_refreshed, dirty_refreshed);
+  EXPECT_EQ(a.replica_dirty_rows(), 0u);
+  std::vector<double> ra(a.num_services()), rb(b.num_services());
+  for (data::UserId u = 0; u < a.num_users(); ++u) {
+    a.PredictRowRawShared(u, ra);
+    b.PredictRowRawShared(u, rb);
+    for (std::size_t s = 0; s < ra.size(); ++s) {
+      EXPECT_EQ(ra[s], rb[s]) << "u " << u << " s " << s;
+    }
+  }
+}
+
+TEST(ModelReplicaTest, UnrefreshedReplicaIsStaleUntilRefresh) {
+  AmfModel m(ReplicaConfig(ReadPrecision::kFp32));
+  TrainSome(m, 200);
+  m.RefreshReplicas();
+  const double before = m.PredictRawShared(0, 0);
+  EXPECT_EQ(m.replica_staleness_updates(), 0u);
+  // Mutate the masters without a barrier refresh: the replica readout
+  // must hold the epoch-consistent stale value, not a torn fresh one.
+  for (int i = 0; i < 50; ++i) m.OnlineUpdate(0, 0, 2.0);
+  EXPECT_GT(m.replica_staleness_updates(), 0u);
+  EXPECT_GT(m.replica_dirty_rows(), 0u);
+  EXPECT_EQ(m.PredictRawShared(0, 0), before) << "stale until the barrier";
+  EXPECT_NE(m.PredictRaw(0, 0), before) << "masters did move";
+  m.RefreshReplicas();
+  EXPECT_NE(m.PredictRawShared(0, 0), before) << "refresh folds the epoch in";
+  EXPECT_EQ(m.replica_staleness_updates(), 0u);
+}
+
+TEST(ModelReplicaTest, RetirePublishesReplicaInTheSameStep) {
+  AmfModel m(ReplicaConfig(ReadPrecision::kBf16));
+  TrainSome(m, 300);
+  m.RefreshReplicas();
+  m.RetireUser(3);
+  m.RetireService(7);
+  // No refresh in between: the retire itself must have republished the
+  // fresh rows, so a full-refreshed copy reads identically.
+  AmfModel full = m;
+  full.RefreshAllReplicas();
+  std::vector<double> got(m.num_services()), want(full.num_services());
+  for (data::UserId u = 0; u < m.num_users(); ++u) {
+    m.PredictRowRawShared(u, got);
+    full.PredictRowRawShared(u, want);
+    for (std::size_t s = 0; s < got.size(); ++s) {
+      EXPECT_EQ(got[s], want[s]) << "u " << u << " s " << s;
+    }
+  }
+}
+
+TEST(ModelReplicaTest, GrowthPublishesNewRowsImmediately) {
+  AmfModel m(ReplicaConfig(ReadPrecision::kFp32));
+  TrainSome(m, 100);
+  m.RefreshReplicas();
+  const std::size_t old_users = m.num_users();
+  m.EnsureUser(old_users + 40);   // well past geometric reserve
+  m.EnsureService(m.num_services() + 200);
+  // Fresh rows must be readable through the replica path right away
+  // (registration exclusion covers the grow; no barrier has run yet).
+  AmfModel full = m;
+  full.RefreshAllReplicas();
+  std::vector<double> got(m.num_services()), want(full.num_services());
+  for (data::UserId u = 0; u < m.num_users(); ++u) {
+    m.PredictRowRawShared(u, got);
+    full.PredictRowRawShared(u, want);
+    for (std::size_t s = 0; s < got.size(); ++s) {
+      EXPECT_EQ(got[s], want[s]) << "u " << u << " s " << s;
+      EXPECT_TRUE(std::isfinite(got[s]));
+    }
+  }
+}
+
+TEST(ModelReplicaTest, SetReadPrecisionRoundTripRestoresExactFp64Path) {
+  AmfModel m(ReplicaConfig());
+  TrainSome(m, 400);
+  std::vector<double> fp64(m.num_services());
+  m.PredictRowRawShared(2, fp64);
+
+  m.SetReadPrecision(ReadPrecision::kFp32);
+  EXPECT_TRUE(m.replicas_enabled());
+  EXPECT_EQ(m.read_precision(), ReadPrecision::kFp32);
+  EXPECT_GT(m.replica_full_refreshes(), 0u);
+  m.SetReadPrecision(ReadPrecision::kBf16);
+  EXPECT_EQ(m.read_row_bytes(), 64u);  // rank 10 bf16 -> one line per row
+
+  m.SetReadPrecision(ReadPrecision::kFp64);
+  EXPECT_FALSE(m.replicas_enabled());
+  std::vector<double> back(m.num_services());
+  m.PredictRowRawShared(2, back);
+  for (std::size_t s = 0; s < fp64.size(); ++s) {
+    EXPECT_EQ(back[s], fp64[s]) << "fp64 path must be bit-identical";
+  }
+}
+
+TEST(ModelReplicaTest, CopyAndAssignCarryReplicas) {
+  AmfModel m(ReplicaConfig(ReadPrecision::kBf16));
+  TrainSome(m, 200);
+  m.RefreshReplicas();
+  AmfModel copy = m;
+  EXPECT_TRUE(copy.replicas_enabled());
+  EXPECT_EQ(copy.PredictRawShared(1, 2), m.PredictRawShared(1, 2));
+  AmfModel assigned(ReplicaConfig());
+  assigned = m;
+  EXPECT_TRUE(assigned.replicas_enabled());
+  EXPECT_EQ(assigned.PredictRawShared(1, 2), m.PredictRawShared(1, 2));
+}
+
+// --- Trainer integration ---------------------------------------------------
+
+TEST(TrainerReplicaTest, ProcessIncomingRefreshesAtTheBarrier) {
+  AmfModel m(ReplicaConfig(ReadPrecision::kBf16));
+  OnlineTrainer trainer(m);
+  common::Rng rng(5);
+  for (int i = 0; i < 64; ++i) {
+    trainer.Observe({0, static_cast<data::UserId>(rng.Index(6)),
+                     static_cast<data::ServiceId>(rng.Index(12)),
+                     0.3 + rng.Uniform(), 0.0});
+  }
+  trainer.ProcessIncoming();
+  EXPECT_GT(m.replica_refreshes(), 0u);
+  EXPECT_GT(m.replica_rows_refreshed(), 0u);
+  EXPECT_EQ(m.replica_dirty_rows(), 0u) << "barrier drains the dirty set";
+  EXPECT_EQ(m.replica_staleness_updates(), 0u);
+  // And the refreshed replica readout matches a full rebuild bit-for-bit.
+  AmfModel full = m;
+  full.RefreshAllReplicas();
+  std::vector<double> got(m.num_services()), want(full.num_services());
+  for (data::UserId u = 0; u < m.num_users(); ++u) {
+    m.PredictRowRawShared(u, got);
+    full.PredictRowRawShared(u, want);
+    for (std::size_t s = 0; s < got.size(); ++s) EXPECT_EQ(got[s], want[s]);
+  }
+}
+
+// --- Checkpoint restore keeps the live precision ---------------------------
+
+TEST(ServiceReplicaTest, RestorePreservesLiveReadPrecision) {
+  namespace fs = std::filesystem;
+  const std::string dir = ::testing::TempDir() + "/replica_restore_test";
+  fs::remove_all(dir);
+
+  adapt::PredictionServiceConfig cfg{MakeResponseTimeConfig(/*seed=*/5),
+                                     TrainerConfig{}, 1};
+  adapt::QoSPredictionService service(cfg);
+  CheckpointManagerConfig ckpt;
+  ckpt.directory = dir;
+  ckpt.interval_seconds = 0.0;  // checkpoint every tick
+  service.EnableCheckpoints(ckpt);
+  common::Rng rng(9);
+  for (int i = 0; i < 128; ++i) {
+    service.ReportObservation({0, static_cast<data::UserId>(rng.Index(6)),
+                               static_cast<data::ServiceId>(rng.Index(12)),
+                               0.3 + rng.Uniform(), 1.0});
+  }
+  service.Tick(10.0);
+
+  service.set_read_precision(ReadPrecision::kBf16);
+  ASSERT_EQ(service.read_precision(), ReadPrecision::kBf16);
+  const double before = *service.PredictQoS(1, 3);
+
+  // Checkpoints do not serialize read_precision (the knob is a property
+  // of this deployment, not of the learned state), so a restore must
+  // re-apply the live setting rather than silently reverting to fp64.
+  ASSERT_TRUE(service.RestoreFromLatestCheckpoint());
+  EXPECT_EQ(service.read_precision(), ReadPrecision::kBf16);
+  const double after = *service.PredictQoS(1, 3);
+  EXPECT_TRUE(std::isfinite(after));
+  EXPECT_NEAR(after, before, std::abs(before) * 5e-2 + 1e-9);
+  fs::remove_all(dir);
+}
+
+// --- Config plumbing -------------------------------------------------------
+
+TEST(ReadPrecisionTest, ParseAndToString) {
+  EXPECT_EQ(ParseReadPrecision("fp64"), ReadPrecision::kFp64);
+  EXPECT_EQ(ParseReadPrecision("fp32"), ReadPrecision::kFp32);
+  EXPECT_EQ(ParseReadPrecision("bf16"), ReadPrecision::kBf16);
+  EXPECT_FALSE(ParseReadPrecision("fp16").has_value());
+  EXPECT_FALSE(ParseReadPrecision("").has_value());
+  EXPECT_STREQ(ToString(ReadPrecision::kFp64), "fp64");
+  EXPECT_STREQ(ToString(ReadPrecision::kFp32), "fp32");
+  EXPECT_STREQ(ToString(ReadPrecision::kBf16), "bf16");
+}
+
+}  // namespace
+}  // namespace amf::core
