@@ -28,6 +28,7 @@ amf_add_bench(baselines_extended)
 amf_add_bench(supplementary_all_slices)
 amf_add_bench(coldstart_curve)
 amf_add_bench(train_throughput)
+amf_add_bench(serving)
 
 # Micro benchmarks use google-benchmark.
 add_executable(micro_kernels ${AMF_BENCH_DIR}/micro_kernels.cpp)

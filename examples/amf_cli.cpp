@@ -27,15 +27,20 @@
 //       prints the top-k candidates with uncertainty.
 //
 //   amf_cli metrics [--seconds SEC --users N --services M --seed S
-//           --ring CAP --watch 0|1 --format json|prom --out FILE
+//           --ring CAP --watch 0|1 --interval-ms MS --train-interval-ms MS
+//           --format json|prom --out FILE
 //           --read-precision fp64|fp32|bf16]
 //       Runs a synthetic concurrent workload (producer uploads, trainer
 //       ticks, predictions in flight) against a ConcurrentPredictionService
 //       for SEC seconds, then dumps its metrics registry — counters,
 //       gauges, and latency-histogram percentiles — as JSON (default) or
 //       Prometheus text. --watch 1 additionally prints a live counter
-//       line to stderr four times a second while the workload runs,
-//       demonstrating that snapshots never wait for training.
+//       line to stderr every --interval-ms milliseconds (default 1000)
+//       while the workload runs, demonstrating that snapshots never wait
+//       for training. Both the watch reporter and the trainer tick
+//       thread (--train-interval-ms, default 20) pace themselves on
+//       absolute deadlines, so neither drifts under load nor burns a
+//       core polling.
 //       --read-precision fp32|bf16 routes the prediction reads through
 //       the compressed replica slabs (DESIGN.md section 13); the replica.*
 //       series then report refresh and staleness activity.
@@ -312,6 +317,10 @@ int CmdMetrics(const Args& args) {
   AMF_CHECK_MSG(format == "json" || format == "prom",
                 "--format must be json or prom, got " << format);
   const bool live = args.GetInt("watch", 0) != 0;
+  const auto interval_ms = args.GetInt("interval-ms", 1000);
+  AMF_CHECK_MSG(interval_ms > 0, "--interval-ms must be positive");
+  const auto train_interval_ms = args.GetInt("train-interval-ms", 20);
+  AMF_CHECK_MSG(train_interval_ms > 0, "--train-interval-ms must be positive");
   const auto users = static_cast<std::size_t>(args.GetInt("users", 32));
   const auto services = static_cast<std::size_t>(args.GetInt("services", 128));
   const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 2014));
@@ -351,17 +360,52 @@ int CmdMetrics(const Args& args) {
           .timestamp = clock.ElapsedSeconds()});
     }
   });
+  // Absolute-deadline pacing (next += interval, sleep_until) for both
+  // paced threads: a tick that runs long shortens the following sleep
+  // instead of pushing every later deadline back, and an idle loop costs
+  // zero CPU between deadlines — unlike the old `Tick; sleep_for(2ms)`
+  // shape, which both drifted by the tick's own cost and woke 500x/s
+  // whether or not anything needed doing.
   std::thread trainer([&] {
+    auto next = std::chrono::steady_clock::now();
+    const auto interval = std::chrono::milliseconds(train_interval_ms);
     while (!stop.load(std::memory_order_relaxed)) {
       service.Tick(clock.ElapsedSeconds());
-      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      next += interval;
+      const auto now = std::chrono::steady_clock::now();
+      if (next < now) next = now;  // overloaded: skip forward, don't burst
+      std::this_thread::sleep_until(next);
     }
   });
+  std::thread watcher;
+  if (live) {
+    watcher = std::thread([&] {
+      auto next = std::chrono::steady_clock::now();
+      const auto interval = std::chrono::milliseconds(interval_ms);
+      while (!stop.load(std::memory_order_relaxed)) {
+        next += interval;
+        const auto now = std::chrono::steady_clock::now();
+        if (next < now) next = now;
+        std::this_thread::sleep_until(next);
+        if (stop.load(std::memory_order_relaxed)) break;
+        // Snapshots are wait-free: this runs while the trainer thread is
+        // mid-tick and never queues behind it.
+        const obs::MetricsSnapshot snap = service.metrics().Snapshot();
+        std::cerr << "[metrics] t="
+                  << common::FormatFixed(clock.ElapsedSeconds(), 2)
+                  << " reported=" << snap.CounterValue("ingest.reported")
+                  << " ring_dropped="
+                  << snap.CounterValue("ingest.ring_dropped")
+                  << " updates=" << snap.CounterValue("trainer.updates")
+                  << " predictions=" << snap.CounterValue("predict.calls")
+                  << "\n";
+      }
+    });
+  }
 
   common::Rng rng(seed ^ 0xcd);
   std::vector<data::ServiceId> candidates(16);
   std::vector<double> values(candidates.size());
-  double next_report = 0.25;
   while (clock.ElapsedSeconds() < seconds) {
     const auto u = static_cast<data::UserId>(rng.Index(users));
     service.PredictQoS(u, static_cast<data::ServiceId>(rng.Index(services)));
@@ -369,23 +413,11 @@ int CmdMetrics(const Args& args) {
       c = static_cast<data::ServiceId>(rng.Index(services));
     }
     service.PredictQoSMany(u, candidates, values);
-    if (live && clock.ElapsedSeconds() >= next_report) {
-      // Snapshots are wait-free: this runs while the trainer thread is
-      // mid-tick and never queues behind it.
-      const obs::MetricsSnapshot snap = service.metrics().Snapshot();
-      std::cerr << "[metrics] t="
-                << common::FormatFixed(clock.ElapsedSeconds(), 2)
-                << " reported=" << snap.CounterValue("ingest.reported")
-                << " ring_dropped=" << snap.CounterValue("ingest.ring_dropped")
-                << " updates=" << snap.CounterValue("trainer.updates")
-                << " predictions=" << snap.CounterValue("predict.calls")
-                << "\n";
-      next_report += 0.25;
-    }
   }
   stop.store(true, std::memory_order_relaxed);
   producer.join();
   trainer.join();
+  if (watcher.joinable()) watcher.join();
   service.Tick(clock.ElapsedSeconds());  // final drain so totals settle
 
   const obs::MetricsSnapshot snap = service.metrics().Snapshot();

@@ -1,0 +1,126 @@
+// amf_load_gen: closed-loop/open-loop driver for a live amf_server.
+//
+//   amf_load_gen --port P [--host 127.0.0.1 --quick 0|1
+//                 --out BENCH_serving.json --connections N
+//                 --users N --services M]
+//
+// Runs a fixed phase plan against the server:
+//
+//   warmup        closed loop (connections threads, short)
+//   load-low/mid/high   open loop at three offered-load levels —
+//                 latency vs offered load with coordinated omission
+//                 avoided by absolute-deadline sends
+//   flash-crowd   open loop at a rate well above load-high for a short
+//                 burst, the ISSUE's adaptation-under-drift scenario
+//   mixed         closed loop with a REPORT_OBS fraction, exercising
+//                 ingest + journal alongside reads
+//
+// and writes a BENCH_serving.json-shaped report: per-phase p50/p95/p99
+// and achieved rps, plus the server-side coalescing ratio
+// (serve.coalesce.requests / serve.coalesce.flushes deltas read over the
+// METRICS opcode), protocol-error and slow-reader-drop deltas. --quick 1
+// shrinks rates and durations for CI. Exit code 0 when every phase
+// completed (errors are *reported*, not fatal — the CI assertions on the
+// JSON decide pass/fail), 2 when the server cannot be reached.
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/string_util.h"
+#include "serve/client.h"
+#include "serve/loadgen.h"
+
+namespace {
+
+using namespace amf;
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; i += 2) {
+      std::string key = argv[i];
+      AMF_CHECK_MSG(common::StartsWith(key, "--"),
+                    "expected --flag value, got " << key);
+      values_[key.substr(2)] = argv[i + 1];
+    }
+  }
+  std::string Get(const std::string& key, const std::string& def) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? def : it->second;
+  }
+  std::int64_t GetInt(const std::string& key, std::int64_t def) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return def;
+    const auto v = common::ParseInt(it->second);
+    AMF_CHECK_MSG(v, "--" << key << " expects an integer");
+    return *v;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args(argc, argv);
+  serve::LoadGenConfig config;
+  config.host = args.Get("host", "127.0.0.1");
+  config.port = static_cast<std::uint16_t>(args.GetInt("port", 7421));
+  const bool quick = args.GetInt("quick", 0) != 0;
+  const auto connections =
+      static_cast<std::size_t>(args.GetInt("connections", quick ? 4 : 8));
+  const auto num_users =
+      static_cast<std::uint32_t>(args.GetInt("users", 32));
+  const auto num_services =
+      static_cast<std::uint32_t>(args.GetInt("services", 128));
+  const std::string out_path = args.Get("out", "BENCH_serving.json");
+
+  serve::Client probe;
+  if (!probe.ConnectWithRetry(config.host, config.port, 10.0) ||
+      !probe.Ping()) {
+    std::cerr << "amf_load_gen: no server at " << config.host << ":"
+              << config.port << "\n";
+    return 2;
+  }
+  const std::string before = probe.Metrics().value_or("");
+  const std::vector<serve::LoadPhase> plan =
+      serve::StandardPhasePlan(quick, connections, num_users, num_services);
+
+  std::vector<serve::PhaseResult> results;
+  for (const serve::LoadPhase& phase : plan) {
+    std::cerr << "amf_load_gen: phase " << phase.name << " ("
+              << (phase.mode == serve::LoadMode::kOpen ? "open" : "closed")
+              << ", " << phase.connections << " conns";
+    if (phase.mode == serve::LoadMode::kOpen) {
+      std::cerr << ", " << phase.target_rps << " rps";
+    }
+    std::cerr << ")\n";
+    const auto result = serve::RunLoadPhase(config, phase);
+    if (!result) {
+      std::cerr << "amf_load_gen: phase " << phase.name
+                << " got no responses\n";
+      return 2;
+    }
+    std::cerr << "amf_load_gen:   " << result->responses << " responses, "
+              << result->achieved_rps << " rps, p95 "
+              << result->p95_s * 1e3 << " ms\n";
+    results.push_back(*result);
+  }
+
+  const std::string after = probe.Metrics().value_or("");
+  const serve::ServingDeltas deltas =
+      serve::ComputeServingDeltas(before, after);
+  const std::string json =
+      serve::RenderServingReport(quick, connections, results, deltas);
+
+  std::ofstream os(out_path, std::ios::trunc);
+  AMF_CHECK_MSG(os.good(), "cannot open --out file " << out_path);
+  os << json;
+  std::cout << json;
+  return 0;
+}

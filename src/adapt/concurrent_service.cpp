@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <unordered_map>
 #include <vector>
 
 #include "common/seqlock.h"
@@ -58,6 +59,9 @@ void ConcurrentPredictionService::RegisterMetrics() {
   batch_hist_ = registry_->GetLatencyHistogram("predict.batch_seconds");
   matrix_calls_ = registry_->GetCounter("predict.matrix_calls");
   matrix_hist_ = registry_->GetLatencyHistogram("predict.matrix_seconds");
+  pair_calls_ = registry_->GetCounter("predict.pair_calls");
+  pair_candidates_ = registry_->GetCounter("predict.pairs");
+  pair_hist_ = registry_->GetLatencyHistogram("predict.pair_seconds");
 }
 
 data::UserId ConcurrentPredictionService::RegisterUser(
@@ -243,6 +247,46 @@ void ConcurrentPredictionService::PredictMatrix(linalg::Matrix* out) const {
   }
 }
 
+void ConcurrentPredictionService::PredictQoSPairs(
+    std::span<const data::UserId> users,
+    std::span<const data::ServiceId> services,
+    std::span<double> values) const {
+  AMF_CHECK_MSG(
+      users.size() == services.size() && users.size() == values.size(),
+      "users/services/values size mismatch");
+  obs::ScopedCounterTimer trace(pair_calls_, pair_hist_);
+  if (pair_candidates_ != nullptr) pair_candidates_->Increment(users.size());
+  std::fill(values.begin(), values.end(),
+            std::numeric_limits<double>::quiet_NaN());
+  if (users.empty()) return;
+  std::shared_lock lock(mu_);
+  const core::AmfModel& m = service_.model();
+  // Group the mixed-user batch by user, then score each group through the
+  // same gather kernel PredictQoSMany uses: one shared-lock acquisition
+  // and one SharedUserRow read per distinct user instead of one per
+  // request. Reduction order is identical to the single-pair path (GEMV
+  // row order on both sides), so coalesced results are bit-identical at
+  // fp64.
+  std::unordered_map<data::UserId, std::vector<std::size_t>> by_user;
+  by_user.reserve(users.size());
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    if (m.HasUser(users[i]) && m.HasService(services[i])) {
+      by_user[users[i]].push_back(i);
+    }
+  }
+  std::vector<data::ServiceId> known;
+  std::vector<double> scores;
+  for (const auto& [u, idx] : by_user) {
+    known.clear();
+    scores.clear();
+    known.reserve(idx.size());
+    scores.resize(idx.size());
+    for (const std::size_t i : idx) known.push_back(services[i]);
+    m.PredictManyRawShared(u, known, scores);
+    for (std::size_t j = 0; j < idx.size(); ++j) values[idx[j]] = scores[j];
+  }
+}
+
 void ConcurrentPredictionService::SetReadPrecision(
     core::ReadPrecision precision) {
   // train_mu_ first (no tick in flight = no replay epoch, no refresh),
@@ -276,6 +320,20 @@ void ConcurrentPredictionService::EnableJournal(
   std::lock_guard train(train_mu_);
   std::unique_lock lock(mu_);
   service_.EnableJournal(config);
+}
+
+bool ConcurrentPredictionService::SyncJournalIfDue() {
+  // Shared lock only: the journal pointer is installed under the
+  // exclusive lock (EnableJournal) and the journal serializes its own
+  // mutations, so this can run from the serving event loop concurrently
+  // with drains and appends.
+  std::shared_lock lock(mu_);
+  return service_.SyncJournalIfDue();
+}
+
+bool ConcurrentPredictionService::FlushJournal() {
+  std::shared_lock lock(mu_);
+  return service_.FlushJournal();
 }
 
 QoSPredictionService::RecoveryReport ConcurrentPredictionService::Recover() {

@@ -113,6 +113,17 @@ class ConcurrentPredictionService {
   /// consistency (like the other Predict* paths), not a global one.
   void PredictMatrix(linalg::Matrix* out) const;
 
+  /// Mixed-user pair scoring: values[i] scores (users[i], services[i]);
+  /// unknown ids get NaN. This is the serving coalescer's entry point —
+  /// concurrent PREDICT requests from many connections gather here, take
+  /// the shared lock ONCE, and fan out per distinct user through the same
+  /// block-validated gather kernel PredictQoSMany uses, so each result is
+  /// bit-identical (at fp64) to the per-request PredictQoS it replaces.
+  /// Spans must be the same length.
+  void PredictQoSPairs(std::span<const data::UserId> users,
+                       std::span<const data::ServiceId> services,
+                       std::span<double> values) const;
+
   // --- Training (single background thread; serialized among themselves) ---
   /// Drains the ring, pre-registers unseen entities (briefly exclusive if
   /// growth is needed), then trains one bounded step. Safe to call while
@@ -151,6 +162,17 @@ class ConcurrentPredictionService {
   /// Point-in-time recovery: newest valid checkpoint + replay of journal
   /// records past its watermark (see QoSPredictionService::Recover).
   QoSPredictionService::RecoveryReport Recover();
+
+  /// kInterval journal housekeeping (no lock beyond the journal's own
+  /// mutex): syncs iff the oldest unsynced append is older than the
+  /// configured interval. Tick() runs this too; the serving event loop
+  /// calls it on its timer so acked observations stay inside the
+  /// durability window even when the trainer is idle.
+  bool SyncJournalIfDue();
+
+  /// Shutdown durability point: fsyncs the journal (no-op without one).
+  /// The serving front-end calls this after its final drain Tick.
+  bool FlushJournal();
 
   // --- Monitoring ----------------------------------------------------------
   /// Observations accepted into the ring so far.
@@ -215,6 +237,9 @@ class ConcurrentPredictionService {
   obs::LatencyHistogram* batch_hist_ = nullptr;
   obs::Counter* matrix_calls_ = nullptr;
   obs::LatencyHistogram* matrix_hist_ = nullptr;
+  obs::Counter* pair_calls_ = nullptr;
+  obs::Counter* pair_candidates_ = nullptr;
+  obs::LatencyHistogram* pair_hist_ = nullptr;
 };
 
 }  // namespace amf::adapt

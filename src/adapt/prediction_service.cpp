@@ -215,6 +215,10 @@ void QoSPredictionService::Tick(double now_seconds) {
       journal_->RemoveSegmentsCoveredBy(watermark);
     }
   }
+  // Bound the kInterval durability window across idle ticks: without
+  // this, a burst's unsynced tail would wait for the *next append* to
+  // trigger the interval check (src/stream/wal.h).
+  if (journal_ != nullptr) journal_->SyncIfDue();
 }
 
 void QoSPredictionService::TrainToConvergence(double now_seconds) {

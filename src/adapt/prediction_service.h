@@ -207,6 +207,19 @@ class QoSPredictionService {
 
   stream::ObservationJournal* journal() { return journal_.get(); }
 
+  /// kInterval housekeeping passthrough (see ObservationJournal::
+  /// SyncIfDue). No-op when journaling is off. Tick() already calls this;
+  /// event loops that go long stretches without ticking (the serving
+  /// front-end's drain timer) call it directly.
+  bool SyncJournalIfDue() {
+    return journal_ != nullptr && journal_->SyncIfDue();
+  }
+
+  /// Forces every journaled byte durable (shutdown path: the serving
+  /// front-end flushes the WAL after draining in-flight requests, before
+  /// exit). Returns false when journaling is off or the fsync failed.
+  bool FlushJournal() { return journal_ != nullptr && journal_->SyncNow(); }
+
   /// What Recover() did (also returned by the dry-run CLI path).
   struct RecoveryReport {
     bool checkpoint_restored = false;

@@ -443,10 +443,22 @@ double AmfModel::SharedDotWithService(std::span<const double> urow,
   const double* row = service_.row(s);
   double acc = 0.0;
   common::SeqlockRead(service_.version(s), [&] {
-    double a = 0.0;
-    for (std::size_t k = 0; k < d; ++k) {
-      a += urow[k] * common::RelaxedLoad(row[k]);
+    // Mirror linalg::Dot's 4-way split reduction exactly: the serving
+    // coalescer batches concurrent single predictions through
+    // PredictManyRawShared (whose gather pass reduces via linalg::Dot),
+    // and its contract is that a coalesced answer is bit-identical at
+    // fp64 to the per-request PredictQoS it replaced. A plain ascending
+    // accumulator here would round differently in the last bits.
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    std::size_t k = 0;
+    for (; k + 4 <= d; k += 4) {
+      s0 += urow[k + 0] * common::RelaxedLoad(row[k + 0]);
+      s1 += urow[k + 1] * common::RelaxedLoad(row[k + 1]);
+      s2 += urow[k + 2] * common::RelaxedLoad(row[k + 2]);
+      s3 += urow[k + 3] * common::RelaxedLoad(row[k + 3]);
     }
+    double a = (s0 + s1) + (s2 + s3);
+    for (; k < d; ++k) a += urow[k] * common::RelaxedLoad(row[k]);
     acc = a;
   });
   return acc;
@@ -568,17 +580,32 @@ double AmfModel::PredictNormalizedShared(data::UserId u,
   thread_local std::vector<double> urow;
   urow.resize(d);
   SharedUserRow(u, urow);
+  double v;
   if (replicas_enabled()) {
     thread_local std::vector<double> srow;
     srow.resize(d);
     service_replica_.SnapshotRow(s, srow);
-    return transform::Sigmoid(RowOrderDot(urow, srow.data(), d));
+    v = RowOrderDot(urow, srow.data(), d);
+  } else {
+    v = SharedDotWithService(urow, s);
   }
-  return transform::Sigmoid(SharedDotWithService(urow, s));
+  // One-element SigmoidRow, NOT scalar Sigmoid: the batched shared paths
+  // (PredictManyRawShared, PredictRowRawShared) transform via SigmoidRow,
+  // whose ExpRow differs from std::exp by a few ulp. The serving
+  // coalescer's contract — a coalesced answer is bit-identical at fp64
+  // to the per-request one — requires the single path to run the exact
+  // same element-wise math.
+  transform::SigmoidRow(std::span<const double>(&v, 1),
+                        std::span<double>(&v, 1));
+  return v;
 }
 
 double AmfModel::PredictRawShared(data::UserId u, data::ServiceId s) const {
-  return transform_.Inverse(PredictNormalizedShared(u, s));
+  // One-element InverseRow for the same bit-identity reason as the
+  // SigmoidRow call in PredictNormalizedShared.
+  double v = PredictNormalizedShared(u, s);
+  transform_.InverseRow(std::span<double>(&v, 1));
+  return v;
 }
 
 void AmfModel::PredictManyRawShared(data::UserId u,

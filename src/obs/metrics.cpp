@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
 
@@ -61,7 +62,29 @@ double LatencyHistogram::UpperBound(std::size_t bucket) const {
 
 double HistogramSnapshot::Percentile(double p) const {
   AMF_CHECK_MSG(p >= 0.0 && p <= 100.0, "percentile out of range");
-  if (total == 0) return 0.0;
+  // Empty histogram: there is no latency to report. NaN is the documented
+  // sentinel — a cold connection's histogram must not masquerade as "0s
+  // p99" on a dashboard (JSON export maps non-finite to 0; Prometheus
+  // carries the NaN through).
+  if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+  // p=0 / p=100 are edge queries, not ranks: report the occupied range's
+  // bounds instead of interpolating inside a bucket. Underflow/overflow
+  // populations saturate at the histogram bounds (the honest answer: the
+  // true value lies at or beyond the edge).
+  if (p == 0.0) {
+    if (underflow > 0) return min_value;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (counts[i] > 0) return i == 0 ? min_value : upper_bounds[i - 1];
+    }
+    return max_value;  // all samples were overflow
+  }
+  if (p == 100.0) {
+    if (overflow > 0) return max_value;
+    for (std::size_t i = counts.size(); i > 0; --i) {
+      if (counts[i - 1] > 0) return upper_bounds[i - 1];
+    }
+    return min_value;  // all samples were underflow
+  }
   const double rank = p / 100.0 * static_cast<double>(total);
   double cum = static_cast<double>(underflow);
   if (rank <= cum) return min_value;
@@ -69,6 +92,11 @@ double HistogramSnapshot::Percentile(double p) const {
     const double in_bucket = static_cast<double>(counts[i]);
     if (in_bucket > 0.0 && rank <= cum + in_bucket) {
       const double lower = i == 0 ? min_value : upper_bounds[i - 1];
+      // A single sample gives the rank interpolation nothing to work
+      // with (any point in the bucket is equally plausible); report the
+      // bucket's inclusive upper edge — the conservative answer for a
+      // latency SLO. Multi-sample buckets interpolate linearly.
+      if (in_bucket < 2.0) return upper_bounds[i];
       const double frac = (rank - cum) / in_bucket;
       return lower + frac * (upper_bounds[i] - lower);
     }

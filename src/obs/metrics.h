@@ -150,7 +150,18 @@ struct HistogramSnapshot {
 
   /// p in [0, 100]. Linear interpolation inside the hit bucket; saturates
   /// at min_value / max_value for ranks landing in underflow / overflow.
-  /// 0 when the histogram is empty.
+  /// Edge semantics (the serving front-end exports these on cold
+  /// connections, so they are contractual):
+  ///   - empty histogram        -> NaN (documented sentinel; never a fake
+  ///                               0-latency reading)
+  ///   - p == 0 / p == 100      -> lower/upper edge of the occupied bucket
+  ///                               range (bounds for under/overflow)
+  ///   - single-sample bucket   -> that bucket's inclusive upper edge
+  ///                               (interpolating one sample is
+  ///                               meaningless; the edge is conservative)
+  ///   - all-overflow population-> max_value for every p (a lower bound,
+  ///                               not an estimate; all-underflow
+  ///                               mirrors with min_value)
   double Percentile(double p) const;
   double p50() const { return Percentile(50.0); }
   double p95() const { return Percentile(95.0); }

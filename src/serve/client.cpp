@@ -1,0 +1,219 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+namespace amf::serve {
+
+namespace {
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int ConnectOnce(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      next_request_id_(other.next_request_id_),
+      rbuf_(std::move(other.rbuf_)) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    next_request_id_ = other.next_request_id_;
+    rbuf_ = std::move(other.rbuf_);
+  }
+  return *this;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rbuf_.clear();
+}
+
+bool Client::ConnectWithRetry(const std::string& host, std::uint16_t port,
+                              double deadline_s) {
+  const double deadline = MonotonicSeconds() + deadline_s;
+  for (;;) {
+    fd_ = ConnectOnce(host, port);
+    if (fd_ >= 0) return true;
+    if (MonotonicSeconds() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+bool Client::SendRaw(std::string_view bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool Client::ReadSome(double deadline_s) {
+  const double wait = deadline_s - MonotonicSeconds();
+  pollfd pfd{fd_, POLLIN, 0};
+  const int timeout_ms =
+      wait <= 0.0 ? 0 : static_cast<int>(std::ceil(wait * 1e3));
+  const int r = ::poll(&pfd, 1, timeout_ms);
+  if (r <= 0) return false;  // timeout or poll error
+  char buf[64 * 1024];
+  const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+  if (n <= 0) return false;  // EOF or error
+  rbuf_.append(buf, static_cast<std::size_t>(n));
+  return true;
+}
+
+bool Client::WaitForClose(double timeout_s) {
+  const double deadline = MonotonicSeconds() + timeout_s;
+  for (;;) {
+    const double wait = deadline - MonotonicSeconds();
+    if (wait <= 0.0) return false;
+    pollfd pfd{fd_, POLLIN, 0};
+    if (::poll(&pfd, 1, static_cast<int>(std::ceil(wait * 1e3))) <= 0) {
+      return false;
+    }
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n == 0) return true;                     // orderly close
+    if (n < 0 && errno != EINTR) return true;    // reset counts as closed
+    // n > 0: stray response bytes before the close; keep draining.
+  }
+}
+
+bool Client::RoundTrip(std::string_view request, std::uint64_t request_id,
+                       Frame* response, std::string* payload_copy,
+                       double timeout_s) {
+  if (fd_ < 0) return false;
+  if (!SendRaw(request)) return false;
+  const double deadline = MonotonicSeconds() + timeout_s;
+  for (;;) {
+    Frame frame;
+    std::size_t consumed = 0;
+    std::string error;
+    const DecodeResult r = DecodeFrame(rbuf_, &frame, &consumed, &error);
+    if (r == DecodeResult::kProtocolError) return false;
+    if (r == DecodeResult::kFrame) {
+      if (frame.header.is_response && frame.header.request_id == request_id) {
+        *payload_copy = std::string(frame.payload);
+        *response = frame;
+        response->payload = *payload_copy;
+        rbuf_.erase(0, consumed);
+        return true;
+      }
+      rbuf_.erase(0, consumed);  // stale response (earlier timeout); skip
+      continue;
+    }
+    if (!ReadSome(deadline)) return false;
+  }
+}
+
+bool Client::Ping(double timeout_s) {
+  std::string req;
+  const std::uint64_t id = next_request_id_++;
+  AppendPingRequest(req, id);
+  Frame resp;
+  std::string payload;
+  return RoundTrip(req, id, &resp, &payload, timeout_s) &&
+         resp.header.opcode == Opcode::kPing;
+}
+
+std::optional<double> Client::Predict(data::UserId user,
+                                      data::ServiceId service,
+                                      double timeout_s) {
+  std::string req;
+  const std::uint64_t id = next_request_id_++;
+  AppendPredictRequest(req, id, user, service);
+  Frame resp;
+  std::string payload;
+  if (!RoundTrip(req, id, &resp, &payload, timeout_s)) return std::nullopt;
+  if (resp.header.opcode != Opcode::kPredict ||
+      resp.header.status != Status::kOk) {
+    return std::nullopt;
+  }
+  double value = 0.0;
+  if (!ParsePredictResponse(resp.payload, &value)) return std::nullopt;
+  return value;
+}
+
+std::optional<std::vector<double>> Client::PredictMany(
+    data::UserId user, std::span<const data::ServiceId> services,
+    double timeout_s) {
+  std::string req;
+  const std::uint64_t id = next_request_id_++;
+  AppendPredictManyRequest(req, id, user, services);
+  Frame resp;
+  std::string payload;
+  if (!RoundTrip(req, id, &resp, &payload, timeout_s)) return std::nullopt;
+  if (resp.header.opcode != Opcode::kPredictMany) return std::nullopt;
+  std::vector<double> values;
+  if (!ParsePredictManyResponse(resp.payload, &values)) return std::nullopt;
+  return values;
+}
+
+std::optional<Status> Client::ReportObservation(const data::QoSSample& sample,
+                                                double timeout_s) {
+  std::string req;
+  const std::uint64_t id = next_request_id_++;
+  AppendReportObsRequest(req, id, sample);
+  Frame resp;
+  std::string payload;
+  if (!RoundTrip(req, id, &resp, &payload, timeout_s)) return std::nullopt;
+  if (resp.header.opcode != Opcode::kReportObs) return std::nullopt;
+  return resp.header.status;
+}
+
+std::optional<std::string> Client::Metrics(double timeout_s) {
+  std::string req;
+  const std::uint64_t id = next_request_id_++;
+  AppendMetricsRequest(req, id);
+  Frame resp;
+  std::string payload;
+  if (!RoundTrip(req, id, &resp, &payload, timeout_s)) return std::nullopt;
+  if (resp.header.opcode != Opcode::kMetrics) return std::nullopt;
+  return std::string(resp.payload);
+}
+
+}  // namespace amf::serve

@@ -1,0 +1,72 @@
+// Blocking client for the serving protocol (tests, CLI drills, load
+// generator warm-up). One connection, synchronous request/response; the
+// load generator's open-loop mode drives sockets directly instead.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "data/qos_types.h"
+#include "serve/protocol.h"
+
+namespace amf::serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  /// Connects, retrying (connection refused counts as "server not up
+  /// yet") until `deadline_s` seconds have elapsed.
+  bool ConnectWithRetry(const std::string& host, std::uint16_t port,
+                        double deadline_s = 5.0);
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Synchronous round-trips. std::nullopt on transport error, protocol
+  /// error, or `timeout_s` expiring. Predict additionally returns
+  /// nullopt when the server answered kUnknownEntity.
+  bool Ping(double timeout_s = 5.0);
+  std::optional<double> Predict(data::UserId user, data::ServiceId service,
+                                double timeout_s = 5.0);
+  std::optional<std::vector<double>> PredictMany(
+      data::UserId user, std::span<const data::ServiceId> services,
+      double timeout_s = 5.0);
+  /// Returns the server's Status (kOk accepted, kShed ring-full), or
+  /// nullopt on transport failure.
+  std::optional<Status> ReportObservation(const data::QoSSample& sample,
+                                          double timeout_s = 5.0);
+  std::optional<std::string> Metrics(double timeout_s = 5.0);
+
+  /// Writes arbitrary bytes to the socket — the malformed-frame tests
+  /// use this to poke the server's decoder directly.
+  bool SendRaw(std::string_view bytes);
+  /// True when the peer has closed (a read returns EOF) within
+  /// `timeout_s`. Protocol-error handling is a silent close, so this is
+  /// how tests observe "the server hung up on me".
+  bool WaitForClose(double timeout_s = 5.0);
+
+  int fd() const { return fd_; }
+
+ private:
+  /// Sends `request` then reads frames until one matching `request_id`
+  /// arrives (responses come back in order today, but matching by id
+  /// keeps the client honest about the pipelining contract).
+  bool RoundTrip(std::string_view request, std::uint64_t request_id,
+                 Frame* response, std::string* payload_copy,
+                 double timeout_s);
+  bool ReadSome(double deadline_s);
+
+  int fd_ = -1;
+  std::uint64_t next_request_id_ = 1;
+  std::string rbuf_;
+};
+
+}  // namespace amf::serve

@@ -1,0 +1,119 @@
+// Request coalescer for the serving event loop (DESIGN.md §14).
+//
+// Single PREDICT requests arriving from many connections within a short
+// window are gathered into one batch and scored through
+// ConcurrentPredictionService::PredictQoSPairs — one shared-lock
+// acquisition and one gather pass per batch instead of one per request.
+// Under concurrency this turns N lock acquisitions + N row walks into 1,
+// which is where the serving tier's throughput headroom comes from; the
+// coalescer test proves every batched result is bit-identical (at fp64)
+// to the per-request PredictQoS it replaces, so batching is purely a
+// scheduling decision, never an accuracy one.
+//
+// Threading: owned and driven by the event-loop thread only. Nothing
+// here is locked; do not share an instance across threads.
+//
+// Flush policy (whichever comes first):
+//   - the batch reaches `max_batch` entries (Add() returns true and the
+//     loop flushes immediately), or
+//   - the oldest pending request has waited `window_us` (the loop's
+//     epoll timeout is clamped to the due time, so a lone request waits
+//     at most ~window + one timer granularity, never a full tick).
+// An empty coalescer imposes no latency and no epoll-timeout clamp.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "adapt/concurrent_service.h"
+#include "data/qos_types.h"
+
+namespace amf::serve {
+
+struct CoalescerConfig {
+  /// Max time a pending request may wait for batch-mates, microseconds.
+  /// 0 degenerates to per-request dispatch (flush after every Add).
+  double window_us = 200.0;
+  /// Flush as soon as this many requests are pending.
+  std::size_t max_batch = 64;
+};
+
+/// One queued single-prediction request, tagged with enough identity to
+/// route its answer back to the issuing connection.
+struct PendingPredict {
+  std::uint64_t conn_id = 0;
+  std::uint64_t request_id = 0;
+  data::UserId user = 0;
+  data::ServiceId service = 0;
+  double enqueued_monotonic_s = 0.0;
+};
+
+class Coalescer {
+ public:
+  explicit Coalescer(const CoalescerConfig& config) : config_(config) {
+    pending_.reserve(config.max_batch);
+  }
+
+  /// Queues one request. Returns true when the batch hit max_batch (or
+  /// window_us == 0) and must be flushed now.
+  bool Add(const PendingPredict& req) {
+    pending_.push_back(req);
+    return pending_.size() >= config_.max_batch || config_.window_us <= 0.0;
+  }
+
+  bool empty() const { return pending_.empty(); }
+  std::size_t size() const { return pending_.size(); }
+
+  /// Monotonic enqueue time of the oldest pending request (call only when
+  /// non-empty). Requests are appended in arrival order, so this is
+  /// pending_.front().
+  double oldest_enqueue_s() const { return pending_.front().enqueued_monotonic_s; }
+
+  /// True when the oldest pending request has aged past the window.
+  bool Due(double now_s) const {
+    return !pending_.empty() &&
+           (now_s - oldest_enqueue_s()) * 1e6 >= config_.window_us;
+  }
+
+  /// Seconds until the oldest request comes due; call only when
+  /// non-empty. <= 0 means due now.
+  double SecondsUntilDue(double now_s) const {
+    return config_.window_us * 1e-6 - (now_s - oldest_enqueue_s());
+  }
+
+  /// Scores every pending request in ONE PredictQoSPairs call and hands
+  /// each (request, value) to `emit` in arrival order; NaN marks an
+  /// unknown user or service (the server maps it to kUnknownEntity).
+  /// Clears the pending set. Returns the batch size that was flushed.
+  std::size_t Flush(
+      const adapt::ConcurrentPredictionService& service,
+      const std::function<void(const PendingPredict&, double)>& emit) {
+    const std::size_t n = pending_.size();
+    if (n == 0) return 0;
+    users_.resize(n);
+    services_.resize(n);
+    values_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      users_[i] = pending_[i].user;
+      services_[i] = pending_[i].service;
+    }
+    service.PredictQoSPairs(users_, services_, values_);
+    for (std::size_t i = 0; i < n; ++i) emit(pending_[i], values_[i]);
+    pending_.clear();
+    return n;
+  }
+
+  const CoalescerConfig& config() const { return config_; }
+
+ private:
+  CoalescerConfig config_;
+  std::vector<PendingPredict> pending_;
+  // Flush scratch, reused across batches (no per-flush allocation in
+  // steady state).
+  std::vector<data::UserId> users_;
+  std::vector<data::ServiceId> services_;
+  std::vector<double> values_;
+};
+
+}  // namespace amf::serve

@@ -1,0 +1,46 @@
+// Per-connection state for the serving event loop (DESIGN.md §14).
+//
+// Each accepted socket owns two byte buffers:
+//
+//   rbuf  -- unconsumed inbound bytes; DecodeFrame peels complete frames
+//            off the front, partial frames wait for the next EPOLLIN.
+//   wbuf  -- encoded response bytes not yet written; woff marks how much
+//            of it the kernel has taken, and the buffer is compacted once
+//            fully drained (amortized O(1), no per-write erase).
+//
+// Backpressure ladder (a reader that stops reading must cost the server
+// a bounded amount of memory, never an unbounded queue):
+//
+//   1. wbuf - woff > write_pause_bytes  -> stop reading the socket
+//      (drop EPOLLIN): no new requests are parsed, so the peer's
+//      pipelining stalls instead of our memory growing. `paused` set,
+//      serve.paused_connections gauge up.
+//   2. wbuf - woff > write_drop_bytes   -> the peer is not draining even
+//      the paused backlog; close the connection and count it in
+//      serve.slow_reader_drops. Losing one slow consumer is the designed
+//      outcome — the alternative is the server OOMing for everyone.
+//   3. backlog < write_pause_bytes / 2  -> resume reading (hysteresis so
+//      a connection hovering at the threshold does not flap its epoll
+//      registration every frame).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace amf::serve {
+
+struct Connection {
+  int fd = -1;
+  std::uint64_t id = 0;  ///< stable tag used by the coalescer's routing
+  std::string rbuf;
+  std::string wbuf;
+  std::size_t woff = 0;   ///< bytes of wbuf already written to the socket
+  bool paused = false;    ///< EPOLLIN removed by the backpressure ladder
+  bool want_write = false;  ///< EPOLLOUT currently registered
+  bool paused_registered = false;  ///< pause state the epoll set reflects
+
+  std::size_t backlog_bytes() const { return wbuf.size() - woff; }
+};
+
+}  // namespace amf::serve

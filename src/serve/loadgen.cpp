@@ -1,0 +1,409 @@
+#include "serve/loadgen.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <thread>
+
+#include "data/qos_types.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+
+namespace amf::serve {
+
+namespace {
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct PhaseCounters {
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> responses{0};
+  std::atomic<std::uint64_t> errors{0};
+  std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> deferred{0};
+};
+
+/// Deterministic per-thread request stream: ids advance round-robin with
+/// a per-thread stride so concurrent connections hit distinct rows.
+struct RequestStream {
+  std::uint32_t num_users;
+  std::uint32_t num_services;
+  double report_fraction;
+  std::uint64_t i = 0;
+
+  data::UserId user() const {
+    return static_cast<data::UserId>(i % num_users);
+  }
+  data::ServiceId service() const {
+    return static_cast<data::ServiceId>((i * 7 + 3) % num_services);
+  }
+  bool is_report() const {
+    if (report_fraction <= 0.0) return false;
+    const std::uint64_t period =
+        static_cast<std::uint64_t>(std::llround(1.0 / report_fraction));
+    return period > 0 && (i % period) == period - 1;
+  }
+  void advance() { ++i; }
+};
+
+void ClosedLoopWorker(const LoadGenConfig& config, const LoadPhase& phase,
+                      std::size_t worker, double end_s,
+                      obs::LatencyHistogram* hist, PhaseCounters* counters) {
+  Client client;
+  if (!client.ConnectWithRetry(config.host, config.port,
+                               config.connect_deadline_s)) {
+    counters->errors.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  RequestStream stream{phase.num_users, phase.num_services,
+                       phase.report_fraction, worker * 13};
+  while (MonotonicSeconds() < end_s) {
+    const double t0 = MonotonicSeconds();
+    counters->requests.fetch_add(1, std::memory_order_relaxed);
+    bool ok;
+    if (stream.is_report()) {
+      data::QoSSample s{};
+      s.slice = 0;
+      s.user = stream.user();
+      s.service = stream.service();
+      s.value = 0.5;
+      s.timestamp = t0;
+      const auto status = client.ReportObservation(s);
+      ok = status.has_value();
+      if (ok && *status == Status::kShed) {
+        counters->shed.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      // kUnknownEntity (nullopt with a live transport) still counts as a
+      // served response; only transport failures are errors, and those
+      // kill the connection loop below anyway.
+      ok = client.Predict(stream.user(), stream.service()).has_value() ||
+           client.connected();
+    }
+    if (!ok) {
+      counters->errors.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    counters->responses.fetch_add(1, std::memory_order_relaxed);
+    hist->Record(MonotonicSeconds() - t0);
+    stream.advance();
+  }
+}
+
+void OpenLoopWorker(const LoadGenConfig& config, const LoadPhase& phase,
+                    std::size_t worker, double end_s,
+                    obs::LatencyHistogram* hist, PhaseCounters* counters) {
+  Client client;
+  if (!client.ConnectWithRetry(config.host, config.port,
+                               config.connect_deadline_s)) {
+    counters->errors.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const int fd = client.fd();
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+
+  const double per_conn_rps =
+      phase.target_rps / static_cast<double>(phase.connections);
+  const double interval_s = per_conn_rps > 0.0 ? 1.0 / per_conn_rps : 1.0;
+  RequestStream stream{phase.num_users, phase.num_services,
+                       phase.report_fraction, worker * 13};
+
+  std::string wbuf;   // encoded-but-unsent bytes
+  std::string rbuf;
+  std::deque<std::pair<std::uint64_t, double>> in_flight;  // (id, sent_at)
+  std::uint64_t next_id = 1;
+  double next_send = MonotonicSeconds();
+
+  const double drain_deadline = end_s + 2.0;
+  for (;;) {
+    const double now = MonotonicSeconds();
+    const bool sending = now < end_s;
+    if (!sending && in_flight.empty() && wbuf.empty()) break;
+    if (now >= drain_deadline) {
+      counters->errors.fetch_add(in_flight.size(),
+                                 std::memory_order_relaxed);
+      break;
+    }
+
+    // Absolute-deadline pacing: encode every request whose send time has
+    // passed (a flash crowd may owe several per wake-up), bounded by the
+    // pipelining cap.
+    while (sending && now >= next_send) {
+      if (in_flight.size() >= phase.max_outstanding) {
+        // Cap reached: the send is deferred, not queued — offered load
+        // honesty requires counting this instead of silently lagging.
+        counters->deferred.fetch_add(1, std::memory_order_relaxed);
+        next_send = now + interval_s;
+        break;
+      }
+      const std::uint64_t id = next_id++;
+      AppendPredictRequest(wbuf, id, stream.user(), stream.service());
+      in_flight.emplace_back(id, now);
+      counters->requests.fetch_add(1, std::memory_order_relaxed);
+      stream.advance();
+      next_send += interval_s;
+    }
+
+    // Push pending bytes.
+    while (!wbuf.empty()) {
+      const ssize_t n = ::send(fd, wbuf.data(), wbuf.size(), MSG_NOSIGNAL);
+      if (n > 0) {
+        wbuf.erase(0, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      counters->errors.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+
+    // Wait for readability or the next send deadline, whichever first.
+    double wait_s = sending ? next_send - MonotonicSeconds() : 0.05;
+    if (wait_s < 0.0) wait_s = 0.0;
+    if (wait_s > 0.05) wait_s = 0.05;
+    pollfd pfd{fd, static_cast<short>(POLLIN | (wbuf.empty() ? 0 : POLLOUT)),
+               0};
+    const int pr =
+        ::poll(&pfd, 1, static_cast<int>(std::ceil(wait_s * 1e3)));
+    if (pr < 0 && errno != EINTR) {
+      counters->errors.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (pr > 0 && (pfd.revents & POLLIN) != 0) {
+      char buf[64 * 1024];
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        if (n < 0 && (errno == EAGAIN || errno == EINTR)) continue;
+        counters->errors.fetch_add(in_flight.size() + 1,
+                                   std::memory_order_relaxed);
+        return;  // server hung up with requests outstanding
+      }
+      rbuf.append(buf, static_cast<std::size_t>(n));
+      std::size_t off = 0;
+      for (;;) {
+        Frame frame;
+        std::size_t consumed = 0;
+        std::string error;
+        const DecodeResult r = DecodeFrame(
+            std::string_view(rbuf).substr(off), &frame, &consumed, &error);
+        if (r == DecodeResult::kNeedMore) break;
+        if (r == DecodeResult::kProtocolError) {
+          counters->errors.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        off += consumed;
+        // Pipelined responses come back in send order on one connection.
+        if (!in_flight.empty() &&
+            frame.header.request_id == in_flight.front().first) {
+          const double rtt =
+              MonotonicSeconds() - in_flight.front().second;
+          hist->Record(rtt);
+          counters->responses.fetch_add(1, std::memory_order_relaxed);
+          in_flight.pop_front();
+        }
+      }
+      rbuf.erase(0, off);
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<PhaseResult> RunLoadPhase(const LoadGenConfig& config,
+                                        const LoadPhase& phase) {
+  obs::LatencyHistogramOptions opts;
+  opts.min_value = 1e-7;
+  opts.max_value = 10.0;
+  opts.buckets = 96;
+  obs::LatencyHistogram hist(opts);
+  PhaseCounters counters;
+
+  const double start = MonotonicSeconds();
+  const double end_s = start + phase.duration_s;
+  std::vector<std::thread> workers;
+  workers.reserve(phase.connections);
+  for (std::size_t w = 0; w < phase.connections; ++w) {
+    workers.emplace_back([&, w] {
+      if (phase.mode == LoadMode::kClosed) {
+        ClosedLoopWorker(config, phase, w, end_s, &hist, &counters);
+      } else {
+        OpenLoopWorker(config, phase, w, end_s, &hist, &counters);
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  const double elapsed = MonotonicSeconds() - start;
+
+  PhaseResult result;
+  result.name = phase.name;
+  result.mode = phase.mode;
+  result.connections = phase.connections;
+  result.target_rps = phase.mode == LoadMode::kOpen ? phase.target_rps : 0.0;
+  result.duration_s = elapsed;
+  result.requests = counters.requests.load();
+  result.responses = counters.responses.load();
+  result.errors = counters.errors.load();
+  result.shed = counters.shed.load();
+  result.deferred_sends = counters.deferred.load();
+  result.achieved_rps =
+      elapsed > 0.0 ? static_cast<double>(result.responses) / elapsed : 0.0;
+
+  // Snapshot the shared histogram for the percentile readout.
+  obs::HistogramSnapshot snap;
+  snap.min_value = hist.min_value();
+  snap.max_value = hist.max_value();
+  for (std::size_t b = 0; b < hist.buckets(); ++b) {
+    snap.upper_bounds.push_back(hist.UpperBound(b));
+    snap.counts.push_back(hist.bucket_count(b));
+  }
+  snap.underflow = hist.underflow();
+  snap.overflow = hist.overflow();
+  snap.total = hist.count();
+  snap.sum = hist.sum();
+  if (snap.total > 0) {
+    result.p50_s = snap.p50();
+    result.p95_s = snap.p95();
+    result.p99_s = snap.p99();
+    result.mean_s = snap.mean();
+  }
+  if (result.responses == 0 && result.errors > 0) return std::nullopt;
+  return result;
+}
+
+void AppendPhaseJson(std::string& out, const PhaseResult& r) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"name\": \"%s\", \"mode\": \"%s\", \"connections\": %zu, "
+      "\"target_rps\": %.9g, \"duration_s\": %.9g, \"requests\": %llu, "
+      "\"responses\": %llu, \"errors\": %llu, \"shed\": %llu, "
+      "\"deferred_sends\": %llu, \"achieved_rps\": %.9g, "
+      "\"p50_ms\": %.9g, \"p95_ms\": %.9g, \"p99_ms\": %.9g, "
+      "\"mean_ms\": %.9g}",
+      r.name.c_str(), r.mode == LoadMode::kOpen ? "open" : "closed",
+      r.connections, r.target_rps, r.duration_s,
+      static_cast<unsigned long long>(r.requests),
+      static_cast<unsigned long long>(r.responses),
+      static_cast<unsigned long long>(r.errors),
+      static_cast<unsigned long long>(r.shed),
+      static_cast<unsigned long long>(r.deferred_sends), r.achieved_rps,
+      r.p50_s * 1e3, r.p95_s * 1e3, r.p99_s * 1e3, r.mean_s * 1e3);
+  out += buf;
+}
+
+std::vector<LoadPhase> StandardPhasePlan(bool quick, std::size_t connections,
+                                         std::uint32_t num_users,
+                                         std::uint32_t num_services) {
+  const double dur = quick ? 0.5 : 2.0;
+  const double scale = quick ? 0.25 : 1.0;
+  std::vector<LoadPhase> plan;
+  LoadPhase p;
+  p.num_users = num_users;
+  p.num_services = num_services;
+  p.connections = connections;
+
+  p.name = "warmup";
+  p.mode = LoadMode::kClosed;
+  p.duration_s = quick ? 0.25 : 1.0;
+  plan.push_back(p);
+
+  p.mode = LoadMode::kOpen;
+  p.duration_s = dur;
+  p.name = "load-low";
+  p.target_rps = 2000.0 * scale;
+  plan.push_back(p);
+  p.name = "load-mid";
+  p.target_rps = 8000.0 * scale;
+  plan.push_back(p);
+  p.name = "load-high";
+  p.target_rps = 20000.0 * scale;
+  plan.push_back(p);
+
+  // Flash crowd: well above load-high for a short burst — the paper's
+  // adaptation trigger scenario (sudden demand shift), here probing that
+  // tail latency degrades gracefully instead of the server falling over.
+  p.name = "flash-crowd";
+  p.target_rps = 40000.0 * scale;
+  p.duration_s = quick ? 0.3 : 1.0;
+  plan.push_back(p);
+
+  p.name = "mixed";
+  p.mode = LoadMode::kClosed;
+  p.duration_s = dur;
+  p.report_fraction = 0.2;
+  plan.push_back(p);
+  return plan;
+}
+
+ServingDeltas ComputeServingDeltas(std::string_view before,
+                                   std::string_view after) {
+  const auto delta = [&](std::string_view name) {
+    return ExtractMetricNumber(after, name).value_or(0.0) -
+           ExtractMetricNumber(before, name).value_or(0.0);
+  };
+  ServingDeltas d;
+  d.coalesce_requests = delta("serve.coalesce.requests");
+  d.coalesce_flushes = delta("serve.coalesce.flushes");
+  d.protocol_errors = delta("serve.protocol_errors");
+  d.slow_reader_drops = delta("serve.slow_reader_drops");
+  return d;
+}
+
+std::string RenderServingReport(bool quick, std::size_t connections,
+                                const std::vector<PhaseResult>& results,
+                                const ServingDeltas& deltas) {
+  std::string json = "{\n  \"bench\": \"serving\",\n  \"quick\": ";
+  json += quick ? "true" : "false";
+  json += ",\n  \"connections\": " + std::to_string(connections);
+  json += ",\n  \"phases\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    json += "    ";
+    AppendPhaseJson(json, results[i]);
+    if (i + 1 < results.size()) json += ",";
+    json += "\n";
+  }
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "  ],\n  \"coalescing\": {\"requests\": %lld, \"flushes\": "
+                "%lld, \"ratio\": %.3f},\n  \"protocol_errors\": %lld,\n  "
+                "\"slow_reader_drops\": %lld\n}\n",
+                static_cast<long long>(deltas.coalesce_requests),
+                static_cast<long long>(deltas.coalesce_flushes),
+                deltas.ratio(),
+                static_cast<long long>(deltas.protocol_errors),
+                static_cast<long long>(deltas.slow_reader_drops));
+  json += buf;
+  return json;
+}
+
+std::optional<double> ExtractMetricNumber(std::string_view json,
+                                          std::string_view name) {
+  std::string needle;
+  needle.reserve(name.size() + 3);
+  needle.push_back('"');
+  needle.append(name);
+  needle.append("\":");
+  const std::size_t at = json.find(needle);
+  if (at == std::string_view::npos) return std::nullopt;
+  std::size_t p = at + needle.size();
+  while (p < json.size() && json[p] == ' ') ++p;
+  char* end = nullptr;
+  const double v = std::strtod(json.data() + p, &end);
+  if (end == json.data() + p) return std::nullopt;
+  return v;
+}
+
+}  // namespace amf::serve

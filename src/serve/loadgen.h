@@ -1,0 +1,112 @@
+// Closed/open-loop load generator for the serving front-end.
+//
+// Two driving modes per phase, because they answer different questions:
+//
+//   kClosed -- N connections, each a synchronous request/response loop.
+//     Offered load is whatever the server sustains (throughput probe);
+//     latency hides queueing because a slow server slows the clients.
+//   kOpen   -- N connections, each sending at a fixed rate on absolute
+//     deadlines (next += 1/rate, never "sleep then send"), pipelined up
+//     to max_outstanding without waiting for responses. Offered load is
+//     independent of the server (latency probe / flash-crowd phases);
+//     coordinated omission is avoided by construction because send
+//     times do not depend on response times.
+//
+// All threads of a phase record into one shared wait-free
+// obs::LatencyHistogram; the PhaseResult carries p50/p95/p99 from its
+// snapshot. Requests are PREDICT with ids drawn round-robin from the
+// configured ranges (round-robin, not random: the generator must be
+// deterministic run-to-run), with an optional REPORT_OBS mix.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace amf::serve {
+
+enum class LoadMode { kClosed, kOpen };
+
+struct LoadPhase {
+  std::string name = "phase";
+  LoadMode mode = LoadMode::kClosed;
+  std::size_t connections = 4;
+  /// Total offered request rate across all connections (kOpen only).
+  double target_rps = 1000.0;
+  double duration_s = 1.0;
+  /// Pipelining cap per connection (kOpen only): sends stall — and are
+  /// counted as `deferred_sends` — rather than queue unboundedly when
+  /// the server lags the offered rate.
+  std::size_t max_outstanding = 64;
+  /// Fraction of requests that are REPORT_OBS instead of PREDICT.
+  double report_fraction = 0.0;
+  std::uint32_t num_users = 32;
+  std::uint32_t num_services = 64;
+};
+
+struct PhaseResult {
+  std::string name;
+  LoadMode mode = LoadMode::kClosed;
+  std::size_t connections = 0;
+  double target_rps = 0.0;   ///< 0 for closed loop
+  double duration_s = 0.0;   ///< measured wall time
+  std::uint64_t requests = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t errors = 0;  ///< transport/protocol failures
+  std::uint64_t shed = 0;    ///< REPORT_OBS answered kShed
+  std::uint64_t deferred_sends = 0;  ///< kOpen sends delayed by the cap
+  double achieved_rps = 0.0;
+  double p50_s = 0.0, p95_s = 0.0, p99_s = 0.0, mean_s = 0.0;
+};
+
+struct LoadGenConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  double connect_deadline_s = 5.0;
+};
+
+/// Runs one phase to completion (spawns phase.connections threads; joins
+/// them). std::nullopt when any connection failed to connect.
+std::optional<PhaseResult> RunLoadPhase(const LoadGenConfig& config,
+                                        const LoadPhase& phase);
+
+/// Appends `result` as one JSON object to `out` (the BENCH_serving.json
+/// "phases" entries).
+void AppendPhaseJson(std::string& out, const PhaseResult& result);
+
+/// The canonical serving drill: warmup (closed) -> three open-loop
+/// offered-load levels -> flash-crowd burst -> mixed read/report closed
+/// loop. `quick` shrinks rates and durations for CI smoke runs.
+std::vector<LoadPhase> StandardPhasePlan(bool quick, std::size_t connections,
+                                         std::uint32_t num_users,
+                                         std::uint32_t num_services);
+
+/// Server-side deltas read over METRICS before/after a run.
+struct ServingDeltas {
+  double coalesce_requests = 0.0;
+  double coalesce_flushes = 0.0;
+  double protocol_errors = 0.0;
+  double slow_reader_drops = 0.0;
+  double ratio() const {
+    return coalesce_flushes > 0.0 ? coalesce_requests / coalesce_flushes
+                                  : 0.0;
+  }
+};
+ServingDeltas ComputeServingDeltas(std::string_view metrics_before,
+                                   std::string_view metrics_after);
+
+/// Renders the full BENCH_serving.json document.
+std::string RenderServingReport(bool quick, std::size_t connections,
+                                const std::vector<PhaseResult>& results,
+                                const ServingDeltas& deltas);
+
+/// Pulls one numeric value ("name": <number>) out of a metrics JSON
+/// export — enough JSON awareness to read counters from a live server's
+/// METRICS response without a parser dependency.
+std::optional<double> ExtractMetricNumber(std::string_view json,
+                                          std::string_view name);
+
+}  // namespace amf::serve

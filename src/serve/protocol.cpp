@@ -1,0 +1,269 @@
+#include "serve/protocol.h"
+
+#include <cstring>
+
+namespace amf::serve {
+
+namespace {
+
+template <typename T>
+void PutRaw(std::string& out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+template <typename T>
+T GetRaw(const char* p) {
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+/// Reserves the length field, writes the fixed header, and returns the
+/// offset where frame_len must be patched once the payload is appended.
+std::size_t BeginFrame(std::string& out, Opcode opcode, bool response,
+                       Status status, std::uint64_t request_id) {
+  const std::size_t len_at = out.size();
+  PutRaw<std::uint32_t>(out, 0);  // patched by EndFrame
+  out.push_back(static_cast<char>(static_cast<std::uint8_t>(opcode) |
+                                  (response ? kResponseBit : 0)));
+  out.push_back(static_cast<char>(status));
+  PutRaw<std::uint64_t>(out, request_id);
+  return len_at;
+}
+
+void EndFrame(std::string& out, std::size_t len_at) {
+  const std::uint32_t len =
+      static_cast<std::uint32_t>(out.size() - len_at - sizeof(std::uint32_t));
+  std::memcpy(out.data() + len_at, &len, sizeof(len));
+}
+
+/// Structural payload-size contract per opcode; SIZE_MAX = variable
+/// (validated by the dedicated parser).
+constexpr std::size_t kVariable = static_cast<std::size_t>(-1);
+
+std::size_t ExpectedPayloadBytes(Opcode opcode, bool is_response) {
+  switch (opcode) {
+    case Opcode::kPing:
+      return 0;
+    case Opcode::kPredict:
+      return is_response ? sizeof(double) : 2 * sizeof(std::uint32_t);
+    case Opcode::kPredictMany:
+      return kVariable;
+    case Opcode::kReportObs:
+      return is_response ? 0 : 3 * sizeof(std::uint32_t) + 2 * sizeof(double);
+    case Opcode::kMetrics:
+      return is_response ? kVariable : 0;
+  }
+  return kVariable;  // unreachable; opcode validated before the call
+}
+
+bool KnownOpcode(std::uint8_t raw) {
+  return raw >= static_cast<std::uint8_t>(Opcode::kPing) &&
+         raw <= static_cast<std::uint8_t>(Opcode::kMetrics);
+}
+
+}  // namespace
+
+DecodeResult DecodeFrame(std::string_view buffer, Frame* frame,
+                         std::size_t* consumed, std::string* error) {
+  if (buffer.size() < sizeof(std::uint32_t)) return DecodeResult::kNeedMore;
+  const std::uint32_t frame_len = GetRaw<std::uint32_t>(buffer.data());
+  if (frame_len < kFrameFixedBytes) {
+    if (error != nullptr) {
+      *error = "frame_len " + std::to_string(frame_len) +
+               " below fixed header size";
+    }
+    return DecodeResult::kProtocolError;
+  }
+  if (frame_len > kMaxFrameLen) {
+    // Reject BEFORE waiting for the bytes: a flipped length bit must not
+    // make the server buffer a gigabyte while "needing more".
+    if (error != nullptr) {
+      *error = "frame_len " + std::to_string(frame_len) + " exceeds limit " +
+               std::to_string(kMaxFrameLen);
+    }
+    return DecodeResult::kProtocolError;
+  }
+  if (buffer.size() < sizeof(std::uint32_t) + frame_len) {
+    return DecodeResult::kNeedMore;
+  }
+  const char* p = buffer.data() + sizeof(std::uint32_t);
+  const std::uint8_t raw_op = static_cast<std::uint8_t>(p[0]);
+  const bool is_response = (raw_op & kResponseBit) != 0;
+  const std::uint8_t base_op = raw_op & ~kResponseBit;
+  if (!KnownOpcode(base_op)) {
+    if (error != nullptr) {
+      *error = "unknown opcode " + std::to_string(raw_op);
+    }
+    return DecodeResult::kProtocolError;
+  }
+  const std::uint8_t raw_status = static_cast<std::uint8_t>(p[1]);
+  if (raw_status > static_cast<std::uint8_t>(Status::kShed)) {
+    if (error != nullptr) {
+      *error = "unknown status " + std::to_string(raw_status);
+    }
+    return DecodeResult::kProtocolError;
+  }
+  const std::size_t payload_bytes = frame_len - kFrameFixedBytes;
+  const Opcode opcode = static_cast<Opcode>(base_op);
+  const std::size_t expected = ExpectedPayloadBytes(opcode, is_response);
+  if (expected != kVariable && payload_bytes != expected) {
+    if (error != nullptr) {
+      *error = "opcode " + std::to_string(base_op) + " expects " +
+               std::to_string(expected) + " payload bytes, got " +
+               std::to_string(payload_bytes);
+    }
+    return DecodeResult::kProtocolError;
+  }
+  frame->header.opcode = opcode;
+  frame->header.is_response = is_response;
+  frame->header.status = static_cast<Status>(raw_status);
+  frame->header.request_id = GetRaw<std::uint64_t>(p + 2);
+  frame->payload =
+      buffer.substr(sizeof(std::uint32_t) + kFrameFixedBytes, payload_bytes);
+  *consumed = sizeof(std::uint32_t) + frame_len;
+  return DecodeResult::kFrame;
+}
+
+bool ParsePredict(std::string_view payload, PredictPayload* out) {
+  if (payload.size() != 2 * sizeof(std::uint32_t)) return false;
+  out->user = GetRaw<std::uint32_t>(payload.data());
+  out->service = GetRaw<std::uint32_t>(payload.data() + 4);
+  return true;
+}
+
+bool ParsePredictMany(std::string_view payload, PredictManyPayload* out) {
+  if (payload.size() < 2 * sizeof(std::uint32_t)) return false;
+  out->user = GetRaw<std::uint32_t>(payload.data());
+  const std::uint32_t count = GetRaw<std::uint32_t>(payload.data() + 4);
+  if (count > kMaxPredictManyCandidates) return false;
+  if (payload.size() != 2 * sizeof(std::uint32_t) +
+                            static_cast<std::size_t>(count) *
+                                sizeof(std::uint32_t)) {
+    return false;
+  }
+  out->services.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    out->services[i] = GetRaw<std::uint32_t>(payload.data() + 8 + 4 * i);
+  }
+  return true;
+}
+
+bool ParseReportObs(std::string_view payload, data::QoSSample* out) {
+  if (payload.size() != 3 * sizeof(std::uint32_t) + 2 * sizeof(double)) {
+    return false;
+  }
+  const char* p = payload.data();
+  out->slice = GetRaw<std::uint32_t>(p);
+  out->user = GetRaw<std::uint32_t>(p + 4);
+  out->service = GetRaw<std::uint32_t>(p + 8);
+  out->value = GetRaw<double>(p + 12);
+  out->timestamp = GetRaw<double>(p + 20);
+  return true;
+}
+
+bool ParsePredictResponse(std::string_view payload, double* value) {
+  if (payload.size() != sizeof(double)) return false;
+  *value = GetRaw<double>(payload.data());
+  return true;
+}
+
+bool ParsePredictManyResponse(std::string_view payload,
+                              std::vector<double>* values) {
+  if (payload.size() < sizeof(std::uint32_t)) return false;
+  const std::uint32_t count = GetRaw<std::uint32_t>(payload.data());
+  if (count > kMaxPredictManyCandidates) return false;
+  if (payload.size() !=
+      sizeof(std::uint32_t) + static_cast<std::size_t>(count) *
+                                  sizeof(double)) {
+    return false;
+  }
+  values->resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    (*values)[i] = GetRaw<double>(payload.data() + 4 + 8 * i);
+  }
+  return true;
+}
+
+void AppendPingRequest(std::string& out, std::uint64_t request_id) {
+  EndFrame(out, BeginFrame(out, Opcode::kPing, false, Status::kOk,
+                           request_id));
+}
+
+void AppendPredictRequest(std::string& out, std::uint64_t request_id,
+                          data::UserId user, data::ServiceId service) {
+  const std::size_t at =
+      BeginFrame(out, Opcode::kPredict, false, Status::kOk, request_id);
+  PutRaw<std::uint32_t>(out, user);
+  PutRaw<std::uint32_t>(out, service);
+  EndFrame(out, at);
+}
+
+void AppendPredictManyRequest(std::string& out, std::uint64_t request_id,
+                              data::UserId user,
+                              std::span<const data::ServiceId> services) {
+  const std::size_t at =
+      BeginFrame(out, Opcode::kPredictMany, false, Status::kOk, request_id);
+  PutRaw<std::uint32_t>(out, user);
+  PutRaw<std::uint32_t>(out, static_cast<std::uint32_t>(services.size()));
+  for (const data::ServiceId s : services) PutRaw<std::uint32_t>(out, s);
+  EndFrame(out, at);
+}
+
+void AppendReportObsRequest(std::string& out, std::uint64_t request_id,
+                            const data::QoSSample& sample) {
+  const std::size_t at =
+      BeginFrame(out, Opcode::kReportObs, false, Status::kOk, request_id);
+  PutRaw<std::uint32_t>(out, sample.slice);
+  PutRaw<std::uint32_t>(out, sample.user);
+  PutRaw<std::uint32_t>(out, sample.service);
+  PutRaw<double>(out, sample.value);
+  PutRaw<double>(out, sample.timestamp);
+  EndFrame(out, at);
+}
+
+void AppendMetricsRequest(std::string& out, std::uint64_t request_id) {
+  EndFrame(out, BeginFrame(out, Opcode::kMetrics, false, Status::kOk,
+                           request_id));
+}
+
+void AppendPingResponse(std::string& out, std::uint64_t request_id) {
+  EndFrame(out,
+           BeginFrame(out, Opcode::kPing, true, Status::kOk, request_id));
+}
+
+void AppendPredictResponse(std::string& out, std::uint64_t request_id,
+                           Status status, double value) {
+  const std::size_t at =
+      BeginFrame(out, Opcode::kPredict, true, status, request_id);
+  PutRaw<double>(out, value);
+  EndFrame(out, at);
+}
+
+void AppendPredictManyResponse(std::string& out, std::uint64_t request_id,
+                               Status status,
+                               std::span<const double> values) {
+  const std::size_t at =
+      BeginFrame(out, Opcode::kPredictMany, true, status, request_id);
+  PutRaw<std::uint32_t>(out, static_cast<std::uint32_t>(values.size()));
+  for (const double v : values) PutRaw<double>(out, v);
+  EndFrame(out, at);
+}
+
+void AppendReportObsResponse(std::string& out, std::uint64_t request_id,
+                             Status status) {
+  EndFrame(out,
+           BeginFrame(out, Opcode::kReportObs, true, status, request_id));
+}
+
+void AppendMetricsResponse(std::string& out, std::uint64_t request_id,
+                           std::string_view json) {
+  const std::size_t at =
+      BeginFrame(out, Opcode::kMetrics, true, Status::kOk, request_id);
+  out.append(json);
+  EndFrame(out, at);
+}
+
+}  // namespace amf::serve

@@ -1,0 +1,154 @@
+// Wire protocol for the networked serving front-end (DESIGN.md §14).
+//
+// A small length-prefixed binary protocol: every message is one frame
+//
+//   [u32 frame_len][u8 opcode][u8 status][u64 request_id][payload]
+//
+// where frame_len counts everything AFTER the length field (so
+// frame_len = 10 + payload bytes, and a frame occupies 4 + frame_len
+// bytes on the wire). Integers and doubles are fixed-layout
+// native-endian, like the WAL: the serving tier and its clients are
+// co-located machines of one deployment, not an interchange boundary.
+//
+// Request opcodes (client -> server):
+//   PING         (0x01)  payload: empty
+//   PREDICT      (0x02)  payload: u32 user, u32 service
+//   PREDICT_MANY (0x03)  payload: u32 user, u32 count, count * u32 service
+//   REPORT_OBS   (0x04)  payload: u32 slice, u32 user, u32 service,
+//                                 f64 value, f64 timestamp
+//   METRICS      (0x05)  payload: empty
+//
+// A response echoes the request's opcode with the high bit set
+// (opcode | 0x80) and the same request_id, so clients may pipeline any
+// number of requests per connection. Response payloads:
+//   PING         empty
+//   PREDICT      f64 value            (NaN when status != kOk)
+//   PREDICT_MANY u32 count, count * f64 (unknown services are NaN)
+//   REPORT_OBS   empty                (status kOk = accepted into the
+//                                      ingest ring, kShed = ring full)
+//   METRICS      the metrics registry's JSON export, verbatim
+//
+// The `status` byte is 0 in requests. Malformed input — an unknown
+// opcode, a frame_len below the fixed header or above the decoder's
+// limit, or a payload whose size contradicts its opcode — is a PROTOCOL
+// ERROR: the decoder reports it and the server closes the connection
+// (counted in serve.protocol_errors). There is no error *frame*: a peer
+// that cannot frame bytes correctly cannot be trusted to parse one.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "data/qos_types.h"
+
+namespace amf::serve {
+
+enum class Opcode : std::uint8_t {
+  kPing = 0x01,
+  kPredict = 0x02,
+  kPredictMany = 0x03,
+  kReportObs = 0x04,
+  kMetrics = 0x05,
+};
+
+/// Set on the opcode byte of every response frame.
+inline constexpr std::uint8_t kResponseBit = 0x80;
+
+/// Application-level result carried by the response header. Distinct
+/// from protocol errors, which have no frame at all (connection close).
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kUnknownEntity = 1,  ///< PREDICT for an id the model has never seen
+  kShed = 2,           ///< REPORT_OBS dropped: ingest ring full
+};
+
+/// Bytes of [opcode][status][request_id] — the part frame_len counts
+/// beyond the payload.
+inline constexpr std::size_t kFrameFixedBytes = 1 + 1 + 8;
+/// Wire overhead of an empty frame (length field + fixed header).
+inline constexpr std::size_t kFrameOverheadBytes = 4 + kFrameFixedBytes;
+/// Hard ceiling a decoder enforces on frame_len; a longer frame is
+/// corruption or abuse, not a big request (bounds per-connection buffer
+/// growth the same way the WAL bounds a flipped length bit).
+inline constexpr std::uint32_t kMaxFrameLen = 1u << 20;
+/// PREDICT_MANY candidate-count ceiling (keeps one request's response
+/// under kMaxFrameLen).
+inline constexpr std::uint32_t kMaxPredictManyCandidates = 65536;
+
+struct FrameHeader {
+  Opcode opcode = Opcode::kPing;  ///< with kResponseBit stripped
+  bool is_response = false;
+  Status status = Status::kOk;
+  std::uint64_t request_id = 0;
+};
+
+/// One decoded frame; `payload` views into the decode buffer and is only
+/// valid until the buffer is mutated.
+struct Frame {
+  FrameHeader header;
+  std::string_view payload;
+};
+
+enum class DecodeResult {
+  kNeedMore,       ///< buffer holds a frame prefix; read more bytes
+  kFrame,          ///< *frame and *consumed are set
+  kProtocolError,  ///< close the connection; *error says why
+};
+
+/// Decodes the frame at the start of `buffer`. On kFrame, *consumed is
+/// the total wire bytes to discard and frame->payload views into
+/// `buffer`. Structural validation only (length bounds, known opcode,
+/// opcode-specific payload size); field semantics are the parsers'.
+DecodeResult DecodeFrame(std::string_view buffer, Frame* frame,
+                         std::size_t* consumed, std::string* error);
+
+// --- Typed payload views -------------------------------------------------
+
+struct PredictPayload {
+  data::UserId user = 0;
+  data::ServiceId service = 0;
+};
+
+struct PredictManyPayload {
+  data::UserId user = 0;
+  std::vector<data::ServiceId> services;
+};
+
+/// Parsers return false on a size/shape mismatch (treat as protocol
+/// error). DecodeFrame has already size-checked fixed-layout opcodes, so
+/// a false here is defensive depth, not the primary gate.
+bool ParsePredict(std::string_view payload, PredictPayload* out);
+bool ParsePredictMany(std::string_view payload, PredictManyPayload* out);
+bool ParseReportObs(std::string_view payload, data::QoSSample* out);
+bool ParsePredictResponse(std::string_view payload, double* value);
+bool ParsePredictManyResponse(std::string_view payload,
+                              std::vector<double>* values);
+
+// --- Encoders (append one complete frame to `out`) -----------------------
+
+void AppendPingRequest(std::string& out, std::uint64_t request_id);
+void AppendPredictRequest(std::string& out, std::uint64_t request_id,
+                          data::UserId user, data::ServiceId service);
+void AppendPredictManyRequest(std::string& out, std::uint64_t request_id,
+                              data::UserId user,
+                              std::span<const data::ServiceId> services);
+void AppendReportObsRequest(std::string& out, std::uint64_t request_id,
+                            const data::QoSSample& sample);
+void AppendMetricsRequest(std::string& out, std::uint64_t request_id);
+
+void AppendPingResponse(std::string& out, std::uint64_t request_id);
+void AppendPredictResponse(std::string& out, std::uint64_t request_id,
+                           Status status, double value);
+void AppendPredictManyResponse(std::string& out, std::uint64_t request_id,
+                               Status status,
+                               std::span<const double> values);
+void AppendReportObsResponse(std::string& out, std::uint64_t request_id,
+                             Status status);
+void AppendMetricsResponse(std::string& out, std::uint64_t request_id,
+                           std::string_view json);
+
+}  // namespace amf::serve

@@ -269,7 +269,6 @@ ObservationJournal::ObservationJournal(const JournalConfig& config)
                                       << config_.directory);
     rotations_.store(0, std::memory_order_relaxed);  // opening is not a roll
   }
-  last_sync_monotonic_ = MonotonicSeconds();
 }
 
 ObservationJournal::~ObservationJournal() {
@@ -284,9 +283,11 @@ bool ObservationJournal::RotateLocked() {
   if (file_.is_open()) {
     // Seal the old segment: its bytes must be on the platter before the
     // new name appears, or recovery could see the successor but not the
-    // records it implies exist.
+    // records it implies exist. The seal covers every pending append, so
+    // the interval anchor resets.
     file_.Sync();
     file_.Close();
+    oldest_unsynced_monotonic_ = -1.0;
   }
   const std::string path =
       (fs::path(config_.directory) / SegmentName(next_lsn_)).string();
@@ -319,6 +320,11 @@ bool ObservationJournal::AppendEncodedLocked(const std::string& frames,
   }
   bytes_appended_.fetch_add(frames.size(), std::memory_order_relaxed);
   appends_.fetch_add(records, std::memory_order_relaxed);
+  // Anchor the interval-sync deadline on the oldest append still awaiting
+  // an fsync: a record's durability window is its own age.
+  if (oldest_unsynced_monotonic_ < 0.0) {
+    oldest_unsynced_monotonic_ = MonotonicSeconds();
+  }
   return true;
 }
 
@@ -331,7 +337,9 @@ void ObservationJournal::ApplySyncPolicyLocked() {
       break;
     case FsyncPolicy::kInterval: {
       const double now = MonotonicSeconds();
-      if ((now - last_sync_monotonic_) * 1e3 < config_.fsync_interval_ms) {
+      if (oldest_unsynced_monotonic_ < 0.0 ||
+          (now - oldest_unsynced_monotonic_) * 1e3 <
+              config_.fsync_interval_ms) {
         file_.Flush();
         return;
       }
@@ -341,8 +349,23 @@ void ObservationJournal::ApplySyncPolicyLocked() {
   obs::ScopedLatencyTimer timer(sync_hist_);
   if (file_.Sync()) {
     syncs_.fetch_add(1, std::memory_order_relaxed);
-    last_sync_monotonic_ = MonotonicSeconds();
+    oldest_unsynced_monotonic_ = -1.0;
   }
+}
+
+bool ObservationJournal::SyncIfDue() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (config_.fsync_policy != FsyncPolicy::kInterval) return false;
+  if (!file_.is_open() || oldest_unsynced_monotonic_ < 0.0) return false;
+  const double now = MonotonicSeconds();
+  if ((now - oldest_unsynced_monotonic_) * 1e3 < config_.fsync_interval_ms) {
+    return false;
+  }
+  obs::ScopedLatencyTimer timer(sync_hist_);
+  if (!file_.Sync()) return false;
+  syncs_.fetch_add(1, std::memory_order_relaxed);
+  oldest_unsynced_monotonic_ = -1.0;
+  return true;
 }
 
 std::optional<std::uint64_t> ObservationJournal::Append(
@@ -413,7 +436,7 @@ bool ObservationJournal::SyncNow() {
   const bool ok = file_.Sync();
   if (ok) {
     syncs_.fetch_add(1, std::memory_order_relaxed);
-    last_sync_monotonic_ = MonotonicSeconds();
+    oldest_unsynced_monotonic_ = -1.0;
   }
   return ok;
 }

@@ -22,8 +22,15 @@
 // Durability is governed by FsyncPolicy:
 //   kAlways   — fsync after every Append/AppendBatch (the drill policy:
 //               acknowledged == durable);
-//   kInterval — fsync when at least fsync_interval_ms of wall time has
-//               passed since the last sync (bounded loss window);
+//   kInterval — fsync when the OLDEST unsynced append is at least
+//               fsync_interval_ms old (bounded loss window anchored on
+//               the record that has waited longest, not on the last
+//               sync: anchoring on the last sync let a burst's tail sit
+//               unsynced indefinitely once appends stopped, and forced a
+//               pointless fsync on the first append after an idle gap).
+//               Callers with quiet periods should call SyncIfDue() from
+//               their tick loop so the window stays bounded even when no
+//               further append arrives to trigger the check.
 //   kOs       — never fsync; bytes reach the OS page cache on append and
 //               survive process death but not power loss.
 // A batch append is one write + at most one fsync (group commit): the
@@ -129,6 +136,14 @@ class ObservationJournal {
   /// checkpoint time so the watermark never exceeds durable LSNs).
   bool SyncNow();
 
+  /// kInterval housekeeping: fsyncs iff there are unsynced appends and
+  /// the oldest of them is at least fsync_interval_ms old. Returns true
+  /// when a sync was performed. No-op (false) under kAlways (nothing is
+  /// ever pending) and kOs (never syncs by contract). Tick loops call
+  /// this so a burst's tail is made durable within the interval even
+  /// when no further append arrives.
+  bool SyncIfDue();
+
   /// Removes every segment whose entire LSN range is <= `watermark`
   /// (i.e. fully covered by a durable checkpoint). The active segment is
   /// never removed. Returns the number of segments deleted; the deletions
@@ -174,7 +189,12 @@ class ObservationJournal {
   common::AppendFile file_;          // active segment
   std::uint64_t next_lsn_ = 1;       // under mu_
   std::atomic<std::uint64_t> last_lsn_{0};
-  double last_sync_monotonic_ = 0.0;  // seconds, under mu_
+  /// Monotonic seconds of the oldest append not yet covered by an fsync;
+  /// < 0 when everything appended is synced. The kInterval anchor: the
+  /// durability window of any acknowledged record is its own age, so the
+  /// sync deadline runs from the record that has waited longest. Under
+  /// mu_.
+  double oldest_unsynced_monotonic_ = -1.0;
   bool broken_ = false;               // active segment unwritable
 
   std::atomic<std::uint64_t> appends_{0};

@@ -232,8 +232,12 @@ TEST(LatencyHistogramTest, PercentilesOnKnownDistribution) {
 }
 
 TEST(LatencyHistogramTest, PercentileEdgeCases) {
+  // Empty histogram: NaN is the documented sentinel — a cold
+  // connection's histogram must never masquerade as a real 0s latency.
   HistogramSnapshot empty;
-  EXPECT_EQ(empty.Percentile(50.0), 0.0);  // empty histogram
+  EXPECT_TRUE(std::isnan(empty.Percentile(50.0)));
+  EXPECT_TRUE(std::isnan(empty.Percentile(0.0)));
+  EXPECT_TRUE(std::isnan(empty.Percentile(100.0)));
 
   LatencyHistogram h({.min_value = 1e-3, .max_value = 1.0, .buckets = 8});
   h.Record(0.05);  // single element
@@ -246,21 +250,53 @@ TEST(LatencyHistogramTest, PercentileEdgeCases) {
   }
   snap.total = h.count();
   snap.sum = h.sum();
-  const double p0 = snap.Percentile(0.0);
-  const double p100 = snap.Percentile(100.0);
-  EXPECT_GE(p0, snap.min_value);
-  EXPECT_LE(p100, snap.max_value);
-  EXPECT_LE(p0, p100);
-  // Every percentile of a single-sample histogram is in its bucket.
+  // Locate the sample's bucket: edge semantics are contractual.
+  std::size_t hit = 0;
+  for (std::size_t b = 0; b < snap.counts.size(); ++b) {
+    if (snap.counts[b] > 0) hit = b;
+  }
+  const double lower = hit == 0 ? snap.min_value : snap.upper_bounds[hit - 1];
+  const double upper = snap.upper_bounds[hit];
+  // p=0 / p=100: edges of the occupied bucket range, not interpolations.
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.0), lower);
+  EXPECT_DOUBLE_EQ(snap.Percentile(100.0), upper);
+  // A single-sample bucket reports its inclusive upper edge (the
+  // conservative answer for an SLO), for any interior percentile.
+  EXPECT_DOUBLE_EQ(snap.p50(), upper);
+  EXPECT_DOUBLE_EQ(snap.Percentile(10.0), upper);
   EXPECT_NEAR(snap.p50(), 0.05, 0.05);
+  EXPECT_GE(upper, 0.05);
+  EXPECT_LT(lower, 0.05);
 
   // Ranks landing in underflow/overflow saturate at the bounds.
   snap.underflow = 1000;
   snap.total += 1000;
   EXPECT_DOUBLE_EQ(snap.Percentile(1.0), snap.min_value);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.0), snap.min_value);
   snap.overflow = 100000;
   snap.total += 100000;
   EXPECT_DOUBLE_EQ(snap.Percentile(99.9), snap.max_value);
+  EXPECT_DOUBLE_EQ(snap.Percentile(100.0), snap.max_value);
+
+  // All-overflow population: every percentile is the max_value lower
+  // bound — an honest saturation, not an interpolation.
+  HistogramSnapshot all_over;
+  all_over.min_value = 1e-3;
+  all_over.max_value = 1.0;
+  all_over.upper_bounds = snap.upper_bounds;
+  all_over.counts.assign(snap.counts.size(), 0);
+  all_over.overflow = 7;
+  all_over.total = 7;
+  EXPECT_DOUBLE_EQ(all_over.Percentile(0.0), all_over.max_value);
+  EXPECT_DOUBLE_EQ(all_over.p50(), all_over.max_value);
+  EXPECT_DOUBLE_EQ(all_over.Percentile(100.0), all_over.max_value);
+  // All-underflow mirrors with min_value.
+  HistogramSnapshot all_under = all_over;
+  all_under.overflow = 0;
+  all_under.underflow = 7;
+  EXPECT_DOUBLE_EQ(all_under.Percentile(0.0), all_under.min_value);
+  EXPECT_DOUBLE_EQ(all_under.p50(), all_under.min_value);
+  EXPECT_DOUBLE_EQ(all_under.Percentile(100.0), all_under.min_value);
 }
 
 TEST(LatencyHistogramTest, InvalidOptionsThrow) {

@@ -1,0 +1,309 @@
+// Codec tests for the serving wire protocol (serve/protocol.h):
+// encode/decode round-trips for every opcode, then the fuzz-ish
+// malformed-input sweep the server's close-on-protocol-error behavior
+// depends on — truncated frames at every byte offset, oversized and
+// undersized length prefixes, garbage opcodes/status bytes, payload
+// sizes that contradict their opcode. The decoder must classify every
+// one of these as kNeedMore or kProtocolError without reading out of
+// bounds (the ASan CI job runs this suite).
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace amf::serve {
+namespace {
+
+Frame MustDecode(const std::string& wire, std::size_t* consumed) {
+  Frame frame;
+  std::string error;
+  const DecodeResult r = DecodeFrame(wire, &frame, consumed, &error);
+  EXPECT_EQ(r, DecodeResult::kFrame) << error;
+  return frame;
+}
+
+TEST(ServeProtocolTest, PingRoundTrip) {
+  std::string wire;
+  AppendPingRequest(wire, 42);
+  EXPECT_EQ(wire.size(), kFrameOverheadBytes);
+  std::size_t consumed = 0;
+  const Frame f = MustDecode(wire, &consumed);
+  EXPECT_EQ(consumed, wire.size());
+  EXPECT_EQ(f.header.opcode, Opcode::kPing);
+  EXPECT_FALSE(f.header.is_response);
+  EXPECT_EQ(f.header.request_id, 42u);
+  EXPECT_TRUE(f.payload.empty());
+
+  wire.clear();
+  AppendPingResponse(wire, 42);
+  const Frame r = MustDecode(wire, &consumed);
+  EXPECT_TRUE(r.header.is_response);
+  EXPECT_EQ(r.header.opcode, Opcode::kPing);
+}
+
+TEST(ServeProtocolTest, PredictRoundTrip) {
+  std::string wire;
+  AppendPredictRequest(wire, 7, 3, 11);
+  std::size_t consumed = 0;
+  const Frame f = MustDecode(wire, &consumed);
+  EXPECT_EQ(f.header.opcode, Opcode::kPredict);
+  PredictPayload p;
+  ASSERT_TRUE(ParsePredict(f.payload, &p));
+  EXPECT_EQ(p.user, 3u);
+  EXPECT_EQ(p.service, 11u);
+
+  wire.clear();
+  AppendPredictResponse(wire, 7, Status::kOk, 0.125);
+  const Frame r = MustDecode(wire, &consumed);
+  EXPECT_TRUE(r.header.is_response);
+  EXPECT_EQ(r.header.status, Status::kOk);
+  double value = 0.0;
+  ASSERT_TRUE(ParsePredictResponse(r.payload, &value));
+  EXPECT_EQ(value, 0.125);
+
+  // NaN survives the f64 payload bit-exactly (kUnknownEntity carrier).
+  wire.clear();
+  AppendPredictResponse(wire, 8, Status::kUnknownEntity,
+                        std::numeric_limits<double>::quiet_NaN());
+  const Frame rn = MustDecode(wire, &consumed);
+  EXPECT_EQ(rn.header.status, Status::kUnknownEntity);
+  ASSERT_TRUE(ParsePredictResponse(rn.payload, &value));
+  EXPECT_TRUE(std::isnan(value));
+}
+
+TEST(ServeProtocolTest, PredictManyRoundTrip) {
+  const std::vector<data::ServiceId> services = {5, 9, 1, 1000000};
+  std::string wire;
+  AppendPredictManyRequest(wire, 99, 4, services);
+  std::size_t consumed = 0;
+  const Frame f = MustDecode(wire, &consumed);
+  PredictManyPayload p;
+  ASSERT_TRUE(ParsePredictMany(f.payload, &p));
+  EXPECT_EQ(p.user, 4u);
+  EXPECT_EQ(p.services, services);
+
+  const std::vector<double> values = {0.5, -1.25, 1e300, 0.0};
+  wire.clear();
+  AppendPredictManyResponse(wire, 99, Status::kOk, values);
+  const Frame r = MustDecode(wire, &consumed);
+  std::vector<double> round;
+  ASSERT_TRUE(ParsePredictManyResponse(r.payload, &round));
+  EXPECT_EQ(round, values);
+}
+
+TEST(ServeProtocolTest, ReportObsRoundTrip) {
+  data::QoSSample sample{2, 7, 13, 0.375, 123.5};
+  std::string wire;
+  AppendReportObsRequest(wire, 1, sample);
+  std::size_t consumed = 0;
+  const Frame f = MustDecode(wire, &consumed);
+  data::QoSSample out{};
+  ASSERT_TRUE(ParseReportObs(f.payload, &out));
+  EXPECT_EQ(out.slice, sample.slice);
+  EXPECT_EQ(out.user, sample.user);
+  EXPECT_EQ(out.service, sample.service);
+  EXPECT_EQ(out.value, sample.value);
+  EXPECT_EQ(out.timestamp, sample.timestamp);
+}
+
+TEST(ServeProtocolTest, MetricsRoundTripCarriesJsonVerbatim) {
+  const std::string json = "{\"counters\": {\"serve.requests\": 3}}";
+  std::string wire;
+  AppendMetricsResponse(wire, 5, json);
+  std::size_t consumed = 0;
+  const Frame f = MustDecode(wire, &consumed);
+  EXPECT_TRUE(f.header.is_response);
+  EXPECT_EQ(f.payload, json);
+}
+
+TEST(ServeProtocolTest, BackToBackFramesDecodeSequentially) {
+  std::string wire;
+  AppendPingRequest(wire, 1);
+  AppendPredictRequest(wire, 2, 0, 0);
+  AppendMetricsRequest(wire, 3);
+  std::size_t off = 0;
+  std::vector<std::uint64_t> ids;
+  while (off < wire.size()) {
+    Frame frame;
+    std::size_t consumed = 0;
+    std::string error;
+    ASSERT_EQ(DecodeFrame(std::string_view(wire).substr(off), &frame,
+                          &consumed, &error),
+              DecodeResult::kFrame);
+    ids.push_back(frame.header.request_id);
+    off += consumed;
+  }
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{1, 2, 3}));
+}
+
+// --- Malformed input sweep ----------------------------------------------
+
+TEST(ServeProtocolTest, EveryTruncationIsNeedMoreNeverAFrame) {
+  std::string wire;
+  AppendPredictManyRequest(wire, 17, 2, std::vector<data::ServiceId>{1, 2, 3});
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    Frame frame;
+    std::size_t consumed = 0;
+    std::string error;
+    const DecodeResult r = DecodeFrame(
+        std::string_view(wire).substr(0, cut), &frame, &consumed, &error);
+    EXPECT_EQ(r, DecodeResult::kNeedMore) << "cut at byte " << cut;
+  }
+}
+
+TEST(ServeProtocolTest, OversizedLengthPrefixIsAnImmediateError) {
+  // A flipped high bit in the length must be rejected from the 4-byte
+  // prefix alone — never "kNeedMore" (the server would buffer gigabytes
+  // waiting for a frame that is really corruption).
+  std::string wire;
+  const std::uint32_t huge = kMaxFrameLen + 1;
+  wire.append(reinterpret_cast<const char*>(&huge), sizeof(huge));
+  Frame frame;
+  std::size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(DecodeFrame(wire, &frame, &consumed, &error),
+            DecodeResult::kProtocolError);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ServeProtocolTest, LengthBelowFixedHeaderIsAnError) {
+  for (std::uint32_t len = 0; len < kFrameFixedBytes; ++len) {
+    std::string wire;
+    wire.append(reinterpret_cast<const char*>(&len), sizeof(len));
+    wire.append(len, '\0');
+    Frame frame;
+    std::size_t consumed = 0;
+    std::string error;
+    EXPECT_EQ(DecodeFrame(wire, &frame, &consumed, &error),
+              DecodeResult::kProtocolError)
+        << "frame_len " << len;
+  }
+}
+
+TEST(ServeProtocolTest, GarbageOpcodesAreErrors) {
+  for (int op = 0; op < 256; ++op) {
+    const std::uint8_t base = static_cast<std::uint8_t>(op) &
+                              static_cast<std::uint8_t>(~kResponseBit);
+    const bool known =
+        base >= static_cast<std::uint8_t>(Opcode::kPing) &&
+        base <= static_cast<std::uint8_t>(Opcode::kMetrics);
+    std::string wire;
+    const std::uint32_t len = kFrameFixedBytes;  // empty payload
+    wire.append(reinterpret_cast<const char*>(&len), sizeof(len));
+    wire.push_back(static_cast<char>(op));
+    wire.push_back('\0');  // status kOk
+    wire.append(8, '\0');  // request_id
+    Frame frame;
+    std::size_t consumed = 0;
+    std::string error;
+    const DecodeResult r = DecodeFrame(wire, &frame, &consumed, &error);
+    if (!known) {
+      EXPECT_EQ(r, DecodeResult::kProtocolError) << "opcode " << op;
+    } else {
+      // A known opcode with an empty payload is only valid when its
+      // contract says so; either way it must not be misclassified as
+      // kNeedMore (the bytes are all there).
+      EXPECT_NE(r, DecodeResult::kNeedMore) << "opcode " << op;
+    }
+  }
+}
+
+TEST(ServeProtocolTest, UnknownStatusByteIsAnError) {
+  std::string wire;
+  AppendPingResponse(wire, 9);
+  wire[5] = 17;  // status byte, after the u32 length and opcode
+  Frame frame;
+  std::size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(DecodeFrame(wire, &frame, &consumed, &error),
+            DecodeResult::kProtocolError);
+}
+
+TEST(ServeProtocolTest, PayloadSizeContradictingOpcodeIsAnError) {
+  // PREDICT with a 3-byte payload: structurally complete, semantically
+  // impossible.
+  std::string wire;
+  const std::uint32_t len = kFrameFixedBytes + 3;
+  wire.append(reinterpret_cast<const char*>(&len), sizeof(len));
+  wire.push_back(static_cast<char>(Opcode::kPredict));
+  wire.push_back('\0');
+  wire.append(8, '\0');
+  wire.append(3, 'x');
+  Frame frame;
+  std::size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(DecodeFrame(wire, &frame, &consumed, &error),
+            DecodeResult::kProtocolError);
+}
+
+TEST(ServeProtocolTest, PredictManyCountMismatchRejected) {
+  // count says 100 services but the payload carries 2.
+  std::string wire;
+  AppendPredictManyRequest(wire, 1, 0, std::vector<data::ServiceId>{1, 2});
+  std::uint32_t bogus_count = 100;
+  std::memcpy(wire.data() + 4 + kFrameFixedBytes + 4, &bogus_count,
+              sizeof(bogus_count));
+  std::size_t consumed = 0;
+  Frame frame;
+  std::string error;
+  // Structurally the frame still parses (variable-size opcode)...
+  ASSERT_EQ(DecodeFrame(wire, &frame, &consumed, &error),
+            DecodeResult::kFrame);
+  // ...but the typed parser must refuse it (the server treats a false
+  // here as a protocol error and closes).
+  PredictManyPayload p;
+  EXPECT_FALSE(ParsePredictMany(frame.payload, &p));
+}
+
+TEST(ServeProtocolTest, PredictManyCountAboveCapRejected) {
+  std::string req;
+  AppendPredictManyRequest(req, 1, 0, std::vector<data::ServiceId>{});
+  std::uint32_t count = kMaxPredictManyCandidates + 1;
+  std::memcpy(req.data() + 4 + kFrameFixedBytes + 4, &count, sizeof(count));
+  std::size_t consumed = 0;
+  Frame frame;
+  std::string error;
+  ASSERT_EQ(DecodeFrame(req, &frame, &consumed, &error), DecodeResult::kFrame);
+  PredictManyPayload p;
+  EXPECT_FALSE(ParsePredictMany(frame.payload, &p));
+
+  std::vector<double> values;
+  std::string resp;
+  resp.append(reinterpret_cast<const char*>(&count), sizeof(count));
+  EXPECT_FALSE(ParsePredictManyResponse(resp, &values));
+}
+
+TEST(ServeProtocolTest, RandomBytesNeverCrashTheDecoder) {
+  // Deterministic pseudo-random garbage: every outcome is acceptable
+  // except UB; run under ASan/UBSan this is the actual assertion.
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string wire;
+    const std::size_t n = next() % 64;
+    for (std::size_t i = 0; i < n; ++i) {
+      wire.push_back(static_cast<char>(next() & 0xff));
+    }
+    Frame frame;
+    std::size_t consumed = 0;
+    std::string error;
+    const DecodeResult r = DecodeFrame(wire, &frame, &consumed, &error);
+    if (r == DecodeResult::kFrame) {
+      EXPECT_LE(consumed, wire.size());
+      EXPECT_LE(frame.payload.size(), wire.size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace amf::serve

@@ -1,0 +1,437 @@
+// End-to-end tests for the epoll serving front-end (serve/server.h):
+// every opcode over a real loopback socket, coalescing observable in the
+// server-side counters, malformed frames closing the connection (never
+// an error frame, never UB), the slow-reader backpressure ladder's drop
+// rung, and the graceful-shutdown contract — coalesced requests are
+// answered and journaled observations are flushed before exit.
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adapt/concurrent_service.h"
+#include "common/rng.h"
+#include "core/amf_predictor.h"
+#include "obs/export.h"
+#include "serve/client.h"
+#include "serve/loadgen.h"
+#include "serve/protocol.h"
+#include "stream/wal.h"
+
+namespace amf::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::size_t kUsers = 16;
+constexpr std::size_t kServices = 32;
+
+std::unique_ptr<adapt::ConcurrentPredictionService> MakeTrainedService() {
+  adapt::PredictionServiceConfig cfg;
+  cfg.model = core::MakeResponseTimeConfig(2014);
+  auto service =
+      std::make_unique<adapt::ConcurrentPredictionService>(cfg, 4096);
+  for (std::size_t u = 0; u < kUsers; ++u) {
+    service->RegisterUser("u" + std::to_string(u));
+  }
+  for (std::size_t s = 0; s < kServices; ++s) {
+    service->RegisterService("s" + std::to_string(s));
+  }
+  common::Rng rng(41);
+  double now = 0.0;
+  for (std::size_t i = 0; i < kUsers * kServices / 2; ++i) {
+    now += 1e-3;
+    service->ReportObservation(data::QoSSample{
+        .slice = 0,
+        .user = static_cast<data::UserId>(rng.Index(kUsers)),
+        .service = static_cast<data::ServiceId>(rng.Index(kServices)),
+        .value = rng.LogNormal(-1.0, 0.5),
+        .timestamp = now});
+    if ((i & 255) == 255) service->Tick(now);
+  }
+  service->TrainToConvergence(now);
+  return service;
+}
+
+double Counter(const adapt::ConcurrentPredictionService& service,
+               const std::string& name) {
+  const std::string json = obs::ToJson(service.metrics().Snapshot());
+  return ExtractMetricNumber(json, name).value_or(0.0);
+}
+
+TEST(ServeServerTest, EveryOpcodeRoundTripsOverLoopback) {
+  const auto service = MakeTrainedService();
+  ServerConfig cfg;
+  cfg.run_trainer = false;
+  Server server(service.get(), cfg);
+  ASSERT_TRUE(server.Start()) << server.last_error();
+  ASSERT_GT(server.port(), 0);
+
+  Client client;
+  ASSERT_TRUE(client.ConnectWithRetry("127.0.0.1", server.port()));
+  EXPECT_TRUE(client.Ping());
+
+  // PREDICT answers bit-identical to an in-process PredictQoS.
+  const auto over_wire = client.Predict(3, 5);
+  ASSERT_TRUE(over_wire.has_value());
+  const auto in_process = service->PredictQoS(3, 5);
+  ASSERT_TRUE(in_process.has_value());
+  EXPECT_EQ(*over_wire, *in_process);
+
+  // Unknown entity -> kUnknownEntity -> nullopt from the client.
+  EXPECT_FALSE(client.Predict(kUsers + 9, 0).has_value());
+
+  // PREDICT_MANY agrees with PredictQoSMany element-wise.
+  const std::vector<data::ServiceId> candidates = {0, 7, 19, kServices + 4};
+  const auto many = client.PredictMany(2, candidates);
+  ASSERT_TRUE(many.has_value());
+  ASSERT_EQ(many->size(), candidates.size());
+  std::vector<double> local(candidates.size());
+  ASSERT_TRUE(service->PredictQoSMany(2, candidates, local));
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (std::isnan(local[i])) {
+      EXPECT_TRUE(std::isnan((*many)[i])) << i;
+    } else {
+      EXPECT_EQ((*many)[i], local[i]) << i;
+    }
+  }
+
+  // REPORT_OBS lands in the ring (kOk) and unknown ids still ack kOk —
+  // ingest is fire-and-forget; validation happens at the drain.
+  const auto st = client.ReportObservation(data::QoSSample{
+      .slice = 0, .user = 1, .service = 1, .value = 0.25, .timestamp = 1.0});
+  ASSERT_TRUE(st.has_value());
+  EXPECT_EQ(*st, Status::kOk);
+
+  // METRICS returns a JSON snapshot that includes the serving counters.
+  const auto metrics = client.Metrics();
+  ASSERT_TRUE(metrics.has_value());
+  EXPECT_NE(metrics->find("serve.requests"), std::string::npos);
+  EXPECT_GE(ExtractMetricNumber(*metrics, "serve.requests").value_or(0.0),
+            1.0);
+
+  server.Shutdown();
+  // After shutdown the client sees EOF.
+  EXPECT_TRUE(client.WaitForClose(5.0));
+}
+
+TEST(ServeServerTest, PipelinedPredictsCoalesceIntoFewerFlushes) {
+  const auto service = MakeTrainedService();
+  ServerConfig cfg;
+  cfg.run_trainer = false;
+  cfg.coalesce_window_us = 50'000.0;  // generous: one socket burst = batches
+  cfg.coalesce_max_batch = 8;
+  Server server(service.get(), cfg);
+  ASSERT_TRUE(server.Start()) << server.last_error();
+
+  Client client;
+  ASSERT_TRUE(client.ConnectWithRetry("127.0.0.1", server.port()));
+
+  // One write carrying 32 pipelined PREDICTs: the server's read loop
+  // ingests them together, so with cap 8 they flush as batches, not as
+  // 32 singles.
+  constexpr std::uint64_t kCount = 32;
+  std::string burst;
+  for (std::uint64_t id = 1; id <= kCount; ++id) {
+    AppendPredictRequest(burst, id,
+                         static_cast<data::UserId>(id % kUsers),
+                         static_cast<data::ServiceId>(id % kServices));
+  }
+  ASSERT_TRUE(client.SendRaw(burst));
+
+  // All 32 responses come back, in order, each matching the solo path.
+  std::uint64_t next_id = 1;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(10);
+  std::string rbuf;
+  while (next_id <= kCount &&
+         std::chrono::steady_clock::now() < deadline) {
+    char tmp[4096];
+    const ssize_t n = ::recv(client.fd(), tmp, sizeof(tmp), 0);
+    if (n <= 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    rbuf.append(tmp, static_cast<std::size_t>(n));
+    std::size_t off = 0;
+    Frame frame;
+    std::size_t consumed = 0;
+    std::string error;
+    while (DecodeFrame(std::string_view(rbuf).substr(off), &frame, &consumed,
+                       &error) == DecodeResult::kFrame) {
+      EXPECT_EQ(frame.header.request_id, next_id);
+      EXPECT_EQ(frame.header.status, Status::kOk);
+      double value = 0.0;
+      ASSERT_TRUE(ParsePredictResponse(frame.payload, &value));
+      const auto solo = service->PredictQoS(
+          static_cast<data::UserId>(next_id % kUsers),
+          static_cast<data::ServiceId>(next_id % kServices));
+      ASSERT_TRUE(solo.has_value());
+      EXPECT_EQ(value, *solo);
+      ++next_id;
+      off += consumed;
+    }
+    rbuf.erase(0, off);
+  }
+  EXPECT_EQ(next_id, kCount + 1);
+
+  const double coalesced = Counter(*service, "serve.coalesce.requests");
+  const double flushes = Counter(*service, "serve.coalesce.flushes");
+  EXPECT_EQ(coalesced, static_cast<double>(kCount));
+  EXPECT_GE(flushes, 1.0);
+  EXPECT_LT(flushes, coalesced);  // ratio > 1: batching actually happened
+
+  server.Shutdown();
+}
+
+TEST(ServeServerTest, MalformedFrameClosesConnectionAndCounts) {
+  const auto service = MakeTrainedService();
+  ServerConfig cfg;
+  cfg.run_trainer = false;
+  Server server(service.get(), cfg);
+  ASSERT_TRUE(server.Start()) << server.last_error();
+
+  struct Case {
+    const char* name;
+    std::string bytes;
+  };
+  std::vector<Case> cases;
+  {
+    // Oversized length prefix.
+    std::string wire;
+    const std::uint32_t huge = kMaxFrameLen + 1;
+    wire.append(reinterpret_cast<const char*>(&huge), sizeof(huge));
+    cases.push_back({"oversized-length", wire});
+  }
+  {
+    // Garbage opcode.
+    std::string wire;
+    const std::uint32_t len = kFrameFixedBytes;
+    wire.append(reinterpret_cast<const char*>(&len), sizeof(len));
+    wire.push_back('\x7f');
+    wire.push_back('\0');
+    wire.append(8, '\0');
+    cases.push_back({"garbage-opcode", wire});
+  }
+  {
+    // A response opcode sent BY a client (server never accepts these).
+    std::string wire;
+    AppendPingResponse(wire, 1);
+    cases.push_back({"client-sent-response", wire});
+  }
+  {
+    // Payload size contradicting the opcode.
+    std::string wire;
+    const std::uint32_t len = kFrameFixedBytes + 3;
+    wire.append(reinterpret_cast<const char*>(&len), sizeof(len));
+    wire.push_back(static_cast<char>(Opcode::kPredict));
+    wire.push_back('\0');
+    wire.append(8, '\0');
+    wire.append(3, 'x');
+    cases.push_back({"short-predict-payload", wire});
+  }
+  {
+    // PREDICT_MANY whose count field lies about the payload.
+    std::string wire;
+    AppendPredictManyRequest(wire, 1, 0,
+                             std::vector<data::ServiceId>{1, 2});
+    std::uint32_t bogus = 100;
+    std::memcpy(wire.data() + 4 + kFrameFixedBytes + 4, &bogus,
+                sizeof(bogus));
+    cases.push_back({"predict-many-count-lie", wire});
+  }
+
+  double expected_errors = Counter(*service, "serve.protocol_errors");
+  for (const Case& c : cases) {
+    Client client;
+    ASSERT_TRUE(client.ConnectWithRetry("127.0.0.1", server.port()))
+        << c.name;
+    // Prove the connection works first, so the close we observe is a
+    // reaction to the malformed bytes and not a flaky connect.
+    ASSERT_TRUE(client.Ping()) << c.name;
+    ASSERT_TRUE(client.SendRaw(c.bytes)) << c.name;
+    EXPECT_TRUE(client.WaitForClose(5.0)) << c.name;
+    expected_errors += 1.0;
+    EXPECT_EQ(Counter(*service, "serve.protocol_errors"), expected_errors)
+        << c.name;
+  }
+
+  // The server survives all of it and still serves fresh connections.
+  Client healthy;
+  ASSERT_TRUE(healthy.ConnectWithRetry("127.0.0.1", server.port()));
+  EXPECT_TRUE(healthy.Ping());
+  server.Shutdown();
+}
+
+TEST(ServeServerTest, SlowReaderIsDroppedNotBufferedForever) {
+  const auto service = MakeTrainedService();
+  ServerConfig cfg;
+  cfg.run_trainer = false;
+  // Tiny ladder with a drop rung below one response frame: once the
+  // kernel socket buffers stop absorbing, a single ~64KB response
+  // overshoots pause AND drop in one append — the connection must die,
+  // not sit paused with an ever-full buffer.
+  cfg.write_pause_bytes = 4 * 1024;
+  cfg.write_drop_bytes = 32 * 1024;
+  Server server(service.get(), cfg);
+  ASSERT_TRUE(server.Start()) << server.last_error();
+
+  Client client;
+  ASSERT_TRUE(client.ConnectWithRetry("127.0.0.1", server.port()));
+  // Clamp our receive window: an explicit SO_RCVBUF disables the
+  // kernel's rcvbuf auto-tuning (which on loopback can absorb tens of
+  // MB and let the server's kernel buffers soak up every response
+  // without its userspace backlog ever growing).
+  const int tiny = 16 * 1024;
+  ASSERT_EQ(::setsockopt(client.fd(), SOL_SOCKET, SO_RCVBUF, &tiny,
+                         sizeof(tiny)),
+            0);
+
+  // Many PREDICT_MANY requests with large candidate lists, never reading
+  // a byte back: ~64KB response frames fill the kernel buffers, then the
+  // server's write buffer. SendRaw may legitimately fail partway — the
+  // server resetting the connection mid-send IS the drop we're after.
+  std::vector<data::ServiceId> candidates(8192);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    candidates[i] = static_cast<data::ServiceId>(i % kServices);
+  }
+  std::string req;
+  for (std::uint64_t id = 1; id <= 96; ++id) {
+    AppendPredictManyRequest(req, id, 0, candidates);
+  }
+  (void)client.SendRaw(req);
+
+  // The server must hang up on us (the drop rung), not stall or grow.
+  EXPECT_TRUE(client.WaitForClose(10.0));
+  EXPECT_GE(Counter(*service, "serve.slow_reader_drops"), 1.0);
+
+  server.Shutdown();
+}
+
+TEST(ServeServerTest, ShutdownAnswersCoalescedRequestsBeforeClosing) {
+  const auto service = MakeTrainedService();
+  ServerConfig cfg;
+  cfg.run_trainer = false;
+  // A window so long it cannot elapse on its own: only the shutdown
+  // drain's forced flush can answer these requests.
+  cfg.coalesce_window_us = 10e6;
+  cfg.coalesce_max_batch = 1024;
+  Server server(service.get(), cfg);
+  ASSERT_TRUE(server.Start()) << server.last_error();
+
+  Client client;
+  ASSERT_TRUE(client.ConnectWithRetry("127.0.0.1", server.port()));
+  constexpr std::uint64_t kCount = 8;
+  std::string burst;
+  for (std::uint64_t id = 1; id <= kCount; ++id) {
+    AppendPredictRequest(burst, id, 1, static_cast<data::ServiceId>(id));
+  }
+  ASSERT_TRUE(client.SendRaw(burst));
+  // Give the event loop a moment to read the requests into the
+  // coalescer before we pull the plug.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  std::thread shutdown_thread([&] { server.Shutdown(); });
+
+  // Every queued request is still answered...
+  std::uint64_t got = 0;
+  std::string rbuf;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  bool eof = false;
+  while (!eof && std::chrono::steady_clock::now() < deadline) {
+    char tmp[4096];
+    const ssize_t n = ::recv(client.fd(), tmp, sizeof(tmp), 0);
+    if (n == 0) {
+      eof = true;  // ...and then the server closes cleanly.
+      break;
+    }
+    if (n < 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      continue;
+    }
+    rbuf.append(tmp, static_cast<std::size_t>(n));
+    std::size_t off = 0;
+    Frame frame;
+    std::size_t consumed = 0;
+    std::string error;
+    while (DecodeFrame(std::string_view(rbuf).substr(off), &frame, &consumed,
+                       &error) == DecodeResult::kFrame) {
+      EXPECT_EQ(frame.header.opcode, Opcode::kPredict);
+      ++got;
+      off += consumed;
+    }
+    rbuf.erase(0, off);
+  }
+  shutdown_thread.join();
+  EXPECT_EQ(got, kCount);
+  EXPECT_TRUE(eof);
+}
+
+TEST(ServeServerTest, ShutdownFlushesJournaledObservations) {
+  const std::string dir =
+      ::testing::TempDir() + "/serve_server_test_journal";
+  fs::remove_all(dir);
+
+  auto service = MakeTrainedService();
+  stream::JournalConfig jc;
+  jc.directory = dir;
+  jc.fsync_policy = stream::FsyncPolicy::kInterval;
+  jc.fsync_interval_ms = 3600 * 1000.0;  // only an explicit flush syncs
+  service->EnableJournal(jc);
+
+  ServerConfig cfg;
+  cfg.run_trainer = true;  // shutdown's final Tick runs the journal drain
+  cfg.train_interval_ms = 5;
+  Server server(service.get(), cfg);
+  ASSERT_TRUE(server.Start()) << server.last_error();
+
+  Client client;
+  ASSERT_TRUE(client.ConnectWithRetry("127.0.0.1", server.port()));
+  constexpr int kReports = 20;
+  for (int i = 0; i < kReports; ++i) {
+    const auto st = client.ReportObservation(data::QoSSample{
+        .slice = 0,
+        .user = static_cast<data::UserId>(i % kUsers),
+        .service = static_cast<data::ServiceId>(i % kServices),
+        .value = 0.5,
+        .timestamp = 100.0 + i});
+    ASSERT_TRUE(st.has_value());
+    ASSERT_EQ(*st, Status::kOk);
+  }
+  server.Shutdown();
+
+  // Every acknowledged observation reached the journal segments despite
+  // the hour-long fsync interval: the drain's FlushJournal did it.
+  const auto read = stream::ReadJournal(dir);
+  EXPECT_EQ(read.records.size(), static_cast<std::size_t>(kReports));
+  fs::remove_all(dir);
+}
+
+TEST(ServeServerTest, StartFailsCleanlyWhenPortIsTaken) {
+  const auto service = MakeTrainedService();
+  ServerConfig cfg;
+  cfg.run_trainer = false;
+  Server first(service.get(), cfg);
+  ASSERT_TRUE(first.Start()) << first.last_error();
+
+  ServerConfig clash = cfg;
+  clash.port = first.port();
+  Server second(service.get(), clash);
+  EXPECT_FALSE(second.Start());
+  EXPECT_FALSE(second.last_error().empty());
+  first.Shutdown();
+}
+
+}  // namespace
+}  // namespace amf::serve

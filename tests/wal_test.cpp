@@ -7,10 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "data/qos_types.h"
@@ -135,6 +137,71 @@ TEST(WalTest, FsyncPolicyCounters) {
     EXPECT_TRUE(journal.SyncNow());  // explicit sync always works
     EXPECT_EQ(journal.syncs(), 1u);
   }
+}
+
+TEST(WalTest, IntervalAnchorsOnOldestUnsyncedAppendNotLastSync) {
+  JournalConfig cfg;
+  cfg.directory = ScratchDir("interval_anchor");
+  cfg.fsync_policy = FsyncPolicy::kInterval;
+  cfg.fsync_interval_ms = 100.0;
+  ObservationJournal journal(cfg);
+
+  // Idle gap longer than the interval, then the first append of a burst.
+  // The old last-sync anchoring would fsync here immediately (the append
+  // is 0ms old — the sync buys no durability and mis-arms the window);
+  // oldest-unsynced anchoring must not.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  ASSERT_TRUE(journal.Append(MakeSample(0)).has_value());
+  EXPECT_EQ(journal.syncs(), 0u);
+
+  // A record's durability window is its OWN age: once the first append
+  // has waited out the interval, the next append must sync, even though
+  // that next append is brand new.
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  ASSERT_TRUE(journal.Append(MakeSample(1)).has_value());
+  EXPECT_EQ(journal.syncs(), 1u);
+
+  // The sync cleared the anchor: an immediate follow-up append is fresh
+  // again and must not re-sync.
+  ASSERT_TRUE(journal.Append(MakeSample(2)).has_value());
+  EXPECT_EQ(journal.syncs(), 1u);
+}
+
+TEST(WalTest, SyncIfDueBoundsTheTailOfABurst) {
+  JournalConfig cfg;
+  cfg.directory = ScratchDir("sync_if_due");
+  cfg.fsync_policy = FsyncPolicy::kInterval;
+  cfg.fsync_interval_ms = 100.0;
+  ObservationJournal journal(cfg);
+
+  // A burst, then silence. Without SyncIfDue the tail records would only
+  // become durable when some future append arrives — an unbounded
+  // ack-to-durable window for the last writes before an idle period.
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(journal.Append(MakeSample(i)).has_value());
+  }
+  EXPECT_EQ(journal.syncs(), 0u);
+  EXPECT_FALSE(journal.SyncIfDue());  // burst is younger than the interval
+  EXPECT_EQ(journal.syncs(), 0u);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  EXPECT_TRUE(journal.SyncIfDue());  // housekeeping call syncs the tail
+  EXPECT_EQ(journal.syncs(), 1u);
+
+  // Idempotent once everything is durable.
+  EXPECT_FALSE(journal.SyncIfDue());
+  EXPECT_EQ(journal.syncs(), 1u);
+}
+
+TEST(WalTest, SyncIfDueIsANoOpForNonIntervalPolicies) {
+  JournalConfig cfg;
+  cfg.directory = ScratchDir("sync_if_due_os");
+  cfg.fsync_policy = FsyncPolicy::kOs;
+  ObservationJournal journal(cfg);
+  ASSERT_TRUE(journal.Append(MakeSample(0)).has_value());
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(journal.SyncIfDue());
+  EXPECT_EQ(journal.syncs(), 0u);
 }
 
 TEST(WalTest, ParseFsyncPolicyNames) {
