@@ -27,8 +27,8 @@
 //       prints the top-k candidates with uncertainty.
 //
 //   amf_cli metrics [--seconds SEC --users N --services M --seed S
-//           --ring CAP --watch 0|1 --interval-ms MS --train-interval-ms MS
-//           --format json|prom --out FILE
+//           --ring CAP --shards K --watch 0|1 --interval-ms MS
+//           --train-interval-ms MS --format json|prom --out FILE
 //           --read-precision fp64|fp32|bf16]
 //       Runs a synthetic concurrent workload (producer uploads, trainer
 //       ticks, predictions in flight) against a ConcurrentPredictionService
@@ -44,8 +44,11 @@
 //       --read-precision fp32|bf16 routes the prediction reads through
 //       the compressed replica slabs (DESIGN.md section 13); the replica.*
 //       series then report refresh and staleness activity.
+//       --shards K (default 1) runs the same workload against a
+//       user-sharded ShardedPredictionService (DESIGN.md section 15);
+//       the dumped registry then aggregates counters across all shards.
 //
-//   amf_cli chaos [--users N --services M --slices T --seed S
+//   amf_cli chaos [--users N --services M --slices T --seed S --shards K
 //           --ticks K --tick-seconds DT --per-tick P
 //           --drop p --corrupt p --duplicate p --spike p --churn p
 //           --ckpt-dir DIR --ckpt-interval SEC --retention R
@@ -64,7 +67,12 @@
 //       --wal-* switches damage the journal at the crash point (torn
 //       tail from a mid-append kill, a flipped payload byte, a deleted
 //       middle segment) to prove recovery truncates / quarantines /
-//       skips instead of dying.
+//       skips instead of dying. --shards K (K > 1) runs the drill
+//       against the user-sharded facade instead: the whole shard set
+//       (per-shard checkpoints, WAL subdirectories, binding manifest)
+//       crashes at --crash-tick and must come back through the facade's
+//       Recover(); requires --wal-dir, honours --wal-torn (tears shard
+//       0's tail), scores the end state via plain PredictQoS.
 //
 //   amf_cli wal --dir DIR [--after LSN] [--dump K]
 //       Inspects a journal directory without touching it: per-segment
@@ -101,6 +109,7 @@
 #include "adapt/environment.h"
 #include "adapt/fault_injector.h"
 #include "adapt/prediction_service.h"
+#include "adapt/sharded_service.h"
 #include "common/check.h"
 #include "common/retry.h"
 #include "common/rng.h"
@@ -311,7 +320,11 @@ int CmdRecommend(const Args& args) {
   return 0;
 }
 
-int CmdMetrics(const Args& args) {
+/// Body of the metrics subcommand, shared between the single-instance
+/// service and the user-sharded facade — both expose the same member
+/// names, and the facade's registry aggregates across shards.
+template <typename ServiceT>
+int RunMetricsWorkload(const Args& args, ServiceT& service) {
   const double seconds = args.GetDouble("seconds", 1.0);
   const std::string format = common::ToLower(args.Get("format", "json"));
   AMF_CHECK_MSG(format == "json" || format == "prom",
@@ -324,11 +337,6 @@ int CmdMetrics(const Args& args) {
   const auto users = static_cast<std::size_t>(args.GetInt("users", 32));
   const auto services = static_cast<std::size_t>(args.GetInt("services", 128));
   const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 2014));
-
-  adapt::PredictionServiceConfig cfg;
-  cfg.model = core::MakeResponseTimeConfig(seed);
-  adapt::ConcurrentPredictionService service(
-      cfg, static_cast<std::size_t>(args.GetInt("ring", 4096)));
   for (std::size_t u = 0; u < users; ++u) {
     service.RegisterUser("u" + std::to_string(u));
   }
@@ -433,7 +441,187 @@ int CmdMetrics(const Args& args) {
   return 0;
 }
 
+int CmdMetrics(const Args& args) {
+  const auto shards = static_cast<std::size_t>(args.GetInt("shards", 1));
+  AMF_CHECK_MSG(shards >= 1, "--shards must be >= 1");
+  const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 2014));
+  const auto ring = static_cast<std::size_t>(args.GetInt("ring", 4096));
+  adapt::PredictionServiceConfig cfg;
+  cfg.model = core::MakeResponseTimeConfig(seed);
+  if (shards == 1) {
+    adapt::ConcurrentPredictionService service(cfg, ring);
+    return RunMetricsWorkload(args, service);
+  }
+  adapt::ShardedServiceConfig scfg;
+  scfg.num_shards = shards;
+  scfg.service = cfg;
+  scfg.ring_capacity = ring;
+  adapt::ShardedPredictionService service(scfg);
+  return RunMetricsWorkload(args, service);
+}
+
+/// Chaos drill against the user-sharded facade: the whole shard set
+/// (per-shard checkpoints + WAL subdirectories + the binding manifest)
+/// dies at --crash-tick and must come back through the facade's
+/// Recover(). --wal-torn additionally tears shard 0's journal tail to
+/// prove per-shard truncation still works behind the manifest gate.
+/// End-state scoring goes through plain PredictQoS (the degradation
+/// ladder is a serial-service feature).
+int CmdChaosSharded(const Args& args, std::size_t shards) {
+  data::SyntheticConfig synth;
+  synth.users = static_cast<std::size_t>(args.GetInt("users", 24));
+  synth.services = static_cast<std::size_t>(args.GetInt("services", 80));
+  synth.slices = static_cast<std::size_t>(args.GetInt("slices", 8));
+  synth.seed = static_cast<std::uint64_t>(args.GetInt("seed", 2014));
+  const data::SyntheticQoSDataset dataset(synth);
+  const adapt::Environment env(dataset);
+
+  adapt::FaultInjectorConfig faults;
+  faults.drop_prob = args.GetDouble("drop", 0.05);
+  faults.corrupt_prob = args.GetDouble("corrupt", 0.10);
+  faults.duplicate_prob = args.GetDouble("duplicate", 0.02);
+  faults.spike_prob = args.GetDouble("spike", 0.02);
+  faults.churn_prob = args.GetDouble("churn", 0.0);
+  faults.seed = synth.seed ^ 0xc4a05;
+  adapt::FaultInjector injector(env, faults);
+
+  core::CheckpointManagerConfig ckpt;
+  ckpt.directory = args.Get("ckpt-dir", "amf_chaos_ckpt");
+  ckpt.interval_seconds = args.GetDouble("ckpt-interval", 120.0);
+  ckpt.retention = static_cast<std::size_t>(args.GetInt("retention", 4));
+  stream::JournalConfig wal;
+  wal.directory = args.Get("wal-dir", "");
+  AMF_CHECK_MSG(!wal.directory.empty(),
+                "sharded chaos needs --wal-dir (Recover() is the only "
+                "restore path for a shard set)");
+  const auto policy = stream::ParseFsyncPolicy(args.Get("fsync", "interval"));
+  AMF_CHECK_MSG(policy, "--fsync must be os, interval, or always");
+  wal.fsync_policy = *policy;
+
+  adapt::ShardedServiceConfig scfg;
+  scfg.num_shards = shards;
+  scfg.service.model = core::MakeResponseTimeConfig(synth.seed);
+  const auto make_service = [&] {
+    auto svc = std::make_unique<adapt::ShardedPredictionService>(scfg);
+    for (std::size_t u = 0; u < synth.users; ++u) {
+      svc->RegisterUser("u" + std::to_string(u));
+    }
+    for (std::size_t s = 0; s < synth.services; ++s) {
+      svc->RegisterService("s" + std::to_string(s));
+    }
+    svc->EnableCheckpoints(ckpt);
+    svc->EnableJournal(wal);
+    return svc;
+  };
+  auto service = make_service();
+
+  const auto ticks = static_cast<std::size_t>(args.GetInt("ticks", 40));
+  const double tick_seconds = args.GetDouble("tick-seconds", 15.0);
+  const auto per_tick = static_cast<std::size_t>(args.GetInt("per-tick", 150));
+  const auto crash_tick = static_cast<std::size_t>(
+      args.GetInt("crash-tick", static_cast<std::int64_t>(ticks / 2)));
+  const common::BackoffConfig backoff{.max_attempts = 3,
+                                      .initial_delay_seconds = 1e-4,
+                                      .multiplier = 2.0,
+                                      .max_delay_seconds = 1e-3};
+
+  common::Rng rng(synth.seed ^ 0x5eed);
+  std::uint64_t give_ups = 0;
+  double now = 0.0;
+  for (std::size_t tick = 0; tick < ticks; ++tick) {
+    now = static_cast<double>(tick + 1) * tick_seconds;
+    for (std::size_t i = 0; i < per_tick; ++i) {
+      const auto u = static_cast<data::UserId>(rng.Index(synth.users));
+      const auto s = static_cast<data::ServiceId>(rng.Index(synth.services));
+      const std::optional<adapt::InvocationResult> result =
+          common::RetryWithBackoff(
+              [&]() { return injector.Invoke(u, s, now); }, backoff);
+      if (!result) {
+        ++give_ups;
+        continue;
+      }
+      const data::QoSSample observed{.slice = env.SliceAt(now),
+                                     .user = u,
+                                     .service = s,
+                                     .value = result->response_time,
+                                     .timestamp = now};
+      for (const data::QoSSample& delivered : injector.Deliver(observed)) {
+        service->ReportObservation(delivered);
+      }
+    }
+    service->Tick(now);
+
+    if (tick + 1 == crash_tick) {
+      service.reset();  // the whole shard set dies at once
+      if (args.GetInt("wal-torn", 0) != 0) {
+        namespace fs = std::filesystem;
+        std::vector<std::string> segments;
+        const std::string shard0 = wal.directory + "/shard-0";
+        for (const auto& entry : fs::directory_iterator(shard0)) {
+          if (entry.path().extension() == ".amfwal") {
+            segments.push_back(entry.path().string());
+          }
+        }
+        std::sort(segments.begin(), segments.end());
+        if (!segments.empty() && fs::file_size(segments.back()) > 3) {
+          fs::resize_file(segments.back(),
+                          fs::file_size(segments.back()) - 3);
+          std::cout << "[chaos] tore journal tail: " << segments.back()
+                    << "\n";
+        }
+      }
+      std::cout << "[chaos] tick " << tick + 1 << ": crashed (all " << shards
+                << " shards)\n";
+      service = make_service();
+      const adapt::ShardedPredictionService::RecoveryReport rec =
+          service->Recover();
+      std::cout << "[chaos] recover: manifest="
+                << (rec.manifest_ok ? "ok" : rec.manifest_error)
+                << " shards_restored=" << rec.shards_restored << "/" << shards
+                << " scanned=" << rec.scanned << " replayed=" << rec.replayed
+                << " rejected{generation=" << rec.rejected_generation
+                << " retired=" << rec.rejected_retired
+                << "} quarantined_segments=" << rec.quarantined_segments
+                << "\n";
+      if (!rec.manifest_ok) return 2;
+    }
+  }
+
+  std::vector<double> pred;
+  std::vector<double> truth;
+  for (std::size_t u = 0; u < synth.users; ++u) {
+    for (std::size_t s = 0; s < synth.services; ++s) {
+      const std::optional<double> p =
+          service->PredictQoS(static_cast<data::UserId>(u),
+                              static_cast<data::ServiceId>(s));
+      if (!p.has_value() || !std::isfinite(*p)) continue;
+      pred.push_back(*p);
+      truth.push_back(env.TrueResponseTime(static_cast<data::UserId>(u),
+                                           static_cast<data::ServiceId>(s),
+                                           now));
+    }
+  }
+  const eval::Metrics m = eval::ComputeMetrics(pred, truth);
+  const adapt::FaultInjectionStats& fi = injector.stats();
+  const obs::MetricsSnapshot snap = service->metrics().Snapshot();
+  std::cout << "faults: invocations=" << fi.invocations << " drops="
+            << fi.drops << " (gave up " << give_ups << ") spikes="
+            << fi.spikes << " corruptions=" << fi.corruptions
+            << " duplicates=" << fi.duplicates << " churns=" << fi.churns
+            << "\n";
+  std::cout << "shards: count=" << shards << " merges=" << service->merges()
+            << " reported=" << snap.CounterValue("ingest.reported")
+            << " updates=" << snap.CounterValue("trainer.updates") << "\n";
+  std::cout << "end-state: entries=" << m.count
+            << " MRE=" << common::FormatFixed(m.mre, 4)
+            << " MAE=" << common::FormatFixed(m.mae, 4) << "\n";
+  return 0;
+}
+
 int CmdChaos(const Args& args) {
+  const auto shards = static_cast<std::size_t>(args.GetInt("shards", 1));
+  AMF_CHECK_MSG(shards >= 1, "--shards must be >= 1");
+  if (shards > 1) return CmdChaosSharded(args, shards);
   // --- Ground truth + fault layer ----------------------------------------
   data::SyntheticConfig synth;
   synth.users = static_cast<std::size_t>(args.GetInt("users", 24));

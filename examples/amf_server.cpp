@@ -1,12 +1,15 @@
 // amf_server: standalone networked serving front-end (DESIGN.md §14).
 //
 //   amf_server [--host 127.0.0.1 --port 7421 --users N --services M
-//               --seed S --ring CAP --seconds SEC
+//               --seed S --ring CAP --seconds SEC --shards K
 //               --coalesce-window-us US --coalesce-max-batch B
 //               --train-interval-ms MS
 //               --wal-dir DIR --fsync os|interval|always]
 //
-// Boots a ConcurrentPredictionService, pre-registers N users and M
+// Boots a ConcurrentPredictionService (--shards 1, the default) or a
+// user-sharded ShardedPredictionService (--shards K routes every user to
+// one of K independent model instances and reconciles the replicated
+// service factors at each trainer tick), pre-registers N users and M
 // services, warms the model on a synthetic workload slice so PREDICT
 // answers are meaningful from the first request, then serves the binary
 // protocol (PREDICT / PREDICT_MANY / REPORT_OBS / METRICS / PING) until
@@ -26,10 +29,12 @@
 #include <cstdint>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "adapt/concurrent_service.h"
+#include "adapt/sharded_service.h"
 #include "common/check.h"
 #include "common/rng.h"
 #include "common/string_util.h"
@@ -86,38 +91,57 @@ int main(int argc, char** argv) {
   const auto services = static_cast<std::size_t>(args.GetInt("services", 128));
   const auto seed = static_cast<std::uint64_t>(args.GetInt("seed", 2014));
   const double seconds = args.GetDouble("seconds", 0.0);
+  const auto shards = static_cast<std::size_t>(args.GetInt("shards", 1));
+  const auto ring = static_cast<std::size_t>(args.GetInt("ring", 4096));
+  AMF_CHECK_MSG(shards >= 1, "--shards must be >= 1");
 
   adapt::PredictionServiceConfig cfg;
   cfg.model = core::MakeResponseTimeConfig(seed);
-  adapt::ConcurrentPredictionService service(
-      cfg, static_cast<std::size_t>(args.GetInt("ring", 4096)));
-  for (std::size_t u = 0; u < users; ++u) {
-    service.RegisterUser("u" + std::to_string(u));
-  }
-  for (std::size_t s = 0; s < services; ++s) {
-    service.RegisterService("s" + std::to_string(s));
+
+  std::unique_ptr<adapt::ConcurrentPredictionService> single;
+  std::unique_ptr<adapt::ShardedPredictionService> sharded;
+  std::unique_ptr<serve::Backend> backend;
+  if (shards == 1) {
+    single = std::make_unique<adapt::ConcurrentPredictionService>(cfg, ring);
+    backend = std::make_unique<serve::ConcurrentBackend>(single.get());
+  } else {
+    adapt::ShardedServiceConfig scfg;
+    scfg.num_shards = shards;
+    scfg.service = cfg;
+    scfg.ring_capacity = ring;
+    sharded = std::make_unique<adapt::ShardedPredictionService>(scfg);
+    backend = std::make_unique<serve::ShardedBackend>(sharded.get());
   }
 
-  const std::string wal_dir = args.Get("wal-dir", "");
-  if (!wal_dir.empty()) {
-    stream::JournalConfig jc;
-    jc.directory = wal_dir;
-    const std::string fsync = common::ToLower(args.Get("fsync", "interval"));
-    if (fsync == "os") {
-      jc.fsync_policy = stream::FsyncPolicy::kOs;
-    } else if (fsync == "always") {
-      jc.fsync_policy = stream::FsyncPolicy::kAlways;
-    } else {
-      AMF_CHECK_MSG(fsync == "interval",
-                    "--fsync must be os, interval, or always");
-      jc.fsync_policy = stream::FsyncPolicy::kInterval;
+  // Registration, journal arming, and warm-up are identical across the
+  // two facades — both expose the same member names.
+  auto prepare = [&](auto& service) {
+    for (std::size_t u = 0; u < users; ++u) {
+      service.RegisterUser("u" + std::to_string(u));
     }
-    service.EnableJournal(jc);
-  }
+    for (std::size_t s = 0; s < services; ++s) {
+      service.RegisterService("s" + std::to_string(s));
+    }
 
-  // Warm-up: a burst of synthetic observations trained to convergence, so
-  // the first remote PREDICT sees a fitted model instead of random init.
-  {
+    const std::string wal_dir = args.Get("wal-dir", "");
+    if (!wal_dir.empty()) {
+      stream::JournalConfig jc;
+      jc.directory = wal_dir;
+      const std::string fsync = common::ToLower(args.Get("fsync", "interval"));
+      if (fsync == "os") {
+        jc.fsync_policy = stream::FsyncPolicy::kOs;
+      } else if (fsync == "always") {
+        jc.fsync_policy = stream::FsyncPolicy::kAlways;
+      } else {
+        AMF_CHECK_MSG(fsync == "interval",
+                      "--fsync must be os, interval, or always");
+        jc.fsync_policy = stream::FsyncPolicy::kInterval;
+      }
+      service.EnableJournal(jc);
+    }
+
+    // Warm-up: a burst of synthetic observations trained to convergence,
+    // so the first remote PREDICT sees a fitted model, not random init.
     common::Rng rng(seed ^ 0x5e);
     common::Stopwatch clock;
     for (std::size_t i = 0; i < users * services / 4; ++i) {
@@ -130,6 +154,11 @@ int main(int argc, char** argv) {
       if ((i & 1023) == 1023) service.Tick(clock.ElapsedSeconds());
     }
     service.TrainToConvergence(clock.ElapsedSeconds());
+  };
+  if (single != nullptr) {
+    prepare(*single);
+  } else {
+    prepare(*sharded);
   }
 
   serve::ServerConfig sc;
@@ -140,7 +169,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(args.GetInt("coalesce-max-batch", 64));
   sc.train_interval_ms =
       static_cast<int>(args.GetInt("train-interval-ms", 20));
-  serve::Server server(&service, sc);
+  serve::Server server(backend.get(), sc);
   if (!server.Start()) {
     std::cerr << "amf_server: " << server.last_error() << "\n";
     return 2;
@@ -158,7 +187,7 @@ int main(int argc, char** argv) {
   // socket buffers, final trainer Tick (journals acked observations),
   // fsync the WAL tail. Only then report and exit.
   server.Shutdown();
-  const obs::MetricsSnapshot snap = service.metrics().Snapshot();
+  const obs::MetricsSnapshot snap = backend->metrics().Snapshot();
   std::cerr << "amf_server: served="
             << snap.CounterValue("serve.requests")
             << " coalesce_flushes="

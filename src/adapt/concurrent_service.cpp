@@ -345,6 +345,68 @@ QoSPredictionService::RecoveryReport ConcurrentPredictionService::Recover() {
   return service_.Recover();
 }
 
+ConcurrentPredictionService::ServiceFactorSnapshot
+ConcurrentPredictionService::SnapshotServiceFactors() const {
+  // train_mu_ first (lock order), so no trainer holds any row: every
+  // version word is even and plain reads of the rows cannot tear.
+  std::lock_guard train(train_mu_);
+  std::shared_lock lock(mu_);
+  const core::AmfModel& m = service_.model();
+  ServiceFactorSnapshot snap;
+  snap.rank = m.config().rank;
+  snap.num_services = m.num_services();
+  snap.factors.resize(snap.num_services * snap.rank);
+  snap.errors.resize(snap.num_services);
+  snap.versions.resize(snap.num_services);
+  for (std::size_t s = 0; s < snap.num_services; ++s) {
+    const auto id = static_cast<data::ServiceId>(s);
+    const std::span<const double> row = m.ServiceFactors(id);
+    std::copy(row.begin(), row.end(), snap.factors.begin() + s * snap.rank);
+    snap.errors[s] = m.ServiceError(id);
+    snap.versions[s] = m.ServiceRowVersion(id);
+  }
+  return snap;
+}
+
+void ConcurrentPredictionService::PublishServiceFactors(
+    std::span<const data::ServiceId> ids, std::span<const double> factors,
+    std::span<const double> errors) {
+  AMF_CHECK_MSG(ids.size() == errors.size(),
+                "PublishServiceFactors: ids/errors size mismatch");
+  if (ids.empty()) return;
+  std::lock_guard train(train_mu_);  // epoch barrier: no writer in flight
+  const std::size_t rank = factors.size() / ids.size();
+  bool grow = false;
+  {
+    std::shared_lock lock(mu_);
+    const core::AmfModel& m = service_.model();
+    AMF_CHECK_MSG(rank == m.config().rank &&
+                      factors.size() == ids.size() * rank,
+                  "PublishServiceFactors: factors shape mismatch");
+    for (const data::ServiceId id : ids) {
+      if (!m.HasService(id)) {
+        grow = true;
+        break;
+      }
+    }
+  }
+  if (grow) {
+    // A shard can merge in a service it has never observed (routing is
+    // by user). Growth reallocates the arena, so it needs the exclusive
+    // lock; the merged row overwrites the random init right after.
+    data::ServiceId max_s = 0;
+    for (const data::ServiceId id : ids) max_s = std::max(max_s, id);
+    std::unique_lock lock(mu_);
+    service_.mutable_model().EnsureService(max_s);
+  }
+  std::shared_lock lock(mu_);
+  core::AmfModel& m = service_.mutable_model();
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    m.OverwriteServiceRow(ids[i], factors.subspan(i * rank, rank),
+                          errors[i]);
+  }
+}
+
 core::PipelineStats ConcurrentPredictionService::pipeline_stats() const {
   // Deliberately lock-free: every source counter is a relaxed atomic
   // (AtomicIngestCounters, the trainer's single-writer atomics, the

@@ -174,6 +174,33 @@ class ConcurrentPredictionService {
   /// The serving front-end calls this after its final drain Tick.
   bool FlushJournal();
 
+  // --- Service-factor merge hooks (sharding facade; DESIGN.md §15) --------
+  /// Barrier-time copy of the service-factor matrix: rows, error EMAs,
+  /// and the per-row seqlock version words. Takes train_mu_ (so no
+  /// trainer is in flight and every version word is even) plus the
+  /// shared lock (so registration cannot reallocate the arena mid-copy).
+  /// Version deltas between successive snapshots / 2 count the row
+  /// publishes in between — the sharding facade's merge weights.
+  struct ServiceFactorSnapshot {
+    std::size_t rank = 0;
+    std::size_t num_services = 0;
+    std::vector<double> factors;           ///< num_services x rank, row-major
+    std::vector<double> errors;            ///< num_services
+    std::vector<std::uint32_t> versions;   ///< num_services seqlock words
+  };
+  ServiceFactorSnapshot SnapshotServiceFactors() const;
+
+  /// Seqlock-publishes merged service rows and errors: row i of `factors`
+  /// (rank-length) and errors[i] overwrite service ids[i], growing the
+  /// model first if an id is unseen on this shard. Takes train_mu_ — the
+  /// overwrite happens at the epoch barrier, never under a live trainer —
+  /// and the shared lock for the writes themselves (exclusive only if
+  /// growth is needed). Concurrent predictions stay safe throughout: each
+  /// row flips atomically old -> merged through its seqlock.
+  void PublishServiceFactors(std::span<const data::ServiceId> ids,
+                             std::span<const double> factors,
+                             std::span<const double> errors);
+
   // --- Monitoring ----------------------------------------------------------
   /// Observations accepted into the ring so far.
   std::size_t observations() const {
@@ -183,6 +210,8 @@ class ConcurrentPredictionService {
   std::uint64_t dropped_observations() const {
     return dropped_.load(std::memory_order_relaxed);
   }
+  /// Approximate ingest-ring occupancy (relaxed reads; monitoring only).
+  std::size_t ring_occupancy() const { return ring_.SizeApprox(); }
 
   /// Wait-free pipeline counters: trainer/validator stats plus this
   /// facade's ring counters (ring_dropped). Every source is a relaxed

@@ -247,6 +247,12 @@ class QoSPredictionService {
 
   const core::AmfModel& model() const { return model_; }
 
+  /// Mutable model access for the sharding facade's service-factor merge
+  /// (seqlock-publishing row overwrites at the epoch barrier — see
+  /// AmfModel::OverwriteServiceRow). Not a general mutation hook: all
+  /// other writes must go through the training pipeline.
+  core::AmfModel& mutable_model() { return model_; }
+
   /// Switches the model's read precision (rebuilding the compressed
   /// replicas from the fp64 masters). NOT safe against concurrent readers
   /// or in-flight training — the concurrent facade wraps this under its

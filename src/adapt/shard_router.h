@@ -1,0 +1,57 @@
+// User -> shard hash router for the multi-instance AMF layer
+// (DESIGN.md §15).
+//
+// The mapping is FROZEN: per-shard checkpoints and WALs are laid out by
+// it, so changing the hash silently strands every user's durable history
+// on the wrong shard. kHashVersion names the function; the shard-set
+// manifest records it and Recover() refuses a mismatch, and the router
+// unit test pins golden (user, shard) pairs so an accidental change
+// fails in CI before it can corrupt a deployment.
+//
+// The hash is the SplitMix64 finalizer over the 32-bit user id — cheap
+// (a handful of multiplies on the serving hot path, where every PREDICT
+// routes before coalescing), and avalanching enough that consecutive
+// user ids spread evenly across shards (dense registration order would
+// make modulo-only routing correlate with registration time).
+#pragma once
+
+#include <cstdint>
+
+#include "common/check.h"
+#include "data/qos_types.h"
+
+namespace amf::adapt {
+
+class ShardRouter {
+ public:
+  /// Version of the hash function below. Persisted in the shard-set
+  /// manifest; bump ONLY with a migration story for existing shard dirs.
+  static constexpr std::uint32_t kHashVersion = 1;
+
+  explicit ShardRouter(std::size_t num_shards) : num_shards_(num_shards) {
+    AMF_CHECK_MSG(num_shards >= 1, "ShardRouter: need at least one shard");
+  }
+
+  std::size_t num_shards() const { return num_shards_; }
+
+  /// Home shard of a user, in [0, num_shards()). Pure function of
+  /// (user, num_shards) — every process in a deployment agrees.
+  std::size_t ShardOf(data::UserId user) const {
+    if (num_shards_ == 1) return 0;
+    return static_cast<std::size_t>(Mix(user) % num_shards_);
+  }
+
+  /// SplitMix64 finalizer (Stafford variant 13) — the same mixer
+  /// common::SplitMix64 steps with, applied as a pure function.
+  static std::uint64_t Mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+ private:
+  std::size_t num_shards_;
+};
+
+}  // namespace amf::adapt

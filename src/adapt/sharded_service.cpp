@@ -1,0 +1,439 @@
+#include "adapt/sharded_service.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+#include "common/check.h"
+#include "common/crc32.h"
+#include "common/file_util.h"
+#include "common/timer.h"
+
+namespace amf::adapt {
+
+namespace {
+
+std::string ShardSubdir(const std::string& root, std::size_t i) {
+  return root + "/shard-" + std::to_string(i);
+}
+
+}  // namespace
+
+ShardedPredictionService::ShardedPredictionService(
+    const ShardedServiceConfig& config)
+    : config_(config),
+      router_(config.num_shards),
+      registry_(config.service.metrics != nullptr ? config.service.metrics
+                                                  : &own_metrics_) {
+  AMF_CHECK_MSG(config.num_shards >= 1, "ShardedPredictionService: need at "
+                                        "least one shard");
+  PredictionServiceConfig per_shard = config_.service;
+  per_shard.metrics = registry_;
+  shards_.reserve(config_.num_shards);
+  for (std::size_t i = 0; i < config_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<ConcurrentPredictionService>(
+        per_shard, config_.ring_capacity));
+  }
+  merge_baseline_.assign(shards_.size(), {});
+  RegisterMetrics();
+}
+
+void ShardedPredictionService::RegisterMetrics() {
+  // Every shard registered its own ingest.* callbacks into the shared
+  // registry, and callback registration is last-wins — so right now the
+  // series report only the LAST shard. Re-register facade-level sums so
+  // one snapshot covers the whole instance set. (Handle-based counters
+  // like predict.calls are shared instances and already aggregate.)
+  registry_->RegisterCallbackCounter("ingest.reported", [this] {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s->observations();
+    return total;
+  });
+  registry_->RegisterCallbackCounter("ingest.ring_dropped", [this] {
+    std::uint64_t total = 0;
+    for (const auto& s : shards_) total += s->dropped_observations();
+    return total;
+  });
+  registry_->RegisterCallbackGauge("ingest.ring_occupancy", [this] {
+    std::size_t total = 0;
+    for (const auto& s : shards_) total += s->ring_occupancy();
+    return static_cast<double>(total);
+  });
+  registry_->GetGauge("shard.count")
+      ->Set(static_cast<double>(shards_.size()));
+  merge_counter_ = registry_->GetCounter("shard.merges");
+  merge_rows_ = registry_->GetCounter("shard.merge_rows");
+  merge_hist_ = registry_->GetLatencyHistogram("shard.merge_seconds");
+}
+
+data::UserId ShardedPredictionService::RegisterUser(const std::string& name) {
+  std::lock_guard lk(reg_mu_);
+  const data::UserId id = shards_[0]->RegisterUser(name);
+  for (std::size_t i = 1; i < shards_.size(); ++i) {
+    const data::UserId other = shards_[i]->RegisterUser(name);
+    AMF_CHECK_MSG(other == id, "shard " << i << " assigned user id " << other
+                                        << " != " << id
+                                        << " (registries diverged)");
+  }
+  return id;
+}
+
+data::ServiceId ShardedPredictionService::RegisterService(
+    const std::string& name) {
+  std::lock_guard lk(reg_mu_);
+  const data::ServiceId id = shards_[0]->RegisterService(name);
+  for (std::size_t i = 1; i < shards_.size(); ++i) {
+    const data::ServiceId other = shards_[i]->RegisterService(name);
+    AMF_CHECK_MSG(other == id, "shard " << i << " assigned service id "
+                                        << other << " != " << id
+                                        << " (registries diverged)");
+  }
+  return id;
+}
+
+bool ShardedPredictionService::RetireUser(const std::string& name) {
+  std::lock_guard lk(reg_mu_);
+  bool ok = true;
+  for (auto& s : shards_) ok = s->RetireUser(name) && ok;
+  return ok;
+}
+
+bool ShardedPredictionService::RetireService(const std::string& name) {
+  std::lock_guard lk(reg_mu_);
+  bool ok = true;
+  for (auto& s : shards_) ok = s->RetireService(name) && ok;
+  return ok;
+}
+
+bool ShardedPredictionService::ReportObservation(
+    const data::QoSSample& sample) {
+  return shards_[router_.ShardOf(sample.user)]->ReportObservation(sample);
+}
+
+std::optional<double> ShardedPredictionService::PredictQoS(
+    data::UserId u, data::ServiceId s) const {
+  return shards_[router_.ShardOf(u)]->PredictQoS(u, s);
+}
+
+bool ShardedPredictionService::PredictQoSMany(
+    data::UserId u, std::span<const data::ServiceId> candidates,
+    std::span<double> values) const {
+  return shards_[router_.ShardOf(u)]->PredictQoSMany(u, candidates, values);
+}
+
+void ShardedPredictionService::PredictQoSPairs(
+    std::span<const data::UserId> users,
+    std::span<const data::ServiceId> services,
+    std::span<double> values) const {
+  AMF_CHECK_MSG(
+      users.size() == services.size() && users.size() == values.size(),
+      "users/services/values size mismatch");
+  if (shards_.size() == 1) {
+    shards_[0]->PredictQoSPairs(users, services, values);
+    return;
+  }
+  // Gather per home shard, score each group through that shard's own
+  // pair kernel, scatter back in place. The serving tier routes before
+  // coalescing so its batches arrive single-shard and skip this split.
+  std::vector<std::vector<std::size_t>> by_shard(shards_.size());
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    by_shard[router_.ShardOf(users[i])].push_back(i);
+  }
+  std::vector<data::UserId> u_sub;
+  std::vector<data::ServiceId> s_sub;
+  std::vector<double> v_sub;
+  for (std::size_t sh = 0; sh < shards_.size(); ++sh) {
+    const std::vector<std::size_t>& idx = by_shard[sh];
+    if (idx.empty()) continue;
+    u_sub.clear();
+    s_sub.clear();
+    v_sub.assign(idx.size(), 0.0);
+    u_sub.reserve(idx.size());
+    s_sub.reserve(idx.size());
+    for (const std::size_t i : idx) {
+      u_sub.push_back(users[i]);
+      s_sub.push_back(services[i]);
+    }
+    shards_[sh]->PredictQoSPairs(u_sub, s_sub, v_sub);
+    for (std::size_t j = 0; j < idx.size(); ++j) values[idx[j]] = v_sub[j];
+  }
+}
+
+void ShardedPredictionService::Tick(double now_seconds) {
+  std::lock_guard lk(facade_train_mu_);
+  for (auto& s : shards_) s->Tick(now_seconds);
+  if (config_.merge_every_ticks > 0 &&
+      ++ticks_since_merge_ >= config_.merge_every_ticks) {
+    ticks_since_merge_ = 0;
+    MergeLocked();
+  }
+}
+
+void ShardedPredictionService::TrainToConvergence(double now_seconds) {
+  std::lock_guard lk(facade_train_mu_);
+  for (auto& s : shards_) s->TrainToConvergence(now_seconds);
+  ticks_since_merge_ = 0;
+  MergeLocked();
+}
+
+std::size_t ShardedPredictionService::MergeServiceFactors() {
+  std::lock_guard lk(facade_train_mu_);
+  return MergeLocked();
+}
+
+std::size_t ShardedPredictionService::MergeLocked() {
+  const std::size_t n = shards_.size();
+  if (n <= 1) return 0;
+  common::Stopwatch timer;
+  // Barrier-time snapshots: each one waits out that shard's in-flight
+  // Tick (train_mu_), so per-shard trainer threads may keep running —
+  // the merge serializes against each shard one at a time, never all at
+  // once.
+  std::vector<ConcurrentPredictionService::ServiceFactorSnapshot> snaps(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    snaps[i] = shards_[i]->SnapshotServiceFactors();
+  }
+  const std::size_t rank = snaps[0].rank;
+  std::size_t num_services = 0;
+  for (const auto& s : snaps) {
+    num_services = std::max(num_services, s.num_services);
+  }
+  if (num_services == 0) return 0;
+
+  std::vector<data::ServiceId> ids;
+  std::vector<double> rows;
+  std::vector<double> errors;
+  std::vector<double> acc(rank);
+  for (std::size_t s = 0; s < num_services; ++s) {
+    double total_w = 0.0;
+    double err_acc = 0.0;
+    std::fill(acc.begin(), acc.end(), 0.0);
+    // Fixed shard order keeps the fp reduction deterministic for a given
+    // set of snapshots.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (s >= snaps[i].num_services) continue;
+      const std::uint32_t baseline = s < merge_baseline_[i].size()
+                                         ? merge_baseline_[i][s]
+                                         : 0;
+      // Version words are even at the barrier and bump by 2 per publish;
+      // uint32 subtraction keeps the delta correct across wraparound.
+      const double w =
+          static_cast<double>((snaps[i].versions[s] - baseline) / 2);
+      if (w <= 0.0) continue;
+      total_w += w;
+      err_acc += w * snaps[i].errors[s];
+      const double* row = snaps[i].factors.data() + s * rank;
+      for (std::size_t k = 0; k < rank; ++k) acc[k] += w * row[k];
+    }
+    if (total_w <= 0.0) continue;  // no shard trained it since last merge
+    ids.push_back(static_cast<data::ServiceId>(s));
+    for (std::size_t k = 0; k < rank; ++k) rows.push_back(acc[k] / total_w);
+    errors.push_back(err_acc / total_w);
+  }
+
+  if (!ids.empty()) {
+    for (auto& shard : shards_) {
+      shard->PublishServiceFactors(ids, rows, errors);
+    }
+  }
+  // Re-baseline: the snapshot version plus our own publish bump (+2 per
+  // published row) — training publishes that land between the snapshot
+  // and now still count toward the NEXT merge's weights. A shard that
+  // had not grown to a published id yet gets baseline 0 + 2 (fresh rows
+  // start at version 0 and our overwrite bumped them once).
+  std::unordered_set<data::ServiceId> published(ids.begin(), ids.end());
+  for (std::size_t i = 0; i < n; ++i) {
+    merge_baseline_[i].assign(num_services, 0);
+    for (std::size_t s = 0; s < num_services; ++s) {
+      std::uint32_t base =
+          s < snaps[i].num_services ? snaps[i].versions[s] : 0;
+      if (published.count(static_cast<data::ServiceId>(s)) != 0) base += 2;
+      merge_baseline_[i][s] = base;
+    }
+  }
+
+  merges_done_.fetch_add(1, std::memory_order_relaxed);
+  if (merge_counter_ != nullptr) merge_counter_->Increment();
+  if (merge_rows_ != nullptr) merge_rows_->Increment(ids.size());
+  if (merge_hist_ != nullptr) merge_hist_->Record(timer.ElapsedSeconds());
+  return ids.size();
+}
+
+void ShardedPredictionService::SetReadPrecision(
+    core::ReadPrecision precision) {
+  for (auto& s : shards_) s->SetReadPrecision(precision);
+}
+
+void ShardedPredictionService::EnableCheckpoints(
+    const core::CheckpointManagerConfig& config) {
+  common::CreateDirectoriesDurable(config.directory);
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    core::CheckpointManagerConfig per_shard = config;
+    per_shard.directory = ShardSubdir(config.directory, i);
+    shards_[i]->EnableCheckpoints(per_shard);
+  }
+  checkpoint_root_ = config.directory;
+  // Never clobber a mismatched (or torn) manifest: it is the evidence
+  // Recover() refuses on. Only write ours when the directory is fresh or
+  // the existing manifest already matches this facade's shape.
+  const std::string manifest = config.directory + "/" + kManifestName;
+  std::string err;
+  if (!std::filesystem::exists(manifest) || ValidateManifest(manifest, &err)) {
+    WriteManifest(config.directory);
+  }
+}
+
+void ShardedPredictionService::EnableJournal(
+    const stream::JournalConfig& config) {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    stream::JournalConfig per_shard = config;
+    per_shard.directory = ShardSubdir(config.directory, i);
+    shards_[i]->EnableJournal(per_shard);
+  }
+}
+
+void ShardedPredictionService::WriteManifest(
+    const std::string& directory) const {
+  std::ostringstream body;
+  body << "AMF_SHARDS 1\n"
+       << "num_shards " << shards_.size() << '\n'
+       << "router_version " << ShardRouter::kHashVersion << '\n'
+       << "rank " << config_.service.model.rank << '\n';
+  std::ostringstream full;
+  full << body.str() << "crc32 " << std::hex
+       << common::Crc32Of(body.str()) << '\n';
+
+  // Atomic publish: tmp in the same directory, contents fsync, rename
+  // over the final name, directory fsync — a crash mid-write leaves at
+  // worst a stale tmp, never a torn manifest.
+  const std::string final_path = directory + "/" + kManifestName;
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    AMF_CHECK_MSG(out.good(), "cannot write " << tmp_path);
+    out << full.str();
+    out.flush();
+    AMF_CHECK_MSG(out.good(), "short write to " << tmp_path);
+  }
+  common::SyncFile(tmp_path);
+  std::error_code ec;
+  std::filesystem::rename(tmp_path, final_path, ec);
+  AMF_CHECK_MSG(!ec, "rename " << tmp_path << " -> " << final_path << ": "
+                               << ec.message());
+  common::SyncDirectory(directory);
+}
+
+bool ShardedPredictionService::ValidateManifest(const std::string& path,
+                                                std::string* error) const {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    *error = "manifest missing: " + path;
+    return false;
+  }
+  std::ostringstream body;
+  std::uint32_t stored_crc = 0;
+  bool saw_crc = false;
+  std::size_t num_shards = 0;
+  std::uint32_t router_version = 0;
+  std::size_t rank = 0;
+  bool magic_ok = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (key == "crc32") {
+      fields >> std::hex >> stored_crc;
+      saw_crc = true;
+      break;  // crc covers everything before this line
+    }
+    body << line << '\n';
+    if (key == "AMF_SHARDS") {
+      std::uint32_t version = 0;
+      fields >> version;
+      magic_ok = version == 1;
+    } else if (key == "num_shards") {
+      fields >> num_shards;
+    } else if (key == "router_version") {
+      fields >> router_version;
+    } else if (key == "rank") {
+      fields >> rank;
+    }
+  }
+  if (!magic_ok) {
+    *error = "manifest has no AMF_SHARDS 1 header";
+    return false;
+  }
+  if (!saw_crc || common::Crc32Of(body.str()) != stored_crc) {
+    *error = "manifest CRC mismatch (torn or corrupt)";
+    return false;
+  }
+  if (num_shards != shards_.size()) {
+    *error = "manifest binds " + std::to_string(num_shards) +
+             " shards, this facade has " + std::to_string(shards_.size()) +
+             " — restoring would route users to the wrong model";
+    return false;
+  }
+  if (router_version != ShardRouter::kHashVersion) {
+    *error = "manifest router_version " + std::to_string(router_version) +
+             " != " + std::to_string(ShardRouter::kHashVersion);
+    return false;
+  }
+  if (rank != config_.service.model.rank) {
+    *error = "manifest rank " + std::to_string(rank) + " != configured " +
+             std::to_string(config_.service.model.rank);
+    return false;
+  }
+  return true;
+}
+
+ShardedPredictionService::RecoveryReport ShardedPredictionService::Recover() {
+  std::lock_guard lk(facade_train_mu_);
+  RecoveryReport rep;
+  if (!checkpoint_root_.empty()) {
+    std::string err;
+    if (!ValidateManifest(checkpoint_root_ + "/" + kManifestName, &err)) {
+      rep.manifest_ok = false;
+      rep.manifest_error = err;
+      return rep;  // refuse: no shard is touched
+    }
+  }
+  rep.manifest_ok = true;
+  for (auto& shard : shards_) {
+    const QoSPredictionService::RecoveryReport r = shard->Recover();
+    if (r.checkpoint_restored) ++rep.shards_restored;
+    rep.scanned += r.scanned;
+    rep.replayed += r.replayed;
+    rep.rejected_generation += r.rejected_generation;
+    rep.rejected_retired += r.rejected_retired;
+    rep.quarantined_segments += r.quarantined_segments;
+    rep.shards.push_back(r);
+  }
+  // Deliberately NO merge here (see header): recovered state must stay
+  // bit-identical per shard. Reset the baselines so the next merge
+  // weighs only post-recovery training.
+  merge_baseline_.assign(shards_.size(), {});
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const auto snap = shards_[i]->SnapshotServiceFactors();
+    merge_baseline_[i] = snap.versions;
+  }
+  ticks_since_merge_ = 0;
+  return rep;
+}
+
+bool ShardedPredictionService::SyncJournalIfDue() {
+  bool any = false;
+  for (auto& s : shards_) any = s->SyncJournalIfDue() || any;
+  return any;
+}
+
+bool ShardedPredictionService::FlushJournal() {
+  bool all = true;
+  for (auto& s : shards_) all = s->FlushJournal() && all;
+  return all;
+}
+
+}  // namespace amf::adapt

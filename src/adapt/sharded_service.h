@@ -1,0 +1,214 @@
+// User-sharded multi-instance AMF (DESIGN.md §15).
+//
+// One AmfModel caps "scalable" at one cache-warm machine: every user's
+// latent row lives in one arena, one trainer drains one ring, one WAL
+// absorbs every observation. This facade partitions USERS across N
+// independent ConcurrentPredictionService shards behind a frozen hash
+// router (shard_router.h). Each shard owns a full vertical slice of the
+// pipeline — its own arena-backed model, ingest ring, trainer, WAL
+// directory, and checkpoint directory — so shards share no locks, no
+// rings, and no files, and the whole stack scales by adding shards.
+//
+// Users are PARTITIONED: a user's factors, samples, and durable history
+// live only on router.ShardOf(user). Services are REPLICATED: the
+// service-factor matrix is small (the paper's deployments have orders of
+// magnitude more users than services), so every shard trains its own
+// copy against its local users, and MergeServiceFactors() reconciles the
+// copies with a hogwild-style weighted average at the epoch barrier:
+//
+//   merged_row(s) = sum_i w_i * row_i(s) / sum_i w_i
+//
+// where w_i is the number of seqlock row publishes shard i performed on
+// s since the last merge (the per-row version-word delta / 2 — the
+// arena meta the guarded trainer already maintains). Weighting by
+// publish count makes the average an approximation of the update stream
+// interleaving a single instance would have applied: a shard that
+// trained a service 100x since the last merge dominates one that
+// touched it twice, and an untouched copy (w_i = 0) contributes
+// nothing. Rows no shard touched are skipped entirely, so cold services
+// keep their deterministic init. The merged rows are seqlock-published
+// back to every shard (AmfModel::OverwriteServiceRow), so predictions
+// keep running bit-safe through the merge.
+//
+// Consistency: a user's observation history lives wholly inside one
+// shard's WAL + checkpoint lineage, so there is no cross-shard ordering
+// to violate — per-user read-your-writes behaves exactly like the
+// single-instance facade. Service factors are soft state: they are
+// re-derived from user data by training and re-reconciled by the next
+// merge, so a crash between merges loses only reconciliation freshness,
+// never observations.
+//
+// Durability: EnableCheckpoints/EnableJournal give each shard its own
+// subdirectory (shard-<i>/) under the configured root, and a manifest
+// file (manifest.amfshards, CRC-protected, written atomically) binds
+// the shard set together: shard count, router hash version, model rank.
+// Recover() refuses a manifest mismatch — restoring 4 shard dirs into a
+// 2-shard facade would route half of every shard's users to the wrong
+// model — then restores every shard to its own point-in-time state and
+// resets the merge baselines WITHOUT merging, so recovered predictions
+// are bit-identical per shard to each shard's uncrashed control.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "adapt/concurrent_service.h"
+#include "adapt/shard_router.h"
+#include "core/checkpoint.h"
+#include "obs/metrics.h"
+#include "stream/wal.h"
+
+namespace amf::adapt {
+
+struct ShardedServiceConfig {
+  /// Number of independent model shards (>= 1).
+  std::size_t num_shards = 4;
+  /// Service-factor reconciliation cadence: MergeServiceFactors() runs
+  /// after every `merge_every_ticks` facade-level Tick()s (and after
+  /// every TrainToConvergence). 0 disables periodic merges — callers
+  /// then drive MergeServiceFactors() themselves.
+  std::size_t merge_every_ticks = 1;
+  /// Per-shard service configuration. `service.metrics` is overridden:
+  /// every shard reports into the facade's registry (or the one set
+  /// here, if any) so there is ONE snapshot for the whole instance set.
+  PredictionServiceConfig service{core::MakeResponseTimeConfig(),
+                                  core::TrainerConfig{}, 1};
+  /// Ingest ring capacity PER SHARD.
+  std::size_t ring_capacity = 4096;
+};
+
+class ShardedPredictionService {
+ public:
+  explicit ShardedPredictionService(const ShardedServiceConfig& config = {});
+
+  // --- Registration (fans out to every shard) ------------------------------
+  // Names are registered on ALL shards in lockstep, so ids are global:
+  // the same name maps to the same id everywhere, and raw-id ingest
+  // (serving tier, drains) needs no per-shard translation. Each shard
+  // allocates factor rows up to the global max id but only its own user
+  // partition ever trains — the service matrix (the replicated part) is
+  // small, and cold user rows cost one stride of arena each. Calls are
+  // serialized so concurrent registrations cannot interleave differently
+  // across shards (which would diverge the id assignment).
+  data::UserId RegisterUser(const std::string& name);
+  data::ServiceId RegisterService(const std::string& name);
+  bool RetireUser(const std::string& name);
+  bool RetireService(const std::string& name);
+
+  // --- Hot paths (routed; same contracts as the single-instance facade) ---
+  /// Routes to the user's home shard's ingest ring.
+  bool ReportObservation(const data::QoSSample& sample);
+  std::optional<double> PredictQoS(data::UserId u, data::ServiceId s) const;
+  bool PredictQoSMany(data::UserId u,
+                      std::span<const data::ServiceId> candidates,
+                      std::span<double> values) const;
+  /// Mixed-user batch: grouped by home shard, fanned out, scattered back
+  /// in place. Each element is bit-identical to PredictQoS on its home
+  /// shard (the per-shard call is the same PredictQoSPairs kernel).
+  void PredictQoSPairs(std::span<const data::UserId> users,
+                       std::span<const data::ServiceId> services,
+                       std::span<double> values) const;
+
+  // --- Training ------------------------------------------------------------
+  /// Ticks every shard (sequentially — drive shard(i).Tick from N
+  /// threads for parallel training), then runs the periodic merge when
+  /// the cadence says so. Serialized against itself.
+  void Tick(double now_seconds);
+  void TrainToConvergence(double now_seconds);
+
+  /// Reconciles the replicated service-factor matrices now (see file
+  /// comment). Safe to call while per-shard trainer threads run — the
+  /// snapshot/publish steps serialize on each shard's own epoch barrier.
+  /// Returns the number of service rows published back.
+  std::size_t MergeServiceFactors();
+
+  // --- Read precision / durability (fan out) -------------------------------
+  void SetReadPrecision(core::ReadPrecision precision);
+
+  /// Per-shard checkpoints under `config.directory`/shard-<i>/ plus the
+  /// shard-set manifest at `config.directory`/manifest.amfshards.
+  void EnableCheckpoints(const core::CheckpointManagerConfig& config);
+  /// Per-shard WAL under `config.directory`/shard-<i>/.
+  void EnableJournal(const stream::JournalConfig& config);
+
+  struct RecoveryReport {
+    /// Manifest present and matching (shard count, router hash version,
+    /// rank). Always true when checkpoints were never enabled (nothing
+    /// to validate). When false, NO shard was restored.
+    bool manifest_ok = false;
+    std::string manifest_error;
+    std::size_t shards_restored = 0;  ///< shards whose checkpoint loaded
+    std::uint64_t scanned = 0;        ///< summed over shards
+    std::uint64_t replayed = 0;
+    std::uint64_t rejected_generation = 0;
+    std::uint64_t rejected_retired = 0;
+    std::uint64_t quarantined_segments = 0;
+    /// Per-shard detail, index-aligned with shard ids.
+    std::vector<QoSPredictionService::RecoveryReport> shards;
+  };
+
+  /// Restores every shard to its own point-in-time state (newest valid
+  /// checkpoint + WAL replay past its watermark) after validating the
+  /// manifest. Deliberately does NOT merge afterwards: recovery must be
+  /// bit-identical per shard to the uncrashed control, and a merge would
+  /// fold post-crash weights in. Merge baselines are reset so the next
+  /// periodic merge weighs only post-recovery training.
+  RecoveryReport Recover();
+
+  bool SyncJournalIfDue();
+  bool FlushJournal();
+
+  // --- Introspection -------------------------------------------------------
+  const ShardRouter& router() const { return router_; }
+  std::size_t num_shards() const { return shards_.size(); }
+  ConcurrentPredictionService& shard(std::size_t i) { return *shards_[i]; }
+  const ConcurrentPredictionService& shard(std::size_t i) const {
+    return *shards_[i];
+  }
+  obs::MetricsRegistry& metrics() const { return *registry_; }
+  std::uint64_t merges() const {
+    return merges_done_.load(std::memory_order_relaxed);
+  }
+
+  static constexpr const char* kManifestName = "manifest.amfshards";
+
+ private:
+  void RegisterMetrics();
+  /// Merge body; caller holds facade_train_mu_.
+  std::size_t MergeLocked();
+  /// Atomically (tmp + fsync + rename + dir fsync) writes the manifest.
+  void WriteManifest(const std::string& directory) const;
+  /// Validates an existing manifest against this facade's shape. Returns
+  /// false with a reason when the shard set must not be restored.
+  bool ValidateManifest(const std::string& path, std::string* error) const;
+
+  ShardedServiceConfig config_;
+  ShardRouter router_;
+  mutable obs::MetricsRegistry own_metrics_;
+  obs::MetricsRegistry* registry_;
+  std::vector<std::unique_ptr<ConcurrentPredictionService>> shards_;
+
+  /// Serializes registration fan-out (id assignment must not interleave).
+  std::mutex reg_mu_;
+  /// Serializes Tick/TrainToConvergence/Merge/Recover at the facade
+  /// level (each shard additionally has its own train_mu_).
+  std::mutex facade_train_mu_;
+  std::size_t ticks_since_merge_ = 0;  ///< guarded by facade_train_mu_
+  /// Per shard, per service: version word at the last merge (publishes
+  /// included). Guarded by facade_train_mu_.
+  std::vector<std::vector<std::uint32_t>> merge_baseline_;
+  std::string checkpoint_root_;  ///< set by EnableCheckpoints
+
+  std::atomic<std::uint64_t> merges_done_{0};
+  obs::Counter* merge_counter_ = nullptr;
+  obs::Counter* merge_rows_ = nullptr;
+  obs::LatencyHistogram* merge_hist_ = nullptr;
+};
+
+}  // namespace amf::adapt

@@ -219,6 +219,28 @@ void AmfModel::RetireService(data::ServiceId s) {
   if (service_replica_.enabled()) service_replica_.PublishRow(s, fresh);
 }
 
+std::uint32_t AmfModel::ServiceRowVersion(data::ServiceId s) const {
+  AMF_CHECK_MSG(HasService(s), "ServiceRowVersion: unknown service " << s);
+  return common::RelaxedLoad(service_.version(s));
+}
+
+void AmfModel::OverwriteServiceRow(data::ServiceId s,
+                                   std::span<const double> row,
+                                   double error) {
+  AMF_CHECK_MSG(HasService(s), "OverwriteServiceRow: unknown service " << s);
+  AMF_CHECK_MSG(row.size() == config_.rank,
+                "OverwriteServiceRow: row size " << row.size() << " != rank "
+                                                 << config_.rank);
+  const std::span<double> dst = service_.row_span(s);
+  common::SeqlockBeginWrite(service_.version(s));
+  for (std::size_t k = 0; k < row.size(); ++k) {
+    common::SeqlockStore(dst[k], row[k]);
+  }
+  common::RelaxedStore(service_.error(s), error);
+  common::SeqlockEndWrite(service_.version(s));
+  if (service_replica_.enabled()) service_replica_.PublishRow(s, row);
+}
+
 bool AmfModel::RepairNonFinite(std::span<double> v, double& error,
                                std::uint64_t entity_id) {
   bool poisoned = false;

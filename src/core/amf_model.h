@@ -84,6 +84,23 @@ class AmfModel {
   void RetireUser(data::UserId u);
   void RetireService(data::ServiceId s);
 
+  /// Relaxed load of service s's seqlock version word. Guarded trainer
+  /// paths bump it by 2 per row publish, so the DELTA between two reads
+  /// taken at epoch barriers (no writer in flight — the word is even)
+  /// divided by 2 counts the publishes in between. The sharding facade
+  /// uses these deltas as per-shard merge weights (DESIGN.md §15).
+  std::uint32_t ServiceRowVersion(data::ServiceId s) const;
+
+  /// Overwrites service s's latent row and error EMA with externally
+  /// merged state, publishing through the per-row seqlock (and the
+  /// replica slab when enabled) so concurrent *Shared readers never see
+  /// a torn row — the same protocol as RetireService. Writer-vs-writer
+  /// exclusion is the caller's job: the sharding facade only merges at
+  /// the epoch barrier (no trainer in flight). `row` must be
+  /// rank-length; the service must already be registered.
+  void OverwriteServiceRow(data::ServiceId s, std::span<const double> row,
+                           double error);
+
   /// One SGD step on an observed sample. Registers unknown entities.
   /// Returns the pre-update relative error e_us (Eq. 15) — the trainer's
   /// convergence signal.

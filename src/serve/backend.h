@@ -1,0 +1,123 @@
+// Serving backend seam (DESIGN.md §15).
+//
+// The event loop does not care whether predictions come from one
+// ConcurrentPredictionService or from N user-sharded instances behind a
+// ShardedPredictionService — it needs exactly the calls on this
+// interface. The one sharding-aware decision the loop DOES make is
+// routing: PREDICT requests are routed to a per-shard coalescer by
+// ShardOfUser() BEFORE batching, so every coalesced batch stays
+// shard-local and flushes into its home shard's PredictQoSPairs without
+// a cross-shard scatter on the hot path. A single-instance backend
+// reports one shard and the server degenerates to PR 9's behaviour
+// (one coalescer, bit-identical batching).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "adapt/concurrent_service.h"
+#include "adapt/sharded_service.h"
+#include "data/qos_types.h"
+#include "obs/metrics.h"
+
+namespace amf::serve {
+
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  /// Number of independent model shards (>= 1). The server keeps one
+  /// coalescer per shard.
+  virtual std::size_t shard_count() const = 0;
+  /// Home shard of a user id, in [0, shard_count()).
+  virtual std::size_t ShardOfUser(data::UserId user) const = 0;
+
+  virtual bool PredictQoSMany(data::UserId user,
+                              std::span<const data::ServiceId> services,
+                              std::span<double> out) const = 0;
+  /// Element-wise batch scoring; NaN marks unknown entities. Callers
+  /// (the coalescer) only ever pass batches whose users share one shard,
+  /// but the contract does not require it.
+  virtual void PredictQoSPairs(std::span<const data::UserId> users,
+                               std::span<const data::ServiceId> services,
+                               std::span<double> out) const = 0;
+  virtual bool ReportObservation(const data::QoSSample& sample) = 0;
+
+  virtual void Tick(double now_seconds) = 0;
+  virtual bool SyncJournalIfDue() = 0;
+  virtual bool FlushJournal() = 0;
+
+  virtual obs::MetricsRegistry& metrics() const = 0;
+};
+
+/// PR 9 shape: one ConcurrentPredictionService, one shard.
+class ConcurrentBackend final : public Backend {
+ public:
+  explicit ConcurrentBackend(adapt::ConcurrentPredictionService* service)
+      : service_(service) {}
+
+  std::size_t shard_count() const override { return 1; }
+  std::size_t ShardOfUser(data::UserId) const override { return 0; }
+
+  bool PredictQoSMany(data::UserId user,
+                      std::span<const data::ServiceId> services,
+                      std::span<double> out) const override {
+    return service_->PredictQoSMany(user, services, out);
+  }
+  void PredictQoSPairs(std::span<const data::UserId> users,
+                       std::span<const data::ServiceId> services,
+                       std::span<double> out) const override {
+    service_->PredictQoSPairs(users, services, out);
+  }
+  bool ReportObservation(const data::QoSSample& sample) override {
+    return service_->ReportObservation(sample);
+  }
+  void Tick(double now_seconds) override { service_->Tick(now_seconds); }
+  bool SyncJournalIfDue() override { return service_->SyncJournalIfDue(); }
+  bool FlushJournal() override { return service_->FlushJournal(); }
+  obs::MetricsRegistry& metrics() const override {
+    return service_->metrics();
+  }
+
+ private:
+  adapt::ConcurrentPredictionService* service_;
+};
+
+/// User-sharded multi-instance backend: routing comes from the facade's
+/// frozen hash router, so the coalescer partition matches the shard that
+/// will answer.
+class ShardedBackend final : public Backend {
+ public:
+  explicit ShardedBackend(adapt::ShardedPredictionService* service)
+      : service_(service) {}
+
+  std::size_t shard_count() const override { return service_->num_shards(); }
+  std::size_t ShardOfUser(data::UserId user) const override {
+    return service_->router().ShardOf(user);
+  }
+
+  bool PredictQoSMany(data::UserId user,
+                      std::span<const data::ServiceId> services,
+                      std::span<double> out) const override {
+    return service_->PredictQoSMany(user, services, out);
+  }
+  void PredictQoSPairs(std::span<const data::UserId> users,
+                       std::span<const data::ServiceId> services,
+                       std::span<double> out) const override {
+    service_->PredictQoSPairs(users, services, out);
+  }
+  bool ReportObservation(const data::QoSSample& sample) override {
+    return service_->ReportObservation(sample);
+  }
+  void Tick(double now_seconds) override { service_->Tick(now_seconds); }
+  bool SyncJournalIfDue() override { return service_->SyncJournalIfDue(); }
+  bool FlushJournal() override { return service_->FlushJournal(); }
+  obs::MetricsRegistry& metrics() const override {
+    return service_->metrics();
+  }
+
+ private:
+  adapt::ShardedPredictionService* service_;
+};
+
+}  // namespace amf::serve

@@ -156,8 +156,16 @@ bool Client::Ping(double timeout_s) {
   AppendPingRequest(req, id);
   Frame resp;
   std::string payload;
-  return RoundTrip(req, id, &resp, &payload, timeout_s) &&
-         resp.header.opcode == Opcode::kPing;
+  if (!RoundTrip(req, id, &resp, &payload, timeout_s) ||
+      resp.header.opcode != Opcode::kPing ||
+      resp.header.status != Status::kOk) {
+    return false;
+  }
+  // Refuse a server whose wire marker (protocol version + endianness)
+  // differs from ours: every fixed-layout integer after this point would
+  // silently mis-decode.
+  std::uint8_t marker = 0;
+  return ParsePingResponse(resp.payload, &marker) && marker == kWireMarker;
 }
 
 std::optional<double> Client::Predict(data::UserId user,

@@ -26,7 +26,6 @@
 #include <functional>
 #include <vector>
 
-#include "adapt/concurrent_service.h"
 #include "data/qos_types.h"
 
 namespace amf::serve {
@@ -86,8 +85,13 @@ class Coalescer {
   /// each (request, value) to `emit` in arrival order; NaN marks an
   /// unknown user or service (the server maps it to kUnknownEntity).
   /// Clears the pending set. Returns the batch size that was flushed.
+  /// `service` is anything with the PredictQoSPairs(users, services,
+  /// values) span contract — a ConcurrentPredictionService or a serving
+  /// Backend (the server keeps one coalescer per shard, so a Backend
+  /// flush is still one shard-local batch).
+  template <typename ServiceT>
   std::size_t Flush(
-      const adapt::ConcurrentPredictionService& service,
+      const ServiceT& service,
       const std::function<void(const PendingPredict&, double)>& emit) {
     const std::size_t n = pending_.size();
     if (n == 0) return 0;

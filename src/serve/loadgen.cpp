@@ -12,8 +12,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <deque>
 #include <thread>
+#include <unordered_map>
 
 #include "data/qos_types.h"
 #include "serve/client.h"
@@ -124,7 +124,7 @@ void OpenLoopWorker(const LoadGenConfig& config, const LoadPhase& phase,
 
   std::string wbuf;   // encoded-but-unsent bytes
   std::string rbuf;
-  std::deque<std::pair<std::uint64_t, double>> in_flight;  // (id, sent_at)
+  std::unordered_map<std::uint64_t, double> in_flight;  // id -> sent_at
   std::uint64_t next_id = 1;
   double next_send = MonotonicSeconds();
 
@@ -152,7 +152,7 @@ void OpenLoopWorker(const LoadGenConfig& config, const LoadPhase& phase,
       }
       const std::uint64_t id = next_id++;
       AppendPredictRequest(wbuf, id, stream.user(), stream.service());
-      in_flight.emplace_back(id, now);
+      in_flight.emplace(id, now);
       counters->requests.fetch_add(1, std::memory_order_relaxed);
       stream.advance();
       next_send += interval_s;
@@ -165,6 +165,7 @@ void OpenLoopWorker(const LoadGenConfig& config, const LoadPhase& phase,
         wbuf.erase(0, static_cast<std::size_t>(n));
         continue;
       }
+      if (n < 0 && errno == EINTR) continue;  // signal mid-send: retry
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
       counters->errors.fetch_add(1, std::memory_order_relaxed);
       return;
@@ -205,14 +206,14 @@ void OpenLoopWorker(const LoadGenConfig& config, const LoadPhase& phase,
           return;
         }
         off += consumed;
-        // Pipelined responses come back in send order on one connection.
-        if (!in_flight.empty() &&
-            frame.header.request_id == in_flight.front().first) {
-          const double rtt =
-              MonotonicSeconds() - in_flight.front().second;
-          hist->Record(rtt);
+        // Correlate by request id: per-shard coalescing on the server
+        // may answer pipelined requests out of send order (the id in
+        // every response frame exists exactly for this).
+        const auto it = in_flight.find(frame.header.request_id);
+        if (it != in_flight.end()) {
+          hist->Record(MonotonicSeconds() - it->second);
           counters->responses.fetch_add(1, std::memory_order_relaxed);
-          in_flight.pop_front();
+          in_flight.erase(it);
         }
       }
       rbuf.erase(0, off);

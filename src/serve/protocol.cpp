@@ -46,7 +46,7 @@ constexpr std::size_t kVariable = static_cast<std::size_t>(-1);
 std::size_t ExpectedPayloadBytes(Opcode opcode, bool is_response) {
   switch (opcode) {
     case Opcode::kPing:
-      return 0;
+      return is_response ? sizeof(std::uint8_t) : 0;  // wire marker byte
     case Opcode::kPredict:
       return is_response ? sizeof(double) : 2 * sizeof(std::uint32_t);
     case Opcode::kPredictMany:
@@ -100,7 +100,7 @@ DecodeResult DecodeFrame(std::string_view buffer, Frame* frame,
     return DecodeResult::kProtocolError;
   }
   const std::uint8_t raw_status = static_cast<std::uint8_t>(p[1]);
-  if (raw_status > static_cast<std::uint8_t>(Status::kShed)) {
+  if (raw_status > static_cast<std::uint8_t>(Status::kError)) {
     if (error != nullptr) {
       *error = "unknown status " + std::to_string(raw_status);
     }
@@ -108,7 +108,12 @@ DecodeResult DecodeFrame(std::string_view buffer, Frame* frame,
   }
   const std::size_t payload_bytes = frame_len - kFrameFixedBytes;
   const Opcode opcode = static_cast<Opcode>(base_op);
-  const std::size_t expected = ExpectedPayloadBytes(opcode, is_response);
+  // A kError response is the terminal frame of a protocol rejection and
+  // always carries an empty payload, whatever its opcode's normal shape.
+  const bool is_error_response =
+      is_response && raw_status == static_cast<std::uint8_t>(Status::kError);
+  const std::size_t expected =
+      is_error_response ? 0 : ExpectedPayloadBytes(opcode, is_response);
   if (expected != kVariable && payload_bytes != expected) {
     if (error != nullptr) {
       *error = "opcode " + std::to_string(base_op) + " expects " +
@@ -125,6 +130,18 @@ DecodeResult DecodeFrame(std::string_view buffer, Frame* frame,
       buffer.substr(sizeof(std::uint32_t) + kFrameFixedBytes, payload_bytes);
   *consumed = sizeof(std::uint32_t) + frame_len;
   return DecodeResult::kFrame;
+}
+
+bool PeekRequestHeader(std::string_view buffer, FrameHeader* header) {
+  if (buffer.size() < kFrameOverheadBytes) return false;
+  const char* p = buffer.data() + sizeof(std::uint32_t);
+  const std::uint8_t raw_op = static_cast<std::uint8_t>(p[0]);
+  if ((raw_op & kResponseBit) != 0) return false;
+  if (!KnownOpcode(raw_op)) return false;
+  header->opcode = static_cast<Opcode>(raw_op);
+  header->is_response = false;
+  header->request_id = GetRaw<std::uint64_t>(p + 2);
+  return true;
 }
 
 bool ParsePredict(std::string_view payload, PredictPayload* out) {
@@ -229,9 +246,12 @@ void AppendMetricsRequest(std::string& out, std::uint64_t request_id) {
                            request_id));
 }
 
-void AppendPingResponse(std::string& out, std::uint64_t request_id) {
-  EndFrame(out,
-           BeginFrame(out, Opcode::kPing, true, Status::kOk, request_id));
+void AppendPingResponse(std::string& out, std::uint64_t request_id,
+                        std::uint8_t marker) {
+  const std::size_t at =
+      BeginFrame(out, Opcode::kPing, true, Status::kOk, request_id);
+  out.push_back(static_cast<char>(marker));
+  EndFrame(out, at);
 }
 
 void AppendPredictResponse(std::string& out, std::uint64_t request_id,
@@ -264,6 +284,17 @@ void AppendMetricsResponse(std::string& out, std::uint64_t request_id,
       BeginFrame(out, Opcode::kMetrics, true, Status::kOk, request_id);
   out.append(json);
   EndFrame(out, at);
+}
+
+void AppendErrorResponse(std::string& out, Opcode opcode,
+                         std::uint64_t request_id) {
+  EndFrame(out, BeginFrame(out, opcode, true, Status::kError, request_id));
+}
+
+bool ParsePingResponse(std::string_view payload, std::uint8_t* marker) {
+  if (payload.size() != sizeof(std::uint8_t)) return false;
+  *marker = static_cast<std::uint8_t>(payload[0]);
+  return true;
 }
 
 }  // namespace amf::serve

@@ -9,6 +9,12 @@
 // bytes on the wire). Integers and doubles are fixed-layout
 // native-endian, like the WAL: the serving tier and its clients are
 // co-located machines of one deployment, not an interchange boundary.
+// That assumption is ENFORCED, not just documented: the PING response
+// carries a one-byte wire marker (protocol version in the high nibble,
+// endianness bit in the low bit — see kWireMarker) and `Client::Ping`
+// refuses a connection whose marker differs from its own, so a
+// cross-endian or cross-version pairing fails loudly at handshake time
+// instead of silently mis-decoding every integer after it.
 //
 // Request opcodes (client -> server):
 //   PING         (0x01)  payload: empty
@@ -21,7 +27,7 @@
 // A response echoes the request's opcode with the high bit set
 // (opcode | 0x80) and the same request_id, so clients may pipeline any
 // number of requests per connection. Response payloads:
-//   PING         empty
+//   PING         u8 wire marker (kWireMarker of the serving process)
 //   PREDICT      f64 value            (NaN when status != kOk)
 //   PREDICT_MANY u32 count, count * f64 (unknown services are NaN)
 //   REPORT_OBS   empty                (status kOk = accepted into the
@@ -32,10 +38,17 @@
 // opcode, a frame_len below the fixed header or above the decoder's
 // limit, or a payload whose size contradicts its opcode — is a PROTOCOL
 // ERROR: the decoder reports it and the server closes the connection
-// (counted in serve.protocol_errors). There is no error *frame*: a peer
-// that cannot frame bytes correctly cannot be trusted to parse one.
+// (counted in serve.protocol_errors). Before closing, the server sends
+// one final frame with status kError (empty payload, request_id echoed
+// when recoverable) IF the fixed header itself was parseable — a
+// well-framed peer mid-pipeline can then distinguish "my request was
+// rejected" from "the server crashed". Unframeable garbage (a length
+// field beyond the limit, an unknown opcode, a response opcode sent to
+// the server) still gets a silent close: a peer that cannot frame bytes
+// correctly cannot be trusted to parse one.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -58,13 +71,24 @@ enum class Opcode : std::uint8_t {
 /// Set on the opcode byte of every response frame.
 inline constexpr std::uint8_t kResponseBit = 0x80;
 
-/// Application-level result carried by the response header. Distinct
-/// from protocol errors, which have no frame at all (connection close).
+/// Application-level result carried by the response header.
 enum class Status : std::uint8_t {
   kOk = 0,
   kUnknownEntity = 1,  ///< PREDICT for an id the model has never seen
   kShed = 2,           ///< REPORT_OBS dropped: ingest ring full
+  kError = 3,          ///< protocol rejection; the connection closes after
+                       ///< this frame (payload always empty)
 };
+
+/// One-byte wire marker returned in the PING response: protocol version
+/// in the high nibble, endianness bit (1 = little) in the low bit. Both
+/// sides compute it at compile time from their own ABI; a mismatch means
+/// the peers cannot exchange fixed-layout integers and the client must
+/// refuse the connection.
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::uint8_t kWireMarker =
+    static_cast<std::uint8_t>(kProtocolVersion << 4) |
+    (std::endian::native == std::endian::little ? 0x01 : 0x00);
 
 /// Bytes of [opcode][status][request_id] — the part frame_len counts
 /// beyond the payload.
@@ -106,6 +130,14 @@ enum class DecodeResult {
 DecodeResult DecodeFrame(std::string_view buffer, Frame* frame,
                          std::size_t* consumed, std::string* error);
 
+/// Best-effort header recovery for the error-frame-before-close path:
+/// returns true when `buffer` starts with a complete fixed header whose
+/// base opcode is known and which is NOT a response, filling *header
+/// (status is left untouched — the raw byte may be the corrupt part).
+/// Used by the server to decide whether the peer deserves a kError frame
+/// or a silent close after DecodeFrame reports kProtocolError.
+bool PeekRequestHeader(std::string_view buffer, FrameHeader* header);
+
 // --- Typed payload views -------------------------------------------------
 
 struct PredictPayload {
@@ -140,7 +172,11 @@ void AppendReportObsRequest(std::string& out, std::uint64_t request_id,
                             const data::QoSSample& sample);
 void AppendMetricsRequest(std::string& out, std::uint64_t request_id);
 
-void AppendPingResponse(std::string& out, std::uint64_t request_id);
+/// PING response carries the responder's one-byte wire marker (defaults
+/// to this build's kWireMarker; overridable so tests can forge a
+/// mismatched peer).
+void AppendPingResponse(std::string& out, std::uint64_t request_id,
+                        std::uint8_t marker = kWireMarker);
 void AppendPredictResponse(std::string& out, std::uint64_t request_id,
                            Status status, double value);
 void AppendPredictManyResponse(std::string& out, std::uint64_t request_id,
@@ -150,5 +186,14 @@ void AppendReportObsResponse(std::string& out, std::uint64_t request_id,
                              Status status);
 void AppendMetricsResponse(std::string& out, std::uint64_t request_id,
                            std::string_view json);
+
+/// The terminal frame of a protocol rejection: response bit set on the
+/// rejected request's base opcode, status kError, empty payload. Sent
+/// once, immediately before the server closes the connection.
+void AppendErrorResponse(std::string& out, Opcode opcode,
+                         std::uint64_t request_id);
+
+/// Parses a PING response payload into its wire marker byte.
+bool ParsePingResponse(std::string_view payload, std::uint8_t* marker);
 
 }  // namespace amf::serve

@@ -37,17 +37,27 @@ double MonotonicSeconds() {
 
 Server::Server(adapt::ConcurrentPredictionService* service,
                const ServerConfig& config)
-    : service_(service),
-      config_(config),
-      coalescer_(CoalescerConfig{config.coalesce_window_us,
-                                 config.coalesce_max_batch}) {
+    : owned_backend_(std::make_unique<ConcurrentBackend>(service)),
+      backend_(owned_backend_.get()),
+      config_(config) {
+  coalescers_.assign(backend_->shard_count(),
+                     Coalescer(CoalescerConfig{config.coalesce_window_us,
+                                               config.coalesce_max_batch}));
+  RegisterMetrics();
+}
+
+Server::Server(Backend* backend, const ServerConfig& config)
+    : backend_(backend), config_(config) {
+  coalescers_.assign(backend_->shard_count(),
+                     Coalescer(CoalescerConfig{config.coalesce_window_us,
+                                               config.coalesce_max_batch}));
   RegisterMetrics();
 }
 
 Server::~Server() { Shutdown(); }
 
 void Server::RegisterMetrics() {
-  obs::MetricsRegistry& reg = service_->metrics();
+  obs::MetricsRegistry& reg = backend_->metrics();
   accepted_ = reg.GetCounter("serve.accepted");
   closed_ = reg.GetCounter("serve.closed");
   accept_overflow_ = reg.GetCounter("serve.accept_overflow");
@@ -152,7 +162,7 @@ void Server::Shutdown() {
     trainer_thread_.join();  // final Tick (ring drain) + FlushJournal
   } else if (running_.load(std::memory_order_acquire)) {
     // No built-in trainer: the shutdown durability point is still ours.
-    service_->FlushJournal();
+    backend_->FlushJournal();
   }
   if (epoll_fd_ >= 0) {
     ::close(epoll_fd_);
@@ -183,21 +193,22 @@ void Server::TrainerThread() {
     });
     if (stop_requested_.load(std::memory_order_acquire)) break;
     lk.unlock();
-    service_->Tick(clock.ElapsedSeconds());
-    service_->SyncJournalIfDue();
+    backend_->Tick(clock.ElapsedSeconds());
+    backend_->SyncJournalIfDue();
     lk.lock();
   }
   lk.unlock();
   // Shutdown durability point: drain whatever the ring still holds (the
   // drain journals it), then push the WAL tail to disk.
-  service_->Tick(clock.ElapsedSeconds());
-  service_->FlushJournal();
+  backend_->Tick(clock.ElapsedSeconds());
+  backend_->FlushJournal();
 }
 
 int Server::NextTimeoutMs(double now_s) const {
   int timeout = config_.tick_interval_ms;
-  if (!coalescer_.empty()) {
-    const double due_s = coalescer_.SecondsUntilDue(now_s);
+  for (const Coalescer& co : coalescers_) {
+    if (co.empty()) continue;
+    const double due_s = co.SecondsUntilDue(now_s);
     // epoll timeouts are milliseconds; a sub-ms window rounds up to 1ms
     // (documented granularity) rather than busy-spinning at timeout 0.
     const int due_ms = due_s <= 0.0
@@ -206,6 +217,12 @@ int Server::NextTimeoutMs(double now_s) const {
     if (due_ms < timeout) timeout = due_ms;
   }
   return timeout;
+}
+
+std::size_t Server::TotalQueueDepth() const {
+  std::size_t total = 0;
+  for (const Coalescer& co : coalescers_) total += co.size();
+  return total;
 }
 
 void Server::LoopThread() {
@@ -244,7 +261,7 @@ void Server::LoopThread() {
     }
     // Housekeeping: flush a due batch, keep acked observations inside the
     // WAL fsync window even when the trainer is idle, refresh gauges.
-    if (coalescer_.Due(MonotonicSeconds())) FlushCoalescer();
+    FlushDueCoalescers(MonotonicSeconds(), /*force=*/false);
     // Revisit connections whose read buffers still hold complete frames.
     // A mid-parse backpressure break leaves them there, and level-
     // triggered EPOLLIN only fires for NEW socket bytes — without this
@@ -261,8 +278,8 @@ void Server::LoopThread() {
         if (!ProcessBuffered(it->second)) CloseConnection(id);
       }
     }
-    service_->SyncJournalIfDue();
-    queue_depth_->Set(static_cast<double>(coalescer_.size()));
+    backend_->SyncJournalIfDue();
+    queue_depth_->Set(static_cast<double>(TotalQueueDepth()));
   }
 
   // --- Ordered graceful drain (runs on the loop thread) ---
@@ -273,7 +290,7 @@ void Server::LoopThread() {
     listen_fd_ = -1;
   }
   // 2. Every request already read gets its answer.
-  FlushCoalescer();
+  FlushDueCoalescers(MonotonicSeconds(), /*force=*/true);
   // 3. Drain write buffers under the deadline.
   const double deadline =
       MonotonicSeconds() + config_.drain_deadline_ms * 1e-3;
@@ -360,6 +377,7 @@ bool Server::FlushWrites(Connection& c) {
       c.woff += static_cast<std::size_t>(n);
       continue;
     }
+    if (n < 0 && errno == EINTR) continue;  // signal mid-send: retry
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     return false;  // peer reset / dead socket
   }
@@ -413,6 +431,7 @@ bool Server::HandleReadable(Connection& c) {
       break;
     }
     if (n == 0) return false;  // orderly EOF
+    if (errno == EINTR) continue;  // signal mid-recv: retry, not a reset
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
     return false;
   }
@@ -431,11 +450,24 @@ bool Server::ProcessBuffered(Connection& c) {
     if (r == DecodeResult::kNeedMore) break;
     if (r == DecodeResult::kProtocolError) {
       protocol_errors_->Increment();
-      return false;  // close; no error frame for an unframeable peer
+      // A peer whose fixed header still parses (known request opcode,
+      // recoverable request_id) gets one kError frame before the close so
+      // it can tell rejection from a crash; unframeable garbage cannot be
+      // trusted to parse a frame and is closed silently.
+      FrameHeader rejected;
+      if (PeekRequestHeader(std::string_view(c.rbuf).substr(off), &rejected)) {
+        SendErrorAndNote(c, rejected.opcode, rejected.request_id);
+      }
+      return false;
     }
     off += consumed;
     if (!HandleFrame(c, frame)) {
       protocol_errors_->Increment();
+      if (!frame.header.is_response) {
+        // The frame decoded — the peer framed correctly and the payload
+        // semantics were wrong (count lie, short parse). Tell it.
+        SendErrorAndNote(c, frame.header.opcode, frame.header.request_id);
+      }
       return false;
     }
     if (c.backlog_bytes() > config_.write_pause_bytes) {
@@ -469,14 +501,17 @@ bool Server::HandleFrame(Connection& c, const Frame& frame) {
       req.user = p.user;
       req.service = p.service;
       req.enqueued_monotonic_s = t0;
-      if (coalescer_.Add(req)) FlushCoalescer();
+      // Route to the user's home shard BEFORE batching: every coalesced
+      // batch then flushes into exactly one shard-local PredictQoSPairs.
+      const std::size_t shard = backend_->ShardOfUser(p.user);
+      if (coalescers_[shard].Add(req)) FlushCoalescer(shard);
       return true;  // latency recorded at emit time, not here
     }
     case Opcode::kPredictMany: {
       PredictManyPayload p;
       if (!ParsePredictMany(frame.payload, &p)) return false;
       std::vector<double> values(p.services.size());
-      const bool known = service_->PredictQoSMany(p.user, p.services, values);
+      const bool known = backend_->PredictQoSMany(p.user, p.services, values);
       AppendPredictManyResponse(c.wbuf, frame.header.request_id,
                                 known ? Status::kOk : Status::kUnknownEntity,
                                 values);
@@ -485,13 +520,13 @@ bool Server::HandleFrame(Connection& c, const Frame& frame) {
     case Opcode::kReportObs: {
       data::QoSSample sample;
       if (!ParseReportObs(frame.payload, &sample)) return false;
-      const bool accepted = service_->ReportObservation(sample);
+      const bool accepted = backend_->ReportObservation(sample);
       AppendReportObsResponse(c.wbuf, frame.header.request_id,
                               accepted ? Status::kOk : Status::kShed);
       break;
     }
     case Opcode::kMetrics: {
-      scratch_ = obs::ToJson(service_->metrics().Snapshot());
+      scratch_ = obs::ToJson(backend_->metrics().Snapshot());
       AppendMetricsResponse(c.wbuf, frame.header.request_id, scratch_);
       break;
     }
@@ -500,13 +535,28 @@ bool Server::HandleFrame(Connection& c, const Frame& frame) {
   return true;
 }
 
-void Server::FlushCoalescer() {
-  if (coalescer_.empty()) return;
+void Server::FlushDueCoalescers(double now_s, bool force) {
+  for (std::size_t s = 0; s < coalescers_.size(); ++s) {
+    if (force ? !coalescers_[s].empty() : coalescers_[s].Due(now_s)) {
+      FlushCoalescer(s);
+    }
+  }
+}
+
+void Server::SendErrorAndNote(Connection& c, Opcode opcode,
+                              std::uint64_t request_id) {
+  AppendErrorResponse(c.wbuf, opcode, request_id);
+  (void)FlushWrites(c);  // best effort — the connection closes right after
+}
+
+void Server::FlushCoalescer(std::size_t shard) {
+  Coalescer& coalescer = coalescers_[shard];
+  if (coalescer.empty()) return;
   // Touched connections get one FlushWrites pass after the whole batch is
   // encoded (one send syscall for many responses on a shared conn).
   std::vector<std::uint64_t> touched;
-  const std::size_t n = coalescer_.Flush(
-      *service_, [this, &touched](const PendingPredict& req, double value) {
+  const std::size_t n = coalescer.Flush(
+      *backend_, [this, &touched](const PendingPredict& req, double value) {
         auto it = conns_.find(req.conn_id);
         if (it == conns_.end()) return;  // conn died while queued
         const Status status =

@@ -1,14 +1,17 @@
 // Networked serving front-end (DESIGN.md §14).
 //
-// A single-threaded epoll event loop that exposes one
-// ConcurrentPredictionService over the length-prefixed binary protocol
-// in serve/protocol.h. The loop owns every connection; the prediction
-// hot path stays wait-free end to end:
+// A single-threaded epoll event loop that exposes a serving Backend —
+// one ConcurrentPredictionService, or N user-sharded instances behind a
+// ShardedPredictionService (serve/backend.h) — over the length-prefixed
+// binary protocol in serve/protocol.h. The loop owns every connection;
+// the prediction hot path stays wait-free end to end:
 //
-//   PREDICT       -> request coalescer (serve/coalescer.h): concurrent
+//   PREDICT       -> routed to its user's home shard, then that shard's
+//                    request coalescer (serve/coalescer.h): concurrent
 //                    singles within a window/batch-cap are scored by ONE
-//                    PredictQoSPairs call (seqlock reads, one shared
-//                    lock), bit-identical to per-request PredictQoS.
+//                    shard-local PredictQoSPairs call (seqlock reads, one
+//                    shared lock), bit-identical to per-request
+//                    PredictQoS.
 //   PREDICT_MANY  -> PredictQoSMany immediately (already a batch).
 //   REPORT_OBS    -> lock-free ring push; kShed when the ring is full
 //                    (journal-before-ack durability happens at the
@@ -44,9 +47,14 @@
 #include <thread>
 #include <unordered_map>
 
+#include <memory>
+#include <vector>
+
 #include "adapt/concurrent_service.h"
+#include "serve/backend.h"
 #include "serve/coalescer.h"
 #include "serve/connection.h"
+#include "serve/protocol.h"
 
 namespace amf::serve {
 
@@ -82,14 +90,20 @@ struct ServerConfig {
   std::size_t max_connections = 1024;
 };
 
-/// One serving endpoint over one ConcurrentPredictionService. The
-/// service must outlive the server. Start() spawns the loop (and
+/// One serving endpoint over a Backend (single-instance or user-sharded;
+/// see serve/backend.h). The backend/service must outlive the server.
+/// PREDICT requests route to a per-shard coalescer by the backend's
+/// ShardOfUser BEFORE batching, so every coalesced batch flushes into
+/// exactly one shard's PredictQoSPairs. Start() spawns the loop (and
 /// optionally trainer) thread; Shutdown() — idempotent, also run by the
 /// destructor — performs the ordered drain documented above.
 class Server {
  public:
+  /// Single-instance convenience: wraps the service in an owned
+  /// ConcurrentBackend (PR 9 behaviour, one coalescer).
   Server(adapt::ConcurrentPredictionService* service,
          const ServerConfig& config);
+  Server(Backend* backend, const ServerConfig& config);
   ~Server();
 
   Server(const Server&) = delete;
@@ -107,6 +121,13 @@ class Server {
   void Shutdown();
 
   bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Native handle of the event-loop thread (valid between Start and
+  /// Shutdown). The EINTR signal-storm test pthread_kills it to land
+  /// signals mid-recv/mid-send on exactly the thread doing socket IO.
+  std::thread::native_handle_type loop_native_handle() {
+    return loop_thread_.native_handle();
+  }
 
  private:
   void LoopThread();
@@ -127,14 +148,24 @@ class Server {
   /// Applies the pause/drop/resume ladder after wbuf changed. Returns
   /// false when the connection was dropped.
   bool ApplyBackpressure(Connection& c);
-  void FlushCoalescer();
+  /// Flushes one shard's coalescer batch into its home shard.
+  void FlushCoalescer(std::size_t shard);
+  /// Flushes every coalescer whose oldest request is past the window
+  /// (all of them when `force`).
+  void FlushDueCoalescers(double now_s, bool force);
+  /// Appends a kError frame for a rejected request and pushes it out
+  /// best-effort (the connection closes right after).
+  void SendErrorAndNote(Connection& c, Opcode opcode,
+                        std::uint64_t request_id);
   void CloseConnection(std::uint64_t id);
   void UpdateEpoll(Connection& c);
-  /// Epoll timeout: min(tick interval, coalescer due time).
+  /// Epoll timeout: min(tick interval, earliest coalescer due time).
   int NextTimeoutMs(double now_s) const;
   void RegisterMetrics();
+  std::size_t TotalQueueDepth() const;
 
-  adapt::ConcurrentPredictionService* service_;
+  std::unique_ptr<ConcurrentBackend> owned_backend_;  // single-service ctor
+  Backend* backend_;
   ServerConfig config_;
 
   int listen_fd_ = -1;
@@ -154,7 +185,9 @@ class Server {
 
   std::unordered_map<std::uint64_t, Connection> conns_;
   std::uint64_t next_conn_id_ = 1;
-  Coalescer coalescer_;
+  /// One coalescer per backend shard — PREDICTs route by user id before
+  /// batching, so each flush is one shard-local PredictQoSPairs.
+  std::vector<Coalescer> coalescers_;
   std::string scratch_;  ///< response-encode scratch for METRICS
   /// Connections with complete-but-unparsed frames in rbuf (mid-parse
   /// backpressure break or a resume from pause). Drained each

@@ -305,5 +305,90 @@ TEST(ServeProtocolTest, RandomBytesNeverCrashTheDecoder) {
   }
 }
 
+TEST(ServeProtocolTest, PingResponseCarriesThisBuildsWireMarker) {
+  // Version 1 in the high nibble; this build's endianness bit low. The
+  // marker is how a client detects a cross-endian/cross-version server
+  // before trusting any fixed-layout integer.
+  EXPECT_EQ(kWireMarker >> 4, kProtocolVersion);
+  std::string wire;
+  AppendPingResponse(wire, 7);
+  std::size_t consumed = 0;
+  const Frame f = MustDecode(wire, &consumed);
+  EXPECT_EQ(f.header.opcode, Opcode::kPing);
+  EXPECT_TRUE(f.header.is_response);
+  ASSERT_EQ(f.payload.size(), 1u);
+  std::uint8_t marker = 0;
+  ASSERT_TRUE(ParsePingResponse(f.payload, &marker));
+  EXPECT_EQ(marker, kWireMarker);
+  // A forged foreign marker round-trips verbatim (the client compares).
+  std::string foreign;
+  AppendPingResponse(foreign, 8, static_cast<std::uint8_t>(kWireMarker ^ 1));
+  const Frame g = MustDecode(foreign, &consumed);
+  ASSERT_TRUE(ParsePingResponse(g.payload, &marker));
+  EXPECT_NE(marker, kWireMarker);
+}
+
+TEST(ServeProtocolTest, ErrorResponseRoundTripsForEveryOpcode) {
+  for (const Opcode op : {Opcode::kPing, Opcode::kPredict,
+                          Opcode::kPredictMany, Opcode::kReportObs,
+                          Opcode::kMetrics}) {
+    std::string wire;
+    AppendErrorResponse(wire, op, 99);
+    EXPECT_EQ(wire.size(), kFrameOverheadBytes);
+    std::size_t consumed = 0;
+    const Frame f = MustDecode(wire, &consumed);
+    EXPECT_EQ(consumed, wire.size());
+    EXPECT_EQ(f.header.opcode, op);
+    EXPECT_TRUE(f.header.is_response);
+    EXPECT_EQ(f.header.status, Status::kError);
+    EXPECT_EQ(f.header.request_id, 99u);
+    EXPECT_TRUE(f.payload.empty());
+  }
+}
+
+TEST(ServeProtocolTest, ErrorResponseWithPayloadIsAProtocolError) {
+  // kError frames are defined payload-empty; a non-empty one is either
+  // corruption or a peer speaking a different dialect.
+  std::string wire;
+  AppendErrorResponse(wire, Opcode::kPredict, 5);
+  // Grow the payload by one byte and fix up the length prefix.
+  wire.push_back('\0');
+  std::uint32_t len = static_cast<std::uint32_t>(wire.size() - 4);
+  std::memcpy(wire.data(), &len, sizeof(len));
+  Frame frame;
+  std::size_t consumed = 0;
+  std::string error;
+  EXPECT_EQ(DecodeFrame(wire, &frame, &consumed, &error),
+            DecodeResult::kProtocolError);
+}
+
+TEST(ServeProtocolTest, PeekRequestHeaderRecoversRejectableRequests) {
+  // A payload-size lie still has a parseable fixed header: the server
+  // can address a kError frame at it.
+  std::string wire;
+  AppendPredictRequest(wire, 1234, 1, 2);
+  wire.resize(wire.size() - 1);  // truncate payload
+  std::uint32_t len = static_cast<std::uint32_t>(wire.size() - 4);
+  std::memcpy(wire.data(), &len, sizeof(len));
+  FrameHeader h;
+  ASSERT_TRUE(PeekRequestHeader(wire, &h));
+  EXPECT_EQ(h.opcode, Opcode::kPredict);
+  EXPECT_FALSE(h.is_response);
+  EXPECT_EQ(h.request_id, 1234u);
+
+  // Too short for a fixed header: nothing to recover.
+  EXPECT_FALSE(PeekRequestHeader(wire.substr(0, kFrameOverheadBytes - 1), &h));
+
+  // Unknown opcode: unframeable garbage, silent close.
+  std::string garbage = wire;
+  garbage[4] = '\x7f';
+  EXPECT_FALSE(PeekRequestHeader(garbage, &h));
+
+  // A response sent at the server: not a request, no error frame owed.
+  std::string response;
+  AppendPredictResponse(response, 9, Status::kOk, 1.0);
+  EXPECT_FALSE(PeekRequestHeader(response, &h));
+}
+
 }  // namespace
 }  // namespace amf::serve

@@ -1,16 +1,22 @@
 // End-to-end tests for the epoll serving front-end (serve/server.h):
 // every opcode over a real loopback socket, coalescing observable in the
-// server-side counters, malformed frames closing the connection (never
-// an error frame, never UB), the slow-reader backpressure ladder's drop
-// rung, and the graceful-shutdown contract — coalesced requests are
-// answered and journaled observations are flushed before exit.
+// server-side counters, malformed frames closing the connection (with
+// one terminal kError frame when the fixed header was parseable, a
+// silent close for unframeable garbage, never UB), the PING wire-marker
+// handshake, EINTR immunity under a directed signal storm, the
+// slow-reader backpressure ladder's drop rung, and the graceful-shutdown
+// contract — coalesced requests are answered and journaled observations
+// are flushed before exit.
 #include "serve/server.h"
 
 #include <gtest/gtest.h>
 
+#include <pthread.h>
 #include <sys/socket.h>
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cmath>
 #include <cstring>
 #include <filesystem>
@@ -416,6 +422,215 @@ TEST(ServeServerTest, ShutdownFlushesJournaledObservations) {
   const auto read = stream::ReadJournal(dir);
   EXPECT_EQ(read.records.size(), static_cast<std::size_t>(kReports));
   fs::remove_all(dir);
+}
+
+TEST(ServeServerTest, PingHandshakeCarriesWireMarker) {
+  const auto service = MakeTrainedService();
+  ServerConfig cfg;
+  cfg.run_trainer = false;
+  Server server(service.get(), cfg);
+  ASSERT_TRUE(server.Start()) << server.last_error();
+
+  Client client;
+  ASSERT_TRUE(client.ConnectWithRetry("127.0.0.1", server.port()));
+  // Client::Ping already refuses a marker mismatch; returning true means
+  // the server advertised exactly this build's marker.
+  EXPECT_TRUE(client.Ping());
+
+  // Raw check of the byte itself: version nibble + endianness bit.
+  std::string wire;
+  AppendPingRequest(wire, 424242);
+  ASSERT_TRUE(client.SendRaw(wire));
+  std::string rbuf;
+  Frame frame;
+  std::size_t consumed = 0;
+  std::string error;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    char tmp[256];
+    const ssize_t n = ::recv(client.fd(), tmp, sizeof(tmp), 0);
+    if (n > 0) rbuf.append(tmp, static_cast<std::size_t>(n));
+    if (DecodeFrame(rbuf, &frame, &consumed, &error) == DecodeResult::kFrame) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(frame.header.opcode, Opcode::kPing);
+  ASSERT_EQ(frame.header.request_id, 424242u);
+  std::uint8_t marker = 0;
+  ASSERT_TRUE(ParsePingResponse(frame.payload, &marker));
+  EXPECT_EQ(marker, kWireMarker);
+  EXPECT_EQ(marker >> 4, kProtocolVersion);
+  server.Shutdown();
+}
+
+/// Reads until EOF, returning every byte the server sent first.
+std::string DrainUntilClose(Client& client) {
+  std::string bytes;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    char tmp[4096];
+    const ssize_t n = ::recv(client.fd(), tmp, sizeof(tmp), 0);
+    if (n > 0) {
+      bytes.append(tmp, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) break;  // EOF
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return bytes;
+}
+
+TEST(ServeServerTest, RejectedRequestGetsErrorFrameBeforeClose) {
+  const auto service = MakeTrainedService();
+  ServerConfig cfg;
+  cfg.run_trainer = false;
+  Server server(service.get(), cfg);
+  ASSERT_TRUE(server.Start()) << server.last_error();
+
+  // A well-framed PREDICT whose payload size lies: the fixed header is
+  // recoverable, so the close must be preceded by one kError frame
+  // echoing the rejected request's opcode and id.
+  {
+    Client client;
+    ASSERT_TRUE(client.ConnectWithRetry("127.0.0.1", server.port()));
+    std::string wire;
+    const std::uint32_t len = kFrameFixedBytes + 3;
+    wire.append(reinterpret_cast<const char*>(&len), sizeof(len));
+    wire.push_back(static_cast<char>(Opcode::kPredict));
+    wire.push_back('\0');
+    const std::uint64_t id = 777;
+    wire.append(reinterpret_cast<const char*>(&id), sizeof(id));
+    wire.append(3, 'x');
+    ASSERT_TRUE(client.SendRaw(wire));
+
+    const std::string bytes = DrainUntilClose(client);
+    Frame frame;
+    std::size_t consumed = 0;
+    std::string error;
+    ASSERT_EQ(DecodeFrame(bytes, &frame, &consumed, &error),
+              DecodeResult::kFrame);
+    EXPECT_EQ(consumed, bytes.size());  // exactly one terminal frame
+    EXPECT_EQ(frame.header.opcode, Opcode::kPredict);
+    EXPECT_TRUE(frame.header.is_response);
+    EXPECT_EQ(frame.header.status, Status::kError);
+    EXPECT_EQ(frame.header.request_id, 777u);
+    EXPECT_TRUE(frame.payload.empty());
+  }
+
+  // Unframeable garbage (unknown opcode) still closes silently: a peer
+  // that cannot frame bytes cannot be trusted to parse a frame.
+  {
+    Client client;
+    ASSERT_TRUE(client.ConnectWithRetry("127.0.0.1", server.port()));
+    std::string wire;
+    const std::uint32_t len = kFrameFixedBytes;
+    wire.append(reinterpret_cast<const char*>(&len), sizeof(len));
+    wire.push_back('\x7f');
+    wire.push_back('\0');
+    wire.append(8, '\0');
+    ASSERT_TRUE(client.SendRaw(wire));
+    EXPECT_TRUE(DrainUntilClose(client).empty());
+  }
+  server.Shutdown();
+}
+
+void SigUsr1NoOp(int) {}  // handler exists only to interrupt syscalls
+
+TEST(ServeServerTest, SignalStormNeverClosesConnectionsOrChangesAnswers) {
+  // Install a SIGUSR1 handler WITHOUT SA_RESTART, so every signal that
+  // lands mid-syscall makes recv/send/epoll_wait return EINTR instead of
+  // restarting transparently — exactly the condition that used to be
+  // misread as a dead socket.
+  struct sigaction sa {};
+  struct sigaction old {};
+  sa.sa_handler = SigUsr1NoOp;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  ASSERT_EQ(sigaction(SIGUSR1, &sa, &old), 0);
+
+  const auto service = MakeTrainedService();
+  ServerConfig cfg;
+  cfg.run_trainer = false;
+  Server server(service.get(), cfg);
+  ASSERT_TRUE(server.Start()) << server.last_error();
+
+  Client client;
+  ASSERT_TRUE(client.ConnectWithRetry("127.0.0.1", server.port()));
+  ASSERT_TRUE(client.Ping());
+  const double closed_before = Counter(*service, "serve.closed");
+  const double errors_before = Counter(*service, "serve.protocol_errors");
+
+  // Direct the storm at the event-loop thread specifically — that is the
+  // thread inside recv/send/epoll_wait.
+  std::atomic<bool> stop{false};
+  std::thread storm([&server, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      ::pthread_kill(server.loop_native_handle(), SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  });
+
+  // Pipelined PREDICT load under the storm; every answer must still be
+  // bit-identical to the in-process control.
+  constexpr std::uint64_t kPerRound = 32;
+  for (int round = 0; round < 30; ++round) {
+    std::string burst;
+    for (std::uint64_t id = 1; id <= kPerRound; ++id) {
+      AppendPredictRequest(burst, id,
+                           static_cast<data::UserId>(id % kUsers),
+                           static_cast<data::ServiceId>(id % kServices));
+    }
+    ASSERT_TRUE(client.SendRaw(burst));
+    std::uint64_t next_id = 1;
+    std::string rbuf;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (next_id <= kPerRound &&
+           std::chrono::steady_clock::now() < deadline) {
+      char tmp[4096];
+      const ssize_t n = ::recv(client.fd(), tmp, sizeof(tmp), 0);
+      if (n <= 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        continue;
+      }
+      rbuf.append(tmp, static_cast<std::size_t>(n));
+      std::size_t off = 0;
+      Frame frame;
+      std::size_t consumed = 0;
+      std::string error;
+      while (DecodeFrame(std::string_view(rbuf).substr(off), &frame,
+                         &consumed, &error) == DecodeResult::kFrame) {
+        EXPECT_EQ(frame.header.request_id, next_id);
+        EXPECT_EQ(frame.header.status, Status::kOk);
+        double value = 0.0;
+        ASSERT_TRUE(ParsePredictResponse(frame.payload, &value));
+        const auto solo = service->PredictQoS(
+            static_cast<data::UserId>(next_id % kUsers),
+            static_cast<data::ServiceId>(next_id % kServices));
+        ASSERT_TRUE(solo.has_value());
+        EXPECT_EQ(value, *solo);  // bitwise, storm or no storm
+        ++next_id;
+        off += consumed;
+      }
+      rbuf.erase(0, off);
+    }
+    ASSERT_EQ(next_id, kPerRound + 1) << "round " << round;
+  }
+
+  stop.store(true, std::memory_order_relaxed);
+  storm.join();
+
+  // Zero connections were torn down and nothing was misread as a
+  // protocol error: EINTR was retried everywhere, not treated as death.
+  EXPECT_EQ(Counter(*service, "serve.closed"), closed_before);
+  EXPECT_EQ(Counter(*service, "serve.protocol_errors"), errors_before);
+  EXPECT_TRUE(client.Ping());  // the connection is still fully usable
+
+  server.Shutdown();
+  ASSERT_EQ(sigaction(SIGUSR1, &old, nullptr), 0);
 }
 
 TEST(ServeServerTest, StartFailsCleanlyWhenPortIsTaken) {
